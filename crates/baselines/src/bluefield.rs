@@ -1,0 +1,132 @@
+//! NVIDIA BlueField-2 baseline: eBPF/XDP on embedded Arm cores.
+//!
+//! The Bf2 redirects packets from its ConnectX-6 data plane to up to eight
+//! Arm A72 cores (≤ 2.75 GHz), which run the XDP program in the regular
+//! Linux driver path. The paper (Fig. 9a) measures single-core throughput
+//! comparable to hXDP ("or slightly faster"), "growing linearly to over
+//! 10 Mpps when using multiple cores", and ~10× higher latency than the
+//! FPGA datapaths.
+
+use ehdl_ebpf::vm::{Vm, VmError};
+use ehdl_ebpf::Program;
+
+/// Arm A72 core clock.
+pub const CLOCK_HZ: f64 = 2.75e9;
+/// Effective cycles per eBPF instruction after JIT (pipeline stalls,
+/// branch misses, D-cache effects).
+pub const CPI: f64 = 1.6;
+/// Per-packet driver-path overhead in cycles: RX descriptor handling,
+/// page-pool bookkeeping, XDP setup and verdict processing.
+pub const DRIVER_OVERHEAD_CYCLES: f64 = 480.0;
+/// Cycles per map helper call (hash, cache-missing memory access).
+pub const HELPER_MAP_CYCLES: f64 = 90.0;
+/// Multi-core scaling efficiency (cache-coherence traffic on shared maps).
+pub const SCALING: f64 = 0.92;
+
+/// Performance report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BluefieldReport {
+    /// Cores used.
+    pub cores: usize,
+    /// Cycles per packet on one core.
+    pub cycles_per_packet: f64,
+    /// Aggregate throughput in packets per second.
+    pub pps: f64,
+    /// Per-packet latency in nanoseconds (≈10x the FPGA paths: the packet
+    /// crosses the embedded switch, PCIe-like fabric and the Linux driver).
+    pub latency_ns: f64,
+}
+
+/// The BlueField-2 cost model.
+#[derive(Debug, Clone)]
+pub struct BluefieldModel {
+    cores: usize,
+}
+
+impl BluefieldModel {
+    /// Model with `cores` Arm cores engaged (1–8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is 0 or greater than 8.
+    pub fn new(cores: usize) -> BluefieldModel {
+        assert!((1..=8).contains(&cores), "BlueField-2 has 8 Arm cores");
+        BluefieldModel { cores }
+    }
+
+    /// Evaluate `program` over a sample packet mix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM errors (see [`crate::hxdp::HxdpModel::evaluate`]).
+    pub fn evaluate(&self, program: &Program, sample: &[Vec<u8>]) -> Result<BluefieldReport, VmError> {
+        let mut vm = Vm::new(program);
+        vm.set_time_ns(1000);
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for pkt in sample {
+            let mut bytes = pkt.clone();
+            let out = match vm.run(&mut bytes, 0) {
+                Ok(o) => o,
+                Err(VmError::BadAccess { .. }) => continue,
+                Err(e) => return Err(e),
+            };
+            total += out.executed as f64 * CPI
+                + DRIVER_OVERHEAD_CYCLES
+                + (out.helper_calls + out.atomic_ops) as f64 * HELPER_MAP_CYCLES;
+            n += 1;
+        }
+        let cycles_per_packet = if n == 0 { DRIVER_OVERHEAD_CYCLES } else { total / n as f64 };
+        let single = CLOCK_HZ / cycles_per_packet;
+        let pps = single * (self.cores as f64) * if self.cores > 1 { SCALING } else { 1.0 };
+        Ok(BluefieldReport {
+            cores: self.cores,
+            cycles_per_packet,
+            pps,
+            latency_ns: cycles_per_packet * 1e9 / CLOCK_HZ + 9_500.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehdl_ebpf::asm::Asm;
+
+    fn prog(n_alu: usize) -> Program {
+        let mut a = Asm::new();
+        for i in 0..n_alu {
+            a.alu64_imm(ehdl_ebpf::opcode::AluOp::Add, 2, i as i32);
+        }
+        a.mov64_imm(0, 3);
+        a.exit();
+        Program::from_insns(a.into_insns())
+    }
+
+    #[test]
+    fn single_core_in_low_mpps() {
+        let r = BluefieldModel::new(1).evaluate(&prog(40), &vec![vec![0u8; 64]; 4]).unwrap();
+        assert!((1e6..8e6).contains(&r.pps), "{}", r.pps);
+    }
+
+    #[test]
+    fn four_cores_scale_nearly_linearly() {
+        let p = prog(40);
+        let one = BluefieldModel::new(1).evaluate(&p, &vec![vec![0u8; 64]; 4]).unwrap();
+        let four = BluefieldModel::new(4).evaluate(&p, &vec![vec![0u8; 64]; 4]).unwrap();
+        let ratio = four.pps / one.pps;
+        assert!((3.2..4.01).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn latency_order_of_ten_microseconds() {
+        let r = BluefieldModel::new(1).evaluate(&prog(40), &vec![vec![0u8; 64]; 4]).unwrap();
+        assert!((8_000.0..15_000.0).contains(&r.latency_ns), "{}", r.latency_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "8 Arm cores")]
+    fn too_many_cores_rejected() {
+        let _ = BluefieldModel::new(9);
+    }
+}

@@ -1,0 +1,22 @@
+//! Comparison baselines from the eHDL evaluation (§5):
+//!
+//! * [`hxdp`] — the hXDP soft processor [Brunella et al., OSDI'20]: a
+//!   single-core, 2-lane VLIW eBPF processor on the same FPGA, clocked at
+//!   250 MHz, processing packets *one at a time*;
+//! * [`bluefield`] — an NVIDIA BlueField-2 DPU running eBPF/XDP on its
+//!   Arm A72 cores (up to 2.75 GHz), scaling near-linearly with cores;
+//! * [`sdnet`] — the Xilinx SDNet P4 compiler: line-rate PISA-style
+//!   pipelines, but unable to express data-plane writes to match-action
+//!   state (which is why the paper could not implement DNAT with it).
+//!
+//! All three are *models*, calibrated against the numbers the paper
+//! reports; they exist to reproduce the comparative shape of Figures 9–10
+//! (who wins, by roughly what factor), not absolute silicon behaviour.
+
+pub mod bluefield;
+pub mod hxdp;
+pub mod sdnet;
+
+pub use bluefield::BluefieldModel;
+pub use hxdp::HxdpModel;
+pub use sdnet::{P4Spec, SdnetCompiler, SdnetError};

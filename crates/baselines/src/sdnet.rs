@@ -1,0 +1,263 @@
+//! Xilinx SDNet P4 baseline.
+//!
+//! SDNet synthesizes PISA-style hardware (generic programmable parser +
+//! match-action tables) from P4. It reaches line rate, but its tables can
+//! only be written from the control plane: "we could not implement the
+//! DNAT in P4, since there is no obvious way to define the dynamic port
+//! selection within the data plane" (§5). Its generic engines also cost
+//! 2–4× the resources of eHDL's tailored pipelines (Fig. 10).
+
+use ehdl_core::resource::{cost, ResourceEstimate};
+
+/// A P4 program description — what porting an XDP application to SDNet
+/// produces (§5: "we port the eBPF programs ... to equivalent P4
+/// implementations").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct P4Spec {
+    /// Program name.
+    pub name: String,
+    /// Headers the parser graph extracts.
+    pub parsed_headers: usize,
+    /// Match-action tables.
+    pub tables: Vec<TableSpec>,
+    /// Per-packet arithmetic complexity (actions' ALU work), in ops.
+    pub action_ops: usize,
+    /// Whether the function must insert/modify table entries from the
+    /// data plane (the expressiveness gap).
+    pub needs_dataplane_table_write: bool,
+    /// Whether the function needs per-packet payload rewriting beyond
+    /// header fields (encap/decap supported via header stacks).
+    pub rewrites_headers: bool,
+}
+
+/// One match-action table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableSpec {
+    /// Match key width in bits.
+    pub key_bits: u32,
+    /// Entry capacity.
+    pub entries: u32,
+    /// Kind of match.
+    pub match_kind: MatchKind,
+}
+
+/// P4 match kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchKind {
+    /// Exact match (hash table / CAM).
+    Exact,
+    /// Longest-prefix match (TCAM/trie).
+    Lpm,
+    /// Direct index.
+    Index,
+}
+
+/// Why SDNet rejects a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SdnetError {
+    /// The function writes match-action state from the data plane, which
+    /// P4/SDNet cannot express.
+    DataPlaneTableWrite {
+        /// Program name.
+        program: String,
+    },
+}
+
+impl std::fmt::Display for SdnetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SdnetError::DataPlaneTableWrite { program } => write!(
+                f,
+                "{program}: no way to update match-action tables from the data plane in SDNet P4"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SdnetError {}
+
+/// A synthesized SDNet design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SdnetDesign {
+    /// Program name.
+    pub name: String,
+    /// Estimated resources (pipeline only, excluding the NIC shell).
+    pub resources: ResourceEstimate,
+    /// Line-rate throughput at 64 B on 100 GbE, in packets per second.
+    pub pps: f64,
+    /// Forwarding latency in nanoseconds.
+    pub latency_ns: f64,
+}
+
+/// The SDNet compiler model.
+#[derive(Debug, Clone, Default)]
+pub struct SdnetCompiler;
+
+/// PISA engine base cost: the programmable parser/deparser pair
+/// (SDNet instantiates fully generic, microcoded engines — §5.2: "SDNet
+/// instantiates generic programmable parser and lookup tables").
+const PARSER_LUTS: u64 = 55_000;
+const PARSER_FFS: u64 = 120_000;
+/// Per-parsed-header incremental parser cost.
+const PER_HEADER_LUTS: u64 = 5_000;
+/// Generic match-action engine per table.
+const PER_TABLE_LUTS: u64 = 30_000;
+const PER_TABLE_FFS: u64 = 60_000;
+/// TCAM-style LPM premium.
+const LPM_EXTRA_LUTS: u64 = 25_000;
+/// Generic action ALU bank per pipeline stage of actions.
+const ACTION_BANK_LUTS: u64 = 9_000;
+
+impl SdnetCompiler {
+    /// Create the compiler model.
+    pub fn new() -> SdnetCompiler {
+        SdnetCompiler
+    }
+
+    /// "Compile" a P4 program: check expressibility, estimate resources.
+    ///
+    /// # Errors
+    ///
+    /// [`SdnetError::DataPlaneTableWrite`] when the function needs to
+    /// write tables from the data plane (e.g. dynamic NAT).
+    pub fn compile(&self, spec: &P4Spec) -> Result<SdnetDesign, SdnetError> {
+        if spec.needs_dataplane_table_write {
+            return Err(SdnetError::DataPlaneTableWrite { program: spec.name.clone() });
+        }
+        let mut luts = PARSER_LUTS + PER_HEADER_LUTS * spec.parsed_headers as u64;
+        let mut ffs = PARSER_FFS;
+        let mut brams = 24u64; // parser/deparser buffering
+        for t in &spec.tables {
+            luts += PER_TABLE_LUTS;
+            ffs += PER_TABLE_FFS;
+            if t.match_kind == MatchKind::Lpm {
+                luts += LPM_EXTRA_LUTS;
+            }
+            let bytes = u64::from(t.entries) * u64::from(t.key_bits.div_ceil(8) + 16);
+            brams += bytes.div_ceil(cost::BRAM_BYTES);
+        }
+        luts += ACTION_BANK_LUTS * (spec.action_ops as u64).div_ceil(8).max(1);
+        if spec.rewrites_headers {
+            luts += 12_000;
+        }
+        Ok(SdnetDesign {
+            name: spec.name.clone(),
+            resources: ResourceEstimate { luts, ffs, brams },
+            pps: 148.8e6,
+            latency_ns: 900.0,
+        })
+    }
+}
+
+/// The P4 port of each evaluation application (§5: Simple Firewall,
+/// Router, Tunnel and Suricata were ported; DNAT could not be).
+pub fn spec_for(app: ehdl_programs::App) -> P4Spec {
+    use ehdl_programs::App;
+    match app {
+        App::Firewall => P4Spec {
+            name: "firewall".into(),
+            parsed_headers: 3, // eth, ipv4, udp
+            tables: vec![TableSpec { key_bits: 104, entries: 32768, match_kind: MatchKind::Exact }],
+            action_ops: 4,
+            // The P4 port can only *match* sessions installed by the
+            // control plane; opening sessions from the data plane is
+            // approximated with a digest to the controller.
+            needs_dataplane_table_write: false,
+            rewrites_headers: false,
+        },
+        App::Router => P4Spec {
+            name: "router".into(),
+            parsed_headers: 2,
+            tables: vec![TableSpec { key_bits: 32, entries: 1024, match_kind: MatchKind::Lpm }],
+            action_ops: 10, // MAC rewrite + TTL + checksum
+            needs_dataplane_table_write: false,
+            rewrites_headers: true,
+        },
+        App::Tunnel => P4Spec {
+            name: "tunnel".into(),
+            parsed_headers: 3,
+            tables: vec![TableSpec { key_bits: 32, entries: 256, match_kind: MatchKind::Exact }],
+            action_ops: 14, // encap header construction + checksum
+            needs_dataplane_table_write: false,
+            rewrites_headers: true,
+        },
+        App::Dnat => P4Spec {
+            name: "dnat".into(),
+            parsed_headers: 3,
+            tables: vec![TableSpec { key_bits: 104, entries: 32768, match_kind: MatchKind::Exact }],
+            action_ops: 12,
+            // Port selection binds new flows from the data plane — the
+            // construct SDNet cannot express (§5).
+            needs_dataplane_table_write: true,
+            rewrites_headers: true,
+        },
+        App::Suricata => P4Spec {
+            name: "suricata".into(),
+            parsed_headers: 5, // eth, vlan, ipv4, ipv6, l4
+            tables: vec![TableSpec { key_bits: 104, entries: 32768, match_kind: MatchKind::Exact }],
+            action_ops: 6,
+            needs_dataplane_table_write: false,
+            rewrites_headers: false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn firewall_spec() -> P4Spec {
+        P4Spec {
+            name: "firewall".into(),
+            parsed_headers: 3,
+            tables: vec![TableSpec { key_bits: 104, entries: 32768, match_kind: MatchKind::Exact }],
+            action_ops: 6,
+            needs_dataplane_table_write: false,
+            rewrites_headers: false,
+        }
+    }
+
+    #[test]
+    fn expressible_program_reaches_line_rate() {
+        let d = SdnetCompiler::new().compile(&firewall_spec()).unwrap();
+        assert!((d.pps - 148.8e6).abs() < 1.0);
+        assert!(d.resources.luts > 80_000, "generic engines are expensive");
+    }
+
+    #[test]
+    fn dnat_rejected() {
+        let spec = P4Spec {
+            name: "dnat".into(),
+            needs_dataplane_table_write: true,
+            ..firewall_spec()
+        };
+        assert_eq!(
+            SdnetCompiler::new().compile(&spec),
+            Err(SdnetError::DataPlaneTableWrite { program: "dnat".into() })
+        );
+    }
+
+    #[test]
+    fn paper_apps_express_except_dnat() {
+        use ehdl_programs::App;
+        let c = SdnetCompiler::new();
+        for app in App::ALL {
+            let r = c.compile(&spec_for(app));
+            if app == App::Dnat {
+                assert!(r.is_err(), "DNAT must be rejected");
+            } else {
+                assert!(r.is_ok(), "{app} must be expressible");
+            }
+        }
+    }
+
+    #[test]
+    fn lpm_costs_more_than_exact() {
+        let mut exact = firewall_spec();
+        exact.tables[0].match_kind = MatchKind::Exact;
+        let mut lpm = firewall_spec();
+        lpm.tables[0].match_kind = MatchKind::Lpm;
+        let c = SdnetCompiler::new();
+        assert!(c.compile(&lpm).unwrap().resources.luts > c.compile(&exact).unwrap().resources.luts);
+    }
+}

@@ -1,0 +1,29 @@
+//! Figure 9a: throughput (Mpps, log scale in the paper) of eHDL, SDNet,
+//! hXDP and BlueField-2 (1 and 4 cores) on the five applications, with
+//! 10k flows at 148 Mpps offered (64 B @ 100 GbE).
+
+use ehdl_bench::{fig9a, mpps, table};
+
+fn main() {
+    println!("\n=== Figure 9a: Throughput (Mpps), 10k flows, 64B @ 100Gbps ===\n");
+    let rows = fig9a(ehdl_bench::EVAL_PACKETS);
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.name().to_string(),
+                mpps(r.ehdl_mpps),
+                r.sdnet_mpps.map(mpps).unwrap_or_else(|| "N/A".into()),
+                mpps(r.hxdp_mpps),
+                mpps(r.bf2_1c_mpps),
+                mpps(r.bf2_4c_mpps),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(&["Program", "eHDL", "SDNet", "hXDP", "Bf2 1c", "Bf2 4c"], &cells)
+    );
+    println!("paper shape: eHDL/SDNet at line rate (148), hXDP 0.9-5.4, Bf2 1c similar,");
+    println!("Bf2 4c ~linear x4; SDNet cannot implement DNAT (N/A).");
+}

@@ -1,0 +1,22 @@
+//! Figure 9b: per-packet forwarding latency (ns) of eHDL pipelines vs the
+//! hXDP processor (both ~1 µs; the BlueField-2 is 10x higher and omitted
+//! for readability, as in the paper).
+
+use ehdl_bench::{fig9b, table};
+
+fn main() {
+    println!("\n=== Figure 9b: Forwarding latency (ns) ===\n");
+    let rows = fig9b(8_000);
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.name().to_string(),
+                format!("{:.0}", r.ehdl_ns),
+                format!("{:.0}", r.hxdp_ns),
+            ]
+        })
+        .collect();
+    println!("{}", table(&["Program", "eHDL (ns)", "hXDP (ns)"], &cells));
+    println!("paper shape: both around one microsecond; latency tracks stage count.");
+}

@@ -1,0 +1,54 @@
+//! Criterion microbenchmarks: compiler speed (the paper quotes "few
+//! seconds" to generate a design), reference-VM packet rate, and simulator
+//! cycle rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ehdl_core::Compiler;
+use ehdl_ebpf::vm::Vm;
+use ehdl_hwsim::PipelineSim;
+use ehdl_programs::App;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    g.sample_size(20);
+    for app in App::ALL {
+        let program = app.program();
+        g.bench_function(app.name(), |b| {
+            b.iter(|| Compiler::new().compile(&program).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm");
+    g.sample_size(20);
+    let program = App::Firewall.program();
+    let mut vm = Vm::new(&program);
+    let pkt = ehdl_bench::eval_packets(App::Firewall, 1).remove(0);
+    g.bench_function("firewall_packet", |b| {
+        b.iter(|| vm.run(&mut pkt.clone(), 0).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hwsim");
+    g.sample_size(10);
+    let design = Compiler::new().compile(&App::Firewall.program()).unwrap();
+    let packets = ehdl_bench::eval_packets(App::Firewall, 256);
+    g.bench_function("firewall_256pkts", |b| {
+        b.iter(|| {
+            let mut sim = PipelineSim::new(&design);
+            for p in &packets {
+                sim.enqueue(p.clone());
+            }
+            sim.settle(1_000_000);
+            assert_eq!(sim.counters().completed, 256);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_vm, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! Analytical model of throughput degradation due to flushing
+//! (Appendix A.1).
+//!
+//! With `L` stages between a map's read and write stage and `N` active
+//! flows, the probability that a packet triggers a flush is the
+//! probability that another packet of the same flow is inside the hazard
+//! window. Under a uniform flow distribution this is the birthday paradox
+//! (eqn. 1); under a Zipfian distribution it follows from per-flow
+//! collision probabilities. Flushing `K` stages at probability `P_f`
+//! yields the effective throughput of eqn. 2, and eqn. 3 inverts it into
+//! the deepest flushable pipeline that still sustains a target rate.
+
+/// Pipeline clock in Hz (250 MHz; one packet per cycle peak → 250 Mpps).
+pub const CLOCK_HZ: f64 = 250e6;
+
+/// Peak pipeline throughput in packets per second.
+pub const PEAK_PPS: f64 = CLOCK_HZ;
+
+/// Eqn. 1: flush probability with `n` uniformly distributed flows and a
+/// hazard window of `l` stages: `1 - exp(-l² / 2n)`.
+pub fn p_flush_uniform(l: usize, n: usize) -> f64 {
+    if n == 0 || l == 0 {
+        return 0.0;
+    }
+    1.0 - (-((l * l) as f64) / (2.0 * n as f64)).exp()
+}
+
+/// Zipfian flush probability: `P_f = Σ_i C(L,2)·p_i²·(1-p_i)^(L-2)` with
+/// `p_i = 1 / (i·ln N)`.
+pub fn p_flush_zipf(l: usize, n: usize) -> f64 {
+    if n < 2 || l < 2 {
+        return 0.0;
+    }
+    let ln_n = (n as f64).ln();
+    let lf = l as f64;
+    let pairs = lf * (lf - 1.0) / 2.0;
+    let mut pf = 0.0;
+    for i in 1..=n {
+        let p = 1.0 / (i as f64 * ln_n);
+        let term = pairs * p * p * (1.0 - p).powf(lf - 2.0);
+        pf += term;
+        // The tail decays like 1/i²; stop once negligible.
+        if i > 64 && term < 1e-12 {
+            break;
+        }
+    }
+    pf.min(1.0)
+}
+
+/// Eqn. 2: effective throughput when a flush costs `k` cycles and happens
+/// with probability `pf` per packet: `T / ((1-pf) + k·pf)`.
+///
+/// ```
+/// use ehdl_core::analytical::{p_flush_zipf, throughput, PEAK_PPS};
+/// // Tunnel-like parameters: K=109, L=2, 50k Zipf flows.
+/// let pf = p_flush_zipf(2, 50_000);
+/// let tp = throughput(PEAK_PPS, 109, pf);
+/// assert!(tp > 90e6, "still near line rate despite flushing");
+/// ```
+pub fn throughput(t_peak: f64, k: usize, pf: f64) -> f64 {
+    t_peak / ((1.0 - pf) + k as f64 * pf)
+}
+
+/// Eqn. 3: deepest flush depth `K_max` sustaining a target throughput:
+/// `(T/T_p - (1 - pf)) / pf`.
+pub fn k_max(t_peak: f64, t_target: f64, pf: f64) -> f64 {
+    if pf <= 0.0 {
+        return f64::INFINITY;
+    }
+    (t_peak / t_target - (1.0 - pf)) / pf
+}
+
+/// One row of Table 3: a use case's flush parameters and predicted
+/// throughput under 50 k Zipf-distributed flows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlushModelRow {
+    /// Program name.
+    pub program: String,
+    /// `K` — stages flushed (including reload overhead), if flushes exist.
+    pub k: Option<usize>,
+    /// `L` — read→write window, if RAW hazards exist.
+    pub l: Option<usize>,
+    /// Predicted throughput in packets per second (`None` when the model
+    /// predicts line-rate cannot be stated, i.e. no hazard → N/A).
+    pub throughput_pps: Option<f64>,
+}
+
+/// Build a Table-3 row from a design's hazard plan.
+pub fn model_design(
+    name: &str,
+    hazards: &crate::hazard::HazardPlan,
+    n_flows: usize,
+) -> FlushModelRow {
+    let l = hazards.max_raw_window();
+    let k = hazards.max_flush_depth();
+    let tp = match (k, l) {
+        (Some(k), Some(l)) => {
+            let pf = p_flush_zipf(l, n_flows);
+            Some(throughput(PEAK_PPS, k, pf))
+        }
+        _ => None,
+    };
+    FlushModelRow { program: name.to_string(), k, l, throughput_pps: tp }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_matches_birthday_paradox() {
+        // l=2, n=50000: 1 - exp(-4/100000) ≈ 4.0e-5.
+        let p = p_flush_uniform(2, 50_000);
+        assert!((p - 3.9999e-5).abs() < 1e-6, "{p}");
+        assert_eq!(p_flush_uniform(0, 100), 0.0);
+        assert_eq!(p_flush_uniform(10, 0), 0.0);
+    }
+
+    #[test]
+    fn zipf_reproduces_table4() {
+        // Table 4: under 50k Zipf flows, P_f ≈ 1% for L=2, 3% for L=3,
+        // 6% for L=4, 10% for L=5.
+        let n = 50_000;
+        let cases = [(2, 0.01), (3, 0.03), (4, 0.06), (5, 0.10)];
+        for (l, expect) in cases {
+            let p = p_flush_zipf(l, n);
+            assert!(
+                (p - expect).abs() < expect * 0.5,
+                "L={l}: model {p:.4} vs paper {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn kmax_reproduces_table4() {
+        // Table 4: K_max ≈ 61 / 21 / 11 / 7 for L = 2..5 at 148 Mpps.
+        let n = 50_000;
+        let target = 148e6;
+        let expect = [(2, 61.0), (3, 21.0), (4, 11.0), (5, 7.0)];
+        for (l, e) in expect {
+            let pf = p_flush_zipf(l, n);
+            let k = k_max(PEAK_PPS, target, pf);
+            assert!(
+                (k - e).abs() / e < 0.45,
+                "L={l}: K_max {k:.1} vs paper {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_monotone_in_k_and_pf() {
+        let t = PEAK_PPS;
+        assert!(throughput(t, 10, 0.01) > throughput(t, 100, 0.01));
+        assert!(throughput(t, 10, 0.01) > throughput(t, 10, 0.1));
+        assert_eq!(throughput(t, 50, 0.0), t);
+    }
+
+    #[test]
+    fn table3_style_rows() {
+        // Tunnel: K=109, L=2 → ~120 Mpps per the paper.
+        let pf = p_flush_zipf(2, 50_000);
+        let tp = throughput(PEAK_PPS, 109, pf) / 1e6;
+        assert!((90.0..180.0).contains(&tp), "{tp}");
+        // Suricata: K=59, L=3 → ~91 Mpps.
+        let pf = p_flush_zipf(3, 50_000);
+        let tp = throughput(PEAK_PPS, 59, pf) / 1e6;
+        assert!((60.0..140.0).contains(&tp), "{tp}");
+    }
+
+    #[test]
+    fn no_hazard_gives_na() {
+        let plan = crate::hazard::HazardPlan::default();
+        let row = model_design("fw", &plan, 50_000);
+        assert_eq!(row.k, None);
+        assert_eq!(row.throughput_pps, None);
+    }
+}

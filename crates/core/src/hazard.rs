@@ -1,0 +1,237 @@
+//! eBPF map data-consistency analysis (§4.1).
+//!
+//! Because the pipeline processes as many packets as it has stages, map
+//! accesses from different stages race:
+//!
+//! * **RAW** — a packet reads a location an older in-flight packet has not
+//!   yet written: a *Flush Evaluation Block* snoops the addresses of
+//!   unconfirmed reads between the read and write stages and flushes the
+//!   front of the pipeline when a write hits one of them (§4.1.2).
+//! * **WAR** — a younger packet's write (at an *earlier* stage) must not
+//!   clobber a location an older packet still has to read (at a *later*
+//!   stage): delay registers hold the write back (§4.1.1).
+//! * **Atomics** — read-modify-write operations on global state execute in
+//!   place inside the map block, needing neither (§4.1.2, "Global state").
+
+use crate::ir::MapUse;
+use crate::pipeline::Stage;
+
+/// Extra cycles to refill the pipeline after a flush (App. A.1: "K has an
+/// additional overhead of 4 clock cycles used to reload the pipeline").
+pub const FLUSH_RELOAD_CYCLES: usize = 4;
+
+/// A Flush Evaluation Block instance guarding one map write stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Feb {
+    /// Guarded map.
+    pub map: u32,
+    /// Earliest stage at which the map is read.
+    pub read_stage: usize,
+    /// The write stage this block guards.
+    pub write_stage: usize,
+    /// `L`: stages between the read and the write (the hazard window).
+    pub window: usize,
+    /// `K`: stages flushed on a hazard, including the reload overhead.
+    pub flush_depth: usize,
+}
+
+/// A delayed write port solving a WAR hazard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarBuffer {
+    /// Map concerned.
+    pub map: u32,
+    /// The (early) write stage.
+    pub write_stage: usize,
+    /// The latest read stage the write must wait for.
+    pub read_stage: usize,
+    /// Buffer length in stages.
+    pub delay: usize,
+}
+
+/// An atomic-operation block bound to a map at a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtomicStage {
+    /// Map concerned.
+    pub map: u32,
+    /// Stage of the atomic operation.
+    pub stage: usize,
+}
+
+/// The complete consistency plan of a design.
+#[derive(Debug, Clone, Default)]
+pub struct HazardPlan {
+    /// RAW guards.
+    pub febs: Vec<Feb>,
+    /// WAR delay buffers.
+    pub war_buffers: Vec<WarBuffer>,
+    /// Atomic blocks.
+    pub atomic_stages: Vec<AtomicStage>,
+}
+
+impl HazardPlan {
+    /// `L` of the widest RAW window (Table 3's `L` column).
+    pub fn max_raw_window(&self) -> Option<usize> {
+        self.febs.iter().map(|f| f.window).max()
+    }
+
+    /// `K` of the deepest flush (Table 3's `K` column).
+    pub fn max_flush_depth(&self) -> Option<usize> {
+        self.febs.iter().map(|f| f.flush_depth).max()
+    }
+}
+
+/// Analyze the final stage list (run *after* framing so stage indices are
+/// physical).
+pub fn analyze(stages: &[Stage]) -> HazardPlan {
+    let mut plan = HazardPlan::default();
+    // Gather per-map access stages.
+    let mut maps: std::collections::BTreeMap<u32, (Vec<usize>, Vec<usize>, Vec<usize>)> =
+        Default::default();
+    for (idx, stage) in stages.iter().enumerate() {
+        for op in &stage.ops {
+            let Some(mu) = op.map_use else { continue };
+            let entry = maps.entry(mu.map()).or_default();
+            match mu {
+                MapUse::Lookup(_) | MapUse::LoadValue(_) => entry.0.push(idx),
+                MapUse::HelperWrite(_) | MapUse::StoreValue(_) => entry.1.push(idx),
+                MapUse::Atomic(_) => entry.2.push(idx),
+            }
+        }
+    }
+
+    for (map, (reads, writes, atomics)) in maps {
+        for &stage in &atomics {
+            plan.atomic_stages.push(AtomicStage { map, stage });
+        }
+        for &w in &writes {
+            // RAW: a FEB per write stage that has an earlier read (§4.1.3:
+            // "we need to instantiate a Flush Evaluation Block for every
+            // single map write instruction").
+            let earlier: Vec<usize> = reads.iter().copied().filter(|&r| r < w).collect();
+            if let Some(&first_read) = earlier.iter().min() {
+                plan.febs.push(Feb {
+                    map,
+                    read_stage: first_read,
+                    write_stage: w,
+                    window: w - first_read,
+                    flush_depth: w + FLUSH_RELOAD_CYCLES,
+                });
+            }
+            // WAR: delay the write until later readers are done.
+            if let Some(&last_read) = reads.iter().filter(|&&r| r > w).max() {
+                plan.war_buffers.push(WarBuffer {
+                    map,
+                    write_stage: w,
+                    read_stage: last_read,
+                    delay: last_read - w,
+                });
+            }
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{HwInsn, LabeledInsn, MemLabel};
+    use crate::pipeline::StageKind;
+    use ehdl_ebpf::insn::Instruction;
+    use ehdl_ebpf::opcode::MemSize;
+
+    fn stage_with(mu: Option<MapUse>) -> Stage {
+        let insn = match mu {
+            Some(MapUse::Lookup(_)) | Some(MapUse::HelperWrite(_)) => {
+                HwInsn::Simple(Instruction::Call { helper: 1 })
+            }
+            Some(MapUse::Atomic(_)) => HwInsn::Simple(Instruction::Atomic {
+                op: ehdl_ebpf::opcode::AtomicOp::Add { fetch: false },
+                size: MemSize::Dw,
+                dst: 0,
+                off: 0,
+                src: 2,
+            }),
+            _ => HwInsn::Simple(Instruction::Load { size: MemSize::Dw, dst: 1, src: 0, off: 0 }),
+        };
+        Stage {
+            block: 0,
+            ops: vec![LabeledInsn {
+                pc: 0,
+                insn,
+                label: MemLabel::Map(mu.map(|m| m.map()).unwrap_or(0)),
+                map_use: mu,
+                elided: None,
+            }],
+            kind: StageKind::Normal,
+        }
+    }
+
+    fn empty_stage() -> Stage {
+        Stage { block: 0, ops: vec![], kind: StageKind::Normal }
+    }
+
+    #[test]
+    fn lookup_then_store_creates_feb() {
+        let stages = vec![
+            stage_with(Some(MapUse::Lookup(0))),
+            empty_stage(),
+            empty_stage(),
+            stage_with(Some(MapUse::StoreValue(0))),
+        ];
+        let plan = analyze(&stages);
+        assert_eq!(plan.febs.len(), 1);
+        let feb = plan.febs[0];
+        assert_eq!(feb.read_stage, 0);
+        assert_eq!(feb.write_stage, 3);
+        assert_eq!(feb.window, 3);
+        assert_eq!(feb.flush_depth, 3 + FLUSH_RELOAD_CYCLES);
+        assert!(plan.war_buffers.is_empty());
+    }
+
+    #[test]
+    fn early_write_late_read_creates_war_buffer() {
+        let stages = vec![
+            stage_with(Some(MapUse::StoreValue(0))),
+            empty_stage(),
+            stage_with(Some(MapUse::LoadValue(0))),
+        ];
+        let plan = analyze(&stages);
+        assert!(plan.febs.is_empty());
+        assert_eq!(plan.war_buffers.len(), 1);
+        assert_eq!(plan.war_buffers[0].delay, 2);
+    }
+
+    #[test]
+    fn atomics_need_neither() {
+        let stages = vec![
+            stage_with(Some(MapUse::Lookup(0))),
+            stage_with(Some(MapUse::Atomic(0))),
+        ];
+        let plan = analyze(&stages);
+        assert!(plan.febs.is_empty());
+        assert!(plan.war_buffers.is_empty());
+        assert_eq!(plan.atomic_stages.len(), 1);
+    }
+
+    #[test]
+    fn distinct_maps_do_not_interact() {
+        let stages = vec![
+            stage_with(Some(MapUse::Lookup(0))),
+            stage_with(Some(MapUse::HelperWrite(1))),
+        ];
+        let plan = analyze(&stages);
+        assert!(plan.febs.is_empty());
+    }
+
+    #[test]
+    fn one_feb_per_write_stage() {
+        let stages = vec![
+            stage_with(Some(MapUse::Lookup(0))),
+            stage_with(Some(MapUse::StoreValue(0))),
+            stage_with(Some(MapUse::HelperWrite(0))),
+        ];
+        let plan = analyze(&stages);
+        assert_eq!(plan.febs.len(), 2);
+        assert_eq!(plan.max_raw_window(), Some(2));
+    }
+}

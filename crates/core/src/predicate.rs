@@ -1,0 +1,246 @@
+//! Control-flow enforcement by predication (§3.5): symbolic per-block
+//! enable expressions.
+//!
+//! "eHDL generates a set of control signals to enable/disable pipeline's
+//! stages according to the result of goto/jump instructions." Each block's
+//! enable is a boolean expression over its predecessors' enables and branch
+//! outcomes; this module builds and simplifies those expressions so the
+//! VHDL emitter can print one equation per stage and the design summary
+//! can show the disable-signal structure of Figure 8.
+
+use crate::pipeline::{BlockInfo, EdgeCond};
+use std::fmt;
+
+/// A boolean expression over branch-outcome literals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredExpr {
+    /// Always enabled (the entry block).
+    True,
+    /// Never enabled (an unreachable block).
+    False,
+    /// Block `b`'s branch was taken.
+    Taken(usize),
+    /// Block `b`'s branch was not taken.
+    NotTaken(usize),
+    /// Conjunction.
+    And(Box<PredExpr>, Box<PredExpr>),
+    /// Disjunction.
+    Or(Box<PredExpr>, Box<PredExpr>),
+}
+
+impl PredExpr {
+    fn and(a: PredExpr, b: PredExpr) -> PredExpr {
+        match (a, b) {
+            (PredExpr::True, x) | (x, PredExpr::True) => x,
+            (PredExpr::False, _) | (_, PredExpr::False) => PredExpr::False,
+            (a, b) => PredExpr::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    fn or(a: PredExpr, b: PredExpr) -> PredExpr {
+        match (a, b) {
+            (PredExpr::False, x) | (x, PredExpr::False) => x,
+            (PredExpr::True, _) | (_, PredExpr::True) => PredExpr::True,
+            (a, b) => {
+                if a == b {
+                    a
+                } else {
+                    PredExpr::Or(Box::new(a), Box::new(b))
+                }
+            }
+        }
+    }
+
+    /// Number of literals in the expression (a proxy for the predication
+    /// logic cost of a block).
+    pub fn literals(&self) -> usize {
+        match self {
+            PredExpr::True | PredExpr::False => 0,
+            PredExpr::Taken(_) | PredExpr::NotTaken(_) => 1,
+            PredExpr::And(a, b) | PredExpr::Or(a, b) => a.literals() + b.literals(),
+        }
+    }
+
+    /// Evaluate under a branch-outcome assignment (used by tests to check
+    /// the expressions agree with the simulator's recursive computation).
+    pub fn eval(&self, taken: &dyn Fn(usize) -> Option<bool>) -> bool {
+        match self {
+            PredExpr::True => true,
+            PredExpr::False => false,
+            PredExpr::Taken(b) => taken(*b) == Some(true),
+            PredExpr::NotTaken(b) => taken(*b) == Some(false),
+            PredExpr::And(a, c) => a.eval(taken) && c.eval(taken),
+            PredExpr::Or(a, c) => a.eval(taken) || c.eval(taken),
+        }
+    }
+
+    /// Render as a VHDL boolean expression over `blkN_taken` signals.
+    pub fn to_vhdl(&self) -> String {
+        match self {
+            PredExpr::True => "'1'".into(),
+            PredExpr::False => "'0'".into(),
+            PredExpr::Taken(b) => format!("blk{b}_taken = '1'"),
+            PredExpr::NotTaken(b) => format!("blk{b}_taken = '0'"),
+            PredExpr::And(a, c) => format!("({} and {})", a.to_vhdl(), c.to_vhdl()),
+            PredExpr::Or(a, c) => format!("({} or {})", a.to_vhdl(), c.to_vhdl()),
+        }
+    }
+}
+
+impl fmt::Display for PredExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredExpr::True => write!(f, "1"),
+            PredExpr::False => write!(f, "0"),
+            PredExpr::Taken(b) => write!(f, "t{b}"),
+            PredExpr::NotTaken(b) => write!(f, "!t{b}"),
+            PredExpr::And(a, c) => write!(f, "({a} & {c})"),
+            PredExpr::Or(a, c) => write!(f, "({a} | {c})"),
+        }
+    }
+}
+
+/// Compute the enable expression of every block. Blocks are topologically
+/// ordered (predecessors have smaller ids post-unrolling), so one forward
+/// pass suffices.
+pub fn block_predicates(blocks: &[BlockInfo]) -> Vec<PredExpr> {
+    let mut preds: Vec<PredExpr> = Vec::with_capacity(blocks.len());
+    for (b, info) in blocks.iter().enumerate() {
+        let expr = if b == 0 {
+            PredExpr::True
+        } else {
+            let mut acc = PredExpr::False;
+            for &(p, cond) in &info.preds {
+                let edge = match cond {
+                    EdgeCond::Always => PredExpr::True,
+                    EdgeCond::IfTaken => PredExpr::Taken(p),
+                    EdgeCond::IfNotTaken => PredExpr::NotTaken(p),
+                };
+                let term = PredExpr::and(preds[p].clone(), edge);
+                acc = PredExpr::or(acc, term);
+            }
+            acc
+        };
+        preds.push(expr);
+    }
+    preds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Compiler;
+    use ehdl_ebpf::asm::Asm;
+    use ehdl_ebpf::opcode::{JmpOp, MemSize};
+    use ehdl_ebpf::Program;
+
+    fn diamond() -> Vec<BlockInfo> {
+        let mut a = Asm::new();
+        let els = a.new_label();
+        let join = a.new_label();
+        a.load(MemSize::W, 2, 1, 8);
+        a.jmp_imm(JmpOp::Jeq, 2, 0, els);
+        a.mov64_imm(0, 2);
+        a.jmp(join);
+        a.bind(els);
+        a.mov64_imm(0, 1);
+        a.bind(join);
+        a.exit();
+        Compiler::new().compile(&Program::from_insns(a.into_insns())).unwrap().blocks
+    }
+
+    #[test]
+    fn diamond_predicates() {
+        let preds = block_predicates(&diamond());
+        assert_eq!(preds[0], PredExpr::True);
+        assert_eq!(preds[1], PredExpr::NotTaken(0));
+        assert_eq!(preds[2], PredExpr::Taken(0));
+        // The join is enabled either way; expression simplifies to an OR
+        // of the two arms.
+        assert_eq!(preds[3], PredExpr::Or(Box::new(PredExpr::NotTaken(0)), Box::new(PredExpr::Taken(0))));
+        assert_eq!(preds[3].literals(), 2);
+    }
+
+    #[test]
+    fn eval_matches_paths() {
+        let preds = block_predicates(&diamond());
+        // Branch taken: else arm enabled, then arm disabled, join enabled.
+        let taken = |b: usize| (b == 0).then_some(true);
+        assert!(preds[2].eval(&taken));
+        assert!(!preds[1].eval(&taken));
+        assert!(preds[3].eval(&taken));
+        // Not taken: the other way around.
+        let not_taken = |b: usize| (b == 0).then_some(false);
+        assert!(preds[1].eval(&not_taken));
+        assert!(!preds[2].eval(&not_taken));
+        assert!(preds[3].eval(&not_taken));
+    }
+
+    #[test]
+    fn vhdl_rendering() {
+        let preds = block_predicates(&diamond());
+        assert_eq!(preds[0].to_vhdl(), "'1'");
+        assert_eq!(preds[1].to_vhdl(), "blk0_taken = '0'");
+        assert!(preds[3].to_vhdl().contains(" or "));
+    }
+
+    #[test]
+    fn nested_conditions_compose() {
+        // if A { if B { X } } — X's enable is (!tA & !tB) style conjunction.
+        let mut a = Asm::new();
+        let out1 = a.new_label();
+        let out2 = a.new_label();
+        a.load(MemSize::W, 2, 1, 8);
+        a.jmp_imm(JmpOp::Jeq, 2, 0, out1);
+        a.load(MemSize::W, 3, 1, 12);
+        a.jmp_imm(JmpOp::Jeq, 3, 0, out2);
+        a.mov64_imm(4, 1); // the innermost block
+        a.bind(out1);
+        a.bind(out2);
+        a.mov64_imm(0, 2);
+        a.exit();
+        let design = Compiler::new().compile(&Program::from_insns(a.into_insns())).unwrap();
+        let preds = block_predicates(&design.blocks);
+        // The innermost block is enabled only when both branches fell
+        // through.
+        let inner = 2; // block ids: 0 entry, 1 second-check, 2 inner, 3 join
+        assert_eq!(
+            preds[inner],
+            PredExpr::And(Box::new(PredExpr::NotTaken(0)), Box::new(PredExpr::NotTaken(1)))
+        );
+    }
+
+    #[test]
+    fn predicates_agree_with_real_designs() {
+        for app in [
+            ehdl_programs_stub::toy_counter(),
+        ] {
+            let design = Compiler::new().compile(&app).unwrap();
+            let preds = block_predicates(&design.blocks);
+            assert_eq!(preds.len(), design.blocks.len());
+            assert_eq!(preds[0], PredExpr::True);
+        }
+    }
+
+    /// A minimal stand-in for `ehdl-programs` (which would be a circular
+    /// dev-dependency): the Listing-1 shape.
+    mod ehdl_programs_stub {
+        use super::*;
+        pub fn toy_counter() -> Program {
+            let mut a = Asm::new();
+            let v6 = a.new_label();
+            let out = a.new_label();
+            a.load(MemSize::W, 7, 1, 0);
+            a.load(MemSize::B, 2, 7, 12);
+            a.jmp_imm(JmpOp::Jeq, 2, 0x86, v6);
+            a.mov64_imm(3, 1);
+            a.jmp(out);
+            a.bind(v6);
+            a.mov64_imm(3, 2);
+            a.bind(out);
+            a.mov64_reg(0, 3);
+            a.exit();
+            Program::from_insns(a.into_insns())
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! State pruning (§4.3).
+//!
+//! Each stage physically carries a copy of the program state to the next
+//! stage; without pruning that is 11 × 8 B of registers plus 512 B of stack
+//! per stage. The pruning pass computes, per stage boundary, which
+//! registers and which stack bytes can still be *used* downstream, and
+//! keeps only those — the optimization that reduces Listing 1's per-stage
+//! memory from over 2 KB to 88 B (§4.4).
+//!
+//! Liveness must respect predication: a write performed in a *conditionally
+//! enabled* stage cannot end the previous value's lifetime, because when
+//! the stage is disabled the old value flows through. A write kills a
+//! pending use only if the writing block dominates every block still
+//! waiting to read the value.
+
+use crate::ddg::effects;
+use crate::ir::{Interval, Resource};
+use crate::pipeline::{BlockInfo, Stage};
+use ehdl_ebpf::vm::STACK_SIZE;
+
+/// Pruning results: what state each stage boundary must carry.
+#[derive(Debug, Clone)]
+pub struct PruneInfo {
+    /// Per stage: bitmask of registers the stage must receive.
+    pub live_regs: Vec<u16>,
+    /// Per stage: number of live stack bytes the stage must receive.
+    pub live_stack_bytes: Vec<usize>,
+    /// Per stage: live stack byte map (bit per byte, 512 bits).
+    pub live_stack: Vec<Box<[u64; 8]>>,
+    /// Whether pruning was enabled (false = §5.4 ablation baseline).
+    pub enabled: bool,
+}
+
+impl PruneInfo {
+    /// Total register-slots carried across all boundaries.
+    pub fn total_reg_slots(&self) -> usize {
+        self.live_regs.iter().map(|m| m.count_ones() as usize).sum()
+    }
+
+    /// Total stack bytes carried across all boundaries.
+    pub fn total_stack_bytes(&self) -> usize {
+        self.live_stack_bytes.iter().sum()
+    }
+
+    /// Histogram entry helpers for the §4.4 shape assertions.
+    pub fn stages_with_regs(&self, n: usize) -> usize {
+        self.live_regs.iter().filter(|m| m.count_ones() as usize == n).count()
+    }
+}
+
+/// Dominator sets over the effective (assembled) control structure.
+fn dominators(blocks: &[BlockInfo]) -> Vec<Vec<bool>> {
+    let n = blocks.len();
+    let mut dom = vec![vec![true; n]; n];
+    if n == 0 {
+        return dom;
+    }
+    dom[0] = vec![false; n];
+    dom[0][0] = true;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 1..n {
+            if blocks[b].preds.is_empty() {
+                continue; // unreachable (or entry)
+            }
+            let mut new: Vec<bool> = vec![true; n];
+            for (p, _) in &blocks[b].preds {
+                for (i, val) in new.iter_mut().enumerate() {
+                    *val = *val && dom[*p][i];
+                }
+            }
+            new[b] = true;
+            if new != dom[b] {
+                dom[b] = new;
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+/// Run the liveness analysis over the final stage list.
+///
+/// With `enabled == false` the result reports the unpruned baseline: all
+/// eleven registers and the full stack live at every boundary.
+pub fn analyze(stages: &[Stage], blocks: &[BlockInfo], enabled: bool) -> PruneInfo {
+    let n = stages.len();
+    if !enabled {
+        return PruneInfo {
+            live_regs: vec![0x7ff; n],
+            live_stack_bytes: vec![STACK_SIZE as usize; n],
+            live_stack: vec![Box::new([u64::MAX; 8]); n],
+            enabled: false,
+        };
+    }
+
+    let dom = dominators(blocks);
+    let nb = blocks.len();
+
+    // Pending-use block sets: for each register and stack byte, the set of
+    // blocks that still need the value downstream of the cursor.
+    let mut reg_pending: Vec<Vec<bool>> = vec![vec![false; nb]; 11];
+    let mut stack_pending: Vec<Vec<bool>> = vec![vec![false; nb]; STACK_SIZE as usize];
+
+    let mut live_regs = vec![0u16; n];
+    let mut live_stack_bytes = vec![0usize; n];
+    let mut live_stack: Vec<Box<[u64; 8]>> = vec![Box::new([0u64; 8]); n];
+
+    let stack_idx = |off: i64| -> Option<usize> {
+        // Stack offsets are negative from r10 (= stack top).
+        if (-(STACK_SIZE as i64)..0).contains(&off) {
+            Some((off + STACK_SIZE as i64) as usize)
+        } else {
+            None
+        }
+    };
+
+    for i in (0..n).rev() {
+        let stage = &stages[i];
+        let b = stage.block;
+
+        // Writes first kill dominated pending uses, then reads create new
+        // pending uses — but inside one stage all ops act on the *input*
+        // state, so process kills from writes and then add reads (ops in a
+        // stage are parallel: reads see the incoming boundary).
+        for op in &stage.ops {
+            let eff = effects(op);
+            for w in &eff.writes {
+                match *w {
+                    Resource::Reg(r) => {
+                        let pend = &mut reg_pending[r as usize];
+                        for u in 0..nb {
+                            if pend[u] && dom[u][b] {
+                                pend[u] = false;
+                            }
+                        }
+                    }
+                    Resource::Stack(iv) => {
+                        if iv.is_top() {
+                            continue;
+                        }
+                        for off in iv.lo..=iv.hi {
+                            if let Some(s) = stack_idx(off) {
+                                let pend = &mut stack_pending[s];
+                                for u in 0..nb {
+                                    if pend[u] && dom[u][b] {
+                                        pend[u] = false;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for op in &stage.ops {
+            let eff = effects(op);
+            for r in &eff.reads {
+                match *r {
+                    Resource::Reg(reg) => reg_pending[reg as usize][b] = true,
+                    Resource::Stack(iv) => {
+                        let (lo, hi) = if iv.is_top() {
+                            (-(STACK_SIZE as i64), -1)
+                        } else {
+                            (iv.lo, iv.hi)
+                        };
+                        for off in lo..=hi {
+                            if let Some(s) = stack_idx(off) {
+                                stack_pending[s][b] = true;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Record the boundary entering this stage.
+        let mut mask = 0u16;
+        for (r, pend) in reg_pending.iter().enumerate() {
+            if pend.iter().any(|&x| x) {
+                mask |= 1 << r;
+            }
+        }
+        live_regs[i] = mask;
+        let mut count = 0usize;
+        let mut bits = [0u64; 8];
+        for (s, pend) in stack_pending.iter().enumerate() {
+            if pend.iter().any(|&x| x) {
+                count += 1;
+                bits[s / 64] |= 1 << (s % 64);
+            }
+        }
+        live_stack_bytes[i] = count;
+        live_stack[i] = Box::new(bits);
+    }
+
+    PruneInfo { live_regs, live_stack_bytes, live_stack, enabled: true }
+}
+
+/// Convenience: the interval of stack bytes a design ever keeps live.
+pub fn max_live_stack(info: &PruneInfo) -> usize {
+    info.live_stack_bytes.iter().copied().max().unwrap_or(0)
+}
+
+/// The `Interval` helper re-exported for resource accounting.
+pub type StackInterval = Interval;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::ddg;
+    use crate::fusion::{lower, FusionOptions};
+    use crate::label::label;
+    use crate::pipeline::assemble;
+    use crate::schedule::schedule;
+    use ehdl_ebpf::asm::Asm;
+    use ehdl_ebpf::opcode::{AluOp, JmpOp, MemSize};
+    use ehdl_ebpf::Program;
+
+    fn prune_prog(p: &Program) -> (Vec<Stage>, PruneInfo) {
+        let decoded = p.decode().unwrap();
+        let cfg = Cfg::build(&decoded);
+        let lab = label(p, &decoded, &cfg).unwrap();
+        let lowered = lower(&decoded, &lab, &cfg, FusionOptions { fuse: false, dce: false, elide_bounds_checks: false });
+        let deps = ddg::build(&lowered);
+        let s = schedule(&lowered, &deps, false);
+        let asm = assemble(&lowered, &s);
+        let info = analyze(&asm.stages, &asm.blocks, true);
+        (asm.stages, info)
+    }
+
+    #[test]
+    fn dead_register_not_carried() {
+        let mut a = Asm::new();
+        a.mov64_imm(3, 7); // r3 used immediately then dead
+        a.mov64_reg(4, 3);
+        a.mov64_imm(0, 2); // several stages where r3/r4 are dead
+        a.mov64_imm(5, 1);
+        a.exit();
+        let (stages, info) = prune_prog(&Program::from_insns(a.into_insns()));
+        // r3 is live entering stage 1 (the use), dead entering stage 2+.
+        assert_eq!(stages.len(), 5);
+        assert!(info.live_regs[1] & (1 << 3) != 0);
+        assert!(info.live_regs[2] & (1 << 3) == 0);
+        // r0 is defined at stage 2 and consumed by the exit: live at the
+        // boundaries entering stages 3 and 4, not before its definition.
+        assert!(info.live_regs[2] & 1 == 0);
+        assert!(info.live_regs[3] & 1 != 0);
+        assert!(info.live_regs[4] & 1 != 0);
+    }
+
+    #[test]
+    fn stack_bytes_live_between_store_and_consume() {
+        let mut a = Asm::new();
+        a.mov64_imm(2, 5);
+        a.store_reg(MemSize::W, 10, -4, 2);
+        a.mov64_imm(3, 0); // filler stage
+        a.load(MemSize::W, 0, 10, -4);
+        a.exit();
+        let (_, info) = prune_prog(&Program::from_insns(a.into_insns()));
+        // Boundary entering the filler stage and the load: 4 bytes live.
+        assert_eq!(info.live_stack_bytes[2], 4);
+        assert_eq!(info.live_stack_bytes[3], 4);
+        // After the load consumed it, nothing is live.
+        assert_eq!(info.live_stack_bytes[4], 0);
+    }
+
+    #[test]
+    fn predicated_write_does_not_kill() {
+        // if (c) r3 = 1; use r3 afterwards: r3's incoming value must stay
+        // live through the conditional block.
+        let mut a = Asm::new();
+        let skip = a.new_label();
+        a.mov64_imm(3, 42);
+        a.load(MemSize::W, 2, 1, 8);
+        a.jmp_imm(JmpOp::Jeq, 2, 0, skip);
+        a.mov64_imm(3, 1); // predicated write
+        a.bind(skip);
+        a.mov64_reg(0, 3);
+        a.exit();
+        let (stages, info) = prune_prog(&Program::from_insns(a.into_insns()));
+        // Find the predicated-write stage; r3 must be live *entering* it.
+        let idx = stages
+            .iter()
+            .position(|s| {
+                s.block != 0
+                    && s.ops.iter().any(|o| {
+                        matches!(
+                            o.insn,
+                            crate::ir::HwInsn::Simple(ehdl_ebpf::insn::Instruction::Alu { dst: 3, .. })
+                        )
+                    })
+            })
+            .unwrap();
+        assert!(info.live_regs[idx] & (1 << 3) != 0, "old r3 must flow through");
+    }
+
+    #[test]
+    fn dominating_write_kills() {
+        let mut a = Asm::new();
+        a.mov64_imm(3, 42);
+        a.mov64_imm(4, 0);
+        a.mov64_imm(3, 1); // unconditional redefinition
+        a.alu64_reg(AluOp::Add, 4, 3);
+        a.mov64_reg(0, 4);
+        a.exit();
+        let (_, info) = prune_prog(&Program::from_insns(a.into_insns()));
+        // Entering stage 1 and 2, the *old* r3 (from stage 0) is dead:
+        // stage 2 redefines it before the use at stage 3.
+        assert!(info.live_regs[1] & (1 << 3) == 0);
+        assert!(info.live_regs[2] & (1 << 3) == 0);
+        assert!(info.live_regs[3] & (1 << 3) != 0);
+    }
+
+    #[test]
+    fn disabled_pruning_reports_full_state() {
+        let mut a = Asm::new();
+        a.mov64_imm(0, 2);
+        a.exit();
+        let p = Program::from_insns(a.into_insns());
+        let decoded = p.decode().unwrap();
+        let cfg = Cfg::build(&decoded);
+        let lab = label(&p, &decoded, &cfg).unwrap();
+        let lowered = lower(&decoded, &lab, &cfg, FusionOptions::default());
+        let deps = ddg::build(&lowered);
+        let s = schedule(&lowered, &deps, true);
+        let asm = assemble(&lowered, &s);
+        let info = analyze(&asm.stages, &asm.blocks, false);
+        assert!(info.live_regs.iter().all(|&m| m == 0x7ff));
+        assert!(info.live_stack_bytes.iter().all(|&b| b == 512));
+    }
+}

@@ -1,0 +1,205 @@
+//! Property tests on compiler invariants: schedules respect dependences,
+//! pruning is sound relative to a re-analysis, framing waits are exactly
+//! what late accesses require, and the analytical model is monotone.
+
+use ehdl_core::analytical;
+use ehdl_core::ir::HwInsn;
+use ehdl_core::{Compiler, CompilerOptions};
+use ehdl_ebpf::asm::Asm;
+use ehdl_ebpf::insn::{Instruction, Operand};
+use ehdl_ebpf::opcode::{AluOp, MemSize};
+use ehdl_ebpf::Program;
+use proptest::prelude::*;
+
+/// A random pure-ALU instruction on registers r0-r5.
+#[derive(Debug, Clone, Copy)]
+enum RandAlu {
+    MovImm(u8, i32),
+    AluImm(u8, u8, i32),
+    AluReg(u8, u8, u8),
+}
+
+fn rand_alu() -> impl Strategy<Value = RandAlu> {
+    prop_oneof![
+        (0u8..6, any::<i32>()).prop_map(|(r, i)| RandAlu::MovImm(r, i)),
+        (0u8..8, 0u8..6, any::<i32>()).prop_map(|(op, r, i)| RandAlu::AluImm(op, r, i)),
+        (0u8..8, 0u8..6, 0u8..6).prop_map(|(op, d, s)| RandAlu::AluReg(op, d, s)),
+    ]
+}
+
+const OPS: [AluOp; 8] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Lsh,
+    AluOp::Rsh,
+];
+
+fn build_program(ops: &[RandAlu]) -> Program {
+    let mut a = Asm::new();
+    for op in ops {
+        match *op {
+            RandAlu::MovImm(r, i) => {
+                a.mov64_imm(r, i);
+            }
+            RandAlu::AluImm(op, r, i) => {
+                a.alu64_imm(OPS[op as usize], r, i);
+            }
+            RandAlu::AluReg(op, d, s) => {
+                a.alu64_reg(OPS[op as usize], d, s);
+            }
+        }
+    }
+    a.mov64_imm(0, 2);
+    a.exit();
+    Program::from_insns(a.into_insns())
+}
+
+/// Registers an op reads/writes (mirror of the scheduler's model, kept
+/// deliberately simple for the test oracle).
+fn rw_of(insn: &HwInsn) -> (Vec<u8>, Vec<u8>) {
+    match *insn {
+        HwInsn::Alu3 { dst, a, b, .. } => {
+            let mut reads = vec![a];
+            if let Operand::Reg(r) = b {
+                reads.push(r);
+            }
+            (reads, vec![dst])
+        }
+        HwInsn::Simple(Instruction::Alu { op, dst, src, .. }) => {
+            let mut reads = if op == AluOp::Mov { vec![] } else { vec![dst] };
+            if let Operand::Reg(r) = src {
+                reads.push(r);
+            }
+            (reads, vec![dst])
+        }
+        HwInsn::Simple(Instruction::Exit) => (vec![0], vec![]),
+        _ => (vec![], vec![]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every compiled schedule places a RAW/WAW-dependent instruction in a
+    /// strictly later stage than its producer, within each block.
+    #[test]
+    fn schedule_respects_hard_deps(ops in prop::collection::vec(rand_alu(), 1..60)) {
+        let program = build_program(&ops);
+        let design = Compiler::new().compile(&program).unwrap();
+        // Straight-line ALU program: everything is in one block; walk the
+        // stages and track, per register, the last stage that wrote it.
+        let mut last_write: [Option<usize>; 11] = [None; 11];
+        for (s, stage) in design.stages.iter().enumerate() {
+            // Within a stage: reads observe the incoming state, so compare
+            // against writes from strictly earlier stages only.
+            for op in &stage.ops {
+                let (reads, _) = rw_of(&op.insn);
+                for r in reads {
+                    if let Some(w) = last_write[r as usize] {
+                        prop_assert!(
+                            w < s,
+                            "read of r{r} at stage {s} must follow its write at {w}"
+                        );
+                    }
+                }
+            }
+            for op in &stage.ops {
+                let (_, writes) = rw_of(&op.insn);
+                for r in writes {
+                    // WAW within one stage is forbidden.
+                    prop_assert!(
+                        last_write[r as usize] != Some(s),
+                        "two writes of r{r} in stage {s}"
+                    );
+                    last_write[r as usize] = Some(s);
+                }
+            }
+        }
+    }
+
+    /// Disabling optimizations never changes the number of exit stages and
+    /// never produces an empty pipeline; stage counts are ordered.
+    #[test]
+    fn option_monotonicity(ops in prop::collection::vec(rand_alu(), 1..40)) {
+        let program = build_program(&ops);
+        let full = Compiler::new().compile(&program).unwrap();
+        let nopar = Compiler::with_options(CompilerOptions { parallelize: false, ..Default::default() })
+            .compile(&program)
+            .unwrap();
+        let nofuse = Compiler::with_options(CompilerOptions { fusion: false, dce: false, ..Default::default() })
+            .compile(&program)
+            .unwrap();
+        prop_assert!(full.stage_count() >= 1);
+        prop_assert!(full.stage_count() <= nopar.stage_count());
+        prop_assert!(full.stats.hw_insns <= nofuse.stats.hw_insns);
+        prop_assert_eq!(full.exit_stages().len(), 1);
+    }
+
+    /// Pruned liveness is a subset of the unpruned (full) state, and the
+    /// pruned design never carries registers the analysis says are dead.
+    #[test]
+    fn prune_is_subset(ops in prop::collection::vec(rand_alu(), 1..40)) {
+        let program = build_program(&ops);
+        let design = Compiler::new().compile(&program).unwrap();
+        for mask in &design.prune.live_regs {
+            prop_assert_eq!(mask & !0x7ff, 0, "only r0-r10 exist");
+        }
+        // r10 is never written, so it can only be live where used; the
+        // final stage (exit) needs nothing but r0.
+        let last = *design.prune.live_regs.last().unwrap();
+        prop_assert_eq!(last & !1, 0, "exit stage carries at most r0");
+    }
+
+    /// Framing: a single load at packet offset `off` in the first stage
+    /// forces exactly `off / frame_size` wait stages.
+    #[test]
+    fn framing_wait_count(off in 0i64..1400, frame_sel in 0usize..3) {
+        let frame_size = [32usize, 64, 128][frame_sel];
+        let mut a = Asm::new();
+        a.load(MemSize::W, 7, 1, 0);
+        a.load(MemSize::B, 2, 7, off as i16);
+        a.mov64_imm(0, 2);
+        a.exit();
+        let program = Program::from_insns(a.into_insns());
+        let design = Compiler::with_options(CompilerOptions { frame_size, ..Default::default() })
+            .compile(&program)
+            .unwrap();
+        let frame = off as usize / frame_size;
+        // The load lands in stage 1 (after the ctx load) at the earliest;
+        // waits are needed only if the frame arrives later than that.
+        let expected = frame.saturating_sub(1);
+        prop_assert_eq!(design.framing.wait_stages, expected);
+        prop_assert_eq!(design.framing.max_bypass, frame);
+    }
+
+    /// Analytical model: flush probability increases with the window and
+    /// decreases with flow count; throughput decreases with both K and pf.
+    #[test]
+    fn analytical_monotone(l in 2usize..30, n in 100usize..100_000, k in 1usize..200) {
+        let pf1 = analytical::p_flush_zipf(l, n);
+        let pf2 = analytical::p_flush_zipf(l + 1, n);
+        prop_assert!(pf2 >= pf1 - 1e-12);
+        let pu1 = analytical::p_flush_uniform(l, n);
+        let pu2 = analytical::p_flush_uniform(l, n * 2);
+        prop_assert!(pu2 <= pu1 + 1e-12);
+        let t1 = analytical::throughput(analytical::PEAK_PPS, k, pf1);
+        let t2 = analytical::throughput(analytical::PEAK_PPS, k + 1, pf1);
+        prop_assert!(t2 <= t1 + 1e-9);
+        prop_assert!(t1 <= analytical::PEAK_PPS + 1e-9);
+    }
+
+    /// The VHDL emitter always produces a well-formed skeleton.
+    #[test]
+    fn vhdl_always_well_formed(ops in prop::collection::vec(rand_alu(), 1..30)) {
+        let program = build_program(&ops);
+        let design = Compiler::new().compile(&program).unwrap();
+        let v = ehdl_core::vhdl::emit(&design);
+        prop_assert!(v.contains("entity"));
+        prop_assert!(v.contains("end architecture rtl;"));
+        prop_assert_eq!(v.matches("rising_edge(clk)").count(), design.stage_count());
+    }
+}

@@ -1,0 +1,313 @@
+//! A small eBPF assembler with label-based control flow.
+//!
+//! [`Asm`] is a builder producing raw [`Insn`] words. Branch targets are
+//! symbolic [`Label`]s, resolved when the program is finalized, so programs
+//! read like the kernel-style bytecode listings in the paper.
+//!
+//! ```
+//! use ehdl_ebpf::asm::Asm;
+//! use ehdl_ebpf::opcode::{JmpOp, MemSize};
+//!
+//! let mut a = Asm::new();
+//! let drop = a.new_label();
+//! a.load(MemSize::H, 2, 1, 12);        // r2 = *(u16*)(pkt + 12)
+//! a.jmp_imm(JmpOp::Jne, 2, 0x0008, drop);
+//! a.mov64_imm(0, 3);                    // XDP_TX
+//! a.exit();
+//! a.bind(drop);
+//! a.mov64_imm(0, 1);                    // XDP_DROP
+//! a.exit();
+//! let insns = a.into_insns();
+//! assert_eq!(insns.len(), 6);
+//! ```
+
+use crate::insn::Insn;
+use crate::opcode::{AluOp, AtomicOp, Class, JmpOp, MemSize, Mode, PSEUDO_MAP_FD};
+
+/// A symbolic branch target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+#[derive(Debug, Clone, Copy)]
+struct Fixup {
+    insn_idx: usize,
+    label: Label,
+}
+
+/// Builder for eBPF instruction streams.
+///
+/// All emit methods append exactly one slot (two for `ld_imm64` variants)
+/// and return `&mut self` for chaining.
+#[derive(Debug, Default)]
+pub struct Asm {
+    insns: Vec<Insn>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<Fixup>,
+}
+
+impl Asm {
+    /// Create an empty assembler.
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Current slot index (where the next instruction will land).
+    pub fn here(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Allocate a fresh unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) -> &mut Asm {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.insns.len());
+        self
+    }
+
+    fn push(&mut self, insn: Insn) -> &mut Asm {
+        self.insns.push(insn);
+        self
+    }
+
+    // ---- ALU -----------------------------------------------------------
+
+    /// `dst = dst op src` (64-bit).
+    pub fn alu64_reg(&mut self, op: AluOp, dst: u8, src: u8) -> &mut Asm {
+        self.push(Insn { opcode: op.bits() | 0x08 | Class::Alu64.bits(), dst, src, off: 0, imm: 0 })
+    }
+
+    /// `dst = dst op imm` (64-bit).
+    pub fn alu64_imm(&mut self, op: AluOp, dst: u8, imm: i32) -> &mut Asm {
+        self.push(Insn { opcode: op.bits() | Class::Alu64.bits(), dst, src: 0, off: 0, imm })
+    }
+
+    /// `dst = dst op src` (32-bit, zero-extending).
+    pub fn alu32_reg(&mut self, op: AluOp, dst: u8, src: u8) -> &mut Asm {
+        self.push(Insn { opcode: op.bits() | 0x08 | Class::Alu32.bits(), dst, src, off: 0, imm: 0 })
+    }
+
+    /// `dst = dst op imm` (32-bit, zero-extending).
+    pub fn alu32_imm(&mut self, op: AluOp, dst: u8, imm: i32) -> &mut Asm {
+        self.push(Insn { opcode: op.bits() | Class::Alu32.bits(), dst, src: 0, off: 0, imm })
+    }
+
+    /// `dst = src` (64-bit move).
+    pub fn mov64_reg(&mut self, dst: u8, src: u8) -> &mut Asm {
+        self.alu64_reg(AluOp::Mov, dst, src)
+    }
+
+    /// `dst = imm` (64-bit move of sign-extended immediate).
+    pub fn mov64_imm(&mut self, dst: u8, imm: i32) -> &mut Asm {
+        self.alu64_imm(AluOp::Mov, dst, imm)
+    }
+
+    /// `w(dst) = imm` (32-bit move).
+    pub fn mov32_imm(&mut self, dst: u8, imm: i32) -> &mut Asm {
+        self.alu32_imm(AluOp::Mov, dst, imm)
+    }
+
+    /// `w(dst) = w(src)` (32-bit move).
+    pub fn mov32_reg(&mut self, dst: u8, src: u8) -> &mut Asm {
+        self.alu32_reg(AluOp::Mov, dst, src)
+    }
+
+    /// `dst = bswap_be(dst)` — convert to big-endian (`bits` ∈ {16,32,64}).
+    pub fn to_be(&mut self, dst: u8, bits: i32) -> &mut Asm {
+        self.push(Insn { opcode: AluOp::End.bits() | 0x08 | Class::Alu32.bits(), dst, src: 0, off: 0, imm: bits })
+    }
+
+    /// `dst = bswap_le(dst)` — convert to little-endian.
+    pub fn to_le(&mut self, dst: u8, bits: i32) -> &mut Asm {
+        self.push(Insn { opcode: AluOp::End.bits() | Class::Alu32.bits(), dst, src: 0, off: 0, imm: bits })
+    }
+
+    // ---- Loads/stores ---------------------------------------------------
+
+    /// `dst = *(size*)(src + off)`.
+    pub fn load(&mut self, size: MemSize, dst: u8, src: u8, off: i16) -> &mut Asm {
+        self.push(Insn { opcode: size.bits() | Mode::Mem.bits() | Class::Ldx.bits(), dst, src, off, imm: 0 })
+    }
+
+    /// `*(size*)(dst + off) = src`.
+    pub fn store_reg(&mut self, size: MemSize, dst: u8, off: i16, src: u8) -> &mut Asm {
+        self.push(Insn { opcode: size.bits() | Mode::Mem.bits() | Class::Stx.bits(), dst, src, off, imm: 0 })
+    }
+
+    /// `*(size*)(dst + off) = imm`.
+    pub fn store_imm(&mut self, size: MemSize, dst: u8, off: i16, imm: i32) -> &mut Asm {
+        self.push(Insn { opcode: size.bits() | Mode::Mem.bits() | Class::St.bits(), dst, src: 0, off, imm })
+    }
+
+    /// Atomic `lock *(size*)(dst + off) op= src` (optionally fetching).
+    pub fn atomic(&mut self, op: AtomicOp, size: MemSize, dst: u8, off: i16, src: u8) -> &mut Asm {
+        debug_assert!(matches!(size, MemSize::W | MemSize::Dw), "atomics are W/DW only");
+        self.push(Insn {
+            opcode: size.bits() | Mode::Atomic.bits() | Class::Stx.bits(),
+            dst,
+            src,
+            off,
+            imm: op.imm(),
+        })
+    }
+
+    /// `lock *(u64*)(dst + off) += src` — the common statistics idiom.
+    pub fn atomic_add64(&mut self, dst: u8, off: i16, src: u8) -> &mut Asm {
+        self.atomic(AtomicOp::Add { fetch: false }, MemSize::Dw, dst, off, src)
+    }
+
+    /// Load a 64-bit immediate (two slots).
+    pub fn ld_imm64(&mut self, dst: u8, imm: u64) -> &mut Asm {
+        self.push(Insn { opcode: 0x18, dst, src: 0, off: 0, imm: imm as u32 as i32 });
+        self.push(Insn { opcode: 0, dst: 0, src: 0, off: 0, imm: (imm >> 32) as u32 as i32 })
+    }
+
+    /// Load a map reference (pseudo `ld_imm64` carrying a map id).
+    pub fn ld_map_fd(&mut self, dst: u8, map_id: u32) -> &mut Asm {
+        self.push(Insn { opcode: 0x18, dst, src: PSEUDO_MAP_FD, off: 0, imm: map_id as i32 });
+        self.push(Insn { opcode: 0, dst: 0, src: 0, off: 0, imm: 0 })
+    }
+
+    // ---- Control flow ---------------------------------------------------
+
+    /// Unconditional `goto label`.
+    pub fn jmp(&mut self, label: Label) -> &mut Asm {
+        self.fixups.push(Fixup { insn_idx: self.insns.len(), label });
+        self.push(Insn { opcode: JmpOp::Ja.bits() | Class::Jmp.bits(), dst: 0, src: 0, off: 0, imm: 0 })
+    }
+
+    /// `if dst op imm goto label` (64-bit compare).
+    pub fn jmp_imm(&mut self, op: JmpOp, dst: u8, imm: i32, label: Label) -> &mut Asm {
+        self.fixups.push(Fixup { insn_idx: self.insns.len(), label });
+        self.push(Insn { opcode: op.bits() | Class::Jmp.bits(), dst, src: 0, off: 0, imm })
+    }
+
+    /// `if dst op src goto label` (64-bit compare).
+    pub fn jmp_reg(&mut self, op: JmpOp, dst: u8, src: u8, label: Label) -> &mut Asm {
+        self.fixups.push(Fixup { insn_idx: self.insns.len(), label });
+        self.push(Insn { opcode: op.bits() | 0x08 | Class::Jmp.bits(), dst, src, off: 0, imm: 0 })
+    }
+
+    /// `if w(dst) op imm goto label` (32-bit compare).
+    pub fn jmp32_imm(&mut self, op: JmpOp, dst: u8, imm: i32, label: Label) -> &mut Asm {
+        self.fixups.push(Fixup { insn_idx: self.insns.len(), label });
+        self.push(Insn { opcode: op.bits() | Class::Jmp32.bits(), dst, src: 0, off: 0, imm })
+    }
+
+    /// `call helper`.
+    pub fn call(&mut self, helper: u32) -> &mut Asm {
+        self.push(Insn {
+            opcode: JmpOp::Call.bits() | Class::Jmp.bits(),
+            dst: 0,
+            src: 0,
+            off: 0,
+            imm: helper as i32,
+        })
+    }
+
+    /// `exit`.
+    pub fn exit(&mut self) -> &mut Asm {
+        self.push(Insn { opcode: JmpOp::Exit.bits() | Class::Jmp.bits(), dst: 0, src: 0, off: 0, imm: 0 })
+    }
+
+    /// Resolve all labels and return the raw instruction stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound, or if a branch
+    /// displacement overflows 16 bits.
+    pub fn into_insns(self) -> Vec<Insn> {
+        let Asm { mut insns, labels, fixups } = self;
+        for f in fixups {
+            let target = labels[f.label.0].expect("unbound label referenced by a branch");
+            let disp = target as i64 - f.insn_idx as i64 - 1;
+            assert!(
+                i16::try_from(disp).is_ok(),
+                "branch displacement {disp} overflows 16 bits"
+            );
+            insns[f.insn_idx].off = disp as i16;
+        }
+        insns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{decode, Instruction, Operand};
+    use crate::opcode::Width;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        let top = a.new_label();
+        let out = a.new_label();
+        a.mov64_imm(1, 3);
+        a.bind(top);
+        a.alu64_imm(AluOp::Sub, 1, 1);
+        a.jmp_imm(JmpOp::Jeq, 1, 0, out);
+        a.jmp(top);
+        a.bind(out);
+        a.exit();
+        let insns = a.into_insns();
+        // jeq at slot 2 targets slot 4, ja at slot 3 targets slot 1.
+        assert_eq!(insns[2].off, 1);
+        assert_eq!(insns[3].off, -3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.jmp(l);
+        let _ = a.into_insns();
+    }
+
+    #[test]
+    fn alu32_decodes_with_w32() {
+        let mut a = Asm::new();
+        a.alu32_imm(AluOp::Add, 3, 9);
+        a.exit();
+        let d = decode(&a.into_insns()).unwrap();
+        assert_eq!(
+            d[0].insn,
+            Instruction::Alu { op: AluOp::Add, width: Width::W32, dst: 3, src: Operand::Imm(9) }
+        );
+    }
+
+    #[test]
+    fn endian_encodes() {
+        let mut a = Asm::new();
+        a.to_be(4, 16);
+        a.exit();
+        let d = decode(&a.into_insns()).unwrap();
+        assert_eq!(d[0].insn, Instruction::Endian { dst: 4, bits: 16, to_be: true });
+    }
+
+    #[test]
+    fn atomic_add_encodes() {
+        let mut a = Asm::new();
+        a.atomic_add64(1, 0, 2);
+        a.exit();
+        let d = decode(&a.into_insns()).unwrap();
+        assert_eq!(
+            d[0].insn,
+            Instruction::Atomic {
+                op: AtomicOp::Add { fetch: false },
+                size: MemSize::Dw,
+                dst: 1,
+                off: 0,
+                src: 2
+            }
+        );
+    }
+}

@@ -1,0 +1,501 @@
+//! Raw eBPF opcode encoding constants and decoded opcode enums.
+//!
+//! The low three bits of an opcode byte select the instruction *class*; the
+//! remaining bits select the operation, operand source and access size,
+//! following `linux/bpf.h`.
+
+/// Instruction class (low 3 bits of the opcode byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// Non-standard load (used for 64-bit immediate loads).
+    Ld,
+    /// Load from register-addressed memory.
+    Ldx,
+    /// Store immediate to memory.
+    St,
+    /// Store register to memory (also carries atomic ops).
+    Stx,
+    /// 32-bit ALU.
+    Alu32,
+    /// 64-bit jumps.
+    Jmp,
+    /// 32-bit jumps.
+    Jmp32,
+    /// 64-bit ALU.
+    Alu64,
+}
+
+impl Class {
+    /// Decode the class from an opcode byte.
+    pub fn of(opcode: u8) -> Class {
+        match opcode & 0x07 {
+            0x00 => Class::Ld,
+            0x01 => Class::Ldx,
+            0x02 => Class::St,
+            0x03 => Class::Stx,
+            0x04 => Class::Alu32,
+            0x05 => Class::Jmp,
+            0x06 => Class::Jmp32,
+            _ => Class::Alu64,
+        }
+    }
+
+    /// The class bits for encoding.
+    pub fn bits(self) -> u8 {
+        match self {
+            Class::Ld => 0x00,
+            Class::Ldx => 0x01,
+            Class::St => 0x02,
+            Class::Stx => 0x03,
+            Class::Alu32 => 0x04,
+            Class::Jmp => 0x05,
+            Class::Jmp32 => 0x06,
+            Class::Alu64 => 0x07,
+        }
+    }
+}
+
+/// ALU operation (bits 4–7 of an ALU-class opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Or,
+    And,
+    Lsh,
+    Rsh,
+    Neg,
+    Mod,
+    Xor,
+    Mov,
+    Arsh,
+    /// Byte-swap family (`le16/le32/le64`, `be16/be32/be64`).
+    End,
+}
+
+impl AluOp {
+    /// Decode from the high nibble of the opcode byte.
+    pub fn from_bits(bits: u8) -> Option<AluOp> {
+        Some(match bits & 0xf0 {
+            0x00 => AluOp::Add,
+            0x10 => AluOp::Sub,
+            0x20 => AluOp::Mul,
+            0x30 => AluOp::Div,
+            0x40 => AluOp::Or,
+            0x50 => AluOp::And,
+            0x60 => AluOp::Lsh,
+            0x70 => AluOp::Rsh,
+            0x80 => AluOp::Neg,
+            0x90 => AluOp::Mod,
+            0xa0 => AluOp::Xor,
+            0xb0 => AluOp::Mov,
+            0xc0 => AluOp::Arsh,
+            0xd0 => AluOp::End,
+            _ => return None,
+        })
+    }
+
+    /// Encode to the high nibble of the opcode byte.
+    pub fn bits(self) -> u8 {
+        match self {
+            AluOp::Add => 0x00,
+            AluOp::Sub => 0x10,
+            AluOp::Mul => 0x20,
+            AluOp::Div => 0x30,
+            AluOp::Or => 0x40,
+            AluOp::And => 0x50,
+            AluOp::Lsh => 0x60,
+            AluOp::Rsh => 0x70,
+            AluOp::Neg => 0x80,
+            AluOp::Mod => 0x90,
+            AluOp::Xor => 0xa0,
+            AluOp::Mov => 0xb0,
+            AluOp::Arsh => 0xc0,
+            AluOp::End => 0xd0,
+        }
+    }
+
+    /// Mnemonic used by the disassembler (`+=`, `-=` style handled there).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            AluOp::Add => "+=",
+            AluOp::Sub => "-=",
+            AluOp::Mul => "*=",
+            AluOp::Div => "/=",
+            AluOp::Or => "|=",
+            AluOp::And => "&=",
+            AluOp::Lsh => "<<=",
+            AluOp::Rsh => ">>=",
+            AluOp::Neg => "neg",
+            AluOp::Mod => "%=",
+            AluOp::Xor => "^=",
+            AluOp::Mov => "=",
+            AluOp::Arsh => "s>>=",
+            AluOp::End => "endian",
+        }
+    }
+}
+
+/// Jump condition (bits 4–7 of a JMP-class opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JmpOp {
+    /// Unconditional jump.
+    Ja,
+    Jeq,
+    Jgt,
+    Jge,
+    /// Jump if `dst & src`.
+    Jset,
+    Jne,
+    Jsgt,
+    Jsge,
+    /// Helper call (not a branch).
+    Call,
+    /// Program exit.
+    Exit,
+    Jlt,
+    Jle,
+    Jslt,
+    Jsle,
+}
+
+impl JmpOp {
+    /// Decode from the high nibble of the opcode byte.
+    pub fn from_bits(bits: u8) -> Option<JmpOp> {
+        Some(match bits & 0xf0 {
+            0x00 => JmpOp::Ja,
+            0x10 => JmpOp::Jeq,
+            0x20 => JmpOp::Jgt,
+            0x30 => JmpOp::Jge,
+            0x40 => JmpOp::Jset,
+            0x50 => JmpOp::Jne,
+            0x60 => JmpOp::Jsgt,
+            0x70 => JmpOp::Jsge,
+            0x80 => JmpOp::Call,
+            0x90 => JmpOp::Exit,
+            0xa0 => JmpOp::Jlt,
+            0xb0 => JmpOp::Jle,
+            0xc0 => JmpOp::Jslt,
+            0xd0 => JmpOp::Jsle,
+            _ => return None,
+        })
+    }
+
+    /// Encode to the high nibble of the opcode byte.
+    pub fn bits(self) -> u8 {
+        match self {
+            JmpOp::Ja => 0x00,
+            JmpOp::Jeq => 0x10,
+            JmpOp::Jgt => 0x20,
+            JmpOp::Jge => 0x30,
+            JmpOp::Jset => 0x40,
+            JmpOp::Jne => 0x50,
+            JmpOp::Jsgt => 0x60,
+            JmpOp::Jsge => 0x70,
+            JmpOp::Call => 0x80,
+            JmpOp::Exit => 0x90,
+            JmpOp::Jlt => 0xa0,
+            JmpOp::Jle => 0xb0,
+            JmpOp::Jslt => 0xc0,
+            JmpOp::Jsle => 0xd0,
+        }
+    }
+
+    /// The comparison symbol used in kernel-style disassembly.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            JmpOp::Ja => "goto",
+            JmpOp::Jeq => "==",
+            JmpOp::Jgt => ">",
+            JmpOp::Jge => ">=",
+            JmpOp::Jset => "&",
+            JmpOp::Jne => "!=",
+            JmpOp::Jsgt => "s>",
+            JmpOp::Jsge => "s>=",
+            JmpOp::Call => "call",
+            JmpOp::Exit => "exit",
+            JmpOp::Jlt => "<",
+            JmpOp::Jle => "<=",
+            JmpOp::Jslt => "s<",
+            JmpOp::Jsle => "s<=",
+        }
+    }
+
+    /// Negate the condition (used when lowering fall-through predicates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`JmpOp::Ja`], [`JmpOp::Call`], [`JmpOp::Exit`]
+    /// or [`JmpOp::Jset`] (whose negation is not itself a `JmpOp`).
+    pub fn negate(self) -> JmpOp {
+        match self {
+            JmpOp::Jeq => JmpOp::Jne,
+            JmpOp::Jne => JmpOp::Jeq,
+            JmpOp::Jgt => JmpOp::Jle,
+            JmpOp::Jle => JmpOp::Jgt,
+            JmpOp::Jge => JmpOp::Jlt,
+            JmpOp::Jlt => JmpOp::Jge,
+            JmpOp::Jsgt => JmpOp::Jsle,
+            JmpOp::Jsle => JmpOp::Jsgt,
+            JmpOp::Jsge => JmpOp::Jslt,
+            JmpOp::Jslt => JmpOp::Jsge,
+            other => panic!("cannot negate jump op {other:?}"),
+        }
+    }
+}
+
+/// Memory access size (bits 3–4 of a load/store opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemSize {
+    /// 1 byte.
+    B,
+    /// 2 bytes.
+    H,
+    /// 4 bytes.
+    W,
+    /// 8 bytes.
+    Dw,
+}
+
+impl MemSize {
+    /// Decode from opcode bits.
+    pub fn from_bits(bits: u8) -> MemSize {
+        match bits & 0x18 {
+            0x00 => MemSize::W,
+            0x08 => MemSize::H,
+            0x10 => MemSize::B,
+            _ => MemSize::Dw,
+        }
+    }
+
+    /// Encode to opcode bits.
+    pub fn bits(self) -> u8 {
+        match self {
+            MemSize::W => 0x00,
+            MemSize::H => 0x08,
+            MemSize::B => 0x10,
+            MemSize::Dw => 0x18,
+        }
+    }
+
+    /// Access width in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            MemSize::B => 1,
+            MemSize::H => 2,
+            MemSize::W => 4,
+            MemSize::Dw => 8,
+        }
+    }
+
+    /// The C-style cast used in kernel disassembly, e.g. `u32`.
+    pub fn c_type(self) -> &'static str {
+        match self {
+            MemSize::B => "u8",
+            MemSize::H => "u16",
+            MemSize::W => "u32",
+            MemSize::Dw => "u64",
+        }
+    }
+}
+
+/// Addressing mode (bits 5–7 of a load/store opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// 64-bit immediate (only `LD|IMM|DW`).
+    Imm,
+    /// Register + offset.
+    Mem,
+    /// Atomic read-modify-write (`STX` class only).
+    Atomic,
+}
+
+impl Mode {
+    /// Decode from opcode bits. Legacy packet modes (ABS/IND) are rejected.
+    pub fn from_bits(bits: u8) -> Option<Mode> {
+        Some(match bits & 0xe0 {
+            0x00 => Mode::Imm,
+            0x60 => Mode::Mem,
+            0xc0 => Mode::Atomic,
+            _ => return None,
+        })
+    }
+
+    /// Encode to opcode bits.
+    pub fn bits(self) -> u8 {
+        match self {
+            Mode::Imm => 0x00,
+            Mode::Mem => 0x60,
+            Mode::Atomic => 0xc0,
+        }
+    }
+}
+
+/// Atomic operation selector, carried in the `imm` field of an
+/// `STX|ATOMIC` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomicOp {
+    /// `lock *(size*)(dst+off) += src` (and fetch variant).
+    Add { fetch: bool },
+    /// Bitwise or.
+    Or { fetch: bool },
+    /// Bitwise and.
+    And { fetch: bool },
+    /// Bitwise xor.
+    Xor { fetch: bool },
+    /// Unconditional exchange (always fetches).
+    Xchg,
+    /// Compare-and-exchange against `r0` (always fetches into `r0`).
+    Cmpxchg,
+}
+
+/// `BPF_FETCH` flag bit inside the `imm` of an atomic instruction.
+pub const BPF_FETCH: i32 = 0x01;
+/// `BPF_XCHG` composite value.
+pub const BPF_XCHG: i32 = 0xe0 | BPF_FETCH;
+/// `BPF_CMPXCHG` composite value.
+pub const BPF_CMPXCHG: i32 = 0xf0 | BPF_FETCH;
+
+impl AtomicOp {
+    /// Decode from the immediate field of an `STX|ATOMIC` instruction.
+    pub fn from_imm(imm: i32) -> Option<AtomicOp> {
+        let fetch = imm & BPF_FETCH != 0;
+        Some(match imm & !BPF_FETCH {
+            0x00 => AtomicOp::Add { fetch },
+            0x40 => AtomicOp::Or { fetch },
+            0x50 => AtomicOp::And { fetch },
+            0xa0 => AtomicOp::Xor { fetch },
+            0xe0 if fetch => AtomicOp::Xchg,
+            0xf0 if fetch => AtomicOp::Cmpxchg,
+            _ => return None,
+        })
+    }
+
+    /// Encode to the immediate field.
+    pub fn imm(self) -> i32 {
+        match self {
+            AtomicOp::Add { fetch } => 0x00 | if fetch { BPF_FETCH } else { 0 },
+            AtomicOp::Or { fetch } => 0x40 | if fetch { BPF_FETCH } else { 0 },
+            AtomicOp::And { fetch } => 0x50 | if fetch { BPF_FETCH } else { 0 },
+            AtomicOp::Xor { fetch } => 0xa0 | if fetch { BPF_FETCH } else { 0 },
+            AtomicOp::Xchg => BPF_XCHG,
+            AtomicOp::Cmpxchg => BPF_CMPXCHG,
+        }
+    }
+
+    /// Whether the old value is returned to the source register (or `r0`).
+    pub fn fetches(self) -> bool {
+        match self {
+            AtomicOp::Add { fetch }
+            | AtomicOp::Or { fetch }
+            | AtomicOp::And { fetch }
+            | AtomicOp::Xor { fetch } => fetch,
+            AtomicOp::Xchg | AtomicOp::Cmpxchg => true,
+        }
+    }
+}
+
+/// `src_reg` pseudo-value marking a `ld_imm64` whose immediate is a map fd.
+pub const PSEUDO_MAP_FD: u8 = 1;
+
+/// Operand width for ALU and jump instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// 32-bit sub-register semantics (result zero-extended).
+    W32,
+    /// Full 64-bit semantics.
+    W64,
+}
+
+impl Width {
+    /// Bit count.
+    pub fn bits(self) -> u32 {
+        match self {
+            Width::W32 => 32,
+            Width::W64 => 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_roundtrip() {
+        for c in [
+            Class::Ld,
+            Class::Ldx,
+            Class::St,
+            Class::Stx,
+            Class::Alu32,
+            Class::Jmp,
+            Class::Jmp32,
+            Class::Alu64,
+        ] {
+            assert_eq!(Class::of(c.bits()), c);
+        }
+    }
+
+    #[test]
+    fn alu_roundtrip() {
+        for bits in (0x00..=0xd0).step_by(0x10) {
+            let op = AluOp::from_bits(bits).unwrap();
+            assert_eq!(op.bits(), bits);
+        }
+        assert_eq!(AluOp::from_bits(0xe0), None);
+    }
+
+    #[test]
+    fn jmp_roundtrip() {
+        for bits in (0x00..=0xd0).step_by(0x10) {
+            let op = JmpOp::from_bits(bits).unwrap();
+            assert_eq!(op.bits(), bits);
+        }
+        assert_eq!(JmpOp::from_bits(0xf0), None);
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        for op in [
+            JmpOp::Jeq,
+            JmpOp::Jne,
+            JmpOp::Jgt,
+            JmpOp::Jge,
+            JmpOp::Jlt,
+            JmpOp::Jle,
+            JmpOp::Jsgt,
+            JmpOp::Jsge,
+            JmpOp::Jslt,
+            JmpOp::Jsle,
+        ] {
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+
+    #[test]
+    fn mem_size_roundtrip() {
+        for s in [MemSize::B, MemSize::H, MemSize::W, MemSize::Dw] {
+            assert_eq!(MemSize::from_bits(s.bits()), s);
+            assert!(s.bytes() <= 8);
+        }
+    }
+
+    #[test]
+    fn atomic_roundtrip() {
+        for op in [
+            AtomicOp::Add { fetch: false },
+            AtomicOp::Add { fetch: true },
+            AtomicOp::Or { fetch: false },
+            AtomicOp::And { fetch: true },
+            AtomicOp::Xor { fetch: false },
+            AtomicOp::Xchg,
+            AtomicOp::Cmpxchg,
+        ] {
+            assert_eq!(AtomicOp::from_imm(op.imm()), Some(op));
+        }
+        assert_eq!(AtomicOp::from_imm(0x30), None);
+    }
+}

@@ -1,0 +1,121 @@
+//! A loaded eBPF program: instruction stream plus map definitions.
+
+use crate::insn::{decode, Decoded, DecodeError, Insn};
+use crate::maps::MapDef;
+
+/// An eBPF/XDP program as loaded into the kernel (or handed to eHDL):
+/// raw bytecode plus the maps it references.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Raw instruction slots.
+    pub insns: Vec<Insn>,
+    /// Map definitions, ids dense from zero.
+    pub maps: Vec<MapDef>,
+    /// Human-readable program name.
+    pub name: String,
+}
+
+impl Program {
+    /// Build a program with no maps.
+    pub fn from_insns(insns: Vec<Insn>) -> Program {
+        Program { insns, maps: Vec::new(), name: "anonymous".to_string() }
+    }
+
+    /// Build a named program with maps.
+    pub fn new(name: &str, insns: Vec<Insn>, maps: Vec<MapDef>) -> Program {
+        Program { insns, maps, name: name.to_string() }
+    }
+
+    /// Number of raw instruction slots (`ld_imm64` counts as two).
+    pub fn slot_count(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Number of logical instructions ("original instructions" in Fig. 9c).
+    pub fn insn_count(&self) -> usize {
+        self.decode().map(|d| d.len()).unwrap_or(0)
+    }
+
+    /// Decode into logical instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DecodeError`] for malformed bytecode.
+    pub fn decode(&self) -> Result<Vec<Decoded>, DecodeError> {
+        decode(&self.insns)
+    }
+
+    /// Serialize to the kernel's flat byte representation.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.insns.iter().flat_map(|i| i.to_bytes()).collect()
+    }
+
+    /// Parse from the kernel's flat byte representation (without maps).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the byte length is not a multiple of 8.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Program, BadLength> {
+        if bytes.len() % 8 != 0 {
+            return Err(BadLength { len: bytes.len() });
+        }
+        let insns = bytes
+            .chunks_exact(8)
+            .map(|c| Insn::from_bytes(c.try_into().expect("chunk of 8")))
+            .collect();
+        Ok(Program::from_insns(insns))
+    }
+}
+
+/// Error for byte streams whose length is not a multiple of 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadLength {
+    /// Offending byte length.
+    pub len: usize,
+}
+
+impl std::fmt::Display for BadLength {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "program byte length {} is not a multiple of 8", self.len)
+    }
+}
+
+impl std::error::Error for BadLength {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut a = Asm::new();
+        a.mov64_imm(0, 2);
+        a.ld_imm64(1, 0x1234_5678_9abc_def0);
+        a.exit();
+        let p = Program::from_insns(a.into_insns());
+        let q = Program::from_bytes(&p.to_bytes()).unwrap();
+        assert_eq!(p.insns, q.insns);
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        assert_eq!(Program::from_bytes(&[0; 9]), Err(BadLength { len: 9 }));
+    }
+
+    #[test]
+    fn insn_count_merges_ld_imm64() {
+        let mut a = Asm::new();
+        a.ld_imm64(1, 7);
+        a.exit();
+        let p = Program::from_insns(a.into_insns());
+        assert_eq!(p.slot_count(), 3);
+        assert_eq!(p.insn_count(), 2);
+    }
+}
+
+impl PartialEq for Program {
+    fn eq(&self, other: &Self) -> bool {
+        self.insns == other.insns && self.maps == other.maps
+    }
+}

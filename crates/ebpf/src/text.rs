@@ -1,0 +1,532 @@
+//! Text assembler: parses the kernel-style eBPF syntax produced by the
+//! [`crate::disasm`] module (and by `bpftool`/the verifier log), closing
+//! the round trip `bytecode → text → bytecode`.
+//!
+//! ```
+//! use ehdl_ebpf::text::parse_program;
+//!
+//! let program = parse_program(r"
+//!     r2 = *(u32 *)(r1 +4)
+//!     r1 = *(u32 *)(r1 +0)
+//!     r3 = 0
+//!     *(u32 *)(r10 -4) = r3
+//!     if r3 == 0 goto +1
+//!     r3 = 1
+//!     r0 = 2
+//!     exit
+//! ")?;
+//! assert_eq!(program.insn_count(), 8);
+//! # Ok::<(), ehdl_ebpf::text::ParseError>(())
+//! ```
+//!
+//! Supported statements (one per line, `;` or `#` comments):
+//!
+//! * ALU: `rD = rS`, `rD = imm`, `rD += rS`, `rD <<= 8`, `rD = -rD`,
+//!   `wD = ...` for 32-bit forms, `rD = le16 rD` / `rD = be32 rD`;
+//! * 64-bit immediates: `rD = imm ll`, `rD = map[N] ll`;
+//! * memory: `rD = *(u8 *)(rS +off)`, `*(u32 *)(rD -4) = rS|imm`;
+//! * atomics: `lock *(u64 *)(rD +0) += rS`;
+//! * control: `goto +N`, `if rA == rB|imm goto +N`, `call N`, `exit`.
+
+use crate::insn::Insn;
+use crate::opcode::{AluOp, AtomicOp, Class, JmpOp, MemSize, Mode, PSEUDO_MAP_FD};
+use crate::program::Program;
+use std::fmt;
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a whole program (without map definitions — attach them to the
+/// returned [`Program`] afterwards if the text references maps).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] pointing at the first malformed line.
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    let mut insns = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let mut stmt = raw;
+        if let Some(i) = stmt.find([';', '#']) {
+            stmt = &stmt[..i];
+        }
+        // Strip an optional leading "NN:" program-counter label.
+        let stmt = match stmt.split_once(':') {
+            Some((pfx, rest)) if pfx.trim().chars().all(|c| c.is_ascii_digit()) && !pfx.trim().is_empty() => rest,
+            _ => stmt,
+        };
+        let stmt = stmt.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        let parsed = parse_stmt(stmt).map_err(|message| ParseError { line, message })?;
+        insns.extend(parsed);
+    }
+    Ok(Program::from_insns(insns))
+}
+
+fn err(msg: impl Into<String>) -> String {
+    msg.into()
+}
+
+fn parse_stmt(s: &str) -> Result<Vec<Insn>, String> {
+    if s == "exit" {
+        return Ok(vec![Insn { opcode: JmpOp::Exit.bits() | Class::Jmp.bits(), ..Default::default() }]);
+    }
+    if let Some(rest) = s.strip_prefix("call ") {
+        let helper: i32 = rest.trim().parse().map_err(|_| err("invalid helper id"))?;
+        return Ok(vec![Insn {
+            opcode: JmpOp::Call.bits() | Class::Jmp.bits(),
+            imm: helper,
+            ..Default::default()
+        }]);
+    }
+    if let Some(rest) = s.strip_prefix("goto ") {
+        let off = parse_disp(rest.trim())?;
+        return Ok(vec![Insn { opcode: JmpOp::Ja.bits() | Class::Jmp.bits(), off, ..Default::default() }]);
+    }
+    if let Some(rest) = s.strip_prefix("if ") {
+        return parse_branch(rest);
+    }
+    if let Some(rest) = s.strip_prefix("lock ") {
+        return parse_atomic(rest);
+    }
+    if s.starts_with("*(") {
+        return parse_store(s);
+    }
+    parse_assign(s)
+}
+
+fn parse_disp(s: &str) -> Result<i16, String> {
+    let v: i32 = s.parse().map_err(|_| err(format!("invalid displacement `{s}`")))?;
+    i16::try_from(v).map_err(|_| err("displacement out of range"))
+}
+
+/// Parse `rN`/`wN`, returning `(reg, is_32bit)`.
+fn parse_reg(s: &str) -> Result<(u8, bool), String> {
+    let s = s.trim();
+    let (w32, rest) = match s.as_bytes().first() {
+        Some(b'r') => (false, &s[1..]),
+        Some(b'w') => (true, &s[1..]),
+        _ => return Err(err(format!("expected register, got `{s}`"))),
+    };
+    let n: u8 = rest.parse().map_err(|_| err(format!("bad register `{s}`")))?;
+    if n > 10 {
+        return Err(err(format!("register r{n} out of range")));
+    }
+    Ok((n, w32))
+}
+
+fn parse_imm(s: &str) -> Result<i64, String> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("-0x")) {
+        let v = i64::from_str_radix(hex, 16).map_err(|_| err(format!("bad immediate `{s}`")))?;
+        return Ok(if s.starts_with('-') { -v } else { v });
+    }
+    s.parse().map_err(|_| err(format!("bad immediate `{s}`")))
+}
+
+fn mem_size(name: &str) -> Result<MemSize, String> {
+    match name {
+        "u8" => Ok(MemSize::B),
+        "u16" => Ok(MemSize::H),
+        "u32" => Ok(MemSize::W),
+        "u64" => Ok(MemSize::Dw),
+        other => Err(err(format!("bad access size `{other}`"))),
+    }
+}
+
+/// Parse `*(SIZE *)(rB +OFF)` returning `(size, base, off, rest)` where
+/// `rest` is whatever follows the closing parenthesis.
+fn parse_mem<'a>(s: &'a str) -> Result<(MemSize, u8, i16, &'a str), String> {
+    let s = s.trim_start();
+    let inner = s.strip_prefix("*(").ok_or_else(|| err("expected `*(`"))?;
+    let (ty, rest) = inner.split_once("*)").ok_or_else(|| err("expected `*)`"))?;
+    let size = mem_size(ty.trim())?;
+    let rest = rest.trim_start();
+    let addr = rest.strip_prefix('(').ok_or_else(|| err("expected `(`"))?;
+    let (addr, tail) = addr.split_once(')').ok_or_else(|| err("expected `)`"))?;
+    // addr is like `r1 +4` or `r10 -4` or `r1 +0`.
+    let addr = addr.trim();
+    let split = addr
+        .find(['+', '-'])
+        .ok_or_else(|| err(format!("expected offset in `{addr}`")))?;
+    let (base, off) = addr.split_at(split);
+    let (reg, w32) = parse_reg(base)?;
+    if w32 {
+        return Err(err("memory base must be a 64-bit register"));
+    }
+    let off: i32 = off.replace(' ', "").parse().map_err(|_| err(format!("bad offset `{off}`")))?;
+    let off = i16::try_from(off).map_err(|_| err("offset out of range"))?;
+    Ok((size, reg, off, tail))
+}
+
+fn parse_branch(s: &str) -> Result<Vec<Insn>, String> {
+    // `rA OP rB|imm goto +N`
+    let (cond, target) = s.split_once("goto").ok_or_else(|| err("expected `goto`"))?;
+    let off = parse_disp(target.trim())?;
+    let cond = cond.trim();
+    let ops: [(&str, JmpOp); 12] = [
+        ("==", JmpOp::Jeq),
+        ("!=", JmpOp::Jne),
+        ("s>=", JmpOp::Jsge),
+        ("s<=", JmpOp::Jsle),
+        ("s>", JmpOp::Jsgt),
+        ("s<", JmpOp::Jslt),
+        (">=", JmpOp::Jge),
+        ("<=", JmpOp::Jle),
+        (">", JmpOp::Jgt),
+        ("<", JmpOp::Jlt),
+        ("&", JmpOp::Jset),
+        ("goto", JmpOp::Ja),
+    ];
+    for (sym, op) in ops {
+        if let Some((lhs, rhs)) = cond.split_once(sym) {
+            if sym == "goto" {
+                continue;
+            }
+            let (reg, w32) = parse_reg(lhs.trim())?;
+            let class = if w32 { Class::Jmp32 } else { Class::Jmp };
+            let rhs = rhs.trim();
+            return if rhs.starts_with('r') || rhs.starts_with('w') {
+                let (src, _) = parse_reg(rhs)?;
+                Ok(vec![Insn { opcode: op.bits() | 0x08 | class.bits(), dst: reg, src, off, imm: 0 }])
+            } else {
+                let imm = parse_imm(rhs)? as i32;
+                Ok(vec![Insn { opcode: op.bits() | class.bits(), dst: reg, src: 0, off, imm }])
+            };
+        }
+    }
+    Err(err(format!("unrecognized branch condition `{cond}`")))
+}
+
+fn parse_atomic(s: &str) -> Result<Vec<Insn>, String> {
+    // `*(u64 *)(r1 +0) += r2` (and |=, &=, ^=)
+    let (size, base, off, rest) = parse_mem(s)?;
+    let rest = rest.trim();
+    let (op, rhs) = if let Some(r) = rest.strip_prefix("+=") {
+        (AtomicOp::Add { fetch: false }, r)
+    } else if let Some(r) = rest.strip_prefix("|=") {
+        (AtomicOp::Or { fetch: false }, r)
+    } else if let Some(r) = rest.strip_prefix("&=") {
+        (AtomicOp::And { fetch: false }, r)
+    } else if let Some(r) = rest.strip_prefix("^=") {
+        (AtomicOp::Xor { fetch: false }, r)
+    } else {
+        return Err(err(format!("unrecognized atomic `{rest}`")));
+    };
+    let (src, _) = parse_reg(rhs)?;
+    Ok(vec![Insn {
+        opcode: size.bits() | Mode::Atomic.bits() | Class::Stx.bits(),
+        dst: base,
+        src,
+        off,
+        imm: op.imm(),
+    }])
+}
+
+fn parse_store(s: &str) -> Result<Vec<Insn>, String> {
+    let (size, base, off, rest) = parse_mem(s)?;
+    let rest = rest.trim();
+    let value = rest.strip_prefix('=').ok_or_else(|| err("expected `=`"))?.trim();
+    if value.starts_with('r') || value.starts_with('w') {
+        let (src, _) = parse_reg(value)?;
+        Ok(vec![Insn {
+            opcode: size.bits() | Mode::Mem.bits() | Class::Stx.bits(),
+            dst: base,
+            src,
+            off,
+            imm: 0,
+        }])
+    } else {
+        let imm = parse_imm(value)? as i32;
+        Ok(vec![Insn {
+            opcode: size.bits() | Mode::Mem.bits() | Class::St.bits(),
+            dst: base,
+            src: 0,
+            off,
+            imm,
+        }])
+    }
+}
+
+fn parse_assign(s: &str) -> Result<Vec<Insn>, String> {
+    // Find the operator: longest match first.
+    let ops: [(&str, Option<AluOp>); 13] = [
+        ("<<=", Some(AluOp::Lsh)),
+        ("s>>=", Some(AluOp::Arsh)),
+        (">>=", Some(AluOp::Rsh)),
+        ("+=", Some(AluOp::Add)),
+        ("-=", Some(AluOp::Sub)),
+        ("*=", Some(AluOp::Mul)),
+        ("/=", Some(AluOp::Div)),
+        ("%=", Some(AluOp::Mod)),
+        ("&=", Some(AluOp::And)),
+        ("|=", Some(AluOp::Or)),
+        ("^=", Some(AluOp::Xor)),
+        // plain `=` handled last (it is a prefix of the others)
+        ("=", None),
+        ("", None),
+    ];
+    // `s>>=` starts with `s`, so check it before splitting on `>>=` etc.
+    let (lhs, op, rhs) = 'found: {
+        if let Some(i) = s.find("s>>=") {
+            break 'found (&s[..i], Some(AluOp::Arsh), &s[i + 4..]);
+        }
+        for (sym, op) in ops {
+            if sym.is_empty() {
+                return Err(err(format!("unrecognized statement `{s}`")));
+            }
+            if sym == "=" {
+                // Make sure we don't split inside `==`, `<=`, ...
+                if let Some(i) = s.find('=') {
+                    let before = s.as_bytes().get(i.wrapping_sub(1)).copied().unwrap_or(b' ');
+                    let after = s.as_bytes().get(i + 1).copied().unwrap_or(b' ');
+                    if before != b'=' && after != b'=' && !matches!(before, b'<' | b'>' | b'!' | b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^') {
+                        break 'found (&s[..i], None, &s[i + 1..]);
+                    }
+                }
+                continue;
+            }
+            if let Some(i) = s.find(sym) {
+                break 'found (&s[..i], op, &s[i + sym.len()..]);
+            }
+        }
+        return Err(err(format!("unrecognized statement `{s}`")));
+    };
+
+    let (dst, w32) = parse_reg(lhs.trim())?;
+    let rhs = rhs.trim();
+    let alu_class = if w32 { Class::Alu32 } else { Class::Alu64 };
+
+    match op {
+        Some(aop) => {
+            if rhs.starts_with('r') || rhs.starts_with('w') {
+                let (src, _) = parse_reg(rhs)?;
+                Ok(vec![Insn { opcode: aop.bits() | 0x08 | alu_class.bits(), dst, src, off: 0, imm: 0 }])
+            } else {
+                let imm = parse_imm(rhs)? as i32;
+                Ok(vec![Insn { opcode: aop.bits() | alu_class.bits(), dst, src: 0, off: 0, imm }])
+            }
+        }
+        None => {
+            // Plain assignment: mov, load, neg, endian, ld_imm64, map ref.
+            if let Some(rest) = rhs.strip_prefix("map[") {
+                let (id, tail) = rest.split_once(']').ok_or_else(|| err("expected `]`"))?;
+                if !tail.trim().eq_ignore_ascii_case("ll") {
+                    return Err(err("map references need the `ll` suffix"));
+                }
+                let id: u32 = id.trim().parse().map_err(|_| err("bad map id"))?;
+                return Ok(vec![
+                    Insn { opcode: 0x18, dst, src: PSEUDO_MAP_FD, off: 0, imm: id as i32 },
+                    Insn::default(),
+                ]);
+            }
+            if rhs.starts_with("*(") {
+                let (size, base, off, _) = parse_mem(rhs)?;
+                return Ok(vec![Insn {
+                    opcode: size.bits() | Mode::Mem.bits() | Class::Ldx.bits(),
+                    dst,
+                    src: base,
+                    off,
+                    imm: 0,
+                }]);
+            }
+            for (prefix, to_be) in [("be", true), ("le", false)] {
+                if let Some(rest) = rhs.strip_prefix(prefix) {
+                    if let Some((bits, reg)) = rest.split_once(' ') {
+                        if let Ok(bits) = bits.parse::<i32>() {
+                            let (r, _) = parse_reg(reg)?;
+                            if r != dst {
+                                return Err(err("endian source must equal destination"));
+                            }
+                            let src_bit = if to_be { 0x08 } else { 0x00 };
+                            return Ok(vec![Insn {
+                                opcode: AluOp::End.bits() | src_bit | Class::Alu32.bits(),
+                                dst,
+                                src: 0,
+                                off: 0,
+                                imm: bits,
+                            }]);
+                        }
+                    }
+                }
+            }
+            if let Some(reg) = rhs.strip_prefix('-') {
+                // `rD = -rD` (only when the operand is a register; a
+                // leading minus on digits is a negative immediate).
+                let reg = reg.trim();
+                if reg.starts_with('r') || reg.starts_with('w') {
+                    let (r, _) = parse_reg(reg)?;
+                    if r != dst {
+                        return Err(err("negation source must equal destination"));
+                    }
+                    return Ok(vec![Insn {
+                        opcode: AluOp::Neg.bits() | alu_class.bits(),
+                        dst,
+                        src: 0,
+                        off: 0,
+                        imm: 0,
+                    }]);
+                }
+            }
+            if rhs.starts_with('r') || rhs.starts_with('w') {
+                let (src, _) = parse_reg(rhs)?;
+                return Ok(vec![Insn {
+                    opcode: AluOp::Mov.bits() | 0x08 | alu_class.bits(),
+                    dst,
+                    src,
+                    off: 0,
+                    imm: 0,
+                }]);
+            }
+            if let Some(val) = rhs.strip_suffix("ll") {
+                let imm = parse_imm(val.trim())? as u64;
+                return Ok(vec![
+                    Insn { opcode: 0x18, dst, src: 0, off: 0, imm: imm as u32 as i32 },
+                    Insn { imm: (imm >> 32) as u32 as i32, ..Default::default() },
+                ]);
+            }
+            let imm = parse_imm(rhs)? as i32;
+            Ok(vec![Insn { opcode: AluOp::Mov.bits() | alu_class.bits(), dst, src: 0, off: 0, imm }])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disassemble;
+    use crate::vm::Vm;
+
+    #[test]
+    fn listing2_fragment_parses() {
+        let p = parse_program(
+            r"
+            ; the head of Listing 2
+            0: r2 = *(u32 *)(r1 +4)
+            1: r1 = *(u32 *)(r1 +0)
+            2: r3 = 0
+            3: *(u32 *)(r10 -4) = r3
+            4: r2 = *(u8 *)(r1 +12)
+            5: r1 <<= 8
+            6: r1 |= r2
+            7: if r1 == 34525 goto +1
+            8: r1 = 3
+            9: r0 = 3
+            exit
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.insn_count(), 11);
+        let out = Vm::new(&p).run(&mut vec![0; 64], 0).unwrap();
+        assert_eq!(out.r0, 3);
+    }
+
+    #[test]
+    fn roundtrip_through_disassembler() {
+        let text = r"
+            r6 = r1
+            r7 = *(u32 *)(r1 +0)
+            r8 = *(u32 *)(r1 +4)
+            r2 = r7
+            r2 += 14
+            if r2 > r8 goto +6
+            r3 = *(u16 *)(r7 +12)
+            r3 = be16 r3
+            *(u16 *)(r10 -8) = r3
+            lock *(u64 *)(r10 -16) += r3
+            r0 = 2
+            exit
+            r0 = 1
+            exit
+        ";
+        let p1 = parse_program(text).unwrap();
+        let p2 = parse_program(&disassemble(&p1)).unwrap();
+        assert_eq!(p1.insns, p2.insns, "parse(disasm(p)) == p");
+    }
+
+    #[test]
+    fn ld_imm64_and_map_refs() {
+        let p = parse_program("r1 = 81985529216486895 ll\nr2 = map[3] ll\nr0 = 2\nexit").unwrap();
+        let d = p.decode().unwrap();
+        assert_eq!(
+            d[0].insn,
+            crate::insn::Instruction::LoadImm64 { dst: 1, imm: 0x0123_4567_89ab_cdef, map: None }
+        );
+        assert_eq!(
+            d[1].insn,
+            crate::insn::Instruction::LoadImm64 { dst: 2, imm: 3, map: Some(3) }
+        );
+    }
+
+    #[test]
+    fn w_registers_are_32bit() {
+        let p = parse_program("w2 = 7\nw2 += 1\nr0 = r2\nexit").unwrap();
+        let out = Vm::new(&p).run(&mut vec![0; 64], 0).unwrap();
+        assert_eq!(out.r0, 8);
+    }
+
+    #[test]
+    fn signed_shift_and_negation() {
+        let p = parse_program("r2 = -16\nr2 s>>= 2\nr2 = -r2\nr0 = r2\nexit").unwrap();
+        let out = Vm::new(&p).run(&mut vec![0; 64], 0).unwrap();
+        assert_eq!(out.r0, 4);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_program("r0 = 2\nfrobnicate\nexit").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn branch_forms() {
+        for (txt, _desc) in [
+            ("if r1 s> -3 goto +1", "signed gt"),
+            ("if r1 & 7 goto +1", "jset"),
+            ("if w1 < 10 goto +1", "32-bit"),
+            ("if r1 >= r2 goto +1", "reg rhs"),
+        ] {
+            let src = format!("{txt}\nr0 = 1\nr0 = 2\nexit");
+            let p = parse_program(&src).unwrap();
+            assert!(Vm::new(&p).run(&mut vec![0; 64], 0).is_ok(), "{txt}");
+        }
+    }
+
+    #[test]
+    fn evaluation_apps_roundtrip() {
+        // Self-check against bigger, real streams: text-assemble the
+        // disassembly of each instruction our builder API can emit.
+        let mut a = crate::asm::Asm::new();
+        let l = a.new_label();
+        a.mov64_imm(1, -5);
+        a.alu64_imm(AluOp::Mul, 1, 3);
+        a.alu32_reg(AluOp::Add, 2, 1);
+        a.store_imm(MemSize::W, 10, -24, 99);
+        a.load(MemSize::H, 3, 10, -24);
+        a.jmp_reg(JmpOp::Jsle, 1, 3, l);
+        a.to_le(3, 32);
+        a.bind(l);
+        a.mov64_imm(0, 2);
+        a.exit();
+        let p1 = Program::from_insns(a.into_insns());
+        let p2 = parse_program(&disassemble(&p1)).unwrap();
+        assert_eq!(p1.insns, p2.insns);
+    }
+}

@@ -1,0 +1,277 @@
+//! Property tests: map semantics against reference models, and
+//! instruction encode/decode roundtrips.
+
+use ehdl_ebpf::asm::Asm;
+use ehdl_ebpf::insn::{decode, Insn};
+use ehdl_ebpf::maps::{Map, MapDef, MapError, MapKind, UpdateFlags};
+use ehdl_ebpf::opcode::{AluOp, JmpOp, MemSize};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Update(u64, u64, u8),
+    Delete(u64),
+    Lookup(u64),
+}
+
+fn map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (0u64..32, any::<u64>(), 0u8..3).prop_map(|(k, v, f)| MapOp::Update(k, v, f)),
+        (0u64..32).prop_map(MapOp::Delete),
+        (0u64..32).prop_map(MapOp::Lookup),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The hash map behaves exactly like a capacity-bounded BTreeMap.
+    #[test]
+    fn hash_map_matches_model(ops in prop::collection::vec(map_op(), 1..120)) {
+        let cap = 16u32;
+        let mut map = Map::new(MapDef::new(0, "m", MapKind::Hash, 8, 8, cap));
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                MapOp::Update(k, v, f) => {
+                    let flags = UpdateFlags::from_raw(u64::from(f)).unwrap();
+                    let r = map.update(&k.to_le_bytes(), &v.to_le_bytes(), flags);
+                    let exists = model.contains_key(&k);
+                    match flags {
+                        UpdateFlags::NoExist if exists => {
+                            prop_assert_eq!(r, Err(MapError::KeyExists));
+                        }
+                        UpdateFlags::Exist if !exists => {
+                            prop_assert_eq!(r, Err(MapError::NoSuchKey));
+                        }
+                        _ if !exists && model.len() == cap as usize => {
+                            prop_assert_eq!(r, Err(MapError::Full));
+                        }
+                        _ => {
+                            prop_assert!(r.is_ok());
+                            model.insert(k, v);
+                        }
+                    }
+                }
+                MapOp::Delete(k) => {
+                    let r = map.delete(&k.to_le_bytes());
+                    prop_assert_eq!(r.is_ok(), model.remove(&k).is_some());
+                }
+                MapOp::Lookup(k) => {
+                    let slot = map.lookup(&k.to_le_bytes()).unwrap();
+                    match model.get(&k) {
+                        None => prop_assert!(slot.is_none()),
+                        Some(v) => {
+                            let got = u64::from_le_bytes(
+                                map.value(slot.unwrap()).try_into().unwrap(),
+                            );
+                            prop_assert_eq!(got, *v);
+                        }
+                    }
+                }
+            }
+        }
+        // Final contents identical.
+        let mut contents: Vec<(u64, u64)> = map
+            .iter()
+            .map(|(_, k, v)| {
+                (u64::from_le_bytes(k.try_into().unwrap()), u64::from_le_bytes(v.try_into().unwrap()))
+            })
+            .collect();
+        contents.sort_unstable();
+        let model_contents: Vec<(u64, u64)> = model.into_iter().collect();
+        prop_assert_eq!(contents, model_contents);
+    }
+
+    /// LRU maps never exceed capacity and always accept inserts.
+    #[test]
+    fn lru_never_full(keys in prop::collection::vec(0u64..1000, 1..200)) {
+        let cap = 8u32;
+        let mut map = Map::new(MapDef::new(0, "m", MapKind::LruHash, 8, 8, cap));
+        for k in keys {
+            map.update(&k.to_le_bytes(), &k.to_le_bytes(), UpdateFlags::Any).unwrap();
+            prop_assert!(map.len() <= cap as usize);
+            // The just-inserted key is always present.
+            prop_assert!(map.lookup(&k.to_le_bytes()).unwrap().is_some());
+        }
+    }
+
+    /// LPM lookup returns the longest matching stored prefix.
+    #[test]
+    fn lpm_longest_prefix(
+        prefixes in prop::collection::btree_set((0u32..=24, any::<u32>()), 1..12),
+        probe in any::<u32>(),
+    ) {
+        let mut map = Map::new(MapDef::new(0, "m", MapKind::LpmTrie, 8, 4, 64));
+        let mut entries: Vec<(u32, u32)> = Vec::new();
+        for (i, (plen, addr)) in prefixes.iter().enumerate() {
+            let masked = if *plen == 0 { 0 } else { addr & (!0u32 << (32 - plen)) };
+            let mut key = plen.to_le_bytes().to_vec();
+            key.extend_from_slice(&masked.to_be_bytes());
+            map.update(&key, &(i as u32).to_le_bytes(), UpdateFlags::Any).unwrap();
+            entries.push((*plen, masked));
+        }
+        let mut probe_key = 32u32.to_le_bytes().to_vec();
+        probe_key.extend_from_slice(&probe.to_be_bytes());
+        let got = map.lookup(&probe_key).unwrap();
+
+        // Reference: best matching prefix by hand.
+        let best = entries
+            .iter()
+            .enumerate()
+            .filter(|(_, (plen, net))| {
+                *plen == 0 || (probe & (!0u32 << (32 - plen))) == *net
+            })
+            .max_by_key(|(i, (plen, _))| (*plen, usize::MAX - i));
+        match best {
+            None => prop_assert!(got.is_none()),
+            Some((_, (plen, _))) => {
+                prop_assert!(got.is_some());
+                let slot = got.unwrap();
+                let idx = u32::from_le_bytes(map.value(slot).try_into().unwrap()) as usize;
+                prop_assert_eq!(entries[idx].0, *plen, "matched prefix length");
+            }
+        }
+    }
+
+    /// Raw instruction words roundtrip through the wire format.
+    #[test]
+    fn insn_bytes_roundtrip(opcode in any::<u8>(), dst in 0u8..16, src in 0u8..16,
+                            off in any::<i16>(), imm in any::<i32>()) {
+        let i = Insn { opcode, dst, src, off, imm };
+        prop_assert_eq!(Insn::from_bytes(i.to_bytes()), i);
+    }
+
+    /// Assembled ALU/branch streams always decode, and every decoded
+    /// instruction covers exactly its slots.
+    #[test]
+    fn assembled_streams_decode(ops in prop::collection::vec((0u8..5, 0u8..6, any::<i32>()), 1..40)) {
+        let mut a = Asm::new();
+        let end = a.new_label();
+        for (kind, reg, imm) in &ops {
+            match kind {
+                0 => { a.mov64_imm(*reg, *imm); }
+                1 => { a.alu64_imm(AluOp::Add, *reg, *imm); }
+                2 => { a.alu64_imm(AluOp::Xor, *reg, *imm); }
+                3 => { a.jmp_imm(JmpOp::Jeq, *reg, *imm, end); }
+                _ => { a.ld_imm64(*reg, *imm as u64); }
+            }
+        }
+        a.bind(end);
+        a.mov64_imm(0, 2);
+        a.exit();
+        let insns = a.into_insns();
+        let decoded = decode(&insns).unwrap();
+        let covered: usize = decoded.iter().map(|d| d.slots).sum();
+        prop_assert_eq!(covered, insns.len());
+    }
+
+    /// Store/load roundtrip through stack memory in the VM for every size.
+    #[test]
+    fn vm_stack_roundtrip(v in any::<u64>(), size_sel in 0u8..4) {
+        use ehdl_ebpf::vm::Vm;
+        use ehdl_ebpf::Program;
+        let size = [MemSize::B, MemSize::H, MemSize::W, MemSize::Dw][size_sel as usize];
+        let mut a = Asm::new();
+        a.ld_imm64(2, v);
+        a.store_reg(size, 10, -16, 2);
+        a.load(size, 0, 10, -16);
+        a.exit();
+        let p = Program::from_insns(a.into_insns());
+        let out = Vm::new(&p).run(&mut vec![0; 64], 0).unwrap();
+        let mask = match size {
+            MemSize::B => 0xff,
+            MemSize::H => 0xffff,
+            MemSize::W => 0xffff_ffff,
+            MemSize::Dw => u64::MAX,
+        };
+        prop_assert_eq!(out.r0, v & mask);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The text parser never panics on arbitrary input.
+    #[test]
+    fn text_parser_never_panics(input in "\\PC{0,120}") {
+        let _ = ehdl_ebpf::text::parse_program(&input);
+    }
+
+    /// ... and on near-miss statement-shaped strings.
+    #[test]
+    fn text_parser_survives_statement_soup(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("r1".to_string()),
+                Just("w3".to_string()),
+                Just("=".to_string()),
+                Just("+=".to_string()),
+                Just("*(u32 *)".to_string()),
+                Just("(r1 +4)".to_string()),
+                Just("goto".to_string()),
+                Just("+2".to_string()),
+                Just("if".to_string()),
+                Just("lock".to_string()),
+                Just("ll".to_string()),
+                Just("-17".to_string()),
+                Just("exit".to_string()),
+            ],
+            0..8,
+        )
+    ) {
+        let line = parts.join(" ");
+        let _ = ehdl_ebpf::text::parse_program(&line);
+    }
+
+    /// `decode(encode(i))` is the identity on every decodable stream the
+    /// assembler can produce.
+    #[test]
+    fn encode_decode_roundtrip(ops in prop::collection::vec((0u8..6, 0u8..10, any::<i16>(), any::<i32>()), 1..30)) {
+        use ehdl_ebpf::insn::{decode, encode_all};
+        let mut a = Asm::new();
+        let end = a.new_label();
+        for (kind, reg, off, imm) in &ops {
+            match kind {
+                0 => { a.mov64_imm(*reg, *imm); }
+                1 => { a.alu64_reg(AluOp::Add, *reg, (*reg + 1) % 10); }
+                2 => { a.load(MemSize::W, *reg, (*reg + 1) % 10, *off); }
+                3 => { a.store_reg(MemSize::H, (*reg + 1) % 10, *off, *reg); }
+                4 => { a.jmp_imm(JmpOp::Jlt, *reg, *imm, end); }
+                _ => { a.ld_imm64(*reg, *imm as u64); }
+            }
+        }
+        a.bind(end);
+        a.mov64_imm(0, 2);
+        a.exit();
+        let insns = a.into_insns();
+        let decoded = decode(&insns).unwrap();
+        prop_assert_eq!(encode_all(&decoded).unwrap(), insns);
+    }
+
+    /// 32-bit ALU semantics match plain `u32` arithmetic (zero-extended).
+    #[test]
+    fn alu32_matches_u32_arithmetic(d in any::<u64>(), s in any::<u64>(), opsel in 0usize..8) {
+        use ehdl_ebpf::vm::alu_eval;
+        use ehdl_ebpf::opcode::Width;
+        let ops = [AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::And,
+                   AluOp::Or, AluOp::Xor, AluOp::Lsh, AluOp::Rsh];
+        let op = ops[opsel];
+        let got = alu_eval(op, Width::W32, d, s);
+        let d32 = d as u32;
+        let s32 = s as u32;
+        let want = match op {
+            AluOp::Add => d32.wrapping_add(s32),
+            AluOp::Sub => d32.wrapping_sub(s32),
+            AluOp::Mul => d32.wrapping_mul(s32),
+            AluOp::And => d32 & s32,
+            AluOp::Or => d32 | s32,
+            AluOp::Xor => d32 ^ s32,
+            AluOp::Lsh => d32.wrapping_shl(s32 & 31),
+            AluOp::Rsh => d32.wrapping_shr(s32 & 31),
+            _ => unreachable!(),
+        };
+        prop_assert_eq!(got, u64::from(want), "no sign/garbage in the high half");
+    }
+}

@@ -1,0 +1,273 @@
+//! Differential testing harness: the generated hardware must behave
+//! exactly like the reference interpreter.
+//!
+//! For a packet sequence, the pipeline (with all its parallelism, flushes
+//! and buffered writes) must produce, per packet, the same XDP action and
+//! the same output bytes as running the program *sequentially* on the VM —
+//! and the final map contents must agree. This is the central correctness
+//! property of eHDL's consistency machinery (§4.1): hazards may cost
+//! cycles, never correctness.
+
+use crate::sim::{PipelineSim, SimOptions};
+use ehdl_core::{Compiler, CompilerOptions, PipelineDesign};
+use ehdl_ebpf::vm::{Vm, XdpAction};
+use ehdl_ebpf::Program;
+
+/// A per-packet divergence between the VM and the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Divergence {
+    /// Actions differ.
+    Action {
+        /// Packet sequence number.
+        seq: usize,
+        /// VM verdict.
+        vm: XdpAction,
+        /// Pipeline verdict.
+        hw: XdpAction,
+    },
+    /// Output bytes differ.
+    Packet {
+        /// Packet sequence number.
+        seq: usize,
+        /// First differing byte offset.
+        at: usize,
+    },
+    /// Final contents of a map differ.
+    Map {
+        /// Map id.
+        map: u32,
+    },
+    /// The pipeline produced a different number of packets.
+    Count {
+        /// VM packet count.
+        vm: usize,
+        /// Pipeline packet count.
+        hw: usize,
+    },
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Divergence::Action { seq, vm, hw } => {
+                write!(f, "packet {seq}: vm={vm} hw={hw}")
+            }
+            Divergence::Packet { seq, at } => {
+                write!(f, "packet {seq}: output bytes differ at offset {at}")
+            }
+            Divergence::Map { map } => write!(f, "map {map}: final contents differ"),
+            Divergence::Count { vm, hw } => write!(f, "packet counts differ: vm={vm} hw={hw}"),
+        }
+    }
+}
+
+/// Compare VM and pipeline over a packet sequence. Returns all
+/// divergences (empty = equivalent).
+///
+/// Packets that the VM *errors* on (e.g. out-of-bounds access guarded only
+/// by an elided check) are expected to be dropped by the hardware.
+pub fn compare(program: &Program, design: &PipelineDesign, packets: &[Vec<u8>]) -> Vec<Divergence> {
+    compare_with(program, design, packets, |_| {})
+}
+
+/// Like [`compare`], applying `setup` (host-side control plane writes,
+/// e.g. installing routes) to both engines' maps first.
+pub fn compare_with(
+    program: &Program,
+    design: &PipelineDesign,
+    packets: &[Vec<u8>],
+    setup: impl Fn(&mut ehdl_ebpf::maps::MapStore),
+) -> Vec<Divergence> {
+    compare_ignoring(program, design, packets, setup, &[])
+}
+
+/// Like [`compare_with`], skipping the final-content comparison for the
+/// listed maps.
+///
+/// Intended for pure *allocator* state (e.g. DNAT's port counter): a
+/// flushed packet's already-committed fetch-and-add is not replayed — the
+/// allocation is simply skipped, exactly as in the real hardware — so the
+/// counter legitimately runs ahead of the sequential reference while every
+/// observable translation stays identical.
+pub fn compare_ignoring(
+    program: &Program,
+    design: &PipelineDesign,
+    packets: &[Vec<u8>],
+    setup: impl Fn(&mut ehdl_ebpf::maps::MapStore),
+    ignore_maps: &[u32],
+) -> Vec<Divergence> {
+    compare_full(
+        program,
+        design,
+        packets,
+        setup,
+        ignore_maps,
+        SimOptions { freeze_time_ns: Some(1000), ..Default::default() },
+    )
+}
+
+/// Fully parameterized comparison (explicit simulator options, e.g. the
+/// dead-state poisoning validation mode).
+pub fn compare_full(
+    program: &Program,
+    design: &PipelineDesign,
+    packets: &[Vec<u8>],
+    setup: impl Fn(&mut ehdl_ebpf::maps::MapStore),
+    ignore_maps: &[u32],
+    sim_options: SimOptions,
+) -> Vec<Divergence> {
+    let mut vm = Vm::new(program);
+    vm.set_time_ns(sim_options.freeze_time_ns.unwrap_or(1000));
+    let mut sim = PipelineSim::with_options(design, sim_options);
+    setup(vm.maps_mut());
+    setup(sim.maps_mut());
+
+    let mut vm_actions = Vec::with_capacity(packets.len());
+    let mut vm_packets = Vec::with_capacity(packets.len());
+    for p in packets {
+        let mut bytes = p.clone();
+        match vm.run(&mut bytes, 0) {
+            Ok(out) => {
+                vm_actions.push(out.action);
+                vm_packets.push(bytes);
+            }
+            Err(_) => {
+                // The hardware drops on access faults.
+                vm_actions.push(XdpAction::Drop);
+                vm_packets.push(p.clone());
+            }
+        }
+        sim.enqueue(p.clone());
+    }
+    sim.settle(50_000_000);
+    let outs = sim.drain();
+
+    let mut divs = Vec::new();
+    if outs.len() != packets.len() {
+        divs.push(Divergence::Count { vm: packets.len(), hw: outs.len() });
+        return divs;
+    }
+    for (i, out) in outs.iter().enumerate() {
+        assert_eq!(out.seq as usize, i, "pipeline must preserve packet order");
+        if out.action != vm_actions[i] {
+            divs.push(Divergence::Action { seq: i, vm: vm_actions[i], hw: out.action });
+            continue;
+        }
+        if out.action.forwards() && out.packet != vm_packets[i] {
+            let at = out
+                .packet
+                .iter()
+                .zip(&vm_packets[i])
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| out.packet.len().min(vm_packets[i].len()));
+            divs.push(Divergence::Packet { seq: i, at });
+        }
+    }
+
+    // Compare final map contents as sorted key→value sets.
+    for def in &program.maps {
+        if ignore_maps.contains(&def.id) {
+            continue;
+        }
+        let a = vm.maps().get(def.id).expect("vm map");
+        let b = sim.maps().get(def.id).expect("sim map");
+        let mut ea: Vec<_> = a.iter().map(|(_, k, v)| (k.to_vec(), v.to_vec())).collect();
+        let mut eb: Vec<_> = b.iter().map(|(_, k, v)| (k.to_vec(), v.to_vec())).collect();
+        ea.sort();
+        eb.sort();
+        if ea != eb {
+            divs.push(Divergence::Map { map: def.id });
+        }
+    }
+    divs
+}
+
+/// Compile `program` with `options` and differentially test it on
+/// `packets`, panicking with a readable report on divergence.
+pub fn assert_equivalent(program: &Program, options: CompilerOptions, packets: &[Vec<u8>]) {
+    assert_equivalent_with(program, options, packets, |_| {});
+}
+
+/// [`assert_equivalent`] with host-side map setup.
+pub fn assert_equivalent_with(
+    program: &Program,
+    options: CompilerOptions,
+    packets: &[Vec<u8>],
+    setup: impl Fn(&mut ehdl_ebpf::maps::MapStore),
+) {
+    assert_equivalent_ignoring(program, options, packets, setup, &[]);
+}
+
+/// [`assert_equivalent_with`] with an allocator-map ignore list.
+pub fn assert_equivalent_ignoring(
+    program: &Program,
+    options: CompilerOptions,
+    packets: &[Vec<u8>],
+    setup: impl Fn(&mut ehdl_ebpf::maps::MapStore),
+    ignore_maps: &[u32],
+) {
+    let design = Compiler::with_options(options)
+        .compile(program)
+        .unwrap_or_else(|e| panic!("compile {}: {e}", program.name));
+    let divs = compare_ignoring(program, &design, packets, setup, ignore_maps);
+    if !divs.is_empty() {
+        let report: Vec<String> = divs.iter().take(5).map(|d| d.to_string()).collect();
+        panic!(
+            "pipeline diverges from VM for `{}` ({} issues):\n  {}",
+            program.name,
+            divs.len(),
+            report.join("\n  ")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehdl_ebpf::asm::Asm;
+    use ehdl_ebpf::opcode::{AluOp, JmpOp, MemSize};
+
+    #[test]
+    fn branching_program_equivalent() {
+        let mut a = Asm::new();
+        let drop = a.new_label();
+        a.load(MemSize::W, 7, 1, 0);
+        a.load(MemSize::W, 8, 1, 4);
+        a.mov64_reg(2, 7);
+        a.alu64_imm(AluOp::Add, 2, 14);
+        a.jmp_reg(JmpOp::Jgt, 2, 8, drop);
+        a.load(MemSize::B, 3, 7, 12);
+        a.jmp_imm(JmpOp::Jeq, 3, 8, drop);
+        a.mov64_imm(0, 3);
+        a.exit();
+        a.bind(drop);
+        a.mov64_imm(0, 1);
+        a.exit();
+        let p = Program::from_insns(a.into_insns());
+        let mut packets: Vec<Vec<u8>> = (0..32).map(|i| vec![i as u8; 64]).collect();
+        packets.push(vec![0; 10]); // short packet exercises the elided check
+        assert_equivalent(&p, CompilerOptions::default(), &packets);
+    }
+
+    #[test]
+    fn packet_rewrite_equivalent() {
+        let mut a = Asm::new();
+        a.load(MemSize::W, 7, 1, 0);
+        a.load(MemSize::H, 2, 7, 0);
+        a.load(MemSize::H, 3, 7, 6);
+        a.store_reg(MemSize::H, 7, 0, 3);
+        a.store_reg(MemSize::H, 7, 6, 2);
+        a.mov64_imm(0, 3);
+        a.exit();
+        let p = Program::from_insns(a.into_insns());
+        let packets: Vec<Vec<u8>> = (0..16)
+            .map(|i| {
+                let mut v = vec![0u8; 64];
+                v[0] = i;
+                v[6] = 0xf0 | i;
+                v
+            })
+            .collect();
+        assert_equivalent(&p, CompilerOptions::default(), &packets);
+    }
+}

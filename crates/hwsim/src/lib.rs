@@ -1,0 +1,33 @@
+//! Cycle-level simulator for eHDL-generated hardware pipelines, plus a
+//! Corundum-like NIC shell model.
+//!
+//! The paper prototypes generated designs on a Xilinx Alveo U50; this crate
+//! is the reproduction's substitute for that FPGA. It executes a
+//! [`ehdl_core::PipelineDesign`] with RTL-equivalent timing semantics:
+//!
+//! * one packet may occupy each stage; the whole pipeline advances every
+//!   clock cycle (250 MHz), so up to `stage_count` packets are processed in
+//!   parallel;
+//! * stages read their *incoming* state copy and write the next stage's
+//!   copy (two-phase), matching the schedule's dependence model;
+//! * control flow is predication: disabled stages forward state untouched;
+//! * map accesses hit shared `eHDLmap` blocks, reproducing the §4.1 data
+//!   hazards — RAW hazards trigger Flush-Evaluation-Block pipeline flushes
+//!   (with checkpointed side effects per App. A.2), WAR hazards engage
+//!   write-delay buffers with same-packet forwarding, and atomics update
+//!   map memory in place;
+//! * packets are streamed in 64-byte frames, so larger packets take
+//!   proportionally longer to inject — exactly the line-rate arithmetic of
+//!   the testbed.
+//!
+//! [`diff`] provides the differential harness that checks the simulator
+//! against the reference interpreter, packet by packet and map by map.
+
+pub mod diff;
+pub mod multi;
+pub mod shell;
+pub mod sim;
+
+pub use multi::{MultiNic, Steering};
+pub use shell::{NicShell, ShellOptions, ShellReport};
+pub use sim::{PipelineSim, SimCounters, SimOptions, SimOutcome};

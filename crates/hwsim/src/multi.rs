@@ -1,0 +1,253 @@
+//! Multiple XDP programs on one NIC.
+//!
+//! §2.4 motivates state pruning with exactly this deployment: "in real
+//! deployments, it is also possible that multiple XDP programs are loaded
+//! at the same time (e.g., to handle different types of protocols /
+//! traffic)". This module instantiates several generated pipelines behind
+//! one shell with a steering function choosing the pipeline per packet —
+//! and exposes the combined resource bill that pruning keeps affordable.
+
+use crate::sim::{PipelineSim, SimOptions, SimOutcome};
+use ehdl_core::{resource, PipelineDesign, ResourceEstimate};
+
+/// How arriving packets are steered to a pipeline.
+#[derive(Debug, Clone)]
+pub enum Steering {
+    /// By EtherType: `(ethertype, pipeline)` pairs with a default.
+    ByEtherType {
+        /// Match table.
+        rules: Vec<(u16, usize)>,
+        /// Pipeline for unmatched packets.
+        default: usize,
+    },
+    /// By IPv4 protocol byte, with a default.
+    ByIpProto {
+        /// Match table.
+        rules: Vec<(u8, usize)>,
+        /// Pipeline for unmatched packets.
+        default: usize,
+    },
+}
+
+impl Steering {
+    /// Choose a pipeline index for a packet.
+    pub fn steer(&self, packet: &[u8]) -> usize {
+        match self {
+            Steering::ByEtherType { rules, default } => {
+                let ty = packet
+                    .get(12..14)
+                    .map(|b| u16::from_be_bytes([b[0], b[1]]))
+                    .unwrap_or(0);
+                rules.iter().find(|(t, _)| *t == ty).map(|(_, p)| *p).unwrap_or(*default)
+            }
+            Steering::ByIpProto { rules, default } => {
+                let proto = packet.get(23).copied().unwrap_or(0);
+                rules.iter().find(|(t, _)| *t == proto).map(|(_, p)| *p).unwrap_or(*default)
+            }
+        }
+    }
+}
+
+/// Several eHDL pipelines sharing one NIC shell.
+///
+/// ```
+/// use ehdl_core::Compiler;
+/// use ehdl_ebpf::asm::Asm;
+/// use ehdl_ebpf::Program;
+/// use ehdl_hwsim::{MultiNic, SimOptions, Steering};
+///
+/// let mut a = Asm::new();
+/// a.mov64_imm(0, 2);
+/// a.exit();
+/// let d = Compiler::new().compile(&Program::from_insns(a.into_insns()))?;
+/// let mut nic = MultiNic::new(
+///     &[d.clone(), d],
+///     Steering::ByEtherType { rules: vec![(0x0800, 0)], default: 1 },
+///     SimOptions::default(),
+/// );
+/// let report = nic.run(vec![vec![0u8; 64]]);
+/// assert_eq!(report.steered, vec![0, 1]);
+/// # Ok::<(), ehdl_core::CompileError>(())
+/// ```
+#[derive(Debug)]
+pub struct MultiNic {
+    sims: Vec<PipelineSim>,
+    designs: Vec<PipelineDesign>,
+    steering: Steering,
+}
+
+/// Per-pipeline slice of a multi-program run.
+#[derive(Debug, Clone)]
+pub struct MultiReport {
+    /// Packets steered to each pipeline.
+    pub steered: Vec<u64>,
+    /// Packets completed by each pipeline.
+    pub completed: Vec<u64>,
+    /// All outcomes tagged with their pipeline index, in completion order
+    /// per pipeline.
+    pub outcomes: Vec<(usize, SimOutcome)>,
+}
+
+impl MultiNic {
+    /// Instantiate pipelines for `designs` with a steering policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `designs` is empty or a steering target is out of range.
+    pub fn new(designs: &[PipelineDesign], steering: Steering, options: SimOptions) -> MultiNic {
+        assert!(!designs.is_empty(), "at least one pipeline");
+        let check = |p: usize| assert!(p < designs.len(), "steering target {p} out of range");
+        match &steering {
+            Steering::ByEtherType { rules, default } => {
+                rules.iter().for_each(|(_, p)| check(*p));
+                check(*default);
+            }
+            Steering::ByIpProto { rules, default } => {
+                rules.iter().for_each(|(_, p)| check(*p));
+                check(*default);
+            }
+        }
+        MultiNic {
+            sims: designs.iter().map(|d| PipelineSim::with_options(d, options)).collect(),
+            designs: designs.to_vec(),
+            steering,
+        }
+    }
+
+    /// Mutable access to pipeline `i`'s simulator (host map setup).
+    pub fn sim_mut(&mut self, i: usize) -> &mut PipelineSim {
+        &mut self.sims[i]
+    }
+
+    /// Run a packet burst through the steered pipelines (all pipelines
+    /// tick in lockstep, sharing the 250 MHz clock).
+    pub fn run(&mut self, packets: impl IntoIterator<Item = Vec<u8>>) -> MultiReport {
+        let n = self.sims.len();
+        let mut steered = vec![0u64; n];
+        for pkt in packets {
+            let target = self.steering.steer(&pkt);
+            steered[target] += 1;
+            self.sims[target].enqueue(pkt);
+            for sim in &mut self.sims {
+                sim.step();
+            }
+        }
+        for sim in &mut self.sims {
+            sim.settle(10_000_000);
+        }
+        let mut outcomes = Vec::new();
+        let mut completed = vec![0u64; n];
+        for (i, sim) in self.sims.iter_mut().enumerate() {
+            for out in sim.drain() {
+                completed[i] += 1;
+                outcomes.push((i, out));
+            }
+        }
+        MultiReport { steered, completed, outcomes }
+    }
+
+    /// Combined FPGA bill: every pipeline plus one shared shell.
+    pub fn resources(&self) -> ResourceEstimate {
+        let mut total = ResourceEstimate {
+            luts: resource::cost::SHELL_LUTS,
+            ffs: resource::cost::SHELL_FFS,
+            brams: resource::cost::SHELL_BRAMS,
+        };
+        for d in &self.designs {
+            total = total.plus(resource::estimate_pipeline(d));
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehdl_core::{Compiler, Target};
+    use ehdl_ebpf::vm::XdpAction;
+    use ehdl_net::{FiveTuple, IPPROTO_TCP, IPPROTO_UDP};
+    use ehdl_programs::{router, simple_firewall, suricata, App};
+    use ehdl_traffic::build_flow_packet;
+
+    fn designs() -> Vec<PipelineDesign> {
+        vec![
+            Compiler::new().compile(&simple_firewall::program()).unwrap(),
+            Compiler::new().compile(&suricata::program()).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn steering_splits_udp_and_tcp() {
+        // UDP → firewall pipeline, TCP → the IDS filter.
+        let designs = designs();
+        let mut nic = MultiNic::new(
+            &designs,
+            Steering::ByIpProto { rules: vec![(IPPROTO_UDP, 0), (IPPROTO_TCP, 1)], default: 1 },
+            SimOptions { freeze_time_ns: Some(1000), ..Default::default() },
+        );
+        let udp = FiveTuple { saddr: [10, 0, 0, 1], daddr: [1; 4], sport: 9, dport: 53, proto: IPPROTO_UDP };
+        let tcp = FiveTuple { saddr: [10, 0, 0, 2], daddr: [2; 4], sport: 9, dport: 80, proto: IPPROTO_TCP };
+        let mut packets = Vec::new();
+        for _ in 0..20 {
+            packets.push(build_flow_packet(&udp, [1; 6], [2; 6], 64));
+            packets.push(build_flow_packet(&tcp, [1; 6], [2; 6], 64));
+        }
+        let report = nic.run(packets);
+        assert_eq!(report.steered, vec![20, 20]);
+        assert_eq!(report.completed, vec![20, 20]);
+        // Firewall forwards the inside UDP flow; IDS passes unmatched TCP.
+        for (p, out) in &report.outcomes {
+            match p {
+                0 => assert_eq!(out.action, XdpAction::Tx),
+                _ => assert_eq!(out.action, XdpAction::Pass),
+            }
+        }
+        // Each pipeline kept its own maps.
+        assert_eq!(simple_firewall::read_stats(nic.sim_mut(0).maps())[0], 20);
+        assert_eq!(suricata::read_stats(nic.sim_mut(1).maps())[0], 20);
+    }
+
+    #[test]
+    fn three_programs_fit_the_fpga() {
+        // The sec. 2.4 motivation: pruned pipelines are small enough that
+        // several coexist comfortably on the U50.
+        let designs: Vec<PipelineDesign> = [App::Firewall, App::Router, App::Tunnel]
+            .iter()
+            .map(|a| Compiler::new().compile(&a.program()).unwrap())
+            .collect();
+        let nic = MultiNic::new(
+            &designs,
+            Steering::ByIpProto { rules: vec![], default: 0 },
+            SimOptions::default(),
+        );
+        let u = nic.resources().utilization(Target::ALVEO_U50);
+        assert!(u.luts < 0.25, "three pipelines + shell at {:.1}% LUTs", u.luts * 100.0);
+        assert!(u.brams < 0.60);
+    }
+
+    #[test]
+    fn default_steering_catches_unmatched() {
+        let designs = designs();
+        let mut nic = MultiNic::new(
+            &designs,
+            Steering::ByEtherType { rules: vec![(0x0800, 0)], default: 1 },
+            SimOptions { freeze_time_ns: Some(1000), ..Default::default() },
+        );
+        let mut arp = vec![0u8; 64];
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        let report = nic.run(vec![arp]);
+        assert_eq!(report.steered, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_steering_target_rejected() {
+        let designs = vec![Compiler::new().compile(&router::program()).unwrap()];
+        let _ = MultiNic::new(
+            &designs,
+            Steering::ByIpProto { rules: vec![(6, 3)], default: 0 },
+            SimOptions::default(),
+        );
+    }
+}

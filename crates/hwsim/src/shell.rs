@@ -1,0 +1,251 @@
+//! Corundum-like NIC shell model: drives a [`PipelineSim`] with an arrival
+//! schedule derived from a port speed, and reports the throughput/latency
+//! numbers the paper's testbed measures at the traffic generator.
+
+use crate::sim::{PipelineSim, SimOptions, SimOutcome, CLOCK_NS};
+use ehdl_core::PipelineDesign;
+use ehdl_ebpf::vm::XdpAction;
+
+/// Shell configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ShellOptions {
+    /// Port speed in bits per second (default 100 Gbps).
+    pub port_bps: f64,
+    /// Offered load as a fraction of line rate (1.0 = saturation).
+    pub load: f64,
+    /// Simulator options passed through.
+    pub sim: SimOptions,
+}
+
+impl Default for ShellOptions {
+    fn default() -> ShellOptions {
+        ShellOptions { port_bps: 100e9, load: 1.0, sim: SimOptions::default() }
+    }
+}
+
+/// Measurement summary of one run.
+#[derive(Debug, Clone)]
+pub struct ShellReport {
+    /// Packets offered by the generator.
+    pub offered: u64,
+    /// Packets that completed processing.
+    pub completed: u64,
+    /// Packets forwarded (TX/redirect/pass).
+    pub forwarded: u64,
+    /// Packets lost to RX overflow (the NIC could not keep up).
+    pub lost: u64,
+    /// Achieved throughput in packets per second.
+    pub throughput_pps: f64,
+    /// Mean forwarding latency in nanoseconds.
+    pub avg_latency_ns: f64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_latency_ns: f64,
+    /// Flush events observed.
+    pub flushes: u64,
+    /// Flush events per simulated second.
+    pub flushes_per_sec: f64,
+    /// Simulated wall-clock time in seconds.
+    pub seconds: f64,
+}
+
+/// The NIC shell: wraps a pipeline simulator with line-rate arrivals.
+///
+/// ```
+/// use ehdl_core::Compiler;
+/// use ehdl_ebpf::asm::Asm;
+/// use ehdl_ebpf::Program;
+/// use ehdl_hwsim::{NicShell, ShellOptions};
+///
+/// let mut a = Asm::new();
+/// a.mov64_imm(0, 3);
+/// a.exit();
+/// let design = Compiler::new().compile(&Program::from_insns(a.into_insns()))?;
+/// let mut nic = NicShell::new(&design, ShellOptions::default());
+/// let report = nic.run((0..1000).map(|_| vec![0u8; 64]));
+/// assert_eq!(report.lost, 0); // line rate sustained
+/// assert!(report.throughput_pps > 100e6);
+/// # Ok::<(), ehdl_core::CompileError>(())
+/// ```
+#[derive(Debug)]
+pub struct NicShell {
+    sim: PipelineSim,
+    options: ShellOptions,
+    completed: Vec<SimOutcome>,
+}
+
+impl NicShell {
+    /// Build a shell around `design`.
+    pub fn new(design: &PipelineDesign, options: ShellOptions) -> NicShell {
+        NicShell { sim: PipelineSim::with_options(design, options.sim), options, completed: Vec::new() }
+    }
+
+    /// Access the wrapped simulator (e.g. for host map setup).
+    pub fn sim_mut(&mut self) -> &mut PipelineSim {
+        &mut self.sim
+    }
+
+    /// Wire time of a frame at the configured port speed, in nanoseconds
+    /// (frame + 20 B preamble/IFG overhead).
+    fn wire_ns(&self, len: usize) -> f64 {
+        ((len + 20) * 8) as f64 / self.options.port_bps * 1e9 / self.options.load
+    }
+
+    /// Replay `packets` at line rate and collect the report.
+    ///
+    /// The generator offers packet `i` at its wire arrival time; the shell
+    /// enqueues it (dropping on RX overflow) and runs the pipeline clock in
+    /// between.
+    pub fn run<I>(&mut self, packets: I) -> ShellReport
+    where
+        I: IntoIterator<Item = Vec<u8>>,
+    {
+        let mut offered = 0u64;
+        let mut t_ns = 0.0f64;
+        for pkt in packets {
+            // Advance the pipeline clock to this packet's arrival time.
+            let target_cycle = (t_ns / CLOCK_NS) as u64;
+            while self.sim.cycle() < target_cycle {
+                self.sim.step();
+            }
+            t_ns += self.wire_ns(pkt.len());
+            offered += 1;
+            self.sim.enqueue(pkt);
+        }
+        self.sim.settle(10_000_000);
+
+        let mut outs = self.sim.drain();
+        let c = *self.sim.counters();
+        let mut latencies: Vec<f64> = outs.iter().map(|o| o.latency_ns).collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let seconds = (self.sim.cycle() as f64 * CLOCK_NS / 1e9).max(1e-12);
+        let forwarded = outs.iter().filter(|o| o.action.forwards()).count() as u64;
+        self.completed.append(&mut outs);
+        ShellReport {
+            offered,
+            completed: c.completed,
+            forwarded,
+            lost: c.rx_dropped,
+            throughput_pps: c.completed as f64 / (t_ns / 1e9).max(1e-12),
+            avg_latency_ns: if latencies.is_empty() {
+                0.0
+            } else {
+                latencies.iter().sum::<f64>() / latencies.len() as f64
+            },
+            p99_latency_ns: latencies
+                .get((latencies.len().saturating_sub(1)) * 99 / 100)
+                .copied()
+                .unwrap_or(0.0),
+            flushes: c.flushes,
+            flushes_per_sec: c.flushes as f64 / seconds,
+            seconds,
+        }
+    }
+
+    /// All completed outcomes from the last run that were not yet drained.
+    pub fn drain(&mut self) -> Vec<SimOutcome> {
+        let mut outs = std::mem::take(&mut self.completed);
+        outs.extend(self.sim.drain());
+        outs
+    }
+
+    /// Fraction of offered packets that were forwarded without loss —
+    /// "line rate" means 1.0 here.
+    pub fn delivered_fraction(report: &ShellReport) -> f64 {
+        if report.offered == 0 {
+            return 1.0;
+        }
+        report.completed as f64 / report.offered as f64
+    }
+
+    /// Count outcomes by action.
+    pub fn action_histogram(outs: &[SimOutcome]) -> [u64; 5] {
+        let mut h = [0u64; 5];
+        for o in outs {
+            h[o.action.code() as usize] += 1;
+        }
+        h
+    }
+
+    /// Convenience accessor mirroring the sim counters.
+    pub fn counters(&self) -> crate::sim::SimCounters {
+        *self.sim.counters()
+    }
+}
+
+/// Verdict histogram indices for [`NicShell::action_histogram`].
+pub const ACTIONS: [XdpAction; 5] = [
+    XdpAction::Aborted,
+    XdpAction::Drop,
+    XdpAction::Pass,
+    XdpAction::Tx,
+    XdpAction::Redirect,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehdl_core::Compiler;
+    use ehdl_ebpf::asm::Asm;
+    use ehdl_ebpf::Program;
+
+    fn tx_everything() -> PipelineDesign {
+        let mut a = Asm::new();
+        a.mov64_imm(0, 3);
+        a.exit();
+        Compiler::new().compile(&Program::from_insns(a.into_insns())).unwrap()
+    }
+
+    #[test]
+    fn line_rate_64b_is_delivered() {
+        let design = tx_everything();
+        let mut shell = NicShell::new(&design, ShellOptions::default());
+        let report = shell.run((0..5000).map(|_| vec![0u8; 64]));
+        assert_eq!(report.lost, 0);
+        assert_eq!(report.completed, 5000);
+        // 64B at 100G = 148.8 Mpps offered; pipeline peak is 250 Mpps.
+        assert!(
+            (130e6..170e6).contains(&report.throughput_pps),
+            "{}",
+            report.throughput_pps
+        );
+    }
+
+    #[test]
+    fn latency_about_one_microsecond() {
+        let design = tx_everything();
+        let mut shell = NicShell::new(&design, ShellOptions::default());
+        let report = shell.run((0..1000).map(|_| vec![0u8; 64]));
+        assert!(
+            (600.0..1500.0).contains(&report.avg_latency_ns),
+            "{}",
+            report.avg_latency_ns
+        );
+    }
+
+    #[test]
+    fn offered_load_fraction_scales_throughput() {
+        let design = tx_everything();
+        let mut half = NicShell::new(
+            &design,
+            ShellOptions { load: 0.5, ..Default::default() },
+        );
+        let r = half.run((0..2000).map(|_| vec![0u8; 64]));
+        assert_eq!(r.lost, 0);
+        assert!(
+            (60e6..90e6).contains(&r.throughput_pps),
+            "half load ≈ 74 Mpps, got {}",
+            r.throughput_pps
+        );
+    }
+
+    #[test]
+    fn large_packets_lower_pps() {
+        let design = tx_everything();
+        let mut shell = NicShell::new(&design, ShellOptions::default());
+        let small = shell.run((0..2000).map(|_| vec![0u8; 64]));
+        let mut shell = NicShell::new(&design, ShellOptions::default());
+        let large = shell.run((0..2000).map(|_| vec![0u8; 1500]));
+        assert!(large.throughput_pps < small.throughput_pps / 5.0);
+        assert_eq!(large.lost, 0);
+    }
+}

@@ -1,0 +1,1418 @@
+//! The pipeline simulator.
+
+use ehdl_core::ir::HwInsn;
+use ehdl_core::pipeline::{EdgeCond, PipelineDesign};
+use ehdl_ebpf::helpers::*;
+use ehdl_ebpf::insn::{Instruction, Operand};
+use ehdl_ebpf::maps::{MapStore, UpdateFlags};
+use ehdl_ebpf::opcode::{AtomicOp, MemSize};
+use ehdl_ebpf::vm::{
+    alu_eval, cond_eval, decode_map_value_addr, endian_eval, map_value_addr, mask_for, xdp_md,
+    XdpAction, CTX_BASE, MAP_HANDLE_BASE, PACKET_BASE, STACK_BASE, STACK_SIZE,
+    STACK_TOP, XDP_HEADROOM,
+};
+use std::collections::VecDeque;
+
+/// Pipeline clock period in nanoseconds (250 MHz).
+pub const CLOCK_NS: f64 = 4.0;
+/// Cycles to refill the pipeline after a flush (App. A.1).
+pub const FLUSH_RELOAD_CYCLES: u64 = 4;
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Fix `bpf_ktime_get_ns` to a constant (for differential tests);
+    /// `None` derives time from the cycle counter.
+    pub freeze_time_ns: Option<u64>,
+    /// RX queue depth in packets; arrivals beyond this are lost.
+    pub rx_queue_depth: usize,
+    /// Constant NIC-shell latency added to reported packet latencies
+    /// (MACs, async FIFOs, arbitration — §4.5).
+    pub shell_latency_ns: f64,
+    /// Validation mode: overwrite every register and stack byte the §4.3
+    /// pruning analysis declared *dead* with a poison pattern at each
+    /// stage boundary — exactly what the real hardware does by not wiring
+    /// them. Any observable effect is a pruning-soundness bug.
+    pub poison_dead_state: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> SimOptions {
+        SimOptions {
+            freeze_time_ns: None,
+            rx_queue_depth: 4096,
+            shell_latency_ns: 620.0,
+            poison_dead_state: false,
+        }
+    }
+}
+
+/// Event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimCounters {
+    /// Packets accepted into the pipeline.
+    pub injected: u64,
+    /// Packets that completed (any action).
+    pub completed: u64,
+    /// Arrivals lost to RX-queue overflow.
+    pub rx_dropped: u64,
+    /// Pipeline flush events (§4.1.2).
+    pub flushes: u64,
+    /// Packets sent back for re-execution by flushes.
+    pub flush_replays: u64,
+    /// Packets dropped by the implicit hardware bounds check.
+    pub bounds_faults: u64,
+}
+
+/// A completed packet.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Arrival sequence number.
+    pub seq: u64,
+    /// Final verdict.
+    pub action: XdpAction,
+    /// Redirect target, when the action is `Redirect`.
+    pub redirect_ifindex: Option<u32>,
+    /// Final packet bytes (after any rewriting / encapsulation).
+    pub packet: Vec<u8>,
+    /// Cycles from injection to completion.
+    pub latency_cycles: u64,
+    /// End-to-end latency estimate including the shell, in nanoseconds.
+    pub latency_ns: f64,
+}
+
+/// Mutable per-packet execution state (the contents of one pipeline slot).
+#[derive(Debug, Clone)]
+struct PacketState {
+    buf: Vec<u8>,
+    data_off: usize,
+    end_off: usize,
+    regs: [u64; 11],
+    stack: [u8; STACK_SIZE as usize],
+    enabled: Vec<Option<bool>>,
+    taken: Vec<Option<bool>>,
+    action: Option<XdpAction>,
+    redirect: Option<u32>,
+    faulted: bool,
+    /// Unconfirmed read keys per map (cleared only by replay).
+    map_reads: Vec<Vec<Vec<u8>>>,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    seq: u64,
+    orig: Vec<u8>,
+    injected_cycle: u64,
+    state: PacketState,
+    /// Post-side-effect snapshots in ascending stage order (App. A.2
+    /// elastic buffers): `(resume_stage, state)`.
+    checkpoints: Vec<(usize, Box<PacketState>)>,
+    /// Set while replaying up to a checkpoint after a flush.
+    resume: Option<(usize, Box<PacketState>)>,
+}
+
+#[derive(Debug, Clone)]
+enum WriteKind {
+    Update { key: Vec<u8>, value: Vec<u8>, flags: UpdateFlags },
+    Delete { key: Vec<u8> },
+    StoreValue { slot: usize, off: usize, size: MemSize, value: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct PendingWrite {
+    commit_cycle: u64,
+    map: u32,
+    seq: u64,
+    kind: WriteKind,
+}
+
+/// The cycle-accurate simulator of one compiled design.
+///
+/// ```
+/// use ehdl_core::Compiler;
+/// use ehdl_ebpf::asm::Asm;
+/// use ehdl_ebpf::Program;
+/// use ehdl_hwsim::PipelineSim;
+///
+/// let mut a = Asm::new();
+/// a.mov64_imm(0, 3); // XDP_TX
+/// a.exit();
+/// let design = Compiler::new().compile(&Program::from_insns(a.into_insns()))?;
+/// let mut sim = PipelineSim::new(&design);
+/// sim.enqueue(vec![0u8; 64]);
+/// sim.settle(10_000);
+/// let out = sim.drain().remove(0);
+/// assert_eq!(out.action, ehdl_ebpf::vm::XdpAction::Tx);
+/// assert_eq!(out.latency_cycles as usize, design.stage_count());
+/// # Ok::<(), ehdl_core::CompileError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelineSim {
+    design: PipelineDesign,
+    options: SimOptions,
+    maps: MapStore,
+    slots: Vec<Option<InFlight>>,
+    rx: VecDeque<InFlight>,
+    pending_writes: Vec<PendingWrite>,
+    out: Vec<SimOutcome>,
+    counters: SimCounters,
+    cycle: u64,
+    next_seq: u64,
+    /// Injection blocked while a multi-frame packet streams in.
+    inject_busy: u64,
+    /// Post-flush reload bubble.
+    stall: u64,
+    prandom_state: u64,
+    /// Delay (cycles) per write stage, from the WAR plan.
+    war_delay: std::collections::BTreeMap<(u32, usize), u64>,
+    /// Per stage: how many packet-visits executed (enabled) vs passed
+    /// through disabled — the disable-signal picture of Figure 8.
+    stage_enabled: Vec<u64>,
+    stage_disabled: Vec<u64>,
+}
+
+impl PipelineSim {
+    /// Instantiate a simulator for `design` with default options.
+    pub fn new(design: &PipelineDesign) -> PipelineSim {
+        PipelineSim::with_options(design, SimOptions::default())
+    }
+
+    /// Instantiate with explicit options.
+    pub fn with_options(design: &PipelineDesign, options: SimOptions) -> PipelineSim {
+        let maps = MapStore::new(&design.maps);
+        let nstages = design.stages.len();
+        let war_delay = design
+            .hazards
+            .war_buffers
+            .iter()
+            .map(|w| ((w.map, w.write_stage), w.delay as u64))
+            .collect();
+        PipelineSim {
+            design: design.clone(),
+            options,
+            maps,
+            slots: vec![None; nstages],
+            rx: VecDeque::new(),
+            pending_writes: Vec::new(),
+            out: Vec::new(),
+            counters: SimCounters::default(),
+            cycle: 0,
+            next_seq: 0,
+            inject_busy: 0,
+            stall: 0,
+            prandom_state: 0x9e37_79b9_7f4a_7c15,
+            war_delay,
+            stage_enabled: vec![0; nstages],
+            stage_disabled: vec![0; nstages],
+        }
+    }
+
+    /// Per-stage utilization: fraction of packet visits in which the stage
+    /// actually executed (its block was enabled). Wait/latency stages and
+    /// never-visited stages report 0.
+    pub fn stage_utilization(&self) -> Vec<f64> {
+        self.stage_enabled
+            .iter()
+            .zip(&self.stage_disabled)
+            .map(|(&e, &d)| {
+                let total = e + d;
+                if total == 0 {
+                    0.0
+                } else {
+                    e as f64 / total as f64
+                }
+            })
+            .collect()
+    }
+
+    /// The live maps (host view).
+    pub fn maps(&self) -> &MapStore {
+        &self.maps
+    }
+
+    /// Mutable map access (host control plane).
+    pub fn maps_mut(&mut self) -> &mut MapStore {
+        &mut self.maps
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Event counters.
+    pub fn counters(&self) -> &SimCounters {
+        &self.counters
+    }
+
+    /// Packets currently inside the pipeline.
+    pub fn in_flight(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Queue a packet for injection. Returns `false` (and counts a drop)
+    /// if the RX queue is full.
+    pub fn enqueue(&mut self, packet: Vec<u8>) -> bool {
+        if self.rx.len() >= self.options.rx_queue_depth {
+            self.counters.rx_dropped += 1;
+            return false;
+        }
+        let nb = self.design.blocks.len();
+        let nmaps = self.design.maps.len();
+        let mut buf = vec![0u8; XDP_HEADROOM + packet.len()];
+        buf[XDP_HEADROOM..].copy_from_slice(&packet);
+        let end_off = buf.len();
+        let mut regs = [0u64; 11];
+        regs[1] = CTX_BASE;
+        regs[10] = STACK_TOP;
+        self.rx.push_back(InFlight {
+            seq: self.next_seq,
+            orig: packet,
+            injected_cycle: 0,
+            state: PacketState {
+                buf,
+                data_off: XDP_HEADROOM,
+                end_off,
+                regs,
+                stack: [0; STACK_SIZE as usize],
+                enabled: vec![None; nb],
+                taken: vec![None; nb],
+                action: None,
+                redirect: None,
+                faulted: false,
+                map_reads: vec![Vec::new(); nmaps],
+            },
+            checkpoints: Vec::new(),
+            resume: None,
+        });
+        self.next_seq += 1;
+        true
+    }
+
+    /// Number of frames a packet occupies on the datapath.
+    fn frames_of(&self, len: usize) -> u64 {
+        (len.max(1)).div_ceil(self.design.framing.frame_size) as u64
+    }
+
+    /// Advance one clock cycle.
+    pub fn step(&mut self) {
+        // 1. Commit due buffered map writes (oldest first).
+        self.commit_due_writes();
+
+        // 2. Advance the pipeline from the back.
+        let nstages = self.design.stages.len();
+        for s in (0..nstages).rev() {
+            let Some(mut pkt) = self.slots[s].take() else { continue };
+            match self.exec_stage(s, &mut pkt) {
+                StageResult::Ok => {
+                    if s + 1 == nstages {
+                        self.complete(pkt);
+                    } else {
+                        self.poison_dead(&mut pkt, s + 1);
+                        self.slots[s + 1] = Some(pkt);
+                    }
+                }
+                StageResult::FlushBelow { boundary, read_stage, map, key } => {
+                    // The writer (this packet) keeps going.
+                    if s + 1 == nstages {
+                        self.complete(pkt);
+                    } else {
+                        self.poison_dead(&mut pkt, s + 1);
+                        self.slots[s + 1] = Some(pkt);
+                    }
+                    self.flush_below(boundary, read_stage, Some((map, key)));
+                }
+                StageResult::FlushSelf => {
+                    // Reading packet saw a stale location: it and everything
+                    // younger re-executes (re-reading from its latest
+                    // checkpoint repairs the value).
+                    self.slots[s] = Some(pkt);
+                    self.flush_below(s + 1, s, None);
+                }
+            }
+        }
+
+        // 3. Injection.
+        if self.stall > 0 {
+            self.stall -= 1;
+        } else if self.inject_busy > 0 {
+            self.inject_busy -= 1;
+        } else if self.slots.first().is_some_and(|s| s.is_none()) {
+            if let Some(mut pkt) = self.rx.pop_front() {
+                pkt.injected_cycle = self.cycle;
+                self.inject_busy = self.frames_of(pkt.orig.len()).saturating_sub(1);
+                self.counters.injected += 1;
+                self.slots[0] = Some(pkt);
+            }
+        }
+
+        self.cycle += 1;
+    }
+
+    /// Run until the pipeline and queues are empty (or `max_cycles` pass).
+    pub fn settle(&mut self, max_cycles: u64) {
+        let mut budget = max_cycles;
+        while (self.in_flight() > 0 || !self.rx.is_empty() || !self.pending_writes.is_empty())
+            && budget > 0
+        {
+            self.step();
+            budget -= 1;
+        }
+    }
+
+    /// Take all completed packets (in completion order = arrival order).
+    pub fn drain(&mut self) -> Vec<SimOutcome> {
+        std::mem::take(&mut self.out)
+    }
+
+    fn complete(&mut self, pkt: InFlight) {
+        let action = match (pkt.state.faulted, pkt.state.action) {
+            (true, _) => XdpAction::Drop,
+            (false, Some(a)) => a,
+            (false, None) => XdpAction::Aborted,
+        };
+        if pkt.state.faulted {
+            self.counters.bounds_faults += 1;
+        }
+        let latency_cycles = self.cycle - pkt.injected_cycle;
+        self.counters.completed += 1;
+        self.out.push(SimOutcome {
+            seq: pkt.seq,
+            action,
+            redirect_ifindex: if action == XdpAction::Redirect { pkt.state.redirect } else { None },
+            packet: pkt.state.buf[pkt.state.data_off..pkt.state.end_off].to_vec(),
+            latency_cycles,
+            latency_ns: latency_cycles as f64 * CLOCK_NS + self.options.shell_latency_ns,
+        });
+    }
+
+    /// Flush all pipeline slots below `boundary`.
+    ///
+    /// `trigger` identifies the hazard: packets holding an unconfirmed read
+    /// of that key must roll back past `read_stage` to repair it; innocent
+    /// bystanders resume from their latest checkpoint, so their committed
+    /// side effects are never replayed (App. A.2).
+    fn flush_below(&mut self, boundary: usize, read_stage: usize, trigger: Option<(u32, Vec<u8>)>) {
+        let mut replay = Vec::new();
+        for s in (0..boundary.min(self.slots.len())).rev() {
+            if let Some(pkt) = self.slots[s].take() {
+                replay.push(pkt); // oldest first
+            }
+        }
+        if replay.is_empty() {
+            return;
+        }
+        self.counters.flushes += 1;
+        self.counters.flush_replays += replay.len() as u64;
+        if std::env::var_os("EHDL_SIM_DEBUG").is_some() {
+            eprintln!("[sim {}] flush boundary={boundary} read_stage={read_stage} trigger={trigger:?}", self.cycle);
+        }
+        // Re-inject in original order at the queue front.
+        for mut pkt in replay.into_iter().rev() {
+            let stale = match &trigger {
+                Some((m, k)) => pkt.state.map_reads[*m as usize].iter().any(|x| x == k),
+                None => false,
+            };
+            let limit = if stale { read_stage } else { usize::MAX };
+            if std::env::var_os("EHDL_SIM_DEBUG").is_some() {
+                eprintln!("  replay seq{} stale={stale} ckpts={:?}", pkt.seq, pkt.checkpoints.iter().map(|(s,_)| *s).collect::<Vec<_>>());
+            }
+            pkt.reset_for_replay(limit, self.design.blocks.len(), self.design.maps.len());
+            self.counters.injected = self.counters.injected.saturating_sub(1);
+            self.rx.push_front(pkt);
+        }
+        self.stall = self.stall.max(FLUSH_RELOAD_CYCLES);
+        self.inject_busy = 0;
+    }
+
+    fn commit_due_writes(&mut self) {
+        let cycle = self.cycle;
+        let mut i = 0;
+        while i < self.pending_writes.len() {
+            if self.pending_writes[i].commit_cycle <= cycle {
+                let w = self.pending_writes.remove(i);
+                self.apply_write(&w);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn apply_write(&mut self, w: &PendingWrite) {
+        let Some(map) = self.maps.get_mut(w.map) else { return };
+        match &w.kind {
+            WriteKind::Update { key, value, flags } => {
+                let _ = map.update(key, value, *flags);
+            }
+            WriteKind::Delete { key } => {
+                let _ = map.delete(key);
+            }
+            WriteKind::StoreValue { slot, off, size, value } => {
+                let n = size.bytes();
+                let bytes = value.to_le_bytes();
+                let v = map.value_mut(*slot);
+                if off + n <= v.len() {
+                    v[*off..*off + n].copy_from_slice(&bytes[..n]);
+                }
+            }
+        }
+    }
+
+    /// Commit any buffered writes of `seq` on `map` (store-to-load
+    /// forwarding: a packet always observes its own earlier writes).
+    fn forward_own_writes(&mut self, map: u32, seq: u64) {
+        let mut i = 0;
+        while i < self.pending_writes.len() {
+            if self.pending_writes[i].map == map && self.pending_writes[i].seq == seq {
+                let w = self.pending_writes.remove(i);
+                self.apply_write(&w);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Does any *other* packet have an uncommitted write to `key` on `map`?
+    fn stale_risk(&self, map: u32, seq: u64, key: &[u8]) -> bool {
+        self.pending_writes.iter().any(|w| {
+            w.map == map
+                && w.seq != seq
+                && match &w.kind {
+                    WriteKind::Update { key: k, .. } | WriteKind::Delete { key: k } => k == key,
+                    WriteKind::StoreValue { slot, .. } => {
+                        self.maps.get(map).is_some_and(|m| m.key_of(*slot) == key)
+                    }
+                }
+        })
+    }
+
+    fn time_ns(&self) -> u64 {
+        self.options
+            .freeze_time_ns
+            .unwrap_or((self.cycle as f64 * CLOCK_NS) as u64)
+    }
+
+    fn prandom(&mut self) -> u64 {
+        let mut x = self.prandom_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.prandom_state = x;
+        (x.wrapping_mul(0x2545_f491_4f6c_dd1d)) >> 32
+    }
+
+    /// Compute (and memoize) a block's enable signal. Recurses into
+    /// predecessors because a block may own no pipeline stage at all (all
+    /// of its instructions were optimized away) yet still routes control
+    /// to its successors.
+    fn block_enabled(&self, pkt: &mut PacketState, block: usize) -> bool {
+        if let Some(e) = pkt.enabled[block] {
+            return e;
+        }
+        let e = if block == 0 {
+            true
+        } else {
+            let preds = self.design.blocks[block].preds.clone();
+            preds.iter().any(|&(p, cond)| {
+                self.block_enabled(pkt, p)
+                    && match cond {
+                        EdgeCond::Always => true,
+                        EdgeCond::IfTaken => pkt.taken[p] == Some(true),
+                        EdgeCond::IfNotTaken => pkt.taken[p] == Some(false),
+                    }
+            })
+        };
+        pkt.enabled[block] = Some(e);
+        e
+    }
+
+    fn exec_stage(&mut self, s: usize, pkt: &mut InFlight) -> StageResult {
+        // Flush-replay fast path: skip until the checkpointed stage.
+        if let Some((resume_stage, _)) = pkt.resume {
+            if s < resume_stage {
+                return StageResult::Ok;
+            }
+            let (_, snap) = pkt.resume.take().expect("resume checked above");
+            pkt.state = *snap;
+        }
+
+        let stage = &self.design.stages[s];
+        let block = stage.block;
+        if stage.ops.is_empty() {
+            // Frame-wait / helper-latency stages forward state.
+            return StageResult::Ok;
+        }
+        let mut state = std::mem::replace(&mut pkt.state, PacketState::placeholder());
+        if state.faulted || !self.block_enabled(&mut state, block) {
+            self.stage_disabled[s] += 1;
+            pkt.state = state;
+            return StageResult::Ok;
+        }
+        self.stage_enabled[s] += 1;
+        // Implicit length guards from elided bounds checks (§4.4): the
+        // frame interface drops packets shorter than the guarded length.
+        let pkt_len = (state.end_off - state.data_off) as i64;
+        for &(gb, min_len) in &self.design.guards {
+            if gb == block && pkt_len < min_len {
+                state.faulted = true;
+                pkt.state = state;
+                return StageResult::Ok;
+            }
+        }
+
+        // Two-phase execution: every op reads the incoming state; writes
+        // land in `delta` and commit together at the stage boundary.
+        let mut delta = Delta::default();
+        let mut result = StageResult::Ok;
+        let ops = self.design.stages[s].ops.clone();
+        for op in &ops {
+            match self.exec_op(s, op, pkt.seq, &state, &mut delta) {
+                Ok(()) => {}
+                Err(OpAbort::Fault) => {
+                    delta.fault = true;
+                    break;
+                }
+                Err(OpAbort::FlushSelf) => {
+                    pkt.state = state;
+                    return StageResult::FlushSelf;
+                }
+            }
+        }
+        if let Some((map, key, read_stage)) = delta.flush_below.take() {
+            result = StageResult::FlushBelow { boundary: s, read_stage, map, key };
+        }
+        delta.apply(&mut state, block);
+
+        let had_side_effect = delta.side_effect;
+        pkt.state = state;
+        if had_side_effect {
+            // Checkpoint after this stage (App. A.2 elastic buffer): a
+            // flush rolling back to a point at or after it resumes here
+            // instead of replaying the committed side effect.
+            pkt.checkpoints.push((s + 1, Box::new(pkt.state.clone())));
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_op(
+        &mut self,
+        stage_idx: usize,
+        op: &ehdl_core::StageOp,
+        seq: u64,
+        state: &PacketState,
+        delta: &mut Delta,
+    ) -> Result<(), OpAbort> {
+        let regs = &state.regs;
+        match op.insn {
+            HwInsn::Alu3 { op: aop, width, dst, a, b } => {
+                let bv = operand(regs, b);
+                delta.set_reg(dst, alu_eval(aop, width, regs[a as usize], bv));
+            }
+            HwInsn::Simple(insn) => match insn {
+                Instruction::Alu { op: aop, width, dst, src } => {
+                    let sv = operand(regs, src);
+                    delta.set_reg(dst, alu_eval(aop, width, regs[dst as usize], sv));
+                }
+                Instruction::Endian { dst, bits, to_be } => {
+                    delta.set_reg(dst, endian_eval(regs[dst as usize], bits, to_be));
+                }
+                Instruction::LoadImm64 { dst, imm, map } => {
+                    let v = match map {
+                        Some(id) => MAP_HANDLE_BASE + u64::from(id),
+                        None => imm,
+                    };
+                    delta.set_reg(dst, v);
+                }
+                Instruction::Load { size, dst, src, off } => {
+                    let addr = regs[src as usize].wrapping_add(off as i64 as u64);
+                    let v = self.mem_read(state, seq, addr, size)?;
+                    delta.set_reg(dst, v);
+                }
+                Instruction::Store { size, dst, off, src } => {
+                    let addr = regs[dst as usize].wrapping_add(off as i64 as u64);
+                    let v = operand(regs, src);
+                    self.mem_write(stage_idx, state, seq, addr, size, v, delta)?;
+                }
+                Instruction::Atomic { op: aop, size, dst, off, src } => {
+                    let addr = regs[dst as usize].wrapping_add(off as i64 as u64);
+                    let operand_v = regs[src as usize];
+                    let old = self.atomic_rmw(state, seq, addr, size, aop, operand_v, regs[0], delta)?;
+                    match aop {
+                        AtomicOp::Cmpxchg => delta.set_reg(0, old),
+                        _ if aop.fetches() => delta.set_reg(src, old),
+                        _ => {}
+                    }
+                }
+                Instruction::Jump { cond, .. } => {
+                    if let Some(c) = cond {
+                        let l = regs[c.lhs as usize];
+                        let r = operand(regs, c.rhs);
+                        delta.taken = Some(cond_eval(c.op, c.width, l, r));
+                    } else {
+                        delta.taken = Some(true);
+                    }
+                }
+                Instruction::Call { helper } => {
+                    self.exec_helper(stage_idx, helper, seq, state, delta)?;
+                }
+                Instruction::Exit => {
+                    delta.action = Some(XdpAction::from_r0(regs[0]));
+                }
+            },
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn atomic_rmw(
+        &mut self,
+        state: &PacketState,
+        seq: u64,
+        addr: u64,
+        size: MemSize,
+        aop: AtomicOp,
+        operand_v: u64,
+        r0: u64,
+        delta: &mut Delta,
+    ) -> Result<u64, OpAbort> {
+        // Atomics on map values execute in the map block immediately.
+        if let Some((map_id, slot, off)) =
+            decode_map_value_addr(addr, |m| self.maps.get(m).map(|x| x.def().value_stride()))
+        {
+            self.forward_own_writes(map_id, seq);
+            let key = self.maps.get(map_id).ok_or(OpAbort::Fault)?.key_of(slot).to_vec();
+            if self.stale_risk(map_id, seq, &key) {
+                return Err(OpAbort::FlushSelf);
+            }
+            let n = size.bytes();
+            let map = self.maps.get_mut(map_id).ok_or(OpAbort::Fault)?;
+            if off + n > map.def().value_size as usize {
+                return Err(OpAbort::Fault);
+            }
+            let mut cur = [0u8; 8];
+            cur[..n].copy_from_slice(&map.value(slot)[off..off + n]);
+            let old = u64::from_le_bytes(cur);
+            let new = atomic_new_value(aop, old, operand_v, r0 & mask_for(size));
+            let bytes = new.to_le_bytes();
+            map.value_mut(slot)[off..off + n].copy_from_slice(&bytes[..n]);
+            delta.side_effect = true;
+            if std::env::var_os("EHDL_SIM_DEBUG").is_some() {
+                eprintln!("[sim {}] atomic map{map_id} slot{slot} seq{seq} old={old}", self.cycle);
+            }
+            Ok(old)
+        } else {
+            // Stack/packet atomics are local read-modify-writes.
+            let old = self.mem_read(state, seq, addr, size)?;
+            let new = atomic_new_value(aop, old, operand_v, r0 & mask_for(size));
+            // Reuse the store path so writes commit at the boundary.
+            let fake_delta_write = new;
+            self.local_write(state, addr, size, fake_delta_write, delta)?;
+            Ok(old)
+        }
+    }
+
+    fn exec_helper(
+        &mut self,
+        stage_idx: usize,
+        helper: u32,
+        seq: u64,
+        state: &PacketState,
+        delta: &mut Delta,
+    ) -> Result<(), OpAbort> {
+        let regs = &state.regs;
+        let r0 = match helper {
+            BPF_MAP_LOOKUP_ELEM => {
+                let map_id = map_handle(regs[1]).ok_or(OpAbort::Fault)?;
+                let def = self.maps.get(map_id).ok_or(OpAbort::Fault)?.def().clone();
+                let key = self.read_bytes(state, seq, regs[2], def.key_size as usize)?;
+                self.forward_own_writes(map_id, seq);
+                if self.stale_risk(map_id, seq, &key) {
+                    return Err(OpAbort::FlushSelf);
+                }
+                delta.record_read(map_id, key.clone());
+                let map = self.maps.get_mut(map_id).expect("map exists");
+                match map.lookup(&key).ok().flatten() {
+                    Some(slot) => map_value_addr(map_id, slot, def.value_stride()),
+                    None => 0,
+                }
+            }
+            BPF_MAP_UPDATE_ELEM | BPF_MAP_DELETE_ELEM => {
+                let map_id = map_handle(regs[1]).ok_or(OpAbort::Fault)?;
+                let def = self.maps.get(map_id).ok_or(OpAbort::Fault)?.def().clone();
+                let key = self.read_bytes(state, seq, regs[2], def.key_size as usize)?;
+                let kind = if helper == BPF_MAP_UPDATE_ELEM {
+                    let value = self.read_bytes(state, seq, regs[3], def.value_size as usize)?;
+                    let flags = UpdateFlags::from_raw(regs[4]).unwrap_or(UpdateFlags::Any);
+                    WriteKind::Update { key: key.clone(), value, flags }
+                } else {
+                    WriteKind::Delete { key: key.clone() }
+                };
+                // FEB: compare the write key against unconfirmed reads of
+                // younger in-flight packets (§4.1.2).
+                let hazard = self.younger_read_matches(stage_idx, map_id, &key);
+                let delay = self.war_delay.get(&(map_id, stage_idx)).copied().unwrap_or(0);
+                let w = PendingWrite {
+                    commit_cycle: self.cycle + delay,
+                    map: map_id,
+                    seq,
+                    kind,
+                };
+                if delay == 0 {
+                    self.apply_write(&w);
+                } else {
+                    self.pending_writes.push(w);
+                }
+                delta.side_effect = true;
+                if hazard {
+                    delta.flush_below =
+                        Some((map_id, key.clone(), self.feb_read_stage(map_id, stage_idx)));
+                }
+                0
+            }
+            BPF_KTIME_GET_NS => self.time_ns(),
+            BPF_GET_PRANDOM_U32 => self.prandom(),
+            BPF_GET_SMP_PROCESSOR_ID => 0,
+            BPF_REDIRECT => {
+                delta.redirect = Some(regs[1] as u32);
+                XdpAction::Redirect.code()
+            }
+            BPF_XDP_ADJUST_HEAD => {
+                let d = regs[2] as i64;
+                let new_off = state.data_off as i64 + d;
+                if new_off < 0 || new_off as usize >= state.end_off {
+                    (-1i64) as u64
+                } else {
+                    delta.new_data_off = Some(new_off as usize);
+                    0
+                }
+            }
+            BPF_XDP_ADJUST_TAIL => {
+                let d = regs[2] as i64;
+                let new_end = state.end_off as i64 + d;
+                if new_end <= state.data_off as i64 || new_end as usize > state.buf.len() {
+                    (-1i64) as u64
+                } else {
+                    delta.new_end_off = Some(new_end as usize);
+                    0
+                }
+            }
+            BPF_CSUM_DIFF => {
+                let from_size = regs[2] as usize;
+                let to_size = regs[4] as usize;
+                let mut sum = regs[5] as i64;
+                if from_size > 0 {
+                    let from = self.read_bytes(state, seq, regs[1], from_size)?;
+                    for wds in from.chunks(4) {
+                        let mut b = [0u8; 4];
+                        b[..wds.len()].copy_from_slice(wds);
+                        sum -= i64::from(u32::from_le_bytes(b));
+                    }
+                }
+                if to_size > 0 {
+                    let to = self.read_bytes(state, seq, regs[3], to_size)?;
+                    for wds in to.chunks(4) {
+                        let mut b = [0u8; 4];
+                        b[..wds.len()].copy_from_slice(wds);
+                        sum += i64::from(u32::from_le_bytes(b));
+                    }
+                }
+                (sum as u64) & 0xffff_ffff
+            }
+            _ => return Err(OpAbort::Fault),
+        };
+        delta.set_reg(0, r0);
+        for r in 1..=5u8 {
+            delta.set_reg(r, 0);
+        }
+        Ok(())
+    }
+
+    /// In poison mode, clobber all state the pruning analysis declared
+    /// dead at the boundary entering `stage` — emulating the wires the
+    /// real hardware simply does not have (§4.3).
+    fn poison_dead(&self, pkt: &mut InFlight, stage: usize) {
+        if !self.options.poison_dead_state || pkt.resume.is_some() {
+            return;
+        }
+        let (Some(&live_regs), Some(live_stack)) = (
+            self.design.prune.live_regs.get(stage),
+            self.design.prune.live_stack.get(stage),
+        ) else {
+            return;
+        };
+        for r in 0..11 {
+            if live_regs & (1 << r) == 0 {
+                pkt.state.regs[r] = 0xDEAD_DEAD_DEAD_DEAD;
+            }
+        }
+        for (byte, sb) in pkt.state.stack.iter_mut().enumerate() {
+            if live_stack[byte / 64] & (1 << (byte % 64)) == 0 {
+                *sb = 0xDD;
+            }
+        }
+    }
+
+    /// The protected read stage of the FEB guarding (`map`, `write_stage`).
+    fn feb_read_stage(&self, map: u32, write_stage: usize) -> usize {
+        self.design
+            .hazards
+            .febs
+            .iter()
+            .filter(|f| f.map == map && f.write_stage == write_stage)
+            .map(|f| f.read_stage)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// FEB comparison: does a younger in-flight packet (or a queued replay)
+    /// hold an unconfirmed read of `key`?
+    fn younger_read_matches(&self, write_stage: usize, map: u32, key: &[u8]) -> bool {
+        self.slots[..write_stage]
+            .iter()
+            .flatten()
+            .any(|p| p.state.map_reads[map as usize].iter().any(|k| k == key))
+    }
+
+    fn mem_read(
+        &mut self,
+        state: &PacketState,
+        seq: u64,
+        addr: u64,
+        size: MemSize,
+    ) -> Result<u64, OpAbort> {
+        let n = size.bytes();
+        if addr >= CTX_BASE && addr < CTX_BASE + xdp_md::SIZE as u64 {
+            let v = match (addr - CTX_BASE) as i64 {
+                xdp_md::DATA | xdp_md::DATA_META => PACKET_BASE + state.data_off as u64,
+                xdp_md::DATA_END => PACKET_BASE + state.end_off as u64,
+                _ => 0,
+            };
+            return Ok(v & mask_for(size));
+        }
+        let bytes = self.read_bytes(state, seq, addr, n)?;
+        let mut v = [0u8; 8];
+        v[..n].copy_from_slice(&bytes);
+        Ok(u64::from_le_bytes(v))
+    }
+
+    fn read_bytes(
+        &mut self,
+        state: &PacketState,
+        seq: u64,
+        addr: u64,
+        n: usize,
+    ) -> Result<Vec<u8>, OpAbort> {
+        if addr >= PACKET_BASE && addr < STACK_BASE {
+            let off = (addr - PACKET_BASE) as usize;
+            if off >= state.data_off && off + n <= state.end_off {
+                return Ok(state.buf[off..off + n].to_vec());
+            }
+            return Err(OpAbort::Fault);
+        }
+        if addr >= STACK_BASE && addr < STACK_TOP {
+            let off = (addr - STACK_BASE) as usize;
+            if off + n <= STACK_SIZE as usize {
+                return Ok(state.stack[off..off + n].to_vec());
+            }
+            return Err(OpAbort::Fault);
+        }
+        if let Some((map_id, slot, off)) =
+            decode_map_value_addr(addr, |m| self.maps.get(m).map(|x| x.def().value_stride()))
+        {
+            self.forward_own_writes(map_id, seq);
+            let map = self.maps.get(map_id).ok_or(OpAbort::Fault)?;
+            if off + n > map.def().value_size as usize {
+                return Err(OpAbort::Fault);
+            }
+            let key = map.key_of(slot).to_vec();
+            if self.stale_risk(map_id, seq, &key) {
+                return Err(OpAbort::FlushSelf);
+            }
+            return Ok(map.value(slot)[off..off + n].to_vec());
+        }
+        Err(OpAbort::Fault)
+    }
+
+    fn mem_write(
+        &mut self,
+        stage_idx: usize,
+        state: &PacketState,
+        seq: u64,
+        addr: u64,
+        size: MemSize,
+        value: u64,
+        delta: &mut Delta,
+    ) -> Result<(), OpAbort> {
+        if let Some((map_id, slot, off)) =
+            decode_map_value_addr(addr, |m| self.maps.get(m).map(|x| x.def().value_stride()))
+        {
+            let n = size.bytes();
+            let map = self.maps.get(map_id).ok_or(OpAbort::Fault)?;
+            if off + n > map.def().value_size as usize {
+                return Err(OpAbort::Fault);
+            }
+            let key = map.key_of(slot).to_vec();
+            let hazard = self.younger_read_matches(stage_idx, map_id, &key);
+            let delay = self.war_delay.get(&(map_id, stage_idx)).copied().unwrap_or(0);
+            let w = PendingWrite {
+                commit_cycle: self.cycle + delay,
+                map: map_id,
+                seq,
+                kind: WriteKind::StoreValue { slot, off, size, value },
+            };
+            if delay == 0 {
+                self.apply_write(&w);
+            } else {
+                self.pending_writes.push(w);
+            }
+            delta.side_effect = true;
+            if hazard {
+                delta.flush_below = Some((map_id, key, self.feb_read_stage(map_id, stage_idx)));
+            }
+            return Ok(());
+        }
+        self.local_write(state, addr, size, value, delta)
+    }
+
+    fn local_write(
+        &self,
+        state: &PacketState,
+        addr: u64,
+        size: MemSize,
+        value: u64,
+        delta: &mut Delta,
+    ) -> Result<(), OpAbort> {
+        let n = size.bytes();
+        if addr >= PACKET_BASE && addr < STACK_BASE {
+            let off = (addr - PACKET_BASE) as usize;
+            if off >= state.data_off && off + n <= state.end_off {
+                delta.pkt_writes.push((off, size, value));
+                return Ok(());
+            }
+            return Err(OpAbort::Fault);
+        }
+        if addr >= STACK_BASE && addr < STACK_TOP {
+            let off = (addr - STACK_BASE) as usize;
+            if off + n <= STACK_SIZE as usize {
+                delta.stack_writes.push((off, size, value));
+                return Ok(());
+            }
+            return Err(OpAbort::Fault);
+        }
+        Err(OpAbort::Fault)
+    }
+}
+
+fn atomic_new_value(aop: AtomicOp, old: u64, operand_v: u64, expected: u64) -> u64 {
+    match aop {
+        AtomicOp::Add { .. } => old.wrapping_add(operand_v),
+        AtomicOp::Or { .. } => old | operand_v,
+        AtomicOp::And { .. } => old & operand_v,
+        AtomicOp::Xor { .. } => old ^ operand_v,
+        AtomicOp::Xchg => operand_v,
+        AtomicOp::Cmpxchg => {
+            if old == expected {
+                operand_v
+            } else {
+                old
+            }
+        }
+    }
+}
+
+fn operand(regs: &[u64; 11], op: Operand) -> u64 {
+    match op {
+        Operand::Reg(r) => regs[r as usize],
+        Operand::Imm(i) => i as i64 as u64,
+    }
+}
+
+fn map_handle(v: u64) -> Option<u32> {
+    (MAP_HANDLE_BASE..MAP_HANDLE_BASE + 0x1000)
+        .contains(&v)
+        .then(|| (v - MAP_HANDLE_BASE) as u32)
+}
+
+impl PacketState {
+    fn placeholder() -> PacketState {
+        PacketState {
+            buf: Vec::new(),
+            data_off: 0,
+            end_off: 0,
+            regs: [0; 11],
+            stack: [0; STACK_SIZE as usize],
+            enabled: Vec::new(),
+            taken: Vec::new(),
+            action: None,
+            redirect: None,
+            faulted: false,
+            map_reads: Vec::new(),
+        }
+    }
+}
+
+impl InFlight {
+    /// Prepare for re-execution after a flush: resume from the latest
+    /// checkpoint whose stage does not exceed `limit` (stale readers pass
+    /// their hazard's read stage; innocents pass `usize::MAX`).
+    fn reset_for_replay(&mut self, limit: usize, nblocks: usize, nmaps: usize) {
+        self.checkpoints.retain(|(s, _)| *s <= limit);
+        if let Some((stage, snap)) = self.checkpoints.last() {
+            self.resume = Some((*stage, snap.clone()));
+            // State fields are don't-care until the resume point.
+            return;
+        }
+        let mut buf = vec![0u8; XDP_HEADROOM + self.orig.len()];
+        buf[XDP_HEADROOM..].copy_from_slice(&self.orig);
+        let end_off = buf.len();
+        let mut regs = [0u64; 11];
+        regs[1] = CTX_BASE;
+        regs[10] = STACK_TOP;
+        self.state = PacketState {
+            buf,
+            data_off: XDP_HEADROOM,
+            end_off,
+            regs,
+            stack: [0; STACK_SIZE as usize],
+            enabled: vec![None; nblocks],
+            taken: vec![None; nblocks],
+            action: None,
+            redirect: None,
+            faulted: false,
+            map_reads: vec![Vec::new(); nmaps],
+        };
+        self.resume = None;
+    }
+}
+
+/// Pending writes of one stage, applied at the boundary (two-phase).
+#[derive(Debug, Default)]
+struct Delta {
+    regs: Vec<(u8, u64)>,
+    pkt_writes: Vec<(usize, MemSize, u64)>,
+    stack_writes: Vec<(usize, MemSize, u64)>,
+    taken: Option<bool>,
+    action: Option<XdpAction>,
+    redirect: Option<u32>,
+    new_data_off: Option<usize>,
+    new_end_off: Option<usize>,
+    map_read_records: Vec<(u32, Vec<u8>)>,
+    side_effect: bool,
+    flush_below: Option<(u32, Vec<u8>, usize)>,
+    fault: bool,
+}
+
+impl Delta {
+    fn set_reg(&mut self, r: u8, v: u64) {
+        self.regs.push((r, v));
+    }
+
+    fn record_read(&mut self, map: u32, key: Vec<u8>) {
+        self.map_read_records.push((map, key));
+    }
+
+    fn apply(&mut self, state: &mut PacketState, block: usize) {
+        for &(r, v) in &self.regs {
+            state.regs[r as usize] = v;
+        }
+        for &(off, size, v) in &self.pkt_writes {
+            let n = size.bytes();
+            state.buf[off..off + n].copy_from_slice(&v.to_le_bytes()[..n]);
+        }
+        for &(off, size, v) in &self.stack_writes {
+            let n = size.bytes();
+            state.stack[off..off + n].copy_from_slice(&v.to_le_bytes()[..n]);
+        }
+        if let Some(t) = self.taken {
+            state.taken[block] = Some(t);
+        }
+        if self.action.is_some() {
+            state.action = self.action;
+        }
+        if self.redirect.is_some() {
+            state.redirect = self.redirect;
+        }
+        if let Some(off) = self.new_data_off {
+            state.data_off = off;
+        }
+        if let Some(off) = self.new_end_off {
+            state.end_off = off;
+        }
+        for (m, key) in self.map_read_records.drain(..) {
+            state.map_reads[m as usize].push(key);
+        }
+        if self.fault {
+            state.faulted = true;
+        }
+    }
+}
+
+enum StageResult {
+    Ok,
+    /// Flush all stages strictly below `boundary`, repairing stale reads
+    /// of `key` on `map` performed at `read_stage`.
+    FlushBelow {
+        /// First stage that is *not* flushed.
+        boundary: usize,
+        /// Stage of the protected read (checkpoint rollback limit).
+        read_stage: usize,
+        /// Hazard map.
+        map: u32,
+        /// Hazard key.
+        key: Vec<u8>,
+    },
+    /// Flush this packet's stage and everything younger.
+    FlushSelf,
+}
+
+/// Why an operation could not complete normally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpAbort {
+    /// Access outside valid bounds: the hardware drops the packet.
+    Fault,
+    /// The packet read a location with an uncommitted older write: it must
+    /// re-execute (RAW protection).
+    FlushSelf,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehdl_core::Compiler;
+    use ehdl_ebpf::asm::Asm;
+    use ehdl_ebpf::Program;
+
+    fn run_one(program: &Program, pkt: Vec<u8>) -> SimOutcome {
+        let design = Compiler::new().compile(program).unwrap();
+        let mut sim = PipelineSim::new(&design);
+        sim.enqueue(pkt);
+        sim.settle(100_000);
+        sim.drain().remove(0)
+    }
+
+    #[test]
+    fn trivial_pass() {
+        let mut a = Asm::new();
+        a.mov64_imm(0, 2);
+        a.exit();
+        let out = run_one(&Program::from_insns(a.into_insns()), vec![0; 64]);
+        assert_eq!(out.action, XdpAction::Pass);
+    }
+
+    #[test]
+    fn packet_store_visible_in_output() {
+        let mut a = Asm::new();
+        a.load(MemSize::W, 7, 1, 0);
+        a.mov64_imm(2, 0xab);
+        a.store_reg(MemSize::B, 7, 3, 2);
+        a.mov64_imm(0, 3);
+        a.exit();
+        let out = run_one(&Program::from_insns(a.into_insns()), vec![0; 64]);
+        assert_eq!(out.action, XdpAction::Tx);
+        assert_eq!(out.packet[3], 0xab);
+    }
+
+    #[test]
+    fn latency_tracks_stage_count() {
+        let mut a = Asm::new();
+        a.mov64_imm(0, 2);
+        a.exit();
+        let design = Compiler::new().compile(&Program::from_insns(a.into_insns())).unwrap();
+        let stages = design.stage_count() as u64;
+        let mut sim = PipelineSim::new(&design);
+        sim.enqueue(vec![0; 64]);
+        sim.settle(10_000);
+        let out = sim.drain().remove(0);
+        assert_eq!(out.latency_cycles, stages);
+    }
+
+    #[test]
+    fn pipeline_overlaps_packets() {
+        // With n stages and k packets, completion takes about n + k cycles,
+        // far less than n * k.
+        let mut a = Asm::new();
+        a.load(MemSize::W, 7, 1, 0);
+        a.load(MemSize::B, 2, 7, 0);
+        a.alu64_imm(AluOp::Add, 2, 1);
+        a.store_reg(MemSize::B, 7, 0, 2);
+        a.mov64_imm(0, 3);
+        a.exit();
+        let design = Compiler::new().compile(&Program::from_insns(a.into_insns())).unwrap();
+        let n = design.stage_count() as u64;
+        let mut sim = PipelineSim::new(&design);
+        for _ in 0..50 {
+            sim.enqueue(vec![7; 64]);
+        }
+        sim.settle(100_000);
+        assert_eq!(sim.counters().completed, 50);
+        assert!(sim.cycle() < n + 80, "cycles {} vs stages {n}", sim.cycle());
+        for out in sim.drain() {
+            assert_eq!(out.packet[0], 8);
+        }
+    }
+
+    #[test]
+    fn rx_queue_overflow_counts_drops() {
+        let mut a = Asm::new();
+        a.mov64_imm(0, 2);
+        a.exit();
+        let design = Compiler::new().compile(&Program::from_insns(a.into_insns())).unwrap();
+        let mut sim = PipelineSim::with_options(
+            &design,
+            SimOptions { rx_queue_depth: 4, ..Default::default() },
+        );
+        for _ in 0..10 {
+            sim.enqueue(vec![0; 64]);
+        }
+        assert_eq!(sim.counters().rx_dropped, 6);
+    }
+
+    use ehdl_ebpf::opcode::{AluOp, MemSize};
+}
+
+#[cfg(test)]
+mod utilization_tests {
+    use super::*;
+    use ehdl_core::Compiler;
+    use ehdl_ebpf::asm::Asm;
+    use ehdl_ebpf::opcode::{JmpOp, MemSize};
+    use ehdl_ebpf::Program;
+
+    #[test]
+    fn predicated_stages_report_partial_utilization() {
+        // Branch on packet byte 0: half the packets take each arm.
+        let mut a = Asm::new();
+        let els = a.new_label();
+        let join = a.new_label();
+        a.load(MemSize::W, 7, 1, 0);
+        a.load(MemSize::B, 2, 7, 0);
+        a.jmp_imm(JmpOp::Jeq, 2, 0, els);
+        a.mov64_imm(3, 1);
+        a.jmp(join);
+        a.bind(els);
+        a.mov64_imm(3, 2);
+        a.bind(join);
+        a.mov64_reg(0, 3);
+        a.exit();
+        let design = Compiler::new().compile(&Program::from_insns(a.into_insns())).unwrap();
+        let mut sim = PipelineSim::new(&design);
+        for i in 0..40 {
+            let mut p = vec![0u8; 64];
+            p[0] = (i % 2) as u8;
+            sim.enqueue(p);
+        }
+        sim.settle(100_000);
+        let util = sim.stage_utilization();
+        // Entry and join stages fully utilized; each arm about half.
+        assert!((util[0] - 1.0).abs() < 1e-9);
+        let partial = util.iter().filter(|u| (0.4..0.6).contains(*u)).count();
+        assert!(partial >= 2, "both arms run at ~50%: {util:?}");
+    }
+}
+
+#[cfg(test)]
+mod hazard_timing_tests {
+    use super::*;
+    use ehdl_core::Compiler;
+    use ehdl_ebpf::asm::Asm;
+    use ehdl_ebpf::helpers::{BPF_MAP_LOOKUP_ELEM, BPF_MAP_UPDATE_ELEM};
+    use ehdl_ebpf::maps::{MapDef, MapKind};
+    use ehdl_ebpf::opcode::{AluOp, JmpOp, MemSize};
+    use ehdl_ebpf::Program;
+
+    /// A lookup→update program: reads key K, then (always) updates K.
+    fn rmw_program() -> Program {
+        let mut a = Asm::new();
+        let skip = a.new_label();
+        a.load(MemSize::W, 7, 1, 0);
+        // key = packet byte 0 (the flow id)
+        a.load(MemSize::B, 2, 7, 0);
+        a.store_reg(MemSize::W, 10, -8, 2);
+        a.ld_map_fd(1, 0);
+        a.mov64_reg(2, 10);
+        a.alu64_imm(AluOp::Add, 2, -8);
+        a.call(BPF_MAP_LOOKUP_ELEM);
+        a.jmp_imm(JmpOp::Jeq, 0, 0, skip);
+        a.load(MemSize::Dw, 6, 0, 0); // read old value
+        a.bind(skip);
+        // value = old + 1 (or 1 on miss: r6 starts 0)
+        a.alu64_imm(AluOp::Add, 6, 1);
+        a.store_reg(MemSize::Dw, 10, -16, 6);
+        a.ld_map_fd(1, 0);
+        a.mov64_reg(2, 10);
+        a.alu64_imm(AluOp::Add, 2, -8);
+        a.mov64_reg(3, 10);
+        a.alu64_imm(AluOp::Add, 3, -16);
+        a.mov64_imm(4, 0);
+        a.call(BPF_MAP_UPDATE_ELEM);
+        a.mov64_imm(0, 3);
+        a.exit();
+        Program::new(
+            "rmw",
+            a.into_insns(),
+            vec![MapDef::new(0, "cells", MapKind::Hash, 4, 8, 64)],
+        )
+    }
+
+    fn pkt(flow: u8) -> Vec<u8> {
+        let mut p = vec![0u8; 64];
+        p[0] = flow;
+        p
+    }
+
+    #[test]
+    fn same_flow_inside_window_flushes_and_stays_correct() {
+        let program = rmw_program();
+        let design = Compiler::new().compile(&program).unwrap();
+        let window = design.hazards.max_raw_window().expect("rmw has a FEB") as u64;
+        assert!(window >= 2);
+
+        // Back-to-back same-flow packets: the second reads before the
+        // first writes → flush; final count must still be exact.
+        let mut sim = PipelineSim::new(&design);
+        for _ in 0..10 {
+            sim.enqueue(pkt(1));
+        }
+        sim.settle(1_000_000);
+        assert!(sim.counters().flushes > 0, "inside-window traffic must flush");
+        let m = sim.maps().get(0).unwrap();
+        let slot = m.clone().lookup(&[1, 0, 0, 0]).unwrap().unwrap();
+        assert_eq!(u64::from_le_bytes(m.value(slot).try_into().unwrap()), 10);
+    }
+
+    #[test]
+    fn same_flow_outside_window_never_flushes() {
+        let program = rmw_program();
+        let design = Compiler::new().compile(&program).unwrap();
+        let window = design.hazards.max_raw_window().unwrap() as u64;
+
+        // Space same-flow packets strictly wider than the hazard window:
+        // the earlier packet's update commits before the next read.
+        let mut sim = PipelineSim::new(&design);
+        for _ in 0..10 {
+            sim.enqueue(pkt(1));
+            for _ in 0..window + 4 {
+                sim.step();
+            }
+        }
+        sim.settle(1_000_000);
+        assert_eq!(sim.counters().flushes, 0, "spaced traffic never hazards");
+        let m = sim.maps().get(0).unwrap();
+        let slot = m.clone().lookup(&[1, 0, 0, 0]).unwrap().unwrap();
+        assert_eq!(u64::from_le_bytes(m.value(slot).try_into().unwrap()), 10);
+    }
+
+    #[test]
+    fn distinct_flows_inside_window_never_flush() {
+        let program = rmw_program();
+        let design = Compiler::new().compile(&program).unwrap();
+        let mut sim = PipelineSim::new(&design);
+        for i in 0..32u8 {
+            sim.enqueue(pkt(i)); // all different keys, back to back
+        }
+        sim.settle(1_000_000);
+        assert_eq!(sim.counters().flushes, 0, "FEB matches keys, not the map");
+        assert_eq!(sim.counters().completed, 32);
+    }
+}

@@ -1,0 +1,88 @@
+//! RFC 1071 internet checksum, plus the incremental-update form (RFC 1624)
+//! that router-style XDP programs use when rewriting TTLs and addresses.
+
+/// One's-complement sum of `data` folded to 16 bits, complemented.
+///
+/// Computing this over an IPv4 header whose checksum field is correct
+/// yields zero.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    !fold(sum(data))
+}
+
+/// Raw 32-bit accumulating sum (not folded, not complemented).
+pub fn sum(data: &[u8]) -> u32 {
+    let mut acc = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        acc = acc.wrapping_add(u32::from(u16::from_be_bytes([c[0], c[1]])));
+    }
+    if let [last] = chunks.remainder() {
+        acc = acc.wrapping_add(u32::from(u16::from_be_bytes([*last, 0])));
+    }
+    acc
+}
+
+/// Fold a 32-bit accumulator into 16 bits with end-around carry.
+pub fn fold(mut acc: u32) -> u16 {
+    while acc >> 16 != 0 {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    acc as u16
+}
+
+/// RFC 1624 incremental checksum update: `old_csum` is the stored checksum,
+/// `old_word`/`new_word` the 16-bit field being changed. Returns the new
+/// stored checksum.
+pub fn incremental_update(old_csum: u16, old_word: u16, new_word: u16) -> u16 {
+    // HC' = ~(~HC + ~m + m')   (RFC 1624 eqn. 3)
+    let mut acc = u32::from(!old_csum);
+    acc += u32::from(!old_word);
+    acc += u32::from(new_word);
+    !fold(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Classic example: checksum of 00 01 f2 03 f4 f5 f6 f7.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_padded() {
+        assert_eq!(internet_checksum(&[0xff]), !0xff00);
+    }
+
+    #[test]
+    fn verify_round_trip() {
+        let mut header = vec![0x45, 0x00, 0x00, 0x3c, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06, 0, 0, 0xac,
+                              0x10, 0x0a, 0x63, 0xac, 0x10, 0x0a, 0x0c];
+        let c = internet_checksum(&header);
+        header[10..12].copy_from_slice(&c.to_be_bytes());
+        assert_eq!(internet_checksum(&header), 0);
+    }
+
+    #[test]
+    fn incremental_matches_recompute() {
+        // Change the TTL/proto word of a checksummed header and verify the
+        // incremental form agrees with full recomputation.
+        let mut header = vec![0x45, 0x00, 0x00, 0x3c, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06, 0, 0, 0xac,
+                              0x10, 0x0a, 0x63, 0xac, 0x10, 0x0a, 0x0c];
+        let c = internet_checksum(&header);
+        header[10..12].copy_from_slice(&c.to_be_bytes());
+
+        let old_word = u16::from_be_bytes([header[8], header[9]]);
+        header[8] = header[8].wrapping_sub(1); // dec TTL
+        let new_word = u16::from_be_bytes([header[8], header[9]]);
+        let inc = incremental_update(c, old_word, new_word);
+
+        header[10] = 0;
+        header[11] = 0;
+        let full = internet_checksum(&header);
+        assert_eq!(inc, full);
+    }
+}

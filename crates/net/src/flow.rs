@@ -1,0 +1,134 @@
+//! Flow identities: the 5-tuple that keys stateful network functions.
+
+use crate::{offsets, ETH_HLEN, ETH_P_IP, IPPROTO_TCP, IPPROTO_UDP};
+use std::fmt;
+
+/// An IPv4 5-tuple `(saddr, daddr, sport, dport, proto)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct FiveTuple {
+    /// Source IPv4 address.
+    pub saddr: [u8; 4],
+    /// Destination IPv4 address.
+    pub daddr: [u8; 4],
+    /// Source L4 port.
+    pub sport: u16,
+    /// Destination L4 port.
+    pub dport: u16,
+    /// L4 protocol number.
+    pub proto: u8,
+}
+
+impl FiveTuple {
+    /// The reverse direction of this flow.
+    pub fn reversed(self) -> FiveTuple {
+        FiveTuple {
+            saddr: self.daddr,
+            daddr: self.saddr,
+            sport: self.dport,
+            dport: self.sport,
+            proto: self.proto,
+        }
+    }
+
+    /// Serialize as the 13-byte map key used by the firewall/DNAT programs:
+    /// `saddr . daddr . sport_be . dport_be . proto`.
+    pub fn to_key(self) -> [u8; 13] {
+        let mut k = [0u8; 13];
+        k[..4].copy_from_slice(&self.saddr);
+        k[4..8].copy_from_slice(&self.daddr);
+        k[8..10].copy_from_slice(&self.sport.to_be_bytes());
+        k[10..12].copy_from_slice(&self.dport.to_be_bytes());
+        k[12] = self.proto;
+        k
+    }
+
+    /// Extract from an Eth/IPv4/{UDP,TCP} packet, if it is one.
+    pub fn parse(pkt: &[u8]) -> Option<FiveTuple> {
+        if pkt.len() < offsets::L4_DPORT + 2 {
+            return None;
+        }
+        let ethertype = u16::from_be_bytes([pkt[offsets::ETH_PROTO], pkt[offsets::ETH_PROTO + 1]]);
+        if ethertype != ETH_P_IP || pkt[ETH_HLEN] >> 4 != 4 {
+            return None;
+        }
+        let proto = pkt[offsets::IP_PROTO];
+        if proto != IPPROTO_UDP && proto != IPPROTO_TCP {
+            return None;
+        }
+        Some(FiveTuple {
+            saddr: pkt[offsets::IP_SADDR..offsets::IP_SADDR + 4].try_into().expect("4 bytes"),
+            daddr: pkt[offsets::IP_DADDR..offsets::IP_DADDR + 4].try_into().expect("4 bytes"),
+            sport: u16::from_be_bytes([pkt[offsets::L4_SPORT], pkt[offsets::L4_SPORT + 1]]),
+            dport: u16::from_be_bytes([pkt[offsets::L4_DPORT], pkt[offsets::L4_DPORT + 1]]),
+            proto,
+        })
+    }
+}
+
+impl fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{}.{}.{}:{} -> {}.{}.{}.{}:{} proto {}",
+            self.saddr[0], self.saddr[1], self.saddr[2], self.saddr[3], self.sport,
+            self.daddr[0], self.daddr[1], self.daddr[2], self.daddr[3], self.dport,
+            self.proto
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PacketBuilder;
+
+    #[test]
+    fn parse_from_builder() {
+        let p = PacketBuilder::new()
+            .eth([1; 6], [2; 6])
+            .ipv4([10, 0, 0, 1], [10, 0, 0, 2], IPPROTO_UDP)
+            .udp(4000, 53)
+            .build();
+        let ft = FiveTuple::parse(&p).unwrap();
+        assert_eq!(ft.saddr, [10, 0, 0, 1]);
+        assert_eq!(ft.dport, 53);
+        assert_eq!(ft.proto, IPPROTO_UDP);
+    }
+
+    #[test]
+    fn reverse_is_involutive() {
+        let ft = FiveTuple {
+            saddr: [1, 2, 3, 4],
+            daddr: [5, 6, 7, 8],
+            sport: 9,
+            dport: 10,
+            proto: 6,
+        };
+        assert_eq!(ft.reversed().reversed(), ft);
+        assert_ne!(ft.reversed(), ft);
+    }
+
+    #[test]
+    fn key_layout() {
+        let ft = FiveTuple {
+            saddr: [1, 2, 3, 4],
+            daddr: [5, 6, 7, 8],
+            sport: 0x1234,
+            dport: 0x5678,
+            proto: 17,
+        };
+        let k = ft.to_key();
+        assert_eq!(&k[..4], &[1, 2, 3, 4]);
+        assert_eq!(&k[8..10], &[0x12, 0x34]);
+        assert_eq!(k[12], 17);
+    }
+
+    #[test]
+    fn non_ip_returns_none() {
+        let p = PacketBuilder::new()
+            .eth([1; 6], [2; 6])
+            .ipv6([1; 16], [2; 16], IPPROTO_UDP)
+            .build();
+        assert_eq!(FiveTuple::parse(&p), None);
+    }
+}

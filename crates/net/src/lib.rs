@@ -1,0 +1,358 @@
+//! Packet substrate: header construction, parsing and flow identities for
+//! Ethernet / IPv4 / IPv6 / UDP / TCP traffic.
+//!
+//! The eHDL evaluation drives 64-byte-and-up packets through XDP programs;
+//! this crate provides the builders used by the traffic generators and the
+//! parsers used by tests to check program effects (rewritten MACs,
+//! decremented TTLs, translated ports, encapsulation headers).
+//!
+//! ```
+//! use ehdl_net::PacketBuilder;
+//!
+//! let pkt = PacketBuilder::new()
+//!     .eth([2, 0, 0, 0, 0, 1], [2, 0, 0, 0, 0, 2])
+//!     .ipv4([10, 0, 0, 1], [10, 0, 0, 2], 17)
+//!     .udp(1234, 53)
+//!     .payload_len(18)
+//!     .build();
+//! assert_eq!(pkt.len(), 64);
+//! ```
+
+pub mod checksum;
+pub mod flow;
+pub mod headers;
+
+pub use flow::FiveTuple;
+pub use headers::{EthHeader, Ipv4Header, TcpHeader, UdpHeader};
+
+/// EtherType for IPv4.
+pub const ETH_P_IP: u16 = 0x0800;
+/// EtherType for ARP.
+pub const ETH_P_ARP: u16 = 0x0806;
+/// EtherType for IPv6.
+pub const ETH_P_IPV6: u16 = 0x86DD;
+/// EtherType for 802.1Q VLAN tags.
+pub const ETH_P_8021Q: u16 = 0x8100;
+
+/// IP protocol number for TCP.
+pub const IPPROTO_TCP: u8 = 6;
+/// IP protocol number for UDP.
+pub const IPPROTO_UDP: u8 = 17;
+/// IP protocol number for ICMP.
+pub const IPPROTO_ICMP: u8 = 1;
+
+/// Ethernet header length.
+pub const ETH_HLEN: usize = 14;
+/// IPv4 header length (no options).
+pub const IPV4_HLEN: usize = 20;
+/// UDP header length.
+pub const UDP_HLEN: usize = 8;
+/// TCP header length (no options).
+pub const TCP_HLEN: usize = 20;
+/// Minimum Ethernet frame (without FCS) used for line-rate tests.
+pub const MIN_FRAME: usize = 64;
+/// Common MTU-sized frame.
+pub const MAX_FRAME: usize = 1514;
+
+/// Byte-offset constants into a plain Eth/IPv4/L4 packet, matching what the
+/// XDP programs in `ehdl-programs` hard-code (as clang would).
+pub mod offsets {
+    /// Destination MAC.
+    pub const ETH_DST: usize = 0;
+    /// Source MAC.
+    pub const ETH_SRC: usize = 6;
+    /// EtherType (big-endian u16).
+    pub const ETH_PROTO: usize = 12;
+    /// IPv4 version/IHL byte.
+    pub const IP_VER_IHL: usize = 14;
+    /// IPv4 total length.
+    pub const IP_TOT_LEN: usize = 16;
+    /// IPv4 TTL.
+    pub const IP_TTL: usize = 22;
+    /// IPv4 protocol.
+    pub const IP_PROTO: usize = 23;
+    /// IPv4 header checksum.
+    pub const IP_CSUM: usize = 24;
+    /// IPv4 source address.
+    pub const IP_SADDR: usize = 26;
+    /// IPv4 destination address.
+    pub const IP_DADDR: usize = 30;
+    /// L4 source port (UDP and TCP share these offsets).
+    pub const L4_SPORT: usize = 34;
+    /// L4 destination port.
+    pub const L4_DPORT: usize = 36;
+    /// UDP length field.
+    pub const UDP_LEN: usize = 38;
+    /// UDP checksum field.
+    pub const UDP_CSUM: usize = 40;
+    /// TCP flags byte.
+    pub const TCP_FLAGS: usize = 47;
+}
+
+/// Fluent builder for test/benchmark packets.
+///
+/// The builder fills protocol fields with consistent lengths and checksums;
+/// [`PacketBuilder::build`] pads to at least [`MIN_FRAME`] bytes unless a
+/// smaller explicit size was forced with [`PacketBuilder::exact_len`].
+#[derive(Debug, Clone, Default)]
+pub struct PacketBuilder {
+    eth: Option<EthHeader>,
+    vlan: Option<u16>,
+    ipv4: Option<Ipv4Header>,
+    ipv6: Option<([u8; 16], [u8; 16], u8)>,
+    udp: Option<UdpHeader>,
+    tcp: Option<TcpHeader>,
+    payload: Vec<u8>,
+    pad_to: Option<usize>,
+    exact: Option<usize>,
+}
+
+impl PacketBuilder {
+    /// Start an empty packet.
+    pub fn new() -> PacketBuilder {
+        PacketBuilder::default()
+    }
+
+    /// Add an Ethernet header.
+    pub fn eth(mut self, src: [u8; 6], dst: [u8; 6]) -> PacketBuilder {
+        self.eth = Some(EthHeader { src, dst, ethertype: 0 });
+        self
+    }
+
+    /// Insert an 802.1Q VLAN tag with the given VID.
+    pub fn vlan(mut self, vid: u16) -> PacketBuilder {
+        self.vlan = Some(vid);
+        self
+    }
+
+    /// Add an IPv4 header; `proto` is the L4 protocol number.
+    pub fn ipv4(mut self, src: [u8; 4], dst: [u8; 4], proto: u8) -> PacketBuilder {
+        self.ipv4 = Some(Ipv4Header {
+            src,
+            dst,
+            proto,
+            ttl: 64,
+            tot_len: 0,
+            checksum: 0,
+        });
+        self
+    }
+
+    /// Override the IPv4 TTL (default 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`PacketBuilder::ipv4`].
+    pub fn ttl(mut self, ttl: u8) -> PacketBuilder {
+        self.ipv4.as_mut().expect("ttl() requires ipv4()").ttl = ttl;
+        self
+    }
+
+    /// Add an IPv6 header (for EtherType classification tests).
+    pub fn ipv6(mut self, src: [u8; 16], dst: [u8; 16], next: u8) -> PacketBuilder {
+        self.ipv6 = Some((src, dst, next));
+        self
+    }
+
+    /// Add a UDP header.
+    pub fn udp(mut self, sport: u16, dport: u16) -> PacketBuilder {
+        self.udp = Some(UdpHeader { sport, dport, len: 0, checksum: 0 });
+        self
+    }
+
+    /// Add a TCP header with the given flags byte.
+    pub fn tcp(mut self, sport: u16, dport: u16, flags: u8) -> PacketBuilder {
+        self.tcp = Some(TcpHeader { sport, dport, seq: 0, ack: 0, flags, window: 0xffff });
+        self
+    }
+
+    /// Append literal payload bytes.
+    pub fn payload(mut self, bytes: &[u8]) -> PacketBuilder {
+        self.payload.extend_from_slice(bytes);
+        self
+    }
+
+    /// Append `n` deterministic filler bytes.
+    pub fn payload_len(mut self, n: usize) -> PacketBuilder {
+        for i in 0..n {
+            self.payload.push((i & 0xff) as u8);
+        }
+        self
+    }
+
+    /// Pad the final frame to at least `n` bytes.
+    pub fn pad_to(mut self, n: usize) -> PacketBuilder {
+        self.pad_to = Some(n);
+        self
+    }
+
+    /// Force an exact frame length (may truncate padding rules).
+    pub fn exact_len(mut self, n: usize) -> PacketBuilder {
+        self.exact = Some(n);
+        self
+    }
+
+    /// Serialize the packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both UDP and TCP were requested, or IPv4 and IPv6.
+    pub fn build(self) -> Vec<u8> {
+        assert!(
+            !(self.udp.is_some() && self.tcp.is_some()),
+            "a packet cannot be both UDP and TCP"
+        );
+        assert!(
+            !(self.ipv4.is_some() && self.ipv6.is_some()),
+            "a packet cannot be both IPv4 and IPv6"
+        );
+        let mut l4 = Vec::new();
+        if let Some(mut u) = self.udp {
+            u.len = (UDP_HLEN + self.payload.len()) as u16;
+            l4.extend_from_slice(&u.to_bytes());
+        } else if let Some(t) = self.tcp {
+            l4.extend_from_slice(&t.to_bytes());
+        }
+        l4.extend_from_slice(&self.payload);
+
+        let mut l3 = Vec::new();
+        if let Some(mut ip) = self.ipv4 {
+            ip.tot_len = (IPV4_HLEN + l4.len()) as u16;
+            let mut b = ip.to_bytes();
+            let csum = checksum::internet_checksum(&b);
+            b[10..12].copy_from_slice(&csum.to_be_bytes());
+            l3.extend_from_slice(&b);
+        } else if let Some((src, dst, next)) = self.ipv6 {
+            let mut b = vec![0u8; 40];
+            b[0] = 0x60;
+            b[4..6].copy_from_slice(&(l4.len() as u16).to_be_bytes());
+            b[6] = next;
+            b[7] = 64;
+            b[8..24].copy_from_slice(&src);
+            b[24..40].copy_from_slice(&dst);
+            l3.extend_from_slice(&b);
+        }
+        l3.extend_from_slice(&l4);
+
+        let mut out = Vec::new();
+        if let Some(mut e) = self.eth {
+            e.ethertype = if self.vlan.is_some() {
+                ETH_P_8021Q
+            } else if self.ipv4.is_some() {
+                ETH_P_IP
+            } else if self.ipv6.is_some() {
+                ETH_P_IPV6
+            } else {
+                e.ethertype
+            };
+            out.extend_from_slice(&e.to_bytes());
+            if let Some(vid) = self.vlan {
+                out.extend_from_slice(&vid.to_be_bytes());
+                let inner: u16 = if self.ipv4.is_some() {
+                    ETH_P_IP
+                } else if self.ipv6.is_some() {
+                    ETH_P_IPV6
+                } else {
+                    0
+                };
+                out.extend_from_slice(&inner.to_be_bytes());
+            }
+        }
+        out.extend_from_slice(&l3);
+
+        if let Some(n) = self.exact {
+            out.resize(n, 0);
+        } else {
+            let floor = self.pad_to.unwrap_or(MIN_FRAME);
+            if out.len() < floor {
+                out.resize(floor, 0);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_frame_padding() {
+        let p = PacketBuilder::new()
+            .eth([1; 6], [2; 6])
+            .ipv4([10, 0, 0, 1], [10, 0, 0, 2], IPPROTO_UDP)
+            .udp(1, 2)
+            .build();
+        assert_eq!(p.len(), MIN_FRAME);
+        assert_eq!(
+            u16::from_be_bytes([p[offsets::ETH_PROTO], p[offsets::ETH_PROTO + 1]]),
+            ETH_P_IP
+        );
+    }
+
+    #[test]
+    fn ipv4_header_checksums_to_zero() {
+        let p = PacketBuilder::new()
+            .eth([1; 6], [2; 6])
+            .ipv4([192, 168, 1, 1], [8, 8, 8, 8], IPPROTO_TCP)
+            .tcp(4000, 80, 0x02)
+            .build();
+        let sum = checksum::internet_checksum(&p[ETH_HLEN..ETH_HLEN + IPV4_HLEN]);
+        assert_eq!(sum, 0);
+    }
+
+    #[test]
+    fn udp_length_field_set() {
+        let p = PacketBuilder::new()
+            .eth([1; 6], [2; 6])
+            .ipv4([1, 1, 1, 1], [2, 2, 2, 2], IPPROTO_UDP)
+            .udp(53, 53)
+            .payload_len(10)
+            .build();
+        let udp_len = u16::from_be_bytes([p[offsets::UDP_LEN], p[offsets::UDP_LEN + 1]]);
+        assert_eq!(udp_len, 18);
+    }
+
+    #[test]
+    fn vlan_tag_inserted() {
+        let p = PacketBuilder::new()
+            .eth([1; 6], [2; 6])
+            .vlan(100)
+            .ipv4([1, 1, 1, 1], [2, 2, 2, 2], IPPROTO_UDP)
+            .udp(1, 2)
+            .build();
+        assert_eq!(u16::from_be_bytes([p[12], p[13]]), ETH_P_8021Q);
+        assert_eq!(u16::from_be_bytes([p[14], p[15]]), 100);
+        assert_eq!(u16::from_be_bytes([p[16], p[17]]), ETH_P_IP);
+    }
+
+    #[test]
+    fn ipv6_ethertype() {
+        let p = PacketBuilder::new()
+            .eth([1; 6], [2; 6])
+            .ipv6([1; 16], [2; 16], IPPROTO_UDP)
+            .build();
+        assert_eq!(
+            u16::from_be_bytes([p[offsets::ETH_PROTO], p[offsets::ETH_PROTO + 1]]),
+            ETH_P_IPV6
+        );
+        assert_eq!(p[14] >> 4, 6);
+    }
+
+    #[test]
+    fn exact_len_honoured() {
+        let p = PacketBuilder::new()
+            .eth([1; 6], [2; 6])
+            .ipv4([1, 1, 1, 1], [2, 2, 2, 2], IPPROTO_UDP)
+            .udp(1, 2)
+            .exact_len(1500)
+            .build();
+        assert_eq!(p.len(), 1500);
+    }
+
+    #[test]
+    #[should_panic(expected = "both UDP and TCP")]
+    fn udp_and_tcp_rejected() {
+        let _ = PacketBuilder::new().udp(1, 2).tcp(3, 4, 0).build();
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests on the packet substrate: header round trips, checksum
+//! laws, and builder/parser agreement.
+
+use ehdl_net::checksum::{fold, incremental_update, internet_checksum, sum};
+use ehdl_net::headers::{EthHeader, Ipv4Header, TcpHeader, UdpHeader};
+use ehdl_net::{FiveTuple, PacketBuilder, ETH_HLEN, IPPROTO_TCP, IPPROTO_UDP, IPV4_HLEN};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn eth_roundtrip(dst in any::<[u8; 6]>(), src in any::<[u8; 6]>(), ty in any::<u16>()) {
+        let h = EthHeader { dst, src, ethertype: ty };
+        prop_assert_eq!(EthHeader::parse(&h.to_bytes()), Some(h));
+    }
+
+    #[test]
+    fn ipv4_roundtrip(src in any::<[u8; 4]>(), dst in any::<[u8; 4]>(), proto in any::<u8>(),
+                      ttl in any::<u8>(), len in any::<u16>(), csum in any::<u16>()) {
+        let h = Ipv4Header { src, dst, proto, ttl, tot_len: len, checksum: csum };
+        prop_assert_eq!(Ipv4Header::parse(&h.to_bytes()), Some(h));
+    }
+
+    #[test]
+    fn udp_tcp_roundtrip(sport in any::<u16>(), dport in any::<u16>(), x in any::<u16>()) {
+        let u = UdpHeader { sport, dport, len: x, checksum: !x };
+        prop_assert_eq!(UdpHeader::parse(&u.to_bytes()), Some(u));
+        let t = TcpHeader { sport, dport, seq: u32::from(x), ack: 7, flags: 0x12, window: x };
+        prop_assert_eq!(TcpHeader::parse(&t.to_bytes()), Some(t));
+    }
+
+    /// Filling in the computed checksum always verifies to zero.
+    #[test]
+    fn checksum_self_verifies(data in prop::collection::vec(any::<u8>(), 2..64)) {
+        let mut d = data;
+        if d.len() % 2 == 1 {
+            d.push(0);
+        }
+        // Place the checksum over bytes 0..2.
+        d[0] = 0;
+        d[1] = 0;
+        let c = internet_checksum(&d);
+        d[0..2].copy_from_slice(&c.to_be_bytes());
+        prop_assert_eq!(internet_checksum(&d), 0);
+    }
+
+    /// The RFC 1624 incremental form agrees with full recomputation for
+    /// any single 16-bit word change.
+    #[test]
+    fn incremental_checksum_agrees(words in prop::collection::vec(any::<u16>(), 4..20),
+                                   idx in 1usize..4, newv in any::<u16>()) {
+        let mut bytes: Vec<u8> = words.iter().flat_map(|w| w.to_be_bytes()).collect();
+        bytes[0] = 0;
+        bytes[1] = 0;
+        let c0 = internet_checksum(&bytes);
+        bytes[0..2].copy_from_slice(&c0.to_be_bytes());
+
+        let off = idx * 2;
+        let old = u16::from_be_bytes([bytes[off], bytes[off + 1]]);
+        bytes[off..off + 2].copy_from_slice(&newv.to_be_bytes());
+
+        let inc = incremental_update(c0, old, newv);
+        bytes[0] = 0;
+        bytes[1] = 0;
+        let full = internet_checksum(&bytes);
+        prop_assert_eq!(inc, full);
+    }
+
+    /// `sum` is invariant under 2-byte-aligned concatenation splits.
+    #[test]
+    fn sum_is_additive(a in prop::collection::vec(any::<u8>(), 0..32),
+                       b in prop::collection::vec(any::<u8>(), 0..32)) {
+        let mut a = a;
+        if a.len() % 2 == 1 {
+            a.push(0);
+        }
+        let mut ab = a.clone();
+        ab.extend_from_slice(&b);
+        prop_assert_eq!(fold(sum(&ab)), fold(sum(&a).wrapping_add(sum(&b))));
+    }
+
+    /// Builder output is parseable and consistent for any UDP/TCP flow.
+    #[test]
+    fn builder_parser_agree(saddr in any::<[u8; 4]>(), daddr in any::<[u8; 4]>(),
+                            sport in any::<u16>(), dport in any::<u16>(), tcp in any::<bool>(),
+                            extra in 0usize..64) {
+        let proto = if tcp { IPPROTO_TCP } else { IPPROTO_UDP };
+        let b = PacketBuilder::new().eth([1; 6], [2; 6]).ipv4(saddr, daddr, proto);
+        let b = if tcp { b.tcp(sport, dport, 0x10) } else { b.udp(sport, dport) };
+        let pkt = b.payload_len(extra).build();
+        prop_assert!(pkt.len() >= 64);
+        // The IPv4 header checksums to zero.
+        prop_assert_eq!(internet_checksum(&pkt[ETH_HLEN..ETH_HLEN + IPV4_HLEN]), 0);
+        // The flow parses back exactly.
+        let ft = FiveTuple::parse(&pkt).expect("ipv4 l4 packet");
+        prop_assert_eq!(ft, FiveTuple { saddr, daddr, sport, dport, proto });
+        // Reversal round-trips.
+        prop_assert_eq!(ft.reversed().reversed(), ft);
+        // The map key embeds ports big-endian.
+        let key = ft.to_key();
+        prop_assert_eq!(u16::from_be_bytes([key[8], key[9]]), sport);
+    }
+}

@@ -1,0 +1,197 @@
+//! Shared assembly idioms: the XDP prologue, packet bounds checks and
+//! 5-tuple key construction — the code clang emits at the top of every
+//! XDP program.
+
+use ehdl_ebpf::asm::{Asm, Label};
+use ehdl_ebpf::opcode::{AluOp, JmpOp, MemSize};
+use ehdl_ebpf::vm::xdp_md;
+
+/// Register that holds `data` (the packet pointer) after [`prologue`].
+pub const PKT: u8 = 7;
+/// Register that holds `data_end` after [`prologue`].
+pub const PKT_END: u8 = 8;
+/// Callee-saved scratch register holding the saved context pointer.
+pub const CTX: u8 = 6;
+
+/// Emit the standard XDP prologue: save ctx in `r6`, load `data` into `r7`
+/// and `data_end` into `r8`.
+pub fn prologue(a: &mut Asm) {
+    a.mov64_reg(CTX, 1);
+    a.load(MemSize::W, PKT, 1, xdp_md::DATA as i16);
+    a.load(MemSize::W, PKT_END, 1, xdp_md::DATA_END as i16);
+}
+
+/// Emit `if data + need > data_end goto fail` using `r1` as scratch.
+pub fn bounds_check(a: &mut Asm, need: i32, fail: Label) {
+    a.mov64_reg(1, PKT);
+    a.alu64_imm(AluOp::Add, 1, need);
+    a.jmp_reg(JmpOp::Jgt, 1, PKT_END, fail);
+}
+
+/// Emit a terminal `r0 = action; exit` block bound to `label`.
+pub fn exit_with(a: &mut Asm, label: Label, action: i32) {
+    a.bind(label);
+    a.mov64_imm(0, action);
+    a.exit();
+}
+
+/// Load the big-endian EtherType at packet offset 12 into `dst`
+/// (clobbers `r1`).
+pub fn load_ethertype(a: &mut Asm, dst: u8) {
+    a.load(MemSize::B, dst, PKT, 12);
+    a.load(MemSize::B, 1, PKT, 13);
+    a.alu64_imm(AluOp::Lsh, dst, 8);
+    a.alu64_reg(AluOp::Or, dst, 1);
+}
+
+/// Build the 13-byte 5-tuple key `{saddr, daddr, sport, dport, proto}` on
+/// the stack at `fp + base` (base negative), reading from a plain
+/// Eth/IPv4/L4 packet. Clobbers `r1`.
+///
+/// Addresses/ports are stored in network byte order, exactly as the C
+/// programs `__builtin_memcpy` them out of the headers.
+pub fn build_fivetuple_key(a: &mut Asm, base: i16) {
+    // saddr (offset 26) and daddr (offset 30), 4B each, raw order.
+    a.load(MemSize::W, 1, PKT, 26);
+    a.store_reg(MemSize::W, 10, base, 1);
+    a.load(MemSize::W, 1, PKT, 30);
+    a.store_reg(MemSize::W, 10, base + 4, 1);
+    // sport/dport as one 4-byte chunk (offset 34).
+    a.load(MemSize::W, 1, PKT, 34);
+    a.store_reg(MemSize::W, 10, base + 8, 1);
+    // proto byte (offset 23).
+    a.load(MemSize::B, 1, PKT, 23);
+    a.store_reg(MemSize::B, 10, base + 12, 1);
+}
+
+/// Build the *reversed* 5-tuple key (daddr, saddr, dport, sport, proto) at
+/// `fp + base`. Clobbers `r1` and `r2`.
+pub fn build_reverse_fivetuple_key(a: &mut Asm, base: i16) {
+    a.load(MemSize::W, 1, PKT, 30);
+    a.store_reg(MemSize::W, 10, base, 1);
+    a.load(MemSize::W, 1, PKT, 26);
+    a.store_reg(MemSize::W, 10, base + 4, 1);
+    // swap the 16-bit port fields
+    a.load(MemSize::H, 1, PKT, 36);
+    a.store_reg(MemSize::H, 10, base + 8, 1);
+    a.load(MemSize::H, 2, PKT, 34);
+    a.store_reg(MemSize::H, 10, base + 10, 2);
+    a.load(MemSize::B, 1, PKT, 23);
+    a.store_reg(MemSize::B, 10, base + 12, 1);
+}
+
+/// Emit an atomic increment of `map[key_imm]` (an array map of u64
+/// counters): the Listing-1 `__sync_fetch_and_add(value, 1)` idiom.
+/// Clobbers `r1`–`r5` (helper call ABI) plus the stack word at `fp - 4`.
+pub fn bump_counter(a: &mut Asm, map_id: u32, key_imm: i32) {
+    let skip = a.new_label();
+    a.mov64_imm(1, key_imm);
+    a.store_reg(MemSize::W, 10, -4, 1);
+    a.ld_map_fd(1, map_id);
+    a.mov64_reg(2, 10);
+    a.alu64_imm(AluOp::Add, 2, -4);
+    a.call(ehdl_ebpf::helpers::BPF_MAP_LOOKUP_ELEM);
+    a.jmp_imm(JmpOp::Jeq, 0, 0, skip);
+    a.mov64_imm(2, 1);
+    a.atomic_add64(0, 0, 2);
+    a.bind(skip);
+}
+
+/// XDP action immediates.
+pub mod action {
+    /// `XDP_ABORTED`.
+    pub const ABORTED: i32 = 0;
+    /// `XDP_DROP`.
+    pub const DROP: i32 = 1;
+    /// `XDP_PASS`.
+    pub const PASS: i32 = 2;
+    /// `XDP_TX`.
+    pub const TX: i32 = 3;
+    /// `XDP_REDIRECT`.
+    pub const REDIRECT: i32 = 4;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehdl_ebpf::maps::{MapDef, MapKind};
+    use ehdl_ebpf::vm::{Vm, XdpAction};
+    use ehdl_ebpf::Program;
+    use ehdl_net::{PacketBuilder, IPPROTO_UDP};
+
+    #[test]
+    fn prologue_and_bounds_check() {
+        let mut a = Asm::new();
+        let drop = a.new_label();
+        prologue(&mut a);
+        bounds_check(&mut a, 14, drop);
+        a.mov64_imm(0, action::PASS);
+        a.exit();
+        exit_with(&mut a, drop, action::DROP);
+        let p = Program::from_insns(a.into_insns());
+        let mut vm = Vm::new(&p);
+        assert_eq!(vm.run(&mut vec![0; 64], 0).unwrap().action, XdpAction::Pass);
+        assert_eq!(vm.run(&mut vec![0; 10], 0).unwrap().action, XdpAction::Drop);
+    }
+
+    #[test]
+    fn ethertype_loads_big_endian() {
+        let mut a = Asm::new();
+        let drop = a.new_label();
+        prologue(&mut a);
+        bounds_check(&mut a, 14, drop);
+        load_ethertype(&mut a, 0);
+        a.exit();
+        exit_with(&mut a, drop, action::DROP);
+        let p = Program::from_insns(a.into_insns());
+        let pkt = PacketBuilder::new()
+            .eth([1; 6], [2; 6])
+            .ipv4([1, 1, 1, 1], [2, 2, 2, 2], IPPROTO_UDP)
+            .udp(1, 2)
+            .build();
+        let out = Vm::new(&p).run(&mut pkt.clone(), 0).unwrap();
+        assert_eq!(out.r0, u64::from(ehdl_net::ETH_P_IP));
+    }
+
+    #[test]
+    fn fivetuple_key_layout_matches_net_crate() {
+        let mut a = Asm::new();
+        let drop = a.new_label();
+        prologue(&mut a);
+        bounds_check(&mut a, 42, drop);
+        build_fivetuple_key(&mut a, -16);
+        // Return first word of the key for inspection.
+        a.load(MemSize::W, 0, 10, -16);
+        a.exit();
+        exit_with(&mut a, drop, action::DROP);
+        let p = Program::from_insns(a.into_insns());
+        let pkt = PacketBuilder::new()
+            .eth([1; 6], [2; 6])
+            .ipv4([10, 1, 2, 3], [4, 5, 6, 7], IPPROTO_UDP)
+            .udp(99, 100)
+            .build();
+        let out = Vm::new(&p).run(&mut pkt.clone(), 0).unwrap();
+        assert_eq!(out.r0.to_le_bytes()[..4], [10, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bump_counter_increments() {
+        let mut a = Asm::new();
+        prologue(&mut a);
+        bump_counter(&mut a, 0, 2);
+        a.mov64_imm(0, action::PASS);
+        a.exit();
+        let p = Program::new(
+            "c",
+            a.into_insns(),
+            vec![MapDef::new(0, "stats", MapKind::Array, 4, 8, 4)],
+        );
+        let mut vm = Vm::new(&p);
+        for _ in 0..3 {
+            vm.run(&mut vec![0; 64], 0).unwrap();
+        }
+        let m = vm.maps().get(0).unwrap();
+        assert_eq!(u64::from_le_bytes(m.value(2).try_into().unwrap()), 3);
+        assert_eq!(u64::from_le_bytes(m.value(0).try_into().unwrap()), 0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Dynamic source NAT (Table 1: "an application performing dynamic source
+//! NAT") — the program SDNet P4 *cannot* express, because the address
+//! translation table is allocated and written from the data plane itself.
+//!
+//! On the first packet of a UDP flow the program allocates a fresh source
+//! port from a shared counter (an atomic fetch-and-add on global state) and
+//! binds the flow in the connection table (`bpf_map_update_elem` — the
+//! data-plane map write). Subsequent packets of the flow hit the binding
+//! and get their source address/port rewritten, with an incremental IPv4
+//! checksum patch.
+//!
+//! The lookup→update distance on the connection table is what gives DNAT
+//! its large RAW window (Table 3: L = 51): the write happens only on a
+//! miss, after the whole port-selection sequence.
+
+use crate::common::{self, action, PKT};
+use ehdl_ebpf::asm::Asm;
+use ehdl_ebpf::helpers::{BPF_MAP_LOOKUP_ELEM, BPF_MAP_UPDATE_ELEM};
+use ehdl_ebpf::maps::{MapDef, MapKind, MapStore};
+use ehdl_ebpf::opcode::{AluOp, AtomicOp, JmpOp, MemSize};
+use ehdl_ebpf::Program;
+use ehdl_net::{ETH_P_IP, IPPROTO_UDP};
+
+/// Map id of the connection (binding) table.
+pub const CONN_MAP: u32 = 0;
+/// Map id of the port allocator (single u64 counter).
+pub const PORT_ALLOC_MAP: u32 = 1;
+/// Map id of the statistics array.
+pub const STATS_MAP: u32 = 2;
+/// Statistics key: translated packets.
+pub const STAT_TRANSLATED: u32 = 0;
+/// Statistics key: new bindings created.
+pub const STAT_BOUND: u32 = 1;
+
+/// The NAT public address written into translated packets.
+pub const NAT_ADDR: [u8; 4] = [198, 51, 100, 1];
+/// First port of the dynamic range.
+pub const PORT_BASE: u16 = 20000;
+/// Size of the dynamic port range (power of two).
+pub const PORT_RANGE: u16 = 16384;
+
+const FWD_KEY: i16 = -32;
+const VAL: i16 = -48;
+
+/// Build the DNAT program.
+pub fn program() -> Program {
+    let mut a = Asm::new();
+    let pass = a.new_label();
+    let drop = a.new_label();
+    let have_binding = a.new_label();
+    let rewrite = a.new_label();
+
+    common::prologue(&mut a);
+    common::bounds_check(&mut a, 42, drop);
+    common::load_ethertype(&mut a, 2);
+    a.jmp_imm(JmpOp::Jne, 2, i32::from(ETH_P_IP as u16), pass);
+    a.load(MemSize::B, 2, PKT, 23);
+    a.jmp_imm(JmpOp::Jne, 2, i32::from(IPPROTO_UDP), pass);
+
+    // Connection-table lookup on the forward 5-tuple.
+    common::build_fivetuple_key(&mut a, FWD_KEY);
+    a.ld_map_fd(1, CONN_MAP);
+    a.mov64_reg(2, 10);
+    a.alu64_imm(AluOp::Add, 2, i32::from(FWD_KEY));
+    a.call(BPF_MAP_LOOKUP_ELEM);
+    a.jmp_imm(JmpOp::Jne, 0, 0, have_binding);
+
+    // Miss: allocate a port with an atomic fetch-and-add on the shared
+    // counter (global state — handled by the atomic primitive in hardware).
+    a.mov64_imm(1, 0);
+    a.store_reg(MemSize::W, 10, -52, 1);
+    a.ld_map_fd(1, PORT_ALLOC_MAP);
+    a.mov64_reg(2, 10);
+    a.alu64_imm(AluOp::Add, 2, -52);
+    a.call(BPF_MAP_LOOKUP_ELEM);
+    a.jmp_imm(JmpOp::Jeq, 0, 0, drop); // array lookup cannot miss
+    a.mov64_imm(2, 1);
+    a.atomic(AtomicOp::Add { fetch: true }, MemSize::Dw, 0, 0, 2);
+    // r2 now holds the old counter value; derive the port.
+    a.alu64_imm(AluOp::And, 2, i32::from(PORT_RANGE - 1));
+    a.alu64_imm(AluOp::Add, 2, i32::from(PORT_BASE));
+
+    // Build the binding value {nat_addr(4), nat_port_be(2), pad(2)}.
+    a.mov64_imm(1, i32::from_le_bytes(NAT_ADDR));
+    a.store_reg(MemSize::W, 10, VAL, 1);
+    // Store the port big-endian, as it appears on the wire.
+    a.mov64_reg(3, 2);
+    a.alu64_imm(AluOp::Rsh, 3, 8);
+    a.store_reg(MemSize::B, 10, VAL + 4, 3);
+    a.store_reg(MemSize::B, 10, VAL + 5, 2);
+    a.mov64_imm(1, 0);
+    a.store_reg(MemSize::H, 10, VAL + 6, 1);
+
+    // Bind the flow: the data-plane map write SDNet cannot express.
+    a.ld_map_fd(1, CONN_MAP);
+    a.mov64_reg(2, 10);
+    a.alu64_imm(AluOp::Add, 2, i32::from(FWD_KEY));
+    a.mov64_reg(3, 10);
+    a.alu64_imm(AluOp::Add, 3, i32::from(VAL));
+    a.mov64_imm(4, 0);
+    a.call(BPF_MAP_UPDATE_ELEM);
+    common::bump_counter(&mut a, STATS_MAP, STAT_BOUND as i32);
+    // Re-read the binding we just wrote so both paths rewrite identically.
+    a.ld_map_fd(1, CONN_MAP);
+    a.mov64_reg(2, 10);
+    a.alu64_imm(AluOp::Add, 2, i32::from(FWD_KEY));
+    a.call(BPF_MAP_LOOKUP_ELEM);
+    a.jmp_imm(JmpOp::Jeq, 0, 0, drop);
+
+    a.bind(have_binding);
+    a.mov64_reg(9, 0); // binding pointer
+    a.jmp(rewrite);
+
+    // Rewrite saddr and sport from the binding, patching the IP checksum
+    // incrementally for the two changed address words.
+    a.bind(rewrite);
+    // old address words (big-endian).
+    a.load(MemSize::B, 2, PKT, 26);
+    a.load(MemSize::B, 3, PKT, 27);
+    a.alu64_imm(AluOp::Lsh, 2, 8);
+    a.alu64_reg(AluOp::Or, 2, 3); // old sa_hi
+    a.load(MemSize::B, 3, PKT, 28);
+    a.load(MemSize::B, 4, PKT, 29);
+    a.alu64_imm(AluOp::Lsh, 3, 8);
+    a.alu64_reg(AluOp::Or, 3, 4); // old sa_lo
+    // accumulate ~old words into r5 (start from current checksum).
+    a.load(MemSize::B, 4, PKT, 24);
+    a.load(MemSize::B, 5, PKT, 25);
+    a.alu64_imm(AluOp::Lsh, 4, 8);
+    a.alu64_reg(AluOp::Or, 4, 5);
+    a.alu64_imm(AluOp::Xor, 4, 0xffff); // ~HC
+    a.alu64_imm(AluOp::Xor, 2, 0xffff);
+    a.alu64_imm(AluOp::Xor, 3, 0xffff);
+    a.alu64_reg(AluOp::Add, 4, 2);
+    a.alu64_reg(AluOp::Add, 4, 3);
+    // write the new source address (bytes) and add its words.
+    a.load(MemSize::W, 1, 9, 0);
+    a.store_reg(MemSize::W, PKT, 26, 1);
+    a.load(MemSize::B, 2, PKT, 26);
+    a.load(MemSize::B, 3, PKT, 27);
+    a.alu64_imm(AluOp::Lsh, 2, 8);
+    a.alu64_reg(AluOp::Or, 2, 3);
+    a.alu64_reg(AluOp::Add, 4, 2);
+    a.load(MemSize::B, 2, PKT, 28);
+    a.load(MemSize::B, 3, PKT, 29);
+    a.alu64_imm(AluOp::Lsh, 2, 8);
+    a.alu64_reg(AluOp::Or, 2, 3);
+    a.alu64_reg(AluOp::Add, 4, 2);
+    // fold twice, complement, store.
+    a.mov64_reg(2, 4);
+    a.alu64_imm(AluOp::Rsh, 2, 16);
+    a.alu64_imm(AluOp::And, 4, 0xffff);
+    a.alu64_reg(AluOp::Add, 4, 2);
+    a.mov64_reg(2, 4);
+    a.alu64_imm(AluOp::Rsh, 2, 16);
+    a.alu64_imm(AluOp::And, 4, 0xffff);
+    a.alu64_reg(AluOp::Add, 4, 2);
+    a.alu64_imm(AluOp::Xor, 4, 0xffff);
+    a.mov64_reg(2, 4);
+    a.alu64_imm(AluOp::Rsh, 2, 8);
+    a.store_reg(MemSize::B, PKT, 24, 2);
+    a.store_reg(MemSize::B, PKT, 25, 4);
+    // New source port (already big-endian in the binding).
+    a.load(MemSize::H, 1, 9, 4);
+    a.store_reg(MemSize::H, PKT, 34, 1);
+    // Clear the UDP checksum (legal for IPv4) instead of recomputing it.
+    a.mov64_imm(1, 0);
+    a.store_reg(MemSize::H, PKT, 40, 1);
+
+    common::bump_counter(&mut a, STATS_MAP, STAT_TRANSLATED as i32);
+    a.mov64_imm(0, action::TX);
+    a.exit();
+
+    common::exit_with(&mut a, pass, action::PASS);
+    common::exit_with(&mut a, drop, action::DROP);
+
+    Program::new(
+        "dnat",
+        a.into_insns(),
+        vec![
+            MapDef::new(CONN_MAP, "conn", MapKind::Hash, 13, 8, 32768),
+            MapDef::new(PORT_ALLOC_MAP, "port_alloc", MapKind::Array, 4, 8, 1),
+            MapDef::new(STATS_MAP, "nat_stats", MapKind::Array, 4, 8, 4),
+        ],
+    )
+}
+
+/// Host-side view of `[translated, bound]`.
+pub fn read_stats(maps: &MapStore) -> [u64; 2] {
+    let m = maps.get(STATS_MAP).expect("stats map exists");
+    let read = |i: usize| u64::from_le_bytes(m.value(i).try_into().expect("8-byte counter"));
+    [read(0), read(1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehdl_ebpf::vm::{Vm, XdpAction};
+    use ehdl_net::{checksum, offsets, FiveTuple, ETH_HLEN, IPV4_HLEN};
+    use ehdl_traffic::build_flow_packet;
+
+    fn flow(sport: u16) -> FiveTuple {
+        FiveTuple {
+            saddr: [10, 0, 0, 42],
+            daddr: [8, 8, 8, 8],
+            sport,
+            dport: 53,
+            proto: IPPROTO_UDP,
+        }
+    }
+
+    fn pkt(f: &FiveTuple) -> Vec<u8> {
+        build_flow_packet(f, [2; 6], [4; 6], 64)
+    }
+
+    #[test]
+    fn first_packet_binds_and_translates() {
+        let p = program();
+        let mut vm = Vm::new(&p);
+        let f = flow(5555);
+        let mut packet = pkt(&f);
+        let out = vm.run(&mut packet, 0).unwrap();
+        assert_eq!(out.action, XdpAction::Tx);
+        assert_eq!(&packet[offsets::IP_SADDR..offsets::IP_SADDR + 4], &NAT_ADDR);
+        let new_port = u16::from_be_bytes([packet[offsets::L4_SPORT], packet[offsets::L4_SPORT + 1]]);
+        assert_eq!(new_port, PORT_BASE); // first allocation
+        assert_eq!(
+            checksum::internet_checksum(&packet[ETH_HLEN..ETH_HLEN + IPV4_HLEN]),
+            0
+        );
+        assert_eq!(read_stats(vm.maps()), [1, 1]);
+    }
+
+    #[test]
+    fn same_flow_keeps_binding_new_flow_gets_next_port() {
+        let p = program();
+        let mut vm = Vm::new(&p);
+        let f1 = flow(5555);
+        let f2 = flow(6666);
+
+        let mut p1 = pkt(&f1);
+        vm.run(&mut p1, 0).unwrap();
+        let port1 = u16::from_be_bytes([p1[offsets::L4_SPORT], p1[offsets::L4_SPORT + 1]]);
+
+        let mut p1b = pkt(&f1);
+        vm.run(&mut p1b, 0).unwrap();
+        let port1b = u16::from_be_bytes([p1b[offsets::L4_SPORT], p1b[offsets::L4_SPORT + 1]]);
+        assert_eq!(port1, port1b, "same flow must keep its binding");
+
+        let mut p2 = pkt(&f2);
+        vm.run(&mut p2, 0).unwrap();
+        let port2 = u16::from_be_bytes([p2[offsets::L4_SPORT], p2[offsets::L4_SPORT + 1]]);
+        assert_eq!(port2, port1 + 1, "second flow gets the next port");
+
+        assert_eq!(read_stats(vm.maps()), [3, 2]);
+    }
+
+    #[test]
+    fn destination_fields_untouched() {
+        let p = program();
+        let mut vm = Vm::new(&p);
+        let f = flow(5555);
+        let mut packet = pkt(&f);
+        vm.run(&mut packet, 0).unwrap();
+        assert_eq!(&packet[offsets::IP_DADDR..offsets::IP_DADDR + 4], &f.daddr);
+        let dport = u16::from_be_bytes([packet[offsets::L4_DPORT], packet[offsets::L4_DPORT + 1]]);
+        assert_eq!(dport, f.dport);
+    }
+
+    #[test]
+    fn non_udp_passes() {
+        let p = program();
+        let mut vm = Vm::new(&p);
+        let mut tcp = ehdl_net::PacketBuilder::new()
+            .eth([1; 6], [2; 6])
+            .ipv4([10, 0, 0, 1], [8, 8, 8, 8], ehdl_net::IPPROTO_TCP)
+            .tcp(1, 2, 0)
+            .build();
+        assert_eq!(vm.run(&mut tcp, 0).unwrap().action, XdpAction::Pass);
+    }
+
+    #[test]
+    fn port_range_wraps() {
+        let p = program();
+        let mut vm = Vm::new(&p);
+        // Pre-advance the allocator to the end of the range.
+        let m = vm.maps_mut().get_mut(PORT_ALLOC_MAP).unwrap();
+        m.value_mut(0).copy_from_slice(&(u64::from(PORT_RANGE) - 1).to_le_bytes());
+        let mut p1 = pkt(&flow(5555));
+        vm.run(&mut p1, 0).unwrap();
+        let port = u16::from_be_bytes([p1[offsets::L4_SPORT], p1[offsets::L4_SPORT + 1]]);
+        assert_eq!(port, PORT_BASE + PORT_RANGE - 1);
+        let mut p2 = pkt(&flow(6666));
+        vm.run(&mut p2, 0).unwrap();
+        let port2 = u16::from_be_bytes([p2[offsets::L4_SPORT], p2[offsets::L4_SPORT + 1]]);
+        assert_eq!(port2, PORT_BASE, "allocator wraps to the range base");
+    }
+}

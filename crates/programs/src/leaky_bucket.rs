@@ -1,0 +1,201 @@
+//! Leaky Bucket rate limiter — the §5.3 flush microbenchmark.
+//!
+//! Each flow's bucket holds `{tokens, last_refill_ns}`. The program must
+//! read both fields, compute the refill from `bpf_ktime_get_ns`, and write
+//! both fields back: a multi-word read-modify-write that *cannot* be
+//! expressed with a single atomic operation, so the generated hardware has
+//! a genuine RAW window and flushes whenever two packets of the same flow
+//! are in it simultaneously (Table 2).
+
+use crate::common::{self, action};
+use ehdl_ebpf::asm::Asm;
+use ehdl_ebpf::helpers::{BPF_KTIME_GET_NS, BPF_MAP_LOOKUP_ELEM, BPF_MAP_UPDATE_ELEM};
+use ehdl_ebpf::maps::{MapDef, MapKind, MapStore};
+use ehdl_ebpf::opcode::{AluOp, JmpOp, MemSize};
+use ehdl_ebpf::Program;
+use ehdl_net::{ETH_P_IP, IPPROTO_UDP};
+
+/// Map id of the per-flow bucket table (value: tokens u64 + last_ns u64).
+pub const BUCKETS_MAP: u32 = 0;
+/// Map id of the statistics array.
+pub const STATS_MAP: u32 = 1;
+/// Statistics key: forwarded packets.
+pub const STAT_FORWARDED: u32 = 0;
+/// Statistics key: rate-limited drops.
+pub const STAT_LIMITED: u32 = 1;
+
+/// Bucket capacity in tokens.
+pub const BURST: u64 = 16;
+/// One token is refilled every `2^REFILL_SHIFT` nanoseconds (~1 µs).
+pub const REFILL_SHIFT: u32 = 10;
+
+const KEY: i16 = -32;
+const VAL: i16 = -48;
+
+/// Build the leaky-bucket program.
+pub fn program() -> Program {
+    let mut a = Asm::new();
+    let pass = a.new_label();
+    let drop = a.new_label();
+    let miss = a.new_label();
+    let limited = a.new_label();
+    let fwd = a.new_label();
+
+    common::prologue(&mut a);
+    common::bounds_check(&mut a, 42, drop);
+    common::load_ethertype(&mut a, 2);
+    a.jmp_imm(JmpOp::Jne, 2, i32::from(ETH_P_IP as u16), pass);
+    a.load(MemSize::B, 2, common::PKT, 23);
+    a.jmp_imm(JmpOp::Jne, 2, i32::from(IPPROTO_UDP), pass);
+
+    common::build_fivetuple_key(&mut a, KEY);
+    a.ld_map_fd(1, BUCKETS_MAP);
+    a.mov64_reg(2, 10);
+    a.alu64_imm(AluOp::Add, 2, i32::from(KEY));
+    a.call(BPF_MAP_LOOKUP_ELEM);
+    a.jmp_imm(JmpOp::Jeq, 0, 0, miss);
+    a.mov64_reg(9, 0); // bucket pointer
+
+    // now = ktime; refill = (now - last) >> REFILL_SHIFT.
+    a.call(BPF_KTIME_GET_NS);
+    a.mov64_reg(7, 0); // now (r7 no longer needed as pkt ptr)
+    a.load(MemSize::Dw, 2, 9, 0); // tokens
+    a.load(MemSize::Dw, 3, 9, 8); // last_ns
+    a.mov64_reg(4, 7);
+    a.alu64_reg(AluOp::Sub, 4, 3);
+    a.alu64_imm(AluOp::Rsh, 4, REFILL_SHIFT as i32);
+    a.alu64_reg(AluOp::Add, 2, 4);
+    let no_cap = a.new_label();
+    a.jmp_imm(JmpOp::Jle, 2, BURST as i32, no_cap);
+    a.mov64_imm(2, BURST as i32);
+    a.bind(no_cap);
+    a.jmp_imm(JmpOp::Jeq, 2, 0, limited);
+    a.alu64_imm(AluOp::Sub, 2, 1);
+    // Write back both fields: the non-atomizable RAW window.
+    a.store_reg(MemSize::Dw, 9, 0, 2);
+    a.store_reg(MemSize::Dw, 9, 8, 7);
+    a.jmp(fwd);
+
+    // First packet of a flow: init the bucket via map update.
+    a.bind(miss);
+    a.call(BPF_KTIME_GET_NS);
+    a.mov64_imm(1, (BURST - 1) as i32);
+    a.store_reg(MemSize::Dw, 10, VAL, 1);
+    a.store_reg(MemSize::Dw, 10, VAL + 8, 0);
+    a.ld_map_fd(1, BUCKETS_MAP);
+    a.mov64_reg(2, 10);
+    a.alu64_imm(AluOp::Add, 2, i32::from(KEY));
+    a.mov64_reg(3, 10);
+    a.alu64_imm(AluOp::Add, 3, i32::from(VAL));
+    a.mov64_imm(4, 0);
+    a.call(BPF_MAP_UPDATE_ELEM);
+
+    a.bind(fwd);
+    common::bump_counter(&mut a, STATS_MAP, STAT_FORWARDED as i32);
+    a.mov64_imm(0, action::TX);
+    a.exit();
+
+    a.bind(limited);
+    // Keep last_ns fresh so a silent flow refills from its drop time.
+    a.store_reg(MemSize::Dw, 9, 8, 7);
+    common::bump_counter(&mut a, STATS_MAP, STAT_LIMITED as i32);
+    a.mov64_imm(0, action::DROP);
+    a.exit();
+
+    common::exit_with(&mut a, pass, action::PASS);
+    common::exit_with(&mut a, drop, action::DROP);
+
+    Program::new(
+        "leaky_bucket",
+        a.into_insns(),
+        vec![
+            MapDef::new(BUCKETS_MAP, "buckets", MapKind::Hash, 13, 16, 262144),
+            MapDef::new(STATS_MAP, "lb_stats", MapKind::Array, 4, 8, 4),
+        ],
+    )
+}
+
+/// Host-side view of `[forwarded, limited]`.
+pub fn read_stats(maps: &MapStore) -> [u64; 2] {
+    let m = maps.get(STATS_MAP).expect("stats map exists");
+    let read = |i: usize| u64::from_le_bytes(m.value(i).try_into().expect("8-byte counter"));
+    [read(0), read(1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehdl_ebpf::vm::{Vm, XdpAction};
+    use ehdl_net::FiveTuple;
+    use ehdl_traffic::build_flow_packet;
+
+    fn flow() -> FiveTuple {
+        FiveTuple {
+            saddr: [10, 0, 0, 1],
+            daddr: [10, 0, 0, 2],
+            sport: 1111,
+            dport: 2222,
+            proto: IPPROTO_UDP,
+        }
+    }
+
+    #[test]
+    fn burst_then_rate_limit() {
+        let p = program();
+        let mut vm = Vm::new(&p);
+        // All packets at t=0: the first opens with BURST-1 tokens, the next
+        // BURST-1 spend them, then drops begin.
+        vm.set_time_ns(0);
+        let mut forwarded = 0;
+        let mut dropped = 0;
+        for _ in 0..(BURST + 10) {
+            let out = vm.run(&mut build_flow_packet(&flow(), [1; 6], [2; 6], 64), 0).unwrap();
+            match out.action {
+                XdpAction::Tx => forwarded += 1,
+                XdpAction::Drop => dropped += 1,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert_eq!(forwarded, BURST);
+        assert_eq!(dropped, 10);
+        assert_eq!(read_stats(vm.maps()), [BURST, 10]);
+    }
+
+    #[test]
+    fn tokens_refill_over_time() {
+        let p = program();
+        let mut vm = Vm::new(&p);
+        vm.set_time_ns(0);
+        // Exhaust the bucket.
+        for _ in 0..BURST + 2 {
+            vm.run(&mut build_flow_packet(&flow(), [1; 6], [2; 6], 64), 0).unwrap();
+        }
+        // Advance time enough to refill a few tokens.
+        vm.set_time_ns(5 << REFILL_SHIFT);
+        let out = vm.run(&mut build_flow_packet(&flow(), [1; 6], [2; 6], 64), 0).unwrap();
+        assert_eq!(out.action, XdpAction::Tx);
+    }
+
+    #[test]
+    fn flows_do_not_interfere() {
+        let p = program();
+        let mut vm = Vm::new(&p);
+        vm.set_time_ns(0);
+        for _ in 0..BURST + 5 {
+            vm.run(&mut build_flow_packet(&flow(), [1; 6], [2; 6], 64), 0).unwrap();
+        }
+        let other = FiveTuple { sport: 9999, ..flow() };
+        let out = vm.run(&mut build_flow_packet(&other, [1; 6], [2; 6], 64), 0).unwrap();
+        assert_eq!(out.action, XdpAction::Tx, "fresh flow has its own bucket");
+    }
+
+    #[test]
+    fn non_udp_passes() {
+        let p = program();
+        let mut vm = Vm::new(&p);
+        let mut arp = vec![0u8; 64];
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        assert_eq!(vm.run(&mut arp, 0).unwrap().action, XdpAction::Pass);
+    }
+}

@@ -1,0 +1,247 @@
+//! IPv4 router, modelled on the kernel sample `xdp_router_ipv4`
+//! (Table 1: "parse pkt headers up to IP, look up in routing table and
+//! forward (redirect)").
+//!
+//! The routing table is an LPM-trie map written by the host control plane
+//! (the "host writes maps, data plane reads" pattern of §6); each entry
+//! carries the egress ifindex and next-hop/self MAC addresses. The data
+//! plane rewrites both MACs, decrements the TTL, patches the IPv4 header
+//! checksum incrementally (RFC 1624), counts the forwarded packet in a
+//! global statistics array, and redirects.
+
+use crate::common::{self, action, PKT};
+use ehdl_ebpf::asm::Asm;
+use ehdl_ebpf::helpers::{BPF_MAP_LOOKUP_ELEM, BPF_REDIRECT};
+use ehdl_ebpf::maps::{MapDef, MapKind, MapStore, UpdateFlags};
+use ehdl_ebpf::opcode::{AluOp, JmpOp, MemSize};
+use ehdl_ebpf::Program;
+use ehdl_net::ETH_P_IP;
+
+/// Map id of the LPM routing table.
+pub const ROUTES_MAP: u32 = 0;
+/// Map id of the statistics array.
+pub const STATS_MAP: u32 = 1;
+/// Statistics key: forwarded packets.
+pub const STAT_FORWARDED: u32 = 0;
+/// Statistics key: no-route packets (passed to the host stack).
+pub const STAT_NO_ROUTE: u32 = 1;
+/// Statistics key: TTL-expired drops.
+pub const STAT_TTL_EXPIRED: u32 = 2;
+
+/// Routing-table value layout: ifindex (u32 LE) + next-hop MAC + source MAC.
+pub const ROUTE_VALUE_SIZE: u32 = 16;
+
+/// Build the router program.
+pub fn program() -> Program {
+    let mut a = Asm::new();
+    let pass = a.new_label();
+    let drop = a.new_label();
+    let ttl_exp = a.new_label();
+    let no_route = a.new_label();
+
+    common::prologue(&mut a);
+    common::bounds_check(&mut a, 34, drop); // Eth + IPv4
+    common::load_ethertype(&mut a, 2);
+    a.jmp_imm(JmpOp::Jne, 2, i32::from(ETH_P_IP as u16), pass);
+
+    // TTL must remain >= 1 after decrement.
+    a.load(MemSize::B, 2, PKT, 22);
+    a.jmp_imm(JmpOp::Jle, 2, 1, ttl_exp);
+
+    // LPM key {prefixlen=32, daddr} at fp-8.
+    a.mov64_imm(1, 32);
+    a.store_reg(MemSize::W, 10, -8, 1);
+    a.load(MemSize::W, 1, PKT, 30);
+    a.store_reg(MemSize::W, 10, -4, 1);
+    a.ld_map_fd(1, ROUTES_MAP);
+    a.mov64_reg(2, 10);
+    a.alu64_imm(AluOp::Add, 2, -8);
+    a.call(BPF_MAP_LOOKUP_ELEM);
+    a.jmp_imm(JmpOp::Jeq, 0, 0, no_route);
+    a.mov64_reg(9, 0); // keep the route entry pointer across calls
+
+    // Rewrite destination MAC from value[4..10].
+    a.load(MemSize::W, 1, 9, 4);
+    a.store_reg(MemSize::W, PKT, 0, 1);
+    a.load(MemSize::H, 1, 9, 8);
+    a.store_reg(MemSize::H, PKT, 4, 1);
+    // Rewrite source MAC from value[10..16].
+    a.load(MemSize::W, 1, 9, 10);
+    a.store_reg(MemSize::W, PKT, 6, 1);
+    a.load(MemSize::H, 1, 9, 14);
+    a.store_reg(MemSize::H, PKT, 10, 1);
+
+    // Decrement TTL and patch the checksum per RFC 1624:
+    //   HC' = ~( ~HC + ~m + m' ) over 16-bit big-endian words, where m is
+    //   the TTL/protocol word.
+    a.load(MemSize::B, 2, PKT, 22); // ttl
+    a.load(MemSize::B, 3, PKT, 23); // proto
+    a.mov64_reg(4, 2);
+    a.alu64_imm(AluOp::Lsh, 4, 8);
+    a.alu64_reg(AluOp::Or, 4, 3); // m
+    a.alu64_imm(AluOp::Sub, 2, 1); // new ttl
+    a.store_reg(MemSize::B, PKT, 22, 2);
+    a.alu64_imm(AluOp::Lsh, 2, 8);
+    a.alu64_reg(AluOp::Or, 2, 3); // m'
+    a.load(MemSize::B, 3, PKT, 24);
+    a.load(MemSize::B, 5, PKT, 25);
+    a.alu64_imm(AluOp::Lsh, 3, 8);
+    a.alu64_reg(AluOp::Or, 3, 5); // HC
+    a.alu64_imm(AluOp::Xor, 3, 0xffff); // ~HC
+    a.alu64_imm(AluOp::Xor, 4, 0xffff); // ~m
+    a.alu64_reg(AluOp::Add, 3, 4);
+    a.alu64_reg(AluOp::Add, 3, 2); // acc
+    // Fold twice.
+    a.mov64_reg(4, 3);
+    a.alu64_imm(AluOp::Rsh, 4, 16);
+    a.alu64_imm(AluOp::And, 3, 0xffff);
+    a.alu64_reg(AluOp::Add, 3, 4);
+    a.mov64_reg(4, 3);
+    a.alu64_imm(AluOp::Rsh, 4, 16);
+    a.alu64_imm(AluOp::And, 3, 0xffff);
+    a.alu64_reg(AluOp::Add, 3, 4);
+    a.alu64_imm(AluOp::Xor, 3, 0xffff); // HC'
+    // Store big-endian.
+    a.mov64_reg(4, 3);
+    a.alu64_imm(AluOp::Rsh, 4, 8);
+    a.store_reg(MemSize::B, PKT, 24, 4);
+    a.store_reg(MemSize::B, PKT, 25, 3);
+
+    // Count and redirect to the route's ifindex.
+    common::bump_counter(&mut a, STATS_MAP, STAT_FORWARDED as i32);
+    a.load(MemSize::W, 1, 9, 0);
+    a.mov64_imm(2, 0);
+    a.call(BPF_REDIRECT);
+    a.exit();
+
+    a.bind(no_route);
+    common::bump_counter(&mut a, STATS_MAP, STAT_NO_ROUTE as i32);
+    a.mov64_imm(0, action::PASS);
+    a.exit();
+
+    a.bind(ttl_exp);
+    common::bump_counter(&mut a, STATS_MAP, STAT_TTL_EXPIRED as i32);
+    a.mov64_imm(0, action::DROP);
+    a.exit();
+
+    common::exit_with(&mut a, pass, action::PASS);
+    common::exit_with(&mut a, drop, action::DROP);
+
+    Program::new(
+        "router_ipv4",
+        a.into_insns(),
+        vec![
+            MapDef::new(ROUTES_MAP, "routes", MapKind::LpmTrie, 8, ROUTE_VALUE_SIZE, 1024),
+            MapDef::new(STATS_MAP, "rt_stats", MapKind::Array, 4, 8, 4),
+        ],
+    )
+}
+
+/// Host-side control plane: install a route `prefix/plen -> (ifindex,
+/// next-hop MAC, source MAC)`.
+pub fn install_route(
+    maps: &mut MapStore,
+    prefix: [u8; 4],
+    plen: u32,
+    ifindex: u32,
+    next_hop_mac: [u8; 6],
+    src_mac: [u8; 6],
+) {
+    let mut key = plen.to_le_bytes().to_vec();
+    key.extend_from_slice(&prefix);
+    let mut value = ifindex.to_le_bytes().to_vec();
+    value.extend_from_slice(&next_hop_mac);
+    value.extend_from_slice(&src_mac);
+    maps.get_mut(ROUTES_MAP)
+        .expect("routes map exists")
+        .update(&key, &value, UpdateFlags::Any)
+        .expect("route insert");
+}
+
+/// Host-side view of `[forwarded, no_route, ttl_expired]`.
+pub fn read_stats(maps: &MapStore) -> [u64; 3] {
+    let m = maps.get(STATS_MAP).expect("stats map exists");
+    let read = |i: usize| u64::from_le_bytes(m.value(i).try_into().expect("8-byte counter"));
+    [read(0), read(1), read(2)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehdl_ebpf::vm::{Vm, XdpAction};
+    use ehdl_net::{checksum, offsets, PacketBuilder, ETH_HLEN, IPPROTO_UDP, IPV4_HLEN};
+
+    fn pkt(dst: [u8; 4], ttl: u8) -> Vec<u8> {
+        PacketBuilder::new()
+            .eth([0x02, 0, 0, 0, 0, 1], [0x02, 0, 0, 0, 0, 2])
+            .ipv4([10, 0, 0, 1], dst, IPPROTO_UDP)
+            .ttl(ttl)
+            .udp(1000, 2000)
+            .build()
+    }
+
+    #[test]
+    fn forwards_with_mac_rewrite_ttl_and_checksum() {
+        let p = program();
+        let mut vm = Vm::new(&p);
+        let nh = [0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff];
+        let me = [0x02, 0x11, 0x22, 0x33, 0x44, 0x55];
+        install_route(vm.maps_mut(), [192, 168, 7, 0], 24, 3, nh, me);
+
+        let mut packet = pkt([192, 168, 7, 42], 64);
+        let out = vm.run(&mut packet, 0).unwrap();
+        assert_eq!(out.action, XdpAction::Redirect);
+        assert_eq!(out.redirect_ifindex, Some(3));
+        assert_eq!(&packet[offsets::ETH_DST..offsets::ETH_DST + 6], &nh);
+        assert_eq!(&packet[offsets::ETH_SRC..offsets::ETH_SRC + 6], &me);
+        assert_eq!(packet[offsets::IP_TTL], 63);
+        // IPv4 header still checksums to zero after the incremental patch.
+        assert_eq!(
+            checksum::internet_checksum(&packet[ETH_HLEN..ETH_HLEN + IPV4_HLEN]),
+            0
+        );
+        assert_eq!(read_stats(vm.maps()), [1, 0, 0]);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let p = program();
+        let mut vm = Vm::new(&p);
+        install_route(vm.maps_mut(), [0, 0, 0, 0], 0, 1, [1; 6], [9; 6]);
+        install_route(vm.maps_mut(), [192, 168, 0, 0], 16, 2, [2; 6], [9; 6]);
+
+        let out = vm.run(&mut pkt([192, 168, 9, 9], 64), 0).unwrap();
+        assert_eq!(out.redirect_ifindex, Some(2));
+        let out = vm.run(&mut pkt([8, 8, 8, 8], 64), 0).unwrap();
+        assert_eq!(out.redirect_ifindex, Some(1));
+    }
+
+    #[test]
+    fn no_route_passes_to_stack() {
+        let p = program();
+        let mut vm = Vm::new(&p);
+        let out = vm.run(&mut pkt([1, 2, 3, 4], 64), 0).unwrap();
+        assert_eq!(out.action, XdpAction::Pass);
+        assert_eq!(read_stats(vm.maps()), [0, 1, 0]);
+    }
+
+    #[test]
+    fn ttl_expiry_drops() {
+        let p = program();
+        let mut vm = Vm::new(&p);
+        install_route(vm.maps_mut(), [0, 0, 0, 0], 0, 1, [1; 6], [9; 6]);
+        let out = vm.run(&mut pkt([5, 5, 5, 5], 1), 0).unwrap();
+        assert_eq!(out.action, XdpAction::Drop);
+        assert_eq!(read_stats(vm.maps()), [0, 0, 1]);
+    }
+
+    #[test]
+    fn non_ip_passes() {
+        let p = program();
+        let mut vm = Vm::new(&p);
+        let mut arp = vec![0u8; 64];
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        assert_eq!(vm.run(&mut arp, 0).unwrap().action, XdpAction::Pass);
+    }
+}

@@ -1,0 +1,220 @@
+//! Simple firewall: "checks the bidirectional connectivity for UDP flows"
+//! (Table 1).
+//!
+//! Policy, as in the classic XDP firewall samples:
+//!
+//! * packets of an already-established session are forwarded (`XDP_TX`);
+//! * a packet whose *reverse* flow has a session entry establishes the
+//!   forward direction (the peer answered, so connectivity is
+//!   bidirectional) and is forwarded;
+//! * otherwise, only packets originating inside the protected prefix
+//!   `10.0.0.0/8` may open a new session; everything else is dropped.
+//!
+//! State: a hash map keyed by the 13-byte 5-tuple; a global statistics
+//! array updated with atomic adds.
+
+use crate::common::{self, action, PKT};
+use ehdl_ebpf::asm::Asm;
+use ehdl_ebpf::helpers::{BPF_MAP_LOOKUP_ELEM, BPF_MAP_UPDATE_ELEM};
+use ehdl_ebpf::maps::{MapDef, MapKind, MapStore};
+use ehdl_ebpf::opcode::{AluOp, JmpOp, MemSize};
+use ehdl_ebpf::Program;
+use ehdl_net::{FiveTuple, ETH_P_IP, IPPROTO_UDP};
+
+/// Map id of the session table (key: 13-byte 5-tuple, value: u64 packets).
+pub const SESSIONS_MAP: u32 = 0;
+/// Map id of the statistics array.
+pub const STATS_MAP: u32 = 1;
+/// Statistics key: packets allowed.
+pub const STAT_ALLOWED: u32 = 0;
+/// Statistics key: packets dropped.
+pub const STAT_DROPPED: u32 = 1;
+/// Statistics key: sessions opened.
+pub const STAT_OPENED: u32 = 2;
+
+/// Stack offset of the forward key.
+const FWD_KEY: i16 = -16;
+/// Stack offset of the reverse key.
+const REV_KEY: i16 = -32;
+/// Stack offset of the initial session value.
+const VAL: i16 = -40;
+
+/// Build the firewall program.
+pub fn program() -> Program {
+    let mut a = Asm::new();
+    let pass = a.new_label();
+    let drop = a.new_label();
+    let short = a.new_label();
+    let allow = a.new_label();
+    let open = a.new_label();
+    let check_inside = a.new_label();
+
+    common::prologue(&mut a);
+    // Need Eth + IPv4 + UDP headers.
+    common::bounds_check(&mut a, 42, short);
+    common::load_ethertype(&mut a, 2);
+    a.jmp_imm(JmpOp::Jne, 2, i32::from(ETH_P_IP as u16), pass);
+    a.load(MemSize::B, 2, PKT, 23);
+    a.jmp_imm(JmpOp::Jne, 2, i32::from(IPPROTO_UDP), pass);
+
+    // Forward-key lookup.
+    common::build_fivetuple_key(&mut a, FWD_KEY);
+    a.ld_map_fd(1, SESSIONS_MAP);
+    a.mov64_reg(2, 10);
+    a.alu64_imm(AluOp::Add, 2, i32::from(FWD_KEY));
+    a.call(BPF_MAP_LOOKUP_ELEM);
+    a.jmp_imm(JmpOp::Jeq, 0, 0, check_inside);
+    // Established: bump the per-session packet count in place.
+    a.mov64_imm(2, 1);
+    a.atomic_add64(0, 0, 2);
+    a.jmp(allow);
+
+    // Miss: does the reverse flow have a session?
+    a.bind(check_inside);
+    common::build_reverse_fivetuple_key(&mut a, REV_KEY);
+    a.ld_map_fd(1, SESSIONS_MAP);
+    a.mov64_reg(2, 10);
+    a.alu64_imm(AluOp::Add, 2, i32::from(REV_KEY));
+    a.call(BPF_MAP_LOOKUP_ELEM);
+    a.jmp_imm(JmpOp::Jne, 0, 0, open);
+    // Neither direction known: only the inside prefix may open sessions.
+    a.load(MemSize::B, 2, PKT, 26);
+    a.jmp_imm(JmpOp::Jeq, 2, 10, open);
+    common::bump_counter(&mut a, STATS_MAP, STAT_DROPPED as i32);
+    a.jmp(drop);
+
+    // Open (or refresh) the forward session.
+    a.bind(open);
+    a.mov64_imm(1, 1);
+    a.store_reg(MemSize::Dw, 10, VAL, 1);
+    a.ld_map_fd(1, SESSIONS_MAP);
+    a.mov64_reg(2, 10);
+    a.alu64_imm(AluOp::Add, 2, i32::from(FWD_KEY));
+    a.mov64_reg(3, 10);
+    a.alu64_imm(AluOp::Add, 3, i32::from(VAL));
+    a.mov64_imm(4, 0);
+    a.call(BPF_MAP_UPDATE_ELEM);
+    common::bump_counter(&mut a, STATS_MAP, STAT_OPENED as i32);
+
+    a.bind(allow);
+    common::bump_counter(&mut a, STATS_MAP, STAT_ALLOWED as i32);
+    a.mov64_imm(0, action::TX);
+    a.exit();
+
+    common::exit_with(&mut a, pass, action::PASS);
+    common::exit_with(&mut a, drop, action::DROP);
+    common::exit_with(&mut a, short, action::DROP);
+
+    Program::new(
+        "simple_firewall",
+        a.into_insns(),
+        vec![
+            MapDef::new(SESSIONS_MAP, "sessions", MapKind::Hash, 13, 8, 32768),
+            MapDef::new(STATS_MAP, "fw_stats", MapKind::Array, 4, 8, 4),
+        ],
+    )
+}
+
+/// Host-side helper: pre-install a session for `flow` (e.g. a control-plane
+/// allow rule).
+pub fn install_session(maps: &mut MapStore, flow: &FiveTuple) {
+    maps.get_mut(SESSIONS_MAP)
+        .expect("sessions map exists")
+        .update(&flow.to_key(), &1u64.to_le_bytes(), Default::default())
+        .expect("session insert");
+}
+
+/// Host-side view of the statistics counters `[allowed, dropped, opened]`.
+pub fn read_stats(maps: &MapStore) -> [u64; 3] {
+    let m = maps.get(STATS_MAP).expect("stats map exists");
+    let read = |i: usize| u64::from_le_bytes(m.value(i).try_into().expect("8-byte counter"));
+    [read(0), read(1), read(2)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehdl_ebpf::vm::{Vm, XdpAction};
+    use ehdl_traffic::build_flow_packet;
+
+    fn flow(inside: bool) -> FiveTuple {
+        FiveTuple {
+            saddr: if inside { [10, 1, 1, 1] } else { [8, 8, 8, 8] },
+            daddr: [192, 168, 0, 5],
+            sport: 5555,
+            dport: 53,
+            proto: IPPROTO_UDP,
+        }
+    }
+
+    fn pkt(f: &FiveTuple) -> Vec<u8> {
+        build_flow_packet(f, [2; 6], [4; 6], 64)
+    }
+
+    #[test]
+    fn inside_flow_opens_session_then_reverse_allowed() {
+        let p = program();
+        let mut vm = Vm::new(&p);
+        let f = flow(true);
+
+        let out = vm.run(&mut pkt(&f), 0).unwrap();
+        assert_eq!(out.action, XdpAction::Tx);
+
+        // The reverse direction now finds the session and is allowed too.
+        let out = vm.run(&mut pkt(&f.reversed()), 0).unwrap();
+        assert_eq!(out.action, XdpAction::Tx);
+
+        assert_eq!(read_stats(vm.maps()), [2, 0, 2]);
+    }
+
+    #[test]
+    fn outside_flow_dropped_without_session() {
+        let p = program();
+        let mut vm = Vm::new(&p);
+        let out = vm.run(&mut pkt(&flow(false)), 0).unwrap();
+        assert_eq!(out.action, XdpAction::Drop);
+        assert_eq!(read_stats(vm.maps()), [0, 1, 0]);
+    }
+
+    #[test]
+    fn established_packets_counted_per_session() {
+        let p = program();
+        let mut vm = Vm::new(&p);
+        let f = flow(true);
+        for _ in 0..4 {
+            vm.run(&mut pkt(&f), 0).unwrap();
+        }
+        let m = vm.maps().get(SESSIONS_MAP).unwrap();
+        let slot = m.clone().lookup(&f.to_key()).unwrap().unwrap();
+        let count = u64::from_le_bytes(m.value(slot).try_into().unwrap());
+        // First packet stores 1, three more atomically add 1 each.
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn preinstalled_session_allows_outside_flow() {
+        let p = program();
+        let mut vm = Vm::new(&p);
+        let f = flow(false);
+        install_session(vm.maps_mut(), &f);
+        let out = vm.run(&mut pkt(&f), 0).unwrap();
+        assert_eq!(out.action, XdpAction::Tx);
+    }
+
+    #[test]
+    fn non_udp_and_non_ip_pass_through() {
+        let p = program();
+        let mut vm = Vm::new(&p);
+        let mut tcp = ehdl_net::PacketBuilder::new()
+            .eth([1; 6], [2; 6])
+            .ipv4([8, 8, 8, 8], [10, 0, 0, 1], ehdl_net::IPPROTO_TCP)
+            .tcp(80, 4000, 0x10)
+            .build();
+        assert_eq!(vm.run(&mut tcp, 0).unwrap().action, XdpAction::Pass);
+
+        let mut arp = vec![0u8; 64];
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        assert_eq!(vm.run(&mut arp, 0).unwrap().action, XdpAction::Pass);
+    }
+}

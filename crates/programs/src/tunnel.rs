@@ -1,0 +1,271 @@
+//! IP-in-IP TX tunnel, modelled on the kernel sample `xdp_tx_iptunnel`
+//! (Table 1: "parse pkt up to L4, encapsulate and XDP_TX").
+//!
+//! A hash map written by the host control plane assigns tunnel endpoints to
+//! inner destination addresses. For matching packets, the program grows the
+//! packet head by 20 bytes with `bpf_xdp_adjust_head`, writes a fresh
+//! Ethernet header and an outer IPv4 (protocol 4, IPIP) header — computing
+//! the outer header checksum in the data plane — bumps a global statistics
+//! counter, and transmits with `XDP_TX`.
+
+use crate::common::{self, action, CTX, PKT, PKT_END};
+use ehdl_ebpf::asm::Asm;
+use ehdl_ebpf::helpers::{BPF_MAP_LOOKUP_ELEM, BPF_XDP_ADJUST_HEAD};
+use ehdl_ebpf::maps::{MapDef, MapKind, MapStore, UpdateFlags};
+use ehdl_ebpf::opcode::{AluOp, JmpOp, MemSize};
+use ehdl_ebpf::vm::xdp_md;
+use ehdl_ebpf::Program;
+use ehdl_net::ETH_P_IP;
+
+/// Map id of the tunnel endpoint table (key: inner daddr, value: 20 bytes).
+pub const ENDPOINTS_MAP: u32 = 0;
+/// Map id of the statistics array.
+pub const STATS_MAP: u32 = 1;
+/// Statistics key: encapsulated packets.
+pub const STAT_ENCAPPED: u32 = 0;
+/// Statistics key: passed packets (no endpoint configured).
+pub const STAT_PASSED: u32 = 1;
+
+/// Endpoint value layout: outer saddr(4) + outer daddr(4) + dmac(6) + smac(6).
+pub const ENDPOINT_VALUE_SIZE: u32 = 20;
+
+/// IPPROTO_IPIP.
+const PROTO_IPIP: i32 = 4;
+
+/// Build the tunnel program.
+pub fn program() -> Program {
+    let mut a = Asm::new();
+    let pass = a.new_label();
+    let drop = a.new_label();
+    let no_ep = a.new_label();
+
+    common::prologue(&mut a);
+    common::bounds_check(&mut a, 34, drop);
+    common::load_ethertype(&mut a, 2);
+    a.jmp_imm(JmpOp::Jne, 2, i32::from(ETH_P_IP as u16), pass);
+
+    // Endpoint lookup keyed by inner destination address.
+    a.load(MemSize::W, 1, PKT, 30);
+    a.store_reg(MemSize::W, 10, -4, 1);
+    a.ld_map_fd(1, ENDPOINTS_MAP);
+    a.mov64_reg(2, 10);
+    a.alu64_imm(AluOp::Add, 2, -4);
+    a.call(BPF_MAP_LOOKUP_ELEM);
+    a.jmp_imm(JmpOp::Jeq, 0, 0, no_ep);
+    a.mov64_reg(9, 0); // endpoint entry pointer
+
+    // Grow the head by 20 bytes for the outer IPv4 header.
+    a.mov64_reg(1, CTX);
+    a.mov64_imm(2, -20);
+    a.call(BPF_XDP_ADJUST_HEAD);
+    a.jmp_imm(JmpOp::Jne, 0, 0, drop);
+    // Pointers are invalidated: reload and re-check.
+    a.load(MemSize::W, PKT, CTX, xdp_md::DATA as i16);
+    a.load(MemSize::W, PKT_END, CTX, xdp_md::DATA_END as i16);
+    common::bounds_check(&mut a, 54, drop); // new eth + outer ip + inner ip
+
+    // New Ethernet header: dmac = value[8..14], smac = value[14..20].
+    a.load(MemSize::W, 1, 9, 8);
+    a.store_reg(MemSize::W, PKT, 0, 1);
+    a.load(MemSize::H, 1, 9, 12);
+    a.store_reg(MemSize::H, PKT, 4, 1);
+    a.load(MemSize::W, 1, 9, 14);
+    a.store_reg(MemSize::W, PKT, 6, 1);
+    a.load(MemSize::H, 1, 9, 18);
+    a.store_reg(MemSize::H, PKT, 10, 1);
+    a.mov64_imm(1, 0x08);
+    a.store_reg(MemSize::B, PKT, 12, 1);
+    a.mov64_imm(1, 0x00);
+    a.store_reg(MemSize::B, PKT, 13, 1);
+
+    // Outer IPv4 header at offset 14. Inner header now sits at offset 34,
+    // so the inner total length is at bytes 36..38 (big-endian).
+    a.load(MemSize::B, 2, PKT, 36);
+    a.load(MemSize::B, 3, PKT, 37);
+    a.alu64_imm(AluOp::Lsh, 2, 8);
+    a.alu64_reg(AluOp::Or, 2, 3);
+    a.alu64_imm(AluOp::Add, 2, 20); // outer total length
+    a.mov64_imm(1, 0x45);
+    a.store_reg(MemSize::B, PKT, 14, 1);
+    a.mov64_imm(1, 0);
+    a.store_reg(MemSize::B, PKT, 15, 1);
+    a.mov64_reg(3, 2);
+    a.alu64_imm(AluOp::Rsh, 3, 8);
+    a.store_reg(MemSize::B, PKT, 16, 3);
+    a.store_reg(MemSize::B, PKT, 17, 2);
+    a.mov64_imm(1, 0);
+    a.store_reg(MemSize::H, PKT, 18, 1); // id
+    a.store_reg(MemSize::H, PKT, 20, 1); // frag
+    a.mov64_imm(1, 64);
+    a.store_reg(MemSize::B, PKT, 22, 1); // ttl
+    a.mov64_imm(1, PROTO_IPIP);
+    a.store_reg(MemSize::B, PKT, 23, 1);
+    // Outer addresses from value[0..8].
+    a.load(MemSize::W, 1, 9, 0);
+    a.store_reg(MemSize::W, PKT, 26, 1);
+    a.load(MemSize::W, 1, 9, 4);
+    a.store_reg(MemSize::W, PKT, 30, 1);
+
+    // Header checksum: sum the big-endian words
+    //   0x4500, tot_len, 0, 0, (64<<8 | 4), 0, sa_hi, sa_lo, da_hi, da_lo.
+    // r2 already holds tot_len.
+    a.alu64_imm(AluOp::Add, 2, 0x4500);
+    a.alu64_imm(AluOp::Add, 2, (64 << 8) | PROTO_IPIP);
+    // Sum the four address words straight from the packet we just wrote.
+    for off in [26i16, 28, 30, 32] {
+        a.load(MemSize::B, 3, PKT, off);
+        a.load(MemSize::B, 4, PKT, off + 1);
+        a.alu64_imm(AluOp::Lsh, 3, 8);
+        a.alu64_reg(AluOp::Or, 3, 4);
+        a.alu64_reg(AluOp::Add, 2, 3);
+    }
+    // Fold twice and complement.
+    a.mov64_reg(3, 2);
+    a.alu64_imm(AluOp::Rsh, 3, 16);
+    a.alu64_imm(AluOp::And, 2, 0xffff);
+    a.alu64_reg(AluOp::Add, 2, 3);
+    a.mov64_reg(3, 2);
+    a.alu64_imm(AluOp::Rsh, 3, 16);
+    a.alu64_imm(AluOp::And, 2, 0xffff);
+    a.alu64_reg(AluOp::Add, 2, 3);
+    a.alu64_imm(AluOp::Xor, 2, 0xffff);
+    a.mov64_reg(3, 2);
+    a.alu64_imm(AluOp::Rsh, 3, 8);
+    a.store_reg(MemSize::B, PKT, 24, 3);
+    a.store_reg(MemSize::B, PKT, 25, 2);
+
+    common::bump_counter(&mut a, STATS_MAP, STAT_ENCAPPED as i32);
+    a.mov64_imm(0, action::TX);
+    a.exit();
+
+    a.bind(no_ep);
+    common::bump_counter(&mut a, STATS_MAP, STAT_PASSED as i32);
+    a.mov64_imm(0, action::PASS);
+    a.exit();
+
+    common::exit_with(&mut a, pass, action::PASS);
+    common::exit_with(&mut a, drop, action::DROP);
+
+    Program::new(
+        "tx_iptunnel",
+        a.into_insns(),
+        vec![
+            MapDef::new(ENDPOINTS_MAP, "endpoints", MapKind::Hash, 4, ENDPOINT_VALUE_SIZE, 256),
+            MapDef::new(STATS_MAP, "tun_stats", MapKind::Array, 4, 8, 4),
+        ],
+    )
+}
+
+/// Host-side control plane: map inner destination `inner_daddr` to a tunnel
+/// endpoint.
+pub fn install_endpoint(
+    maps: &mut MapStore,
+    inner_daddr: [u8; 4],
+    outer_saddr: [u8; 4],
+    outer_daddr: [u8; 4],
+    dmac: [u8; 6],
+    smac: [u8; 6],
+) {
+    let mut value = Vec::with_capacity(ENDPOINT_VALUE_SIZE as usize);
+    value.extend_from_slice(&outer_saddr);
+    value.extend_from_slice(&outer_daddr);
+    value.extend_from_slice(&dmac);
+    value.extend_from_slice(&smac);
+    maps.get_mut(ENDPOINTS_MAP)
+        .expect("endpoints map exists")
+        .update(&inner_daddr, &value, UpdateFlags::Any)
+        .expect("endpoint insert");
+}
+
+/// Host-side view of `[encapped, passed]`.
+pub fn read_stats(maps: &MapStore) -> [u64; 2] {
+    let m = maps.get(STATS_MAP).expect("stats map exists");
+    let read = |i: usize| u64::from_le_bytes(m.value(i).try_into().expect("8-byte counter"));
+    [read(0), read(1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehdl_ebpf::vm::{Vm, XdpAction};
+    use ehdl_net::{checksum, PacketBuilder, ETH_HLEN, IPPROTO_UDP, IPV4_HLEN};
+
+    fn pkt(dst: [u8; 4]) -> Vec<u8> {
+        PacketBuilder::new()
+            .eth([0x02, 0, 0, 0, 0, 1], [0x02, 0, 0, 0, 0, 2])
+            .ipv4([10, 0, 0, 1], dst, IPPROTO_UDP)
+            .udp(1000, 2000)
+            .payload_len(10)
+            .build()
+    }
+
+    #[test]
+    fn encapsulates_matching_packet() {
+        let p = program();
+        let mut vm = Vm::new(&p);
+        install_endpoint(
+            vm.maps_mut(),
+            [192, 168, 7, 42],
+            [172, 16, 0, 1],
+            [172, 16, 0, 2],
+            [0xaa; 6],
+            [0xbb; 6],
+        );
+        let mut packet = pkt([192, 168, 7, 42]);
+        let inner_len = packet.len();
+        let out = vm.run(&mut packet, 0).unwrap();
+        assert_eq!(out.action, XdpAction::Tx);
+        assert_eq!(packet.len(), inner_len + 20);
+        // Outer headers.
+        assert_eq!(&packet[0..6], &[0xaa; 6]);
+        assert_eq!(&packet[6..12], &[0xbb; 6]);
+        assert_eq!(u16::from_be_bytes([packet[12], packet[13]]), ETH_P_IP);
+        assert_eq!(packet[14], 0x45);
+        assert_eq!(packet[23], 4); // IPIP
+        assert_eq!(&packet[26..30], &[172, 16, 0, 1]);
+        assert_eq!(&packet[30..34], &[172, 16, 0, 2]);
+        // The outer header checksums to zero.
+        assert_eq!(
+            checksum::internet_checksum(&packet[ETH_HLEN..ETH_HLEN + IPV4_HLEN]),
+            0
+        );
+        // Inner packet intact after the outer headers.
+        assert_eq!(packet[34], 0x45);
+        assert_eq!(&packet[46..50], &[10, 0, 0, 1]);
+        assert_eq!(read_stats(vm.maps()), [1, 0]);
+    }
+
+    #[test]
+    fn outer_total_length_covers_inner() {
+        let p = program();
+        let mut vm = Vm::new(&p);
+        install_endpoint(vm.maps_mut(), [1, 1, 1, 1], [2, 2, 2, 2], [3, 3, 3, 3], [1; 6], [2; 6]);
+        let mut packet = pkt([1, 1, 1, 1]);
+        vm.run(&mut packet, 0).unwrap();
+        let outer_len = u16::from_be_bytes([packet[16], packet[17]]);
+        let inner_len = u16::from_be_bytes([packet[36], packet[37]]);
+        assert_eq!(outer_len, inner_len + 20);
+    }
+
+    #[test]
+    fn no_endpoint_passes() {
+        let p = program();
+        let mut vm = Vm::new(&p);
+        let mut packet = pkt([9, 9, 9, 9]);
+        let before = packet.clone();
+        let out = vm.run(&mut packet, 0).unwrap();
+        assert_eq!(out.action, XdpAction::Pass);
+        assert_eq!(packet, before);
+        assert_eq!(read_stats(vm.maps()), [0, 1]);
+    }
+
+    #[test]
+    fn non_ip_passes_unmodified() {
+        let p = program();
+        let mut vm = Vm::new(&p);
+        let mut arp = vec![0u8; 64];
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        assert_eq!(vm.run(&mut arp, 0).unwrap().action, XdpAction::Pass);
+    }
+}

@@ -1,0 +1,313 @@
+//! Workload generation: flow populations, flow-popularity distributions
+//! (uniform and Zipfian), packet-size mixes, and synthetic traces matching
+//! the statistics of the CAIDA and MAWI captures used in the paper's §5.3.
+//!
+//! ```
+//! use ehdl_traffic::{FlowSet, Popularity, Workload};
+//!
+//! let flows = FlowSet::udp(10_000, 42);
+//! let mut wl = Workload::new(flows, Popularity::Zipf { alpha: 1.0 }, 64, 7);
+//! let pkt = wl.next_packet();
+//! assert_eq!(pkt.bytes.len(), 64);
+//! ```
+
+pub mod trace;
+
+use ehdl_net::{FiveTuple, PacketBuilder, IPPROTO_TCP, IPPROTO_UDP};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub use trace::{caida_like, mawi_like, Trace, TraceStats};
+
+/// A population of distinct flows.
+#[derive(Debug, Clone)]
+pub struct FlowSet {
+    flows: Vec<FiveTuple>,
+}
+
+impl FlowSet {
+    /// Generate `n` distinct UDP flows deterministically from `seed`.
+    pub fn udp(n: usize, seed: u64) -> FlowSet {
+        FlowSet::generate(n, seed, IPPROTO_UDP)
+    }
+
+    /// Generate `n` distinct TCP flows deterministically from `seed`.
+    pub fn tcp(n: usize, seed: u64) -> FlowSet {
+        FlowSet::generate(n, seed, IPPROTO_TCP)
+    }
+
+    fn generate(n: usize, seed: u64, proto: u8) -> FlowSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut set = std::collections::HashSet::with_capacity(n);
+        let mut flows = Vec::with_capacity(n);
+        while flows.len() < n {
+            let ft = FiveTuple {
+                saddr: [10, rng.gen(), rng.gen(), rng.gen()],
+                daddr: [192, 168, rng.gen(), rng.gen()],
+                sport: rng.gen_range(1024..=u16::MAX),
+                dport: rng.gen_range(1..1024),
+                proto,
+            };
+            if set.insert(ft) {
+                flows.push(ft);
+            }
+        }
+        FlowSet { flows }
+    }
+
+    /// Build from an explicit flow list.
+    pub fn from_flows(flows: Vec<FiveTuple>) -> FlowSet {
+        FlowSet { flows }
+    }
+
+    /// Number of flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Access the flow list.
+    pub fn flows(&self) -> &[FiveTuple] {
+        &self.flows
+    }
+}
+
+/// How packets distribute over flows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Popularity {
+    /// Every flow equally likely.
+    Uniform,
+    /// Zipfian: flow `i` has frequency ∝ `1/i^alpha` (App. A.1 uses α = 1).
+    Zipf {
+        /// Skew exponent.
+        alpha: f64,
+    },
+    /// All packets from one flow (the §5.3 worst-case microbenchmark).
+    SingleFlow,
+}
+
+/// Sampler over flow indices following a [`Popularity`] law.
+#[derive(Debug, Clone)]
+pub struct FlowSampler {
+    cdf: Vec<f64>,
+    rng: StdRng,
+    single: bool,
+}
+
+impl FlowSampler {
+    /// Build a sampler for `n` flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, pop: Popularity, seed: u64) -> FlowSampler {
+        assert!(n > 0, "flow population must be non-empty");
+        let rng = StdRng::seed_from_u64(seed);
+        match pop {
+            Popularity::SingleFlow => FlowSampler { cdf: vec![1.0], rng, single: true },
+            Popularity::Uniform => {
+                let cdf = (1..=n).map(|i| i as f64 / n as f64).collect();
+                FlowSampler { cdf, rng, single: false }
+            }
+            Popularity::Zipf { alpha } => {
+                let mut cdf = Vec::with_capacity(n);
+                let mut acc = 0.0;
+                for i in 1..=n {
+                    acc += 1.0 / (i as f64).powf(alpha);
+                    cdf.push(acc);
+                }
+                for v in &mut cdf {
+                    *v /= acc;
+                }
+                FlowSampler { cdf, rng, single: false }
+            }
+        }
+    }
+
+    /// Draw one flow index.
+    pub fn sample(&mut self) -> usize {
+        if self.single {
+            return 0;
+        }
+        let u: f64 = self.rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite probabilities")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// One generated packet.
+#[derive(Debug, Clone)]
+pub struct GenPacket {
+    /// Wire bytes.
+    pub bytes: Vec<u8>,
+    /// The flow it belongs to.
+    pub flow: FiveTuple,
+    /// Index of the flow within the [`FlowSet`].
+    pub flow_index: usize,
+}
+
+/// An infinite packet source over a flow population.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    flows: FlowSet,
+    sampler: FlowSampler,
+    packet_size: usize,
+    src_mac: [u8; 6],
+    dst_mac: [u8; 6],
+}
+
+impl Workload {
+    /// Create a workload emitting `packet_size`-byte frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow set is empty or `packet_size < 64`.
+    pub fn new(flows: FlowSet, pop: Popularity, packet_size: usize, seed: u64) -> Workload {
+        assert!(packet_size >= 64, "minimum Ethernet frame is 64 bytes");
+        let sampler = FlowSampler::new(flows.len(), pop, seed);
+        Workload {
+            flows,
+            sampler,
+            packet_size,
+            src_mac: [0x02, 0, 0, 0, 0, 0x01],
+            dst_mac: [0x02, 0, 0, 0, 0, 0x02],
+        }
+    }
+
+    /// The flow population.
+    pub fn flows(&self) -> &FlowSet {
+        &self.flows
+    }
+
+    /// Generate the next packet.
+    pub fn next_packet(&mut self) -> GenPacket {
+        let idx = self.sampler.sample();
+        let flow = self.flows.flows()[idx];
+        let bytes = build_flow_packet(&flow, self.src_mac, self.dst_mac, self.packet_size);
+        GenPacket { bytes, flow, flow_index: idx }
+    }
+
+    /// Collect the next `n` packets' wire bytes (convenience over the
+    /// [`Iterator`] impl).
+    pub fn packets(&mut self, n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|_| self.next_packet().bytes).collect()
+    }
+}
+
+impl Iterator for Workload {
+    type Item = GenPacket;
+
+    fn next(&mut self) -> Option<GenPacket> {
+        Some(self.next_packet())
+    }
+}
+
+/// Serialize one flow's packet at an exact frame size.
+pub fn build_flow_packet(flow: &FiveTuple, src_mac: [u8; 6], dst_mac: [u8; 6], size: usize) -> Vec<u8> {
+    let b = PacketBuilder::new().eth(src_mac, dst_mac);
+    let b = if flow.proto == IPPROTO_TCP {
+        b.ipv4(flow.saddr, flow.daddr, flow.proto).tcp(flow.sport, flow.dport, 0x10)
+    } else {
+        b.ipv4(flow.saddr, flow.daddr, flow.proto).udp(flow.sport, flow.dport)
+    };
+    b.exact_len(size).build()
+}
+
+/// Line-rate packet arithmetic for a given port speed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineRate {
+    /// Port speed in bits per second.
+    pub bits_per_sec: f64,
+}
+
+impl LineRate {
+    /// 100 Gbps Ethernet (the paper's testbed).
+    pub const HUNDRED_GBE: LineRate = LineRate { bits_per_sec: 100e9 };
+
+    /// Maximum packets per second at `frame_len` bytes. The frame length
+    /// includes the FCS (the usual "64-byte packet" convention); preamble
+    /// (8 B) and inter-frame gap (12 B) are added as wire overhead, giving
+    /// the familiar 148.8 Mpps at 64 B on 100 GbE.
+    pub fn max_pps(&self, frame_len: usize) -> f64 {
+        let on_wire_bits = (frame_len + 8 + 12) as f64 * 8.0;
+        self.bits_per_sec / on_wire_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flowset_distinct_and_deterministic() {
+        let a = FlowSet::udp(1000, 1);
+        let b = FlowSet::udp(1000, 1);
+        assert_eq!(a.flows(), b.flows());
+        let set: std::collections::HashSet<_> = a.flows().iter().collect();
+        assert_eq!(set.len(), 1000);
+    }
+
+    #[test]
+    fn zipf_skews_to_head() {
+        let mut s = FlowSampler::new(1000, Popularity::Zipf { alpha: 1.0 }, 3);
+        let mut head = 0;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            if s.sample() < 10 {
+                head += 1;
+            }
+        }
+        // With alpha=1 over 1000 flows, top-10 mass = H(10)/H(1000) ≈ 0.39.
+        let frac = head as f64 / N as f64;
+        assert!((0.30..0.50).contains(&frac), "head fraction {frac}");
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let mut s = FlowSampler::new(10, Popularity::Uniform, 3);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[s.sample()] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn single_flow_always_zero() {
+        let mut s = FlowSampler::new(50, Popularity::SingleFlow, 3);
+        for _ in 0..100 {
+            assert_eq!(s.sample(), 0);
+        }
+    }
+
+    #[test]
+    fn workload_packets_parse_back() {
+        let mut wl = Workload::new(FlowSet::udp(100, 5), Popularity::Uniform, 64, 6);
+        for _ in 0..50 {
+            let p = wl.next_packet();
+            assert_eq!(FiveTuple::parse(&p.bytes), Some(p.flow));
+            assert_eq!(p.bytes.len(), 64);
+        }
+    }
+
+    #[test]
+    fn workload_is_an_infinite_iterator() {
+        let wl = Workload::new(FlowSet::udp(4, 9), Popularity::Uniform, 64, 9);
+        let sizes: Vec<usize> = wl.map(|p| p.bytes.len()).take(5).collect();
+        assert_eq!(sizes, vec![64; 5]);
+    }
+
+    #[test]
+    fn hundred_gbe_line_rate_is_148mpps() {
+        let pps = LineRate::HUNDRED_GBE.max_pps(64);
+        assert!((148.0e6..149.5e6).contains(&pps), "{pps}");
+    }
+}

@@ -1,0 +1,86 @@
+//! The Simple Firewall end-to-end: compile the unmodified XDP program,
+//! drive the simulated 100 GbE NIC with bidirectional UDP traffic, and
+//! watch the session table do its job at line rate.
+//!
+//! ```sh
+//! cargo run --example firewall
+//! ```
+
+use ehdl::core::Compiler;
+use ehdl::ebpf::vm::XdpAction;
+use ehdl::hwsim::{NicShell, ShellOptions};
+use ehdl::net::{FiveTuple, IPPROTO_UDP};
+use ehdl::programs::simple_firewall as fw;
+use ehdl::traffic::build_flow_packet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = fw::program();
+    let design = Compiler::new().compile(&program)?;
+    println!(
+        "firewall compiled: {} insns -> {} stages, {} FEB, {} atomic blocks",
+        design.stats.source_insns,
+        design.stage_count(),
+        design.hazards.febs.len(),
+        design.hazards.atomic_stages.len()
+    );
+
+    let mut shell = NicShell::new(&design, ShellOptions::default());
+
+    // Three traffic classes:
+    //  - inside clients (10.0.0.0/8) talking out: allowed, open sessions;
+    //  - the answers coming back: allowed because the session exists;
+    //  - outside scanners with no session: dropped.
+    let inside = |i: u8| FiveTuple {
+        saddr: [10, 0, 0, i],
+        daddr: [93, 184, 216, 34],
+        sport: 40_000 + u16::from(i),
+        dport: 53,
+        proto: IPPROTO_UDP,
+    };
+    let scanner = FiveTuple {
+        saddr: [203, 0, 113, 99],
+        daddr: [10, 0, 0, 1],
+        sport: 31337,
+        dport: 161,
+        proto: IPPROTO_UDP,
+    };
+
+    let mut packets = Vec::new();
+    for round in 0..2000 {
+        let client = inside((round % 8) as u8);
+        packets.push(build_flow_packet(&client, [2; 6], [3; 6], 64));
+        packets.push(build_flow_packet(&client.reversed(), [3; 6], [2; 6], 64));
+        if round % 5 == 0 {
+            packets.push(build_flow_packet(&scanner, [4; 6], [2; 6], 64));
+        }
+    }
+    let report = shell.run(packets);
+
+    let outs = shell.drain();
+    let tx = outs.iter().filter(|o| o.action == XdpAction::Tx).count();
+    let dropped = outs.iter().filter(|o| o.action == XdpAction::Drop).count();
+    println!(
+        "offered {} | throughput {:.1} Mpps | latency {:.0} ns | lost {}",
+        report.offered,
+        report.throughput_pps / 1e6,
+        report.avg_latency_ns,
+        report.lost
+    );
+    println!("verdicts: {tx} forwarded, {dropped} dropped (the scanner)");
+    println!("flush events under same-flow bursts: {}", report.flushes);
+
+    let stats = fw::read_stats(shell.sim_mut().maps());
+    println!(
+        "host stats map: allowed={} dropped={} sessions_opened={}",
+        stats[0], stats[1], stats[2]
+    );
+    // The DROPPED counter may run slightly ahead of the drop verdicts: a
+    // packet racing its own session's creation first takes the drop path,
+    // bumps the counter in the map block, and is then flushed and replayed
+    // down the correct path — the committed atomic cannot be undone
+    // (sec. 4.1.2; the same effect leaks ports in DNAT). The *verdicts*
+    // are exact.
+    assert!(stats[1] >= dropped as u64);
+    assert!(stats[1] - dropped as u64 <= report.flushes);
+    Ok(())
+}

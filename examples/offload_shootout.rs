@@ -1,0 +1,87 @@
+//! Offload shootout: run one application (default: the Suricata filter)
+//! on every system of the paper's comparison — the eHDL pipeline, the
+//! hXDP soft processor, a BlueField-2 with 1 and 4 cores, and SDNet P4 —
+//! and print the Figure-9a-style summary.
+//!
+//! ```sh
+//! cargo run --example offload_shootout [firewall|router|tunnel|dnat|suricata]
+//! ```
+
+use ehdl::baselines::{sdnet, BluefieldModel, HxdpModel, SdnetCompiler};
+use ehdl::core::Compiler;
+use ehdl::hwsim::{NicShell, ShellOptions};
+use ehdl::programs::App;
+use ehdl::traffic::{FlowSet, Popularity, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "suricata".into());
+    let app = match which.to_lowercase().as_str() {
+        "firewall" => App::Firewall,
+        "router" => App::Router,
+        "tunnel" => App::Tunnel,
+        "dnat" => App::Dnat,
+        "suricata" => App::Suricata,
+        other => {
+            eprintln!("unknown app `{other}`; pick firewall|router|tunnel|dnat|suricata");
+            std::process::exit(2);
+        }
+    };
+    let program = app.program();
+    println!("== {app}: {} original eBPF instructions ==\n", program.insn_count());
+
+    // eHDL: the real pipeline on the simulated NIC.
+    let design = Compiler::new().compile(&program)?;
+    let mut shell = NicShell::new(&design, ShellOptions::default());
+    let flows = match app {
+        App::Suricata => FlowSet::tcp(10_000, 3),
+        _ => FlowSet::udp(10_000, 3),
+    };
+    let mut wl = Workload::new(flows, Popularity::Uniform, 64, 4);
+    let packets: Vec<Vec<u8>> = wl.packets(30_000);
+    let sample: Vec<Vec<u8>> = packets.iter().take(64).cloned().collect();
+    let report = shell.run(packets);
+    println!(
+        "eHDL pipeline : {:>7.1} Mpps  {:>6.0} ns   ({} stages, {} lost)",
+        report.throughput_pps / 1e6,
+        report.avg_latency_ns,
+        design.stage_count(),
+        report.lost
+    );
+
+    // SDNet P4.
+    match SdnetCompiler::new().compile(&sdnet::spec_for(app)) {
+        Ok(d) => println!(
+            "SDNet P4      : {:>7.1} Mpps  {:>6.0} ns   ({} kLUT pipeline)",
+            d.pps / 1e6,
+            d.latency_ns,
+            d.resources.luts / 1000
+        ),
+        Err(e) => println!("SDNet P4      :     N/A              ({e})"),
+    }
+
+    // hXDP.
+    let hxdp = HxdpModel::new().evaluate(&program, &sample)?;
+    println!(
+        "hXDP (VLIW)   : {:>7.1} Mpps  {:>6.0} ns   ({:.0} cycles/pkt, sequential)",
+        hxdp.pps / 1e6,
+        hxdp.latency_ns,
+        hxdp.cycles_per_packet
+    );
+
+    // BlueField-2.
+    for cores in [1usize, 4] {
+        let bf = BluefieldModel::new(cores).evaluate(&program, &sample)?;
+        println!(
+            "BlueField-2 {cores}c: {:>7.1} Mpps  {:>6.0} ns",
+            bf.pps / 1e6,
+            bf.latency_ns
+        );
+    }
+
+    println!(
+        "\nshape (paper Fig. 9): the pipeline holds line rate (148.8 Mpps) while the\n\
+         processor-based offloads sit 10-100x lower; only eHDL and SDNet reach line\n\
+         rate, and SDNet cannot express DNAT at all."
+    );
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! Umbrella crate re-exporting the complete eHDL toolchain.
+//!
+//! eHDL is a high-level synthesis tool that turns unmodified eBPF/XDP
+//! programs into tailored NIC hardware pipelines (ASPLOS '23). This crate
+//! bundles the full reproduction:
+//!
+//! * [`ebpf`] — the eBPF ISA, assembler, verifier, maps and reference VM;
+//! * [`net`] — packet header substrate;
+//! * [`traffic`] — workload and trace generators;
+//! * [`core`] — the eHDL compiler itself (bytecode → hardware pipeline);
+//! * [`hwsim`] — cycle-level simulator for generated pipelines + NIC shell;
+//! * [`baselines`] — hXDP, BlueField-2 and SDNet comparison models;
+//! * [`programs`] — the real-world XDP applications from the evaluation.
+//!
+//! ```
+//! use ehdl::core::Compiler;
+//! use ehdl::programs::toy_counter;
+//!
+//! let program = toy_counter::program();
+//! let design = Compiler::new().compile(&program)?;
+//! println!("{} pipeline stages", design.stage_count());
+//! # Ok::<(), ehdl::core::CompileError>(())
+//! ```
+
+pub use ehdl_baselines as baselines;
+pub use ehdl_core as core;
+pub use ehdl_ebpf as ebpf;
+pub use ehdl_hwsim as hwsim;
+pub use ehdl_net as net;
+pub use ehdl_programs as programs;
+pub use ehdl_traffic as traffic;

@@ -1,0 +1,125 @@
+//! Paper-shape assertions: the qualitative claims of §5 must hold on
+//! (scaled-down) reruns of the evaluation harness. These are the same code
+//! paths as `cargo bench`, with smaller packet counts so they fit in the
+//! test suite.
+
+use ehdl::programs::App;
+use ehdl_bench as bench;
+
+const PKTS: usize = 6_000;
+
+#[test]
+fn fig9a_shape_line_rate_and_orderings() {
+    for row in bench::fig9a(PKTS) {
+        // eHDL holds 100GbE line rate at 64B on every app.
+        assert!(
+            (140.0..155.0).contains(&row.ehdl_mpps),
+            "{}: eHDL {:.1} Mpps",
+            row.app,
+            row.ehdl_mpps
+        );
+        // hXDP in the paper's 0.9-5.4 band; 10-100x below eHDL.
+        assert!(
+            (0.9..5.4).contains(&row.hxdp_mpps),
+            "{}: hXDP {:.1} Mpps",
+            row.app,
+            row.hxdp_mpps
+        );
+        assert!(row.ehdl_mpps / row.hxdp_mpps >= 10.0, "{}", row.app);
+        // Bf2 1c comparable-or-faster than hXDP; 4c roughly linear.
+        assert!(row.bf2_1c_mpps >= row.hxdp_mpps * 0.8, "{}", row.app);
+        assert!(
+            (3.0..4.01).contains(&(row.bf2_4c_mpps / row.bf2_1c_mpps)),
+            "{}",
+            row.app
+        );
+        // SDNet: line rate everywhere except DNAT.
+        match row.app {
+            App::Dnat => assert!(row.sdnet_mpps.is_none(), "DNAT must be N/A on SDNet"),
+            _ => assert!(row.sdnet_mpps.is_some(), "{}", row.app),
+        }
+    }
+}
+
+#[test]
+fn fig9b_shape_about_one_microsecond() {
+    for row in bench::fig9b(2_000) {
+        assert!(
+            (500.0..1500.0).contains(&row.ehdl_ns),
+            "{}: eHDL {:.0} ns",
+            row.app,
+            row.ehdl_ns
+        );
+        assert!(
+            (600.0..2000.0).contains(&row.hxdp_ns),
+            "{}: hXDP {:.0} ns",
+            row.app,
+            row.hxdp_ns
+        );
+    }
+}
+
+#[test]
+fn fig9c_shape_optimizers_shrink_programs() {
+    for row in bench::fig9c() {
+        assert!(row.hxdp_instrs < row.original_instrs, "{}", row.app);
+        assert!(row.stages <= row.hxdp_instrs, "{}", row.app);
+        assert!(row.stages >= row.original_instrs / 4, "{}: implausibly few stages", row.app);
+    }
+}
+
+#[test]
+fn fig10_shape_resource_orderings() {
+    for row in bench::fig10() {
+        // Paper band (6.5-13.3% LUTs) with a little slack.
+        assert!(
+            (0.06..0.14).contains(&row.ehdl.luts),
+            "{}: {:.3}",
+            row.app,
+            row.ehdl.luts
+        );
+        // Comparable to hXDP (within 1.5x either way).
+        let ratio = row.ehdl.luts / row.hxdp.luts;
+        assert!((0.5..1.5).contains(&ratio), "{}: vs hXDP {ratio:.2}", row.app);
+        // SDNet 2-4x more expensive where expressible.
+        if let Some(sdnet) = row.sdnet {
+            let r = sdnet.luts / row.ehdl.luts;
+            assert!((1.8..4.5).contains(&r), "{}: vs SDNet {r:.2}", row.app);
+        }
+    }
+}
+
+#[test]
+fn tab4_matches_paper_points() {
+    let rows = bench::tab4(50_000);
+    let paper = [(2usize, 61.0f64), (3, 21.0), (4, 11.0), (5, 7.0)];
+    for ((l, _pf, k), (pl, pk)) in rows.iter().zip(paper) {
+        assert_eq!(*l, pl);
+        assert!((k - pk).abs() / pk < 0.45, "L={l}: K_max {k:.0} vs paper {pk}");
+    }
+}
+
+#[test]
+fn tab5_ilp_in_band() {
+    for (app, max, avg) in bench::tab5() {
+        assert!((1.1..2.5).contains(&avg), "{app}: avg ILP {avg:.2}");
+        assert!((2..=8).contains(&max), "{app}: max ILP {max}");
+    }
+}
+
+#[test]
+fn sec54_pruning_shape() {
+    let (pruned, unpruned) = bench::sec54();
+    assert!(unpruned.luts as f64 >= pruned.luts as f64 * 1.2);
+    assert!(unpruned.ffs as f64 >= pruned.ffs as f64 * 1.3);
+    assert!(unpruned.brams >= pruned.brams);
+}
+
+#[test]
+fn tab2_shape_no_loss_under_traces() {
+    // Scaled-down trace replay: zero loss, flushing present but amortized.
+    let trace = ehdl::traffic::caida_like(12_000, 5);
+    let row = bench::run_trace(&trace);
+    assert_eq!(row.lost, 0, "no packets lost at 100Gbps replay");
+    assert!(row.flushes_per_sec > 0.0, "realistic traces do flush sometimes");
+}

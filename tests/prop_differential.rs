@@ -1,0 +1,326 @@
+//! Property-based differential testing: randomly generated XDP programs —
+//! ALU chains, packet reads and writes, stack spills, forward branches and
+//! atomic map counters — must behave identically on the reference VM and
+//! on the compiled hardware pipeline, for every compiler configuration.
+
+use ehdl::core::CompilerOptions;
+use ehdl::ebpf::asm::Asm;
+use ehdl::ebpf::helpers::BPF_MAP_LOOKUP_ELEM;
+use ehdl::ebpf::maps::{MapDef, MapKind};
+use ehdl::ebpf::opcode::{AluOp, JmpOp, MemSize};
+use ehdl::ebpf::Program;
+use ehdl::hwsim::diff::assert_equivalent_with;
+use proptest::prelude::*;
+
+const ALU_OPS: [AluOp; 10] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Div,
+    AluOp::Mod,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Lsh,
+    AluOp::Arsh,
+];
+
+const JMP_OPS: [JmpOp; 6] = [JmpOp::Jeq, JmpOp::Jne, JmpOp::Jgt, JmpOp::Jlt, JmpOp::Jsge, JmpOp::Jsle];
+
+/// One straight-line random operation. Registers r2-r5 are scratch; r7 is
+/// the packet pointer from the prologue.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    MovImm(u8, i32),
+    AluImm(usize, u8, i32),
+    AluReg(usize, u8, u8),
+    PktLoad(u8, u8, u8),   // size-sel, dst, offset (0..56)
+    PktStore(u8, u8, u8),  // size-sel, src, offset
+    StackStore(u8, u8),    // src, slot (0..8 -> fp-8*(slot+1))
+    StackLoad(u8, u8),     // dst, slot
+    Endian(u8, u8),        // dst, width-sel
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (2u8..6, any::<i32>()).prop_map(|(r, i)| Op::MovImm(r, i)),
+        (0usize..ALU_OPS.len(), 2u8..6, any::<i32>()).prop_map(|(o, r, i)| Op::AluImm(o, r, i)),
+        (0usize..ALU_OPS.len(), 2u8..6, 2u8..6).prop_map(|(o, d, s)| Op::AluReg(o, d, s)),
+        (0u8..3, 2u8..6, 0u8..56).prop_map(|(sz, d, off)| Op::PktLoad(sz, d, off)),
+        (0u8..3, 2u8..6, 0u8..56).prop_map(|(sz, s, off)| Op::PktStore(sz, s, off)),
+        (2u8..6, 0u8..8).prop_map(|(r, s)| Op::StackStore(r, s)),
+        (2u8..6, 0u8..8).prop_map(|(r, s)| Op::StackLoad(r, s)),
+        (2u8..6, 0u8..3).prop_map(|(r, w)| Op::Endian(r, w)),
+    ]
+}
+
+fn emit_ops(a: &mut Asm, ops: &[Op]) {
+    for op in ops {
+        match *op {
+            Op::MovImm(r, i) => {
+                a.mov64_imm(r, i);
+            }
+            Op::AluImm(o, r, i) => {
+                a.alu64_imm(ALU_OPS[o], r, i);
+            }
+            Op::AluReg(o, d, s) => {
+                a.alu64_reg(ALU_OPS[o], d, s);
+            }
+            Op::PktLoad(sz, d, off) => {
+                let size = [MemSize::B, MemSize::H, MemSize::W][sz as usize];
+                a.load(size, d, 7, i16::from(off));
+            }
+            Op::PktStore(sz, s, off) => {
+                let size = [MemSize::B, MemSize::H, MemSize::W][sz as usize];
+                a.store_reg(size, 7, i16::from(off), s);
+            }
+            Op::StackStore(r, slot) => {
+                a.store_reg(MemSize::Dw, 10, -8 * (i16::from(slot) + 1), r);
+            }
+            Op::StackLoad(r, slot) => {
+                a.load(MemSize::Dw, r, 10, -8 * (i16::from(slot) + 1));
+            }
+            Op::Endian(r, w) => {
+                a.to_be(r, [16, 32, 64][w as usize]);
+            }
+        }
+    }
+}
+
+/// A random structured program: prologue + bounds check, a few ops, an
+/// if/else on a random comparison (optionally with a counter-map bump in
+/// one arm), a join block, and a data-dependent verdict.
+#[derive(Debug, Clone)]
+struct RandProgram {
+    pre: Vec<Op>,
+    cond: (usize, u8, i32),
+    then_ops: Vec<Op>,
+    else_ops: Vec<Op>,
+    post: Vec<Op>,
+    bump_in_then: bool,
+    verdict_reg: u8,
+}
+
+fn program_strategy() -> impl Strategy<Value = RandProgram> {
+    (
+        prop::collection::vec(op_strategy(), 0..14),
+        (0usize..JMP_OPS.len(), 2u8..6, -4i32..60),
+        prop::collection::vec(op_strategy(), 0..10),
+        prop::collection::vec(op_strategy(), 0..10),
+        prop::collection::vec(op_strategy(), 0..10),
+        any::<bool>(),
+        2u8..6,
+    )
+        .prop_map(|(pre, cond, then_ops, else_ops, post, bump_in_then, verdict_reg)| RandProgram {
+            pre,
+            cond,
+            then_ops,
+            else_ops,
+            post,
+            bump_in_then,
+            verdict_reg,
+        })
+}
+
+fn build(rp: &RandProgram) -> Program {
+    let mut a = Asm::new();
+    let drop = a.new_label();
+    let els = a.new_label();
+    let join = a.new_label();
+
+    // Prologue: r6=ctx, r7=data, r8=data_end; check 60 bytes.
+    a.mov64_reg(6, 1);
+    a.load(MemSize::W, 7, 1, 0);
+    a.load(MemSize::W, 8, 1, 4);
+    a.mov64_reg(1, 7);
+    a.alu64_imm(AluOp::Add, 1, 60);
+    a.jmp_reg(JmpOp::Jgt, 1, 8, drop);
+    // Deterministic scratch state.
+    for r in 2..6 {
+        a.mov64_imm(r, i32::from(r) * 1000);
+    }
+
+    emit_ops(&mut a, &rp.pre);
+    let (jop, jreg, jimm) = rp.cond;
+    a.jmp_imm(JMP_OPS[jop], jreg, jimm, els);
+    emit_ops(&mut a, &rp.then_ops);
+    if rp.bump_in_then {
+        // Counter bump: lookup key0, atomic add (global-state pattern).
+        let skip = a.new_label();
+        a.mov64_imm(1, 0);
+        a.store_reg(MemSize::W, 10, -68, 1);
+        a.ld_map_fd(1, 0);
+        a.mov64_reg(2, 10);
+        a.alu64_imm(AluOp::Add, 2, -68);
+        a.call(BPF_MAP_LOOKUP_ELEM);
+        a.jmp_imm(JmpOp::Jeq, 0, 0, skip);
+        a.mov64_imm(2, 1);
+        a.atomic_add64(0, 0, 2);
+        a.bind(skip);
+    }
+    a.jmp(join);
+    a.bind(els);
+    emit_ops(&mut a, &rp.else_ops);
+    a.bind(join);
+    emit_ops(&mut a, &rp.post);
+
+    // Data-dependent verdict: 1..3 from a scratch register.
+    a.mov64_reg(0, rp.verdict_reg);
+    a.alu64_imm(AluOp::And, 0, 1);
+    a.alu64_imm(AluOp::Add, 0, 2); // PASS or TX
+    a.exit();
+
+    a.bind(drop);
+    a.mov64_imm(0, 1);
+    a.exit();
+
+    Program::new(
+        "prop_random",
+        a.into_insns(),
+        vec![MapDef::new(0, "ctr", MapKind::Array, 4, 8, 4)],
+    )
+}
+
+fn packets(seed: u64, n: usize) -> Vec<Vec<u8>> {
+    // Deterministic varied packets, including one runt.
+    let mut out: Vec<Vec<u8>> = (0..n)
+        .map(|i| {
+            let mut p = vec![0u8; 64];
+            for (j, b) in p.iter_mut().enumerate() {
+                *b = (seed as usize + i * 31 + j * 7) as u8;
+            }
+            p
+        })
+        .collect();
+    out.push(vec![0; 16]);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random branching programs are VM-equivalent under default options.
+    #[test]
+    fn random_programs_equivalent(rp in program_strategy(), seed in any::<u64>()) {
+        let program = build(&rp);
+        assert_equivalent_with(&program, CompilerOptions::default(), &packets(seed, 24), |_| {});
+    }
+
+    /// ... and under every ablation configuration.
+    #[test]
+    fn random_programs_equivalent_under_ablations(rp in program_strategy(), seed in any::<u64>()) {
+        let program = build(&rp);
+        let pkts = packets(seed, 12);
+        for opts in [
+            CompilerOptions { fusion: false, dce: false, ..Default::default() },
+            CompilerOptions { parallelize: false, ..Default::default() },
+            CompilerOptions { prune: false, ..Default::default() },
+            CompilerOptions { elide_bounds_checks: false, ..Default::default() },
+            CompilerOptions { frame_size: 32, ..Default::default() },
+        ] {
+            assert_equivalent_with(&program, opts, &pkts, |_| {});
+        }
+    }
+}
+
+/// Bounded loops: unrolled pipelines match the VM on loop programs too.
+#[test]
+fn loop_programs_equivalent() {
+    for trip in [1i32, 3, 7, 19] {
+        let mut a = Asm::new();
+        let drop = a.new_label();
+        let top = a.new_label();
+        a.mov64_reg(6, 1);
+        a.load(MemSize::W, 7, 1, 0);
+        a.load(MemSize::W, 8, 1, 4);
+        a.mov64_reg(1, 7);
+        a.alu64_imm(AluOp::Add, 1, 40);
+        a.jmp_reg(JmpOp::Jgt, 1, 8, drop);
+        // Sum the first `trip` packet bytes in a bounded loop.
+        a.mov64_imm(2, 0); // induction
+        a.mov64_imm(3, 0); // accumulator
+        a.bind(top);
+        a.mov64_reg(4, 7);
+        a.alu64_reg(AluOp::Add, 4, 2);
+        a.load(MemSize::B, 5, 4, 0);
+        a.alu64_reg(AluOp::Add, 3, 5);
+        a.alu64_imm(AluOp::Add, 2, 1);
+        a.jmp_imm(JmpOp::Jlt, 2, trip, top);
+        a.mov64_reg(0, 3);
+        a.alu64_imm(AluOp::And, 0, 1);
+        a.alu64_imm(AluOp::Add, 0, 2);
+        a.exit();
+        a.bind(drop);
+        a.mov64_imm(0, 1);
+        a.exit();
+        let program = Program::from_insns(a.into_insns());
+        assert_equivalent_with(&program, CompilerOptions::default(), &packets(trip as u64, 16), |_| {});
+    }
+}
+
+/// Packet-geometry helpers: programs that grow the head and trim the tail
+/// stay VM-equivalent (the packet bytes leaving the pipeline shrink/grow
+/// exactly as the interpreter says).
+#[test]
+fn adjust_head_and_tail_equivalent() {
+    use ehdl::ebpf::helpers::{BPF_XDP_ADJUST_HEAD, BPF_XDP_ADJUST_TAIL};
+    for (head_delta, tail_delta) in [(-8i32, -16i32), (-4, 0), (0, -32), (8, -8)] {
+        let mut a = Asm::new();
+        let drop = a.new_label();
+        a.mov64_reg(6, 1);
+        a.load(MemSize::W, 7, 1, 0);
+        a.load(MemSize::W, 8, 1, 4);
+        a.mov64_reg(1, 7);
+        a.alu64_imm(AluOp::Add, 1, 60);
+        a.jmp_reg(JmpOp::Jgt, 1, 8, drop);
+        // Move the head.
+        a.mov64_reg(1, 6);
+        a.mov64_imm(2, head_delta);
+        a.call(BPF_XDP_ADJUST_HEAD);
+        a.jmp_imm(JmpOp::Jne, 0, 0, drop);
+        // Trim the tail.
+        a.mov64_reg(1, 6);
+        a.mov64_imm(2, tail_delta);
+        a.call(BPF_XDP_ADJUST_TAIL);
+        a.jmp_imm(JmpOp::Jne, 0, 0, drop);
+        // Stamp the (new) first byte so the rewrite is observable.
+        a.load(MemSize::W, 7, 6, 0);
+        a.mov64_imm(2, 0x5a);
+        a.store_reg(MemSize::B, 7, 0, 2);
+        a.mov64_imm(0, 3);
+        a.exit();
+        a.bind(drop);
+        a.mov64_imm(0, 1);
+        a.exit();
+        let program = Program::from_insns(a.into_insns());
+        assert_equivalent_with(
+            &program,
+            CompilerOptions::default(),
+            &packets(7, 16),
+            |_| {},
+        );
+    }
+}
+
+/// Long soak: a larger random-program campaign (run explicitly with
+/// `cargo test --release -- --ignored soak`).
+#[test]
+#[ignore = "long soak; run explicitly"]
+fn soak_random_programs() {
+    use proptest::strategy::{Strategy, ValueTree};
+    use proptest::test_runner::TestRunner;
+    let mut runner = TestRunner::deterministic();
+    for case in 0..400 {
+        let rp = program_strategy()
+            .new_tree(&mut runner)
+            .expect("strategy produces values")
+            .current();
+        let program = build(&rp);
+        assert_equivalent_with(
+            &program,
+            CompilerOptions::default(),
+            &packets(case as u64, 32),
+            |_| {},
+        );
+    }
+}

@@ -1,54 +1,72 @@
-//! Criterion microbenchmarks: compiler speed (the paper quotes "few
-//! seconds" to generate a design), reference-VM packet rate, and simulator
-//! cycle rate.
+//! Microbenchmarks: compiler speed (the paper quotes "few seconds" to
+//! generate a design), reference-VM packet rate, and simulator cycle rate.
+//!
+//! Plain `std::time` harness — the container has no crates.io access, so
+//! criterion is not available; medians over repeated runs keep the numbers
+//! stable enough for eyeballing trends.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ehdl_core::Compiler;
 use ehdl_ebpf::vm::Vm;
 use ehdl_hwsim::PipelineSim;
 use ehdl_programs::App;
+use std::time::Instant;
 
-fn bench_compile(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compile");
-    g.sample_size(20);
-    for app in App::ALL {
-        let program = app.program();
-        g.bench_function(app.name(), |b| {
-            b.iter(|| Compiler::new().compile(&program).unwrap())
-        });
-    }
-    g.finish();
+/// Run `f` `iters` times and report the median duration in microseconds.
+fn median_us(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+    samples[samples.len() / 2]
 }
 
-fn bench_vm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vm");
-    g.sample_size(20);
+fn bench_compile() {
+    println!("--- compile (median of 20) ---");
+    for app in App::ALL {
+        let program = app.program();
+        let us = median_us(20, || {
+            let d = Compiler::new().compile(&program).unwrap();
+            std::hint::black_box(d);
+        });
+        println!("compile/{:<12} {:>10.1} us", app.name(), us);
+    }
+}
+
+fn bench_vm() {
+    println!("--- vm (median of 20 x 1000 packets) ---");
     let program = App::Firewall.program();
     let mut vm = Vm::new(&program);
     let pkt = ehdl_bench::eval_packets(App::Firewall, 1).remove(0);
-    g.bench_function("firewall_packet", |b| {
-        b.iter(|| vm.run(&mut pkt.clone(), 0).unwrap())
+    let us = median_us(20, || {
+        for _ in 0..1000 {
+            let out = vm.run(&mut pkt.clone(), 0).unwrap();
+            std::hint::black_box(out.r0);
+        }
     });
-    g.finish();
+    println!("vm/firewall_packet {:>10.3} us/pkt", us / 1000.0);
 }
 
-fn bench_sim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hwsim");
-    g.sample_size(10);
+fn bench_sim() {
+    println!("--- hwsim (median of 10) ---");
     let design = Compiler::new().compile(&App::Firewall.program()).unwrap();
     let packets = ehdl_bench::eval_packets(App::Firewall, 256);
-    g.bench_function("firewall_256pkts", |b| {
-        b.iter(|| {
-            let mut sim = PipelineSim::new(&design);
-            for p in &packets {
-                sim.enqueue(p.clone());
-            }
-            sim.settle(1_000_000);
-            assert_eq!(sim.counters().completed, 256);
-        })
+    let us = median_us(10, || {
+        let mut sim = PipelineSim::new(&design);
+        for p in &packets {
+            sim.enqueue(p.clone());
+        }
+        sim.settle(1_000_000);
+        assert_eq!(sim.counters().completed, 256);
     });
-    g.finish();
+    println!("hwsim/firewall_256pkts {:>10.1} us", us);
 }
 
-criterion_group!(benches, bench_compile, bench_vm, bench_sim);
-criterion_main!(benches);
+fn main() {
+    bench_compile();
+    bench_vm();
+    bench_sim();
+}

@@ -1,0 +1,51 @@
+//! Simulator speed tracker: how many simulated pipeline cycles per second
+//! of wall clock the `ehdl-hwsim` hot loop sustains on a Figure-9a-style
+//! run (firewall app, 40k packets at 64 B line rate).
+//!
+//! Writes `BENCH_sim_speed.json` at the workspace root so
+//! `scripts/check.sh` can fail on >2x regressions. Usage:
+//!
+//! ```sh
+//! cargo bench --bench sim_speed            # measure and print
+//! EHDL_WRITE_BENCH=1 cargo bench --bench sim_speed   # also record JSON
+//! EHDL_CHECK_BENCH=1 cargo bench --bench sim_speed   # fail on >2x regression
+//! ```
+
+use ehdl_bench::sim_speed::{measure, read_recorded, write_report, REPORT_PATH};
+
+fn main() {
+    // One warm-up (page-in, map setup) then the measured run.
+    let _ = measure(8_000);
+    let report = measure(ehdl_bench::EVAL_PACKETS);
+    println!(
+        "sim_speed: {} packets, {} cycles in {:.3}s -> {:.2} Mcycles/s ({:.2} Mpps simulated)",
+        report.packets,
+        report.cycles,
+        report.wall_secs,
+        report.cycles_per_sec / 1e6,
+        report.packets_per_sec / 1e6,
+    );
+    if std::env::var_os("EHDL_WRITE_BENCH").is_some() {
+        write_report(&report).expect("write BENCH_sim_speed.json");
+        println!("recorded {REPORT_PATH}");
+    }
+    if std::env::var_os("EHDL_CHECK_BENCH").is_some() {
+        match read_recorded() {
+            Some(recorded) if report.cycles_per_sec < recorded / 2.0 => {
+                eprintln!(
+                    "sim_speed REGRESSION: {:.0} cycles/s vs recorded {:.0} (>2x slower); \
+                     re-record with EHDL_WRITE_BENCH=1 if intentional",
+                    report.cycles_per_sec, recorded,
+                );
+                std::process::exit(1);
+            }
+            Some(recorded) => {
+                println!(
+                    "sim_speed OK: {:.0} cycles/s vs recorded {:.0}",
+                    report.cycles_per_sec, recorded,
+                );
+            }
+            None => println!("no recorded {REPORT_PATH}; skipping regression gate"),
+        }
+    }
+}

@@ -5,6 +5,8 @@
 //! the paper's layout, and integration tests assert the qualitative shape
 //! (who wins, by roughly what factor).
 
+pub mod sim_speed;
+
 use ehdl_baselines::{hxdp, sdnet, BluefieldModel, HxdpModel, SdnetCompiler};
 use ehdl_core::{analytical, resource, Compiler, CompilerOptions, PipelineDesign, Target};
 use ehdl_hwsim::{NicShell, ShellOptions, SimOptions};
@@ -16,6 +18,19 @@ pub const EVAL_FLOWS: usize = 10_000;
 /// Packets per throughput measurement (smaller than the testbed's
 /// minute-long runs, large enough for steady state).
 pub const EVAL_PACKETS: usize = 40_000;
+
+/// Map `f` over `items` with one scoped thread per item.
+///
+/// The evaluation fan-out: apps (or traces) are fully independent — each
+/// owns its compiler, simulator and map state — so every row of a figure
+/// regenerates concurrently. Results come back in item order.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items.iter().map(|it| scope.spawn(move || f(it))).collect();
+        handles.into_iter().map(|h| h.join().expect("evaluation worker panicked")).collect()
+    })
+}
 
 /// Compile one application with default options.
 pub fn design_of(app: App) -> PipelineDesign {
@@ -111,28 +126,25 @@ pub struct Fig9aRow {
     pub bf2_4c_mpps: f64,
 }
 
-/// Regenerate Figure 9a.
+/// Regenerate Figure 9a (one worker thread per app).
 pub fn fig9a(packets: usize) -> Vec<Fig9aRow> {
-    App::ALL
-        .iter()
-        .map(|&app| {
-            let run = run_ehdl(app, packets);
-            let sample = baseline_sample(app);
-            let program = app.program();
-            let hxdp = HxdpModel::new().evaluate(&program, &sample).expect("hxdp model");
-            let bf1 = BluefieldModel::new(1).evaluate(&program, &sample).expect("bf2 model");
-            let bf4 = BluefieldModel::new(4).evaluate(&program, &sample).expect("bf2 model");
-            let sdnet = SdnetCompiler::new().compile(&sdnet::spec_for(app)).ok();
-            Fig9aRow {
-                app,
-                ehdl_mpps: run.mpps,
-                sdnet_mpps: sdnet.map(|d| d.pps / 1e6),
-                hxdp_mpps: hxdp.pps / 1e6,
-                bf2_1c_mpps: bf1.pps / 1e6,
-                bf2_4c_mpps: bf4.pps / 1e6,
-            }
-        })
-        .collect()
+    par_map(&App::ALL, |&app| {
+        let run = run_ehdl(app, packets);
+        let sample = baseline_sample(app);
+        let program = app.program();
+        let hxdp = HxdpModel::new().evaluate(&program, &sample).expect("hxdp model");
+        let bf1 = BluefieldModel::new(1).evaluate(&program, &sample).expect("bf2 model");
+        let bf4 = BluefieldModel::new(4).evaluate(&program, &sample).expect("bf2 model");
+        let sdnet = SdnetCompiler::new().compile(&sdnet::spec_for(app)).ok();
+        Fig9aRow {
+            app,
+            ehdl_mpps: run.mpps,
+            sdnet_mpps: sdnet.map(|d| d.pps / 1e6),
+            hxdp_mpps: hxdp.pps / 1e6,
+            bf2_1c_mpps: bf1.pps / 1e6,
+            bf2_4c_mpps: bf4.pps / 1e6,
+        }
+    })
 }
 
 /// A pre-warmed sample for the processor baselines: steady-state paths
@@ -152,18 +164,15 @@ pub struct Fig9bRow {
     pub hxdp_ns: f64,
 }
 
-/// Regenerate Figure 9b.
+/// Regenerate Figure 9b (one worker thread per app).
 pub fn fig9b(packets: usize) -> Vec<Fig9bRow> {
-    App::ALL
-        .iter()
-        .map(|&app| {
-            let run = run_ehdl(app, packets);
-            let hxdp = HxdpModel::new()
-                .evaluate(&app.program(), &baseline_sample(app))
-                .expect("hxdp model");
-            Fig9bRow { app, ehdl_ns: run.latency_ns, hxdp_ns: hxdp.latency_ns }
-        })
-        .collect()
+    par_map(&App::ALL, |&app| {
+        let run = run_ehdl(app, packets);
+        let hxdp = HxdpModel::new()
+            .evaluate(&app.program(), &baseline_sample(app))
+            .expect("hxdp model");
+        Fig9bRow { app, ehdl_ns: run.latency_ns, hxdp_ns: hxdp.latency_ns }
+    })
 }
 
 /// Figure 9c row: pipeline depth vs instruction counts.
@@ -261,10 +270,8 @@ pub fn run_trace(trace: &Trace) -> Tab2Row {
 
 /// Regenerate Table 2 (plus the §5.3 single-flow degradation check).
 pub fn tab2(packets: usize) -> (Vec<Tab2Row>, f64) {
-    let rows = vec![
-        run_trace(&caida_like(packets, 7)),
-        run_trace(&mawi_like(packets, 8)),
-    ];
+    let traces = [caida_like(packets, 7), mawi_like(packets, 8)];
+    let rows = par_map(&traces, run_trace);
     // §5.3: same trace shape but every packet hitting one map address.
     let design = Compiler::new().compile(&leaky_bucket::program()).expect("compiles");
     let mut shell = NicShell::new(&design, ShellOptions::default());

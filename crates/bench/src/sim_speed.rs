@@ -1,0 +1,109 @@
+//! Simulated-cycles-per-second measurement: the wall-clock cost of the
+//! cycle-level simulator itself, tracked as a first-class number so hot-loop
+//! regressions show up in CI (`scripts/check.sh`) instead of as mysteriously
+//! slow figure regeneration.
+
+use crate::{eval_packets, setup_app};
+use ehdl_core::Compiler;
+use ehdl_hwsim::{NicShell, ShellOptions};
+use ehdl_programs::App;
+use std::time::Instant;
+
+/// Where the recorded baseline lives, relative to the workspace root.
+pub const REPORT_PATH: &str = "BENCH_sim_speed.json";
+
+/// One measured simulator-speed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSpeedReport {
+    /// Application under simulation.
+    pub app: String,
+    /// Packets pushed through the shell.
+    pub packets: usize,
+    /// Pipeline cycles simulated.
+    pub cycles: u64,
+    /// Wall-clock seconds for the run.
+    pub wall_secs: f64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Packets simulated per wall-clock second.
+    pub packets_per_sec: f64,
+}
+
+/// Run the Figure-9a-style firewall workload (`packets` packets, 64 B,
+/// 100 Gbps arrivals) and time the simulator.
+pub fn measure(packets: usize) -> SimSpeedReport {
+    let app = App::Firewall;
+    let design = Compiler::new().compile(&app.program()).expect("firewall compiles");
+    let stream = eval_packets(app, packets);
+    let mut shell = NicShell::new(&design, ShellOptions::default());
+    setup_app(app, shell.sim_mut().maps_mut());
+    let start = Instant::now();
+    let report = shell.run(stream);
+    let wall_secs = start.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(report.completed + report.lost, packets as u64, "all packets accounted for");
+    let cycles = shell.cycles();
+    SimSpeedReport {
+        app: app.name().to_string(),
+        packets,
+        cycles,
+        wall_secs,
+        cycles_per_sec: cycles as f64 / wall_secs,
+        packets_per_sec: report.completed as f64 / wall_secs,
+    }
+}
+
+/// The workspace-root path of the recorded baseline.
+pub fn report_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(REPORT_PATH)
+}
+
+/// Serialize a report to the tracked JSON file (no serde in the tree, so
+/// the format is written by hand and parsed with [`read_recorded`]).
+pub fn write_report(report: &SimSpeedReport) -> std::io::Result<()> {
+    let json = format!(
+        "{{\n  \"app\": \"{}\",\n  \"packets\": {},\n  \"cycles\": {},\n  \"wall_secs\": {:.6},\n  \"cycles_per_sec\": {:.1},\n  \"packets_per_sec\": {:.1}\n}}\n",
+        report.app,
+        report.packets,
+        report.cycles,
+        report.wall_secs,
+        report.cycles_per_sec,
+        report.packets_per_sec,
+    );
+    std::fs::write(report_path(), json)
+}
+
+/// Read the recorded `cycles_per_sec` baseline, if one exists.
+pub fn read_recorded() -> Option<f64> {
+    let text = std::fs::read_to_string(report_path()).ok()?;
+    parse_field(&text, "cycles_per_sec")
+}
+
+fn parse_field(json: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\"");
+    let rest = &json[json.find(&key)? + key.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest.find([',', '\n', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_field_reads_numbers() {
+        let json = "{\n  \"cycles_per_sec\": 123456.7,\n  \"packets\": 40000\n}\n";
+        assert_eq!(parse_field(json, "cycles_per_sec"), Some(123456.7));
+        assert_eq!(parse_field(json, "packets"), Some(40000.0));
+        assert_eq!(parse_field(json, "missing"), None);
+    }
+
+    #[test]
+    fn measure_small_run_reports_consistent_rates() {
+        let r = measure(512);
+        assert_eq!(r.packets, 512);
+        assert!(r.cycles > 0);
+        assert!(r.cycles_per_sec > 0.0);
+        assert!((r.cycles as f64 / r.wall_secs - r.cycles_per_sec).abs() < 1.0);
+    }
+}

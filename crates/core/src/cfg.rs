@@ -89,11 +89,10 @@ impl Cfg {
                         leader[i + 1] = true;
                     }
                 }
-                Instruction::Exit => {
-                    if i + 1 < decoded.len() {
+                Instruction::Exit
+                    if i + 1 < decoded.len() => {
                         leader[i + 1] = true;
                     }
-                }
                 _ => {}
             }
         }
@@ -110,9 +109,7 @@ impl Cfg {
         for (b, &s) in starts.iter().enumerate() {
             let e = starts.get(b + 1).copied().unwrap_or(decoded.len());
             ranges.push((s, e));
-            for idx in s..e {
-                block_of[idx] = b;
-            }
+            block_of[s..e].fill(b);
         }
 
         // Terminators and edges.

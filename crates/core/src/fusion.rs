@@ -140,9 +140,9 @@ fn fuse_block(insns: &mut Vec<LabeledInsn>) {
         }
         // Update the constant map from this instruction's writes.
         let (_, writes, _) = reg_effects(insn);
-        for r in 0..11 {
+        for (r, c) in consts.iter_mut().enumerate() {
             if writes & (1 << r) != 0 {
-                consts[r] = None;
+                *c = None;
             }
         }
         if let HwInsn::Simple(Instruction::Alu {
@@ -226,9 +226,8 @@ fn eliminate_dead_code(p: &mut LoweredProgram) {
 
         // Sweep.
         let mut removed = false;
-        for b in 0..nb {
-            let mut live = live_out[b];
-            let block = &mut p.blocks[b];
+        for (block, &out) in p.blocks.iter_mut().zip(&live_out) {
+            let mut live = out;
             let mut keep = vec![true; block.len()];
             for (i, insn) in block.iter().enumerate().rev() {
                 let (reads, writes, pure) = reg_effects(insn);

@@ -85,8 +85,8 @@ impl HazardPlan {
 pub fn analyze(stages: &[Stage]) -> HazardPlan {
     let mut plan = HazardPlan::default();
     // Gather per-map access stages.
-    let mut maps: std::collections::BTreeMap<u32, (Vec<usize>, Vec<usize>, Vec<usize>)> =
-        Default::default();
+    type StageSets = (Vec<usize>, Vec<usize>, Vec<usize>);
+    let mut maps: std::collections::BTreeMap<u32, StageSets> = Default::default();
     for (idx, stage) in stages.iter().enumerate() {
         for op in &stage.ops {
             let Some(mu) = op.map_use else { continue };

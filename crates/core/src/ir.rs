@@ -41,6 +41,7 @@ impl Interval {
     }
 
     /// Shift by another interval (interval addition).
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Interval) -> Interval {
         Interval {
             lo: self.lo.saturating_add(other.lo),

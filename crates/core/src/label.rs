@@ -192,8 +192,8 @@ fn transfer(_program: &Program, d: &Decoded, k: &mut Kinds) -> Result<(), Compil
                 }
             }
             k[0] = r0;
-            for r in 1..=5 {
-                k[r] = Kind::Scalar(Interval::TOP);
+            for kr in &mut k[1..=5] {
+                *kr = Kind::Scalar(Interval::TOP);
             }
         }
         Instruction::Jump { .. } | Instruction::Exit => {}

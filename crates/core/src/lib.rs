@@ -50,6 +50,7 @@ pub mod hazard;
 pub mod ir;
 pub mod label;
 pub mod pipeline;
+pub mod plan;
 pub mod predicate;
 pub mod primitives;
 pub mod prune;
@@ -61,6 +62,7 @@ pub mod vhdl;
 pub use compile::{Compiler, CompilerOptions, PassTimings};
 pub use error::CompileError;
 pub use pipeline::{PipelineDesign, Stage, StageOp};
+pub use plan::ExecPlan;
 pub use resource::{ResourceEstimate, Target};
 
 /// Render one instruction in kernel disassembly style (jump offsets are

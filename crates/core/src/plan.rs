@@ -1,0 +1,179 @@
+//! Immutable per-design execution plan.
+//!
+//! The cycle-level simulator walks a design's stages once per clock for
+//! every in-flight packet; going back to [`PipelineDesign`]'s nested
+//! `Vec`s on each visit forced it to clone op lists and predecessor
+//! tables to satisfy the borrow checker. [`ExecPlan`] flattens everything
+//! the hot loop needs — per-stage op slices, the block predecessor table
+//! in topological order, and a per-block guard index — into contiguous
+//! storage built once per design. Shared behind an `Arc`, it lets the
+//! executor borrow instead of clone.
+
+use crate::pipeline::{EdgeCond, PipelineDesign, StageOp};
+
+/// Flattened, read-only view of a [`PipelineDesign`] for execution.
+#[derive(Debug, Clone)]
+pub struct ExecPlan {
+    nblocks: usize,
+    nmaps: usize,
+    /// Owning block of each stage.
+    stage_block: Vec<u32>,
+    /// All stage ops, flattened; `stage_ops[s]` indexes `ops[a..b]`.
+    ops: Vec<StageOp>,
+    stage_ops: Vec<(u32, u32)>,
+    /// All block predecessors, flattened; `block_preds[b]` indexes
+    /// `preds[a..b]`. Blocks appear in topological order (every
+    /// predecessor index is smaller than its successor's), so an
+    /// iterative forward walk resolves all enable signals.
+    preds: Vec<(u32, EdgeCond)>,
+    block_preds: Vec<(u32, u32)>,
+    /// Strictest implicit length guard per block (§4.4), or `i64::MIN`
+    /// when the block carries none: a packet shorter than this faults.
+    guard_min_len: Vec<i64>,
+}
+
+impl ExecPlan {
+    /// Flatten `design` into an execution plan.
+    ///
+    /// # Panics
+    /// Panics if a block's predecessor has a larger index than the block
+    /// itself — compiled designs are emitted in topological order and the
+    /// executor's forward enable walk relies on it.
+    pub fn new(design: &PipelineDesign) -> ExecPlan {
+        let nblocks = design.blocks.len();
+        let mut ops = Vec::new();
+        let mut stage_ops = Vec::with_capacity(design.stages.len());
+        let mut stage_block = Vec::with_capacity(design.stages.len());
+        for stage in &design.stages {
+            let a = ops.len() as u32;
+            ops.extend(stage.ops.iter().cloned());
+            stage_ops.push((a, ops.len() as u32));
+            stage_block.push(stage.block as u32);
+        }
+        let mut preds = Vec::new();
+        let mut block_preds = Vec::with_capacity(nblocks);
+        for (b, info) in design.blocks.iter().enumerate() {
+            let a = preds.len() as u32;
+            for &(p, cond) in &info.preds {
+                assert!(
+                    p < b,
+                    "block {b} has predecessor {p} out of topological order"
+                );
+                preds.push((p as u32, cond));
+            }
+            block_preds.push((a, preds.len() as u32));
+        }
+        let mut guard_min_len = vec![i64::MIN; nblocks];
+        for &(gb, min_len) in &design.guards {
+            guard_min_len[gb] = guard_min_len[gb].max(min_len);
+        }
+        ExecPlan {
+            nblocks,
+            nmaps: design.maps.len(),
+            stage_block,
+            ops,
+            stage_ops,
+            preds,
+            block_preds,
+            guard_min_len,
+        }
+    }
+
+    /// Number of pipeline stages.
+    #[inline]
+    pub fn stage_count(&self) -> usize {
+        self.stage_ops.len()
+    }
+
+    /// Number of control blocks.
+    #[inline]
+    pub fn block_count(&self) -> usize {
+        self.nblocks
+    }
+
+    /// Number of maps the design references.
+    #[inline]
+    pub fn map_count(&self) -> usize {
+        self.nmaps
+    }
+
+    /// The block owning stage `s`.
+    #[inline]
+    pub fn stage_block(&self, s: usize) -> usize {
+        self.stage_block[s] as usize
+    }
+
+    /// The ops scheduled in stage `s` (empty for wait/latency stages).
+    #[inline]
+    pub fn stage_ops(&self, s: usize) -> &[StageOp] {
+        let (a, b) = self.stage_ops[s];
+        &self.ops[a as usize..b as usize]
+    }
+
+    /// Block `b`'s predecessors with their edge conditions.
+    #[inline]
+    pub fn preds_of(&self, b: usize) -> &[(u32, EdgeCond)] {
+        let (a, z) = self.block_preds[b];
+        &self.preds[a as usize..z as usize]
+    }
+
+    /// The strictest implicit length guard on block `b`, or `i64::MIN`.
+    #[inline]
+    pub fn guard_min_len(&self, b: usize) -> i64 {
+        self.guard_min_len[b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Compiler;
+    use ehdl_ebpf::asm::Asm;
+    use ehdl_ebpf::opcode::{JmpOp, MemSize};
+    use ehdl_ebpf::Program;
+
+    fn branchy_design() -> PipelineDesign {
+        let mut a = Asm::new();
+        let els = a.new_label();
+        let join = a.new_label();
+        a.load(MemSize::W, 7, 1, 0);
+        a.load(MemSize::B, 2, 7, 0);
+        a.jmp_imm(JmpOp::Jeq, 2, 0, els);
+        a.mov64_imm(3, 1);
+        a.jmp(join);
+        a.bind(els);
+        a.mov64_imm(3, 2);
+        a.bind(join);
+        a.mov64_reg(0, 3);
+        a.exit();
+        Compiler::new().compile(&Program::from_insns(a.into_insns())).unwrap()
+    }
+
+    #[test]
+    fn plan_mirrors_design() {
+        let design = branchy_design();
+        let plan = ExecPlan::new(&design);
+        assert_eq!(plan.stage_count(), design.stages.len());
+        assert_eq!(plan.block_count(), design.blocks.len());
+        assert_eq!(plan.map_count(), design.maps.len());
+        for (s, stage) in design.stages.iter().enumerate() {
+            assert_eq!(plan.stage_block(s), stage.block);
+            assert_eq!(plan.stage_ops(s).len(), stage.ops.len());
+        }
+        for (b, info) in design.blocks.iter().enumerate() {
+            let got: Vec<(usize, EdgeCond)> =
+                plan.preds_of(b).iter().map(|&(p, c)| (p as usize, c)).collect();
+            assert_eq!(got, info.preds);
+        }
+    }
+
+    #[test]
+    fn guard_index_takes_strictest() {
+        let mut design = branchy_design();
+        design.guards = vec![(0, 14), (0, 34), (1, 20)];
+        let plan = ExecPlan::new(&design);
+        assert_eq!(plan.guard_min_len(0), 34);
+        assert_eq!(plan.guard_min_len(1), 20);
+        assert_eq!(plan.guard_min_len(2), i64::MIN);
+    }
+}

@@ -212,9 +212,8 @@ mod tests {
 
     #[test]
     fn predicates_agree_with_real_designs() {
-        for app in [
-            ehdl_programs_stub::toy_counter(),
-        ] {
+        {
+            let app = ehdl_programs_stub::toy_counter();
             let design = Compiler::new().compile(&app).unwrap();
             let preds = block_predicates(&design.blocks);
             assert_eq!(preds.len(), design.blocks.len());

@@ -116,7 +116,7 @@ pub fn inventory(design: &crate::PipelineDesign) -> Vec<(Primitive, usize)> {
         }
     }
     let mut v: Vec<(Primitive, usize)> = counts.into_values().collect();
-    v.sort_by(|a, b| b.1.cmp(&a.1));
+    v.sort_by_key(|e| std::cmp::Reverse(e.1));
     v
 }
 

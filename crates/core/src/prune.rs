@@ -194,7 +194,7 @@ pub fn analyze(stages: &[Stage], blocks: &[BlockInfo], enabled: bool) -> PruneIn
             }
         }
         live_stack_bytes[i] = count;
-        live_stack[i] = Box::new(bits);
+        *live_stack[i] = bits;
     }
 
     PruneInfo { live_regs, live_stack_bytes, live_stack, enabled: true }

@@ -266,7 +266,7 @@ fn unroll_one(
     Ok(out)
 }
 
-fn decoded_at<'a>(decoded: &'a [ehdl_ebpf::insn::Decoded], slot: usize) -> &'a ehdl_ebpf::insn::Decoded {
+fn decoded_at(decoded: &[ehdl_ebpf::insn::Decoded], slot: usize) -> &ehdl_ebpf::insn::Decoded {
     decoded
         .iter()
         .find(|d| d.pc == slot)

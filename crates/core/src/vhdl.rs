@@ -250,10 +250,7 @@ fn sanitize(name: &str) -> String {
 fn op_comment(op: &crate::pipeline::StageOp) -> String {
     match op.insn {
         HwInsn::Alu3 { op: o, dst, a, b, .. } => format!("r{dst} = r{a} {} {b}", o.symbol()),
-        HwInsn::Simple(i) => format!(
-            "{}",
-            crate::disasm_one(&i)
-        ),
+        HwInsn::Simple(i) => crate::disasm_one(&i).to_string(),
     }
 }
 

@@ -1,6 +1,9 @@
-//! Property tests on compiler invariants: schedules respect dependences,
+//! Randomized tests on compiler invariants: schedules respect dependences,
 //! pruning is sound relative to a re-analysis, framing waits are exactly
 //! what late accesses require, and the analytical model is monotone.
+//!
+//! Formerly proptest-based; rewritten as deterministic seeded campaigns so
+//! the workspace builds without crates.io access.
 
 use ehdl_core::analytical;
 use ehdl_core::ir::HwInsn;
@@ -9,7 +12,7 @@ use ehdl_ebpf::asm::Asm;
 use ehdl_ebpf::insn::{Instruction, Operand};
 use ehdl_ebpf::opcode::{AluOp, MemSize};
 use ehdl_ebpf::Program;
-use proptest::prelude::*;
+use ehdl_rng::Rng;
 
 /// A random pure-ALU instruction on registers r0-r5.
 #[derive(Debug, Clone, Copy)]
@@ -19,12 +22,21 @@ enum RandAlu {
     AluReg(u8, u8, u8),
 }
 
-fn rand_alu() -> impl Strategy<Value = RandAlu> {
-    prop_oneof![
-        (0u8..6, any::<i32>()).prop_map(|(r, i)| RandAlu::MovImm(r, i)),
-        (0u8..8, 0u8..6, any::<i32>()).prop_map(|(op, r, i)| RandAlu::AluImm(op, r, i)),
-        (0u8..8, 0u8..6, 0u8..6).prop_map(|(op, d, s)| RandAlu::AluReg(op, d, s)),
-    ]
+fn rand_alu(rng: &mut Rng) -> RandAlu {
+    match rng.gen_index(3) {
+        0 => RandAlu::MovImm(rng.gen_index(6) as u8, rng.gen_i32()),
+        1 => RandAlu::AluImm(rng.gen_index(8) as u8, rng.gen_index(6) as u8, rng.gen_i32()),
+        _ => RandAlu::AluReg(
+            rng.gen_index(8) as u8,
+            rng.gen_index(6) as u8,
+            rng.gen_index(6) as u8,
+        ),
+    }
+}
+
+fn rand_alu_vec(rng: &mut Rng, max_len: usize) -> Vec<RandAlu> {
+    let n = rng.gen_range_u64(1, max_len as u64) as usize;
+    (0..n).map(|_| rand_alu(rng)).collect()
 }
 
 const OPS: [AluOp; 8] = [
@@ -81,13 +93,13 @@ fn rw_of(insn: &HwInsn) -> (Vec<u8>, Vec<u8>) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Every compiled schedule places a RAW/WAW-dependent instruction in a
-    /// strictly later stage than its producer, within each block.
-    #[test]
-    fn schedule_respects_hard_deps(ops in prop::collection::vec(rand_alu(), 1..60)) {
+/// Every compiled schedule places a RAW/WAW-dependent instruction in a
+/// strictly later stage than its producer, within each block.
+#[test]
+fn schedule_respects_hard_deps() {
+    let mut rng = Rng::seed_from_u64(0xdeb5);
+    for _ in 0..128 {
+        let ops = rand_alu_vec(&mut rng, 59);
         let program = build_program(&ops);
         let design = Compiler::new().compile(&program).unwrap();
         // Straight-line ALU program: everything is in one block; walk the
@@ -100,10 +112,7 @@ proptest! {
                 let (reads, _) = rw_of(&op.insn);
                 for r in reads {
                     if let Some(w) = last_write[r as usize] {
-                        prop_assert!(
-                            w < s,
-                            "read of r{r} at stage {s} must follow its write at {w}"
-                        );
+                        assert!(w < s, "read of r{r} at stage {s} must follow its write at {w}");
                     }
                 }
             }
@@ -111,7 +120,7 @@ proptest! {
                 let (_, writes) = rw_of(&op.insn);
                 for r in writes {
                     // WAW within one stage is forbidden.
-                    prop_assert!(
+                    assert!(
                         last_write[r as usize] != Some(s),
                         "two writes of r{r} in stage {s}"
                     );
@@ -120,45 +129,62 @@ proptest! {
             }
         }
     }
+}
 
-    /// Disabling optimizations never changes the number of exit stages and
-    /// never produces an empty pipeline; stage counts are ordered.
-    #[test]
-    fn option_monotonicity(ops in prop::collection::vec(rand_alu(), 1..40)) {
+/// Disabling optimizations never changes the number of exit stages and
+/// never produces an empty pipeline; stage counts are ordered.
+#[test]
+fn option_monotonicity() {
+    let mut rng = Rng::seed_from_u64(0x0b70);
+    for _ in 0..128 {
+        let ops = rand_alu_vec(&mut rng, 39);
         let program = build_program(&ops);
         let full = Compiler::new().compile(&program).unwrap();
-        let nopar = Compiler::with_options(CompilerOptions { parallelize: false, ..Default::default() })
-            .compile(&program)
-            .unwrap();
-        let nofuse = Compiler::with_options(CompilerOptions { fusion: false, dce: false, ..Default::default() })
-            .compile(&program)
-            .unwrap();
-        prop_assert!(full.stage_count() >= 1);
-        prop_assert!(full.stage_count() <= nopar.stage_count());
-        prop_assert!(full.stats.hw_insns <= nofuse.stats.hw_insns);
-        prop_assert_eq!(full.exit_stages().len(), 1);
+        let nopar =
+            Compiler::with_options(CompilerOptions { parallelize: false, ..Default::default() })
+                .compile(&program)
+                .unwrap();
+        let nofuse = Compiler::with_options(CompilerOptions {
+            fusion: false,
+            dce: false,
+            ..Default::default()
+        })
+        .compile(&program)
+        .unwrap();
+        assert!(full.stage_count() >= 1);
+        assert!(full.stage_count() <= nopar.stage_count());
+        assert!(full.stats.hw_insns <= nofuse.stats.hw_insns);
+        assert_eq!(full.exit_stages().len(), 1);
     }
+}
 
-    /// Pruned liveness is a subset of the unpruned (full) state, and the
-    /// pruned design never carries registers the analysis says are dead.
-    #[test]
-    fn prune_is_subset(ops in prop::collection::vec(rand_alu(), 1..40)) {
+/// Pruned liveness is a subset of the unpruned (full) state, and the
+/// pruned design never carries registers the analysis says are dead.
+#[test]
+fn prune_is_subset() {
+    let mut rng = Rng::seed_from_u64(0x9205);
+    for _ in 0..128 {
+        let ops = rand_alu_vec(&mut rng, 39);
         let program = build_program(&ops);
         let design = Compiler::new().compile(&program).unwrap();
         for mask in &design.prune.live_regs {
-            prop_assert_eq!(mask & !0x7ff, 0, "only r0-r10 exist");
+            assert_eq!(mask & !0x7ff, 0, "only r0-r10 exist");
         }
         // r10 is never written, so it can only be live where used; the
         // final stage (exit) needs nothing but r0.
         let last = *design.prune.live_regs.last().unwrap();
-        prop_assert_eq!(last & !1, 0, "exit stage carries at most r0");
+        assert_eq!(last & !1, 0, "exit stage carries at most r0");
     }
+}
 
-    /// Framing: a single load at packet offset `off` in the first stage
-    /// forces exactly `off / frame_size` wait stages.
-    #[test]
-    fn framing_wait_count(off in 0i64..1400, frame_sel in 0usize..3) {
-        let frame_size = [32usize, 64, 128][frame_sel];
+/// Framing: a single load at packet offset `off` in the first stage
+/// forces exactly `off / frame_size` wait stages.
+#[test]
+fn framing_wait_count() {
+    let mut rng = Rng::seed_from_u64(0xf4a3);
+    for _ in 0..128 {
+        let off = rng.gen_range_u64(0, 1399) as i64;
+        let frame_size = [32usize, 64, 128][rng.gen_index(3)];
         let mut a = Asm::new();
         a.load(MemSize::W, 7, 1, 0);
         a.load(MemSize::B, 2, 7, off as i16);
@@ -172,34 +198,44 @@ proptest! {
         // The load lands in stage 1 (after the ctx load) at the earliest;
         // waits are needed only if the frame arrives later than that.
         let expected = frame.saturating_sub(1);
-        prop_assert_eq!(design.framing.wait_stages, expected);
-        prop_assert_eq!(design.framing.max_bypass, frame);
+        assert_eq!(design.framing.wait_stages, expected);
+        assert_eq!(design.framing.max_bypass, frame);
     }
+}
 
-    /// Analytical model: flush probability increases with the window and
-    /// decreases with flow count; throughput decreases with both K and pf.
-    #[test]
-    fn analytical_monotone(l in 2usize..30, n in 100usize..100_000, k in 1usize..200) {
+/// Analytical model: flush probability increases with the window and
+/// decreases with flow count; throughput decreases with both K and pf.
+#[test]
+fn analytical_monotone() {
+    let mut rng = Rng::seed_from_u64(0xa117);
+    for _ in 0..128 {
+        let l = rng.gen_range_u64(2, 29) as usize;
+        let n = rng.gen_range_u64(100, 99_999) as usize;
+        let k = rng.gen_range_u64(1, 199) as usize;
         let pf1 = analytical::p_flush_zipf(l, n);
         let pf2 = analytical::p_flush_zipf(l + 1, n);
-        prop_assert!(pf2 >= pf1 - 1e-12);
+        assert!(pf2 >= pf1 - 1e-12);
         let pu1 = analytical::p_flush_uniform(l, n);
         let pu2 = analytical::p_flush_uniform(l, n * 2);
-        prop_assert!(pu2 <= pu1 + 1e-12);
+        assert!(pu2 <= pu1 + 1e-12);
         let t1 = analytical::throughput(analytical::PEAK_PPS, k, pf1);
         let t2 = analytical::throughput(analytical::PEAK_PPS, k + 1, pf1);
-        prop_assert!(t2 <= t1 + 1e-9);
-        prop_assert!(t1 <= analytical::PEAK_PPS + 1e-9);
+        assert!(t2 <= t1 + 1e-9);
+        assert!(t1 <= analytical::PEAK_PPS + 1e-9);
     }
+}
 
-    /// The VHDL emitter always produces a well-formed skeleton.
-    #[test]
-    fn vhdl_always_well_formed(ops in prop::collection::vec(rand_alu(), 1..30)) {
+/// The VHDL emitter always produces a well-formed skeleton.
+#[test]
+fn vhdl_always_well_formed() {
+    let mut rng = Rng::seed_from_u64(0x7bd1);
+    for _ in 0..128 {
+        let ops = rand_alu_vec(&mut rng, 29);
         let program = build_program(&ops);
         let design = Compiler::new().compile(&program).unwrap();
         let v = ehdl_core::vhdl::emit(&design);
-        prop_assert!(v.contains("entity"));
-        prop_assert!(v.contains("end architecture rtl;"));
-        prop_assert_eq!(v.matches("rising_edge(clk)").count(), design.stage_count());
+        assert!(v.contains("entity"));
+        assert!(v.contains("end architecture rtl;"));
+        assert_eq!(v.matches("rising_edge(clk)").count(), design.stage_count());
     }
 }

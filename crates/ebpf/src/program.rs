@@ -56,7 +56,7 @@ impl Program {
     ///
     /// Returns `Err` if the byte length is not a multiple of 8.
     pub fn from_bytes(bytes: &[u8]) -> Result<Program, BadLength> {
-        if bytes.len() % 8 != 0 {
+        if !bytes.len().is_multiple_of(8) {
             return Err(BadLength { len: bytes.len() });
         }
         let insns = bytes
@@ -81,6 +81,12 @@ impl std::fmt::Display for BadLength {
 }
 
 impl std::error::Error for BadLength {}
+
+impl PartialEq for Program {
+    fn eq(&self, other: &Self) -> bool {
+        self.insns == other.insns && self.maps == other.maps
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -111,11 +117,5 @@ mod tests {
         let p = Program::from_insns(a.into_insns());
         assert_eq!(p.slot_count(), 3);
         assert_eq!(p.insn_count(), 2);
-    }
-}
-
-impl PartialEq for Program {
-    fn eq(&self, other: &Self) -> bool {
-        self.insns == other.insns && self.maps == other.maps
     }
 }

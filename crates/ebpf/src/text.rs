@@ -152,7 +152,7 @@ fn mem_size(name: &str) -> Result<MemSize, String> {
 
 /// Parse `*(SIZE *)(rB +OFF)` returning `(size, base, off, rest)` where
 /// `rest` is whatever follows the closing parenthesis.
-fn parse_mem<'a>(s: &'a str) -> Result<(MemSize, u8, i16, &'a str), String> {
+fn parse_mem(s: &str) -> Result<(MemSize, u8, i16, &str), String> {
     let s = s.trim_start();
     let inner = s.strip_prefix("*(").ok_or_else(|| err("expected `*(`"))?;
     let (ty, rest) = inner.split_once("*)").ok_or_else(|| err("expected `*)`"))?;

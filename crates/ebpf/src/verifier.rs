@@ -430,7 +430,7 @@ fn stack_off_depth(pc: usize, off: i16, d: &Decoded) -> Result<u32, VerifyError>
         _ => 0,
     };
     let off = i32::from(off);
-    if off >= 0 || off < -512 || off + size > 0 {
+    if !(-512..0).contains(&off) || off + size > 0 {
         return Err(VerifyError::StackOutOfBounds { pc, off });
     }
     Ok((-off) as u32)

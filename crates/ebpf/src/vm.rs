@@ -474,7 +474,7 @@ impl Vm {
 
     fn mem_slice<'a>(&'a self, ctx: &'a Ctx<'_>, addr: u64, n: usize, pc: usize) -> Result<&'a [u8], VmError> {
         let err = VmError::BadAccess { addr, size: n, pc };
-        if addr >= PACKET_BASE && addr < STACK_BASE {
+        if (PACKET_BASE..STACK_BASE).contains(&addr) {
             let off = (addr - PACKET_BASE) as usize;
             // Packet addresses are relative to the buffer start (headroom
             // included) so adjust_head keeps old pointers meaningful.
@@ -483,7 +483,7 @@ impl Vm {
             } else {
                 Err(err)
             }
-        } else if addr >= STACK_BASE && addr < STACK_TOP {
+        } else if (STACK_BASE..STACK_TOP).contains(&addr) {
             let off = (addr - STACK_BASE) as usize;
             if off + n <= STACK_SIZE as usize {
                 Ok(&ctx.stack[off..off + n])
@@ -494,7 +494,7 @@ impl Vm {
             // Context reads are materialized by the caller (mem_read_ctx);
             // signal with an empty slice sentinel below.
             Err(err)
-        } else if addr >= MAP_VALUE_BASE && addr < MAP_HANDLE_BASE {
+        } else if (MAP_VALUE_BASE..MAP_HANDLE_BASE).contains(&addr) {
             let (map_id, slot, off) = self.decode_map_addr(addr)?;
             let map = self.maps.get(map_id).ok_or(err.clone())?;
             if off + n <= map.def().value_size as usize {
@@ -515,21 +515,21 @@ impl Vm {
         pc: usize,
     ) -> Result<&'a mut [u8], VmError> {
         let err = VmError::BadAccess { addr, size: n, pc };
-        if addr >= PACKET_BASE && addr < STACK_BASE {
+        if (PACKET_BASE..STACK_BASE).contains(&addr) {
             let off = (addr - PACKET_BASE) as usize;
             if off + n <= ctx.end_off && off >= ctx.data_off {
                 Ok(&mut ctx.buf[off..off + n])
             } else {
                 Err(err)
             }
-        } else if addr >= STACK_BASE && addr < STACK_TOP {
+        } else if (STACK_BASE..STACK_TOP).contains(&addr) {
             let off = (addr - STACK_BASE) as usize;
             if off + n <= STACK_SIZE as usize {
                 Ok(&mut ctx.stack[off..off + n])
             } else {
                 Err(err)
             }
-        } else if addr >= MAP_VALUE_BASE && addr < MAP_HANDLE_BASE {
+        } else if (MAP_VALUE_BASE..MAP_HANDLE_BASE).contains(&addr) {
             let (map_id, slot, off) = self.decode_map_addr(addr)?;
             let map = self.maps.get_mut(map_id).ok_or(err.clone())?;
             if off + n <= map.def().value_size as usize {
@@ -770,13 +770,7 @@ pub fn alu_eval(op: AluOp, width: Width, dst: u64, src: u64) -> u64 {
                 AluOp::Add => dst.wrapping_add(s),
                 AluOp::Sub => dst.wrapping_sub(s),
                 AluOp::Mul => dst.wrapping_mul(s),
-                AluOp::Div => {
-                    if s == 0 {
-                        0
-                    } else {
-                        dst / s
-                    }
-                }
+                AluOp::Div => dst.checked_div(s).unwrap_or(0),
                 AluOp::Or => dst | s,
                 AluOp::And => dst & s,
                 AluOp::Lsh => dst.wrapping_shl((s & 63) as u32),
@@ -802,13 +796,7 @@ pub fn alu_eval(op: AluOp, width: Width, dst: u64, src: u64) -> u64 {
                 AluOp::Add => d.wrapping_add(s),
                 AluOp::Sub => d.wrapping_sub(s),
                 AluOp::Mul => d.wrapping_mul(s),
-                AluOp::Div => {
-                    if s == 0 {
-                        0
-                    } else {
-                        d / s
-                    }
-                }
+                AluOp::Div => d.checked_div(s).unwrap_or(0),
                 AluOp::Or => d | s,
                 AluOp::And => d & s,
                 AluOp::Lsh => d.wrapping_shl(s & 31),

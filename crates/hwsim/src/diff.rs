@@ -119,28 +119,41 @@ pub fn compare_full(
     let mut vm = Vm::new(program);
     vm.set_time_ns(sim_options.freeze_time_ns.unwrap_or(1000));
     let mut sim = PipelineSim::with_options(design, sim_options);
+    // Both map stores are configured before either engine runs, so the
+    // two executions start from identical state.
     setup(vm.maps_mut());
     setup(sim.maps_mut());
 
+    // The engines never communicate until both are drained: run the
+    // cycle-level simulation on its own thread while the reference
+    // interpreter processes the same trace here.
     let mut vm_actions = Vec::with_capacity(packets.len());
     let mut vm_packets = Vec::with_capacity(packets.len());
-    for p in packets {
-        let mut bytes = p.clone();
-        match vm.run(&mut bytes, 0) {
-            Ok(out) => {
-                vm_actions.push(out.action);
-                vm_packets.push(bytes);
+    let outs = std::thread::scope(|scope| {
+        let sim = &mut sim;
+        let hw = scope.spawn(move || {
+            for p in packets {
+                sim.enqueue(p.clone());
             }
-            Err(_) => {
-                // The hardware drops on access faults.
-                vm_actions.push(XdpAction::Drop);
-                vm_packets.push(p.clone());
+            sim.settle(50_000_000);
+            sim.drain()
+        });
+        for p in packets {
+            let mut bytes = p.clone();
+            match vm.run(&mut bytes, 0) {
+                Ok(out) => {
+                    vm_actions.push(out.action);
+                    vm_packets.push(bytes);
+                }
+                Err(_) => {
+                    // The hardware drops on access faults.
+                    vm_actions.push(XdpAction::Drop);
+                    vm_packets.push(p.clone());
+                }
             }
         }
-        sim.enqueue(p.clone());
-    }
-    sim.settle(50_000_000);
-    let outs = sim.drain();
+        hw.join().expect("simulator thread panicked")
+    });
 
     let mut divs = Vec::new();
     if outs.len() != packets.len() {

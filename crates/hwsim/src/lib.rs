@@ -28,6 +28,6 @@ pub mod multi;
 pub mod shell;
 pub mod sim;
 
-pub use multi::{MultiNic, Steering};
+pub use multi::{CompiledSteering, MultiNic, Steering};
 pub use shell::{NicShell, ShellOptions, ShellReport};
 pub use sim::{PipelineSim, SimCounters, SimOptions, SimOutcome};

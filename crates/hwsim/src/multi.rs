@@ -31,18 +31,74 @@ pub enum Steering {
 
 impl Steering {
     /// Choose a pipeline index for a packet.
+    ///
+    /// One-shot convenience; batch paths should [`Steering::compile`]
+    /// once and steer through the compiled form.
     pub fn steer(&self, packet: &[u8]) -> usize {
+        self.compile().steer(packet)
+    }
+
+    /// Precompute the match structure — a 256-entry dispatch table for
+    /// the protocol byte, a sorted table for EtherTypes — mirroring how
+    /// the shell's steering logic would actually be synthesized (a small
+    /// LUT, not a rule scan). First-match semantics are preserved.
+    pub fn compile(&self) -> CompiledSteering {
         match self {
             Steering::ByEtherType { rules, default } => {
+                let mut sorted = rules.clone();
+                // Stable sort + first-wins dedup preserves rule priority.
+                sorted.sort_by_key(|&(t, _)| t);
+                sorted.dedup_by_key(|&mut (t, _)| t);
+                CompiledSteering::ByEtherType { sorted, default: *default }
+            }
+            Steering::ByIpProto { rules, default } => {
+                let mut table = [*default; 256];
+                let mut set = [false; 256];
+                for &(proto, p) in rules {
+                    if !set[proto as usize] {
+                        table[proto as usize] = p;
+                        set[proto as usize] = true;
+                    }
+                }
+                CompiledSteering::ByIpProto { table: Box::new(table) }
+            }
+        }
+    }
+}
+
+/// A [`Steering`] policy lowered to its dispatch structure.
+#[derive(Debug, Clone)]
+pub enum CompiledSteering {
+    /// Sorted unique `(ethertype, pipeline)` pairs for binary search.
+    ByEtherType {
+        /// Sorted match table.
+        sorted: Vec<(u16, usize)>,
+        /// Pipeline for unmatched packets.
+        default: usize,
+    },
+    /// Full 256-entry protocol-byte dispatch table.
+    ByIpProto {
+        /// `table[proto]` is the target pipeline.
+        table: Box<[usize; 256]>,
+    },
+}
+
+impl CompiledSteering {
+    /// Choose a pipeline index for a packet.
+    pub fn steer(&self, packet: &[u8]) -> usize {
+        match self {
+            CompiledSteering::ByEtherType { sorted, default } => {
                 let ty = packet
                     .get(12..14)
                     .map(|b| u16::from_be_bytes([b[0], b[1]]))
                     .unwrap_or(0);
-                rules.iter().find(|(t, _)| *t == ty).map(|(_, p)| *p).unwrap_or(*default)
+                match sorted.binary_search_by_key(&ty, |&(t, _)| t) {
+                    Ok(i) => sorted[i].1,
+                    Err(_) => *default,
+                }
             }
-            Steering::ByIpProto { rules, default } => {
-                let proto = packet.get(23).copied().unwrap_or(0);
-                rules.iter().find(|(t, _)| *t == proto).map(|(_, p)| *p).unwrap_or(*default)
+            CompiledSteering::ByIpProto { table } => {
+                table[packet.get(23).copied().unwrap_or(0) as usize]
             }
         }
     }
@@ -73,7 +129,7 @@ impl Steering {
 pub struct MultiNic {
     sims: Vec<PipelineSim>,
     designs: Vec<PipelineDesign>,
-    steering: Steering,
+    steering: CompiledSteering,
 }
 
 /// Per-pipeline slice of a multi-program run.
@@ -110,7 +166,7 @@ impl MultiNic {
         MultiNic {
             sims: designs.iter().map(|d| PipelineSim::with_options(d, options)).collect(),
             designs: designs.to_vec(),
-            steering,
+            steering: steering.compile(),
         }
     }
 
@@ -121,27 +177,47 @@ impl MultiNic {
 
     /// Run a packet burst through the steered pipelines (all pipelines
     /// tick in lockstep, sharing the 250 MHz clock).
+    ///
+    /// The pipelines are independent hardware blocks exchanging no state,
+    /// so each one runs on its own thread, replaying the same global
+    /// arrival schedule (one clock tick per arrival, then a drain): the
+    /// per-pipeline cycle sequence — and therefore every outcome and
+    /// counter — is identical to stepping them in lockstep.
     pub fn run(&mut self, packets: impl IntoIterator<Item = Vec<u8>>) -> MultiReport {
         let n = self.sims.len();
+        let packets: Vec<Vec<u8>> = packets.into_iter().collect();
+        let targets: Vec<usize> = packets.iter().map(|p| self.steering.steer(p)).collect();
         let mut steered = vec![0u64; n];
-        for pkt in packets {
-            let target = self.steering.steer(&pkt);
-            steered[target] += 1;
-            self.sims[target].enqueue(pkt);
-            for sim in &mut self.sims {
-                sim.step();
-            }
+        for &t in &targets {
+            steered[t] += 1;
         }
-        for sim in &mut self.sims {
-            sim.settle(10_000_000);
-        }
+        let packets = &packets;
+        let targets = &targets;
+        let outs: Vec<Vec<SimOutcome>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .sims
+                .iter_mut()
+                .enumerate()
+                .map(|(i, sim)| {
+                    scope.spawn(move || {
+                        for (pkt, &t) in packets.iter().zip(targets) {
+                            if t == i {
+                                sim.enqueue(pkt.clone());
+                            }
+                            sim.step();
+                        }
+                        sim.settle(10_000_000);
+                        sim.drain()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("pipeline thread panicked")).collect()
+        });
         let mut outcomes = Vec::new();
         let mut completed = vec![0u64; n];
-        for (i, sim) in self.sims.iter_mut().enumerate() {
-            for out in sim.drain() {
-                completed[i] += 1;
-                outcomes.push((i, out));
-            }
+        for (i, outs_i) in outs.into_iter().enumerate() {
+            completed[i] = outs_i.len() as u64;
+            outcomes.extend(outs_i.into_iter().map(|o| (i, o)));
         }
         MultiReport { steered, completed, outcomes }
     }

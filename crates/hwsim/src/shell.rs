@@ -170,6 +170,11 @@ impl NicShell {
     pub fn counters(&self) -> crate::sim::SimCounters {
         *self.sim.counters()
     }
+
+    /// Total pipeline cycles simulated so far.
+    pub fn cycles(&self) -> u64 {
+        self.sim.cycle()
+    }
 }
 
 /// Verdict histogram indices for [`NicShell::action_histogram`].

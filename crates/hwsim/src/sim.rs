@@ -2,6 +2,7 @@
 
 use ehdl_core::ir::HwInsn;
 use ehdl_core::pipeline::{EdgeCond, PipelineDesign};
+use ehdl_core::ExecPlan;
 use ehdl_ebpf::helpers::*;
 use ehdl_ebpf::insn::{Instruction, Operand};
 use ehdl_ebpf::maps::{MapStore, UpdateFlags};
@@ -12,6 +13,7 @@ use ehdl_ebpf::vm::{
     STACK_TOP, XDP_HEADROOM,
 };
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Pipeline clock period in nanoseconds (250 MHz).
 pub const CLOCK_NS: f64 = 4.0;
@@ -81,6 +83,57 @@ pub struct SimOutcome {
     pub latency_ns: f64,
 }
 
+/// Hard cap on control blocks per design, so per-packet enable/taken
+/// signals fit in fixed-size bitmaps (no heap traffic per packet).
+const MAX_BLOCKS: usize = 512;
+
+/// A tri-state per-block signal array (`None` / `Some(bool)`) packed as
+/// two fixed bitmaps: real hardware wires, not a heap vector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct BlockBits {
+    known: [u64; MAX_BLOCKS / 64],
+    value: [u64; MAX_BLOCKS / 64],
+}
+
+impl BlockBits {
+    const WORDS: usize = MAX_BLOCKS / 64;
+
+    #[inline(always)]
+    fn get(&self, i: usize) -> Option<bool> {
+        let w = (i >> 6) & (Self::WORDS - 1);
+        if self.known[w] >> (i % 64) & 1 == 1 {
+            Some(self.value[w] >> (i % 64) & 1 == 1)
+        } else {
+            None
+        }
+    }
+
+    #[inline(always)]
+    fn set(&mut self, i: usize, v: bool) {
+        let w = (i >> 6) & (Self::WORDS - 1);
+        self.known[w] |= 1 << (i % 64);
+        if v {
+            self.value[w] |= 1 << (i % 64);
+        } else {
+            self.value[w] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Copy only the first `w` words from `src`. Sound because block
+    /// indices never reach word `w`, so the upper words of both sides are
+    /// zero for the design at hand.
+    fn assign_words(&mut self, src: &BlockBits, w: usize) {
+        self.known[..w].copy_from_slice(&src.known[..w]);
+        self.value[..w].copy_from_slice(&src.value[..w]);
+    }
+
+    /// Zero only the first `w` words (same soundness argument).
+    fn clear_words(&mut self, w: usize) {
+        self.known[..w].fill(0);
+        self.value[..w].fill(0);
+    }
+}
+
 /// Mutable per-packet execution state (the contents of one pipeline slot).
 #[derive(Debug, Clone)]
 struct PacketState {
@@ -89,13 +142,51 @@ struct PacketState {
     end_off: usize,
     regs: [u64; 11],
     stack: [u8; STACK_SIZE as usize],
-    enabled: Vec<Option<bool>>,
-    taken: Vec<Option<bool>>,
+    enabled: BlockBits,
+    taken: BlockBits,
     action: Option<XdpAction>,
     redirect: Option<u32>,
     faulted: bool,
-    /// Unconfirmed read keys per map (cleared only by replay).
-    map_reads: Vec<Vec<Vec<u8>>>,
+    /// Unconfirmed read keys, `(map, key)` pairs (cleared only by replay).
+    map_reads: Vec<(u32, Vec<u8>)>,
+    /// Lowest `data_off` this packet ever had. Everything below it in
+    /// `buf` is still the zeroed headroom, so snapshots copy only the
+    /// tail from here on.
+    buf_lo: usize,
+    /// Lowest stack byte ever written; bytes below are still zero.
+    stack_lo: usize,
+}
+
+/// Recycled checkpoint storage: flush checkpoints come and go every few
+/// cycles under hazard-heavy traffic, so their boxes (and the `Vec`s
+/// inside) are pooled instead of reallocated.
+#[derive(Debug, Clone, Default)]
+struct StatePool {
+    #[allow(clippy::vec_box)] // boxed so snapshot/restore moves a pointer
+    free: Vec<Box<PacketState>>,
+    /// `BlockBits` words actually used by this design.
+    words: usize,
+}
+
+impl StatePool {
+    const CAP: usize = 64;
+
+    /// Clone `src` into a pooled box (allocation-free when warm).
+    fn snapshot(&mut self, src: &PacketState) -> Box<PacketState> {
+        match self.free.pop() {
+            Some(mut b) => {
+                b.assign_from(src, self.words);
+                b
+            }
+            None => Box::new(src.clone()),
+        }
+    }
+
+    fn recycle(&mut self, b: Box<PacketState>) {
+        if self.free.len() < Self::CAP {
+            self.free.push(b);
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -148,11 +239,15 @@ struct PendingWrite {
 /// ```
 #[derive(Debug, Clone)]
 pub struct PipelineSim {
-    design: PipelineDesign,
+    design: Arc<PipelineDesign>,
+    /// Flattened execution plan: per-stage op slices, topological block
+    /// predecessor table and guard index, shared so the hot loop can
+    /// borrow design data while mutating the simulator.
+    plan: Arc<ExecPlan>,
     options: SimOptions,
     maps: MapStore,
-    slots: Vec<Option<InFlight>>,
-    rx: VecDeque<InFlight>,
+    slots: Vec<Option<Box<InFlight>>>,
+    rx: VecDeque<Box<InFlight>>,
     pending_writes: Vec<PendingWrite>,
     out: Vec<SimOutcome>,
     counters: SimCounters,
@@ -169,6 +264,16 @@ pub struct PipelineSim {
     /// through disabled — the disable-signal picture of Figure 8.
     stage_enabled: Vec<u64>,
     stage_disabled: Vec<u64>,
+    /// Reusable per-stage write set (cleared, never reallocated).
+    scratch: Option<Box<Delta>>,
+    /// Reusable map key / byte-string buffers for helper calls.
+    scratch_key: Vec<u8>,
+    scratch_val: Vec<u8>,
+    /// Checkpoint storage recycler.
+    pool: StatePool,
+    /// `EHDL_SIM_DEBUG` was set at construction (cached: reading the
+    /// environment takes a process-global lock, far too slow per event).
+    debug_trace: bool,
 }
 
 impl PipelineSim {
@@ -179,6 +284,11 @@ impl PipelineSim {
 
     /// Instantiate with explicit options.
     pub fn with_options(design: &PipelineDesign, options: SimOptions) -> PipelineSim {
+        assert!(
+            design.blocks.len() <= MAX_BLOCKS,
+            "design has {} blocks; the simulator supports at most {MAX_BLOCKS}",
+            design.blocks.len()
+        );
         let maps = MapStore::new(&design.maps);
         let nstages = design.stages.len();
         let war_delay = design
@@ -187,8 +297,10 @@ impl PipelineSim {
             .iter()
             .map(|w| ((w.map, w.write_stage), w.delay as u64))
             .collect();
+        let plan = Arc::new(ExecPlan::new(design));
         PipelineSim {
-            design: design.clone(),
+            design: Arc::new(design.clone()),
+            plan,
             options,
             maps,
             slots: vec![None; nstages],
@@ -204,6 +316,14 @@ impl PipelineSim {
             war_delay,
             stage_enabled: vec![0; nstages],
             stage_disabled: vec![0; nstages],
+            scratch: Some(Box::default()),
+            scratch_key: Vec::new(),
+            scratch_val: Vec::new(),
+            pool: StatePool {
+                free: Vec::new(),
+                words: design.blocks.len().div_ceil(64).max(1),
+            },
+            debug_trace: std::env::var_os("EHDL_SIM_DEBUG").is_some(),
         }
     }
 
@@ -257,15 +377,13 @@ impl PipelineSim {
             self.counters.rx_dropped += 1;
             return false;
         }
-        let nb = self.design.blocks.len();
-        let nmaps = self.design.maps.len();
         let mut buf = vec![0u8; XDP_HEADROOM + packet.len()];
         buf[XDP_HEADROOM..].copy_from_slice(&packet);
         let end_off = buf.len();
         let mut regs = [0u64; 11];
         regs[1] = CTX_BASE;
         regs[10] = STACK_TOP;
-        self.rx.push_back(InFlight {
+        self.rx.push_back(Box::new(InFlight {
             seq: self.next_seq,
             orig: packet,
             injected_cycle: 0,
@@ -275,16 +393,18 @@ impl PipelineSim {
                 end_off,
                 regs,
                 stack: [0; STACK_SIZE as usize],
-                enabled: vec![None; nb],
-                taken: vec![None; nb],
+                enabled: BlockBits::default(),
+                taken: BlockBits::default(),
                 action: None,
                 redirect: None,
                 faulted: false,
-                map_reads: vec![Vec::new(); nmaps],
+                map_reads: Vec::new(),
+                buf_lo: XDP_HEADROOM,
+                stack_lo: STACK_SIZE as usize,
             },
             checkpoints: Vec::new(),
             resume: None,
-        });
+        }));
         self.next_seq += 1;
         true
     }
@@ -299,11 +419,14 @@ impl PipelineSim {
         // 1. Commit due buffered map writes (oldest first).
         self.commit_due_writes();
 
-        // 2. Advance the pipeline from the back.
+        // 2. Advance the pipeline from the back. One refcount bump per
+        // cycle lets every stage borrow the plan while `self` stays
+        // mutable.
+        let plan = Arc::clone(&self.plan);
         let nstages = self.design.stages.len();
         for s in (0..nstages).rev() {
             let Some(mut pkt) = self.slots[s].take() else { continue };
-            match self.exec_stage(s, &mut pkt) {
+            match self.exec_stage(s, &mut pkt, &plan) {
                 StageResult::Ok => {
                     if s + 1 == nstages {
                         self.complete(pkt);
@@ -365,22 +488,34 @@ impl PipelineSim {
         std::mem::take(&mut self.out)
     }
 
-    fn complete(&mut self, pkt: InFlight) {
-        let action = match (pkt.state.faulted, pkt.state.action) {
+    fn complete(&mut self, pkt: Box<InFlight>) {
+        let InFlight { seq, injected_cycle, mut state, checkpoints, resume, .. } = *pkt;
+        for (_, b) in checkpoints {
+            self.pool.recycle(b);
+        }
+        if let Some((_, b)) = resume {
+            self.pool.recycle(b);
+        }
+        let action = match (state.faulted, state.action) {
             (true, _) => XdpAction::Drop,
             (false, Some(a)) => a,
             (false, None) => XdpAction::Aborted,
         };
-        if pkt.state.faulted {
+        if state.faulted {
             self.counters.bounds_faults += 1;
         }
-        let latency_cycles = self.cycle - pkt.injected_cycle;
+        let latency_cycles = self.cycle - injected_cycle;
         self.counters.completed += 1;
+        // Hand the in-flight buffer itself to the outcome instead of
+        // copying the payload out of it.
+        let mut packet = std::mem::take(&mut state.buf);
+        packet.truncate(state.end_off);
+        packet.drain(..state.data_off);
         self.out.push(SimOutcome {
-            seq: pkt.seq,
+            seq,
             action,
-            redirect_ifindex: if action == XdpAction::Redirect { pkt.state.redirect } else { None },
-            packet: pkt.state.buf[pkt.state.data_off..pkt.state.end_off].to_vec(),
+            redirect_ifindex: if action == XdpAction::Redirect { state.redirect } else { None },
+            packet,
             latency_cycles,
             latency_ns: latency_cycles as f64 * CLOCK_NS + self.options.shell_latency_ns,
         });
@@ -404,20 +539,20 @@ impl PipelineSim {
         }
         self.counters.flushes += 1;
         self.counters.flush_replays += replay.len() as u64;
-        if std::env::var_os("EHDL_SIM_DEBUG").is_some() {
+        if self.debug_trace {
             eprintln!("[sim {}] flush boundary={boundary} read_stage={read_stage} trigger={trigger:?}", self.cycle);
         }
         // Re-inject in original order at the queue front.
         for mut pkt in replay.into_iter().rev() {
             let stale = match &trigger {
-                Some((m, k)) => pkt.state.map_reads[*m as usize].iter().any(|x| x == k),
+                Some((m, k)) => pkt.state.map_reads.iter().any(|(pm, pk)| pm == m && pk == k),
                 None => false,
             };
             let limit = if stale { read_stage } else { usize::MAX };
-            if std::env::var_os("EHDL_SIM_DEBUG").is_some() {
+            if self.debug_trace {
                 eprintln!("  replay seq{} stale={stale} ckpts={:?}", pkt.seq, pkt.checkpoints.iter().map(|(s,_)| *s).collect::<Vec<_>>());
             }
-            pkt.reset_for_replay(limit, self.design.blocks.len(), self.design.maps.len());
+            pkt.reset_for_replay(limit, &mut self.pool);
             self.counters.injected = self.counters.injected.saturating_sub(1);
             self.rx.push_front(pkt);
         }
@@ -506,74 +641,71 @@ impl PipelineSim {
     /// of its instructions were optimized away) yet still routes control
     /// to its successors.
     fn block_enabled(&self, pkt: &mut PacketState, block: usize) -> bool {
-        if let Some(e) = pkt.enabled[block] {
+        if let Some(e) = pkt.enabled.get(block) {
             return e;
         }
         let e = if block == 0 {
             true
         } else {
-            let preds = self.design.blocks[block].preds.clone();
-            preds.iter().any(|&(p, cond)| {
+            self.plan.preds_of(block).iter().any(|&(p, cond)| {
+                let p = p as usize;
                 self.block_enabled(pkt, p)
                     && match cond {
                         EdgeCond::Always => true,
-                        EdgeCond::IfTaken => pkt.taken[p] == Some(true),
-                        EdgeCond::IfNotTaken => pkt.taken[p] == Some(false),
+                        EdgeCond::IfTaken => pkt.taken.get(p) == Some(true),
+                        EdgeCond::IfNotTaken => pkt.taken.get(p) == Some(false),
                     }
             })
         };
-        pkt.enabled[block] = Some(e);
+        pkt.enabled.set(block, e);
         e
     }
 
-    fn exec_stage(&mut self, s: usize, pkt: &mut InFlight) -> StageResult {
+    fn exec_stage(&mut self, s: usize, pkt: &mut InFlight, plan: &ExecPlan) -> StageResult {
         // Flush-replay fast path: skip until the checkpointed stage.
         if let Some((resume_stage, _)) = pkt.resume {
             if s < resume_stage {
                 return StageResult::Ok;
             }
-            let (_, snap) = pkt.resume.take().expect("resume checked above");
-            pkt.state = *snap;
+            let (_, mut snap) = pkt.resume.take().expect("resume checked above");
+            std::mem::swap(&mut pkt.state, &mut *snap);
+            self.pool.recycle(snap);
         }
 
-        let stage = &self.design.stages[s];
-        let block = stage.block;
-        if stage.ops.is_empty() {
+        let block = plan.stage_block(s);
+        let ops = plan.stage_ops(s);
+        if ops.is_empty() {
             // Frame-wait / helper-latency stages forward state.
             return StageResult::Ok;
         }
-        let mut state = std::mem::replace(&mut pkt.state, PacketState::placeholder());
-        if state.faulted || !self.block_enabled(&mut state, block) {
+        if pkt.state.faulted || !self.block_enabled(&mut pkt.state, block) {
             self.stage_disabled[s] += 1;
-            pkt.state = state;
             return StageResult::Ok;
         }
         self.stage_enabled[s] += 1;
         // Implicit length guards from elided bounds checks (§4.4): the
         // frame interface drops packets shorter than the guarded length.
-        let pkt_len = (state.end_off - state.data_off) as i64;
-        for &(gb, min_len) in &self.design.guards {
-            if gb == block && pkt_len < min_len {
-                state.faulted = true;
-                pkt.state = state;
-                return StageResult::Ok;
-            }
+        let pkt_len = (pkt.state.end_off - pkt.state.data_off) as i64;
+        if pkt_len < plan.guard_min_len(block) {
+            pkt.state.faulted = true;
+            return StageResult::Ok;
         }
 
         // Two-phase execution: every op reads the incoming state; writes
-        // land in `delta` and commit together at the stage boundary.
-        let mut delta = Delta::default();
+        // land in `delta` (the recycled scratch write set) and commit
+        // together at the stage boundary.
+        let mut delta = self.scratch.take().expect("scratch delta available");
         let mut result = StageResult::Ok;
-        let ops = self.design.stages[s].ops.clone();
-        for op in &ops {
-            match self.exec_op(s, op, pkt.seq, &state, &mut delta) {
+        for op in ops {
+            match self.exec_op(s, op, pkt.seq, &pkt.state, &mut delta) {
                 Ok(()) => {}
                 Err(OpAbort::Fault) => {
                     delta.fault = true;
                     break;
                 }
                 Err(OpAbort::FlushSelf) => {
-                    pkt.state = state;
+                    delta.clear();
+                    self.scratch = Some(delta);
                     return StageResult::FlushSelf;
                 }
             }
@@ -581,15 +713,17 @@ impl PipelineSim {
         if let Some((map, key, read_stage)) = delta.flush_below.take() {
             result = StageResult::FlushBelow { boundary: s, read_stage, map, key };
         }
-        delta.apply(&mut state, block);
+        delta.apply(&mut pkt.state, block);
 
         let had_side_effect = delta.side_effect;
-        pkt.state = state;
+        delta.clear();
+        self.scratch = Some(delta);
         if had_side_effect {
             // Checkpoint after this stage (App. A.2 elastic buffer): a
             // flush rolling back to a point at or after it resumes here
             // instead of replaying the committed side effect.
-            pkt.checkpoints.push((s + 1, Box::new(pkt.state.clone())));
+            let snap = self.pool.snapshot(&pkt.state);
+            pkt.checkpoints.push((s + 1, snap));
         }
         result
     }
@@ -681,15 +815,17 @@ impl PipelineSim {
             decode_map_value_addr(addr, |m| self.maps.get(m).map(|x| x.def().value_stride()))
         {
             self.forward_own_writes(map_id, seq);
-            let key = self.maps.get(map_id).ok_or(OpAbort::Fault)?.key_of(slot).to_vec();
-            if self.stale_risk(map_id, seq, &key) {
-                return Err(OpAbort::FlushSelf);
-            }
             let n = size.bytes();
-            let map = self.maps.get_mut(map_id).ok_or(OpAbort::Fault)?;
-            if off + n > map.def().value_size as usize {
-                return Err(OpAbort::Fault);
+            {
+                let map = self.maps.get(map_id).ok_or(OpAbort::Fault)?;
+                if self.stale_risk(map_id, seq, map.key_of(slot)) {
+                    return Err(OpAbort::FlushSelf);
+                }
+                if off + n > map.def().value_size as usize {
+                    return Err(OpAbort::Fault);
+                }
             }
+            let map = self.maps.get_mut(map_id).expect("map checked above");
             let mut cur = [0u8; 8];
             cur[..n].copy_from_slice(&map.value(slot)[off..off + n]);
             let old = u64::from_le_bytes(cur);
@@ -697,7 +833,7 @@ impl PipelineSim {
             let bytes = new.to_le_bytes();
             map.value_mut(slot)[off..off + n].copy_from_slice(&bytes[..n]);
             delta.side_effect = true;
-            if std::env::var_os("EHDL_SIM_DEBUG").is_some() {
+            if self.debug_trace {
                 eprintln!("[sim {}] atomic map{map_id} slot{slot} seq{seq} old={old}", self.cycle);
             }
             Ok(old)
@@ -724,33 +860,40 @@ impl PipelineSim {
         let r0 = match helper {
             BPF_MAP_LOOKUP_ELEM => {
                 let map_id = map_handle(regs[1]).ok_or(OpAbort::Fault)?;
-                let def = self.maps.get(map_id).ok_or(OpAbort::Fault)?.def().clone();
-                let key = self.read_bytes(state, seq, regs[2], def.key_size as usize)?;
-                self.forward_own_writes(map_id, seq);
-                if self.stale_risk(map_id, seq, &key) {
-                    return Err(OpAbort::FlushSelf);
-                }
-                delta.record_read(map_id, key.clone());
-                let map = self.maps.get_mut(map_id).expect("map exists");
-                match map.lookup(&key).ok().flatten() {
-                    Some(slot) => map_value_addr(map_id, slot, def.value_stride()),
-                    None => 0,
-                }
+                let (key_size, stride) = {
+                    let m = self.maps.get(map_id).ok_or(OpAbort::Fault)?;
+                    (m.def().key_size as usize, m.def().value_stride())
+                };
+                // The key lands in a recycled buffer; the only per-lookup
+                // allocation left is the unconfirmed-read record.
+                let mut key = std::mem::take(&mut self.scratch_key);
+                key.clear();
+                key.resize(key_size, 0);
+                let r = self.lookup_with_key(map_id, stride, seq, state, regs[2], &mut key, delta);
+                key.clear();
+                self.scratch_key = key;
+                r?
             }
             BPF_MAP_UPDATE_ELEM | BPF_MAP_DELETE_ELEM => {
                 let map_id = map_handle(regs[1]).ok_or(OpAbort::Fault)?;
-                let def = self.maps.get(map_id).ok_or(OpAbort::Fault)?.def().clone();
-                let key = self.read_bytes(state, seq, regs[2], def.key_size as usize)?;
-                let kind = if helper == BPF_MAP_UPDATE_ELEM {
-                    let value = self.read_bytes(state, seq, regs[3], def.value_size as usize)?;
-                    let flags = UpdateFlags::from_raw(regs[4]).unwrap_or(UpdateFlags::Any);
-                    WriteKind::Update { key: key.clone(), value, flags }
-                } else {
-                    WriteKind::Delete { key: key.clone() }
+                let (key_size, value_size) = {
+                    let m = self.maps.get(map_id).ok_or(OpAbort::Fault)?;
+                    (m.def().key_size as usize, m.def().value_size as usize)
                 };
+                let mut key = vec![0u8; key_size];
+                self.read_into(state, seq, regs[2], &mut key)?;
                 // FEB: compare the write key against unconfirmed reads of
                 // younger in-flight packets (§4.1.2).
                 let hazard = self.younger_read_matches(stage_idx, map_id, &key);
+                let flush_key = hazard.then(|| key.clone());
+                let kind = if helper == BPF_MAP_UPDATE_ELEM {
+                    let mut value = vec![0u8; value_size];
+                    self.read_into(state, seq, regs[3], &mut value)?;
+                    let flags = UpdateFlags::from_raw(regs[4]).unwrap_or(UpdateFlags::Any);
+                    WriteKind::Update { key, value, flags }
+                } else {
+                    WriteKind::Delete { key }
+                };
                 let delay = self.war_delay.get(&(map_id, stage_idx)).copied().unwrap_or(0);
                 let w = PendingWrite {
                     commit_cycle: self.cycle + delay,
@@ -764,9 +907,9 @@ impl PipelineSim {
                     self.pending_writes.push(w);
                 }
                 delta.side_effect = true;
-                if hazard {
+                if let Some(k) = flush_key {
                     delta.flush_below =
-                        Some((map_id, key.clone(), self.feb_read_stage(map_id, stage_idx)));
+                        Some((map_id, k, self.feb_read_stage(map_id, stage_idx)));
                 }
                 0
             }
@@ -801,22 +944,19 @@ impl PipelineSim {
                 let from_size = regs[2] as usize;
                 let to_size = regs[4] as usize;
                 let mut sum = regs[5] as i64;
-                if from_size > 0 {
-                    let from = self.read_bytes(state, seq, regs[1], from_size)?;
-                    for wds in from.chunks(4) {
-                        let mut b = [0u8; 4];
-                        b[..wds.len()].copy_from_slice(wds);
-                        sum -= i64::from(u32::from_le_bytes(b));
+                let mut buf = std::mem::take(&mut self.scratch_val);
+                let r = (|| {
+                    if from_size > 0 {
+                        sum -= self.csum_block(state, seq, regs[1], from_size, &mut buf)?;
                     }
-                }
-                if to_size > 0 {
-                    let to = self.read_bytes(state, seq, regs[3], to_size)?;
-                    for wds in to.chunks(4) {
-                        let mut b = [0u8; 4];
-                        b[..wds.len()].copy_from_slice(wds);
-                        sum += i64::from(u32::from_le_bytes(b));
+                    if to_size > 0 {
+                        sum += self.csum_block(state, seq, regs[3], to_size, &mut buf)?;
                     }
-                }
+                    Ok(())
+                })();
+                buf.clear();
+                self.scratch_val = buf;
+                r?;
                 (sum as u64) & 0xffff_ffff
             }
             _ => return Err(OpAbort::Fault),
@@ -851,6 +991,9 @@ impl PipelineSim {
                 *sb = 0xDD;
             }
         }
+        // Poison breaks the zero-below-watermark invariant; snapshots of
+        // this packet must copy the full stack from now on.
+        pkt.state.stack_lo = 0;
     }
 
     /// The protected read stage of the FEB guarding (`map`, `write_stage`).
@@ -871,7 +1014,7 @@ impl PipelineSim {
         self.slots[..write_stage]
             .iter()
             .flatten()
-            .any(|p| p.state.map_reads[map as usize].iter().any(|k| k == key))
+            .any(|p| p.state.map_reads.iter().any(|&(m, ref k)| m == map && k == key))
     }
 
     fn mem_read(
@@ -890,30 +1033,34 @@ impl PipelineSim {
             };
             return Ok(v & mask_for(size));
         }
-        let bytes = self.read_bytes(state, seq, addr, n)?;
         let mut v = [0u8; 8];
-        v[..n].copy_from_slice(&bytes);
+        self.read_into(state, seq, addr, &mut v[..n])?;
         Ok(u64::from_le_bytes(v))
     }
 
-    fn read_bytes(
+    /// Read `out.len()` bytes at `addr` into `out` (no allocation; the
+    /// whole slice is overwritten on success).
+    fn read_into(
         &mut self,
         state: &PacketState,
         seq: u64,
         addr: u64,
-        n: usize,
-    ) -> Result<Vec<u8>, OpAbort> {
-        if addr >= PACKET_BASE && addr < STACK_BASE {
+        out: &mut [u8],
+    ) -> Result<(), OpAbort> {
+        let n = out.len();
+        if (PACKET_BASE..STACK_BASE).contains(&addr) {
             let off = (addr - PACKET_BASE) as usize;
             if off >= state.data_off && off + n <= state.end_off {
-                return Ok(state.buf[off..off + n].to_vec());
+                out.copy_from_slice(&state.buf[off..off + n]);
+                return Ok(());
             }
             return Err(OpAbort::Fault);
         }
-        if addr >= STACK_BASE && addr < STACK_TOP {
+        if (STACK_BASE..STACK_TOP).contains(&addr) {
             let off = (addr - STACK_BASE) as usize;
             if off + n <= STACK_SIZE as usize {
-                return Ok(state.stack[off..off + n].to_vec());
+                out.copy_from_slice(&state.stack[off..off + n]);
+                return Ok(());
             }
             return Err(OpAbort::Fault);
         }
@@ -925,15 +1072,64 @@ impl PipelineSim {
             if off + n > map.def().value_size as usize {
                 return Err(OpAbort::Fault);
             }
-            let key = map.key_of(slot).to_vec();
-            if self.stale_risk(map_id, seq, &key) {
+            if self.stale_risk(map_id, seq, map.key_of(slot)) {
                 return Err(OpAbort::FlushSelf);
             }
-            return Ok(map.value(slot)[off..off + n].to_vec());
+            out.copy_from_slice(&map.value(slot)[off..off + n]);
+            return Ok(());
         }
         Err(OpAbort::Fault)
     }
 
+    /// Lookup body, split out so the recycled key buffer is restored on
+    /// every exit path.
+    #[allow(clippy::too_many_arguments)]
+    fn lookup_with_key(
+        &mut self,
+        map_id: u32,
+        stride: u32,
+        seq: u64,
+        state: &PacketState,
+        key_addr: u64,
+        key: &mut [u8],
+        delta: &mut Delta,
+    ) -> Result<u64, OpAbort> {
+        self.read_into(state, seq, key_addr, key)?;
+        self.forward_own_writes(map_id, seq);
+        if self.stale_risk(map_id, seq, key) {
+            return Err(OpAbort::FlushSelf);
+        }
+        delta.record_read(map_id, key.to_vec());
+        let map = self.maps.get_mut(map_id).expect("map exists");
+        Ok(match map.lookup(key).ok().flatten() {
+            Some(slot) => map_value_addr(map_id, slot, stride),
+            None => 0,
+        })
+    }
+
+    /// Sum `len` bytes at `addr` as little-endian u32 words (the
+    /// `bpf_csum_diff` accumulation), via the recycled scratch buffer.
+    fn csum_block(
+        &mut self,
+        state: &PacketState,
+        seq: u64,
+        addr: u64,
+        len: usize,
+        buf: &mut Vec<u8>,
+    ) -> Result<i64, OpAbort> {
+        buf.clear();
+        buf.resize(len, 0);
+        self.read_into(state, seq, addr, buf)?;
+        let mut sum = 0i64;
+        for wds in buf.chunks(4) {
+            let mut b = [0u8; 4];
+            b[..wds.len()].copy_from_slice(wds);
+            sum += i64::from(u32::from_le_bytes(b));
+        }
+        Ok(sum)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn mem_write(
         &mut self,
         stage_idx: usize,
@@ -952,8 +1148,10 @@ impl PipelineSim {
             if off + n > map.def().value_size as usize {
                 return Err(OpAbort::Fault);
             }
-            let key = map.key_of(slot).to_vec();
-            let hazard = self.younger_read_matches(stage_idx, map_id, &key);
+            // Only a fired hazard needs an owned copy of the key.
+            let flush_key = self
+                .younger_read_matches(stage_idx, map_id, map.key_of(slot))
+                .then(|| map.key_of(slot).to_vec());
             let delay = self.war_delay.get(&(map_id, stage_idx)).copied().unwrap_or(0);
             let w = PendingWrite {
                 commit_cycle: self.cycle + delay,
@@ -967,7 +1165,7 @@ impl PipelineSim {
                 self.pending_writes.push(w);
             }
             delta.side_effect = true;
-            if hazard {
+            if let Some(key) = flush_key {
                 delta.flush_below = Some((map_id, key, self.feb_read_stage(map_id, stage_idx)));
             }
             return Ok(());
@@ -984,7 +1182,7 @@ impl PipelineSim {
         delta: &mut Delta,
     ) -> Result<(), OpAbort> {
         let n = size.bytes();
-        if addr >= PACKET_BASE && addr < STACK_BASE {
+        if (PACKET_BASE..STACK_BASE).contains(&addr) {
             let off = (addr - PACKET_BASE) as usize;
             if off >= state.data_off && off + n <= state.end_off {
                 delta.pkt_writes.push((off, size, value));
@@ -992,7 +1190,7 @@ impl PipelineSim {
             }
             return Err(OpAbort::Fault);
         }
-        if addr >= STACK_BASE && addr < STACK_TOP {
+        if (STACK_BASE..STACK_TOP).contains(&addr) {
             let off = (addr - STACK_BASE) as usize;
             if off + n <= STACK_SIZE as usize {
                 delta.stack_writes.push((off, size, value));
@@ -1035,19 +1233,67 @@ fn map_handle(v: u64) -> Option<u32> {
 }
 
 impl PacketState {
-    fn placeholder() -> PacketState {
-        PacketState {
-            buf: Vec::new(),
-            data_off: 0,
-            end_off: 0,
-            regs: [0; 11],
-            stack: [0; STACK_SIZE as usize],
-            enabled: Vec::new(),
-            taken: Vec::new(),
-            action: None,
-            redirect: None,
-            faulted: false,
-            map_reads: Vec::new(),
+    /// Reinitialize in place to injection-fresh state for `orig`,
+    /// keeping every allocation.
+    fn reset(&mut self, orig: &[u8], words: usize) {
+        self.buf.clear();
+        self.buf.resize(XDP_HEADROOM + orig.len(), 0);
+        self.buf[XDP_HEADROOM..].copy_from_slice(orig);
+        self.data_off = XDP_HEADROOM;
+        self.end_off = self.buf.len();
+        self.buf_lo = XDP_HEADROOM;
+        self.regs = [0; 11];
+        self.regs[1] = CTX_BASE;
+        self.regs[10] = STACK_TOP;
+        // Only [stack_lo..] can be dirty; re-zero it and the watermark.
+        self.stack[self.stack_lo..].fill(0);
+        self.stack_lo = STACK_SIZE as usize;
+        self.enabled.clear_words(words);
+        self.taken.clear_words(words);
+        self.action = None;
+        self.redirect = None;
+        self.faulted = false;
+        self.map_reads.clear();
+    }
+
+    /// Field-wise `clone_from` that reuses this state's buffers (the
+    /// derived `Clone::clone_from` would allocate fresh `Vec`s) and skips
+    /// the clean regions below the dirty watermarks: bytes under
+    /// `buf_lo` / `stack_lo` are zero on both sides by invariant, so a
+    /// snapshot copies the packet tail and the touched stack bytes, not
+    /// the whole 512-byte frame and headroom.
+    fn assign_from(&mut self, src: &PacketState, words: usize) {
+        let n = src.buf.len();
+        if self.buf.len() != n {
+            self.buf.clear();
+            self.buf.resize(n, 0);
+            self.buf_lo = 0; // everything in dst is (zero-)clean now
+        }
+        let lo = src.buf_lo.min(n);
+        let zero_from = self.buf_lo.min(lo);
+        self.buf[zero_from..lo].fill(0);
+        self.buf[lo..].copy_from_slice(&src.buf[lo..]);
+        self.buf_lo = src.buf_lo;
+        self.data_off = src.data_off;
+        self.end_off = src.end_off;
+        self.regs = src.regs;
+        let slo = src.stack_lo;
+        self.stack[self.stack_lo.min(slo)..slo].fill(0);
+        self.stack[slo..].copy_from_slice(&src.stack[slo..]);
+        self.stack_lo = slo;
+        self.enabled.assign_words(&src.enabled, words);
+        self.taken.assign_words(&src.taken, words);
+        self.action = src.action;
+        self.redirect = src.redirect;
+        self.faulted = src.faulted;
+        self.map_reads.truncate(src.map_reads.len());
+        let have = self.map_reads.len();
+        for (dst, s) in self.map_reads.iter_mut().zip(&src.map_reads) {
+            dst.0 = s.0;
+            dst.1.clone_from(&s.1);
+        }
+        for s in &src.map_reads[have..] {
+            self.map_reads.push((s.0, s.1.clone()));
         }
     }
 }
@@ -1056,38 +1302,25 @@ impl InFlight {
     /// Prepare for re-execution after a flush: resume from the latest
     /// checkpoint whose stage does not exceed `limit` (stale readers pass
     /// their hazard's read stage; innocents pass `usize::MAX`).
-    fn reset_for_replay(&mut self, limit: usize, nblocks: usize, nmaps: usize) {
-        self.checkpoints.retain(|(s, _)| *s <= limit);
+    fn reset_for_replay(&mut self, limit: usize, pool: &mut StatePool) {
+        while self.checkpoints.last().is_some_and(|(s, _)| *s > limit) {
+            let (_, b) = self.checkpoints.pop().expect("non-empty: last() was Some");
+            pool.recycle(b);
+        }
+        if let Some((_, b)) = self.resume.take() {
+            pool.recycle(b);
+        }
         if let Some((stage, snap)) = self.checkpoints.last() {
-            self.resume = Some((*stage, snap.clone()));
+            self.resume = Some((*stage, pool.snapshot(snap)));
             // State fields are don't-care until the resume point.
             return;
         }
-        let mut buf = vec![0u8; XDP_HEADROOM + self.orig.len()];
-        buf[XDP_HEADROOM..].copy_from_slice(&self.orig);
-        let end_off = buf.len();
-        let mut regs = [0u64; 11];
-        regs[1] = CTX_BASE;
-        regs[10] = STACK_TOP;
-        self.state = PacketState {
-            buf,
-            data_off: XDP_HEADROOM,
-            end_off,
-            regs,
-            stack: [0; STACK_SIZE as usize],
-            enabled: vec![None; nblocks],
-            taken: vec![None; nblocks],
-            action: None,
-            redirect: None,
-            faulted: false,
-            map_reads: vec![Vec::new(); nmaps],
-        };
-        self.resume = None;
+        self.state.reset(&self.orig, pool.words);
     }
 }
 
 /// Pending writes of one stage, applied at the boundary (two-phase).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct Delta {
     regs: Vec<(u8, u64)>,
     pkt_writes: Vec<(usize, MemSize, u64)>,
@@ -1112,6 +1345,22 @@ impl Delta {
         self.map_read_records.push((map, key));
     }
 
+    /// Reset to the empty write set, keeping buffer capacity.
+    fn clear(&mut self) {
+        self.regs.clear();
+        self.pkt_writes.clear();
+        self.stack_writes.clear();
+        self.taken = None;
+        self.action = None;
+        self.redirect = None;
+        self.new_data_off = None;
+        self.new_end_off = None;
+        self.map_read_records.clear();
+        self.side_effect = false;
+        self.flush_below = None;
+        self.fault = false;
+    }
+
     fn apply(&mut self, state: &mut PacketState, block: usize) {
         for &(r, v) in &self.regs {
             state.regs[r as usize] = v;
@@ -1123,9 +1372,10 @@ impl Delta {
         for &(off, size, v) in &self.stack_writes {
             let n = size.bytes();
             state.stack[off..off + n].copy_from_slice(&v.to_le_bytes()[..n]);
+            state.stack_lo = state.stack_lo.min(off);
         }
         if let Some(t) = self.taken {
-            state.taken[block] = Some(t);
+            state.taken.set(block, t);
         }
         if self.action.is_some() {
             state.action = self.action;
@@ -1135,12 +1385,13 @@ impl Delta {
         }
         if let Some(off) = self.new_data_off {
             state.data_off = off;
+            state.buf_lo = state.buf_lo.min(off);
         }
         if let Some(off) = self.new_end_off {
             state.end_off = off;
         }
         for (m, key) in self.map_read_records.drain(..) {
-            state.map_reads[m as usize].push(key);
+            state.map_reads.push((m, key));
         }
         if self.fault {
             state.faulted = true;

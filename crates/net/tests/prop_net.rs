@@ -1,39 +1,75 @@
-//! Property tests on the packet substrate: header round trips, checksum
-//! laws, and builder/parser agreement.
+//! Randomized property tests on the packet substrate: header round trips,
+//! checksum laws, and builder/parser agreement.
+//!
+//! Formerly proptest-based; rewritten as deterministic seeded campaigns so
+//! the workspace builds without crates.io access. Each test draws 256
+//! random cases from a fixed seed, so failures reproduce exactly.
 
 use ehdl_net::checksum::{fold, incremental_update, internet_checksum, sum};
 use ehdl_net::headers::{EthHeader, Ipv4Header, TcpHeader, UdpHeader};
 use ehdl_net::{FiveTuple, PacketBuilder, ETH_HLEN, IPPROTO_TCP, IPPROTO_UDP, IPV4_HLEN};
-use proptest::prelude::*;
+use ehdl_rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const CASES: usize = 256;
 
-    #[test]
-    fn eth_roundtrip(dst in any::<[u8; 6]>(), src in any::<[u8; 6]>(), ty in any::<u16>()) {
-        let h = EthHeader { dst, src, ethertype: ty };
-        prop_assert_eq!(EthHeader::parse(&h.to_bytes()), Some(h));
+fn bytes(rng: &mut Rng, len: usize) -> Vec<u8> {
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+#[test]
+fn eth_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xe7e0);
+    for _ in 0..CASES {
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        rng.fill_bytes(&mut dst);
+        rng.fill_bytes(&mut src);
+        let h = EthHeader { dst, src, ethertype: rng.gen_u16() };
+        assert_eq!(EthHeader::parse(&h.to_bytes()), Some(h));
     }
+}
 
-    #[test]
-    fn ipv4_roundtrip(src in any::<[u8; 4]>(), dst in any::<[u8; 4]>(), proto in any::<u8>(),
-                      ttl in any::<u8>(), len in any::<u16>(), csum in any::<u16>()) {
-        let h = Ipv4Header { src, dst, proto, ttl, tot_len: len, checksum: csum };
-        prop_assert_eq!(Ipv4Header::parse(&h.to_bytes()), Some(h));
+#[test]
+fn ipv4_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x1b40);
+    for _ in 0..CASES {
+        let mut src = [0u8; 4];
+        let mut dst = [0u8; 4];
+        rng.fill_bytes(&mut src);
+        rng.fill_bytes(&mut dst);
+        let h = Ipv4Header {
+            src,
+            dst,
+            proto: rng.gen_u8(),
+            ttl: rng.gen_u8(),
+            tot_len: rng.gen_u16(),
+            checksum: rng.gen_u16(),
+        };
+        assert_eq!(Ipv4Header::parse(&h.to_bytes()), Some(h));
     }
+}
 
-    #[test]
-    fn udp_tcp_roundtrip(sport in any::<u16>(), dport in any::<u16>(), x in any::<u16>()) {
+#[test]
+fn udp_tcp_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x0d97);
+    for _ in 0..CASES {
+        let (sport, dport, x) = (rng.gen_u16(), rng.gen_u16(), rng.gen_u16());
         let u = UdpHeader { sport, dport, len: x, checksum: !x };
-        prop_assert_eq!(UdpHeader::parse(&u.to_bytes()), Some(u));
+        assert_eq!(UdpHeader::parse(&u.to_bytes()), Some(u));
         let t = TcpHeader { sport, dport, seq: u32::from(x), ack: 7, flags: 0x12, window: x };
-        prop_assert_eq!(TcpHeader::parse(&t.to_bytes()), Some(t));
+        assert_eq!(TcpHeader::parse(&t.to_bytes()), Some(t));
     }
+}
 
-    /// Filling in the computed checksum always verifies to zero.
-    #[test]
-    fn checksum_self_verifies(data in prop::collection::vec(any::<u8>(), 2..64)) {
-        let mut d = data;
+/// Filling in the computed checksum always verifies to zero.
+#[test]
+fn checksum_self_verifies() {
+    let mut rng = Rng::seed_from_u64(0xc5e1);
+    for _ in 0..CASES {
+        let len = rng.gen_range_u64(2, 63) as usize;
+        let mut d = bytes(&mut rng, len);
         if d.len() % 2 == 1 {
             d.push(0);
         }
@@ -42,20 +78,25 @@ proptest! {
         d[1] = 0;
         let c = internet_checksum(&d);
         d[0..2].copy_from_slice(&c.to_be_bytes());
-        prop_assert_eq!(internet_checksum(&d), 0);
+        assert_eq!(internet_checksum(&d), 0);
     }
+}
 
-    /// The RFC 1624 incremental form agrees with full recomputation for
-    /// any single 16-bit word change.
-    #[test]
-    fn incremental_checksum_agrees(words in prop::collection::vec(any::<u16>(), 4..20),
-                                   idx in 1usize..4, newv in any::<u16>()) {
-        let mut bytes: Vec<u8> = words.iter().flat_map(|w| w.to_be_bytes()).collect();
+/// The RFC 1624 incremental form agrees with full recomputation for any
+/// single 16-bit word change.
+#[test]
+fn incremental_checksum_agrees() {
+    let mut rng = Rng::seed_from_u64(0x16c4);
+    for _ in 0..CASES {
+        let nwords = rng.gen_range_u64(4, 19) as usize;
+        let mut bytes: Vec<u8> = (0..nwords).flat_map(|_| rng.gen_u16().to_be_bytes()).collect();
         bytes[0] = 0;
         bytes[1] = 0;
         let c0 = internet_checksum(&bytes);
         bytes[0..2].copy_from_slice(&c0.to_be_bytes());
 
+        let idx = rng.gen_range_u64(1, 3) as usize;
+        let newv = rng.gen_u16();
         let off = idx * 2;
         let old = u16::from_be_bytes([bytes[off], bytes[off + 1]]);
         bytes[off..off + 2].copy_from_slice(&newv.to_be_bytes());
@@ -64,41 +105,55 @@ proptest! {
         bytes[0] = 0;
         bytes[1] = 0;
         let full = internet_checksum(&bytes);
-        prop_assert_eq!(inc, full);
+        assert_eq!(inc, full);
     }
+}
 
-    /// `sum` is invariant under 2-byte-aligned concatenation splits.
-    #[test]
-    fn sum_is_additive(a in prop::collection::vec(any::<u8>(), 0..32),
-                       b in prop::collection::vec(any::<u8>(), 0..32)) {
-        let mut a = a;
+/// `sum` is invariant under 2-byte-aligned concatenation splits.
+#[test]
+fn sum_is_additive() {
+    let mut rng = Rng::seed_from_u64(0xadd1);
+    for _ in 0..CASES {
+        let alen = rng.gen_range_u64(0, 31) as usize;
+        let mut a = bytes(&mut rng, alen);
+        let blen = rng.gen_range_u64(0, 31) as usize;
+        let b = bytes(&mut rng, blen);
         if a.len() % 2 == 1 {
             a.push(0);
         }
         let mut ab = a.clone();
         ab.extend_from_slice(&b);
-        prop_assert_eq!(fold(sum(&ab)), fold(sum(&a).wrapping_add(sum(&b))));
+        assert_eq!(fold(sum(&ab)), fold(sum(&a).wrapping_add(sum(&b))));
     }
+}
 
-    /// Builder output is parseable and consistent for any UDP/TCP flow.
-    #[test]
-    fn builder_parser_agree(saddr in any::<[u8; 4]>(), daddr in any::<[u8; 4]>(),
-                            sport in any::<u16>(), dport in any::<u16>(), tcp in any::<bool>(),
-                            extra in 0usize..64) {
+/// Builder output is parseable and consistent for any UDP/TCP flow.
+#[test]
+fn builder_parser_agree() {
+    let mut rng = Rng::seed_from_u64(0xb01d);
+    for _ in 0..CASES {
+        let mut saddr = [0u8; 4];
+        let mut daddr = [0u8; 4];
+        rng.fill_bytes(&mut saddr);
+        rng.fill_bytes(&mut daddr);
+        let (sport, dport) = (rng.gen_u16(), rng.gen_u16());
+        let tcp = rng.gen_bool();
+        let extra = rng.gen_range_u64(0, 63) as usize;
+
         let proto = if tcp { IPPROTO_TCP } else { IPPROTO_UDP };
         let b = PacketBuilder::new().eth([1; 6], [2; 6]).ipv4(saddr, daddr, proto);
         let b = if tcp { b.tcp(sport, dport, 0x10) } else { b.udp(sport, dport) };
         let pkt = b.payload_len(extra).build();
-        prop_assert!(pkt.len() >= 64);
+        assert!(pkt.len() >= 64);
         // The IPv4 header checksums to zero.
-        prop_assert_eq!(internet_checksum(&pkt[ETH_HLEN..ETH_HLEN + IPV4_HLEN]), 0);
+        assert_eq!(internet_checksum(&pkt[ETH_HLEN..ETH_HLEN + IPV4_HLEN]), 0);
         // The flow parses back exactly.
         let ft = FiveTuple::parse(&pkt).expect("ipv4 l4 packet");
-        prop_assert_eq!(ft, FiveTuple { saddr, daddr, sport, dport, proto });
+        assert_eq!(ft, FiveTuple { saddr, daddr, sport, dport, proto });
         // Reversal round-trips.
-        prop_assert_eq!(ft.reversed().reversed(), ft);
+        assert_eq!(ft.reversed().reversed(), ft);
         // The map key embeds ports big-endian.
         let key = ft.to_key();
-        prop_assert_eq!(u16::from_be_bytes([key[8], key[9]]), sport);
+        assert_eq!(u16::from_be_bytes([key[8], key[9]]), sport);
     }
 }

@@ -44,7 +44,7 @@ pub fn program() -> Program {
     common::prologue(&mut a);
     common::bounds_check(&mut a, 42, drop);
     common::load_ethertype(&mut a, 2);
-    a.jmp_imm(JmpOp::Jne, 2, i32::from(ETH_P_IP as u16), pass);
+    a.jmp_imm(JmpOp::Jne, 2, i32::from(ETH_P_IP), pass);
     a.load(MemSize::B, 2, common::PKT, 23);
     a.jmp_imm(JmpOp::Jne, 2, i32::from(IPPROTO_UDP), pass);
 

@@ -53,7 +53,7 @@ pub fn program() -> Program {
     // Need Eth + IPv4 + UDP headers.
     common::bounds_check(&mut a, 42, short);
     common::load_ethertype(&mut a, 2);
-    a.jmp_imm(JmpOp::Jne, 2, i32::from(ETH_P_IP as u16), pass);
+    a.jmp_imm(JmpOp::Jne, 2, i32::from(ETH_P_IP), pass);
     a.load(MemSize::B, 2, PKT, 23);
     a.jmp_imm(JmpOp::Jne, 2, i32::from(IPPROTO_UDP), pass);
 

@@ -80,9 +80,9 @@ pub fn program() -> Program {
     common::prologue(&mut a);
     common::bounds_check(&mut a, 14, short);
     common::load_ethertype(&mut a, 2);
-    a.jmp_imm(JmpOp::Jeq, 2, i32::from(ETH_P_8021Q as u16), vlan);
-    a.jmp_imm(JmpOp::Jeq, 2, i32::from(ETH_P_IP as u16), v4_plain);
-    a.jmp_imm(JmpOp::Jeq, 2, i32::from(ETH_P_IPV6 as u16), ipv6);
+    a.jmp_imm(JmpOp::Jeq, 2, i32::from(ETH_P_8021Q), vlan);
+    a.jmp_imm(JmpOp::Jeq, 2, i32::from(ETH_P_IP), v4_plain);
+    a.jmp_imm(JmpOp::Jeq, 2, i32::from(ETH_P_IPV6), ipv6);
     a.jmp(non_ip);
 
     // Untagged IPv4: L3 at offset 14.
@@ -96,12 +96,12 @@ pub fn program() -> Program {
     a.load(MemSize::B, 1, PKT, 17);
     a.alu64_imm(AluOp::Lsh, 2, 8);
     a.alu64_reg(AluOp::Or, 2, 1);
-    a.jmp_imm(JmpOp::Jeq, 2, i32::from(ETH_P_IP as u16), v4_vlan);
+    a.jmp_imm(JmpOp::Jeq, 2, i32::from(ETH_P_IP), v4_vlan);
     a.jmp(v6_check_vlan);
     a.bind(v4_vlan);
     ipv4_path(&mut a, 18, pass, drop_acl, non_l4, short);
     a.bind(v6_check_vlan);
-    a.jmp_imm(JmpOp::Jeq, 2, i32::from(ETH_P_IPV6 as u16), ipv6);
+    a.jmp_imm(JmpOp::Jeq, 2, i32::from(ETH_P_IPV6), ipv6);
     a.jmp(non_ip);
 
     a.bind(pass);

@@ -56,9 +56,9 @@ pub fn program() -> Program {
     common::load_ethertype(&mut a, 2);
     // classification chain.
     a.mov64_imm(1, KEY_IP as i32);
-    a.jmp_imm(JmpOp::Jeq, 2, i32::from(ETH_P_IP as u16), store_key);
-    a.jmp_imm(JmpOp::Jeq, 2, i32::from(ETH_P_IPV6 as u16), is_v6);
-    a.jmp_imm(JmpOp::Jeq, 2, i32::from(ETH_P_ARP as u16), is_arp);
+    a.jmp_imm(JmpOp::Jeq, 2, i32::from(ETH_P_IP), store_key);
+    a.jmp_imm(JmpOp::Jeq, 2, i32::from(ETH_P_IPV6), is_v6);
+    a.jmp_imm(JmpOp::Jeq, 2, i32::from(ETH_P_ARP), is_arp);
     a.jmp(after_add); // unknown type: key stays 0, skip the store
     a.bind(is_v6);
     a.mov64_imm(1, KEY_IPV6 as i32);

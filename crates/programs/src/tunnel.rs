@@ -42,7 +42,7 @@ pub fn program() -> Program {
     common::prologue(&mut a);
     common::bounds_check(&mut a, 34, drop);
     common::load_ethertype(&mut a, 2);
-    a.jmp_imm(JmpOp::Jne, 2, i32::from(ETH_P_IP as u16), pass);
+    a.jmp_imm(JmpOp::Jne, 2, i32::from(ETH_P_IP), pass);
 
     // Endpoint lookup keyed by inner destination address.
     a.load(MemSize::W, 1, PKT, 30);

@@ -1,0 +1,197 @@
+//! A tiny deterministic PRNG for workload synthesis and randomized tests.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! the `rand` crate (and proptest/criterion, which pull it in) cannot be
+//! fetched. Everything here needs only *seedable, deterministic, decently
+//! distributed* numbers — not cryptographic ones — so a xoshiro256\*\*
+//! generator seeded through splitmix64 covers every use: flow populations,
+//! Zipf samplers, packet-size mixes, and the randomized test campaigns
+//! that replaced the proptest suites.
+//!
+//! ```
+//! use ehdl_rng::Rng;
+//! let mut a = Rng::seed_from_u64(7);
+//! let mut b = Rng::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! ```
+
+/// Seedable xoshiro256** generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Expand a 64-bit seed into the full generator state (splitmix64, the
+    /// reference seeding procedure for the xoshiro family).
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32-bit output (upper half of the 64-bit stream).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform byte.
+    pub fn gen_u8(&mut self) -> u8 {
+        (self.next_u64() >> 56) as u8
+    }
+
+    /// A uniform `u16`.
+    pub fn gen_u16(&mut self) -> u16 {
+        (self.next_u64() >> 48) as u16
+    }
+
+    /// A uniform `i32`.
+    pub fn gen_i32(&mut self) -> i32 {
+        self.next_u32() as i32
+    }
+
+    /// A uniform bool.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive). Debiased by rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        let n = span + 1;
+        // Rejection sampling over the largest multiple of `n`.
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return lo + v % n;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[lo, hi)` (exclusive), matching the common
+    /// half-open idiom of index sampling.
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "empty index range");
+        self.gen_range_u64(0, bound as u64 - 1) as usize
+    }
+
+    /// Uniform `i64` in `[lo, hi]` (inclusive).
+    pub fn gen_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        lo.wrapping_add(self.gen_range_u64(0, hi.wrapping_sub(lo) as u64) as i64)
+    }
+
+    /// Fill a byte slice with uniform bytes.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        for chunk in out.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range_u64(10, 20);
+            assert!((10..=20).contains(&v));
+            let i = r.gen_index(7);
+            assert!(i < 7);
+            let s = r.gen_range_i64(-5, 5);
+            assert!((-5..=5).contains(&s));
+        }
+        assert_eq!(r.gen_range_u64(3, 3), 3);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut r = Rng::seed_from_u64(2);
+        let mut sum = 0.0;
+        const N: usize = 100_000;
+        for _ in 0..N {
+            let v = r.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / N as f64;
+        assert!((0.49..0.51).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn bytes_fill_exactly() {
+        let mut r = Rng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn range_modulo_is_unbiased_enough() {
+        // Coarse chi-square-ish sanity: 8 buckets over 80k draws.
+        let mut r = Rng::seed_from_u64(4);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[r.gen_index(8)] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+    }
+}

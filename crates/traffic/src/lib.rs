@@ -14,8 +14,7 @@
 pub mod trace;
 
 use ehdl_net::{FiveTuple, PacketBuilder, IPPROTO_TCP, IPPROTO_UDP};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ehdl_rng::Rng;
 
 pub use trace::{caida_like, mawi_like, Trace, TraceStats};
 
@@ -37,15 +36,15 @@ impl FlowSet {
     }
 
     fn generate(n: usize, seed: u64, proto: u8) -> FlowSet {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut set = std::collections::HashSet::with_capacity(n);
         let mut flows = Vec::with_capacity(n);
         while flows.len() < n {
             let ft = FiveTuple {
-                saddr: [10, rng.gen(), rng.gen(), rng.gen()],
-                daddr: [192, 168, rng.gen(), rng.gen()],
-                sport: rng.gen_range(1024..=u16::MAX),
-                dport: rng.gen_range(1..1024),
+                saddr: [10, rng.gen_u8(), rng.gen_u8(), rng.gen_u8()],
+                daddr: [192, 168, rng.gen_u8(), rng.gen_u8()],
+                sport: rng.gen_range_u64(1024, u64::from(u16::MAX)) as u16,
+                dport: rng.gen_range_u64(1, 1023) as u16,
                 proto,
             };
             if set.insert(ft) {
@@ -94,7 +93,7 @@ pub enum Popularity {
 #[derive(Debug, Clone)]
 pub struct FlowSampler {
     cdf: Vec<f64>,
-    rng: StdRng,
+    rng: Rng,
     single: bool,
 }
 
@@ -106,7 +105,7 @@ impl FlowSampler {
     /// Panics if `n == 0`.
     pub fn new(n: usize, pop: Popularity, seed: u64) -> FlowSampler {
         assert!(n > 0, "flow population must be non-empty");
-        let rng = StdRng::seed_from_u64(seed);
+        let rng = Rng::seed_from_u64(seed);
         match pop {
             Popularity::SingleFlow => FlowSampler { cdf: vec![1.0], rng, single: true },
             Popularity::Uniform => {
@@ -133,7 +132,7 @@ impl FlowSampler {
         if self.single {
             return 0;
         }
-        let u: f64 = self.rng.gen();
+        let u: f64 = self.rng.gen_f64();
         match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite probabilities")) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),

@@ -12,8 +12,7 @@
 
 use crate::{build_flow_packet, FlowSampler, FlowSet, Popularity};
 use ehdl_net::FiveTuple;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ehdl_rng::Rng;
 
 /// Summary statistics of a trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -113,7 +112,7 @@ pub struct TraceSpec {
 pub fn synthesize(name: &str, spec: TraceSpec) -> Trace {
     let flows = FlowSet::udp(spec.flows, spec.seed);
     let mut sampler = FlowSampler::new(spec.flows, Popularity::Zipf { alpha: spec.alpha }, spec.seed ^ 0x5eed);
-    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x7ace);
+    let mut rng = Rng::seed_from_u64(spec.seed ^ 0x7ace);
 
     // Small packets uniform in [64,128] (mean 96), large uniform in
     // [1200,1500] (mean 1350). Solve p·96 + (1-p)·1350 = avg.
@@ -122,10 +121,10 @@ pub fn synthesize(name: &str, spec: TraceSpec) -> Trace {
     let entries = (0..spec.packets)
         .map(|_| {
             let fi = sampler.sample() as u32;
-            let sz = if rng.gen::<f64>() < p_small {
-                rng.gen_range(64..=128)
+            let sz = if rng.gen_f64() < p_small {
+                rng.gen_range_u64(64, 128)
             } else {
-                rng.gen_range(1200..=1500)
+                rng.gen_range_u64(1200, 1500)
             };
             (fi, sz as u16)
         })

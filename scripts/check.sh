@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Repo gate: build, test, lint, and simulator-speed smoke.
+#
+# The speed smoke replays the Figure-9a firewall workload (40k packets at
+# 64 B line rate) and fails if the simulator sustains less than half the
+# cycles/sec recorded in BENCH_sim_speed.json — hot-loop regressions fail
+# CI instead of silently slowing every figure regeneration. Re-record an
+# intentional change with:
+#
+#   EHDL_WRITE_BENCH=1 cargo bench -p ehdl-bench --bench sim_speed
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test --workspace -q
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== sim speed smoke (40k packets) =="
+EHDL_CHECK_BENCH=1 cargo bench -p ehdl-bench --bench sim_speed
+
+echo "check.sh: all gates passed"

@@ -1,0 +1,116 @@
+//! Allocation-count regression test for the simulator hot loop.
+//!
+//! The zero-allocation claim for the enabled-stage fast path is enforced
+//! directly: a counting global allocator observes every heap call, and a
+//! steady-state `step()` that neither completes a packet nor fires a
+//! hazard must perform exactly zero of them.
+//!
+//! This test lives in its own binary on purpose — any other test running
+//! concurrently in the same process would perturb the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ehdl::core::Compiler;
+use ehdl::ebpf::asm::Asm;
+use ehdl::ebpf::opcode::{AluOp, JmpOp, MemSize};
+use ehdl::ebpf::Program;
+use ehdl::hwsim::PipelineSim;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// A branchy, map-free packet transform: reads two bytes, takes one of
+/// two ALU paths, writes the result back. Exercises predication and the
+/// per-stage write set without any map traffic.
+fn alu_program() -> Program {
+    let mut a = Asm::new();
+    let els = a.new_label();
+    let join = a.new_label();
+    a.load(MemSize::W, 7, 1, 0); // r7 = data
+    a.load(MemSize::B, 2, 7, 0);
+    a.load(MemSize::B, 3, 7, 1);
+    a.jmp_imm(JmpOp::Jgt, 2, 0x40, els);
+    a.alu64_reg(AluOp::Add, 2, 3);
+    a.alu64_imm(AluOp::And, 2, 0xff);
+    a.jmp(join);
+    a.bind(els);
+    a.alu64_imm(AluOp::Xor, 2, 0x5a);
+    a.bind(join);
+    a.store_reg(MemSize::B, 7, 2, 2);
+    a.mov64_imm(0, 3); // XDP_TX
+    a.exit();
+    Program::from_insns(a.into_insns())
+}
+
+#[test]
+fn enabled_stage_fast_path_is_allocation_free() {
+    let design = Compiler::new().compile(&alu_program()).expect("compiles");
+    let mut sim = PipelineSim::new(&design);
+    let packet = |i: usize| {
+        let mut p = vec![0u8; 64];
+        p[0] = i as u8;
+        p[1] = (i * 7) as u8;
+        p
+    };
+
+    // Warm-up batch: grows the scratch write set, RX ring and outcome
+    // buffer to their steady-state capacities.
+    for i in 0..32 {
+        assert!(sim.enqueue(packet(i)));
+    }
+    sim.settle(100_000);
+    assert_eq!(sim.counters().completed, 32);
+
+    // Measured batch: every cycle that does not retire a packet (retiring
+    // legitimately hands the buffer off to the outcome queue) must touch
+    // the heap zero times.
+    for i in 0..32 {
+        assert!(sim.enqueue(packet(i + 32)));
+    }
+    let mut checked = 0u64;
+    while sim.counters().completed < 64 {
+        let completed_before = sim.counters().completed;
+        let before = allocs();
+        sim.step();
+        let delta = allocs() - before;
+        if sim.counters().completed == completed_before {
+            assert_eq!(
+                delta,
+                0,
+                "cycle {}: non-retiring step allocated {} time(s)",
+                sim.cycle(),
+                delta
+            );
+            checked += 1;
+        }
+        assert!(sim.cycle() < 1_000_000, "pipeline wedged");
+    }
+    assert!(checked > 0, "expected to measure at least one non-retiring cycle");
+}

@@ -1,7 +1,11 @@
-//! Property-based differential testing: randomly generated XDP programs —
+//! Randomized differential testing: randomly generated XDP programs —
 //! ALU chains, packet reads and writes, stack spills, forward branches and
 //! atomic map counters — must behave identically on the reference VM and
 //! on the compiled hardware pipeline, for every compiler configuration.
+//!
+//! Formerly proptest-based; rewritten as deterministic seeded campaigns so
+//! the workspace builds without crates.io access. The two historical
+//! proptest regression cases are preserved verbatim as explicit tests.
 
 use ehdl::core::CompilerOptions;
 use ehdl::ebpf::asm::Asm;
@@ -10,7 +14,7 @@ use ehdl::ebpf::maps::{MapDef, MapKind};
 use ehdl::ebpf::opcode::{AluOp, JmpOp, MemSize};
 use ehdl::ebpf::Program;
 use ehdl::hwsim::diff::assert_equivalent_with;
-use proptest::prelude::*;
+use ehdl_rng::Rng;
 
 const ALU_OPS: [AluOp; 10] = [
     AluOp::Add,
@@ -25,7 +29,8 @@ const ALU_OPS: [AluOp; 10] = [
     AluOp::Arsh,
 ];
 
-const JMP_OPS: [JmpOp; 6] = [JmpOp::Jeq, JmpOp::Jne, JmpOp::Jgt, JmpOp::Jlt, JmpOp::Jsge, JmpOp::Jsle];
+const JMP_OPS: [JmpOp; 6] =
+    [JmpOp::Jeq, JmpOp::Jne, JmpOp::Jgt, JmpOp::Jlt, JmpOp::Jsge, JmpOp::Jsle];
 
 /// One straight-line random operation. Registers r2-r5 are scratch; r7 is
 /// the packet pointer from the prologue.
@@ -34,24 +39,30 @@ enum Op {
     MovImm(u8, i32),
     AluImm(usize, u8, i32),
     AluReg(usize, u8, u8),
-    PktLoad(u8, u8, u8),   // size-sel, dst, offset (0..56)
-    PktStore(u8, u8, u8),  // size-sel, src, offset
-    StackStore(u8, u8),    // src, slot (0..8 -> fp-8*(slot+1))
-    StackLoad(u8, u8),     // dst, slot
-    Endian(u8, u8),        // dst, width-sel
+    PktLoad(u8, u8, u8),  // size-sel, dst, offset (0..56)
+    PktStore(u8, u8, u8), // size-sel, src, offset
+    StackStore(u8, u8),   // src, slot (0..8 -> fp-8*(slot+1))
+    StackLoad(u8, u8),    // dst, slot
+    Endian(u8, u8),       // dst, width-sel
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (2u8..6, any::<i32>()).prop_map(|(r, i)| Op::MovImm(r, i)),
-        (0usize..ALU_OPS.len(), 2u8..6, any::<i32>()).prop_map(|(o, r, i)| Op::AluImm(o, r, i)),
-        (0usize..ALU_OPS.len(), 2u8..6, 2u8..6).prop_map(|(o, d, s)| Op::AluReg(o, d, s)),
-        (0u8..3, 2u8..6, 0u8..56).prop_map(|(sz, d, off)| Op::PktLoad(sz, d, off)),
-        (0u8..3, 2u8..6, 0u8..56).prop_map(|(sz, s, off)| Op::PktStore(sz, s, off)),
-        (2u8..6, 0u8..8).prop_map(|(r, s)| Op::StackStore(r, s)),
-        (2u8..6, 0u8..8).prop_map(|(r, s)| Op::StackLoad(r, s)),
-        (2u8..6, 0u8..3).prop_map(|(r, w)| Op::Endian(r, w)),
-    ]
+fn rand_op(rng: &mut Rng) -> Op {
+    let scratch = |rng: &mut Rng| 2 + rng.gen_index(4) as u8;
+    match rng.gen_index(8) {
+        0 => Op::MovImm(scratch(rng), rng.gen_i32()),
+        1 => Op::AluImm(rng.gen_index(ALU_OPS.len()), scratch(rng), rng.gen_i32()),
+        2 => Op::AluReg(rng.gen_index(ALU_OPS.len()), scratch(rng), scratch(rng)),
+        3 => Op::PktLoad(rng.gen_index(3) as u8, scratch(rng), rng.gen_index(56) as u8),
+        4 => Op::PktStore(rng.gen_index(3) as u8, scratch(rng), rng.gen_index(56) as u8),
+        5 => Op::StackStore(scratch(rng), rng.gen_index(8) as u8),
+        6 => Op::StackLoad(scratch(rng), rng.gen_index(8) as u8),
+        _ => Op::Endian(scratch(rng), rng.gen_index(3) as u8),
+    }
+}
+
+fn rand_ops(rng: &mut Rng, max_len: usize) -> Vec<Op> {
+    let n = rng.gen_index(max_len);
+    (0..n).map(|_| rand_op(rng)).collect()
 }
 
 fn emit_ops(a: &mut Asm, ops: &[Op]) {
@@ -101,25 +112,20 @@ struct RandProgram {
     verdict_reg: u8,
 }
 
-fn program_strategy() -> impl Strategy<Value = RandProgram> {
-    (
-        prop::collection::vec(op_strategy(), 0..14),
-        (0usize..JMP_OPS.len(), 2u8..6, -4i32..60),
-        prop::collection::vec(op_strategy(), 0..10),
-        prop::collection::vec(op_strategy(), 0..10),
-        prop::collection::vec(op_strategy(), 0..10),
-        any::<bool>(),
-        2u8..6,
-    )
-        .prop_map(|(pre, cond, then_ops, else_ops, post, bump_in_then, verdict_reg)| RandProgram {
-            pre,
-            cond,
-            then_ops,
-            else_ops,
-            post,
-            bump_in_then,
-            verdict_reg,
-        })
+fn rand_program(rng: &mut Rng) -> RandProgram {
+    RandProgram {
+        pre: rand_ops(rng, 14),
+        cond: (
+            rng.gen_index(JMP_OPS.len()),
+            2 + rng.gen_index(4) as u8,
+            rng.gen_range_i64(-4, 59) as i32,
+        ),
+        then_ops: rand_ops(rng, 10),
+        else_ops: rand_ops(rng, 10),
+        post: rand_ops(rng, 10),
+        bump_in_then: rng.gen_bool(),
+        verdict_reg: 2 + rng.gen_index(4) as u8,
+    }
 }
 
 fn build(rp: &RandProgram) -> Program {
@@ -196,19 +202,25 @@ fn packets(seed: u64, n: usize) -> Vec<Vec<u8>> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Random branching programs are VM-equivalent under default options.
-    #[test]
-    fn random_programs_equivalent(rp in program_strategy(), seed in any::<u64>()) {
+/// Random branching programs are VM-equivalent under default options.
+#[test]
+fn random_programs_equivalent() {
+    let mut rng = Rng::seed_from_u64(0xd1ff);
+    for _ in 0..48 {
+        let rp = rand_program(&mut rng);
+        let seed = rng.next_u64();
         let program = build(&rp);
         assert_equivalent_with(&program, CompilerOptions::default(), &packets(seed, 24), |_| {});
     }
+}
 
-    /// ... and under every ablation configuration.
-    #[test]
-    fn random_programs_equivalent_under_ablations(rp in program_strategy(), seed in any::<u64>()) {
+/// ... and under every ablation configuration.
+#[test]
+fn random_programs_equivalent_under_ablations() {
+    let mut rng = Rng::seed_from_u64(0xab1a);
+    for _ in 0..48 {
+        let rp = rand_program(&mut rng);
+        let seed = rng.next_u64();
         let program = build(&rp);
         let pkts = packets(seed, 12);
         for opts in [
@@ -221,6 +233,40 @@ proptest! {
             assert_equivalent_with(&program, opts, &pkts, |_| {});
         }
     }
+}
+
+/// Historical regression: a lone `to_be` on a scratch register before the
+/// branch (from the proptest corpus; kept as an explicit deterministic case).
+#[test]
+fn regression_endian_before_branch() {
+    let rp = RandProgram {
+        pre: vec![Op::Endian(5, 2)],
+        cond: (3, 2, 0),
+        then_ops: vec![],
+        else_ops: vec![],
+        post: vec![],
+        bump_in_then: false,
+        verdict_reg: 2,
+    };
+    let program = build(&rp);
+    assert_equivalent_with(&program, CompilerOptions::default(), &packets(0, 24), |_| {});
+}
+
+/// Historical regression: a `to_be` in the else arm only (from the proptest
+/// corpus; kept as an explicit deterministic case).
+#[test]
+fn regression_endian_in_else_arm() {
+    let rp = RandProgram {
+        pre: vec![],
+        cond: (1, 2, 0),
+        then_ops: vec![],
+        else_ops: vec![Op::Endian(3, 0)],
+        post: vec![],
+        bump_in_then: false,
+        verdict_reg: 2,
+    };
+    let program = build(&rp);
+    assert_equivalent_with(&program, CompilerOptions::default(), &packets(0, 24), |_| {});
 }
 
 /// Bounded loops: unrolled pipelines match the VM on loop programs too.
@@ -254,7 +300,12 @@ fn loop_programs_equivalent() {
         a.mov64_imm(0, 1);
         a.exit();
         let program = Program::from_insns(a.into_insns());
-        assert_equivalent_with(&program, CompilerOptions::default(), &packets(trip as u64, 16), |_| {});
+        assert_equivalent_with(
+            &program,
+            CompilerOptions::default(),
+            &packets(trip as u64, 16),
+            |_| {},
+        );
     }
 }
 
@@ -293,12 +344,7 @@ fn adjust_head_and_tail_equivalent() {
         a.mov64_imm(0, 1);
         a.exit();
         let program = Program::from_insns(a.into_insns());
-        assert_equivalent_with(
-            &program,
-            CompilerOptions::default(),
-            &packets(7, 16),
-            |_| {},
-        );
+        assert_equivalent_with(&program, CompilerOptions::default(), &packets(7, 16), |_| {});
     }
 }
 
@@ -307,20 +353,10 @@ fn adjust_head_and_tail_equivalent() {
 #[test]
 #[ignore = "long soak; run explicitly"]
 fn soak_random_programs() {
-    use proptest::strategy::{Strategy, ValueTree};
-    use proptest::test_runner::TestRunner;
-    let mut runner = TestRunner::deterministic();
-    for case in 0..400 {
-        let rp = program_strategy()
-            .new_tree(&mut runner)
-            .expect("strategy produces values")
-            .current();
+    let mut rng = Rng::seed_from_u64(0x50a4);
+    for case in 0..400u64 {
+        let rp = rand_program(&mut rng);
         let program = build(&rp);
-        assert_equivalent_with(
-            &program,
-            CompilerOptions::default(),
-            &packets(case as u64, 32),
-            |_| {},
-        );
+        assert_equivalent_with(&program, CompilerOptions::default(), &packets(case, 32), |_| {});
     }
 }

@@ -59,7 +59,11 @@ impl BluefieldModel {
     /// # Errors
     ///
     /// Propagates VM errors (see [`crate::hxdp::HxdpModel::evaluate`]).
-    pub fn evaluate(&self, program: &Program, sample: &[Vec<u8>]) -> Result<BluefieldReport, VmError> {
+    pub fn evaluate(
+        &self,
+        program: &Program,
+        sample: &[Vec<u8>],
+    ) -> Result<BluefieldReport, VmError> {
         let mut vm = Vm::new(program);
         vm.set_time_ns(1000);
         let mut total = 0.0;

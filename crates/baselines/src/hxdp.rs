@@ -78,7 +78,8 @@ impl HxdpModel {
                 + out.atomic_ops as f64 * ATOMIC_CYCLES;
             n += 1;
         }
-        let cycles_per_packet = if n == 0 { PACKET_OVERHEAD_CYCLES } else { total_cycles / n as f64 };
+        let cycles_per_packet =
+            if n == 0 { PACKET_OVERHEAD_CYCLES } else { total_cycles / n as f64 };
         let pps = CLOCK_HZ / cycles_per_packet;
         Ok(HxdpReport {
             instructions,
@@ -122,9 +123,7 @@ mod tests {
 
     #[test]
     fn trivial_program_is_fast_but_sequential() {
-        let r = HxdpModel::new()
-            .evaluate(&trivial(), &vec![vec![0u8; 64]; 4])
-            .unwrap();
+        let r = HxdpModel::new().evaluate(&trivial(), &vec![vec![0u8; 64]; 4]).unwrap();
         assert!(r.cycles_per_packet >= PACKET_OVERHEAD_CYCLES);
         assert!(r.pps < 12e6, "sequential processor stays below ~12 Mpps");
         assert!(r.pps > 1e6);

@@ -226,11 +226,8 @@ mod tests {
 
     #[test]
     fn dnat_rejected() {
-        let spec = P4Spec {
-            name: "dnat".into(),
-            needs_dataplane_table_write: true,
-            ..firewall_spec()
-        };
+        let spec =
+            P4Spec { name: "dnat".into(), needs_dataplane_table_write: true, ..firewall_spec() };
         assert_eq!(
             SdnetCompiler::new().compile(&spec),
             Err(SdnetError::DataPlaneTableWrite { program: "dnat".into() })
@@ -258,6 +255,8 @@ mod tests {
         let mut lpm = firewall_spec();
         lpm.tables[0].match_kind = MatchKind::Lpm;
         let c = SdnetCompiler::new();
-        assert!(c.compile(&lpm).unwrap().resources.luts > c.compile(&exact).unwrap().resources.luts);
+        assert!(
+            c.compile(&lpm).unwrap().resources.luts > c.compile(&exact).unwrap().resources.luts
+        );
     }
 }

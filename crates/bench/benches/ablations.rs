@@ -15,7 +15,10 @@ fn main() {
             ("no parallelize", CompilerOptions { parallelize: false, ..Default::default() }),
             ("no dce", CompilerOptions { dce: false, ..Default::default() }),
             ("no prune", CompilerOptions { prune: false, ..Default::default() }),
-            ("keep bounds checks", CompilerOptions { elide_bounds_checks: false, ..Default::default() }),
+            (
+                "keep bounds checks",
+                CompilerOptions { elide_bounds_checks: false, ..Default::default() },
+            ),
         ],
     );
     print_rows(&rows);
@@ -42,13 +45,7 @@ fn main() {
     let rows = ablation_raw_policy(6_000);
     let cells: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| {
-            vec![
-                r.policy.clone(),
-                format!("{:.1}", r.mpps),
-                r.violations.to_string(),
-            ]
-        })
+        .map(|r| vec![r.policy.clone(), format!("{:.1}", r.mpps), r.violations.to_string()])
         .collect();
     println!("{}", table(&["Policy", "Mpps", "violations"], &cells));
     println!("flush is the implementable generic policy (sec 4.1.2); stalling needs");
@@ -69,8 +66,5 @@ fn print_rows(rows: &[ehdl_bench::AblationRow]) {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        table(&["Config", "stages", "waits", "LUTs", "FFs", "latency ns"], &cells)
-    );
+    println!("{}", table(&["Config", "stages", "waits", "LUTs", "FFs", "latency ns"], &cells));
 }

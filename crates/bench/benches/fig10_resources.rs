@@ -6,11 +6,7 @@ use ehdl_bench::{fig10, pct, table};
 fn main() {
     println!("\n=== Figure 10: Alveo U50 utilisation (with Corundum shell) ===\n");
     let rows = fig10();
-    for (title, get) in [
-        ("(a) LUTs", 0usize),
-        ("(b) Flip-Flops", 1),
-        ("(c) BRAM", 2),
-    ] {
+    for (title, get) in [("(a) LUTs", 0usize), ("(b) Flip-Flops", 1), ("(c) BRAM", 2)] {
         println!("--- {title} ---");
         let cells: Vec<Vec<String>> = rows
             .iter()

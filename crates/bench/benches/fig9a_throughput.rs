@@ -20,10 +20,7 @@ fn main() {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        table(&["Program", "eHDL", "SDNet", "hXDP", "Bf2 1c", "Bf2 4c"], &cells)
-    );
+    println!("{}", table(&["Program", "eHDL", "SDNet", "hXDP", "Bf2 1c", "Bf2 4c"], &cells));
     println!("paper shape: eHDL/SDNet at line rate (148), hXDP 0.9-5.4, Bf2 1c similar,");
     println!("Bf2 4c ~linear x4; SDNet cannot implement DNAT (N/A).");
 }

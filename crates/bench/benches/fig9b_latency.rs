@@ -10,11 +10,7 @@ fn main() {
     let cells: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
-            vec![
-                r.app.name().to_string(),
-                format!("{:.0}", r.ehdl_ns),
-                format!("{:.0}", r.hxdp_ns),
-            ]
+            vec![r.app.name().to_string(), format!("{:.0}", r.ehdl_ns), format!("{:.0}", r.hxdp_ns)]
         })
         .collect();
     println!("{}", table(&["Program", "eHDL (ns)", "hXDP (ns)"], &cells));

@@ -17,10 +17,7 @@ fn main() {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        table(&["Program", "eHDL stages", "hXDP instr", "Original instr"], &cells)
-    );
+    println!("{}", table(&["Program", "eHDL stages", "hXDP instr", "Original instr"], &cells));
     println!("paper shape: both toolchains shrink the original program (up to ~50%);");
     println!("stage count is close to the optimized instruction count.");
 }

@@ -9,8 +9,23 @@ fn main() {
     let (pruned, unpruned) = sec54();
     let pc = |a: u64, b: u64| (b as f64 - a as f64) / a as f64 * 100.0;
     println!("               pruned    unpruned   increase");
-    println!("  LUTs       {:>8}  {:>10}   {:+.0}%", pruned.luts, unpruned.luts, pc(pruned.luts, unpruned.luts));
-    println!("  Flip-Flops {:>8}  {:>10}   {:+.0}%", pruned.ffs, unpruned.ffs, pc(pruned.ffs, unpruned.ffs));
-    println!("  BRAM       {:>8}  {:>10}   {:+.0}%", pruned.brams, unpruned.brams, pc(pruned.brams.max(1), unpruned.brams));
+    println!(
+        "  LUTs       {:>8}  {:>10}   {:+.0}%",
+        pruned.luts,
+        unpruned.luts,
+        pc(pruned.luts, unpruned.luts)
+    );
+    println!(
+        "  Flip-Flops {:>8}  {:>10}   {:+.0}%",
+        pruned.ffs,
+        unpruned.ffs,
+        pc(pruned.ffs, unpruned.ffs)
+    );
+    println!(
+        "  BRAM       {:>8}  {:>10}   {:+.0}%",
+        pruned.brams,
+        unpruned.brams,
+        pc(pruned.brams.max(1), unpruned.brams)
+    );
     println!("\npaper: +46% LUTs, +66% FFs, +123% BRAM without pruning.");
 }

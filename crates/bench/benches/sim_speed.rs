@@ -11,19 +11,24 @@
 //! EHDL_CHECK_BENCH=1 cargo bench --bench sim_speed   # fail on >2x regression
 //! ```
 
-use ehdl_bench::sim_speed::{measure, read_recorded, write_report, REPORT_PATH};
+use ehdl_bench::sim_speed::{
+    measure, read_recorded, read_recorded_flushes, write_report, REPORT_PATH,
+};
 
 fn main() {
     // One warm-up (page-in, map setup) then the measured run.
     let _ = measure(8_000);
     let report = measure(ehdl_bench::EVAL_PACKETS);
     println!(
-        "sim_speed: {} packets, {} cycles in {:.3}s -> {:.2} Mcycles/s ({:.2} Mpps simulated)",
+        "sim_speed: {} packets, {} cycles in {:.3}s -> {:.2} Mcycles/s ({:.2} Mpps simulated), \
+         {} flushes / {} replays",
         report.packets,
         report.cycles,
         report.wall_secs,
         report.cycles_per_sec / 1e6,
         report.packets_per_sec / 1e6,
+        report.flushes,
+        report.flush_replays,
     );
     if std::env::var_os("EHDL_WRITE_BENCH").is_some() {
         write_report(&report).expect("write BENCH_sim_speed.json");
@@ -46,6 +51,29 @@ fn main() {
                 );
             }
             None => println!("no recorded {REPORT_PATH}; skipping regression gate"),
+        }
+        // The workload is deterministic, so flush behaviour is too: a jump
+        // in flush or replay counts means a hazard-handling regression
+        // (e.g. partial flushes escalating to full ones), not noise. A
+        // small absolute allowance covers intentional schedule shifts.
+        match read_recorded_flushes() {
+            Some((flushes, replays)) => {
+                let flush_bound = flushes + flushes / 2 + 8;
+                let replay_bound = replays + replays / 2 + 64;
+                if report.flushes > flush_bound || report.flush_replays > replay_bound {
+                    eprintln!(
+                        "sim_speed REGRESSION: {} flushes / {} replays vs recorded {} / {}; \
+                         re-record with EHDL_WRITE_BENCH=1 if intentional",
+                        report.flushes, report.flush_replays, flushes, replays,
+                    );
+                    std::process::exit(1);
+                }
+                println!(
+                    "sim_speed OK: {} flushes / {} replays vs recorded {} / {}",
+                    report.flushes, report.flush_replays, flushes, replays,
+                );
+            }
+            None => println!("no recorded flush counters; skipping flush gate"),
         }
     }
 }

@@ -8,13 +8,7 @@ fn main() {
     let rows = tab4(50_000);
     let cells: Vec<Vec<String>> = rows
         .iter()
-        .map(|(l, pf, k)| {
-            vec![
-                l.to_string(),
-                format!("{:.1}%", pf * 100.0),
-                format!("{k:.0}"),
-            ]
-        })
+        .map(|(l, pf, k)| vec![l.to_string(), format!("{:.1}%", pf * 100.0), format!("{k:.0}")])
         .collect();
     println!("{}", table(&["L", "P_f (Zipf)", "K_max"], &cells));
     println!("paper values: L=2 -> 1%/61, L=3 -> 3%/21, L=4 -> 6%/11, L=5 -> 10%/7.");

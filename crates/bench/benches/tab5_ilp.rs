@@ -7,9 +7,7 @@ fn main() {
     let rows = tab5();
     let cells: Vec<Vec<String>> = rows
         .iter()
-        .map(|(app, max, avg)| {
-            vec![app.name().to_string(), max.to_string(), format!("{avg:.2}")]
-        })
+        .map(|(app, max, avg)| vec![app.name().to_string(), max.to_string(), format!("{avg:.2}")])
         .collect();
     println!("{}", table(&["Program", "max ILP", "avg ILP"], &cells));
     println!("paper shape: average ILP between ~1.4 and ~2.4 across the apps.");

@@ -5,6 +5,7 @@
 //! the paper's layout, and integration tests assert the qualitative shape
 //! (who wins, by roughly what factor).
 
+pub mod flush_opt;
 pub mod sim_speed;
 
 use ehdl_baselines::{hxdp, sdnet, BluefieldModel, HxdpModel, SdnetCompiler};
@@ -52,7 +53,14 @@ pub fn setup_app(app: App, maps: &mut ehdl_ebpf::maps::MapStore) {
     match app {
         App::Router => {
             ehdl_programs::router::install_route(maps, [0, 0, 0, 0], 0, 1, [0xaa; 6], [0x02; 6]);
-            ehdl_programs::router::install_route(maps, [192, 168, 0, 0], 16, 2, [0xbb; 6], [0x02; 6]);
+            ehdl_programs::router::install_route(
+                maps,
+                [192, 168, 0, 0],
+                16,
+                2,
+                [0xbb; 6],
+                [0x02; 6],
+            );
         }
         App::Tunnel => {
             for i in 0..32u8 {
@@ -168,9 +176,8 @@ pub struct Fig9bRow {
 pub fn fig9b(packets: usize) -> Vec<Fig9bRow> {
     par_map(&App::ALL, |&app| {
         let run = run_ehdl(app, packets);
-        let hxdp = HxdpModel::new()
-            .evaluate(&app.program(), &baseline_sample(app))
-            .expect("hxdp model");
+        let hxdp =
+            HxdpModel::new().evaluate(&app.program(), &baseline_sample(app)).expect("hxdp model");
         Fig9bRow { app, ehdl_ns: run.latency_ns, hxdp_ns: hxdp.latency_ns }
     })
 }
@@ -390,10 +397,8 @@ pub fn ablation_raw_policy(packets: usize) -> Vec<RawPolicyRow> {
     // Sequential reference actions.
     let mut vm = Vm::new(&program);
     vm.set_time_ns(1000);
-    let reference: Vec<_> = stream
-        .iter()
-        .map(|p| vm.run(&mut p.clone(), 0).map(|o| o.action))
-        .collect();
+    let reference: Vec<_> =
+        stream.iter().map(|p| vm.run(&mut p.clone(), 0).map(|o| o.action)).collect();
 
     let mut rows = Vec::new();
     // Policy 1: flush (the implemented design), measured in the simulator.
@@ -412,7 +417,9 @@ pub fn ablation_raw_policy(packets: usize) -> Vec<RawPolicyRow> {
         let violations = outs
             .iter()
             .enumerate()
-            .filter(|(i, o)| reference.get(*i).map(|r| r.as_ref().ok() != Some(&o.action)).unwrap_or(true))
+            .filter(|(i, o)| {
+                reference.get(*i).map(|r| r.as_ref().ok() != Some(&o.action)).unwrap_or(true)
+            })
             .count();
         rows.push(RawPolicyRow {
             policy: "flush (eHDL)".into(),
@@ -428,14 +435,22 @@ pub fn ablation_raw_policy(packets: usize) -> Vec<RawPolicyRow> {
     {
         let l = design.hazards.max_raw_window().unwrap_or(0) as f64;
         let mpps = analytical::PEAK_PPS / ((1.0 - measured_pf) + l * measured_pf) / 1e6;
-        rows.push(RawPolicyRow { policy: "stall (oracle)".into(), mpps: mpps.min(148.8), violations: 0 });
+        rows.push(RawPolicyRow {
+            policy: "stall (oracle)".into(),
+            mpps: mpps.min(148.8),
+            violations: 0,
+        });
     }
     // Policy 3: the flush cost predicted by the same analytical model, for
     // reference against the measured row.
     {
         let k = design.hazards.max_flush_depth().unwrap_or(0) as f64;
         let mpps = analytical::PEAK_PPS / ((1.0 - measured_pf) + k * measured_pf) / 1e6;
-        rows.push(RawPolicyRow { policy: "flush (model)".into(), mpps: mpps.min(148.8), violations: 0 });
+        rows.push(RawPolicyRow {
+            policy: "flush (model)".into(),
+            mpps: mpps.min(148.8),
+            violations: 0,
+        });
     }
     rows
 }
@@ -467,9 +482,10 @@ pub fn ablation_deep_payload(offsets: &[i16], frame_sizes: &[usize]) -> Vec<Abla
             a.mov64_imm(0, 1);
             a.exit();
             let program = Program::from_insns(a.into_insns());
-            let d = Compiler::with_options(CompilerOptions { frame_size: frame, ..Default::default() })
-                .compile(&program)
-                .expect("dpi probe compiles");
+            let d =
+                Compiler::with_options(CompilerOptions { frame_size: frame, ..Default::default() })
+                    .compile(&program)
+                    .expect("dpi probe compiles");
             let r = resource::estimate_pipeline(&d);
             rows.push(AblationRow {
                 config: format!("payload byte {off} @ {frame}B frames"),
@@ -494,11 +510,8 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     }
     let mut out = String::new();
     let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
-        let padded: Vec<String> = cells
-            .iter()
-            .zip(widths)
-            .map(|(c, w)| format!("{c:>w$}", w = w))
-            .collect();
+        let padded: Vec<String> =
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
         format!("| {} |\n", padded.join(" | "))
     };
     out += &fmt_row(headers.iter().map(|s| s.to_string()).collect(), &widths);

@@ -27,6 +27,10 @@ pub struct SimSpeedReport {
     pub cycles_per_sec: f64,
     /// Packets simulated per wall-clock second.
     pub packets_per_sec: f64,
+    /// Pipeline flush events during the run (workload-deterministic).
+    pub flushes: u64,
+    /// Packets re-executed by those flushes.
+    pub flush_replays: u64,
 }
 
 /// Run the Figure-9a-style firewall workload (`packets` packets, 64 B,
@@ -42,6 +46,7 @@ pub fn measure(packets: usize) -> SimSpeedReport {
     let wall_secs = start.elapsed().as_secs_f64().max(1e-9);
     assert_eq!(report.completed + report.lost, packets as u64, "all packets accounted for");
     let cycles = shell.cycles();
+    let counters = shell.counters();
     SimSpeedReport {
         app: app.name().to_string(),
         packets,
@@ -49,6 +54,8 @@ pub fn measure(packets: usize) -> SimSpeedReport {
         wall_secs,
         cycles_per_sec: cycles as f64 / wall_secs,
         packets_per_sec: report.completed as f64 / wall_secs,
+        flushes: counters.flushes,
+        flush_replays: counters.flush_replays,
     }
 }
 
@@ -61,13 +68,15 @@ pub fn report_path() -> std::path::PathBuf {
 /// the format is written by hand and parsed with [`read_recorded`]).
 pub fn write_report(report: &SimSpeedReport) -> std::io::Result<()> {
     let json = format!(
-        "{{\n  \"app\": \"{}\",\n  \"packets\": {},\n  \"cycles\": {},\n  \"wall_secs\": {:.6},\n  \"cycles_per_sec\": {:.1},\n  \"packets_per_sec\": {:.1}\n}}\n",
+        "{{\n  \"app\": \"{}\",\n  \"packets\": {},\n  \"cycles\": {},\n  \"wall_secs\": {:.6},\n  \"cycles_per_sec\": {:.1},\n  \"packets_per_sec\": {:.1},\n  \"flushes\": {},\n  \"flush_replays\": {}\n}}\n",
         report.app,
         report.packets,
         report.cycles,
         report.wall_secs,
         report.cycles_per_sec,
         report.packets_per_sec,
+        report.flushes,
+        report.flush_replays,
     );
     std::fs::write(report_path(), json)
 }
@@ -76,6 +85,15 @@ pub fn write_report(report: &SimSpeedReport) -> std::io::Result<()> {
 pub fn read_recorded() -> Option<f64> {
     let text = std::fs::read_to_string(report_path()).ok()?;
     parse_field(&text, "cycles_per_sec")
+}
+
+/// Read the recorded flush counters, if present (older recordings lack
+/// them — the gate then skips the flush bound).
+pub fn read_recorded_flushes() -> Option<(u64, u64)> {
+    let text = std::fs::read_to_string(report_path()).ok()?;
+    let flushes = parse_field(&text, "flushes")? as u64;
+    let replays = parse_field(&text, "flush_replays")? as u64;
+    Some((flushes, replays))
 }
 
 fn parse_field(json: &str, field: &str) -> Option<f64> {

@@ -124,10 +124,7 @@ mod tests {
         let cases = [(2, 0.01), (3, 0.03), (4, 0.06), (5, 0.10)];
         for (l, expect) in cases {
             let p = p_flush_zipf(l, n);
-            assert!(
-                (p - expect).abs() < expect * 0.5,
-                "L={l}: model {p:.4} vs paper {expect}"
-            );
+            assert!((p - expect).abs() < expect * 0.5, "L={l}: model {p:.4} vs paper {expect}");
         }
     }
 
@@ -140,10 +137,7 @@ mod tests {
         for (l, e) in expect {
             let pf = p_flush_zipf(l, n);
             let k = k_max(PEAK_PPS, target, pf);
-            assert!(
-                (k - e).abs() / e < 0.45,
-                "L={l}: K_max {k:.1} vs paper {e}"
-            );
+            assert!((k - e).abs() / e < 0.45, "L={l}: K_max {k:.1} vs paper {e}");
         }
     }
 

@@ -89,20 +89,16 @@ impl Cfg {
                         leader[i + 1] = true;
                     }
                 }
-                Instruction::Exit
-                    if i + 1 < decoded.len() => {
-                        leader[i + 1] = true;
-                    }
+                Instruction::Exit if i + 1 < decoded.len() => {
+                    leader[i + 1] = true;
+                }
                 _ => {}
             }
         }
 
         // Carve blocks.
-        let mut starts: Vec<usize> = leader
-            .iter()
-            .enumerate()
-            .filter_map(|(i, l)| l.then_some(i))
-            .collect();
+        let mut starts: Vec<usize> =
+            leader.iter().enumerate().filter_map(|(i, l)| l.then_some(i)).collect();
         starts.sort_unstable();
         let mut block_of = vec![0usize; decoded.len()];
         let mut ranges = Vec::with_capacity(starts.len());
@@ -115,7 +111,13 @@ impl Cfg {
         // Terminators and edges.
         let mut blocks: Vec<Block> = ranges
             .iter()
-            .map(|&(s, e)| Block { start: s, end: e, term: Terminator::Exit, succs: vec![], preds: vec![] })
+            .map(|&(s, e)| Block {
+                start: s,
+                end: e,
+                term: Terminator::Exit,
+                succs: vec![],
+                preds: vec![],
+            })
             .collect();
         for (b, &(s, e)) in ranges.iter().enumerate() {
             debug_assert!(e > s, "empty basic block");

@@ -7,6 +7,7 @@ use crate::error::CompileError;
 use crate::framing::{self, FramingOptions};
 use crate::fusion::{self, FusionOptions};
 use crate::hazard;
+use crate::hazardopt;
 use crate::label;
 use crate::pipeline::{assemble, DesignStats, PipelineDesign};
 use crate::prune;
@@ -58,6 +59,11 @@ pub struct CompilerOptions {
     pub elide_bounds_checks: bool,
     /// Maximum loop unroll factor (§3.5).
     pub max_unroll: usize,
+    /// Hazard-window minimization (App. A.1): sink map reads toward their
+    /// uses after ILP scheduling so `L = write − first_read` shrinks.
+    /// Only takes effect with `parallelize` (the one-insn-per-stage
+    /// ablation keeps source order).
+    pub hazard_opt: bool,
 }
 
 impl Default for CompilerOptions {
@@ -71,6 +77,7 @@ impl Default for CompilerOptions {
             prune: true,
             elide_bounds_checks: true,
             max_unroll: 64,
+            hazard_opt: true,
         }
     }
 }
@@ -158,14 +165,22 @@ impl Compiler {
             &decoded,
             &labeling,
             &cfg,
-            FusionOptions { fuse: o.fusion, dce: o.dce, elide_bounds_checks: o.elide_bounds_checks },
+            FusionOptions {
+                fuse: o.fusion,
+                dce: o.dce,
+                elide_bounds_checks: o.elide_bounds_checks,
+            },
         );
         t.fuse = mark.elapsed();
 
-        // 5. Schedule (ILP within blocks).
+        // 5. Schedule (ILP within blocks), then minimize hazard windows
+        // by sinking map reads into their slack (App. A.1).
         let mark = Instant::now();
         let deps = ddg::build(&lowered);
-        let schedules = schedule::schedule(&lowered, &deps, o.parallelize);
+        let mut schedules = schedule::schedule(&lowered, &deps, o.parallelize);
+        if o.hazard_opt && o.parallelize {
+            schedules = hazardopt::optimize(&lowered, &deps, schedules);
+        }
         let ilp = ilp_stats(&schedules);
         t.schedule = mark.elapsed();
 
@@ -181,17 +196,20 @@ impl Compiler {
         t.backend = mark.elapsed();
         t.total = t0.elapsed();
 
-        Ok((PipelineDesign {
-            name: program.name.clone(),
-            stages,
-            blocks: assembled.blocks,
-            maps: program.maps.clone(),
-            hazards,
-            framing: framing_info,
-            prune: prune_info,
-            guards: assembled.guards,
-            stats: DesignStats { source_insns, hw_insns: assembled.hw_insns, ilp },
-        }, t))
+        Ok((
+            PipelineDesign {
+                name: program.name.clone(),
+                stages,
+                blocks: assembled.blocks,
+                maps: program.maps.clone(),
+                hazards,
+                framing: framing_info,
+                prune: prune_info,
+                guards: assembled.guards,
+                stats: DesignStats { source_insns, hw_insns: assembled.hw_insns, ilp },
+            },
+            t,
+        ))
     }
 }
 
@@ -216,9 +234,8 @@ mod tests {
         let mut a = Asm::new();
         a.mov64_imm(0, 2);
         a.exit();
-        let (d, t) = Compiler::new()
-            .compile_with_report(&Program::from_insns(a.into_insns()))
-            .unwrap();
+        let (d, t) =
+            Compiler::new().compile_with_report(&Program::from_insns(a.into_insns())).unwrap();
         assert!(d.stage_count() >= 1);
         assert!(t.total >= t.verify);
         assert!(t.total.as_secs() < 5, "design generation stays in seconds");
@@ -232,9 +249,7 @@ mod tests {
         let mut a = Asm::new();
         a.call(ehdl_ebpf::helpers::BPF_FIB_LOOKUP);
         a.exit();
-        let err = Compiler::new()
-            .compile(&Program::from_insns(a.into_insns()))
-            .unwrap_err();
+        let err = Compiler::new().compile(&Program::from_insns(a.into_insns())).unwrap_err();
         assert!(err.to_string().contains("helper"), "{err}");
     }
 

@@ -222,9 +222,9 @@ fn depends(a: &Effects, b: &Effects) -> Option<DepKind> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cfg::Cfg;
     use crate::fusion::{lower, FusionOptions};
     use crate::label::label;
-    use crate::cfg::Cfg;
     use ehdl_ebpf::asm::Asm;
     use ehdl_ebpf::opcode::MemSize;
     use ehdl_ebpf::Program;
@@ -233,7 +233,12 @@ mod tests {
         let decoded = p.decode().unwrap();
         let cfg = Cfg::build(&decoded);
         let lab = label(p, &decoded, &cfg).unwrap();
-        let lowered = lower(&decoded, &lab, &cfg, FusionOptions { fuse: false, dce: false, elide_bounds_checks: false });
+        let lowered = lower(
+            &decoded,
+            &lab,
+            &cfg,
+            FusionOptions { fuse: false, dce: false, elide_bounds_checks: false },
+        );
         let deps = build(&lowered);
         (lowered, deps)
     }

@@ -66,10 +66,7 @@ pub fn apply(mut stages: Vec<Stage>, opts: FramingOptions) -> (Vec<Stage>, Frami
         out.push(stage);
     }
 
-    (
-        out,
-        FramingInfo { frame_size: opts.frame_size, wait_stages, max_bypass, stage_frames },
-    )
+    (out, FramingInfo { frame_size: opts.frame_size, wait_stages, max_bypass, stage_frames })
 }
 
 fn stage_max_frame(stage: &Stage, opts: FramingOptions) -> Option<usize> {
@@ -114,7 +111,12 @@ mod tests {
             block,
             ops: vec![LabeledInsn {
                 pc: 0,
-                insn: HwInsn::Simple(Instruction::Load { size: MemSize::B, dst: 1, src: 7, off: 0 }),
+                insn: HwInsn::Simple(Instruction::Load {
+                    size: MemSize::B,
+                    dst: 1,
+                    src: 7,
+                    off: 0,
+                }),
                 label: MemLabel::Packet(Interval::point(off)),
                 map_use: None,
                 elided: None,
@@ -175,7 +177,8 @@ mod tests {
     #[test]
     fn smaller_frames_mean_more_waits() {
         let stages = vec![pkt_load_stage(0, 300)];
-        let (_, info64) = apply(stages.clone(), FramingOptions { frame_size: 64, max_packet_len: 1514 });
+        let (_, info64) =
+            apply(stages.clone(), FramingOptions { frame_size: 64, max_packet_len: 1514 });
         let (_, info16) = apply(stages, FramingOptions { frame_size: 16, max_packet_len: 1514 });
         assert!(info16.wait_stages > info64.wait_stages);
     }

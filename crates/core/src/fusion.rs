@@ -61,13 +61,12 @@ pub fn lower(
         let mut insns: Vec<LabeledInsn> = Vec::with_capacity(blk.end - blk.start);
         for idx in blk.start..blk.end {
             let d = &decoded[idx];
-            let elided = if opts.elide_bounds_checks
-                && bounds_check_elidable(decoded, cfg, idx, labeling)
-            {
-                labeling.bounds_checks[idx]
-            } else {
-                None
-            };
+            let elided =
+                if opts.elide_bounds_checks && bounds_check_elidable(decoded, cfg, idx, labeling) {
+                    labeling.bounds_checks[idx]
+                } else {
+                    None
+                };
             insns.push(LabeledInsn {
                 pc: d.pc,
                 insn: HwInsn::Simple(d.insn),
@@ -130,7 +129,8 @@ fn fuse_block(insns: &mut Vec<LabeledInsn>) {
     let mut consts: [Option<i32>; 11] = [None; 11];
     for insn in insns.iter_mut() {
         // Fold a constant source first (the read happens before the write).
-        if let HwInsn::Simple(Instruction::Alu { op, width, dst, src: Operand::Reg(r) }) = insn.insn {
+        if let HwInsn::Simple(Instruction::Alu { op, width, dst, src: Operand::Reg(r) }) = insn.insn
+        {
             if let Some(k) = consts[r as usize] {
                 if dst != r && op != AluOp::Mov {
                     insn.insn =
@@ -168,7 +168,8 @@ fn fuse_block(insns: &mut Vec<LabeledInsn>) {
         }) = cur.insn
         {
             if let Some(next) = it.peek().copied().copied() {
-                if let HwInsn::Simple(Instruction::Alu { op, width: Width::W64, dst: d2, src }) = next.insn
+                if let HwInsn::Simple(Instruction::Alu { op, width: Width::W64, dst: d2, src }) =
+                    next.insn
                 {
                     let src_ok = match src {
                         Operand::Reg(r) => r != dst,
@@ -378,7 +379,12 @@ mod tests {
         let folded = l.blocks[0].iter().any(|i| {
             matches!(
                 i.insn,
-                HwInsn::Simple(Instruction::Alu { op: AluOp::Add, dst: 2, src: Operand::Imm(5), .. })
+                HwInsn::Simple(Instruction::Alu {
+                    op: AluOp::Add,
+                    dst: 2,
+                    src: Operand::Imm(5),
+                    ..
+                })
             ) || matches!(i.insn, HwInsn::Alu3 { op: AluOp::Add, dst: 2, b: Operand::Imm(5), .. })
         });
         assert!(folded);

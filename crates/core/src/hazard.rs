@@ -21,18 +21,38 @@ use crate::pipeline::Stage;
 pub const FLUSH_RELOAD_CYCLES: usize = 4;
 
 /// A Flush Evaluation Block instance guarding one map write stage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Feb {
     /// Guarded map.
     pub map: u32,
     /// Earliest stage at which the map is read.
     pub read_stage: usize,
+    /// Every stage at which the map is read before the write, ascending
+    /// (§4.1.3: the block snoops *all* unconfirmed reads in the window).
+    pub read_stages: Vec<usize>,
     /// The write stage this block guards.
     pub write_stage: usize,
-    /// `L`: stages between the read and the write (the hazard window).
+    /// `L`: stages between the earliest read and the write (the hazard
+    /// window).
     pub window: usize,
     /// `K`: stages flushed on a hazard, including the reload overhead.
     pub flush_depth: usize,
+    /// Cycles until the guarded write retires from its WAR delay buffer
+    /// after executing: the distance to the writer's first *later* read
+    /// of the same map (store-to-load forwarding commits the buffered
+    /// write there), or `0` when no WAR buffer delays the write.
+    pub war_hold: usize,
+}
+
+impl Feb {
+    /// `K` when only the hazard window is replayed from checkpoints
+    /// (partial flush): the window plus the replay bubble, independent of
+    /// how deep in the pipeline the write sits. The bubble is the reload
+    /// overhead or — when a WAR delay buffer holds the triggering write —
+    /// the wait until that write retires, whichever is longer.
+    pub fn partial_flush_depth(&self) -> usize {
+        self.window + FLUSH_RELOAD_CYCLES.max(self.war_hold)
+    }
 }
 
 /// A delayed write port solving a WAR hazard.
@@ -78,6 +98,12 @@ impl HazardPlan {
     pub fn max_flush_depth(&self) -> Option<usize> {
         self.febs.iter().map(|f| f.flush_depth).max()
     }
+
+    /// `K` of the deepest *partial* flush: worst-case cost when flushes
+    /// replay only the hazard window from checkpoints.
+    pub fn max_partial_flush_depth(&self) -> Option<usize> {
+        self.febs.iter().map(|f| f.partial_flush_depth()).max()
+    }
 }
 
 /// Analyze the final stage list (run *after* framing so stage indices are
@@ -107,14 +133,23 @@ pub fn analyze(stages: &[Stage]) -> HazardPlan {
             // RAW: a FEB per write stage that has an earlier read (§4.1.3:
             // "we need to instantiate a Flush Evaluation Block for every
             // single map write instruction").
-            let earlier: Vec<usize> = reads.iter().copied().filter(|&r| r < w).collect();
-            if let Some(&first_read) = earlier.iter().min() {
+            let mut earlier: Vec<usize> = reads.iter().copied().filter(|&r| r < w).collect();
+            earlier.sort_unstable();
+            earlier.dedup();
+            if let Some(&first_read) = earlier.first() {
+                // A WAR buffer (below) delays the write until the last
+                // later read; its packet's own first later read commits
+                // it early by store-to-load forwarding, so a partial
+                // flush replays after at most that distance.
+                let war_hold = reads.iter().copied().filter(|&r| r > w).min().map_or(0, |r| r - w);
                 plan.febs.push(Feb {
                     map,
                     read_stage: first_read,
+                    read_stages: earlier,
                     write_stage: w,
                     window: w - first_read,
                     flush_depth: w + FLUSH_RELOAD_CYCLES,
+                    war_hold,
                 });
             }
             // WAR: delay the write until later readers are done.
@@ -180,12 +215,34 @@ mod tests {
         ];
         let plan = analyze(&stages);
         assert_eq!(plan.febs.len(), 1);
-        let feb = plan.febs[0];
+        let feb = &plan.febs[0];
         assert_eq!(feb.read_stage, 0);
+        assert_eq!(feb.read_stages, vec![0]);
         assert_eq!(feb.write_stage, 3);
         assert_eq!(feb.window, 3);
         assert_eq!(feb.flush_depth, 3 + FLUSH_RELOAD_CYCLES);
+        assert_eq!(feb.partial_flush_depth(), 3 + FLUSH_RELOAD_CYCLES);
         assert!(plan.war_buffers.is_empty());
+    }
+
+    #[test]
+    fn feb_tracks_every_read_in_the_window() {
+        // Two reads before the write: the FEB must snoop both (§4.1.3),
+        // not just the earliest.
+        let stages = vec![
+            stage_with(Some(MapUse::Lookup(0))),
+            empty_stage(),
+            stage_with(Some(MapUse::LoadValue(0))),
+            stage_with(Some(MapUse::StoreValue(0))),
+        ];
+        let plan = analyze(&stages);
+        assert_eq!(plan.febs.len(), 1);
+        let feb = &plan.febs[0];
+        assert_eq!(feb.read_stages, vec![0, 2]);
+        assert_eq!(feb.read_stage, 0);
+        assert_eq!(feb.window, 3);
+        // The partial-flush cost tracks the window, not the write depth.
+        assert!(feb.partial_flush_depth() <= feb.flush_depth);
     }
 
     #[test]
@@ -203,10 +260,7 @@ mod tests {
 
     #[test]
     fn atomics_need_neither() {
-        let stages = vec![
-            stage_with(Some(MapUse::Lookup(0))),
-            stage_with(Some(MapUse::Atomic(0))),
-        ];
+        let stages = vec![stage_with(Some(MapUse::Lookup(0))), stage_with(Some(MapUse::Atomic(0)))];
         let plan = analyze(&stages);
         assert!(plan.febs.is_empty());
         assert!(plan.war_buffers.is_empty());
@@ -215,10 +269,8 @@ mod tests {
 
     #[test]
     fn distinct_maps_do_not_interact() {
-        let stages = vec![
-            stage_with(Some(MapUse::Lookup(0))),
-            stage_with(Some(MapUse::HelperWrite(1))),
-        ];
+        let stages =
+            vec![stage_with(Some(MapUse::Lookup(0))), stage_with(Some(MapUse::HelperWrite(1)))];
         let plan = analyze(&stages);
         assert!(plan.febs.is_empty());
     }

@@ -43,10 +43,7 @@ impl Interval {
     /// Shift by another interval (interval addition).
     #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Interval) -> Interval {
-        Interval {
-            lo: self.lo.saturating_add(other.lo),
-            hi: self.hi.saturating_add(other.hi),
-        }
+        Interval { lo: self.lo.saturating_add(other.lo), hi: self.hi.saturating_add(other.hi) }
     }
 
     /// True if this is a single known constant.

@@ -18,7 +18,7 @@
 
 use crate::cfg::{Cfg, Terminator};
 use crate::error::CompileError;
-use crate::ir::{Interval, Kind, MemLabel, MapUse};
+use crate::ir::{Interval, Kind, MapUse, MemLabel};
 use ehdl_ebpf::helpers::{self, helper_info};
 use ehdl_ebpf::insn::{Decoded, Instruction, JumpCond, Operand};
 use ehdl_ebpf::opcode::{AluOp, JmpOp, Width};
@@ -216,7 +216,9 @@ fn alu_kind(op: AluOp, width: Width, dk: Kind, sk: Kind) -> Kind {
             (PacketPtr(a), Scalar(b)) | (Scalar(b), PacketPtr(a)) => PacketPtr(a.add(b)),
             (PacketEnd(a), Scalar(b)) | (Scalar(b), PacketEnd(a)) => PacketEnd(a.add(b)),
             (StackPtr(a), Scalar(b)) | (Scalar(b), StackPtr(a)) => StackPtr(a.add(b)),
-            (MapValuePtr(m, a), Scalar(b)) | (Scalar(b), MapValuePtr(m, a)) => MapValuePtr(m, a.add(b)),
+            (MapValuePtr(m, a), Scalar(b)) | (Scalar(b), MapValuePtr(m, a)) => {
+                MapValuePtr(m, a.add(b))
+            }
             (Scalar(a), Scalar(b)) => Scalar(a.add(b)),
             _ => Scalar(Interval::TOP),
         },
@@ -230,9 +232,12 @@ fn alu_kind(op: AluOp, width: Width, dk: Kind, sk: Kind) -> Kind {
         },
         _ => match (dk, sk) {
             (Scalar(a), Scalar(b)) => match (a.as_const(), b.as_const()) {
-                (Some(x), Some(y)) => Kind::Scalar(Interval::point(
-                    ehdl_ebpf::vm::alu_eval(op, Width::W64, x as u64, y as u64) as i64,
-                )),
+                (Some(x), Some(y)) => Kind::Scalar(Interval::point(ehdl_ebpf::vm::alu_eval(
+                    op,
+                    Width::W64,
+                    x as u64,
+                    y as u64,
+                ) as i64)),
                 _ => Scalar(Interval::TOP),
             },
             _ => Scalar(Interval::TOP),
@@ -296,25 +301,26 @@ fn classify(
     k: &Kinds,
 ) -> Result<(MemLabel, Option<MapUse>), CompileError> {
     let pc = d.pc;
-    let access = |base: Kind, off: i16, size: usize| -> Result<(MemLabel, Option<MapUse>), CompileError> {
-        let off = i64::from(off);
-        let span = |iv: Interval| Interval {
-            lo: iv.lo.saturating_add(off),
-            hi: iv.hi.saturating_add(off + size as i64 - 1),
-        };
-        match base {
-            Kind::StackPtr(iv) => {
-                if iv.is_top() {
-                    return Err(CompileError::DynamicStackAccess { pc });
+    let access =
+        |base: Kind, off: i16, size: usize| -> Result<(MemLabel, Option<MapUse>), CompileError> {
+            let off = i64::from(off);
+            let span = |iv: Interval| Interval {
+                lo: iv.lo.saturating_add(off),
+                hi: iv.hi.saturating_add(off + size as i64 - 1),
+            };
+            match base {
+                Kind::StackPtr(iv) => {
+                    if iv.is_top() {
+                        return Err(CompileError::DynamicStackAccess { pc });
+                    }
+                    Ok((MemLabel::Stack(span(iv)), None))
                 }
-                Ok((MemLabel::Stack(span(iv)), None))
+                Kind::PacketPtr(iv) => Ok((MemLabel::Packet(span(iv)), None)),
+                Kind::Ctx => Ok((MemLabel::Ctx(Interval::new(off, off + size as i64 - 1)), None)),
+                Kind::MapValuePtr(m, _) | Kind::NullOrMapValue(m) => Ok((MemLabel::Map(m), None)),
+                _ => Err(CompileError::UnclassifiedAccess { pc }),
             }
-            Kind::PacketPtr(iv) => Ok((MemLabel::Packet(span(iv)), None)),
-            Kind::Ctx => Ok((MemLabel::Ctx(Interval::new(off, off + size as i64 - 1)), None)),
-            Kind::MapValuePtr(m, _) | Kind::NullOrMapValue(m) => Ok((MemLabel::Map(m), None)),
-            _ => Err(CompileError::UnclassifiedAccess { pc }),
-        }
-    };
+        };
 
     match d.insn {
         Instruction::Load { size, src, off, .. } => {
@@ -358,18 +364,16 @@ fn classify(
             // The key (and value for update) comes from the stack in the
             // common case; record the bytes the hardware block must read.
             let key_iv = match read_kind(k, 2) {
-                Kind::StackPtr(iv) if !iv.is_top() => Some(Interval {
-                    lo: iv.lo,
-                    hi: iv.hi + i64::from(def.key_size) - 1,
-                }),
+                Kind::StackPtr(iv) if !iv.is_top() => {
+                    Some(Interval { lo: iv.lo, hi: iv.hi + i64::from(def.key_size) - 1 })
+                }
                 _ => None,
             };
             let val_iv = if helper == helpers::BPF_MAP_UPDATE_ELEM {
                 match read_kind(k, 3) {
-                    Kind::StackPtr(iv) if !iv.is_top() => Some(Interval {
-                        lo: iv.lo,
-                        hi: iv.hi + i64::from(def.value_size) - 1,
-                    }),
+                    Kind::StackPtr(iv) if !iv.is_top() => {
+                        Some(Interval { lo: iv.lo, hi: iv.hi + i64::from(def.value_size) - 1 })
+                    }
                     _ => None,
                 }
             } else {
@@ -451,17 +455,12 @@ mod tests {
         a.bind(miss);
         a.mov64_imm(0, 2);
         a.exit();
-        let p = Program::new(
-            "t",
-            a.into_insns(),
-            vec![MapDef::new(0, "m", MapKind::Array, 4, 8, 4)],
-        );
+        let p =
+            Program::new("t", a.into_insns(), vec![MapDef::new(0, "m", MapKind::Array, 4, 8, 4)]);
         let (decoded, _, lab) = analyze(&p);
         // Find the call, the load and the store.
-        let call_idx = decoded
-            .iter()
-            .position(|d| matches!(d.insn, Instruction::Call { .. }))
-            .unwrap();
+        let call_idx =
+            decoded.iter().position(|d| matches!(d.insn, Instruction::Call { .. })).unwrap();
         assert_eq!(lab.map_uses[call_idx], Some(MapUse::Lookup(0)));
         assert_eq!(lab.labels[call_idx], MemLabel::Stack(Interval::new(-4, -1)));
         let load_idx = call_idx + 2;
@@ -485,10 +484,7 @@ mod tests {
         a.exit();
         let p = Program::from_insns(a.into_insns());
         let (decoded, _, lab) = analyze(&p);
-        let jidx = decoded
-            .iter()
-            .position(|d| matches!(d.insn, Instruction::Jump { .. }))
-            .unwrap();
+        let jidx = decoded.iter().position(|d| matches!(d.insn, Instruction::Jump { .. })).unwrap();
         let bc = lab.bounds_checks[jidx].unwrap();
         assert!(bc.oob_on_taken);
         assert_eq!(bc.checked_len, Interval::point(14));
@@ -506,10 +502,7 @@ mod tests {
         let p = Program::from_insns(a.into_insns());
         let decoded = p.decode().unwrap();
         let cfg = Cfg::build(&decoded);
-        assert!(matches!(
-            label(&p, &decoded, &cfg),
-            Err(CompileError::DynamicStackAccess { .. })
-        ));
+        assert!(matches!(label(&p, &decoded, &cfg), Err(CompileError::DynamicStackAccess { .. })));
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod error;
 pub mod framing;
 pub mod fusion;
 pub mod hazard;
+pub mod hazardopt;
 pub mod ir;
 pub mod label;
 pub mod pipeline;

@@ -114,9 +114,7 @@ impl PipelineDesign {
             .iter()
             .enumerate()
             .filter(|(_, s)| {
-                s.ops
-                    .iter()
-                    .any(|o| matches!(o.insn, crate::ir::HwInsn::Simple(Instruction::Exit)))
+                s.ops.iter().any(|o| matches!(o.insn, crate::ir::HwInsn::Simple(Instruction::Exit)))
             })
             .map(|(i, _)| i)
             .collect()
@@ -136,23 +134,15 @@ impl PipelineDesign {
             self.stats.ilp.avg,
         );
         for (i, s) in self.stages.iter().enumerate() {
-            let live = self
-                .prune
-                .live_regs
-                .get(i)
-                .map(|m| m.count_ones() as usize)
-                .unwrap_or(0);
+            let live = self.prune.live_regs.get(i).map(|m| m.count_ones() as usize).unwrap_or(0);
             let stack = self.prune.live_stack_bytes.get(i).copied().unwrap_or(0);
             let kind = match s.kind {
                 StageKind::Normal => "",
                 StageKind::FrameWait => " [frame-wait]",
                 StageKind::HelperLatency => " [helper]",
             };
-            let ops: Vec<String> = s
-                .ops
-                .iter()
-                .map(|o| o.insn.primitive_name().to_string())
-                .collect();
+            let ops: Vec<String> =
+                s.ops.iter().map(|o| o.insn.primitive_name().to_string()).collect();
             let _ = writeln!(
                 out,
                 "  stage {i:3} blk {:3} regs {live:2} stack {stack:3}B{kind}: {}",
@@ -347,9 +337,7 @@ mod tests {
             .stages
             .iter()
             .filter(|s| {
-                s.ops
-                    .iter()
-                    .any(|o| matches!(o.insn, crate::ir::HwInsn::Simple(Instruction::Exit)))
+                s.ops.iter().any(|o| matches!(o.insn, crate::ir::HwInsn::Simple(Instruction::Exit)))
             })
             .collect();
         assert_eq!(exit_stages.len(), 1, "only the surviving exit remains");
@@ -456,7 +444,11 @@ impl PipelineDesign {
                 "  feb_{0}_{1} [shape=diamond, color=red, label=\"FEB m{0} L={2}\"];",
                 feb.map, feb.write_stage, feb.window
             );
-            let _ = writeln!(o, "  st{} -> feb_{}_{} [color=red];", feb.write_stage, feb.map, feb.write_stage);
+            let _ = writeln!(
+                o,
+                "  st{} -> feb_{}_{} [color=red];",
+                feb.write_stage, feb.map, feb.write_stage
+            );
         }
         let _ = writeln!(o, "}}");
         o

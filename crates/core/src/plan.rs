@@ -30,6 +30,12 @@ pub struct ExecPlan {
     /// Strictest implicit length guard per block (§4.4), or `i64::MIN`
     /// when the block carries none: a packet shorter than this faults.
     guard_min_len: Vec<i64>,
+    /// Checkpoint schedule for partial flushes: `true` at every stage some
+    /// FEB lists as a protected read stage. The simulator snapshots state
+    /// *before* executing these stages so a flush can resume the window
+    /// from its own elastic buffer instead of replaying the whole
+    /// pipeline below the write (App. A.2).
+    checkpoint_stage: Vec<bool>,
 }
 
 impl ExecPlan {
@@ -55,10 +61,7 @@ impl ExecPlan {
         for (b, info) in design.blocks.iter().enumerate() {
             let a = preds.len() as u32;
             for &(p, cond) in &info.preds {
-                assert!(
-                    p < b,
-                    "block {b} has predecessor {p} out of topological order"
-                );
+                assert!(p < b, "block {b} has predecessor {p} out of topological order");
                 preds.push((p as u32, cond));
             }
             block_preds.push((a, preds.len() as u32));
@@ -66,6 +69,14 @@ impl ExecPlan {
         let mut guard_min_len = vec![i64::MIN; nblocks];
         for &(gb, min_len) in &design.guards {
             guard_min_len[gb] = guard_min_len[gb].max(min_len);
+        }
+        let mut checkpoint_stage = vec![false; design.stages.len()];
+        for feb in &design.hazards.febs {
+            for &r in &feb.read_stages {
+                if let Some(c) = checkpoint_stage.get_mut(r) {
+                    *c = true;
+                }
+            }
         }
         ExecPlan {
             nblocks,
@@ -76,6 +87,7 @@ impl ExecPlan {
             preds,
             block_preds,
             guard_min_len,
+            checkpoint_stage,
         }
     }
 
@@ -122,6 +134,13 @@ impl ExecPlan {
     pub fn guard_min_len(&self, b: usize) -> i64 {
         self.guard_min_len[b]
     }
+
+    /// Whether stage `s` is a FEB-protected read stage and must take a
+    /// pre-execution checkpoint for partial flushes.
+    #[inline]
+    pub fn checkpoint_at(&self, s: usize) -> bool {
+        self.checkpoint_stage[s]
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +184,26 @@ mod tests {
                 plan.preds_of(b).iter().map(|&(p, c)| (p as usize, c)).collect();
             assert_eq!(got, info.preds);
         }
+    }
+
+    #[test]
+    fn checkpoint_schedule_marks_feb_read_stages() {
+        use crate::hazard::Feb;
+        let mut design = branchy_design();
+        assert!(design.stages.len() >= 3, "branchy design has enough stages");
+        design.hazards.febs.push(Feb {
+            map: 0,
+            read_stage: 1,
+            read_stages: vec![1, 2],
+            write_stage: design.stages.len() - 1,
+            window: design.stages.len() - 2,
+            flush_depth: design.stages.len() + 3,
+            war_hold: 0,
+        });
+        let plan = ExecPlan::new(&design);
+        assert!(!plan.checkpoint_at(0));
+        assert!(plan.checkpoint_at(1));
+        assert!(plan.checkpoint_at(2));
     }
 
     #[test]

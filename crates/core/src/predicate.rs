@@ -157,7 +157,10 @@ mod tests {
         assert_eq!(preds[2], PredExpr::Taken(0));
         // The join is enabled either way; expression simplifies to an OR
         // of the two arms.
-        assert_eq!(preds[3], PredExpr::Or(Box::new(PredExpr::NotTaken(0)), Box::new(PredExpr::Taken(0))));
+        assert_eq!(
+            preds[3],
+            PredExpr::Or(Box::new(PredExpr::NotTaken(0)), Box::new(PredExpr::Taken(0)))
+        );
         assert_eq!(preds[3].literals(), 2);
     }
 

@@ -108,7 +108,8 @@ impl Primitive {
 /// pairs, sorted by count descending — the "only the features strictly
 /// required by the input program" picture of §1.
 pub fn inventory(design: &crate::PipelineDesign) -> Vec<(Primitive, usize)> {
-    let mut counts: std::collections::BTreeMap<&'static str, (Primitive, usize)> = Default::default();
+    let mut counts: std::collections::BTreeMap<&'static str, (Primitive, usize)> =
+        Default::default();
     for stage in &design.stages {
         for op in &stage.ops {
             let p = Primitive::of(&op.insn);

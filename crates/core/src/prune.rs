@@ -161,11 +161,8 @@ pub fn analyze(stages: &[Stage], blocks: &[BlockInfo], enabled: bool) -> PruneIn
                 match *r {
                     Resource::Reg(reg) => reg_pending[reg as usize][b] = true,
                     Resource::Stack(iv) => {
-                        let (lo, hi) = if iv.is_top() {
-                            (-(STACK_SIZE as i64), -1)
-                        } else {
-                            (iv.lo, iv.hi)
-                        };
+                        let (lo, hi) =
+                            if iv.is_top() { (-(STACK_SIZE as i64), -1) } else { (iv.lo, iv.hi) };
                         for off in lo..=hi {
                             if let Some(s) = stack_idx(off) {
                                 stack_pending[s][b] = true;
@@ -225,7 +222,12 @@ mod tests {
         let decoded = p.decode().unwrap();
         let cfg = Cfg::build(&decoded);
         let lab = label(p, &decoded, &cfg).unwrap();
-        let lowered = lower(&decoded, &lab, &cfg, FusionOptions { fuse: false, dce: false, elide_bounds_checks: false });
+        let lowered = lower(
+            &decoded,
+            &lab,
+            &cfg,
+            FusionOptions { fuse: false, dce: false, elide_bounds_checks: false },
+        );
         let deps = ddg::build(&lowered);
         let s = schedule(&lowered, &deps, false);
         let asm = assemble(&lowered, &s);
@@ -291,7 +293,10 @@ mod tests {
                     && s.ops.iter().any(|o| {
                         matches!(
                             o.insn,
-                            crate::ir::HwInsn::Simple(ehdl_ebpf::insn::Instruction::Alu { dst: 3, .. })
+                            crate::ir::HwInsn::Simple(ehdl_ebpf::insn::Instruction::Alu {
+                                dst: 3,
+                                ..
+                            })
                         )
                     })
             })

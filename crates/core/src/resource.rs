@@ -24,7 +24,11 @@ pub struct ResourceEstimate {
 impl ResourceEstimate {
     /// Component-wise sum.
     pub fn plus(self, o: ResourceEstimate) -> ResourceEstimate {
-        ResourceEstimate { luts: self.luts + o.luts, ffs: self.ffs + o.ffs, brams: self.brams + o.brams }
+        ResourceEstimate {
+            luts: self.luts + o.luts,
+            ffs: self.ffs + o.ffs,
+            brams: self.brams + o.brams,
+        }
     }
 
     /// Utilisation fractions on a target device.

@@ -89,7 +89,10 @@ fn unroll_one(
         }
     };
     if cond.op == JmpOp::Jset {
-        return Err(CompileError::UnsupportedLoop { pc: latch_pc, reason: "jset latches unsupported" });
+        return Err(CompileError::UnsupportedLoop {
+            pc: latch_pc,
+            reason: "jset latches unsupported",
+        });
     }
 
     // Body blocks must be the contiguous range header..=latch with no
@@ -155,7 +158,9 @@ fn unroll_one(
         if d.pc >= body_start {
             break;
         }
-        if let Instruction::Alu { op: AluOp::Mov, width: Width::W64, dst, src: Operand::Imm(i) } = d.insn {
+        if let Instruction::Alu { op: AluOp::Mov, width: Width::W64, dst, src: Operand::Imm(i) } =
+            d.insn
+        {
             if dst == ind_reg {
                 init = Some(i64::from(i));
                 continue;
@@ -267,10 +272,7 @@ fn unroll_one(
 }
 
 fn decoded_at(decoded: &[ehdl_ebpf::insn::Decoded], slot: usize) -> &ehdl_ebpf::insn::Decoded {
-    decoded
-        .iter()
-        .find(|d| d.pc == slot)
-        .expect("slot is an instruction boundary")
+    decoded.iter().find(|d| d.pc == slot).expect("slot is an instruction boundary")
 }
 
 fn fixup_jump(
@@ -293,9 +295,9 @@ fn fixup_jump(
 
 fn writes_reg(insn: &Instruction, reg: u8) -> bool {
     match *insn {
-        Instruction::Alu { dst, .. } | Instruction::Endian { dst, .. } | Instruction::LoadImm64 { dst, .. } => {
-            dst == reg
-        }
+        Instruction::Alu { dst, .. }
+        | Instruction::Endian { dst, .. }
+        | Instruction::LoadImm64 { dst, .. } => dst == reg,
         Instruction::Load { dst, .. } => dst == reg,
         Instruction::Atomic { op, src, .. } => op.fetches() && src == reg,
         Instruction::Call { .. } => reg <= 5, // r0-r5 clobbered by calls

@@ -25,7 +25,11 @@ pub fn emit(design: &PipelineDesign) -> String {
 
     // Map block component declarations.
     for m in &design.maps {
-        let _ = writeln!(o, "-- eHDLmap block for map `{}` ({} x {}B, {})", m.name, m.max_entries, m.value_size, m.kind);
+        let _ = writeln!(
+            o,
+            "-- eHDLmap block for map `{}` ({} x {}B, {})",
+            m.name, m.max_entries, m.value_size, m.kind
+        );
         let _ = writeln!(o, "entity {name}_map{} is", m.id);
         let _ = writeln!(o, "  generic (");
         let _ = writeln!(o, "    KEY_BITS   : natural := {};", m.key_size * 8);
@@ -100,26 +104,20 @@ pub fn emit(design: &PipelineDesign) -> String {
     for (i, _) in design.stages.iter().enumerate() {
         let regs = design.prune.live_regs.get(i).copied().unwrap_or(0);
         let stack = design.prune.live_stack_bytes.get(i).copied().unwrap_or(0);
-        let _ = writeln!(
-            o,
-            "  signal st{i}_frame : std_logic_vector(FRAME_BYTES*8-1 downto 0);"
-        );
+        let _ = writeln!(o, "  signal st{i}_frame : std_logic_vector(FRAME_BYTES*8-1 downto 0);");
         for r in 0..11u8 {
             if regs & (1 << r) != 0 {
                 let _ = writeln!(o, "  signal st{i}_r{r} : std_logic_vector(63 downto 0);");
             }
         }
         if stack > 0 {
-            let _ = writeln!(o, "  signal st{i}_stack : std_logic_vector({} downto 0);", stack * 8 - 1);
+            let _ =
+                writeln!(o, "  signal st{i}_stack : std_logic_vector({} downto 0);", stack * 8 - 1);
         }
         let _ = writeln!(o, "  signal st{i}_en : std_logic;");
     }
     for feb in &design.hazards.febs {
-        let _ = writeln!(
-            o,
-            "  signal flush_m{}_w{} : std_logic;",
-            feb.map, feb.write_stage
-        );
+        let _ = writeln!(o, "  signal flush_m{}_w{} : std_logic;", feb.map, feb.write_stage);
     }
     // Branch-outcome signals for every block ending in a conditional.
     let mut branch_blocks: Vec<usize> = design
@@ -127,8 +125,11 @@ pub fn emit(design: &PipelineDesign) -> String {
         .iter()
         .flat_map(|s| {
             s.ops.iter().filter_map(move |op| {
-                matches!(op.insn, crate::ir::HwInsn::Simple(Instruction::Jump { cond: Some(_), .. }))
-                    .then_some(s.block)
+                matches!(
+                    op.insn,
+                    crate::ir::HwInsn::Simple(Instruction::Jump { cond: Some(_), .. })
+                )
+                .then_some(s.block)
             })
         })
         .collect();
@@ -170,12 +171,7 @@ pub fn emit(design: &PipelineDesign) -> String {
             if stage.ops.is_empty() {
                 "pass-through".to_string()
             } else {
-                stage
-                    .ops
-                    .iter()
-                    .map(op_comment)
-                    .collect::<Vec<_>>()
-                    .join(" || ")
+                stage.ops.iter().map(op_comment).collect::<Vec<_>>().join(" || ")
             }
         );
         let _ = writeln!(o, "  stage_{i} : process (clk)");
@@ -242,9 +238,7 @@ fn header(o: &mut String, design: &PipelineDesign) {
 }
 
 fn sanitize(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect()
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
 }
 
 fn op_comment(op: &crate::pipeline::StageOp) -> String {
@@ -263,12 +257,7 @@ fn op_vhdl(stage: usize, block: usize, op: &crate::pipeline::StageOp) -> Vec<Str
                 Operand::Reg(r) => reg(stage, r),
                 Operand::Imm(i) => format!("std_logic_vector(to_signed({i}, 64))"),
             };
-            vec![format!(
-                "{} <= alu_op({}, {});",
-                reg(nxt, dst),
-                reg(stage, a),
-                bstr
-            )]
+            vec![format!("{} <= alu_op({}, {});", reg(nxt, dst), reg(stage, a), bstr)]
         }
         HwInsn::Simple(i) => match i {
             Instruction::Alu { dst, src, .. } => {
@@ -281,10 +270,9 @@ fn op_vhdl(stage: usize, block: usize, op: &crate::pipeline::StageOp) -> Vec<Str
             Instruction::Endian { dst, bits, .. } => {
                 vec![format!("{} <= bswap{bits}({});", reg(nxt, dst), reg(stage, dst))]
             }
-            Instruction::LoadImm64 { dst, imm, .. } => vec![format!(
-                "{} <= x\"{imm:016x}\";",
-                reg(nxt, dst)
-            )],
+            Instruction::LoadImm64 { dst, imm, .. } => {
+                vec![format!("{} <= x\"{imm:016x}\";", reg(nxt, dst))]
+            }
             Instruction::Load { dst, off, .. } => match op.label {
                 MemLabel::Packet(iv) => vec![format!(
                     "{} <= pkt_bytes(st{stage}_frame, {});  -- packet[{iv}]",
@@ -296,10 +284,9 @@ fn op_vhdl(stage: usize, block: usize, op: &crate::pipeline::StageOp) -> Vec<Str
                     reg(nxt, dst),
                     iv.lo
                 )],
-                MemLabel::Map(m) => vec![format!(
-                    "{} <= map{m}_rd_value;  -- map value load",
-                    reg(nxt, dst)
-                )],
+                MemLabel::Map(m) => {
+                    vec![format!("{} <= map{m}_rd_value;  -- map value load", reg(nxt, dst))]
+                }
                 _ => vec![format!("{} <= ctx_field({off});", reg(nxt, dst))],
             },
             Instruction::Store { src, .. } => {
@@ -316,7 +303,9 @@ fn op_vhdl(stage: usize, block: usize, op: &crate::pipeline::StageOp) -> Vec<Str
                         "st{nxt}_stack <= stack_store(st{stage}_stack, {}, {s});  -- stack[{iv}]",
                         iv.lo
                     )],
-                    MemLabel::Map(m) => vec![format!("map{m}_wr_value <= {s}; map{m}_wr_en <= '1';")],
+                    MemLabel::Map(m) => {
+                        vec![format!("map{m}_wr_value <= {s}; map{m}_wr_en <= '1';")]
+                    }
                     _ => vec![],
                 }
             }
@@ -383,9 +372,7 @@ mod tests {
 
     #[test]
     fn map_designs_emit_map_entities_and_febs() {
-        let d = Compiler::new()
-            .compile(&ehdl_test_program())
-            .unwrap();
+        let d = Compiler::new().compile(&ehdl_test_program()).unwrap();
         let v = emit(&d);
         assert!(v.contains("_map0 is"));
         assert!(v.contains("KEY_BITS"));
@@ -439,8 +426,14 @@ pub fn emit_testbench(design: &PipelineDesign, n_packets: usize) -> String {
     let _ = writeln!(o, "  constant CLK_PERIOD : time := 4 ns;  -- 250 MHz");
     let _ = writeln!(o, "  constant FRAME_BYTES : natural := {};", design.framing.frame_size);
     let _ = writeln!(o, "  signal clk, rst : std_logic := '0';");
-    let _ = writeln!(o, "  signal s_tdata  : std_logic_vector(FRAME_BYTES*8-1 downto 0) := (others => '0');");
-    let _ = writeln!(o, "  signal s_tkeep  : std_logic_vector(FRAME_BYTES-1 downto 0) := (others => '1');");
+    let _ = writeln!(
+        o,
+        "  signal s_tdata  : std_logic_vector(FRAME_BYTES*8-1 downto 0) := (others => '0');"
+    );
+    let _ = writeln!(
+        o,
+        "  signal s_tkeep  : std_logic_vector(FRAME_BYTES-1 downto 0) := (others => '1');"
+    );
     let _ = writeln!(o, "  signal s_tvalid, s_tlast, s_tready : std_logic := '0';");
     let _ = writeln!(o, "  signal m_tdata  : std_logic_vector(FRAME_BYTES*8-1 downto 0);");
     let _ = writeln!(o, "  signal m_tkeep  : std_logic_vector(FRAME_BYTES-1 downto 0);");
@@ -480,9 +473,11 @@ pub fn emit_testbench(design: &PipelineDesign, n_packets: usize) -> String {
     let _ = writeln!(o, "    -- drain: every packet must emerge with a verdict");
     let _ = writeln!(o, "    for pkt in 0 to {} loop", n_packets.saturating_sub(1));
     let _ = writeln!(o, "      wait until rising_edge(clk) and m_tvalid = '1';");
-    let _ = writeln!(o, "      assert action /= \"111\" report \"invalid verdict\" severity failure;");
+    let _ =
+        writeln!(o, "      assert action /= \"111\" report \"invalid verdict\" severity failure;");
     let _ = writeln!(o, "    end loop;");
-    let _ = writeln!(o, "    report \"{name}_tb: all {n_packets} packets completed\" severity note;");
+    let _ =
+        writeln!(o, "    report \"{name}_tb: all {n_packets} packets completed\" severity note;");
     let _ = writeln!(o, "    done <= true;");
     let _ = writeln!(o, "    wait;");
     let _ = writeln!(o, "  end process stimulus;");

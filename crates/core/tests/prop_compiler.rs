@@ -26,11 +26,9 @@ fn rand_alu(rng: &mut Rng) -> RandAlu {
     match rng.gen_index(3) {
         0 => RandAlu::MovImm(rng.gen_index(6) as u8, rng.gen_i32()),
         1 => RandAlu::AluImm(rng.gen_index(8) as u8, rng.gen_index(6) as u8, rng.gen_i32()),
-        _ => RandAlu::AluReg(
-            rng.gen_index(8) as u8,
-            rng.gen_index(6) as u8,
-            rng.gen_index(6) as u8,
-        ),
+        _ => {
+            RandAlu::AluReg(rng.gen_index(8) as u8, rng.gen_index(6) as u8, rng.gen_index(6) as u8)
+        }
     }
 }
 
@@ -39,16 +37,8 @@ fn rand_alu_vec(rng: &mut Rng, max_len: usize) -> Vec<RandAlu> {
     (0..n).map(|_| rand_alu(rng)).collect()
 }
 
-const OPS: [AluOp; 8] = [
-    AluOp::Add,
-    AluOp::Sub,
-    AluOp::Mul,
-    AluOp::And,
-    AluOp::Or,
-    AluOp::Xor,
-    AluOp::Lsh,
-    AluOp::Rsh,
-];
+const OPS: [AluOp; 8] =
+    [AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Lsh, AluOp::Rsh];
 
 fn build_program(ops: &[RandAlu]) -> Program {
     let mut a = Asm::new();
@@ -120,10 +110,7 @@ fn schedule_respects_hard_deps() {
                 let (_, writes) = rw_of(&op.insn);
                 for r in writes {
                     // WAW within one stage is forbidden.
-                    assert!(
-                        last_write[r as usize] != Some(s),
-                        "two writes of r{r} in stage {s}"
-                    );
+                    assert!(last_write[r as usize] != Some(s), "two writes of r{r} in stage {s}");
                     last_write[r as usize] = Some(s);
                 }
             }

@@ -122,29 +122,59 @@ impl Asm {
 
     /// `dst = bswap_be(dst)` — convert to big-endian (`bits` ∈ {16,32,64}).
     pub fn to_be(&mut self, dst: u8, bits: i32) -> &mut Asm {
-        self.push(Insn { opcode: AluOp::End.bits() | 0x08 | Class::Alu32.bits(), dst, src: 0, off: 0, imm: bits })
+        self.push(Insn {
+            opcode: AluOp::End.bits() | 0x08 | Class::Alu32.bits(),
+            dst,
+            src: 0,
+            off: 0,
+            imm: bits,
+        })
     }
 
     /// `dst = bswap_le(dst)` — convert to little-endian.
     pub fn to_le(&mut self, dst: u8, bits: i32) -> &mut Asm {
-        self.push(Insn { opcode: AluOp::End.bits() | Class::Alu32.bits(), dst, src: 0, off: 0, imm: bits })
+        self.push(Insn {
+            opcode: AluOp::End.bits() | Class::Alu32.bits(),
+            dst,
+            src: 0,
+            off: 0,
+            imm: bits,
+        })
     }
 
     // ---- Loads/stores ---------------------------------------------------
 
     /// `dst = *(size*)(src + off)`.
     pub fn load(&mut self, size: MemSize, dst: u8, src: u8, off: i16) -> &mut Asm {
-        self.push(Insn { opcode: size.bits() | Mode::Mem.bits() | Class::Ldx.bits(), dst, src, off, imm: 0 })
+        self.push(Insn {
+            opcode: size.bits() | Mode::Mem.bits() | Class::Ldx.bits(),
+            dst,
+            src,
+            off,
+            imm: 0,
+        })
     }
 
     /// `*(size*)(dst + off) = src`.
     pub fn store_reg(&mut self, size: MemSize, dst: u8, off: i16, src: u8) -> &mut Asm {
-        self.push(Insn { opcode: size.bits() | Mode::Mem.bits() | Class::Stx.bits(), dst, src, off, imm: 0 })
+        self.push(Insn {
+            opcode: size.bits() | Mode::Mem.bits() | Class::Stx.bits(),
+            dst,
+            src,
+            off,
+            imm: 0,
+        })
     }
 
     /// `*(size*)(dst + off) = imm`.
     pub fn store_imm(&mut self, size: MemSize, dst: u8, off: i16, imm: i32) -> &mut Asm {
-        self.push(Insn { opcode: size.bits() | Mode::Mem.bits() | Class::St.bits(), dst, src: 0, off, imm })
+        self.push(Insn {
+            opcode: size.bits() | Mode::Mem.bits() | Class::St.bits(),
+            dst,
+            src: 0,
+            off,
+            imm,
+        })
     }
 
     /// Atomic `lock *(size*)(dst + off) op= src` (optionally fetching).
@@ -181,7 +211,13 @@ impl Asm {
     /// Unconditional `goto label`.
     pub fn jmp(&mut self, label: Label) -> &mut Asm {
         self.fixups.push(Fixup { insn_idx: self.insns.len(), label });
-        self.push(Insn { opcode: JmpOp::Ja.bits() | Class::Jmp.bits(), dst: 0, src: 0, off: 0, imm: 0 })
+        self.push(Insn {
+            opcode: JmpOp::Ja.bits() | Class::Jmp.bits(),
+            dst: 0,
+            src: 0,
+            off: 0,
+            imm: 0,
+        })
     }
 
     /// `if dst op imm goto label` (64-bit compare).
@@ -215,7 +251,13 @@ impl Asm {
 
     /// `exit`.
     pub fn exit(&mut self) -> &mut Asm {
-        self.push(Insn { opcode: JmpOp::Exit.bits() | Class::Jmp.bits(), dst: 0, src: 0, off: 0, imm: 0 })
+        self.push(Insn {
+            opcode: JmpOp::Exit.bits() | Class::Jmp.bits(),
+            dst: 0,
+            src: 0,
+            off: 0,
+            imm: 0,
+        })
     }
 
     /// Resolve all labels and return the raw instruction stream.
@@ -229,10 +271,7 @@ impl Asm {
         for f in fixups {
             let target = labels[f.label.0].expect("unbound label referenced by a branch");
             let disp = target as i64 - f.insn_idx as i64 - 1;
-            assert!(
-                i16::try_from(disp).is_ok(),
-                "branch displacement {disp} overflows 16 bits"
-            );
+            assert!(i16::try_from(disp).is_ok(), "branch displacement {disp} overflows 16 bits");
             insns[f.insn_idx].off = disp as i16;
         }
         insns

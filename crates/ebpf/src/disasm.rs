@@ -64,10 +64,12 @@ pub fn format_insn(d: &Decoded) -> String {
             };
             match op {
                 AtomicOp::Xchg | AtomicOp::Cmpxchg => {
-                    let _ = write!(s, "lock {opname} *({} *)(r{dst} {off:+}), r{src}", size.c_type());
+                    let _ =
+                        write!(s, "lock {opname} *({} *)(r{dst} {off:+}), r{src}", size.c_type());
                 }
                 _ => {
-                    let _ = write!(s, "lock *({} *)(r{dst} {off:+}) {opname} r{src}", size.c_type());
+                    let _ =
+                        write!(s, "lock *({} *)(r{dst} {off:+}) {opname} r{src}", size.c_type());
                 }
             }
         }

@@ -195,8 +195,22 @@ pub fn write(program: &Program) -> Vec<u8> {
             info: 0,
             entsize: 0,
         },
-        Section { name: PROG_SECTION.into(), sh_type: 1, data: prog_data, link: 0, info: 0, entsize: 8 },
-        Section { name: "maps".into(), sh_type: 1, data: maps_data, link: 0, info: 0, entsize: MAP_DEF_SIZE as u64 },
+        Section {
+            name: PROG_SECTION.into(),
+            sh_type: 1,
+            data: prog_data,
+            link: 0,
+            info: 0,
+            entsize: 8,
+        },
+        Section {
+            name: "maps".into(),
+            sh_type: 1,
+            data: maps_data,
+            link: 0,
+            info: 0,
+            entsize: MAP_DEF_SIZE as u64,
+        },
         Section { name: ".symtab".into(), sh_type: 2, data: symtab, link: 1, info: 1, entsize: 24 },
         Section {
             name: format!(".rel{PROG_SECTION}"),
@@ -322,12 +336,12 @@ pub fn load(bytes: &[u8]) -> Result<Program, ElfError> {
     for i in 0..shnum {
         let h = shoff + i * 64;
         headers.push((
-            u32le(bytes, h)?,            // name offset
-            u32le(bytes, h + 4)?,        // type
+            u32le(bytes, h)?,               // name offset
+            u32le(bytes, h + 4)?,           // type
             u64le(bytes, h + 24)? as usize, // data offset
             u64le(bytes, h + 32)? as usize, // size
-            u32le(bytes, h + 40)?,       // link
-            u32le(bytes, h + 44)?,       // info
+            u32le(bytes, h + 40)?,          // link
+            u32le(bytes, h + 44)?,          // info
         ));
     }
     let (_, _, stroff, strsize, _, _) =
@@ -380,10 +394,8 @@ pub fn load(bytes: &[u8]) -> Result<Program, ElfError> {
     let mut prog_name = String::from("xdp_prog");
     if let Some(si) = symtab_idx {
         let symtab_sec = &sections[si];
-        let sym_strtab = sections
-            .get(symtab_sec.link as usize)
-            .ok_or(ElfError::Malformed("symtab link"))?
-            .data;
+        let sym_strtab =
+            sections.get(symtab_sec.link as usize).ok_or(ElfError::Malformed("symtab link"))?.data;
         let sym_name = |off: u32| -> String {
             let start = off as usize;
             let end = sym_strtab[start.min(sym_strtab.len())..]
@@ -509,7 +521,9 @@ mod tests {
         let d = loaded_without_relocs.decode().unwrap();
         let unresolved = d
             .iter()
-            .filter(|x| matches!(x.insn, crate::insn::Instruction::LoadImm64 { map: None, imm: 0, .. }))
+            .filter(|x| {
+                matches!(x.insn, crate::insn::Instruction::LoadImm64 { map: None, imm: 0, .. })
+            })
             .count();
         assert_eq!(unresolved, 2, "map refs are relocations, not immediates");
     }

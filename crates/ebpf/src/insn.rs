@@ -250,11 +250,7 @@ pub fn decode(insns: &[Insn]) -> Result<Vec<Decoded>, DecodeError> {
         let mut slots = 1usize;
         let insn = match raw.class() {
             Class::Alu32 | Class::Alu64 => {
-                let width = if raw.class() == Class::Alu64 {
-                    Width::W64
-                } else {
-                    Width::W32
-                };
+                let width = if raw.class() == Class::Alu64 { Width::W64 } else { Width::W32 };
                 let op = AluOp::from_bits(raw.opcode)
                     .ok_or(DecodeError::BadOpcode { pc, opcode: raw.opcode })?;
                 if op == AluOp::End {
@@ -277,9 +273,7 @@ pub fn decode(insns: &[Insn]) -> Result<Vec<Decoded>, DecodeError> {
                 if !raw.is_ld_imm64() {
                     return Err(DecodeError::BadOpcode { pc, opcode: raw.opcode });
                 }
-                let hi = *insns
-                    .get(pc + 1)
-                    .ok_or(DecodeError::TruncatedLdImm64 { pc })?;
+                let hi = *insns.get(pc + 1).ok_or(DecodeError::TruncatedLdImm64 { pc })?;
                 slots = 2;
                 let imm = (raw.imm as u32 as u64) | ((hi.imm as u32 as u64) << 32);
                 let map = (raw.src == PSEUDO_MAP_FD).then_some(raw.imm as u32);
@@ -297,8 +291,8 @@ pub fn decode(insns: &[Insn]) -> Result<Vec<Decoded>, DecodeError> {
                 }
             }
             Class::St | Class::Stx => {
-                let mode =
-                    Mode::from_bits(raw.opcode).ok_or(DecodeError::BadOpcode { pc, opcode: raw.opcode })?;
+                let mode = Mode::from_bits(raw.opcode)
+                    .ok_or(DecodeError::BadOpcode { pc, opcode: raw.opcode })?;
                 let size = MemSize::from_bits(raw.opcode);
                 match (raw.class(), mode) {
                     (Class::St, Mode::Mem) => Instruction::Store {
@@ -324,11 +318,7 @@ pub fn decode(insns: &[Insn]) -> Result<Vec<Decoded>, DecodeError> {
             Class::Jmp | Class::Jmp32 => {
                 let op = JmpOp::from_bits(raw.opcode)
                     .ok_or(DecodeError::BadOpcode { pc, opcode: raw.opcode })?;
-                let width = if raw.class() == Class::Jmp {
-                    Width::W64
-                } else {
-                    Width::W32
-                };
+                let width = if raw.class() == Class::Jmp { Width::W64 } else { Width::W32 };
                 match op {
                     JmpOp::Call => Instruction::Call { helper: raw.imm as u32 },
                     JmpOp::Exit => Instruction::Exit,
@@ -384,10 +374,7 @@ mod tests {
         a.exit();
         let d = decode(&a.into_insns()).unwrap();
         assert_eq!(d.len(), 4);
-        assert_eq!(
-            d[0].insn,
-            Instruction::Load { size: MemSize::W, dst: 2, src: 1, off: 4 }
-        );
+        assert_eq!(d[0].insn, Instruction::Load { size: MemSize::W, dst: 2, src: 1, off: 4 });
         assert_eq!(d[3].insn, Instruction::Exit);
     }
 
@@ -416,10 +403,7 @@ mod tests {
     #[test]
     fn bad_jump_target_rejected() {
         let insns = vec![Insn { opcode: 0x05, dst: 0, src: 0, off: 100, imm: 0 }];
-        assert!(matches!(
-            decode(&insns),
-            Err(DecodeError::BadJumpTarget { pc: 0, .. })
-        ));
+        assert!(matches!(decode(&insns), Err(DecodeError::BadJumpTarget { pc: 0, .. })));
     }
 
     #[test]
@@ -428,10 +412,7 @@ mod tests {
         a.ld_map_fd(1, 3);
         a.exit();
         let d = decode(&a.into_insns()).unwrap();
-        assert_eq!(
-            d[0].insn,
-            Instruction::LoadImm64 { dst: 1, imm: 3, map: Some(3) }
-        );
+        assert_eq!(d[0].insn, Instruction::LoadImm64 { dst: 1, imm: 3, map: Some(3) });
     }
 }
 
@@ -636,9 +617,6 @@ mod encode_tests {
     #[test]
     fn displacement_overflow_reported() {
         let insn = Instruction::Jump { cond: None, target: 100_000 };
-        assert!(matches!(
-            encode(&insn, 0),
-            Err(EncodeError::Displacement { disp: 100_000 })
-        ));
+        assert!(matches!(encode(&insn, 0), Err(EncodeError::Displacement { disp: 100_000 })));
     }
 }

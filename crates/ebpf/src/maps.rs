@@ -61,7 +61,14 @@ pub struct MapDef {
 
 impl MapDef {
     /// Convenience constructor.
-    pub fn new(id: u32, name: &str, kind: MapKind, key_size: u32, value_size: u32, max_entries: u32) -> MapDef {
+    pub fn new(
+        id: u32,
+        name: &str,
+        kind: MapKind,
+        key_size: u32,
+        value_size: u32,
+        max_entries: u32,
+    ) -> MapDef {
         MapDef { id, name: name.to_string(), kind, key_size, value_size, max_entries }
     }
 
@@ -268,7 +275,10 @@ impl Map {
             MapKind::Array | MapKind::PerCpuArray => {
                 let idx = u32::from_le_bytes(key[..4].try_into().expect("array key is 4 bytes"));
                 if idx >= self.def.max_entries {
-                    return Err(MapError::IndexOutOfBounds { index: idx, max: self.def.max_entries });
+                    return Err(MapError::IndexOutOfBounds {
+                        index: idx,
+                        max: self.def.max_entries,
+                    });
                 }
                 Ok(Some(idx as usize))
             }
@@ -336,7 +346,12 @@ impl Map {
     ///
     /// Returns size-mismatch errors, [`MapError::Full`] when a non-LRU hash
     /// is at capacity, and flag-constraint violations.
-    pub fn update(&mut self, key: &[u8], value: &[u8], flags: UpdateFlags) -> Result<usize, MapError> {
+    pub fn update(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        flags: UpdateFlags,
+    ) -> Result<usize, MapError> {
         self.check_key(key)?;
         if value.len() != self.def.value_size as usize {
             return Err(MapError::BadValueSize { expected: self.def.value_size, got: value.len() });
@@ -345,7 +360,10 @@ impl Map {
             MapKind::Array | MapKind::PerCpuArray => {
                 let idx = u32::from_le_bytes(key[..4].try_into().expect("array key is 4 bytes"));
                 if idx >= self.def.max_entries {
-                    return Err(MapError::IndexOutOfBounds { index: idx, max: self.def.max_entries });
+                    return Err(MapError::IndexOutOfBounds {
+                        index: idx,
+                        max: self.def.max_entries,
+                    });
                 }
                 if flags == UpdateFlags::NoExist {
                     return Err(MapError::KeyExists);
@@ -371,7 +389,11 @@ impl Map {
                     }
                     self.tick += 1;
                     self.last_use[slot] = self.tick;
-                    self.slab[slot].as_mut().expect("indexed slot is live").value.copy_from_slice(value);
+                    self.slab[slot]
+                        .as_mut()
+                        .expect("indexed slot is live")
+                        .value
+                        .copy_from_slice(value);
                     return Ok(slot);
                 }
                 if flags == UpdateFlags::Exist {

@@ -376,7 +376,13 @@ impl AtomicOp {
     /// Encode to the immediate field.
     pub fn imm(self) -> i32 {
         match self {
-            AtomicOp::Add { fetch } => if fetch { BPF_FETCH } else { 0 },
+            AtomicOp::Add { fetch } => {
+                if fetch {
+                    BPF_FETCH
+                } else {
+                    0
+                }
+            }
             AtomicOp::Or { fetch } => 0x40 | if fetch { BPF_FETCH } else { 0 },
             AtomicOp::And { fetch } => 0x50 | if fetch { BPF_FETCH } else { 0 },
             AtomicOp::Xor { fetch } => 0xa0 | if fetch { BPF_FETCH } else { 0 },

@@ -1,6 +1,6 @@
 //! A loaded eBPF program: instruction stream plus map definitions.
 
-use crate::insn::{decode, Decoded, DecodeError, Insn};
+use crate::insn::{decode, DecodeError, Decoded, Insn};
 use crate::maps::MapDef;
 
 /// An eBPF/XDP program as loaded into the kernel (or handed to eHDL):

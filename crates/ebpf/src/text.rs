@@ -66,7 +66,11 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
         }
         // Strip an optional leading "NN:" program-counter label.
         let stmt = match stmt.split_once(':') {
-            Some((pfx, rest)) if pfx.trim().chars().all(|c| c.is_ascii_digit()) && !pfx.trim().is_empty() => rest,
+            Some((pfx, rest))
+                if pfx.trim().chars().all(|c| c.is_ascii_digit()) && !pfx.trim().is_empty() =>
+            {
+                rest
+            }
             _ => stmt,
         };
         let stmt = stmt.trim();
@@ -85,7 +89,10 @@ fn err(msg: impl Into<String>) -> String {
 
 fn parse_stmt(s: &str) -> Result<Vec<Insn>, String> {
     if s == "exit" {
-        return Ok(vec![Insn { opcode: JmpOp::Exit.bits() | Class::Jmp.bits(), ..Default::default() }]);
+        return Ok(vec![Insn {
+            opcode: JmpOp::Exit.bits() | Class::Jmp.bits(),
+            ..Default::default()
+        }]);
     }
     if let Some(rest) = s.strip_prefix("call ") {
         let helper: i32 = rest.trim().parse().map_err(|_| err("invalid helper id"))?;
@@ -97,7 +104,11 @@ fn parse_stmt(s: &str) -> Result<Vec<Insn>, String> {
     }
     if let Some(rest) = s.strip_prefix("goto ") {
         let off = parse_disp(rest.trim())?;
-        return Ok(vec![Insn { opcode: JmpOp::Ja.bits() | Class::Jmp.bits(), off, ..Default::default() }]);
+        return Ok(vec![Insn {
+            opcode: JmpOp::Ja.bits() | Class::Jmp.bits(),
+            off,
+            ..Default::default()
+        }]);
     }
     if let Some(rest) = s.strip_prefix("if ") {
         return parse_branch(rest);
@@ -162,9 +173,7 @@ fn parse_mem(s: &str) -> Result<(MemSize, u8, i16, &str), String> {
     let (addr, tail) = addr.split_once(')').ok_or_else(|| err("expected `)`"))?;
     // addr is like `r1 +4` or `r10 -4` or `r1 +0`.
     let addr = addr.trim();
-    let split = addr
-        .find(['+', '-'])
-        .ok_or_else(|| err(format!("expected offset in `{addr}`")))?;
+    let split = addr.find(['+', '-']).ok_or_else(|| err(format!("expected offset in `{addr}`")))?;
     let (base, off) = addr.split_at(split);
     let (reg, w32) = parse_reg(base)?;
     if w32 {
@@ -204,7 +213,13 @@ fn parse_branch(s: &str) -> Result<Vec<Insn>, String> {
             let rhs = rhs.trim();
             return if rhs.starts_with('r') || rhs.starts_with('w') {
                 let (src, _) = parse_reg(rhs)?;
-                Ok(vec![Insn { opcode: op.bits() | 0x08 | class.bits(), dst: reg, src, off, imm: 0 }])
+                Ok(vec![Insn {
+                    opcode: op.bits() | 0x08 | class.bits(),
+                    dst: reg,
+                    src,
+                    off,
+                    imm: 0,
+                }])
             } else {
                 let imm = parse_imm(rhs)? as i32;
                 Ok(vec![Insn { opcode: op.bits() | class.bits(), dst: reg, src: 0, off, imm }])
@@ -296,7 +311,22 @@ fn parse_assign(s: &str) -> Result<Vec<Insn>, String> {
                 if let Some(i) = s.find('=') {
                     let before = s.as_bytes().get(i.wrapping_sub(1)).copied().unwrap_or(b' ');
                     let after = s.as_bytes().get(i + 1).copied().unwrap_or(b' ');
-                    if before != b'=' && after != b'=' && !matches!(before, b'<' | b'>' | b'!' | b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^') {
+                    if before != b'='
+                        && after != b'='
+                        && !matches!(
+                            before,
+                            b'<' | b'>'
+                                | b'!'
+                                | b'+'
+                                | b'-'
+                                | b'*'
+                                | b'/'
+                                | b'%'
+                                | b'&'
+                                | b'|'
+                                | b'^'
+                        )
+                    {
                         break 'found (&s[..i], None, &s[i + 1..]);
                     }
                 }
@@ -317,7 +347,13 @@ fn parse_assign(s: &str) -> Result<Vec<Insn>, String> {
         Some(aop) => {
             if rhs.starts_with('r') || rhs.starts_with('w') {
                 let (src, _) = parse_reg(rhs)?;
-                Ok(vec![Insn { opcode: aop.bits() | 0x08 | alu_class.bits(), dst, src, off: 0, imm: 0 }])
+                Ok(vec![Insn {
+                    opcode: aop.bits() | 0x08 | alu_class.bits(),
+                    dst,
+                    src,
+                    off: 0,
+                    imm: 0,
+                }])
             } else {
                 let imm = parse_imm(rhs)? as i32;
                 Ok(vec![Insn { opcode: aop.bits() | alu_class.bits(), dst, src: 0, off: 0, imm }])
@@ -402,7 +438,13 @@ fn parse_assign(s: &str) -> Result<Vec<Insn>, String> {
                 ]);
             }
             let imm = parse_imm(rhs)? as i32;
-            Ok(vec![Insn { opcode: AluOp::Mov.bits() | alu_class.bits(), dst, src: 0, off: 0, imm }])
+            Ok(vec![Insn {
+                opcode: AluOp::Mov.bits() | alu_class.bits(),
+                dst,
+                src: 0,
+                off: 0,
+                imm,
+            }])
         }
     }
 }
@@ -468,10 +510,7 @@ mod tests {
             d[0].insn,
             crate::insn::Instruction::LoadImm64 { dst: 1, imm: 0x0123_4567_89ab_cdef, map: None }
         );
-        assert_eq!(
-            d[1].insn,
-            crate::insn::Instruction::LoadImm64 { dst: 2, imm: 3, map: Some(3) }
-        );
+        assert_eq!(d[1].insn, crate::insn::Instruction::LoadImm64 { dst: 2, imm: 3, map: Some(3) });
     }
 
     #[test]

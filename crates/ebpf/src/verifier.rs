@@ -144,7 +144,10 @@ pub struct VerifiedProgram {
 /// # Errors
 ///
 /// Returns the first [`VerifyError`] encountered.
-pub fn verify_with(program: &Program, allow_bounded_loops: bool) -> Result<VerifiedProgram, VerifyError> {
+pub fn verify_with(
+    program: &Program,
+    allow_bounded_loops: bool,
+) -> Result<VerifiedProgram, VerifyError> {
     let decoded = program.decode()?;
     if decoded.is_empty() {
         return Err(VerifyError::Empty);
@@ -467,10 +470,7 @@ mod tests {
         let mut a = Asm::new();
         a.mov64_imm(10, 0);
         a.exit();
-        assert_eq!(
-            verify(&prog(a)),
-            Err(VerifyError::BadRegister { pc: 0, reg: 10 })
-        );
+        assert_eq!(verify(&prog(a)), Err(VerifyError::BadRegister { pc: 0, reg: 10 }));
     }
 
     #[test]
@@ -502,10 +502,7 @@ mod tests {
         a.store_imm(MemSize::Dw, 10, -4, 0); // [-4, +4) crosses fp
         a.mov64_imm(0, 2);
         a.exit();
-        assert_eq!(
-            verify(&prog(a)),
-            Err(VerifyError::StackOutOfBounds { pc: 0, off: -4 })
-        );
+        assert_eq!(verify(&prog(a)), Err(VerifyError::StackOutOfBounds { pc: 0, off: -4 }));
     }
 
     #[test]
@@ -529,10 +526,7 @@ mod tests {
         let mut a = Asm::new();
         a.call(250);
         a.exit();
-        assert_eq!(
-            verify(&prog(a)),
-            Err(VerifyError::UnknownHelper { pc: 0, helper: 250 })
-        );
+        assert_eq!(verify(&prog(a)), Err(VerifyError::UnknownHelper { pc: 0, helper: 250 }));
     }
 
     #[test]
@@ -541,11 +535,8 @@ mod tests {
         a.ld_map_fd(1, 0);
         a.mov64_imm(0, 2);
         a.exit();
-        let p = Program::new(
-            "m",
-            a.into_insns(),
-            vec![MapDef::new(0, "x", MapKind::Array, 4, 8, 1)],
-        );
+        let p =
+            Program::new("m", a.into_insns(), vec![MapDef::new(0, "x", MapKind::Array, 4, 8, 1)]);
         let v = verify(&p).unwrap();
         assert_eq!(v.used_maps, vec![0]);
     }
@@ -626,9 +617,6 @@ mod tests {
         let p = prog(a);
         let v = verify(&p).unwrap();
         assert_eq!(v.back_edges, vec![2]);
-        assert_eq!(
-            verify_with(&p, false),
-            Err(VerifyError::UnboundedLoop { pc: 2 })
-        );
+        assert_eq!(verify_with(&p, false), Err(VerifyError::UnboundedLoop { pc: 2 }));
     }
 }

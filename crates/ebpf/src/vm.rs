@@ -418,7 +418,11 @@ impl Vm {
                     return Ok(Outcome {
                         action,
                         r0: regs[0],
-                        redirect_ifindex: if action == XdpAction::Redirect { ctx.redirect } else { None },
+                        redirect_ifindex: if action == XdpAction::Redirect {
+                            ctx.redirect
+                        } else {
+                            None
+                        },
                         executed,
                         helper_calls,
                         atomic_ops,
@@ -430,11 +434,7 @@ impl Vm {
     }
 
     fn index_of_slot(&self, slot: usize) -> Result<usize, VmError> {
-        self.slot_index
-            .get(slot)
-            .copied()
-            .flatten()
-            .ok_or(VmError::BadPc { pc: slot })
+        self.slot_index.get(slot).copied().flatten().ok_or(VmError::BadPc { pc: slot })
     }
 
     fn operand(&self, regs: &[u64; 11], op: Operand) -> u64 {
@@ -444,11 +444,20 @@ impl Vm {
         }
     }
 
-    fn mem_read(&mut self, ctx: &Ctx<'_>, addr: u64, size: MemSize, pc: usize) -> Result<u64, VmError> {
+    fn mem_read(
+        &mut self,
+        ctx: &Ctx<'_>,
+        addr: u64,
+        size: MemSize,
+        pc: usize,
+    ) -> Result<u64, VmError> {
         let n = size.bytes();
         if addr >= CTX_BASE && addr < CTX_BASE + xdp_md::SIZE as u64 {
-            let v = Vm::ctx_field(ctx, addr - CTX_BASE)
-                .ok_or(VmError::BadAccess { addr, size: n, pc })?;
+            let v = Vm::ctx_field(ctx, addr - CTX_BASE).ok_or(VmError::BadAccess {
+                addr,
+                size: n,
+                pc,
+            })?;
             return Ok(v & mask_for(size));
         }
         let bytes = self.mem_slice(ctx, addr, n, pc)?;
@@ -472,7 +481,13 @@ impl Vm {
         Ok(())
     }
 
-    fn mem_slice<'a>(&'a self, ctx: &'a Ctx<'_>, addr: u64, n: usize, pc: usize) -> Result<&'a [u8], VmError> {
+    fn mem_slice<'a>(
+        &'a self,
+        ctx: &'a Ctx<'_>,
+        addr: u64,
+        n: usize,
+        pc: usize,
+    ) -> Result<&'a [u8], VmError> {
         let err = VmError::BadAccess { addr, size: n, pc };
         if (PACKET_BASE..STACK_BASE).contains(&addr) {
             let off = (addr - PACKET_BASE) as usize;
@@ -553,16 +568,17 @@ impl Vm {
 
     /// Encode a `(map, slot)` pair as a map-value virtual address.
     pub fn map_value_addr(&self, map_id: u32, slot: usize) -> u64 {
-        let stride = self
-            .maps
-            .get(map_id)
-            .expect("map id exists")
-            .def()
-            .value_stride();
+        let stride = self.maps.get(map_id).expect("map id exists").def().value_stride();
         map_value_addr(map_id, slot, stride)
     }
 
-    fn read_key(&self, ctx: &Ctx<'_>, addr: u64, len: usize, pc: usize) -> Result<Vec<u8>, VmError> {
+    fn read_key(
+        &self,
+        ctx: &Ctx<'_>,
+        addr: u64,
+        len: usize,
+        pc: usize,
+    ) -> Result<Vec<u8>, VmError> {
         // Keys may legitimately live on the stack, in the packet or in a
         // map value; reuse mem_slice region logic byte-wise.
         let mut out = Vec::with_capacity(len);
@@ -1006,11 +1022,8 @@ mod tests {
         a.bind(miss);
         a.mov64_imm(0, 0);
         a.exit();
-        let p = Program::new(
-            "kv",
-            a.into_insns(),
-            vec![MapDef::new(0, "kv", MapKind::Hash, 8, 8, 16)],
-        );
+        let p =
+            Program::new("kv", a.into_insns(), vec![MapDef::new(0, "kv", MapKind::Hash, 8, 8, 16)]);
         let out = Vm::new(&p).run(&mut vec![0; 64], 0).unwrap();
         assert_eq!(out.r0, 7);
     }

@@ -67,9 +67,8 @@ fn hash_map_matches_model() {
                     match model.get(&k) {
                         None => assert!(slot.is_none()),
                         Some(v) => {
-                            let got = u64::from_le_bytes(
-                                map.value(slot.unwrap()).try_into().unwrap(),
-                            );
+                            let got =
+                                u64::from_le_bytes(map.value(slot.unwrap()).try_into().unwrap());
                             assert_eq!(got, *v);
                         }
                     }
@@ -80,7 +79,10 @@ fn hash_map_matches_model() {
         let mut contents: Vec<(u64, u64)> = map
             .iter()
             .map(|(_, k, v)| {
-                (u64::from_le_bytes(k.try_into().unwrap()), u64::from_le_bytes(v.try_into().unwrap()))
+                (
+                    u64::from_le_bytes(k.try_into().unwrap()),
+                    u64::from_le_bytes(v.try_into().unwrap()),
+                )
             })
             .collect();
         contents.sort_unstable();
@@ -113,7 +115,8 @@ fn lpm_longest_prefix() {
     let mut rng = Rng::seed_from_u64(0x1934);
     for _ in 0..256 {
         let nprefixes = rng.gen_range_u64(1, 11) as usize;
-        let mut prefixes: std::collections::BTreeSet<(u32, u32)> = std::collections::BTreeSet::new();
+        let mut prefixes: std::collections::BTreeSet<(u32, u32)> =
+            std::collections::BTreeSet::new();
         while prefixes.len() < nprefixes {
             prefixes.insert((rng.gen_range_u64(0, 24) as u32, rng.next_u32()));
         }
@@ -136,9 +139,7 @@ fn lpm_longest_prefix() {
         let best = entries
             .iter()
             .enumerate()
-            .filter(|(_, (plen, net))| {
-                *plen == 0 || (probe & (!0u32 << (32 - plen))) == *net
-            })
+            .filter(|(_, (plen, net))| *plen == 0 || (probe & (!0u32 << (32 - plen))) == *net)
             .max_by_key(|(i, (plen, _))| (*plen, usize::MAX - i));
         match best {
             None => assert!(got.is_none()),
@@ -265,8 +266,7 @@ fn text_parser_survives_statement_soup() {
     let mut rng = Rng::seed_from_u64(0x50f7);
     for _ in 0..512 {
         let n = rng.gen_index(8);
-        let line =
-            (0..n).map(|_| PARTS[rng.gen_index(PARTS.len())]).collect::<Vec<_>>().join(" ");
+        let line = (0..n).map(|_| PARTS[rng.gen_index(PARTS.len())]).collect::<Vec<_>>().join(" ");
         let _ = ehdl_ebpf::text::parse_program(&line);
     }
 }

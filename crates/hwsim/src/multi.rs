@@ -88,10 +88,7 @@ impl CompiledSteering {
     pub fn steer(&self, packet: &[u8]) -> usize {
         match self {
             CompiledSteering::ByEtherType { sorted, default } => {
-                let ty = packet
-                    .get(12..14)
-                    .map(|b| u16::from_be_bytes([b[0], b[1]]))
-                    .unwrap_or(0);
+                let ty = packet.get(12..14).map(|b| u16::from_be_bytes([b[0], b[1]])).unwrap_or(0);
                 match sorted.binary_search_by_key(&ty, |&(t, _)| t) {
                     Ok(i) => sorted[i].1,
                     Err(_) => *default,
@@ -261,8 +258,20 @@ mod tests {
             Steering::ByIpProto { rules: vec![(IPPROTO_UDP, 0), (IPPROTO_TCP, 1)], default: 1 },
             SimOptions { freeze_time_ns: Some(1000), ..Default::default() },
         );
-        let udp = FiveTuple { saddr: [10, 0, 0, 1], daddr: [1; 4], sport: 9, dport: 53, proto: IPPROTO_UDP };
-        let tcp = FiveTuple { saddr: [10, 0, 0, 2], daddr: [2; 4], sport: 9, dport: 80, proto: IPPROTO_TCP };
+        let udp = FiveTuple {
+            saddr: [10, 0, 0, 1],
+            daddr: [1; 4],
+            sport: 9,
+            dport: 53,
+            proto: IPPROTO_UDP,
+        };
+        let tcp = FiveTuple {
+            saddr: [10, 0, 0, 2],
+            daddr: [2; 4],
+            sport: 9,
+            dport: 80,
+            proto: IPPROTO_TCP,
+        };
         let mut packets = Vec::new();
         for _ in 0..20 {
             packets.push(build_flow_packet(&udp, [1; 6], [2; 6], 64));

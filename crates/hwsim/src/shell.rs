@@ -76,7 +76,11 @@ pub struct NicShell {
 impl NicShell {
     /// Build a shell around `design`.
     pub fn new(design: &PipelineDesign, options: ShellOptions) -> NicShell {
-        NicShell { sim: PipelineSim::with_options(design, options.sim), options, completed: Vec::new() }
+        NicShell {
+            sim: PipelineSim::with_options(design, options.sim),
+            options,
+            completed: Vec::new(),
+        }
     }
 
     /// Access the wrapped simulator (e.g. for host map setup).
@@ -178,13 +182,8 @@ impl NicShell {
 }
 
 /// Verdict histogram indices for [`NicShell::action_histogram`].
-pub const ACTIONS: [XdpAction; 5] = [
-    XdpAction::Aborted,
-    XdpAction::Drop,
-    XdpAction::Pass,
-    XdpAction::Tx,
-    XdpAction::Redirect,
-];
+pub const ACTIONS: [XdpAction; 5] =
+    [XdpAction::Aborted, XdpAction::Drop, XdpAction::Pass, XdpAction::Tx, XdpAction::Redirect];
 
 #[cfg(test)]
 mod tests {
@@ -208,11 +207,7 @@ mod tests {
         assert_eq!(report.lost, 0);
         assert_eq!(report.completed, 5000);
         // 64B at 100G = 148.8 Mpps offered; pipeline peak is 250 Mpps.
-        assert!(
-            (130e6..170e6).contains(&report.throughput_pps),
-            "{}",
-            report.throughput_pps
-        );
+        assert!((130e6..170e6).contains(&report.throughput_pps), "{}", report.throughput_pps);
     }
 
     #[test]
@@ -220,20 +215,13 @@ mod tests {
         let design = tx_everything();
         let mut shell = NicShell::new(&design, ShellOptions::default());
         let report = shell.run((0..1000).map(|_| vec![0u8; 64]));
-        assert!(
-            (600.0..1500.0).contains(&report.avg_latency_ns),
-            "{}",
-            report.avg_latency_ns
-        );
+        assert!((600.0..1500.0).contains(&report.avg_latency_ns), "{}", report.avg_latency_ns);
     }
 
     #[test]
     fn offered_load_fraction_scales_throughput() {
         let design = tx_everything();
-        let mut half = NicShell::new(
-            &design,
-            ShellOptions { load: 0.5, ..Default::default() },
-        );
+        let mut half = NicShell::new(&design, ShellOptions { load: 0.5, ..Default::default() });
         let r = half.run((0..2000).map(|_| vec![0u8; 64]));
         assert_eq!(r.lost, 0);
         assert!(

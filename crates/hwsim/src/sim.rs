@@ -9,8 +9,8 @@ use ehdl_ebpf::maps::{MapStore, UpdateFlags};
 use ehdl_ebpf::opcode::{AtomicOp, MemSize};
 use ehdl_ebpf::vm::{
     alu_eval, cond_eval, decode_map_value_addr, endian_eval, map_value_addr, mask_for, xdp_md,
-    XdpAction, CTX_BASE, MAP_HANDLE_BASE, PACKET_BASE, STACK_BASE, STACK_SIZE,
-    STACK_TOP, XDP_HEADROOM,
+    XdpAction, CTX_BASE, MAP_HANDLE_BASE, PACKET_BASE, STACK_BASE, STACK_SIZE, STACK_TOP,
+    XDP_HEADROOM,
 };
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -36,6 +36,12 @@ pub struct SimOptions {
     /// stage boundary — exactly what the real hardware does by not wiring
     /// them. Any observable effect is a pruning-soundness bug.
     pub poison_dead_state: bool,
+    /// Partial flushes (App. A.1/A.2): on a RAW hazard, replay only the
+    /// FEB's read→write window from per-stage checkpoints instead of
+    /// everything below the write stage, dropping the flush cost `K` from
+    /// `write_stage + reload` to `window + reload`. Off reproduces the
+    /// full-pipeline flush of the baseline hardware.
+    pub partial_flush: bool,
 }
 
 impl Default for SimOptions {
@@ -45,6 +51,7 @@ impl Default for SimOptions {
             rx_queue_depth: 4096,
             shell_latency_ns: 620.0,
             poison_dead_state: false,
+            partial_flush: true,
         }
     }
 }
@@ -147,8 +154,10 @@ struct PacketState {
     action: Option<XdpAction>,
     redirect: Option<u32>,
     faulted: bool,
-    /// Unconfirmed read keys, `(map, key)` pairs (cleared only by replay).
-    map_reads: Vec<(u32, Vec<u8>)>,
+    /// Unconfirmed reads, `(map, stage, key)` triples (cleared only by
+    /// replay). The stage tag bounds how far a stale reader must roll
+    /// back: to its own earliest matching read, not the FEB minimum.
+    map_reads: Vec<(u32, u32, Vec<u8>)>,
     /// Lowest `data_off` this packet ever had. Everything below it in
     /// `buf` is still the zeroed headroom, so snapshots copy only the
     /// tail from here on.
@@ -164,6 +173,8 @@ struct PacketState {
 struct StatePool {
     #[allow(clippy::vec_box)] // boxed so snapshot/restore moves a pointer
     free: Vec<Box<PacketState>>,
+    /// Retired checkpoint vectors, reused by newly injected packets.
+    ckpt_vecs: Vec<Vec<(usize, Box<PacketState>)>>,
     /// `BlockBits` words actually used by this design.
     words: usize,
 }
@@ -185,6 +196,21 @@ impl StatePool {
     fn recycle(&mut self, b: Box<PacketState>) {
         if self.free.len() < Self::CAP {
             self.free.push(b);
+        }
+    }
+
+    /// A recycled (empty, warm-capacity) checkpoint vector for a new
+    /// packet, so its first checkpoint push doesn't allocate mid-step.
+    fn take_ckpt_vec(&mut self) -> Vec<(usize, Box<PacketState>)> {
+        self.ckpt_vecs.pop().unwrap_or_default()
+    }
+
+    /// Return a retiring packet's checkpoint vector (already drained of
+    /// its snapshots) to the pool.
+    fn recycle_ckpt_vec(&mut self, mut v: Vec<(usize, Box<PacketState>)>) {
+        v.clear();
+        if self.ckpt_vecs.len() < Self::CAP {
+            self.ckpt_vecs.push(v);
         }
     }
 }
@@ -269,8 +295,23 @@ pub struct PipelineSim {
     /// Reusable map key / byte-string buffers for helper calls.
     scratch_key: Vec<u8>,
     scratch_val: Vec<u8>,
+    /// Pooled byte buffers backing WAR-delayed map writes, so the
+    /// update/delete path is allocation-free once warm.
+    buf_pool: Vec<Vec<u8>>,
     /// Checkpoint storage recycler.
     pool: StatePool,
+    /// Partial-flush replay stream: evicted window packets waiting to
+    /// re-enter the pipeline at `replay_entry`, oldest first.
+    replay: VecDeque<Box<InFlight>>,
+    /// Stage at which queued replay packets re-enter (the triggering
+    /// FEB's earliest read stage).
+    replay_entry: usize,
+    /// Reload bubble gating the replay stream after a partial flush.
+    replay_stall: u64,
+    /// Hazard keys whose triggering write is still in a WAR delay buffer:
+    /// the flush controller holds the replay stream until these retire,
+    /// so the replayed read cannot hit the stale-risk interlock.
+    replay_hold: Vec<(u32, Vec<u8>)>,
     /// `EHDL_SIM_DEBUG` was set at construction (cached: reading the
     /// environment takes a process-global lock, far too slow per event).
     debug_trace: bool,
@@ -319,8 +360,14 @@ impl PipelineSim {
             scratch: Some(Box::default()),
             scratch_key: Vec::new(),
             scratch_val: Vec::new(),
+            buf_pool: Vec::new(),
+            replay: VecDeque::new(),
+            replay_entry: 0,
+            replay_stall: 0,
+            replay_hold: Vec::new(),
             pool: StatePool {
                 free: Vec::new(),
+                ckpt_vecs: Vec::new(),
                 words: design.blocks.len().div_ceil(64).max(1),
             },
             debug_trace: std::env::var_os("EHDL_SIM_DEBUG").is_some(),
@@ -402,7 +449,7 @@ impl PipelineSim {
                 buf_lo: XDP_HEADROOM,
                 stack_lo: STACK_SIZE as usize,
             },
-            checkpoints: Vec::new(),
+            checkpoints: self.pool.take_ckpt_vec(),
             resume: None,
         }));
         self.next_seq += 1;
@@ -425,32 +472,58 @@ impl PipelineSim {
         let plan = Arc::clone(&self.plan);
         let nstages = self.design.stages.len();
         for s in (0..nstages).rev() {
-            let Some(mut pkt) = self.slots[s].take() else { continue };
-            match self.exec_stage(s, &mut pkt, &plan) {
-                StageResult::Ok => {
-                    if s + 1 == nstages {
-                        self.complete(pkt);
-                    } else {
-                        self.poison_dead(&mut pkt, s + 1);
-                        self.slots[s + 1] = Some(pkt);
-                    }
-                }
-                StageResult::FlushBelow { boundary, read_stage, map, key } => {
-                    // The writer (this packet) keeps going.
-                    if s + 1 == nstages {
-                        self.complete(pkt);
-                    } else {
-                        self.poison_dead(&mut pkt, s + 1);
-                        self.slots[s + 1] = Some(pkt);
-                    }
-                    self.flush_below(boundary, read_stage, Some((map, key)));
-                }
-                StageResult::FlushSelf => {
-                    // Reading packet saw a stale location: it and everything
-                    // younger re-executes (re-reading from its latest
-                    // checkpoint repairs the value).
+            if let Some(mut pkt) = self.slots[s].take() {
+                // A packet may not advance into an occupied slot, nor past
+                // the re-entry stage of a pending partial-flush replay
+                // stream (the queued packets are older and go first). A
+                // blocked packet holds its slot and defers execution.
+                let blocked = s + 1 < nstages
+                    && (self.slots[s + 1].is_some()
+                        || (s + 1 == self.replay_entry && !self.replay.is_empty()));
+                if blocked {
                     self.slots[s] = Some(pkt);
-                    self.flush_below(s + 1, s, None);
+                } else {
+                    match self.exec_stage(s, &mut pkt, &plan) {
+                        StageResult::Ok => {
+                            if s + 1 == nstages {
+                                self.complete(pkt);
+                            } else {
+                                self.poison_dead(&mut pkt, s + 1);
+                                self.place_in_slot(s + 1, pkt);
+                            }
+                        }
+                        StageResult::FlushBelow { boundary, read_stage, map, key } => {
+                            // The writer (this packet) keeps going.
+                            if s + 1 == nstages {
+                                self.complete(pkt);
+                            } else {
+                                self.poison_dead(&mut pkt, s + 1);
+                                self.place_in_slot(s + 1, pkt);
+                            }
+                            self.flush_below(boundary, read_stage, Some((map, key)));
+                        }
+                        StageResult::FlushSelf => {
+                            // Reading packet saw a stale location: it and
+                            // everything younger re-executes (re-reading from
+                            // its latest checkpoint repairs the value).
+                            self.slots[s] = Some(pkt);
+                            self.flush_below(s + 1, s, None);
+                        }
+                    }
+                }
+            }
+            // Partial-flush replay stream: evictees re-enter at the
+            // window's read stage, one per cycle after the reload bubble,
+            // once the triggering write has retired from its delay buffer.
+            if s == self.replay_entry && !self.replay.is_empty() && self.slots[s].is_none() {
+                if self.replay_stall > 0 {
+                    self.replay_stall -= 1;
+                } else {
+                    self.retire_replay_holds();
+                    if self.replay_hold.is_empty() {
+                        let pkt = self.replay.pop_front().expect("replay checked non-empty");
+                        self.slots[s] = Some(pkt);
+                    }
                 }
             }
         }
@@ -460,12 +533,14 @@ impl PipelineSim {
             self.stall -= 1;
         } else if self.inject_busy > 0 {
             self.inject_busy -= 1;
-        } else if self.slots.first().is_some_and(|s| s.is_none()) {
+        } else if self.slots.first().is_some_and(|s| s.is_none())
+            && (self.replay.is_empty() || self.replay_entry != 0)
+        {
             if let Some(mut pkt) = self.rx.pop_front() {
                 pkt.injected_cycle = self.cycle;
                 self.inject_busy = self.frames_of(pkt.orig.len()).saturating_sub(1);
                 self.counters.injected += 1;
-                self.slots[0] = Some(pkt);
+                self.place_in_slot(0, pkt);
             }
         }
 
@@ -475,7 +550,10 @@ impl PipelineSim {
     /// Run until the pipeline and queues are empty (or `max_cycles` pass).
     pub fn settle(&mut self, max_cycles: u64) {
         let mut budget = max_cycles;
-        while (self.in_flight() > 0 || !self.rx.is_empty() || !self.pending_writes.is_empty())
+        while (self.in_flight() > 0
+            || !self.rx.is_empty()
+            || !self.replay.is_empty()
+            || !self.pending_writes.is_empty())
             && budget > 0
         {
             self.step();
@@ -489,10 +567,11 @@ impl PipelineSim {
     }
 
     fn complete(&mut self, pkt: Box<InFlight>) {
-        let InFlight { seq, injected_cycle, mut state, checkpoints, resume, .. } = *pkt;
-        for (_, b) in checkpoints {
+        let InFlight { seq, injected_cycle, mut state, mut checkpoints, resume, .. } = *pkt;
+        for (_, b) in checkpoints.drain(..) {
             self.pool.recycle(b);
         }
+        self.pool.recycle_ckpt_vec(checkpoints);
         if let Some((_, b)) = resume {
             self.pool.recycle(b);
         }
@@ -521,36 +600,79 @@ impl PipelineSim {
         });
     }
 
+    /// Place `pkt` into slot `t`, taking a forced checkpoint first when
+    /// `t` is a FEB read stage: partial flushes re-enter the pipeline at
+    /// the window's read stage, so every packet inside the window must be
+    /// resumable from there (or later). The state on *entering* slot `t`
+    /// is exactly the pre-execution state of stage `t`, so snapshotting
+    /// here also covers packets flushed out of the slot before they run.
+    /// Skipped while a resume snapshot is pending (the packet's live state
+    /// is downstream of `t`'s input) and when the last checkpoint already
+    /// sits at `t`.
+    fn place_in_slot(&mut self, t: usize, mut pkt: Box<InFlight>) {
+        if self.options.partial_flush
+            && pkt.resume.is_none()
+            && self.plan.checkpoint_at(t)
+            && pkt.checkpoints.last().map(|(cs, _)| *cs) != Some(t)
+        {
+            let snap = self.pool.snapshot(&pkt.state);
+            pkt.checkpoints.push((t, snap));
+        }
+        self.slots[t] = Some(pkt);
+    }
+
     /// Flush all pipeline slots below `boundary`.
     ///
     /// `trigger` identifies the hazard: packets holding an unconfirmed read
-    /// of that key must roll back past `read_stage` to repair it; innocent
-    /// bystanders resume from their latest checkpoint, so their committed
-    /// side effects are never replayed (App. A.2).
+    /// of that key must roll back past their earliest matching read to
+    /// repair it; innocent bystanders resume from their latest checkpoint,
+    /// so their committed side effects are never replayed (App. A.2).
+    ///
+    /// With `partial_flush` on and a FEB trigger, only the hazard window
+    /// `[read_stage, boundary)` is evicted and replayed — the flush cost
+    /// drops from `boundary + reload` to `window + reload` cycles.
     fn flush_below(&mut self, boundary: usize, read_stage: usize, trigger: Option<(u32, Vec<u8>)>) {
+        if self.options.partial_flush {
+            if let Some((map, key)) = trigger {
+                self.partial_flush(boundary, read_stage, map, key);
+                return;
+            }
+        }
         let mut replay = Vec::new();
         for s in (0..boundary.min(self.slots.len())).rev() {
             if let Some(pkt) = self.slots[s].take() {
                 replay.push(pkt); // oldest first
             }
         }
+        // A full flush also pulls back everything queued for partial
+        // replay: those packets are older than anything below the replay
+        // entry stage and must re-enter from the front in arrival order.
+        replay.extend(self.replay.drain(..));
+        self.replay_hold.clear();
         if replay.is_empty() {
             return;
         }
+        replay.sort_by_key(|p| p.seq);
         self.counters.flushes += 1;
         self.counters.flush_replays += replay.len() as u64;
         if self.debug_trace {
-            eprintln!("[sim {}] flush boundary={boundary} read_stage={read_stage} trigger={trigger:?}", self.cycle);
+            eprintln!(
+                "[sim {}] flush boundary={boundary} read_stage={read_stage} trigger={trigger:?}",
+                self.cycle
+            );
         }
         // Re-inject in original order at the queue front.
         for mut pkt in replay.into_iter().rev() {
-            let stale = match &trigger {
-                Some((m, k)) => pkt.state.map_reads.iter().any(|(pm, pk)| pm == m && pk == k),
-                None => false,
+            let limit = match &trigger {
+                Some((m, k)) => matching_read_limit(&pkt.state, *m, k),
+                None => usize::MAX,
             };
-            let limit = if stale { read_stage } else { usize::MAX };
             if self.debug_trace {
-                eprintln!("  replay seq{} stale={stale} ckpts={:?}", pkt.seq, pkt.checkpoints.iter().map(|(s,_)| *s).collect::<Vec<_>>());
+                eprintln!(
+                    "  replay seq{} limit={limit} ckpts={:?}",
+                    pkt.seq,
+                    pkt.checkpoints.iter().map(|(s, _)| *s).collect::<Vec<_>>()
+                );
             }
             pkt.reset_for_replay(limit, &mut self.pool);
             self.counters.injected = self.counters.injected.saturating_sub(1);
@@ -560,6 +682,112 @@ impl PipelineSim {
         self.inject_busy = 0;
     }
 
+    /// Partial flush (App. A.1): evict only the hazard window
+    /// `[entry, boundary)` into the replay stream, which re-enters the
+    /// pipeline at `entry` after the reload bubble. Packets below the
+    /// window keep flowing and stall behind the stream; packets below the
+    /// window that still hold an unconfirmed read of the key (replaying
+    /// after an earlier flush) are pulled back as well.
+    fn partial_flush(&mut self, boundary: usize, entry: usize, map: u32, key: Vec<u8>) {
+        let had_stream = !self.replay.is_empty();
+        let mut evicted: Vec<Box<InFlight>> = Vec::new();
+        for s in (entry..boundary.min(self.slots.len())).rev() {
+            if let Some(pkt) = self.slots[s].take() {
+                evicted.push(pkt); // oldest first
+            }
+        }
+        for s in (0..entry.min(self.slots.len())).rev() {
+            let stale = self.slots[s]
+                .as_ref()
+                .is_some_and(|p| matching_read_limit(&p.state, map, &key) != usize::MAX);
+            if stale {
+                evicted.push(self.slots[s].take().expect("stale slot checked above"));
+            }
+        }
+        // Roll back stale packets already queued from an earlier
+        // overlapping flush so their repaired read re-executes too.
+        let mut queue_rolled = 0u64;
+        for pkt in self.replay.iter_mut() {
+            let limit = matching_read_limit(&pkt.state, map, &key);
+            if limit != usize::MAX {
+                pkt.reset_for_replay(limit, &mut self.pool);
+                queue_rolled += 1;
+            }
+        }
+        if evicted.is_empty() && queue_rolled == 0 {
+            return;
+        }
+        self.counters.flushes += 1;
+        self.counters.flush_replays += evicted.len() as u64;
+        if self.debug_trace {
+            eprintln!(
+                "[sim {}] partial flush window=[{entry},{boundary}) map={map} evicted={}",
+                self.cycle,
+                evicted.len()
+            );
+        }
+        for mut pkt in evicted {
+            // Stale readers roll back below their earliest matching read;
+            // innocents resume from their latest checkpoint. Both have a
+            // forced checkpoint at (or above) `entry`, so every queued
+            // packet can re-enter the pipeline there.
+            let limit = matching_read_limit(&pkt.state, map, &key);
+            if self.debug_trace {
+                eprintln!(
+                    "  queue seq{} limit={limit} ckpts={:?}",
+                    pkt.seq,
+                    pkt.checkpoints.iter().map(|(s, _)| *s).collect::<Vec<_>>()
+                );
+            }
+            pkt.reset_for_replay(limit, &mut self.pool);
+            self.replay.push_back(pkt);
+        }
+        // Merge with any pending stream: keep arrival order and re-enter
+        // at the lowest read stage involved.
+        self.replay.make_contiguous().sort_by_key(|p| p.seq);
+        self.replay_entry = if had_stream { self.replay_entry.min(entry) } else { entry };
+        // The flush controller holds the replay until the triggering
+        // write has retired from its WAR delay buffer — otherwise the
+        // replayed read would hit the stale-risk interlock and escalate
+        // to a full flush. The hold is dynamic (checked against
+        // `pending_writes` at re-entry) because a delayed write can
+        // retire early when its own packet reads it back.
+        let write_pending = self
+            .pending_writes
+            .iter()
+            .any(|w| w.map == map && self.pending_write_key_matches(w, &key));
+        if write_pending && !self.replay_hold.iter().any(|(m, k)| *m == map && *k == key) {
+            self.replay_hold.push((map, key));
+        }
+        self.replay_stall = self.replay_stall.max(FLUSH_RELOAD_CYCLES);
+    }
+
+    /// Drop replay holds whose pending write has retired.
+    fn retire_replay_holds(&mut self) {
+        if self.replay_hold.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.replay_hold);
+        self.replay_hold = pending
+            .into_iter()
+            .filter(|(m, k)| {
+                self.pending_writes
+                    .iter()
+                    .any(|w| w.map == *m && self.pending_write_key_matches(w, k))
+            })
+            .collect();
+    }
+
+    /// Does a pending write target `key`?
+    fn pending_write_key_matches(&self, w: &PendingWrite, key: &[u8]) -> bool {
+        match &w.kind {
+            WriteKind::Update { key: k, .. } | WriteKind::Delete { key: k } => k == key,
+            WriteKind::StoreValue { slot, .. } => {
+                self.maps.get(w.map).is_some_and(|m| m.key_of(*slot) == key)
+            }
+        }
+    }
+
     fn commit_due_writes(&mut self) {
         let cycle = self.cycle;
         let mut i = 0;
@@ -567,6 +795,7 @@ impl PipelineSim {
             if self.pending_writes[i].commit_cycle <= cycle {
                 let w = self.pending_writes.remove(i);
                 self.apply_write(&w);
+                self.recycle_write(w);
             } else {
                 i += 1;
             }
@@ -601,6 +830,7 @@ impl PipelineSim {
             if self.pending_writes[i].map == map && self.pending_writes[i].seq == seq {
                 let w = self.pending_writes.remove(i);
                 self.apply_write(&w);
+                self.recycle_write(w);
             } else {
                 i += 1;
             }
@@ -622,9 +852,7 @@ impl PipelineSim {
     }
 
     fn time_ns(&self) -> u64 {
-        self.options
-            .freeze_time_ns
-            .unwrap_or((self.cycle as f64 * CLOCK_NS) as u64)
+        self.options.freeze_time_ns.unwrap_or((self.cycle as f64 * CLOCK_NS) as u64)
     }
 
     fn prandom(&mut self) -> u64 {
@@ -771,7 +999,8 @@ impl PipelineSim {
                 Instruction::Atomic { op: aop, size, dst, off, src } => {
                     let addr = regs[dst as usize].wrapping_add(off as i64 as u64);
                     let operand_v = regs[src as usize];
-                    let old = self.atomic_rmw(state, seq, addr, size, aop, operand_v, regs[0], delta)?;
+                    let old =
+                        self.atomic_rmw(state, seq, addr, size, aop, operand_v, regs[0], delta)?;
                     match aop {
                         AtomicOp::Cmpxchg => delta.set_reg(0, old),
                         _ if aop.fetches() => delta.set_reg(src, old),
@@ -869,7 +1098,9 @@ impl PipelineSim {
                 let mut key = std::mem::take(&mut self.scratch_key);
                 key.clear();
                 key.resize(key_size, 0);
-                let r = self.lookup_with_key(map_id, stride, seq, state, regs[2], &mut key, delta);
+                let r = self.lookup_with_key(
+                    stage_idx, map_id, stride, seq, state, regs[2], &mut key, delta,
+                );
                 key.clear();
                 self.scratch_key = key;
                 r?
@@ -880,37 +1111,18 @@ impl PipelineSim {
                     let m = self.maps.get(map_id).ok_or(OpAbort::Fault)?;
                     (m.def().key_size as usize, m.def().value_size as usize)
                 };
-                let mut key = vec![0u8; key_size];
-                self.read_into(state, seq, regs[2], &mut key)?;
-                // FEB: compare the write key against unconfirmed reads of
-                // younger in-flight packets (§4.1.2).
-                let hazard = self.younger_read_matches(stage_idx, map_id, &key);
-                let flush_key = hazard.then(|| key.clone());
-                let kind = if helper == BPF_MAP_UPDATE_ELEM {
-                    let mut value = vec![0u8; value_size];
-                    self.read_into(state, seq, regs[3], &mut value)?;
-                    let flags = UpdateFlags::from_raw(regs[4]).unwrap_or(UpdateFlags::Any);
-                    WriteKind::Update { key, value, flags }
-                } else {
-                    WriteKind::Delete { key }
-                };
-                let delay = self.war_delay.get(&(map_id, stage_idx)).copied().unwrap_or(0);
-                let w = PendingWrite {
-                    commit_cycle: self.cycle + delay,
-                    map: map_id,
-                    seq,
-                    kind,
-                };
-                if delay == 0 {
-                    self.apply_write(&w);
-                } else {
-                    self.pending_writes.push(w);
-                }
-                delta.side_effect = true;
-                if let Some(k) = flush_key {
-                    delta.flush_below =
-                        Some((map_id, k, self.feb_read_stage(map_id, stage_idx)));
-                }
+                // Like the lookup path, the key lands in a recycled
+                // buffer; delayed writes copy it into pooled storage, so
+                // the steady-state write path performs no allocation.
+                let mut key = std::mem::take(&mut self.scratch_key);
+                key.clear();
+                key.resize(key_size, 0);
+                let r = self.map_write_with_key(
+                    stage_idx, helper, map_id, value_size, seq, state, &mut key, delta,
+                );
+                key.clear();
+                self.scratch_key = key;
+                r?;
                 0
             }
             BPF_KTIME_GET_NS => self.time_ns(),
@@ -975,10 +1187,9 @@ impl PipelineSim {
         if !self.options.poison_dead_state || pkt.resume.is_some() {
             return;
         }
-        let (Some(&live_regs), Some(live_stack)) = (
-            self.design.prune.live_regs.get(stage),
-            self.design.prune.live_stack.get(stage),
-        ) else {
+        let (Some(&live_regs), Some(live_stack)) =
+            (self.design.prune.live_regs.get(stage), self.design.prune.live_stack.get(stage))
+        else {
             return;
         };
         for r in 0..11 {
@@ -1014,7 +1225,9 @@ impl PipelineSim {
         self.slots[..write_stage]
             .iter()
             .flatten()
-            .any(|p| p.state.map_reads.iter().any(|&(m, ref k)| m == map && k == key))
+            .map(|p| &p.state)
+            .chain(self.replay.iter().map(|p| &p.state))
+            .any(|st| st.map_reads.iter().any(|&(m, _, ref k)| m == map && k == key))
     }
 
     fn mem_read(
@@ -1086,6 +1299,7 @@ impl PipelineSim {
     #[allow(clippy::too_many_arguments)]
     fn lookup_with_key(
         &mut self,
+        stage_idx: usize,
         map_id: u32,
         stride: u32,
         seq: u64,
@@ -1099,12 +1313,107 @@ impl PipelineSim {
         if self.stale_risk(map_id, seq, key) {
             return Err(OpAbort::FlushSelf);
         }
-        delta.record_read(map_id, key.to_vec());
+        delta.record_read(map_id, stage_idx as u32, key.to_vec());
         let map = self.maps.get_mut(map_id).expect("map exists");
         Ok(match map.lookup(key).ok().flatten() {
             Some(slot) => map_value_addr(map_id, slot, stride),
             None => 0,
         })
+    }
+
+    /// Map update/delete body, split out so the recycled key buffer is
+    /// restored on every exit path. Immediate (undelayed) writes commit
+    /// straight from the scratch buffers; WAR-delayed writes copy into
+    /// pooled storage recycled at commit time — no allocation either way.
+    #[allow(clippy::too_many_arguments)]
+    fn map_write_with_key(
+        &mut self,
+        stage_idx: usize,
+        helper: u32,
+        map_id: u32,
+        value_size: usize,
+        seq: u64,
+        state: &PacketState,
+        key: &mut [u8],
+        delta: &mut Delta,
+    ) -> Result<(), OpAbort> {
+        let regs = &state.regs;
+        self.read_into(state, seq, regs[2], key)?;
+        // FEB: compare the write key against unconfirmed reads of
+        // younger in-flight packets (§4.1.2).
+        let hazard = self.younger_read_matches(stage_idx, map_id, key);
+        let delay = self.war_delay.get(&(map_id, stage_idx)).copied().unwrap_or(0);
+        if helper == BPF_MAP_UPDATE_ELEM {
+            let flags = UpdateFlags::from_raw(regs[4]).unwrap_or(UpdateFlags::Any);
+            let mut value = std::mem::take(&mut self.scratch_val);
+            value.clear();
+            value.resize(value_size, 0);
+            let read = self.read_into(state, seq, regs[3], &mut value);
+            if read.is_ok() {
+                if delay == 0 {
+                    if let Some(map) = self.maps.get_mut(map_id) {
+                        let _ = map.update(key, &value, flags);
+                    }
+                } else {
+                    let k = self.pooled_copy(key);
+                    let v = self.pooled_copy(&value);
+                    self.pending_writes.push(PendingWrite {
+                        commit_cycle: self.cycle + delay,
+                        map: map_id,
+                        seq,
+                        kind: WriteKind::Update { key: k, value: v, flags },
+                    });
+                }
+            }
+            value.clear();
+            self.scratch_val = value;
+            read?;
+        } else if delay == 0 {
+            if let Some(map) = self.maps.get_mut(map_id) {
+                let _ = map.delete(key);
+            }
+        } else {
+            let k = self.pooled_copy(key);
+            self.pending_writes.push(PendingWrite {
+                commit_cycle: self.cycle + delay,
+                map: map_id,
+                seq,
+                kind: WriteKind::Delete { key: k },
+            });
+        }
+        delta.side_effect = true;
+        if hazard {
+            delta.flush_below =
+                Some((map_id, key.to_vec(), self.feb_read_stage(map_id, stage_idx)));
+        }
+        Ok(())
+    }
+
+    /// Copy `src` into a pooled byte buffer (allocation-free when warm).
+    fn pooled_copy(&mut self, src: &[u8]) -> Vec<u8> {
+        let mut b = self.buf_pool.pop().unwrap_or_default();
+        b.clear();
+        b.extend_from_slice(src);
+        b
+    }
+
+    fn recycle_buf(&mut self, mut b: Vec<u8>) {
+        if self.buf_pool.len() < 32 {
+            b.clear();
+            self.buf_pool.push(b);
+        }
+    }
+
+    /// Return a retired pending write's owned buffers to the pool.
+    fn recycle_write(&mut self, w: PendingWrite) {
+        match w.kind {
+            WriteKind::Update { key, value, .. } => {
+                self.recycle_buf(key);
+                self.recycle_buf(value);
+            }
+            WriteKind::Delete { key } => self.recycle_buf(key),
+            WriteKind::StoreValue { .. } => {}
+        }
     }
 
     /// Sum `len` bytes at `addr` as little-endian u32 words (the
@@ -1219,6 +1528,18 @@ fn atomic_new_value(aop: AtomicOp, old: u64, operand_v: u64, expected: u64) -> u
     }
 }
 
+/// Earliest stage at which `state` holds an unconfirmed read of `key` on
+/// `map`, or `usize::MAX` when it holds none (the packet is innocent).
+fn matching_read_limit(state: &PacketState, map: u32, key: &[u8]) -> usize {
+    state
+        .map_reads
+        .iter()
+        .filter(|&&(m, _, ref k)| m == map && k == key)
+        .map(|&(_, s, _)| s as usize)
+        .min()
+        .unwrap_or(usize::MAX)
+}
+
 fn operand(regs: &[u64; 11], op: Operand) -> u64 {
     match op {
         Operand::Reg(r) => regs[r as usize],
@@ -1227,9 +1548,7 @@ fn operand(regs: &[u64; 11], op: Operand) -> u64 {
 }
 
 fn map_handle(v: u64) -> Option<u32> {
-    (MAP_HANDLE_BASE..MAP_HANDLE_BASE + 0x1000)
-        .contains(&v)
-        .then(|| (v - MAP_HANDLE_BASE) as u32)
+    (MAP_HANDLE_BASE..MAP_HANDLE_BASE + 0x1000).contains(&v).then(|| (v - MAP_HANDLE_BASE) as u32)
 }
 
 impl PacketState {
@@ -1290,10 +1609,11 @@ impl PacketState {
         let have = self.map_reads.len();
         for (dst, s) in self.map_reads.iter_mut().zip(&src.map_reads) {
             dst.0 = s.0;
-            dst.1.clone_from(&s.1);
+            dst.1 = s.1;
+            dst.2.clone_from(&s.2);
         }
         for s in &src.map_reads[have..] {
-            self.map_reads.push((s.0, s.1.clone()));
+            self.map_reads.push((s.0, s.1, s.2.clone()));
         }
     }
 }
@@ -1330,7 +1650,7 @@ struct Delta {
     redirect: Option<u32>,
     new_data_off: Option<usize>,
     new_end_off: Option<usize>,
-    map_read_records: Vec<(u32, Vec<u8>)>,
+    map_read_records: Vec<(u32, u32, Vec<u8>)>,
     side_effect: bool,
     flush_below: Option<(u32, Vec<u8>, usize)>,
     fault: bool,
@@ -1341,8 +1661,8 @@ impl Delta {
         self.regs.push((r, v));
     }
 
-    fn record_read(&mut self, map: u32, key: Vec<u8>) {
-        self.map_read_records.push((map, key));
+    fn record_read(&mut self, map: u32, stage: u32, key: Vec<u8>) {
+        self.map_read_records.push((map, stage, key));
     }
 
     /// Reset to the empty write set, keeping buffer capacity.
@@ -1390,8 +1710,8 @@ impl Delta {
         if let Some(off) = self.new_end_off {
             state.end_off = off;
         }
-        for (m, key) in self.map_read_records.drain(..) {
-            state.map_reads.push((m, key));
+        for (m, stage, key) in self.map_read_records.drain(..) {
+            state.map_reads.push((m, stage, key));
         }
         if self.fault {
             state.faulted = true;
@@ -1599,11 +1919,7 @@ mod hazard_timing_tests {
         a.call(BPF_MAP_UPDATE_ELEM);
         a.mov64_imm(0, 3);
         a.exit();
-        Program::new(
-            "rmw",
-            a.into_insns(),
-            vec![MapDef::new(0, "cells", MapKind::Hash, 4, 8, 64)],
-        )
+        Program::new("rmw", a.into_insns(), vec![MapDef::new(0, "cells", MapKind::Hash, 4, 8, 64)])
     }
 
     fn pkt(flow: u8) -> Vec<u8> {

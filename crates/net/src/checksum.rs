@@ -59,8 +59,10 @@ mod tests {
 
     #[test]
     fn verify_round_trip() {
-        let mut header = vec![0x45, 0x00, 0x00, 0x3c, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06, 0, 0, 0xac,
-                              0x10, 0x0a, 0x63, 0xac, 0x10, 0x0a, 0x0c];
+        let mut header = vec![
+            0x45, 0x00, 0x00, 0x3c, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06, 0, 0, 0xac, 0x10, 0x0a,
+            0x63, 0xac, 0x10, 0x0a, 0x0c,
+        ];
         let c = internet_checksum(&header);
         header[10..12].copy_from_slice(&c.to_be_bytes());
         assert_eq!(internet_checksum(&header), 0);
@@ -70,8 +72,10 @@ mod tests {
     fn incremental_matches_recompute() {
         // Change the TTL/proto word of a checksummed header and verify the
         // incremental form agrees with full recomputation.
-        let mut header = vec![0x45, 0x00, 0x00, 0x3c, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06, 0, 0, 0xac,
-                              0x10, 0x0a, 0x63, 0xac, 0x10, 0x0a, 0x0c];
+        let mut header = vec![
+            0x45, 0x00, 0x00, 0x3c, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06, 0, 0, 0xac, 0x10, 0x0a,
+            0x63, 0xac, 0x10, 0x0a, 0x0c,
+        ];
         let c = internet_checksum(&header);
         header[10..12].copy_from_slice(&c.to_be_bytes());
 

@@ -70,8 +70,16 @@ impl fmt::Display for FiveTuple {
         write!(
             f,
             "{}.{}.{}.{}:{} -> {}.{}.{}.{}:{} proto {}",
-            self.saddr[0], self.saddr[1], self.saddr[2], self.saddr[3], self.sport,
-            self.daddr[0], self.daddr[1], self.daddr[2], self.daddr[3], self.dport,
+            self.saddr[0],
+            self.saddr[1],
+            self.saddr[2],
+            self.saddr[3],
+            self.sport,
+            self.daddr[0],
+            self.daddr[1],
+            self.daddr[2],
+            self.daddr[3],
+            self.dport,
             self.proto
         )
     }
@@ -97,13 +105,8 @@ mod tests {
 
     #[test]
     fn reverse_is_involutive() {
-        let ft = FiveTuple {
-            saddr: [1, 2, 3, 4],
-            daddr: [5, 6, 7, 8],
-            sport: 9,
-            dport: 10,
-            proto: 6,
-        };
+        let ft =
+            FiveTuple { saddr: [1, 2, 3, 4], daddr: [5, 6, 7, 8], sport: 9, dport: 10, proto: 6 };
         assert_eq!(ft.reversed().reversed(), ft);
         assert_ne!(ft.reversed(), ft);
     }
@@ -125,10 +128,8 @@ mod tests {
 
     #[test]
     fn non_ip_returns_none() {
-        let p = PacketBuilder::new()
-            .eth([1; 6], [2; 6])
-            .ipv6([1; 16], [2; 16], IPPROTO_UDP)
-            .build();
+        let p =
+            PacketBuilder::new().eth([1; 6], [2; 6]).ipv6([1; 16], [2; 16], IPPROTO_UDP).build();
         assert_eq!(FiveTuple::parse(&p), None);
     }
 }

@@ -224,7 +224,14 @@ mod tests {
 
     #[test]
     fn tcp_roundtrip() {
-        let h = TcpHeader { sport: 80, dport: 4000, seq: 7, ack: 9, flags: TCP_SYN | TCP_ACK, window: 512 };
+        let h = TcpHeader {
+            sport: 80,
+            dport: 4000,
+            seq: 7,
+            ack: 9,
+            flags: TCP_SYN | TCP_ACK,
+            window: 512,
+        };
         assert_eq!(TcpHeader::parse(&h.to_bytes()), Some(h));
     }
 }

@@ -127,14 +127,7 @@ impl PacketBuilder {
 
     /// Add an IPv4 header; `proto` is the L4 protocol number.
     pub fn ipv4(mut self, src: [u8; 4], dst: [u8; 4], proto: u8) -> PacketBuilder {
-        self.ipv4 = Some(Ipv4Header {
-            src,
-            dst,
-            proto,
-            ttl: 64,
-            tot_len: 0,
-            checksum: 0,
-        });
+        self.ipv4 = Some(Ipv4Header { src, dst, proto, ttl: 64, tot_len: 0, checksum: 0 });
         self
     }
 
@@ -198,10 +191,7 @@ impl PacketBuilder {
     ///
     /// Panics if both UDP and TCP were requested, or IPv4 and IPv6.
     pub fn build(self) -> Vec<u8> {
-        assert!(
-            !(self.udp.is_some() && self.tcp.is_some()),
-            "a packet cannot be both UDP and TCP"
-        );
+        assert!(!(self.udp.is_some() && self.tcp.is_some()), "a packet cannot be both UDP and TCP");
         assert!(
             !(self.ipv4.is_some() && self.ipv6.is_some()),
             "a packet cannot be both IPv4 and IPv6"
@@ -328,10 +318,8 @@ mod tests {
 
     #[test]
     fn ipv6_ethertype() {
-        let p = PacketBuilder::new()
-            .eth([1; 6], [2; 6])
-            .ipv6([1; 16], [2; 16], IPPROTO_UDP)
-            .build();
+        let p =
+            PacketBuilder::new().eth([1; 6], [2; 6]).ipv6([1; 16], [2; 16], IPPROTO_UDP).build();
         assert_eq!(
             u16::from_be_bytes([p[offsets::ETH_PROTO], p[offsets::ETH_PROTO + 1]]),
             ETH_P_IPV6

@@ -123,7 +123,7 @@ pub fn program() -> Program {
     a.load(MemSize::B, 4, PKT, 29);
     a.alu64_imm(AluOp::Lsh, 3, 8);
     a.alu64_reg(AluOp::Or, 3, 4); // old sa_lo
-    // accumulate ~old words into r5 (start from current checksum).
+                                  // accumulate ~old words into r5 (start from current checksum).
     a.load(MemSize::B, 4, PKT, 24);
     a.load(MemSize::B, 5, PKT, 25);
     a.alu64_imm(AluOp::Lsh, 4, 8);
@@ -222,12 +222,10 @@ mod tests {
         let out = vm.run(&mut packet, 0).unwrap();
         assert_eq!(out.action, XdpAction::Tx);
         assert_eq!(&packet[offsets::IP_SADDR..offsets::IP_SADDR + 4], &NAT_ADDR);
-        let new_port = u16::from_be_bytes([packet[offsets::L4_SPORT], packet[offsets::L4_SPORT + 1]]);
+        let new_port =
+            u16::from_be_bytes([packet[offsets::L4_SPORT], packet[offsets::L4_SPORT + 1]]);
         assert_eq!(new_port, PORT_BASE); // first allocation
-        assert_eq!(
-            checksum::internet_checksum(&packet[ETH_HLEN..ETH_HLEN + IPV4_HLEN]),
-            0
-        );
+        assert_eq!(checksum::internet_checksum(&packet[ETH_HLEN..ETH_HLEN + IPV4_HLEN]), 0);
         assert_eq!(read_stats(vm.maps()), [1, 1]);
     }
 

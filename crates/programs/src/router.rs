@@ -91,7 +91,7 @@ pub fn program() -> Program {
     a.alu64_imm(AluOp::Xor, 4, 0xffff); // ~m
     a.alu64_reg(AluOp::Add, 3, 4);
     a.alu64_reg(AluOp::Add, 3, 2); // acc
-    // Fold twice.
+                                   // Fold twice.
     a.mov64_reg(4, 3);
     a.alu64_imm(AluOp::Rsh, 4, 16);
     a.alu64_imm(AluOp::And, 3, 0xffff);
@@ -101,7 +101,7 @@ pub fn program() -> Program {
     a.alu64_imm(AluOp::And, 3, 0xffff);
     a.alu64_reg(AluOp::Add, 3, 4);
     a.alu64_imm(AluOp::Xor, 3, 0xffff); // HC'
-    // Store big-endian.
+                                        // Store big-endian.
     a.mov64_reg(4, 3);
     a.alu64_imm(AluOp::Rsh, 4, 8);
     a.store_reg(MemSize::B, PKT, 24, 4);
@@ -196,10 +196,7 @@ mod tests {
         assert_eq!(&packet[offsets::ETH_SRC..offsets::ETH_SRC + 6], &me);
         assert_eq!(packet[offsets::IP_TTL], 63);
         // IPv4 header still checksums to zero after the incremental patch.
-        assert_eq!(
-            checksum::internet_checksum(&packet[ETH_HLEN..ETH_HLEN + IPV4_HLEN]),
-            0
-        );
+        assert_eq!(checksum::internet_checksum(&packet[ETH_HLEN..ETH_HLEN + IPV4_HLEN]), 0);
         assert_eq!(read_stats(vm.maps()), [1, 0, 0]);
     }
 

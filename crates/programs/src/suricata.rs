@@ -226,11 +226,8 @@ mod tests {
         let mut v6 = PacketBuilder::new().eth([1; 6], [2; 6]).ipv6([1; 16], [2; 16], 6).build();
         assert_eq!(vm.run(&mut v6, 0).unwrap().action, XdpAction::Pass);
         // VLAN-tagged IPv6
-        let mut v6v = PacketBuilder::new()
-            .eth([1; 6], [2; 6])
-            .vlan(5)
-            .ipv6([1; 16], [2; 16], 6)
-            .build();
+        let mut v6v =
+            PacketBuilder::new().eth([1; 6], [2; 6]).vlan(5).ipv6([1; 16], [2; 16], 6).build();
         assert_eq!(vm.run(&mut v6v, 0).unwrap().action, XdpAction::Pass);
         // ARP
         let mut arp = vec![0u8; 64];
@@ -238,10 +235,8 @@ mod tests {
         arp[13] = 0x06;
         assert_eq!(vm.run(&mut arp, 0).unwrap().action, XdpAction::Pass);
         // ICMP (IPv4, not TCP/UDP)
-        let mut icmp = PacketBuilder::new()
-            .eth([1; 6], [2; 6])
-            .ipv4([1, 1, 1, 1], [2, 2, 2, 2], 1)
-            .build();
+        let mut icmp =
+            PacketBuilder::new().eth([1; 6], [2; 6]).ipv4([1, 1, 1, 1], [2, 2, 2, 2], 1).build();
         assert_eq!(vm.run(&mut icmp, 0).unwrap().action, XdpAction::Pass);
 
         assert_eq!(read_stats(vm.maps()), [0, 0, 2, 1, 1]);

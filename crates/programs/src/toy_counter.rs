@@ -157,10 +157,6 @@ mod tests {
     fn instruction_count_in_listing2_range() {
         // Listing 2 has ~30 slots; ours should be the same order of size.
         let p = program();
-        assert!(
-            (20..=40).contains(&p.insn_count()),
-            "insn count {}",
-            p.insn_count()
-        );
+        assert!((20..=40).contains(&p.insn_count()), "insn count {}", p.insn_count());
     }
 }

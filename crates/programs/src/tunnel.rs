@@ -225,10 +225,7 @@ mod tests {
         assert_eq!(&packet[26..30], &[172, 16, 0, 1]);
         assert_eq!(&packet[30..34], &[172, 16, 0, 2]);
         // The outer header checksums to zero.
-        assert_eq!(
-            checksum::internet_checksum(&packet[ETH_HLEN..ETH_HLEN + IPV4_HLEN]),
-            0
-        );
+        assert_eq!(checksum::internet_checksum(&packet[ETH_HLEN..ETH_HLEN + IPV4_HLEN]), 0);
         // Inner packet intact after the outer headers.
         assert_eq!(packet[34], 0x45);
         assert_eq!(&packet[46..50], &[10, 0, 0, 1]);

@@ -35,12 +35,7 @@ impl Rng {
     pub fn seed_from_u64(seed: u64) -> Rng {
         let mut sm = seed;
         Rng {
-            s: [
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-            ],
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
         }
     }
 

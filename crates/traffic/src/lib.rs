@@ -87,6 +87,15 @@ pub enum Popularity {
     },
     /// All packets from one flow (the §5.3 worst-case microbenchmark).
     SingleFlow,
+    /// One hot flow carrying a fixed fraction of the packets, the rest
+    /// uniform — an adversarial hazard workload: the hot flow's packets
+    /// collide in the RAW window at a rate the `p_hot` knob dials
+    /// directly, independent of the population size.
+    Hot {
+        /// Probability that a packet belongs to flow 0 (clamped to
+        /// `[0, 1]`).
+        p_hot: f64,
+    },
 }
 
 /// Sampler over flow indices following a [`Popularity`] law.
@@ -121,6 +130,21 @@ impl FlowSampler {
                 }
                 for v in &mut cdf {
                     *v /= acc;
+                }
+                FlowSampler { cdf, rng, single: false }
+            }
+            Popularity::Hot { p_hot } => {
+                let p_hot = if n == 1 { 1.0 } else { p_hot.clamp(0.0, 1.0) };
+                let rest = (1.0 - p_hot) / (n.saturating_sub(1).max(1)) as f64;
+                let mut cdf = Vec::with_capacity(n);
+                let mut acc = p_hot;
+                cdf.push(acc);
+                for _ in 1..n {
+                    acc += rest;
+                    cdf.push(acc);
+                }
+                if let Some(last) = cdf.last_mut() {
+                    *last = 1.0;
                 }
                 FlowSampler { cdf, rng, single: false }
             }
@@ -208,7 +232,12 @@ impl Iterator for Workload {
 }
 
 /// Serialize one flow's packet at an exact frame size.
-pub fn build_flow_packet(flow: &FiveTuple, src_mac: [u8; 6], dst_mac: [u8; 6], size: usize) -> Vec<u8> {
+pub fn build_flow_packet(
+    flow: &FiveTuple,
+    src_mac: [u8; 6],
+    dst_mac: [u8; 6],
+    size: usize,
+) -> Vec<u8> {
     let b = PacketBuilder::new().eth(src_mac, dst_mac);
     let b = if flow.proto == IPPROTO_TCP {
         b.ipv4(flow.saddr, flow.daddr, flow.proto).tcp(flow.sport, flow.dport, 0x10)
@@ -277,6 +306,23 @@ mod tests {
         for c in counts {
             assert!((700..1300).contains(&c), "count {c} far from uniform");
         }
+    }
+
+    #[test]
+    fn hot_flow_gets_its_share() {
+        let mut s = FlowSampler::new(1000, Popularity::Hot { p_hot: 0.5 }, 3);
+        let mut hot = 0;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            if s.sample() == 0 {
+                hot += 1;
+            }
+        }
+        let frac = hot as f64 / N as f64;
+        assert!((0.45..0.55).contains(&frac), "hot fraction {frac}");
+        // Degenerate populations stay well-defined.
+        let mut one = FlowSampler::new(1, Popularity::Hot { p_hot: 0.3 }, 3);
+        assert_eq!(one.sample(), 0);
     }
 
     #[test]

@@ -52,9 +52,7 @@ impl Trace {
 
     /// Iterate `(flow, size)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (FiveTuple, usize)> + '_ {
-        self.entries
-            .iter()
-            .map(|&(fi, sz)| (self.flows.flows()[fi as usize], sz as usize))
+        self.entries.iter().map(|&(fi, sz)| (self.flows.flows()[fi as usize], sz as usize))
     }
 
     /// Iterate `(flow_index, size)` pairs without materializing tuples.
@@ -111,7 +109,8 @@ pub struct TraceSpec {
 /// mixture weight solved to hit `avg_size` exactly in expectation.
 pub fn synthesize(name: &str, spec: TraceSpec) -> Trace {
     let flows = FlowSet::udp(spec.flows, spec.seed);
-    let mut sampler = FlowSampler::new(spec.flows, Popularity::Zipf { alpha: spec.alpha }, spec.seed ^ 0x5eed);
+    let mut sampler =
+        FlowSampler::new(spec.flows, Popularity::Zipf { alpha: spec.alpha }, spec.seed ^ 0x5eed);
     let mut rng = Rng::seed_from_u64(spec.seed ^ 0x7ace);
 
     // Small packets uniform in [64,128] (mean 96), large uniform in
@@ -160,11 +159,7 @@ mod tests {
         );
         let s = t.stats();
         assert_eq!(s.packets, 50_000);
-        assert!(
-            (s.avg_size - 411.0).abs() < 30.0,
-            "avg size {} far from 411",
-            s.avg_size
-        );
+        assert!((s.avg_size - 411.0).abs() < 30.0, "avg size {} far from 411", s.avg_size);
         // Zipf over 5000 flows with 50k packets touches most of the head.
         assert!(s.flows > 2000);
     }
@@ -184,14 +179,23 @@ mod tests {
 
     #[test]
     fn deterministic_by_seed() {
-        let a = synthesize("a", TraceSpec { flows: 50, packets: 100, avg_size: 500.0, alpha: 1.0, seed: 2 });
-        let b = synthesize("b", TraceSpec { flows: 50, packets: 100, avg_size: 500.0, alpha: 1.0, seed: 2 });
+        let a = synthesize(
+            "a",
+            TraceSpec { flows: 50, packets: 100, avg_size: 500.0, alpha: 1.0, seed: 2 },
+        );
+        let b = synthesize(
+            "b",
+            TraceSpec { flows: 50, packets: 100, avg_size: 500.0, alpha: 1.0, seed: 2 },
+        );
         assert_eq!(a.entries, b.entries);
     }
 
     #[test]
     fn iter_matches_entries() {
-        let t = synthesize("t", TraceSpec { flows: 10, packets: 20, avg_size: 200.0, alpha: 1.0, seed: 3 });
+        let t = synthesize(
+            "t",
+            TraceSpec { flows: 10, packets: 20, avg_size: 200.0, alpha: 1.0, seed: 3 },
+        );
         assert_eq!(t.iter().count(), 20);
         for (ft, sz) in t.iter() {
             assert!(sz >= 64);
@@ -257,7 +261,8 @@ impl Trace {
                 proto: k[12],
             });
         }
-        let n_entries = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+        let n_entries =
+            u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
         let mut entries = Vec::with_capacity(n_entries);
         for _ in 0..n_entries {
             let e = take(&mut pos, 6)?;

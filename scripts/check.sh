@@ -21,7 +21,13 @@ cargo test --workspace -q
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== fmt =="
+cargo fmt --all -- --check
+
 echo "== sim speed smoke (40k packets) =="
 EHDL_CHECK_BENCH=1 cargo bench -p ehdl-bench --bench sim_speed
+
+echo "== flush-cost sweep (partial flushes vs baseline) =="
+cargo bench -p ehdl-bench --bench flush_opt
 
 echo "check.sh: all gates passed"

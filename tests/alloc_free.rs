@@ -13,6 +13,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use ehdl::core::Compiler;
 use ehdl::ebpf::asm::Asm;
+use ehdl::ebpf::helpers::BPF_MAP_UPDATE_ELEM;
+use ehdl::ebpf::maps::{MapDef, MapKind};
 use ehdl::ebpf::opcode::{AluOp, JmpOp, MemSize};
 use ehdl::ebpf::Program;
 use ehdl::hwsim::PipelineSim;
@@ -69,6 +71,29 @@ fn alu_program() -> Program {
     Program::from_insns(a.into_insns())
 }
 
+/// A write-only map program: key and value come straight from the packet,
+/// `bpf_map_update_elem` stores them. No reads of the map means no FEB
+/// and no WAR delay — the write commits immediately, exercising the
+/// undelayed map-write path.
+fn map_write_program() -> Program {
+    let mut a = Asm::new();
+    a.load(MemSize::W, 7, 1, 0); // r7 = data
+    a.load(MemSize::W, 2, 7, 0); // key = bytes 0..4
+    a.store_reg(MemSize::W, 10, -8, 2);
+    a.load(MemSize::Dw, 3, 7, 4); // value = bytes 4..12
+    a.store_reg(MemSize::Dw, 10, -16, 3);
+    a.ld_map_fd(1, 0);
+    a.mov64_reg(2, 10);
+    a.alu64_imm(AluOp::Add, 2, -8);
+    a.mov64_reg(3, 10);
+    a.alu64_imm(AluOp::Add, 3, -16);
+    a.mov64_imm(4, 0);
+    a.call(BPF_MAP_UPDATE_ELEM);
+    a.mov64_imm(0, 2); // XDP_PASS
+    a.exit();
+    Program::new("mapwrite", a.into_insns(), vec![MapDef::new(0, "m", MapKind::Hash, 4, 8, 256)])
+}
+
 #[test]
 fn enabled_stage_fast_path_is_allocation_free() {
     let design = Compiler::new().compile(&alu_program()).expect("compiles");
@@ -113,4 +138,55 @@ fn enabled_stage_fast_path_is_allocation_free() {
         assert!(sim.cycle() < 1_000_000, "pipeline wedged");
     }
     assert!(checked > 0, "expected to measure at least one non-retiring cycle");
+}
+
+#[test]
+fn map_write_steps_are_allocation_free() {
+    let design = Compiler::new().compile(&map_write_program()).expect("compiles");
+    let mut sim = PipelineSim::new(&design);
+    // Distinct 4-byte keys so no two in-flight packets collide (not that
+    // a write-only program could flush — there is no FEB to trip).
+    let packet = |i: usize| {
+        let mut p = vec![0u8; 64];
+        p[..4].copy_from_slice(&(i as u32).to_le_bytes());
+        p[4..12].copy_from_slice(&(i as u64 * 3).to_le_bytes());
+        p
+    };
+
+    // Warm-up: inserts all 64 keys (first-touch hash inserts allocate by
+    // design) and grows the scratch key/value buffers, the RX ring and
+    // the outcome queue to steady state.
+    for i in 0..64 {
+        assert!(sim.enqueue(packet(i)));
+    }
+    sim.settle(100_000);
+    assert_eq!(sim.counters().completed, 64);
+    assert_eq!(sim.counters().flushes, 0);
+
+    // Measured batch: same keys again — every update hits an existing
+    // slot and must not touch the heap on any non-retiring cycle, the
+    // map-write stages included.
+    for i in 0..64 {
+        assert!(sim.enqueue(packet(i)));
+    }
+    let mut checked = 0u64;
+    while sim.counters().completed < 128 {
+        let completed_before = sim.counters().completed;
+        let before = allocs();
+        sim.step();
+        let delta = allocs() - before;
+        if sim.counters().completed == completed_before {
+            assert_eq!(
+                delta,
+                0,
+                "cycle {}: non-retiring map-write step allocated {} time(s)",
+                sim.cycle(),
+                delta
+            );
+            checked += 1;
+        }
+        assert!(sim.cycle() < 1_000_000, "pipeline wedged");
+    }
+    assert!(checked > 0, "expected to measure at least one non-retiring cycle");
+    assert_eq!(sim.counters().flushes, 0, "write-only program never flushes");
 }

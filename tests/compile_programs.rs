@@ -8,9 +8,7 @@ use ehdl::programs::{dnat, leaky_bucket, toy_counter, App};
 fn all_apps_compile() {
     for app in App::ALL {
         let program = app.program();
-        let design = Compiler::new()
-            .compile(&program)
-            .unwrap_or_else(|e| panic!("{app}: {e}"));
+        let design = Compiler::new().compile(&program).unwrap_or_else(|e| panic!("{app}: {e}"));
         assert!(design.stage_count() > 0, "{app}");
         assert!(!design.exit_stages().is_empty(), "{app}");
         println!(

@@ -54,8 +54,7 @@ fn run_once(app: App, packets: &[Vec<u8>]) -> RunRecord {
         .iter()
         .map(|def| {
             let m = sim.maps().get(def.id).expect("map exists");
-            let mut entries: Vec<_> =
-                m.iter().map(|(_, k, v)| (k.to_vec(), v.to_vec())).collect();
+            let mut entries: Vec<_> = m.iter().map(|(_, k, v)| (k.to_vec(), v.to_vec())).collect();
             entries.sort();
             (def.id, entries)
         })
@@ -87,13 +86,7 @@ fn diff_harness_clean_on_eval_traces() {
         let design = Compiler::new().compile(&program).expect("app compiles");
         let packets = eval_packets(app, TRACE_PACKETS);
         let divs = compare_with(&program, &design, &packets, |m| setup_app(app, m));
-        assert!(
-            divs.is_empty(),
-            "{}: {} divergences, first: {}",
-            app.name(),
-            divs.len(),
-            divs[0]
-        );
+        assert!(divs.is_empty(), "{}: {} divergences, first: {}", app.name(), divs.len(), divs[0]);
     }
 }
 
@@ -106,10 +99,8 @@ fn parallel_multinic_matches_lockstep_reference() {
         Compiler::new().compile(&App::Firewall.program()).unwrap(),
         Compiler::new().compile(&App::Suricata.program()).unwrap(),
     ];
-    let steering = Steering::ByIpProto {
-        rules: vec![(IPPROTO_UDP, 0), (IPPROTO_TCP, 1)],
-        default: 0,
-    };
+    let steering =
+        Steering::ByIpProto { rules: vec![(IPPROTO_UDP, 0), (IPPROTO_TCP, 1)], default: 0 };
     let mut packets = eval_packets(App::Firewall, 400);
     packets.extend(eval_packets(App::Suricata, 400));
 
@@ -157,10 +148,8 @@ fn parallel_multinic_matches_lockstep_reference() {
 /// every byte value, including first-match priority on duplicate rules.
 #[test]
 fn compiled_steering_matches_rule_scan() {
-    let by_proto = Steering::ByIpProto {
-        rules: vec![(17, 1), (6, 2), (17, 3), (1, 0)],
-        default: 4,
-    };
+    let by_proto =
+        Steering::ByIpProto { rules: vec![(17, 1), (6, 2), (17, 3), (1, 0)], default: 4 };
     let compiled = by_proto.compile();
     for proto in 0..=255u8 {
         let mut pkt = vec![0u8; 64];

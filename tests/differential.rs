@@ -3,10 +3,10 @@
 //! under data hazards (same-flow bursts) where the Flush Evaluation Blocks
 //! and write buffers do their work.
 
+use ehdl::core::{Compiler, CompilerOptions};
 use ehdl::ebpf::vm::XdpAction;
 use ehdl::hwsim::diff::{assert_equivalent_with, compare_with};
 use ehdl::hwsim::{PipelineSim, SimOptions};
-use ehdl::core::{Compiler, CompilerOptions};
 use ehdl::net::{FiveTuple, IPPROTO_UDP};
 use ehdl::programs::{dnat, leaky_bucket, router, simple_firewall, suricata, toy_counter, tunnel};
 use ehdl::traffic::{build_flow_packet, FlowSet, Popularity, Workload};
@@ -60,16 +60,11 @@ fn firewall_equivalent_including_same_flow_bursts() {
 #[test]
 fn router_equivalent_with_host_routes() {
     let packets = mixed_traffic(250, 33);
-    assert_equivalent_with(
-        &router::program(),
-        CompilerOptions::default(),
-        &packets,
-        |maps| {
-            router::install_route(maps, [0, 0, 0, 0], 0, 1, [0xaa; 6], [0x02; 6]);
-            router::install_route(maps, [192, 168, 0, 0], 16, 2, [0xbb; 6], [0x02; 6]);
-            router::install_route(maps, [192, 168, 7, 0], 24, 3, [0xcc; 6], [0x02; 6]);
-        },
-    );
+    assert_equivalent_with(&router::program(), CompilerOptions::default(), &packets, |maps| {
+        router::install_route(maps, [0, 0, 0, 0], 0, 1, [0xaa; 6], [0x02; 6]);
+        router::install_route(maps, [192, 168, 0, 0], 16, 2, [0xbb; 6], [0x02; 6]);
+        router::install_route(maps, [192, 168, 7, 0], 24, 3, [0xcc; 6], [0x02; 6]);
+    });
 }
 
 #[test]
@@ -79,23 +74,18 @@ fn tunnel_equivalent_with_endpoints() {
         Workload::new(flows.clone(), Popularity::Uniform, 96, 44).packets(200);
     packets.extend(mixed_traffic(20, 45));
     let endpoints: Vec<[u8; 4]> = flows.flows().iter().take(8).map(|f| f.daddr).collect();
-    assert_equivalent_with(
-        &tunnel::program(),
-        CompilerOptions::default(),
-        &packets,
-        move |maps| {
-            for (i, daddr) in endpoints.iter().enumerate() {
-                tunnel::install_endpoint(
-                    maps,
-                    *daddr,
-                    [172, 16, 0, 1],
-                    [172, 16, (i as u8) + 1, 2],
-                    [0xaa, 0, 0, 0, 0, i as u8],
-                    [0xbb; 6],
-                );
-            }
-        },
-    );
+    assert_equivalent_with(&tunnel::program(), CompilerOptions::default(), &packets, move |maps| {
+        for (i, daddr) in endpoints.iter().enumerate() {
+            tunnel::install_endpoint(
+                maps,
+                *daddr,
+                [172, 16, 0, 1],
+                [172, 16, (i as u8) + 1, 2],
+                [0xaa, 0, 0, 0, 0, i as u8],
+                [0xbb; 6],
+            );
+        }
+    });
 }
 
 #[test]
@@ -222,12 +212,7 @@ fn leaky_bucket_equivalent_under_flush_pressure() {
         };
         packets.push(build_flow_packet(&f, [2; 6], [3; 6], 64));
     }
-    assert_equivalent_with(
-        &leaky_bucket::program(),
-        CompilerOptions::default(),
-        &packets,
-        |_| {},
-    );
+    assert_equivalent_with(&leaky_bucket::program(), CompilerOptions::default(), &packets, |_| {});
 }
 
 #[test]
@@ -265,6 +250,7 @@ fn ablation_options_stay_equivalent() {
         CompilerOptions { prune: false, ..Default::default() },
         CompilerOptions { elide_bounds_checks: false, ..Default::default() },
         CompilerOptions { dce: false, ..Default::default() },
+        CompilerOptions { hazard_opt: false, ..Default::default() },
         CompilerOptions { frame_size: 32, ..Default::default() },
         CompilerOptions { frame_size: 128, ..Default::default() },
     ] {
@@ -302,7 +288,8 @@ fn pruning_is_dynamically_sound_under_poisoning() {
     use ehdl::hwsim::diff::compare_full;
     use ehdl::programs::{leaky_bucket, App};
 
-    let poison = SimOptions { freeze_time_ns: Some(1000), poison_dead_state: true, ..Default::default() };
+    let poison =
+        SimOptions { freeze_time_ns: Some(1000), poison_dead_state: true, ..Default::default() };
     for app in App::ALL {
         if app == App::Dnat {
             continue; // port numbers legitimately diverge under races
@@ -319,7 +306,14 @@ fn pruning_is_dynamically_sound_under_poisoning() {
                     router::install_route(maps, [0, 0, 0, 0], 0, 1, [0xaa; 6], [0x02; 6]);
                 }
                 if app == App::Tunnel {
-                    tunnel::install_endpoint(maps, [192, 168, 0, 1], [1; 4], [2; 4], [3; 6], [4; 6]);
+                    tunnel::install_endpoint(
+                        maps,
+                        [192, 168, 0, 1],
+                        [1; 4],
+                        [2; 4],
+                        [3; 6],
+                        [4; 6],
+                    );
                 }
                 if app == App::Suricata {
                     suricata::install_rule(

@@ -19,20 +19,11 @@ fn fig9a_shape_line_rate_and_orderings() {
             row.ehdl_mpps
         );
         // hXDP in the paper's 0.9-5.4 band; 10-100x below eHDL.
-        assert!(
-            (0.9..5.4).contains(&row.hxdp_mpps),
-            "{}: hXDP {:.1} Mpps",
-            row.app,
-            row.hxdp_mpps
-        );
+        assert!((0.9..5.4).contains(&row.hxdp_mpps), "{}: hXDP {:.1} Mpps", row.app, row.hxdp_mpps);
         assert!(row.ehdl_mpps / row.hxdp_mpps >= 10.0, "{}", row.app);
         // Bf2 1c comparable-or-faster than hXDP; 4c roughly linear.
         assert!(row.bf2_1c_mpps >= row.hxdp_mpps * 0.8, "{}", row.app);
-        assert!(
-            (3.0..4.01).contains(&(row.bf2_4c_mpps / row.bf2_1c_mpps)),
-            "{}",
-            row.app
-        );
+        assert!((3.0..4.01).contains(&(row.bf2_4c_mpps / row.bf2_1c_mpps)), "{}", row.app);
         // SDNet: line rate everywhere except DNAT.
         match row.app {
             App::Dnat => assert!(row.sdnet_mpps.is_none(), "DNAT must be N/A on SDNet"),
@@ -44,18 +35,8 @@ fn fig9a_shape_line_rate_and_orderings() {
 #[test]
 fn fig9b_shape_about_one_microsecond() {
     for row in bench::fig9b(2_000) {
-        assert!(
-            (500.0..1500.0).contains(&row.ehdl_ns),
-            "{}: eHDL {:.0} ns",
-            row.app,
-            row.ehdl_ns
-        );
-        assert!(
-            (600.0..2000.0).contains(&row.hxdp_ns),
-            "{}: hXDP {:.0} ns",
-            row.app,
-            row.hxdp_ns
-        );
+        assert!((500.0..1500.0).contains(&row.ehdl_ns), "{}: eHDL {:.0} ns", row.app, row.ehdl_ns);
+        assert!((600.0..2000.0).contains(&row.hxdp_ns), "{}: hXDP {:.0} ns", row.app, row.hxdp_ns);
     }
 }
 
@@ -72,12 +53,7 @@ fn fig9c_shape_optimizers_shrink_programs() {
 fn fig10_shape_resource_orderings() {
     for row in bench::fig10() {
         // Paper band (6.5-13.3% LUTs) with a little slack.
-        assert!(
-            (0.06..0.14).contains(&row.ehdl.luts),
-            "{}: {:.3}",
-            row.app,
-            row.ehdl.luts
-        );
+        assert!((0.06..0.14).contains(&row.ehdl.luts), "{}: {:.3}", row.app, row.ehdl.luts);
         // Comparable to hXDP (within 1.5x either way).
         let ratio = row.ehdl.luts / row.hxdp.luts;
         assert!((0.5..1.5).contains(&ratio), "{}: vs hXDP {ratio:.2}", row.app);

@@ -228,9 +228,41 @@ fn random_programs_equivalent_under_ablations() {
             CompilerOptions { parallelize: false, ..Default::default() },
             CompilerOptions { prune: false, ..Default::default() },
             CompilerOptions { elide_bounds_checks: false, ..Default::default() },
+            CompilerOptions { hazard_opt: false, ..Default::default() },
             CompilerOptions { frame_size: 32, ..Default::default() },
         ] {
             assert_equivalent_with(&program, opts, &pkts, |_| {});
+        }
+    }
+}
+
+/// Hazard-window minimization is semantics-preserving on every evaluation
+/// app: with `hazard_opt` on and off, the compiled pipeline's actions,
+/// packet bytes, map contents and counters match the reference VM over
+/// new-flow-churn Zipf workloads (the trace shape that actually triggers
+/// flushes). DNAT uses the differential suite's relaxed NAT-invariant
+/// comparison via `ehdl_bench::flush_opt::outcomes_identical`.
+#[test]
+fn hazard_opt_apps_equivalent_under_zipf_churn() {
+    use ehdl::core::Compiler;
+    use ehdl::programs::App;
+    use ehdl_bench::flush_opt::{churn_packets, outcomes_identical};
+
+    for app in App::ALL {
+        let program = app.program();
+        for alpha in [0.5, 1.2] {
+            let packets = churn_packets(app, 300, alpha, 1_200);
+            for hazard_opt in [true, false] {
+                let design =
+                    Compiler::with_options(CompilerOptions { hazard_opt, ..Default::default() })
+                        .compile(&program)
+                        .expect("app compiles");
+                assert!(
+                    outcomes_identical(app, &program, &design, &packets, true),
+                    "{} diverges from the VM (alpha={alpha}, hazard_opt={hazard_opt})",
+                    app.name(),
+                );
+            }
         }
     }
 }

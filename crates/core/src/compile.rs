@@ -9,7 +9,7 @@ use crate::fusion::{self, FusionOptions};
 use crate::hazard;
 use crate::hazardopt;
 use crate::label;
-use crate::pipeline::{assemble, DesignStats, PipelineDesign};
+use crate::pipeline::{assemble, DesignStats, PipelineDesign, Protection};
 use crate::prune;
 use crate::schedule::{self, ilp_stats};
 use crate::unroll;
@@ -64,6 +64,10 @@ pub struct CompilerOptions {
     /// Only takes effect with `parallelize` (the one-insn-per-stage
     /// ablation keeps source order).
     pub hazard_opt: bool,
+    /// Hardening level: emit parity / SECDED-ECC / watchdog protection
+    /// primitives into the design. Default is no protection (the paper's
+    /// baseline); the fault-injection campaign flips this on.
+    pub protect: Protection,
 }
 
 impl Default for CompilerOptions {
@@ -78,6 +82,7 @@ impl Default for CompilerOptions {
             elide_bounds_checks: true,
             max_unroll: 64,
             hazard_opt: true,
+            protect: Protection::None,
         }
     }
 }
@@ -206,6 +211,7 @@ impl Compiler {
                 framing: framing_info,
                 prune: prune_info,
                 guards: assembled.guards,
+                protect: o.protect,
                 stats: DesignStats { source_insns, hw_insns: assembled.hw_insns, ilp },
             },
             t,

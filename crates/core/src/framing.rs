@@ -34,6 +34,9 @@ impl Default for FramingOptions {
 pub struct FramingInfo {
     /// Frame size in bytes.
     pub frame_size: usize,
+    /// Longest packet the datapath buffers; the ingress MAC drops
+    /// anything larger before it reaches the pipeline.
+    pub max_packet_len: usize,
     /// Frame-wait stages inserted.
     pub wait_stages: usize,
     /// Deepest frame index any stage accesses (bypass wire length bound).
@@ -66,7 +69,16 @@ pub fn apply(mut stages: Vec<Stage>, opts: FramingOptions) -> (Vec<Stage>, Frami
         out.push(stage);
     }
 
-    (out, FramingInfo { frame_size: opts.frame_size, wait_stages, max_bypass, stage_frames })
+    (
+        out,
+        FramingInfo {
+            frame_size: opts.frame_size,
+            max_packet_len: opts.max_packet_len,
+            wait_stages,
+            max_bypass,
+            stage_frames,
+        },
+    )
 }
 
 fn stage_max_frame(stage: &Stage, opts: FramingOptions) -> Option<usize> {

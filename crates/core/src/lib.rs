@@ -62,7 +62,7 @@ pub mod vhdl;
 
 pub use compile::{Compiler, CompilerOptions, PassTimings};
 pub use error::CompileError;
-pub use pipeline::{PipelineDesign, Stage, StageOp};
+pub use pipeline::{PipelineDesign, Protection, Stage, StageOp};
 pub use plan::ExecPlan;
 pub use resource::{ResourceEstimate, Target};
 

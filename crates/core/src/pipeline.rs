@@ -78,6 +78,52 @@ pub struct DesignStats {
     pub ilp: IlpStats,
 }
 
+/// Hardening level compiled into a design. Long-running FPGA NIC
+/// deployments see BRAM/register upsets; protection primitives trade a
+/// small LUT/FF/BRAM overhead (charged by [`crate::resource`]) for
+/// detection and recovery of soft errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Protection {
+    /// No protection — the paper's baseline designs.
+    #[default]
+    None,
+    /// Parity on in-flight state (stage registers, stack slices,
+    /// predication bits, delay buffers). Detection only: a parity miss is
+    /// uncorrectable locally and the packet recovers by checkpoint replay.
+    Parity,
+    /// Parity on in-flight state plus SECDED ECC on map BRAM words
+    /// (correct-on-read and a background scrub sweep) and a pipeline
+    /// watchdog that drains and reinitializes a hung pipeline while
+    /// preserving map contents.
+    EccWatchdog,
+}
+
+impl Protection {
+    /// Whether in-flight state carries parity bits.
+    pub fn parity(self) -> bool {
+        !matches!(self, Protection::None)
+    }
+
+    /// Whether map storage carries SECDED ECC (correct + scrub).
+    pub fn ecc(self) -> bool {
+        matches!(self, Protection::EccWatchdog)
+    }
+
+    /// Whether the design instantiates the no-retire watchdog.
+    pub fn watchdog(self) -> bool {
+        matches!(self, Protection::EccWatchdog)
+    }
+
+    /// Short name used in summaries, VHDL headers and bench tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protection::None => "none",
+            Protection::Parity => "parity",
+            Protection::EccWatchdog => "ecc+watchdog",
+        }
+    }
+}
+
 /// The assembled hardware design.
 #[derive(Debug, Clone)]
 pub struct PipelineDesign {
@@ -98,6 +144,8 @@ pub struct PipelineDesign {
     /// Implicit length guards from elided bounds checks (§4.4): a packet
     /// shorter than `min_len` reaching an enabled `block` is dropped.
     pub guards: Vec<(usize, i64)>,
+    /// Hardening level compiled into the design.
+    pub protect: Protection,
     /// Statistics.
     pub stats: DesignStats,
 }
@@ -175,6 +223,16 @@ impl PipelineDesign {
         }
         for ab in &self.hazards.atomic_stages {
             let _ = writeln!(out, "  atomic block map {} at stage {}", ab.map, ab.stage);
+        }
+        if self.protect != Protection::None {
+            let _ = writeln!(
+                out,
+                "  protection: {} (parity={}, ecc={}, watchdog={})",
+                self.protect.name(),
+                self.protect.parity(),
+                self.protect.ecc(),
+                self.protect.watchdog()
+            );
         }
         out
     }

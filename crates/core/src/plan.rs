@@ -9,7 +9,7 @@
 //! storage built once per design. Shared behind an `Arc`, it lets the
 //! executor borrow instead of clone.
 
-use crate::pipeline::{EdgeCond, PipelineDesign, StageOp};
+use crate::pipeline::{EdgeCond, PipelineDesign, Protection, StageOp};
 
 /// Flattened, read-only view of a [`PipelineDesign`] for execution.
 #[derive(Debug, Clone)]
@@ -36,6 +36,8 @@ pub struct ExecPlan {
     /// from its own elastic buffer instead of replaying the whole
     /// pipeline below the write (App. A.2).
     checkpoint_stage: Vec<bool>,
+    /// Hardening level the design was compiled with.
+    protect: Protection,
 }
 
 impl ExecPlan {
@@ -88,6 +90,7 @@ impl ExecPlan {
             block_preds,
             guard_min_len,
             checkpoint_stage,
+            protect: design.protect,
         }
     }
 
@@ -140,6 +143,12 @@ impl ExecPlan {
     #[inline]
     pub fn checkpoint_at(&self, s: usize) -> bool {
         self.checkpoint_stage[s]
+    }
+
+    /// Hardening level the design was compiled with.
+    #[inline]
+    pub fn protect(&self) -> Protection {
+        self.protect
     }
 }
 

@@ -34,6 +34,15 @@ pub enum Primitive {
     Helper,
     /// Exit/verdict mux.
     Exit,
+    /// Parity generator/checker on a stage boundary's carried state
+    /// (protection primitive; never produced by [`Primitive::of`]).
+    ParityGuard,
+    /// SECDED ECC encode/decode wrapper on an `eHDLmap` port.
+    EccPort,
+    /// Background scrub engine sweeping a protected map's BRAM.
+    Scrub,
+    /// Pipeline watchdog: retire timer + drain/reinit sequencer.
+    Watchdog,
 }
 
 impl Primitive {
@@ -75,14 +84,22 @@ impl Primitive {
             Primitive::Branch => cost::BRANCH_LUTS,
             Primitive::Helper => cost::HELPER_LUTS,
             Primitive::Exit => 8,
+            Primitive::ParityGuard => cost::PARITY_STAGE_LUTS,
+            Primitive::EccPort => cost::ECC_PORT_LUTS,
+            Primitive::Scrub => cost::SCRUB_LUTS,
+            Primitive::Watchdog => cost::WATCHDOG_LUTS,
         }
     }
 
     /// Flip-flop cost of one instance (most primitives are combinational
     /// between stage registers; helper blocks buffer state).
     pub fn ffs(self) -> u64 {
+        use crate::resource::cost;
         match self {
-            Primitive::Helper => crate::resource::cost::HELPER_FFS,
+            Primitive::Helper => cost::HELPER_FFS,
+            Primitive::EccPort => cost::ECC_PORT_FFS,
+            Primitive::Scrub => cost::SCRUB_FFS,
+            Primitive::Watchdog => cost::WATCHDOG_FFS,
             _ => 0,
         }
     }
@@ -100,8 +117,33 @@ impl Primitive {
             Primitive::Branch => "branch",
             Primitive::Helper => "helper",
             Primitive::Exit => "exit",
+            Primitive::ParityGuard => "parity-guard",
+            Primitive::EccPort => "ecc-port",
+            Primitive::Scrub => "scrub",
+            Primitive::Watchdog => "watchdog",
         }
     }
+}
+
+/// Protection primitive instances a design's hardening level implies:
+/// a parity guard per stage boundary, an ECC port and a scrubber per
+/// protected map, and one watchdog. Empty at [`Protection::None`].
+///
+/// [`Protection::None`]: crate::pipeline::Protection::None
+pub fn protection_inventory(design: &crate::PipelineDesign) -> Vec<(Primitive, usize)> {
+    let mut v = Vec::new();
+    let p = design.protect;
+    if p.parity() && !design.stages.is_empty() {
+        v.push((Primitive::ParityGuard, design.stages.len()));
+    }
+    if p.ecc() && !design.maps.is_empty() {
+        v.push((Primitive::EccPort, design.maps.len()));
+        v.push((Primitive::Scrub, design.maps.len()));
+    }
+    if p.watchdog() {
+        v.push((Primitive::Watchdog, 1));
+    }
+    v
 }
 
 /// Inventory of primitive instances in a design: `(primitive, count)`
@@ -166,6 +208,26 @@ mod tests {
         assert!(Primitive::AluWide.luts() > 5 * Primitive::Alu.luts());
         assert!(Primitive::Helper.ffs() > 0);
         assert_eq!(Primitive::Alu.ffs(), 0);
+    }
+
+    #[test]
+    fn protection_inventory_follows_protect_level() {
+        use crate::compile::CompilerOptions;
+        use crate::pipeline::Protection;
+        let mut a = Asm::new();
+        a.mov64_imm(0, 2);
+        a.exit();
+        let prog = Program::from_insns(a.into_insns());
+        let base = Compiler::new().compile(&prog).unwrap();
+        assert!(protection_inventory(&base).is_empty());
+        let opts = CompilerOptions { protect: Protection::EccWatchdog, ..Default::default() };
+        let hard = Compiler::with_options(opts).compile(&prog).unwrap();
+        let inv = protection_inventory(&hard);
+        assert!(inv.iter().any(|(p, n)| *p == Primitive::ParityGuard && *n == hard.stages.len()));
+        assert!(inv.iter().any(|(p, n)| *p == Primitive::Watchdog && *n == 1));
+        // No maps in this program, so no ECC ports.
+        assert!(!inv.iter().any(|(p, _)| *p == Primitive::EccPort));
+        assert!(Primitive::EccPort.luts() > 0 && Primitive::Watchdog.ffs() > 0);
     }
 
     #[test]

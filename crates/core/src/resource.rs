@@ -133,6 +133,33 @@ pub mod cost {
 
     /// Bytes per BRAM36 (36 Kb ≈ 4.5 KB).
     pub const BRAM_BYTES: u64 = 4_608;
+
+    /// Parity generator/checker XOR-tree share per protected carried byte
+    /// (one parity bit per byte, 8-input XOR folds into two LUT6 levels).
+    pub const PARITY_LUT_PER_BYTE: f64 = 0.45;
+    /// One parity flip-flop per protected carried byte.
+    pub const PARITY_FF_PER_BYTE: f64 = 1.0;
+    /// Per-stage parity control (compare, error latch, replay request).
+    pub const PARITY_STAGE_LUTS: u64 = 14;
+
+    /// SECDED encode + decode/correct logic per protected map port
+    /// (Hamming(72,64) matrix plus the single-bit corrector mux).
+    pub const ECC_PORT_LUTS: u64 = 270;
+    /// ECC port pipeline registers (syndrome + corrected word).
+    pub const ECC_PORT_FFS: u64 = 80;
+    /// Background scrub engine per protected map (address counter,
+    /// read-correct-writeback FSM).
+    pub const SCRUB_LUTS: u64 = 160;
+    /// Scrub engine flip-flops.
+    pub const SCRUB_FFS: u64 = 72;
+    /// SECDED widens each 64-bit BRAM word by 8 check bits.
+    pub const ECC_BRAM_OVERHEAD: f64 = 0.125;
+
+    /// Pipeline watchdog (retire timer, drain sequencer, map-preserving
+    /// reinit FSM).
+    pub const WATCHDOG_LUTS: u64 = 150;
+    /// Watchdog flip-flops (timeout counter + saved availability state).
+    pub const WATCHDOG_FFS: u64 = 120;
 }
 
 /// Estimate the pipeline-only resources of a design (§5.4 mode).
@@ -179,6 +206,12 @@ pub fn estimate_pipeline(design: &PipelineDesign) -> ResourceEstimate {
         };
         ffs += (live_bits * CARRY_FF_PER_BIT) as u64;
         luts += (live_bits * CARRY_LUT_PER_BIT) as u64;
+        if design.protect.parity() {
+            // One parity bit per carried byte at every stage boundary.
+            let bytes = live_bits / 8.0;
+            luts += PARITY_STAGE_LUTS + (bytes * PARITY_LUT_PER_BYTE) as u64;
+            ffs += (bytes * PARITY_FF_PER_BYTE) as u64;
+        }
         let stack_bram_bytes = (idle_stack_bytes as f64 * IDLE_STACK_BRAM_FRACTION) as u64;
         let idle_srl_bits = idle_reg_bits + (idle_stack_bytes - stack_bram_bytes) as f64 * 8.0;
         ffs += (idle_srl_bits * IDLE_FF_PER_BIT) as u64;
@@ -197,8 +230,19 @@ pub fn estimate_pipeline(design: &PipelineDesign) -> ResourceEstimate {
     for m in &design.maps {
         luts += MAP_BLOCK_LUTS;
         ffs += MAP_BLOCK_FFS;
-        let bytes = m.value_memory_bytes() + m.key_memory_bytes();
+        let mut bytes = m.value_memory_bytes() + m.key_memory_bytes();
+        if design.protect.ecc() {
+            // SECDED wrapper per map port plus the background scrubber;
+            // check bits widen the stored words by 1/8.
+            luts += ECC_PORT_LUTS + SCRUB_LUTS;
+            ffs += ECC_PORT_FFS + SCRUB_FFS;
+            bytes += (bytes as f64 * ECC_BRAM_OVERHEAD).ceil() as u64;
+        }
         brams += bytes.div_ceil(BRAM_BYTES);
+    }
+    if design.protect.watchdog() {
+        luts += WATCHDOG_LUTS;
+        ffs += WATCHDOG_FFS;
     }
     for feb in &design.hazards.febs {
         luts += FEB_BASE_LUTS + FEB_PER_STAGE_LUTS * feb.window as u64;
@@ -270,6 +314,42 @@ mod tests {
         }
         .utilization(Target::ALVEO_U50);
         assert!((0.04..0.08).contains(&u.luts), "{}", u.luts);
+    }
+
+    #[test]
+    fn protection_overhead_is_charged_only_when_enabled() {
+        use crate::pipeline::Protection;
+        use ehdl_ebpf::maps::{MapDef, MapKind};
+        use ehdl_ebpf::opcode::{AluOp, MemSize};
+        let mut a = Asm::new();
+        a.mov64_imm(2, 0);
+        a.store_reg(MemSize::W, 10, -4, 2);
+        a.ld_map_fd(1, 0);
+        a.mov64_reg(2, 10);
+        a.alu64_imm(AluOp::Add, 2, -4);
+        a.call(1);
+        a.mov64_imm(0, 2);
+        a.exit();
+        let prog = Program::new(
+            "prot",
+            a.into_insns(),
+            vec![MapDef::new(0, "m", MapKind::Hash, 4, 8, 8192)],
+        );
+        let mk = |p: Protection| {
+            let opts = crate::compile::CompilerOptions { protect: p, ..Default::default() };
+            estimate_pipeline(&Compiler::with_options(opts).compile(&prog).unwrap())
+        };
+        let none = mk(Protection::None);
+        let parity = mk(Protection::Parity);
+        let full = mk(Protection::EccWatchdog);
+        // Default designs pay nothing (keeps the Figure 10 bands intact).
+        assert_eq!(none, mk(Protection::None));
+        // Parity adds logic + FFs but no BRAM.
+        assert!(parity.luts > none.luts && parity.ffs > none.ffs);
+        assert_eq!(parity.brams, none.brams);
+        // ECC+watchdog adds on top of parity, including BRAM check bits.
+        assert!(full.luts > parity.luts && full.ffs > parity.ffs);
+        assert!(full.brams > none.brams, "SECDED check bits widen map BRAM");
     }
 
     #[test]

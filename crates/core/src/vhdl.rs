@@ -54,6 +54,57 @@ pub fn emit(design: &PipelineDesign) -> String {
         let _ = writeln!(o, "  );");
         let _ = writeln!(o, "end entity {name}_map{};", m.id);
         let _ = writeln!(o);
+        if design.protect.ecc() {
+            let _ = writeln!(
+                o,
+                "-- SECDED ECC wrapper for map `{}`: Hamming(72,64) check bits on every",
+                m.name
+            );
+            let _ = writeln!(o, "-- stored word, single-bit correct-on-read, double-bit detect,");
+            let _ = writeln!(o, "-- and a background scrub sweep that rewrites corrected words.");
+            let _ = writeln!(o, "entity {name}_map{}_secded is", m.id);
+            let _ = writeln!(o, "  generic (");
+            let _ = writeln!(o, "    DATA_BITS  : natural := {};", m.value_size * 8);
+            let _ = writeln!(o, "    CHECK_BITS : natural := 8");
+            let _ = writeln!(o, "  );");
+            let _ = writeln!(o, "  port (");
+            let _ = writeln!(o, "    clk, rst      : in  std_logic;");
+            let _ = writeln!(o, "    enc_in        : in  std_logic_vector(DATA_BITS-1 downto 0);");
+            let _ = writeln!(
+                o,
+                "    enc_out       : out std_logic_vector(DATA_BITS+CHECK_BITS-1 downto 0);"
+            );
+            let _ = writeln!(
+                o,
+                "    dec_in        : in  std_logic_vector(DATA_BITS+CHECK_BITS-1 downto 0);"
+            );
+            let _ = writeln!(o, "    dec_out       : out std_logic_vector(DATA_BITS-1 downto 0);");
+            let _ = writeln!(o, "    corrected     : out std_logic;  -- single-bit fixed");
+            let _ = writeln!(o, "    uncorrectable : out std_logic;  -- double-bit detected");
+            let _ = writeln!(o, "    scrub_addr    : out std_logic_vector(31 downto 0);");
+            let _ = writeln!(o, "    scrub_active  : out std_logic");
+            let _ = writeln!(o, "  );");
+            let _ = writeln!(o, "end entity {name}_map{}_secded;", m.id);
+            let _ = writeln!(o);
+        }
+    }
+
+    // Pipeline watchdog: detects a no-retire (hung) condition, drains the
+    // in-flight window and reinitializes the pipeline without touching map
+    // contents.
+    if design.protect.watchdog() {
+        let _ = writeln!(o, "-- Pipeline watchdog: retire timer + safe-drain/reinit sequencer.");
+        let _ = writeln!(o, "entity {name}_watchdog is");
+        let _ = writeln!(o, "  generic ( TIMEOUT_CYCLES : natural := 1024 );");
+        let _ = writeln!(o, "  port (");
+        let _ = writeln!(o, "    clk, rst     : in  std_logic;");
+        let _ = writeln!(o, "    retire_valid : in  std_logic;  -- a packet left the pipeline");
+        let _ = writeln!(o, "    busy         : in  std_logic;  -- packets are in flight");
+        let _ = writeln!(o, "    drain        : out std_logic;  -- request safe drain");
+        let _ = writeln!(o, "    reinit       : out std_logic   -- map-preserving pipeline reset");
+        let _ = writeln!(o, "  );");
+        let _ = writeln!(o, "end entity {name}_watchdog;");
+        let _ = writeln!(o);
     }
 
     // Flush evaluation block component, emitted once if needed.
@@ -115,6 +166,13 @@ pub fn emit(design: &PipelineDesign) -> String {
                 writeln!(o, "  signal st{i}_stack : std_logic_vector({} downto 0);", stack * 8 - 1);
         }
         let _ = writeln!(o, "  signal st{i}_en : std_logic;");
+        if design.protect.parity() {
+            let _ = writeln!(o, "  signal st{i}_par : std_logic;  -- parity over carried state");
+            let _ = writeln!(o, "  signal st{i}_par_err : std_logic;");
+        }
+    }
+    if design.protect.watchdog() {
+        let _ = writeln!(o, "  signal wd_drain, wd_reinit : std_logic;");
     }
     for feb in &design.hazards.febs {
         let _ = writeln!(o, "  signal flush_m{}_w{} : std_logic;", feb.map, feb.write_stage);
@@ -206,6 +264,41 @@ pub fn emit(design: &PipelineDesign) -> String {
         );
     }
 
+    if design.protect.parity() {
+        let _ = writeln!(o);
+        let _ = writeln!(o, "  -- Parity guards: one parity bit per stage boundary; a mismatch");
+        let _ = writeln!(o, "  -- aborts the packet and requests recovery-by-replay from the");
+        let _ = writeln!(o, "  -- nearest checkpoint (hazard elastic buffers are reused).");
+        for i in 0..nstages {
+            let _ = writeln!(
+                o,
+                "  parity_guard_{i} : st{i}_par_err <= st{i}_par xor xor_reduce(st{i}_frame);"
+            );
+        }
+    }
+    if design.protect.ecc() {
+        for m in &design.maps {
+            let _ = writeln!(o);
+            let _ = writeln!(
+                o,
+                "  secded_m{0} : entity work.{name}_map{0}_secded port map (clk => clk, rst => rst, enc_in => (others => '0'), enc_out => open, dec_in => (others => '0'), dec_out => open, corrected => open, uncorrectable => open, scrub_addr => open, scrub_active => open);",
+                m.id
+            );
+        }
+    }
+    if design.protect.watchdog() {
+        let _ = writeln!(o);
+        let _ = writeln!(
+            o,
+            "  watchdog : entity work.{name}_watchdog generic map (TIMEOUT_CYCLES => 1024)"
+        );
+        let _ = writeln!(
+            o,
+            "    port map (clk => clk, rst => rst, retire_valid => st{}_en, busy => s_axis_tvalid, drain => wd_drain, reinit => wd_reinit);",
+            nstages.saturating_sub(1)
+        );
+    }
+
     let _ = writeln!(o);
     let _ = writeln!(o, "  m_axis_tvalid <= st{}_en;", nstages.saturating_sub(1));
     let _ = writeln!(o, "  m_axis_tlast  <= '1';");
@@ -216,6 +309,9 @@ pub fn emit(design: &PipelineDesign) -> String {
 fn header(o: &mut String, design: &PipelineDesign) {
     let _ = writeln!(o, "--------------------------------------------------------------------");
     let _ = writeln!(o, "-- Generated by eHDL from eBPF program `{}`", design.name);
+    if design.protect != crate::pipeline::Protection::None {
+        let _ = writeln!(o, "-- protection: {}", design.protect.name());
+    }
     let _ = writeln!(
         o,
         "-- {} stages | {} source insns -> {} hw insns | ILP max {} avg {:.2}",
@@ -403,6 +499,36 @@ mod tests {
         let v = emit_tiny();
         assert!(v.contains("Generated by eHDL"));
         assert!(v.contains("ILP max"));
+    }
+
+    #[test]
+    fn unprotected_designs_carry_no_protection_blocks() {
+        let v = emit(&Compiler::new().compile(&ehdl_test_program()).unwrap());
+        assert!(!v.contains("secded"));
+        assert!(!v.contains("watchdog"));
+        assert!(!v.contains("_par "));
+        assert!(!v.contains("-- protection:"));
+    }
+
+    #[test]
+    fn protected_designs_name_their_protection_blocks() {
+        use crate::compile::CompilerOptions;
+        use crate::pipeline::Protection;
+        let opts = CompilerOptions { protect: Protection::EccWatchdog, ..Default::default() };
+        let v = emit(&Compiler::with_options(opts).compile(&ehdl_test_program()).unwrap());
+        assert!(v.contains("-- protection: ecc+watchdog"));
+        assert!(v.contains("entity t_map0_secded is"));
+        assert!(v.contains("entity t_watchdog is"));
+        assert!(v.contains("st0_par"));
+        assert!(v.contains("uncorrectable"));
+        assert!(v.contains("entity work.t_watchdog"));
+
+        let parity = CompilerOptions { protect: Protection::Parity, ..Default::default() };
+        let vp = emit(&Compiler::with_options(parity).compile(&ehdl_test_program()).unwrap());
+        assert!(vp.contains("-- protection: parity"));
+        assert!(vp.contains("st0_par"));
+        assert!(!vp.contains("secded"), "parity level has no map ECC");
+        assert!(!vp.contains("watchdog"), "parity level has no watchdog");
     }
 }
 

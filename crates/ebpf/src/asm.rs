@@ -279,6 +279,7 @@ impl Asm {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::insn::{decode, Instruction, Operand};

@@ -127,6 +127,7 @@ pub fn disassemble(program: &Program) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::asm::Asm;

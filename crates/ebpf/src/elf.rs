@@ -39,6 +39,9 @@ pub const EM_BPF: u16 = 247;
 pub const R_BPF_64_64: u32 = 1;
 /// Size of the legacy `struct bpf_map_def`.
 const MAP_DEF_SIZE: usize = 20;
+/// Most backing-store bytes a single loaded map may ask for (64 MiB —
+/// generous for any NIC-resident table, far below an OOM).
+const MAP_BUDGET_BYTES: u64 = 64 << 20;
 /// The program section name used by our writer.
 const PROG_SECTION: &str = "xdp";
 
@@ -83,6 +86,14 @@ pub enum ElfError {
         /// The raw type code.
         code: u32,
     },
+    /// A map definition's backing store would exceed the loader's memory
+    /// budget (the kernel's memlock charge, approximated).
+    MapTooLarge {
+        /// Index of the offending map in the maps section.
+        map: u32,
+        /// Backing-store bytes the definition asks for.
+        bytes: u64,
+    },
 }
 
 impl fmt::Display for ElfError {
@@ -95,6 +106,9 @@ impl fmt::Display for ElfError {
                 write!(f, "relocation at {offset:#x} does not target a map symbol")
             }
             ElfError::UnknownMapType { code } => write!(f, "unknown bpf_map_type {code}"),
+            ElfError::MapTooLarge { map, bytes } => {
+                write!(f, "map {map} asks for {bytes} bytes of storage, over the loader budget")
+            }
         }
     }
 }
@@ -292,22 +306,28 @@ struct RawSection<'a> {
     info: u32,
 }
 
+/// Bounds-and-overflow-checked slice: `b[off..off + len]`, or a
+/// `Malformed` error when the range leaves the buffer (or wraps).
+fn field<'a>(
+    b: &'a [u8],
+    off: usize,
+    len: usize,
+    what: &'static str,
+) -> Result<&'a [u8], ElfError> {
+    off.checked_add(len).and_then(|end| b.get(off..end)).ok_or(ElfError::Malformed(what))
+}
+
 fn u16le(b: &[u8], off: usize) -> Result<u16, ElfError> {
-    b.get(off..off + 2)
-        .map(|s| u16::from_le_bytes(s.try_into().expect("2 bytes")))
-        .ok_or(ElfError::Malformed("truncated u16"))
+    field(b, off, 2, "truncated u16").map(|s| u16::from_le_bytes([s[0], s[1]]))
 }
 
 fn u32le(b: &[u8], off: usize) -> Result<u32, ElfError> {
-    b.get(off..off + 4)
-        .map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
-        .ok_or(ElfError::Malformed("truncated u32"))
+    field(b, off, 4, "truncated u32").map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
 }
 
 fn u64le(b: &[u8], off: usize) -> Result<u64, ElfError> {
-    b.get(off..off + 8)
-        .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
-        .ok_or(ElfError::Malformed("truncated u64"))
+    field(b, off, 8, "truncated u64")
+        .map(|s| u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
 }
 
 /// Load a BPF ELF object produced by [`write`] (or a compatible toolchain
@@ -332,9 +352,12 @@ pub fn load(bytes: &[u8]) -> Result<Program, ElfError> {
     let shstrndx = u16le(bytes, 62)? as usize;
 
     // Parse section headers.
-    let mut headers = Vec::with_capacity(shnum);
+    let mut headers = Vec::with_capacity(shnum.min(4096));
     for i in 0..shnum {
-        let h = shoff + i * 64;
+        let h = i
+            .checked_mul(64)
+            .and_then(|o| o.checked_add(shoff))
+            .ok_or(ElfError::Malformed("section header offset overflows"))?;
         headers.push((
             u32le(bytes, h)?,               // name offset
             u32le(bytes, h + 4)?,           // type
@@ -346,16 +369,16 @@ pub fn load(bytes: &[u8]) -> Result<Program, ElfError> {
     }
     let (_, _, stroff, strsize, _, _) =
         *headers.get(shstrndx).ok_or(ElfError::Malformed("shstrndx out of range"))?;
-    let strtab = bytes.get(stroff..stroff + strsize).ok_or(ElfError::Malformed("strtab bounds"))?;
+    let strtab = field(bytes, stroff, strsize, "strtab bounds")?;
     let name_at = |off: u32| -> String {
-        let start = off as usize;
+        let start = (off as usize).min(strtab.len());
         let end = strtab[start..].iter().position(|&c| c == 0).map_or(strtab.len(), |p| start + p);
         String::from_utf8_lossy(&strtab[start..end]).into_owned()
     };
 
-    let mut sections = Vec::with_capacity(shnum);
+    let mut sections = Vec::with_capacity(shnum.min(4096));
     for &(name, sh_type, off, size, link, info) in &headers {
-        let data = bytes.get(off..off + size).ok_or(ElfError::Malformed("section bounds"))?;
+        let data = field(bytes, off, size, "section bounds")?;
         sections.push(RawSection { name: name_at(name), sh_type, data, link, info });
     }
 
@@ -377,13 +400,25 @@ pub fn load(bytes: &[u8]) -> Result<Program, ElfError> {
         for (i, def) in data.chunks_exact(MAP_DEF_SIZE).enumerate() {
             let code = u32::from_le_bytes(def[0..4].try_into().expect("4 bytes"));
             let kind = map_kind_of(code).ok_or(ElfError::UnknownMapType { code })?;
+            let key_size = u32::from_le_bytes(def[4..8].try_into().expect("4 bytes"));
+            let value_size = u32::from_le_bytes(def[8..12].try_into().expect("4 bytes"));
+            let max_entries = u32::from_le_bytes(def[12..16].try_into().expect("4 bytes"));
+            // Charge the definition against a memory budget before any
+            // store is instantiated, as the kernel charges memlock — a
+            // hostile object must not be able to trigger a huge (or
+            // failing) allocation just by being loaded.
+            let bytes = (u64::from(key_size) + u64::from(value_size))
+                .saturating_mul(u64::from(max_entries));
+            if bytes > MAP_BUDGET_BYTES {
+                return Err(ElfError::MapTooLarge { map: i as u32, bytes });
+            }
             maps.push(MapDef::new(
                 i as u32,
                 &format!("map{i}"),
                 kind,
-                u32::from_le_bytes(def[4..8].try_into().expect("4 bytes")),
-                u32::from_le_bytes(def[8..12].try_into().expect("4 bytes")),
-                u32::from_le_bytes(def[12..16].try_into().expect("4 bytes")),
+                key_size,
+                value_size,
+                max_entries,
             ));
         }
     }
@@ -455,6 +490,7 @@ pub fn load(bytes: &[u8]) -> Result<Program, ElfError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::asm::Asm;

@@ -194,6 +194,7 @@ impl fmt::Display for HelperName {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

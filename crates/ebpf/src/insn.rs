@@ -201,6 +201,13 @@ pub enum DecodeError {
         /// Computed absolute target.
         target: i64,
     },
+    /// A register field names a register beyond `r10`.
+    BadRegister {
+        /// Slot index.
+        pc: usize,
+        /// The offending register number.
+        reg: u8,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -217,6 +224,9 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::BadJumpTarget { pc, target } => {
                 write!(f, "jump at instruction {pc} targets out-of-range slot {target}")
+            }
+            DecodeError::BadRegister { pc, reg } => {
+                write!(f, "instruction {pc} names register r{reg} (beyond r10)")
             }
         }
     }
@@ -247,6 +257,13 @@ pub fn decode(insns: &[Insn]) -> Result<Vec<Decoded>, DecodeError> {
     let mut pc = 0usize;
     while pc < n {
         let raw = insns[pc];
+        // Register fields are 4 bits on the wire, but the machine has
+        // only r0–r10; reject the rest here so no consumer (VM,
+        // compiler) ever indexes a register file out of bounds.
+        let bad = u8::max(raw.dst, raw.src);
+        if bad > 10 {
+            return Err(DecodeError::BadRegister { pc, reg: bad });
+        }
         let mut slots = 1usize;
         let insn = match raw.class() {
             Class::Alu32 | Class::Alu64 => {
@@ -354,6 +371,7 @@ pub fn decode(insns: &[Insn]) -> Result<Vec<Decoded>, DecodeError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::asm::Asm;
@@ -584,6 +602,7 @@ pub fn encode_all(decoded: &[Decoded]) -> Result<Vec<Insn>, EncodeError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod encode_tests {
     use super::*;
     use crate::asm::Asm;

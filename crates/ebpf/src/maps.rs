@@ -260,6 +260,16 @@ impl Map {
         Ok(())
     }
 
+    /// The leading `u32` of a key (array index / LPM prefix length).
+    /// Array and LPM definitions narrower than 4 bytes can reach us from
+    /// loaded ELF objects, so a short key is an error, not a panic.
+    fn key_head(&self, key: &[u8]) -> Result<u32, MapError> {
+        match key.get(..4) {
+            Some(s) => Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]])),
+            None => Err(MapError::BadKeySize { expected: 4, got: key.len() }),
+        }
+    }
+
     /// Look up `key`, returning the stable slot index of its value.
     ///
     /// For `LpmTrie`, `key` is `{ prefix_len: u32 LE, data: [u8] }` and the
@@ -273,7 +283,7 @@ impl Map {
         self.check_key(key)?;
         match self.def.kind {
             MapKind::Array | MapKind::PerCpuArray => {
-                let idx = u32::from_le_bytes(key[..4].try_into().expect("array key is 4 bytes"));
+                let idx = self.key_head(key)?;
                 if idx >= self.def.max_entries {
                     return Err(MapError::IndexOutOfBounds {
                         index: idx,
@@ -297,12 +307,15 @@ impl Map {
     }
 
     fn lpm_lookup(&self, key: &[u8]) -> Option<usize> {
-        let data = &key[4..];
+        let data = key.get(4..)?;
         let mut best: Option<(u32, usize)> = None;
         for (slot, entry) in self.slab.iter().enumerate() {
             let Some(e) = entry else { continue };
-            let plen = u32::from_le_bytes(e.key[..4].try_into().expect("lpm prefix header"));
-            let edata = &e.key[4..];
+            let (head, edata) = match (e.key.get(..4), e.key.get(4..)) {
+                (Some(h), Some(d)) => (h, d),
+                _ => continue,
+            };
+            let plen = u32::from_le_bytes([head[0], head[1], head[2], head[3]]);
             if prefix_matches(edata, data, plen) {
                 match best {
                     Some((b, _)) if b >= plen => {}
@@ -320,6 +333,18 @@ impl Map {
     /// Panics if the slot is free.
     pub fn value(&self, slot: usize) -> &[u8] {
         &self.slab[slot].as_ref().expect("value of free slot").value
+    }
+
+    /// Non-panicking [`Map::value`]: `None` for out-of-range or free
+    /// slots. For slot numbers derived from untrusted input (e.g. a
+    /// fabricated map-value address in unverified bytecode).
+    pub fn try_value(&self, slot: usize) -> Option<&[u8]> {
+        Some(&self.slab.get(slot)?.as_ref()?.value)
+    }
+
+    /// Non-panicking [`Map::value_mut`]; see [`Map::try_value`].
+    pub fn try_value_mut(&mut self, slot: usize) -> Option<&mut [u8]> {
+        Some(&mut self.slab.get_mut(slot)?.as_mut()?.value)
     }
 
     /// Mutable access to a slot's value bytes.
@@ -358,7 +383,7 @@ impl Map {
         }
         match self.def.kind {
             MapKind::Array | MapKind::PerCpuArray => {
-                let idx = u32::from_le_bytes(key[..4].try_into().expect("array key is 4 bytes"));
+                let idx = self.key_head(key)?;
                 if idx >= self.def.max_entries {
                     return Err(MapError::IndexOutOfBounds {
                         index: idx,
@@ -377,8 +402,8 @@ impl Map {
             }
             MapKind::Hash | MapKind::LruHash | MapKind::LpmTrie => {
                 if self.def.kind == MapKind::LpmTrie {
-                    let plen = u32::from_le_bytes(key[..4].try_into().expect("lpm prefix header"));
-                    let max = (self.def.key_size - 4) * 8;
+                    let plen = self.key_head(key)?;
+                    let max = self.def.key_size.saturating_sub(4) * 8;
                     if plen > max {
                         return Err(MapError::BadPrefixLen { prefix: plen, max });
                     }
@@ -520,6 +545,7 @@ impl MapStore {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

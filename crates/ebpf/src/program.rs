@@ -89,6 +89,7 @@ impl PartialEq for Program {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::asm::Asm;

@@ -450,6 +450,7 @@ fn parse_assign(s: &str) -> Result<Vec<Insn>, String> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::disasm::disassemble;

@@ -440,6 +440,7 @@ fn stack_off_depth(pc: usize, off: i16, d: &Decoded) -> Result<u32, VerifyError>
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::asm::Asm;

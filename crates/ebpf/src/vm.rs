@@ -513,7 +513,8 @@ impl Vm {
             let (map_id, slot, off) = self.decode_map_addr(addr)?;
             let map = self.maps.get(map_id).ok_or(err.clone())?;
             if off + n <= map.def().value_size as usize {
-                Ok(&map.value(slot)[off..off + n])
+                let value = map.try_value(slot).ok_or(err.clone())?;
+                Ok(&value[off..off + n])
             } else {
                 Err(err)
             }
@@ -548,7 +549,8 @@ impl Vm {
             let (map_id, slot, off) = self.decode_map_addr(addr)?;
             let map = self.maps.get_mut(map_id).ok_or(err.clone())?;
             if off + n <= map.def().value_size as usize {
-                Ok(&mut map.value_mut(slot)[off..off + n])
+                let value = map.try_value_mut(slot).ok_or(err)?;
+                Ok(&mut value[off..off + n])
             } else {
                 Err(err)
             }
@@ -567,6 +569,11 @@ impl Vm {
     }
 
     /// Encode a `(map, slot)` pair as a map-value virtual address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map_id` does not name a map of this program; callers
+    /// obtain ids from the program's own map table.
     pub fn map_value_addr(&self, map_id: u32, slot: usize) -> u64 {
         let stride = self.maps.get(map_id).expect("map id exists").def().value_stride();
         map_value_addr(map_id, slot, stride)
@@ -606,7 +613,10 @@ impl Vm {
                     .def()
                     .key_size as usize;
                 let key = self.read_key(ctx, regs[2], key_size, pc)?;
-                let map = self.maps.get_mut(map_id).expect("checked above");
+                let map = self
+                    .maps
+                    .get_mut(map_id)
+                    .ok_or(VmError::BadMapHandle { value: regs[1], pc })?;
                 match map.lookup(&key).ok().flatten() {
                     Some(slot) => self.map_value_addr(map_id, slot),
                     None => 0,
@@ -623,7 +633,10 @@ impl Vm {
                 let key = self.read_key(ctx, regs[2], def.key_size as usize, pc)?;
                 let value = self.read_key(ctx, regs[3], def.value_size as usize, pc)?;
                 let flags = UpdateFlags::from_raw(regs[4]).unwrap_or(UpdateFlags::Any);
-                let map = self.maps.get_mut(map_id).expect("checked above");
+                let map = self
+                    .maps
+                    .get_mut(map_id)
+                    .ok_or(VmError::BadMapHandle { value: regs[1], pc })?;
                 match map.update(&key, &value, flags) {
                     Ok(_) => 0,
                     Err(_) => (-1i64) as u64,
@@ -638,7 +651,10 @@ impl Vm {
                     .def()
                     .key_size as usize;
                 let key = self.read_key(ctx, regs[2], key_size, pc)?;
-                let map = self.maps.get_mut(map_id).expect("checked above");
+                let map = self
+                    .maps
+                    .get_mut(map_id)
+                    .ok_or(VmError::BadMapHandle { value: regs[1], pc })?;
                 match map.delete(&key) {
                     Ok(()) => 0,
                     Err(_) => (-1i64) as u64,
@@ -885,6 +901,7 @@ pub fn cond_eval(op: JmpOp, width: Width, lhs: u64, rhs: u64) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::asm::Asm;

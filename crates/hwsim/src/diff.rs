@@ -8,7 +8,8 @@
 //! property of eHDL's consistency machinery (§4.1): hazards may cost
 //! cycles, never correctness.
 
-use crate::sim::{PipelineSim, SimOptions};
+use crate::fault::{FaultConfig, FaultEvent, FaultStats};
+use crate::sim::{PipelineSim, SimCounters, SimOptions};
 use ehdl_core::{Compiler, CompilerOptions, PipelineDesign};
 use ehdl_ebpf::vm::{Vm, XdpAction};
 use ehdl_ebpf::Program;
@@ -195,6 +196,153 @@ pub fn compare_full(
     divs
 }
 
+/// Result of a fault-injection differential run ([`compare_under_faults`]).
+///
+/// Equivalence is judged only on *non-fault* packets: a protected design
+/// must keep every packet the faults never touched bit-identical to the
+/// sequential reference, while fault-affected packets (silently corrupted,
+/// or sacrificed by the watchdog) are reported but not counted as
+/// divergences.
+#[derive(Debug, Clone)]
+pub struct FaultCompareReport {
+    /// Divergences among packets no fault touched.
+    pub divergences: Vec<Divergence>,
+    /// Map ids whose final contents differ from the reference. Meaningful
+    /// only when no fault reached map state (`affected` empty and
+    /// `map_storage_corrupted` false); otherwise expected to be non-empty.
+    pub map_divergences: Vec<u32>,
+    /// Sequence numbers of packets a fault corrupted or killed.
+    pub affected: Vec<u64>,
+    /// Non-affected packets that never completed (pipeline wedged without
+    /// a watchdog).
+    pub missing: u64,
+    /// Whether map backing storage took an unrecovered upset.
+    pub map_storage_corrupted: bool,
+    /// Fault engine tallies for the run.
+    pub stats: FaultStats,
+    /// Full fault event log (cycle/site/kind/outcome per injection).
+    pub log: Vec<FaultEvent>,
+    /// Simulator counters (fault replays, watchdog resets, ...).
+    pub counters: SimCounters,
+    /// Fraction of cycles the pipeline was not wedged.
+    pub availability: f64,
+}
+
+/// Differential VM-vs-pipeline run with a fault-injection engine attached.
+///
+/// Runs the sequential reference fault-free, runs the pipeline under the
+/// seeded campaign `fault`, and compares per packet — excluding the
+/// packets the engine reports as fault-affected. Outcomes are matched by
+/// sequence number (watchdog recovery can retire packets out of order).
+pub fn compare_under_faults(
+    program: &Program,
+    design: &PipelineDesign,
+    packets: &[Vec<u8>],
+    setup: impl Fn(&mut ehdl_ebpf::maps::MapStore),
+    ignore_maps: &[u32],
+    fault: FaultConfig,
+) -> FaultCompareReport {
+    let sim_options = SimOptions { freeze_time_ns: Some(1000), ..Default::default() };
+    let mut vm = Vm::new(program);
+    vm.set_time_ns(1000);
+    let mut sim = PipelineSim::with_options(design, sim_options);
+    setup(vm.maps_mut());
+    setup(sim.maps_mut());
+    sim.attach_faults(fault);
+
+    let mut vm_actions = Vec::with_capacity(packets.len());
+    let mut vm_packets = Vec::with_capacity(packets.len());
+    for p in packets {
+        let mut bytes = p.clone();
+        match vm.run(&mut bytes, 0) {
+            Ok(out) => {
+                vm_actions.push(out.action);
+                vm_packets.push(bytes);
+            }
+            Err(_) => {
+                vm_actions.push(XdpAction::Drop);
+                vm_packets.push(p.clone());
+            }
+        }
+    }
+
+    for p in packets {
+        sim.enqueue(p.clone());
+    }
+    sim.settle(50_000_000);
+    let mut outs = sim.drain();
+    outs.sort_by_key(|o| o.seq);
+    sim.finalize_faults();
+
+    let (affected, map_storage_corrupted, stats, log) = match sim.fault_engine() {
+        Some(e) => {
+            (e.affected_seqs().to_vec(), e.map_storage_corrupted(), *e.stats(), e.log().to_vec())
+        }
+        None => (Vec::new(), false, FaultStats::default(), Vec::new()),
+    };
+
+    let mut divs = Vec::new();
+    let mut missing = 0u64;
+    let mut next = outs.iter().peekable();
+    for seq in 0..packets.len() as u64 {
+        let out = match next.peek() {
+            Some(o) if o.seq == seq => next.next().expect("peeked"),
+            _ => {
+                if affected.binary_search(&seq).is_err() {
+                    missing += 1;
+                }
+                continue;
+            }
+        };
+        if affected.binary_search(&seq).is_ok() {
+            continue;
+        }
+        let i = seq as usize;
+        if out.action != vm_actions[i] {
+            divs.push(Divergence::Action { seq: i, vm: vm_actions[i], hw: out.action });
+            continue;
+        }
+        if out.action.forwards() && out.packet != vm_packets[i] {
+            let at = out
+                .packet
+                .iter()
+                .zip(&vm_packets[i])
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| out.packet.len().min(vm_packets[i].len()));
+            divs.push(Divergence::Packet { seq: i, at });
+        }
+    }
+
+    let mut map_divergences = Vec::new();
+    for def in &program.maps {
+        if ignore_maps.contains(&def.id) {
+            continue;
+        }
+        let (Some(a), Some(b)) = (vm.maps().get(def.id), sim.maps().get(def.id)) else {
+            continue;
+        };
+        let mut ea: Vec<_> = a.iter().map(|(_, k, v)| (k.to_vec(), v.to_vec())).collect();
+        let mut eb: Vec<_> = b.iter().map(|(_, k, v)| (k.to_vec(), v.to_vec())).collect();
+        ea.sort();
+        eb.sort();
+        if ea != eb {
+            map_divergences.push(def.id);
+        }
+    }
+
+    FaultCompareReport {
+        divergences: divs,
+        map_divergences,
+        affected,
+        missing,
+        map_storage_corrupted,
+        stats,
+        log,
+        counters: *sim.counters(),
+        availability: sim.availability(),
+    }
+}
+
 /// Compile `program` with `options` and differentially test it on
 /// `packets`, panicking with a readable report on divergence.
 pub fn assert_equivalent(program: &Program, options: CompilerOptions, packets: &[Vec<u8>]) {
@@ -235,6 +383,7 @@ pub fn assert_equivalent_ignoring(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ehdl_ebpf::asm::Asm;

@@ -22,12 +22,21 @@
 //!
 //! [`diff`] provides the differential harness that checks the simulator
 //! against the reference interpreter, packet by packet and map by map.
+//! [`fault`] injects deterministic, seeded faults into the modeled
+//! hardware so the hardened designs' protection machinery (parity, SECDED
+//! ECC, watchdog recovery) can be measured rather than asserted.
+
+#![warn(clippy::unwrap_used)]
 
 pub mod diff;
+pub mod fault;
 pub mod multi;
 pub mod shell;
 pub mod sim;
 
+pub use fault::{
+    FaultConfig, FaultEngine, FaultEvent, FaultKind, FaultOutcome, FaultSite, FaultStats,
+};
 pub use multi::{CompiledSteering, MultiNic, Steering};
 pub use shell::{NicShell, ShellOptions, ShellReport};
-pub use sim::{PipelineSim, SimCounters, SimOptions, SimOutcome};
+pub use sim::{PipelineSim, SimCounters, SimError, SimOptions, SimOutcome};

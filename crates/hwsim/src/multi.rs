@@ -139,6 +139,8 @@ pub struct MultiReport {
     /// All outcomes tagged with their pipeline index, in completion order
     /// per pipeline.
     pub outcomes: Vec<(usize, SimOutcome)>,
+    /// Per-pipeline availability (1.0 without fault injection).
+    pub availability: Vec<f64>,
 }
 
 impl MultiNic {
@@ -170,6 +172,17 @@ impl MultiNic {
     /// Mutable access to pipeline `i`'s simulator (host map setup).
     pub fn sim_mut(&mut self, i: usize) -> &mut PipelineSim {
         &mut self.sims[i]
+    }
+
+    /// Attach fault injection to every pipeline. Each pipeline's engine is
+    /// seeded from `cfg.seed` and its index, so the pipelines see
+    /// decorrelated (but still reproducible) fault streams — independent
+    /// hardware blocks do not fail in lockstep.
+    pub fn attach_faults(&mut self, cfg: crate::fault::FaultConfig) {
+        for (i, sim) in self.sims.iter_mut().enumerate() {
+            let seed = cfg.seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
+            sim.attach_faults(crate::fault::FaultConfig { seed, ..cfg });
+        }
     }
 
     /// Run a packet burst through the steered pipelines (all pipelines
@@ -216,7 +229,8 @@ impl MultiNic {
             completed[i] = outs_i.len() as u64;
             outcomes.extend(outs_i.into_iter().map(|o| (i, o)));
         }
-        MultiReport { steered, completed, outcomes }
+        let availability = self.sims.iter().map(|s| s.availability()).collect();
+        MultiReport { steered, completed, outcomes, availability }
     }
 
     /// Combined FPGA bill: every pipeline plus one shared shell.
@@ -234,6 +248,7 @@ impl MultiNic {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ehdl_core::{Compiler, Target};

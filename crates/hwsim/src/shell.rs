@@ -46,6 +46,16 @@ pub struct ShellReport {
     pub flushes_per_sec: f64,
     /// Simulated wall-clock time in seconds.
     pub seconds: f64,
+    /// Fraction of cycles the pipeline was not wedged by a hung stage
+    /// (1.0 without fault injection).
+    pub availability: f64,
+    /// Recovery replays triggered by detected faults (distinct from
+    /// hazard flushes).
+    pub fault_replays: u64,
+    /// Watchdog-initiated drain/reinit events.
+    pub watchdog_resets: u64,
+    /// Packets sacrificed by watchdog recovery.
+    pub pkts_lost_to_faults: u64,
 }
 
 /// The NIC shell: wraps a pipeline simulator with line-rate arrivals.
@@ -86,6 +96,12 @@ impl NicShell {
     /// Access the wrapped simulator (e.g. for host map setup).
     pub fn sim_mut(&mut self) -> &mut PipelineSim {
         &mut self.sim
+    }
+
+    /// Attach a fault-injection engine to the wrapped simulator (see
+    /// [`crate::fault`]); the next [`NicShell::run`] becomes a campaign.
+    pub fn attach_faults(&mut self, cfg: crate::fault::FaultConfig) {
+        self.sim.attach_faults(cfg);
     }
 
     /// Wire time of a frame at the configured port speed, in nanoseconds
@@ -142,6 +158,10 @@ impl NicShell {
             flushes: c.flushes,
             flushes_per_sec: c.flushes as f64 / seconds,
             seconds,
+            availability: self.sim.availability(),
+            fault_replays: c.fault_replays,
+            watchdog_resets: c.watchdog_resets,
+            pkts_lost_to_faults: c.pkts_lost_to_faults,
         }
     }
 
@@ -186,6 +206,7 @@ pub const ACTIONS: [XdpAction; 5] =
     [XdpAction::Aborted, XdpAction::Drop, XdpAction::Pass, XdpAction::Tx, XdpAction::Redirect];
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ehdl_core::Compiler;

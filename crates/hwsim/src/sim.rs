@@ -15,10 +15,48 @@ use ehdl_ebpf::vm::{
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use crate::fault::{
+    FaultConfig, FaultEngine, FaultEvent, FaultKind, FaultOutcome, FaultSite, Hang, MapUpset,
+    StuckFault,
+};
+
 /// Pipeline clock period in nanoseconds (250 MHz).
 pub const CLOCK_NS: f64 = 4.0;
 /// Cycles to refill the pipeline after a flush (App. A.1).
 pub const FLUSH_RELOAD_CYCLES: u64 = 4;
+
+/// Why the simulator refused an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// The frame exceeds the datapath's buffered maximum packet length;
+    /// the ingress MAC drops it before the pipeline sees a byte.
+    FrameTooLarge {
+        /// Offered frame length.
+        len: usize,
+        /// The design's `max_packet_len`.
+        max: usize,
+    },
+    /// The RX queue is at capacity; the arrival is lost.
+    QueueFull {
+        /// Configured queue depth.
+        depth: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the datapath maximum of {max}")
+            }
+            SimError::QueueFull { depth } => {
+                write!(f, "rx queue full ({depth} packets)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy)]
@@ -71,6 +109,14 @@ pub struct SimCounters {
     pub flush_replays: u64,
     /// Packets dropped by the implicit hardware bounds check.
     pub bounds_faults: u64,
+    /// Packets sent back for re-execution by fault recovery (parity
+    /// detections and watchdog drains) — counted separately from the
+    /// hazard machinery's `flush_replays`.
+    pub fault_replays: u64,
+    /// Watchdog-initiated drain + map-preserving reinit events.
+    pub watchdog_resets: u64,
+    /// Packets lost to injected faults (dropped by a watchdog reset).
+    pub pkts_lost_to_faults: u64,
 }
 
 /// A completed packet.
@@ -315,6 +361,13 @@ pub struct PipelineSim {
     /// `EHDL_SIM_DEBUG` was set at construction (cached: reading the
     /// environment takes a process-global lock, far too slow per event).
     debug_trace: bool,
+    /// Attached fault-injection engine (campaigns only; `None` keeps the
+    /// hot loop fault-free at the cost of one branch per cycle).
+    fault: Option<Box<FaultEngine>>,
+    /// Per map: the latest FEB write stage, or `None` when the map has no
+    /// FEB. Fault recovery uses it to retire read records whose hazard
+    /// window a replayed packet has already fully traversed.
+    feb_write_max: Vec<Option<usize>>,
 }
 
 impl PipelineSim {
@@ -371,6 +424,16 @@ impl PipelineSim {
                 words: design.blocks.len().div_ceil(64).max(1),
             },
             debug_trace: std::env::var_os("EHDL_SIM_DEBUG").is_some(),
+            fault: None,
+            feb_write_max: {
+                let mut v: Vec<Option<usize>> = vec![None; design.maps.len()];
+                for f in &design.hazards.febs {
+                    if let Some(e) = v.get_mut(f.map as usize) {
+                        *e = Some(e.map_or(f.write_stage, |w| w.max(f.write_stage)));
+                    }
+                }
+                v
+            },
         }
     }
 
@@ -418,11 +481,37 @@ impl PipelineSim {
     }
 
     /// Queue a packet for injection. Returns `false` (and counts a drop)
-    /// if the RX queue is full.
+    /// if the RX queue is full or the frame exceeds the datapath's
+    /// maximum packet length; see [`PipelineSim::try_enqueue`] for the
+    /// reason.
     pub fn enqueue(&mut self, packet: Vec<u8>) -> bool {
+        self.try_enqueue(packet).is_ok()
+    }
+
+    /// Queue a packet for injection, reporting *why* a frame is refused.
+    ///
+    /// Runts (even empty frames) and truncated headers are accepted —
+    /// the MAC delivers them and the program's own bounds checks decide,
+    /// exactly as in the reference VM. Frames longer than the design's
+    /// `max_packet_len` never fit the datapath buffer and are dropped at
+    /// ingress, as a real NIC MAC drops oversized frames. Both refusals
+    /// count as `rx_dropped`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::FrameTooLarge`] for oversized frames,
+    /// [`SimError::QueueFull`] when the RX queue is at capacity.
+    pub fn try_enqueue(&mut self, packet: Vec<u8>) -> Result<(), SimError> {
+        if packet.len() > self.design.framing.max_packet_len {
+            self.counters.rx_dropped += 1;
+            return Err(SimError::FrameTooLarge {
+                len: packet.len(),
+                max: self.design.framing.max_packet_len,
+            });
+        }
         if self.rx.len() >= self.options.rx_queue_depth {
             self.counters.rx_dropped += 1;
-            return false;
+            return Err(SimError::QueueFull { depth: self.options.rx_queue_depth });
         }
         let mut buf = vec![0u8; XDP_HEADROOM + packet.len()];
         buf[XDP_HEADROOM..].copy_from_slice(&packet);
@@ -453,7 +542,7 @@ impl PipelineSim {
             resume: None,
         }));
         self.next_seq += 1;
-        true
+        Ok(())
     }
 
     /// Number of frames a packet occupies on the datapath.
@@ -463,6 +552,13 @@ impl PipelineSim {
 
     /// Advance one clock cycle.
     pub fn step(&mut self) {
+        // 0. Fault engine tick (scrub, watchdog, stuck-at sites, new
+        // injections) — before anything moves this cycle, like the
+        // asynchronous upset it models.
+        if self.fault.is_some() {
+            self.fault_cycle();
+        }
+
         // 1. Commit due buffered map writes (oldest first).
         self.commit_due_writes();
 
@@ -476,10 +572,15 @@ impl PipelineSim {
                 // A packet may not advance into an occupied slot, nor past
                 // the re-entry stage of a pending partial-flush replay
                 // stream (the queued packets are older and go first). A
-                // blocked packet holds its slot and defers execution.
-                let blocked = s + 1 < nstages
-                    && (self.slots[s + 1].is_some()
-                        || (s + 1 == self.replay_entry && !self.replay.is_empty()));
+                // blocked packet holds its slot and defers execution. A
+                // stage whose control logic a fault has hung blocks
+                // unconditionally until something clears the hang.
+                let hung_here =
+                    self.fault.as_ref().is_some_and(|f| f.hang.map(|h| h.stage) == Some(s));
+                let blocked = hung_here
+                    || (s + 1 < nstages
+                        && (self.slots[s + 1].is_some()
+                            || (s + 1 == self.replay_entry && !self.replay.is_empty())));
                 if blocked {
                     self.slots[s] = Some(pkt);
                 } else {
@@ -1044,6 +1145,9 @@ impl PipelineSim {
             decode_map_value_addr(addr, |m| self.maps.get(m).map(|x| x.def().value_stride()))
         {
             self.forward_own_writes(map_id, seq);
+            if self.fault.is_some() {
+                self.fault_map_read(map_id, slot as u32);
+            }
             let n = size.bytes();
             {
                 let map = self.maps.get(map_id).ok_or(OpAbort::Fault)?;
@@ -1281,6 +1385,9 @@ impl PipelineSim {
             decode_map_value_addr(addr, |m| self.maps.get(m).map(|x| x.def().value_stride()))
         {
             self.forward_own_writes(map_id, seq);
+            if self.fault.is_some() {
+                self.fault_map_read(map_id, slot as u32);
+            }
             let map = self.maps.get(map_id).ok_or(OpAbort::Fault)?;
             if off + n > map.def().value_size as usize {
                 return Err(OpAbort::Fault);
@@ -1315,8 +1422,14 @@ impl PipelineSim {
         }
         delta.record_read(map_id, stage_idx as u32, key.to_vec());
         let map = self.maps.get_mut(map_id).expect("map exists");
-        Ok(match map.lookup(key).ok().flatten() {
-            Some(slot) => map_value_addr(map_id, slot, stride),
+        let slot = map.lookup(key).ok().flatten();
+        Ok(match slot {
+            Some(slot) => {
+                if self.fault.is_some() {
+                    self.fault_map_read(map_id, slot as u32);
+                }
+                map_value_addr(map_id, slot, stride)
+            }
             None => 0,
         })
     }
@@ -1508,6 +1621,479 @@ impl PipelineSim {
             return Err(OpAbort::Fault);
         }
         Err(OpAbort::Fault)
+    }
+}
+
+/// Fault-injection integration (see [`crate::fault`] for the model).
+///
+/// The engine's data lives in [`FaultEngine`]; the code that actually
+/// mutates pipeline state lives here, because the simulator owns that
+/// state. To satisfy the borrow checker the engine is taken out of
+/// `self.fault` for the duration of a fault cycle.
+impl PipelineSim {
+    /// Attach a fault-injection engine. Faults start landing on the next
+    /// [`PipelineSim::step`]; reattaching replaces the engine (and its log).
+    pub fn attach_faults(&mut self, cfg: FaultConfig) {
+        self.fault = Some(Box::new(FaultEngine::new(cfg)));
+    }
+
+    /// The attached fault engine, if any.
+    pub fn fault_engine(&self) -> Option<&FaultEngine> {
+        self.fault.as_deref()
+    }
+
+    /// Fraction of elapsed cycles the pipeline was live (not hung).
+    /// `1.0` without an attached engine.
+    pub fn availability(&self) -> f64 {
+        self.fault.as_ref().map_or(1.0, |f| f.availability(self.cycle))
+    }
+
+    /// End-of-campaign cleanup: the background scrubber would eventually
+    /// visit every outstanding ECC upset, so resolve them all as scrub
+    /// corrections before reading the stats.
+    pub fn finalize_faults(&mut self) {
+        let Some(eng) = self.fault.as_mut() else { return };
+        while !eng.upsets.is_empty() {
+            let u = eng.upsets.remove(0);
+            eng.stats.corrected_scrub += 1;
+            eng.resolve(u.event, FaultOutcome::CorrectedByScrub);
+        }
+    }
+
+    /// One fault-engine clock tick: watchdog, scrub, stuck-at sites, and
+    /// possibly a fresh injection.
+    fn fault_cycle(&mut self) {
+        let Some(mut eng) = self.fault.take() else { return };
+        // Hang accounting and the watchdog. Without a watchdog the hang
+        // persists: availability collapses until the run's cycle budget
+        // expires — exactly the failure mode the primitive exists for.
+        if let Some(h) = eng.hang {
+            eng.hung_cycles += 1;
+            if self.plan.protect().watchdog()
+                && self.cycle.saturating_sub(h.since) >= eng.cfg.watchdog_timeout
+            {
+                self.watchdog_recover(&mut eng, h);
+            }
+        }
+        // Background scrub: one outstanding upset corrected per period.
+        if self.plan.protect().ecc()
+            && eng.cfg.scrub_period > 0
+            && self.cycle.is_multiple_of(eng.cfg.scrub_period)
+            && !eng.upsets.is_empty()
+        {
+            let u = eng.upsets.remove(0);
+            eng.stats.corrected_scrub += 1;
+            eng.resolve(u.event, FaultOutcome::CorrectedByScrub);
+        }
+        // Re-force active stuck-at sites, dropping expired ones. The first
+        // application that hits live state upgrades the event's outcome.
+        if !eng.stuck.is_empty() {
+            let mut stuck = std::mem::take(&mut eng.stuck);
+            let cycle = self.cycle;
+            stuck.retain(|f| f.until > cycle);
+            for f in &stuck {
+                let outcome = self.apply_inflight_fault(&mut eng, f.site);
+                if outcome != FaultOutcome::Masked {
+                    upgrade_masked_event(&mut eng, f.event, outcome);
+                }
+            }
+            eng.stuck = stuck;
+        }
+        // New injection?
+        if eng.cfg.rate > 0.0 && eng.rng.gen_f64() < eng.cfg.rate {
+            self.inject_fault(&mut eng);
+        }
+        self.fault = Some(eng);
+    }
+
+    /// Inject one fault: pick a kind, pick a site, apply it, log it.
+    fn inject_fault(&mut self, eng: &mut FaultEngine) {
+        eng.stats.injected += 1;
+        let cfg = eng.cfg;
+        let cycle = self.cycle;
+        let r = eng.rng.gen_f64();
+        if r < cfg.hang_fraction {
+            // Hung stage. At most one at a time (a second upset in already
+            // wedged control logic changes nothing).
+            let site = FaultSite::Pipeline { stage: eng.rng.gen_index(self.slots.len().max(1)) };
+            if eng.hang.is_some() {
+                eng.stats.masked += 1;
+                eng.record(FaultEvent {
+                    cycle,
+                    site,
+                    kind: FaultKind::Hang,
+                    outcome: FaultOutcome::Masked,
+                });
+                return;
+            }
+            let FaultSite::Pipeline { stage } = site else { return };
+            let event = eng.record(FaultEvent {
+                cycle,
+                site,
+                kind: FaultKind::Hang,
+                outcome: FaultOutcome::HungUnrecovered,
+            });
+            eng.hang = Some(Hang { stage, since: cycle, event });
+            eng.stats.hangs += 1;
+            return;
+        }
+        if r < cfg.hang_fraction + cfg.stuck_fraction {
+            // Stuck-at: a structural in-flight site forced for a while.
+            let site = self.random_inflight_site(&mut eng.rng, /*structural_only=*/ true);
+            let outcome = self.apply_inflight_fault(eng, site);
+            bump_fault_stats(&mut eng.stats, outcome);
+            let event = eng.record(FaultEvent { cycle, site, kind: FaultKind::StuckAt, outcome });
+            eng.stuck.push(StuckFault { site, until: cycle + cfg.stuck_duration, event });
+            return;
+        }
+        // Transient single-bit flip: map BRAM or in-flight state.
+        if eng.rng.gen_f64() < cfg.map_bias {
+            let site = self.random_map_site(&mut eng.rng);
+            let outcome = match site {
+                Some(s) => self.apply_map_fault(eng, s, cycle),
+                None => FaultOutcome::Masked,
+            };
+            bump_fault_stats(&mut eng.stats, outcome);
+            // Outstanding upsets record their own event (they need its
+            // index); everything else is logged here.
+            if outcome != FaultOutcome::Outstanding {
+                let site = site.unwrap_or(FaultSite::MapWord { map: 0, slot: 0, byte: 0, bit: 0 });
+                eng.record(FaultEvent { cycle, site, kind: FaultKind::Transient, outcome });
+            }
+            return;
+        }
+        let site = self.random_inflight_site(&mut eng.rng, /*structural_only=*/ false);
+        let outcome = self.apply_inflight_fault(eng, site);
+        bump_fault_stats(&mut eng.stats, outcome);
+        eng.record(FaultEvent { cycle, site, kind: FaultKind::Transient, outcome });
+    }
+
+    /// A random site in the in-flight pipeline state. `structural_only`
+    /// restricts to sites that exist independently of queue occupancy
+    /// (stuck-at faults outlive any one packet).
+    fn random_inflight_site(&self, rng: &mut ehdl_rng::Rng, structural_only: bool) -> FaultSite {
+        let nstages = self.slots.len().max(1);
+        let stage = rng.gen_index(nstages);
+        let choices = if structural_only { 3 } else { 4 };
+        match rng.gen_index(choices) {
+            0 => FaultSite::StageReg {
+                stage,
+                reg: rng.gen_index(11) as u8,
+                bit: rng.gen_index(64) as u8,
+            },
+            1 => FaultSite::StageStack {
+                stage,
+                off: rng.gen_index(STACK_SIZE as usize) as u16,
+                bit: rng.gen_index(8) as u8,
+            },
+            2 => FaultSite::PredBit {
+                stage,
+                block: rng.gen_index(self.plan.block_count().max(1)) as u16,
+            },
+            _ => FaultSite::DelayBuffer {
+                index: rng.gen_index(self.pending_writes.len().max(1)),
+                bit: rng.gen_index(64) as u8,
+            },
+        }
+    }
+
+    /// A random occupied map-BRAM word, or `None` when every map is empty.
+    fn random_map_site(&self, rng: &mut ehdl_rng::Rng) -> Option<FaultSite> {
+        let nmaps = self.plan.map_count();
+        if nmaps == 0 {
+            return None;
+        }
+        let map = rng.gen_index(nmaps) as u32;
+        let m = self.maps.get(map)?;
+        let live = m.len();
+        if live == 0 {
+            return None;
+        }
+        let (slot, _, value) = m.iter().nth(rng.gen_index(live))?;
+        if value.is_empty() {
+            return None;
+        }
+        Some(FaultSite::MapWord {
+            map,
+            slot: slot as u32,
+            byte: rng.gen_index(value.len()) as u32,
+            bit: rng.gen_index(8) as u8,
+        })
+    }
+
+    /// Is any packet occupying `stage`?
+    fn slot_occupied(&self, stage: usize) -> bool {
+        self.slots.get(stage).is_some_and(|s| s.is_some())
+    }
+
+    /// Apply a flip to in-flight state. Under parity the corruption is
+    /// detected at the stage boundary before anything consumes it: the
+    /// window is recovered by replay from its checkpoints and no state is
+    /// actually corrupted (replay would restore it regardless). Without
+    /// parity the flip lands and the packet's results are untrusted.
+    fn apply_inflight_fault(&mut self, eng: &mut FaultEngine, site: FaultSite) -> FaultOutcome {
+        let parity = self.plan.protect().parity();
+        match site {
+            FaultSite::StageReg { stage, reg, bit } => {
+                if !self.slot_occupied(stage) {
+                    return FaultOutcome::Masked;
+                }
+                if parity {
+                    self.fault_replay_below(stage + 1);
+                    return FaultOutcome::DetectedReplay;
+                }
+                if let Some(pkt) = self.slots[stage].as_mut() {
+                    pkt.state.regs[reg as usize % 11] ^= 1u64 << (bit % 64);
+                    let seq = pkt.seq;
+                    eng.mark_affected(seq);
+                }
+                FaultOutcome::SilentCorruption
+            }
+            FaultSite::StageStack { stage, off, bit } => {
+                if !self.slot_occupied(stage) {
+                    return FaultOutcome::Masked;
+                }
+                if parity {
+                    self.fault_replay_below(stage + 1);
+                    return FaultOutcome::DetectedReplay;
+                }
+                if let Some(pkt) = self.slots[stage].as_mut() {
+                    let off = off as usize % STACK_SIZE as usize;
+                    pkt.state.stack[off] ^= 1 << (bit % 8);
+                    // The flip may dirty a byte below the zero watermark.
+                    pkt.state.stack_lo = pkt.state.stack_lo.min(off);
+                    let seq = pkt.seq;
+                    eng.mark_affected(seq);
+                }
+                FaultOutcome::SilentCorruption
+            }
+            FaultSite::PredBit { stage, block } => {
+                if !self.slot_occupied(stage) {
+                    return FaultOutcome::Masked;
+                }
+                if parity {
+                    self.fault_replay_below(stage + 1);
+                    return FaultOutcome::DetectedReplay;
+                }
+                if let Some(pkt) = self.slots[stage].as_mut() {
+                    let b = block as usize % MAX_BLOCKS;
+                    let cur = pkt.state.taken.get(b).unwrap_or(false);
+                    pkt.state.taken.set(b, !cur);
+                    let seq = pkt.seq;
+                    eng.mark_affected(seq);
+                }
+                FaultOutcome::SilentCorruption
+            }
+            FaultSite::DelayBuffer { index, bit } => {
+                if index >= self.pending_writes.len() {
+                    return FaultOutcome::Masked;
+                }
+                if parity {
+                    // Delay-buffer entries carry check bits in hardened
+                    // designs (the FEB snoop path already holds a shadow
+                    // copy): repaired in place, no replay needed.
+                    return FaultOutcome::CorrectedEcc;
+                }
+                let seq = self.pending_writes[index].seq;
+                match &mut self.pending_writes[index].kind {
+                    WriteKind::Update { value, .. } => {
+                        let len = value.len();
+                        if let Some(b) = value.get_mut((bit as usize / 8) % len.max(1)) {
+                            *b ^= 1 << (bit % 8);
+                        }
+                    }
+                    WriteKind::Delete { key } => {
+                        let len = key.len();
+                        if let Some(b) = key.get_mut((bit as usize / 8) % len.max(1)) {
+                            *b ^= 1 << (bit % 8);
+                        }
+                    }
+                    WriteKind::StoreValue { value, .. } => {
+                        *value ^= 1u64 << (bit % 64);
+                    }
+                }
+                // A corrupted buffered write lands in the map eventually:
+                // global state is no longer trustworthy.
+                eng.mark_affected(seq);
+                eng.map_corrupted = true;
+                FaultOutcome::SilentCorruption
+            }
+            FaultSite::MapWord { .. } | FaultSite::Pipeline { .. } => FaultOutcome::Masked,
+        }
+    }
+
+    /// Apply a flip to a map BRAM word. Under ECC a first upset is held
+    /// outstanding (SECDED corrects it on every read until a scrub or a
+    /// logged read resolves it); a second upset on the same word before
+    /// correction is detected but uncorrectable. Without ECC the flip
+    /// silently corrupts storage.
+    fn apply_map_fault(
+        &mut self,
+        eng: &mut FaultEngine,
+        site: FaultSite,
+        cycle: u64,
+    ) -> FaultOutcome {
+        let FaultSite::MapWord { map, slot, byte, bit } = site else {
+            return FaultOutcome::Masked;
+        };
+        if self.plan.protect().ecc() {
+            let word = byte / 8;
+            if let Some(pos) =
+                eng.upsets.iter().position(|u| u.map == map && u.slot == slot && u.word == word)
+            {
+                let u = eng.upsets.swap_remove(pos);
+                eng.resolve(u.event, FaultOutcome::Uncorrectable);
+                self.corrupt_map_word(map, slot, byte, bit);
+                eng.map_corrupted = true;
+                return FaultOutcome::Uncorrectable;
+            }
+            let event = eng.record(FaultEvent {
+                cycle,
+                site,
+                kind: FaultKind::Transient,
+                outcome: FaultOutcome::Outstanding,
+            });
+            eng.upsets.push(MapUpset { map, slot, word, event });
+            return FaultOutcome::Outstanding;
+        }
+        self.corrupt_map_word(map, slot, byte, bit);
+        eng.map_corrupted = true;
+        FaultOutcome::SilentCorruption
+    }
+
+    /// Flip one stored bit (the slot was picked live this same call).
+    fn corrupt_map_word(&mut self, map: u32, slot: u32, byte: u32, bit: u8) {
+        if let Some(m) = self.maps.get_mut(map) {
+            if let Some(b) = m.value_mut(slot as usize).get_mut(byte as usize) {
+                *b ^= 1 << (bit % 8);
+            }
+        }
+    }
+
+    /// ECC correct-on-read bookkeeping: a lookup touching `(map, slot)`
+    /// runs the word through the SECDED decoder, clearing any outstanding
+    /// upsets there. Called from the map read paths when an engine is
+    /// attached.
+    fn fault_map_read(&mut self, map: u32, slot: u32) {
+        let Some(eng) = self.fault.as_mut() else { return };
+        let mut i = 0;
+        while i < eng.upsets.len() {
+            if eng.upsets[i].map == map && eng.upsets[i].slot == slot {
+                let u = eng.upsets.swap_remove(i);
+                eng.stats.corrected_read += 1;
+                eng.resolve(u.event, FaultOutcome::CorrectedOnRead);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Recovery-by-replay: evict every slot below `boundary` plus the
+    /// queued replay stream, and replay all of them from their latest
+    /// checkpoints — the same machinery a hazard flush uses, but counted
+    /// in `fault_replays` so campaigns can separate protection cost from
+    /// hazard cost. Committed side effects are never replayed (App. A.2).
+    fn fault_replay_below(&mut self, boundary: usize) {
+        let mut replay = Vec::new();
+        for s in (0..boundary.min(self.slots.len())).rev() {
+            if let Some(pkt) = self.slots[s].take() {
+                replay.push(pkt);
+            }
+        }
+        replay.extend(self.replay.drain(..));
+        self.replay_hold.clear();
+        if replay.is_empty() {
+            return;
+        }
+        replay.sort_by_key(|p| p.seq);
+        self.counters.fault_replays += replay.len() as u64;
+        if self.debug_trace {
+            eprintln!("[sim {}] fault replay boundary={boundary} n={}", self.cycle, replay.len());
+        }
+        for mut pkt in replay.into_iter().rev() {
+            pkt.reset_for_replay(usize::MAX, &mut self.pool);
+            // A replayed packet resuming at stage `r` will skip every
+            // stage below it — including, crucially, any map write it
+            // already committed. Read records whose FEB window closes
+            // below `r` are therefore confirmed forever (the packet
+            // physically passed the write stage without a flush); keeping
+            // them would let a later FEB roll the packet below its own
+            // committed side effect and double-commit it.
+            if let Some(r) = pkt.resume.as_ref().map(|(s, _)| *s) {
+                let feb_write_max = &self.feb_write_max;
+                let confirmed = |m: u32| {
+                    feb_write_max.get(m as usize).copied().flatten().is_some_and(|w| w < r)
+                };
+                // The stale `state` is consulted by hazard pull-back checks
+                // until the resume swap, so it needs the same treatment.
+                pkt.state.map_reads.retain(|&(m, _, _)| !confirmed(m));
+                if let Some((_, snap)) = pkt.resume.as_mut() {
+                    snap.map_reads.retain(|&(m, _, _)| !confirmed(m));
+                }
+                // ... as are surviving checkpoints, should a later hazard
+                // rollback resume from one of them.
+                for (_, snap) in pkt.checkpoints.iter_mut() {
+                    snap.map_reads.retain(|&(m, _, _)| !confirmed(m));
+                }
+            }
+            self.counters.injected = self.counters.injected.saturating_sub(1);
+            self.rx.push_front(pkt);
+        }
+        self.stall = self.stall.max(FLUSH_RELOAD_CYCLES);
+        self.inject_busy = 0;
+    }
+
+    /// Watchdog timeout: drop the wedged packet, replay every innocent
+    /// in-flight packet from its checkpoints, and reinitialize the
+    /// pipeline control — maps are preserved.
+    fn watchdog_recover(&mut self, eng: &mut FaultEngine, h: Hang) {
+        eng.hang = None;
+        eng.resolve(h.event, FaultOutcome::HungRecovered);
+        eng.stats.watchdog_recoveries += 1;
+        self.counters.watchdog_resets += 1;
+        if self.debug_trace {
+            eprintln!("[sim {}] watchdog reset stage={}", self.cycle, h.stage);
+        }
+        if let Some(pkt) = self.slots.get_mut(h.stage).and_then(|s| s.take()) {
+            eng.mark_affected(pkt.seq);
+            self.counters.pkts_lost_to_faults += 1;
+            self.complete_as_fault_drop(pkt);
+        }
+        self.fault_replay_below(self.slots.len());
+        self.stall = self.stall.max(FLUSH_RELOAD_CYCLES);
+    }
+
+    /// Retire a packet the watchdog gave up on, with a forced drop verdict.
+    fn complete_as_fault_drop(&mut self, mut pkt: Box<InFlight>) {
+        pkt.state.faulted = false;
+        pkt.state.action = Some(XdpAction::Drop);
+        self.complete(pkt);
+    }
+}
+
+/// Tally one resolved fault event.
+fn bump_fault_stats(stats: &mut crate::fault::FaultStats, outcome: FaultOutcome) {
+    match outcome {
+        FaultOutcome::Masked => stats.masked += 1,
+        FaultOutcome::SilentCorruption => stats.silent += 1,
+        FaultOutcome::DetectedReplay => stats.detected_replays += 1,
+        FaultOutcome::CorrectedOnRead => stats.corrected_read += 1,
+        FaultOutcome::CorrectedByScrub => stats.corrected_scrub += 1,
+        FaultOutcome::CorrectedEcc => stats.corrected_ecc += 1,
+        FaultOutcome::Uncorrectable => stats.uncorrectable += 1,
+        FaultOutcome::HungRecovered => stats.watchdog_recoveries += 1,
+        FaultOutcome::HungUnrecovered | FaultOutcome::Outstanding => {}
+    }
+}
+
+/// A stuck-at site's first effective application upgrades its provisional
+/// `Masked` log entry (and the tallies) to the real outcome.
+fn upgrade_masked_event(eng: &mut FaultEngine, event: usize, outcome: FaultOutcome) {
+    let was_masked = eng.log.get(event).is_some_and(|e| e.outcome == FaultOutcome::Masked);
+    if was_masked {
+        eng.stats.masked = eng.stats.masked.saturating_sub(1);
+        bump_fault_stats(&mut eng.stats, outcome);
+        eng.resolve(event, outcome);
     }
 }
 
@@ -1748,6 +2334,7 @@ enum OpAbort {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ehdl_core::Compiler;
@@ -1843,6 +2430,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod utilization_tests {
     use super::*;
     use ehdl_core::Compiler;
@@ -1883,6 +2471,216 @@ mod utilization_tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod fault_tests {
+    use super::*;
+    use ehdl_core::{Compiler, CompilerOptions, Protection};
+    use ehdl_ebpf::asm::Asm;
+    use ehdl_ebpf::helpers::{BPF_MAP_LOOKUP_ELEM, BPF_MAP_UPDATE_ELEM};
+    use ehdl_ebpf::maps::{MapDef, MapKind};
+    use ehdl_ebpf::opcode::{AluOp, JmpOp, MemSize};
+    use ehdl_ebpf::Program;
+
+    /// Same lookup→increment→update shape as the hazard tests: per-flow
+    /// counters make silent corruption and replay mistakes observable.
+    fn counter_program() -> Program {
+        let mut a = Asm::new();
+        let skip = a.new_label();
+        a.load(MemSize::W, 7, 1, 0);
+        a.load(MemSize::B, 2, 7, 0);
+        a.store_reg(MemSize::W, 10, -8, 2);
+        a.ld_map_fd(1, 0);
+        a.mov64_reg(2, 10);
+        a.alu64_imm(AluOp::Add, 2, -8);
+        a.call(BPF_MAP_LOOKUP_ELEM);
+        a.jmp_imm(JmpOp::Jeq, 0, 0, skip);
+        a.load(MemSize::Dw, 6, 0, 0);
+        a.bind(skip);
+        a.alu64_imm(AluOp::Add, 6, 1);
+        a.store_reg(MemSize::Dw, 10, -16, 6);
+        a.ld_map_fd(1, 0);
+        a.mov64_reg(2, 10);
+        a.alu64_imm(AluOp::Add, 2, -8);
+        a.mov64_reg(3, 10);
+        a.alu64_imm(AluOp::Add, 3, -16);
+        a.mov64_imm(4, 0);
+        a.call(BPF_MAP_UPDATE_ELEM);
+        a.mov64_imm(0, 3);
+        a.exit();
+        Program::new("ctr", a.into_insns(), vec![MapDef::new(0, "cells", MapKind::Hash, 4, 8, 64)])
+    }
+
+    fn design_with(protect: Protection) -> ehdl_core::PipelineDesign {
+        let opts = CompilerOptions { protect, ..Default::default() };
+        Compiler::with_options(opts).compile(&counter_program()).unwrap()
+    }
+
+    fn pkt(flow: u8) -> Vec<u8> {
+        let mut p = vec![0u8; 64];
+        p[0] = flow;
+        p
+    }
+
+    fn flow_count(sim: &PipelineSim, flow: u8) -> Option<u64> {
+        let m = sim.maps().get(0)?;
+        let slot = m.clone().lookup(&[flow, 0, 0, 0]).ok().flatten()?;
+        Some(u64::from_le_bytes(m.value(slot).try_into().ok()?))
+    }
+
+    #[test]
+    fn unprotected_map_flips_corrupt_storage() {
+        let mut sim = PipelineSim::new(&design_with(Protection::None));
+        sim.attach_faults(FaultConfig {
+            seed: 11,
+            rate: 0.2,
+            map_bias: 1.0,
+            stuck_fraction: 0.0,
+            hang_fraction: 0.0,
+            ..Default::default()
+        });
+        for i in 0..32u8 {
+            sim.enqueue(pkt(i));
+        }
+        sim.settle(1_000_000);
+        let eng = sim.fault_engine().unwrap();
+        assert!(eng.stats().silent > 0, "unprotected flips must land: {:?}", eng.stats());
+        assert!(eng.map_storage_corrupted());
+        assert_eq!(eng.stats().detected_replays, 0);
+        assert_eq!(sim.counters().fault_replays, 0);
+    }
+
+    #[test]
+    fn parity_recovers_inflight_flips_by_replay() {
+        let mut sim = PipelineSim::new(&design_with(Protection::Parity));
+        sim.attach_faults(FaultConfig {
+            seed: 5,
+            rate: 0.3,
+            map_bias: 0.0,
+            stuck_fraction: 0.0,
+            hang_fraction: 0.0,
+            ..Default::default()
+        });
+        for _ in 0..30 {
+            sim.enqueue(pkt(1));
+        }
+        sim.settle(1_000_000);
+        let stats = *sim.fault_engine().unwrap().stats();
+        assert!(stats.detected_replays > 0, "faults must be detected: {stats:?}");
+        assert_eq!(stats.silent, 0, "parity leaves nothing silent");
+        assert!(sim.counters().fault_replays > 0);
+        assert!(sim.fault_engine().unwrap().affected_seqs().is_empty());
+        // Recovery preserved exact per-flow counts: nothing diverged.
+        assert_eq!(sim.counters().completed, 30);
+        assert_eq!(flow_count(&sim, 1), Some(30));
+    }
+
+    #[test]
+    fn ecc_corrects_or_rules_uncorrectable_every_map_upset() {
+        let mut sim = PipelineSim::new(&design_with(Protection::EccWatchdog));
+        sim.attach_faults(FaultConfig {
+            seed: 23,
+            rate: 0.1,
+            map_bias: 1.0,
+            stuck_fraction: 0.0,
+            hang_fraction: 0.0,
+            scrub_period: 64,
+            ..Default::default()
+        });
+        for i in 0..32u8 {
+            sim.enqueue(pkt(i));
+        }
+        sim.settle(1_000_000);
+        sim.finalize_faults();
+        let stats = *sim.fault_engine().unwrap().stats();
+        assert_eq!(stats.silent, 0, "ECC leaves nothing silent: {stats:?}");
+        assert!(stats.corrected_read + stats.corrected_scrub > 0);
+        assert_eq!(
+            stats.corrected_read + stats.corrected_scrub + stats.uncorrectable,
+            stats.effective(),
+            "every effective upset resolves: {stats:?}"
+        );
+        if stats.uncorrectable == 0 {
+            assert!(!sim.fault_engine().unwrap().map_storage_corrupted());
+            for i in 0..32u8 {
+                assert_eq!(flow_count(&sim, i), Some(1));
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_drains_and_recovers_hung_stage() {
+        let mut sim = PipelineSim::new(&design_with(Protection::EccWatchdog));
+        sim.attach_faults(FaultConfig {
+            seed: 3,
+            rate: 1.0,
+            map_bias: 0.0,
+            stuck_fraction: 0.0,
+            hang_fraction: 1.0,
+            watchdog_timeout: 64,
+            ..Default::default()
+        });
+        for i in 0..20u8 {
+            sim.enqueue(pkt(i));
+        }
+        sim.settle(1_000_000);
+        assert!(sim.counters().watchdog_resets >= 1, "{:?}", sim.counters());
+        assert!(sim.availability() < 1.0);
+        // Every packet retired: hung ones as forced drops, the rest clean.
+        assert_eq!(sim.counters().completed, 20);
+        let outs = sim.drain();
+        assert_eq!(outs.len(), 20);
+        let lost = sim.counters().pkts_lost_to_faults;
+        assert_eq!(outs.iter().filter(|o| o.action == XdpAction::Drop).count() as u64, lost);
+        let stats = sim.fault_engine().unwrap().stats();
+        assert_eq!(stats.watchdog_recoveries, sim.counters().watchdog_resets);
+    }
+
+    #[test]
+    fn hang_without_watchdog_collapses_availability() {
+        let mut sim = PipelineSim::new(&design_with(Protection::None));
+        sim.attach_faults(FaultConfig {
+            seed: 3,
+            rate: 1.0,
+            map_bias: 0.0,
+            stuck_fraction: 0.0,
+            hang_fraction: 1.0,
+            ..Default::default()
+        });
+        for i in 0..8u8 {
+            sim.enqueue(pkt(i));
+        }
+        sim.settle(20_000);
+        assert!(sim.availability() < 0.5, "availability {}", sim.availability());
+        assert!(sim.counters().completed < 8, "{:?}", sim.counters());
+        assert_eq!(sim.counters().watchdog_resets, 0);
+    }
+
+    #[test]
+    fn campaigns_are_bit_reproducible() {
+        let run = || {
+            let mut sim = PipelineSim::new(&design_with(Protection::EccWatchdog));
+            sim.attach_faults(FaultConfig { seed: 42, rate: 0.05, ..Default::default() });
+            for i in 0..24u8 {
+                sim.enqueue(pkt(i % 6));
+            }
+            sim.settle(1_000_000);
+            sim.finalize_faults();
+            let outs = sim.drain().iter().map(|o| (o.seq, o.action)).collect::<Vec<_>>();
+            let eng = sim.fault_engine().unwrap();
+            (outs, *sim.counters(), *eng.stats(), eng.log().to_vec(), eng.hung_cycles())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.3, b.3);
+        assert_eq!(a.4, b.4);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod hazard_timing_tests {
     use super::*;
     use ehdl_core::Compiler;

@@ -30,4 +30,10 @@ EHDL_CHECK_BENCH=1 cargo bench -p ehdl-bench --bench sim_speed
 echo "== flush-cost sweep (partial flushes vs baseline) =="
 cargo bench -p ehdl-bench --bench flush_opt
 
+echo "== loader/decoder/verifier fuzz (11k seeded cases) =="
+cargo test -p ehdl-ebpf --test fuzz_loader -q
+
+echo "== fault campaign (protection coverage + watchdog availability) =="
+cargo bench -p ehdl-bench --bench fault_campaign
+
 echo "check.sh: all gates passed"

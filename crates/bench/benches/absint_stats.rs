@@ -1,0 +1,79 @@
+//! Value-analysis effectiveness tracker: packet accesses proven in-bounds
+//! per evaluation app, statically-decided branches, and the LUT/FF savings
+//! the proofs buy (unguarded load/store lanes + narrowed carried state).
+//!
+//! Writes `BENCH_absint.json` at the workspace root so `scripts/check.sh`
+//! can fail on precision regressions. Usage:
+//!
+//! ```sh
+//! cargo bench --bench absint_stats            # measure and print
+//! EHDL_WRITE_BENCH=1 cargo bench --bench absint_stats   # also record JSON
+//! EHDL_CHECK_BENCH=1 cargo bench --bench absint_stats   # fail on regression
+//! ```
+
+use ehdl_bench::absint::{measure, read_recorded, write_report, REPORT_PATH};
+
+fn main() {
+    let rows = measure();
+    println!(
+        "{:<10} {:>8} {:>8} {:>6} {:>9} {:>10} {:>9} {:>10}",
+        "app", "pkt-acc", "proven", "cut-br", "luts", "base-luts", "ffs", "base-ffs"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>8} {:>8} {:>6} {:>9} {:>10} {:>9} {:>10}   ({:.0}% proven, {} LUTs saved)",
+            r.app,
+            r.packet_accesses,
+            r.proven_accesses,
+            r.decided_branches,
+            r.luts,
+            r.luts_baseline,
+            r.ffs,
+            r.ffs_baseline,
+            r.proven_fraction() * 100.0,
+            r.luts_baseline.saturating_sub(r.luts),
+        );
+    }
+
+    if std::env::var_os("EHDL_WRITE_BENCH").is_some() {
+        write_report(&rows).expect("write BENCH_absint.json");
+        println!("recorded {REPORT_PATH}");
+    }
+
+    if std::env::var_os("EHDL_CHECK_BENCH").is_some() {
+        let mut failed = false;
+        for r in &rows {
+            // Hard floor from the evaluation: at least 80% of packet
+            // accesses proven on every example app.
+            if r.proven_fraction() < 0.8 {
+                eprintln!(
+                    "absint REGRESSION: {} proves only {}/{} packet accesses (<80%)",
+                    r.app, r.proven_accesses, r.packet_accesses,
+                );
+                failed = true;
+            }
+            // And no per-app regression against the recorded baseline.
+            match read_recorded(&r.app) {
+                Some((total, proven)) => {
+                    if r.proven_accesses < proven || r.packet_accesses != total {
+                        eprintln!(
+                            "absint REGRESSION: {} proves {}/{} vs recorded {proven}/{total}; \
+                             re-record with EHDL_WRITE_BENCH=1 if intentional",
+                            r.app, r.proven_accesses, r.packet_accesses,
+                        );
+                        failed = true;
+                    } else {
+                        println!(
+                            "absint OK: {} proves {}/{} (recorded {proven}/{total})",
+                            r.app, r.proven_accesses, r.packet_accesses,
+                        );
+                    }
+                }
+                None => println!("no recorded baseline for {}; skipping gate", r.app),
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

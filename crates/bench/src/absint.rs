@@ -1,0 +1,186 @@
+//! Abstract-interpretation effectiveness tracker: how many packet accesses
+//! the `ehdl_ebpf::absint` pass proves in-bounds per evaluation app, and
+//! what the proofs save in estimated FPGA resources. Tracked as a
+//! first-class number (`BENCH_absint.json`) so an analysis-precision
+//! regression — a transfer function accidentally widened to TOP — fails
+//! `scripts/check.sh` instead of silently re-guarding every access.
+
+use ehdl_core::{invcheck, resource, Compiler, CompilerOptions};
+use ehdl_programs::App;
+
+/// Where the recorded baseline lives, relative to the workspace root.
+pub const REPORT_PATH: &str = "BENCH_absint.json";
+
+/// Per-app effectiveness of the value analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbsintRow {
+    /// Application name.
+    pub app: String,
+    /// Packet accesses in the compiled design's source program.
+    pub packet_accesses: usize,
+    /// How many the analysis proved in-bounds (compiled unguarded).
+    pub proven_accesses: usize,
+    /// Conditional branches decided statically and cut.
+    pub decided_branches: usize,
+    /// Estimated LUTs with the analysis on.
+    pub luts: u64,
+    /// Estimated LUTs with the analysis off (guard-everything baseline).
+    pub luts_baseline: u64,
+    /// Estimated FFs with the analysis on.
+    pub ffs: u64,
+    /// Estimated FFs with the analysis off.
+    pub ffs_baseline: u64,
+}
+
+impl AbsintRow {
+    /// Fraction of packet accesses proven in-bounds (1.0 when the app has
+    /// none).
+    pub fn proven_fraction(&self) -> f64 {
+        if self.packet_accesses == 0 {
+            1.0
+        } else {
+            self.proven_accesses as f64 / self.packet_accesses as f64
+        }
+    }
+}
+
+/// Compile every evaluation app with the analysis on and off, run the
+/// pipeline invariant checker over each produced design, and tabulate
+/// proven-access counts and resource savings.
+///
+/// # Panics
+///
+/// Panics if an app fails to compile or its design violates a pipeline
+/// invariant — both are hard correctness bugs, not measurement noise.
+pub fn measure() -> Vec<AbsintRow> {
+    App::ALL
+        .iter()
+        .map(|&app| {
+            let program = app.program();
+            let on = Compiler::new().compile(&program).expect("app compiles");
+            let off =
+                Compiler::with_options(CompilerOptions { absint: false, ..Default::default() })
+                    .compile(&program)
+                    .expect("app compiles without absint");
+            for design in [&on, &off] {
+                if let Err(vs) = invcheck::check(design) {
+                    let msgs: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
+                    panic!("{}: invariant violations: {}", app.name(), msgs.join("; "));
+                }
+            }
+            let est_on = resource::estimate_pipeline(&on);
+            let est_off = resource::estimate_pipeline(&off);
+            AbsintRow {
+                app: app.name().to_string(),
+                packet_accesses: on.stats.packet_accesses,
+                proven_accesses: on.stats.proven_accesses,
+                decided_branches: on.stats.decided_branches,
+                luts: est_on.luts,
+                luts_baseline: est_off.luts,
+                ffs: est_on.ffs,
+                ffs_baseline: est_off.ffs,
+            }
+        })
+        .collect()
+}
+
+/// The workspace-root path of the recorded baseline.
+pub fn report_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(REPORT_PATH)
+}
+
+/// Serialize the rows to the tracked JSON file. Keys are flattened to
+/// `"<app>_<field>"` so [`read_recorded`] can reuse the same hand-rolled
+/// field scanner as the other bench baselines (no serde in the tree).
+pub fn write_report(rows: &[AbsintRow]) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut json = String::from("{\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let _ = write!(
+            json,
+            "  \"{app}_packet_accesses\": {},\n  \"{app}_proven_accesses\": {},\n  \
+             \"{app}_decided_branches\": {},\n  \"{app}_luts\": {},\n  \
+             \"{app}_luts_baseline\": {},\n  \"{app}_ffs\": {},\n  \
+             \"{app}_ffs_baseline\": {}{sep}\n",
+            r.packet_accesses,
+            r.proven_accesses,
+            r.decided_branches,
+            r.luts,
+            r.luts_baseline,
+            r.ffs,
+            r.ffs_baseline,
+            app = r.app,
+        );
+    }
+    json.push_str("}\n");
+    std::fs::write(report_path(), json)
+}
+
+/// Read the recorded `(packet_accesses, proven_accesses)` for `app`.
+pub fn read_recorded(app: &str) -> Option<(usize, usize)> {
+    let text = std::fs::read_to_string(report_path()).ok()?;
+    let total = parse_field(&text, &format!("{app}_packet_accesses"))? as usize;
+    let proven = parse_field(&text, &format!("{app}_proven_accesses"))? as usize;
+    Some((total, proven))
+}
+
+fn parse_field(json: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\"");
+    let rest = &json[json.find(&key)? + key.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest.find([',', '\n', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_app_mostly_proven_and_cheaper() {
+        for r in measure() {
+            assert!(
+                r.proven_fraction() >= 0.8,
+                "{}: only {}/{} packet accesses proven",
+                r.app,
+                r.proven_accesses,
+                r.packet_accesses
+            );
+            assert!(
+                r.luts <= r.luts_baseline,
+                "{}: analysis must never cost LUTs ({} vs {})",
+                r.app,
+                r.luts,
+                r.luts_baseline
+            );
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let r = AbsintRow {
+            app: "fake".into(),
+            packet_accesses: 10,
+            proven_accesses: 9,
+            decided_branches: 2,
+            luts: 100,
+            luts_baseline: 120,
+            ffs: 50,
+            ffs_baseline: 60,
+        };
+        use std::fmt::Write as _;
+        let mut json = String::from("{\n");
+        let _ = write!(
+            json,
+            "  \"{app}_packet_accesses\": {},\n  \"{app}_proven_accesses\": {}\n",
+            r.packet_accesses,
+            r.proven_accesses,
+            app = r.app,
+        );
+        json.push_str("}\n");
+        assert_eq!(parse_field(&json, "fake_packet_accesses"), Some(10.0));
+        assert_eq!(parse_field(&json, "fake_proven_accesses"), Some(9.0));
+        assert_eq!(parse_field(&json, "fake_missing"), None);
+    }
+}

@@ -5,6 +5,7 @@
 //! the paper's layout, and integration tests assert the qualitative shape
 //! (who wins, by roughly what factor).
 
+pub mod absint;
 pub mod fault_campaign;
 pub mod flush_opt;
 pub mod sim_speed;

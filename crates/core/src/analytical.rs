@@ -9,6 +9,15 @@
 //! collision probabilities. Flushing `K` stages at probability `P_f`
 //! yields the effective throughput of eqn. 2, and eqn. 3 inverts it into
 //! the deepest flushable pipeline that still sustains a target rate.
+//!
+//! The abstract-interpretation pass (`ehdl_ebpf::absint`) feeds this model
+//! indirectly: statically-decided branches are cut before predication, so
+//! dead blocks between a map read and its write never become stages. A
+//! shorter stage list moves the write closer to the read — a smaller
+//! read→write window `L` lowers [`p_flush_zipf`], and a shallower write
+//! stage lowers the flush depth `K` in [`throughput`]. The
+//! `absint_shrinks_flush_window_worked_example` test pins this chain on a
+//! concrete program.
 
 /// Pipeline clock in Hz (250 MHz; one packet per cycle peak → 250 Mpps).
 pub const CLOCK_HZ: f64 = 250e6;
@@ -167,5 +176,94 @@ mod tests {
         let row = model_design("fw", &plan, 50_000);
         assert_eq!(row.k, None);
         assert_eq!(row.throughput_pps, None);
+    }
+
+    /// Worked example of the absint → stage count → flush model chain: a
+    /// counter program with a statically-dead block of filler work wedged
+    /// between the map read and the map write. With the value analysis on,
+    /// the dead branch is cut before predication, the filler never becomes
+    /// stages, and the write lands closer to the read — a smaller hazard
+    /// window `L` and flush depth `K`, hence strictly higher modeled
+    /// throughput at the same flow count.
+    #[test]
+    #[allow(clippy::unwrap_used)]
+    fn absint_shrinks_flush_window_worked_example() {
+        use crate::{Compiler, CompilerOptions};
+        use ehdl_ebpf::asm::Asm;
+        use ehdl_ebpf::helpers::{BPF_MAP_LOOKUP_ELEM, BPF_MAP_UPDATE_ELEM};
+        use ehdl_ebpf::maps::{MapDef, MapKind};
+        use ehdl_ebpf::opcode::{AluOp, JmpOp, MemSize};
+        use ehdl_ebpf::Program;
+
+        let mut a = Asm::new();
+        let live = a.new_label();
+        let out = a.new_label();
+        // Key 0 at fp-8; look the counter up.
+        a.mov64_imm(2, 0);
+        a.store_reg(MemSize::W, 10, -8, 2);
+        a.ld_map_fd(1, 0);
+        a.mov64_reg(2, 10);
+        a.alu64_imm(AluOp::Add, 2, -8);
+        a.call(BPF_MAP_LOOKUP_ELEM);
+        a.jmp_imm(JmpOp::Jeq, 0, 0, out);
+        a.load(MemSize::Dw, 7, 0, 0);
+        // Constant condition: r3 == 5 always holds, the fall-through
+        // filler below is dead — but only the value analysis knows.
+        a.mov64_imm(3, 5);
+        a.jmp_imm(JmpOp::Jeq, 3, 5, live);
+        for _ in 0..10 {
+            a.alu64_imm(AluOp::Add, 7, 1); // dead filler work
+        }
+        a.bind(live);
+        a.alu64_imm(AluOp::Add, 7, 1);
+        a.store_reg(MemSize::Dw, 10, -16, 7);
+        a.ld_map_fd(1, 0);
+        a.mov64_reg(2, 10);
+        a.alu64_imm(AluOp::Add, 2, -8);
+        a.mov64_reg(3, 10);
+        a.alu64_imm(AluOp::Add, 3, -16);
+        a.mov64_imm(4, 0);
+        a.call(BPF_MAP_UPDATE_ELEM);
+        a.bind(out);
+        a.mov64_imm(0, 2);
+        a.exit();
+        let program = Program::new(
+            "worked",
+            a.into_insns(),
+            vec![MapDef::new(0, "ctr", MapKind::Array, 4, 8, 16)],
+        );
+
+        let with = Compiler::new().compile(&program).unwrap();
+        let without =
+            Compiler::with_options(CompilerOptions { absint: false, ..Default::default() })
+                .compile(&program)
+                .unwrap();
+        assert!(with.stats.decided_branches >= 1, "the constant branch is decided");
+        assert!(
+            with.stages.len() < without.stages.len(),
+            "cut filler shortens the pipeline: {} vs {}",
+            with.stages.len(),
+            without.stages.len()
+        );
+
+        let (l_on, k_on) =
+            (with.hazards.max_raw_window().unwrap(), with.hazards.max_flush_depth().unwrap());
+        let (l_off, k_off) =
+            (without.hazards.max_raw_window().unwrap(), without.hazards.max_flush_depth().unwrap());
+        assert!(l_on < l_off, "smaller read->write window: L {l_on} vs {l_off}");
+        assert!(k_on < k_off, "shallower flush: K {k_on} vs {k_off}");
+
+        // Feed both into the Appendix A model at 50k Zipf flows. The
+        // window shrink lowers the flush probability and the depth shrink
+        // lowers the per-flush cost, so modeled throughput strictly rises.
+        let n = 50_000;
+        let tp_on = throughput(PEAK_PPS, k_on, p_flush_zipf(l_on, n));
+        let tp_off = throughput(PEAK_PPS, k_off, p_flush_zipf(l_off, n));
+        assert!(
+            tp_on > tp_off,
+            "modeled throughput must improve: {:.1} vs {:.1} Mpps",
+            tp_on / 1e6,
+            tp_off / 1e6
+        );
     }
 }

@@ -8,11 +8,15 @@ use crate::framing::{self, FramingOptions};
 use crate::fusion::{self, FusionOptions};
 use crate::hazard;
 use crate::hazardopt;
+use crate::invcheck;
+use crate::ir::{HwInsn, Interval, MemLabel, PacketProof};
 use crate::label;
 use crate::pipeline::{assemble, DesignStats, PipelineDesign, Protection};
 use crate::prune;
 use crate::schedule::{self, ilp_stats};
 use crate::unroll;
+use ehdl_ebpf::absint;
+use ehdl_ebpf::insn::Instruction;
 use ehdl_ebpf::verifier;
 use ehdl_ebpf::Program;
 use std::time::{Duration, Instant};
@@ -28,6 +32,8 @@ pub struct PassTimings {
     pub unroll: Duration,
     /// CFG construction + labeling analysis.
     pub analyze: Duration,
+    /// Abstract-interpretation value analysis.
+    pub absint: Duration,
     /// Fusion + DCE.
     pub fuse: Duration,
     /// DDG + ILP scheduling.
@@ -68,6 +74,11 @@ pub struct CompilerOptions {
     /// primitives into the design. Default is no protection (the paper's
     /// baseline); the fault-injection campaign flips this on.
     pub protect: Protection,
+    /// Abstract-interpretation value analysis (`ehdl_ebpf::absint`):
+    /// proves packet accesses in-bounds (compiled unguarded), cuts
+    /// statically-dead branches, and narrows frame slices. Off reproduces
+    /// the guard-everything baseline for the ablation benches.
+    pub absint: bool,
 }
 
 impl Default for CompilerOptions {
@@ -83,6 +94,7 @@ impl Default for CompilerOptions {
             max_unroll: 64,
             hazard_opt: true,
             protect: Protection::None,
+            absint: true,
         }
     }
 }
@@ -164,9 +176,15 @@ impl Compiler {
         let labeling = label::label(&program, &decoded, &cfg)?;
         t.analyze = mark.elapsed();
 
+        // 3b. Abstract interpretation over the unrolled stream: packet
+        // bounds proofs, decided branches, frame-slice narrowing.
+        let mark = Instant::now();
+        let analysis = o.absint.then(|| absint::analyze(&decoded));
+        t.absint = mark.elapsed();
+
         // 4. Fuse / DCE / mark elidable bounds checks.
         let mark = Instant::now();
-        let lowered = fusion::lower(
+        let mut lowered = fusion::lower(
             &decoded,
             &labeling,
             &cfg,
@@ -176,6 +194,9 @@ impl Compiler {
                 elide_bounds_checks: o.elide_bounds_checks,
             },
         );
+        if let Some(an) = &analysis {
+            apply_analysis(&mut lowered, an);
+        }
         t.fuse = mark.elapsed();
 
         // 5. Schedule (ILP within blocks), then minimize hazard windows
@@ -192,30 +213,103 @@ impl Compiler {
         // 6-9. Assemble, frame, plan hazards, prune.
         let mark = Instant::now();
         let assembled = assemble(&lowered, &schedules);
+        let packet_cap =
+            analysis.as_ref().filter(|an| an.all_packet_proven).and_then(|an| an.max_proven_end);
         let (stages, framing_info) = framing::apply(
             assembled.stages,
-            FramingOptions { frame_size: o.frame_size, max_packet_len: o.max_packet_len },
+            FramingOptions {
+                frame_size: o.frame_size,
+                max_packet_len: o.max_packet_len,
+                packet_cap,
+            },
         );
         let hazards = hazard::analyze(&stages);
         let prune_info = prune::analyze(&stages, &assembled.blocks, o.prune);
         t.backend = mark.elapsed();
+
+        let stack_narrow = analysis
+            .as_ref()
+            .map(|an| {
+                an.stack_slots
+                    .iter()
+                    .map(|s| if s.constant.is_some() { 0 } else { s.width })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let (packet_accesses, proven_accesses, decided_branches) = analysis
+            .as_ref()
+            .map(|an| (an.packet_accesses, an.proven_accesses, an.decided_branches()))
+            .unwrap_or_default();
+        let design = PipelineDesign {
+            name: program.name.clone(),
+            stages,
+            blocks: assembled.blocks,
+            maps: program.maps.clone(),
+            hazards,
+            framing: framing_info,
+            prune: prune_info,
+            guards: assembled.guards,
+            protect: o.protect,
+            stack_narrow,
+            stats: DesignStats {
+                source_insns,
+                hw_insns: assembled.hw_insns,
+                ilp,
+                packet_accesses,
+                proven_accesses,
+                decided_branches,
+            },
+        };
+
+        // 10. Static invariant check over the finished design: the
+        // pipeline properties the simulator enforces dynamically must be
+        // provable from the plan itself.
+        invcheck::check(&design).map_err(|vs| CompileError::Invariant {
+            detail: vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("; "),
+        })?;
         t.total = t0.elapsed();
 
-        Ok((
-            PipelineDesign {
-                name: program.name.clone(),
-                stages,
-                blocks: assembled.blocks,
-                maps: program.maps.clone(),
-                hazards,
-                framing: framing_info,
-                prune: prune_info,
-                guards: assembled.guards,
-                protect: o.protect,
-                stats: DesignStats { source_insns, hw_insns: assembled.hw_insns, ilp },
-            },
-            t,
-        ))
+        Ok((design, t))
+    }
+}
+
+/// Fold the abstract-interpretation facts into the lowered program:
+/// attach proofs to proven packet accesses (tightening their labels) and
+/// cut statically-decided branches from the control graph.
+fn apply_analysis(lowered: &mut fusion::LoweredProgram, an: &absint::Analysis) {
+    for block in &mut lowered.blocks {
+        for op in block.iter_mut() {
+            let Some(f) = an.packet_fact(op.pc) else { continue };
+            if !f.proven {
+                continue;
+            }
+            // Only accesses the labeling pass also classified as packet
+            // are rewritten; both interval sources over-approximate the
+            // same offset, so their intersection is sound and tighter.
+            if let MemLabel::Packet(iv) = op.label {
+                if let Some(tight) = iv.intersect(Interval::new(f.lo, f.hi)) {
+                    op.label = MemLabel::Packet(tight);
+                }
+                op.proof = Some(PacketProof { lo: f.lo, hi: f.hi, min_len: f.min_len });
+            }
+        }
+    }
+    for b in 0..lowered.blocks.len() {
+        let crate::cfg::Terminator::Cond { taken, fall, .. } = lowered.terms[b] else {
+            continue;
+        };
+        let Some(pos) = lowered.blocks[b].iter().position(|op| {
+            matches!(op.insn, HwInsn::Simple(Instruction::Jump { cond: Some(_), .. }))
+                && op.elided.is_none()
+        }) else {
+            continue;
+        };
+        let Some(outcome) = an.branch_outcome(lowered.blocks[b][pos].pc) else { continue };
+        // The branch always goes one way: drop the compare and make the
+        // edge unconditional; `assemble` then prunes the dead side.
+        lowered.terms[b] =
+            crate::cfg::Terminator::Jump { target: if outcome { taken } else { fall } };
+        lowered.blocks[b].remove(pos);
     }
 }
 

@@ -44,6 +44,13 @@ pub enum CompileError {
         /// Slot of the call.
         pc: usize,
     },
+    /// The finished design violates a pipeline invariant (`invcheck`):
+    /// a compiler bug, surfaced statically instead of as silent
+    /// miscomputation in hardware.
+    Invariant {
+        /// The violated rules, citing stage/instruction.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -65,6 +72,9 @@ impl fmt::Display for CompileError {
             }
             CompileError::UnsupportedHelper { helper, pc } => {
                 write!(f, "helper {helper} (called at {pc}) has no hardware block")
+            }
+            CompileError::Invariant { detail } => {
+                write!(f, "pipeline invariant violated: {detail}")
             }
         }
     }

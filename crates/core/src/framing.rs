@@ -21,11 +21,16 @@ pub struct FramingOptions {
     pub frame_size: usize,
     /// Worst-case packet length, used when an access offset is unbounded.
     pub max_packet_len: usize,
+    /// One past the highest packet byte any access can touch, when the
+    /// abstract interpreter proved *every* packet access in-bounds. Caps
+    /// the worst-case fallback for accesses whose label stayed unbounded.
+    /// Must only be set from an all-accesses-proven analysis.
+    pub packet_cap: Option<i64>,
 }
 
 impl Default for FramingOptions {
     fn default() -> FramingOptions {
-        FramingOptions { frame_size: 64, max_packet_len: 1514 }
+        FramingOptions { frame_size: 64, max_packet_len: 1514, packet_cap: None }
     }
 }
 
@@ -87,7 +92,8 @@ fn stage_max_frame(stage: &Stage, opts: FramingOptions) -> Option<usize> {
         let hi = match op.label {
             MemLabel::Packet(iv) => {
                 if iv.is_top() || iv.hi < 0 {
-                    (opts.max_packet_len - 1) as i64
+                    let worst = (opts.max_packet_len - 1) as i64;
+                    opts.packet_cap.map_or(worst, |cap| (cap - 1).clamp(0, worst))
                 } else {
                     iv.hi
                 }
@@ -132,6 +138,7 @@ mod tests {
                 label: MemLabel::Packet(Interval::point(off)),
                 map_use: None,
                 elided: None,
+                proof: None,
             }],
             kind: StageKind::Normal,
         }
@@ -151,6 +158,7 @@ mod tests {
                 label: MemLabel::None,
                 map_use: None,
                 elided: None,
+                proof: None,
             }],
             kind: StageKind::Normal,
         }
@@ -190,8 +198,8 @@ mod tests {
     fn smaller_frames_mean_more_waits() {
         let stages = vec![pkt_load_stage(0, 300)];
         let (_, info64) =
-            apply(stages.clone(), FramingOptions { frame_size: 64, max_packet_len: 1514 });
-        let (_, info16) = apply(stages, FramingOptions { frame_size: 16, max_packet_len: 1514 });
+            apply(stages.clone(), FramingOptions { frame_size: 64, ..Default::default() });
+        let (_, info16) = apply(stages, FramingOptions { frame_size: 16, ..Default::default() });
         assert!(info16.wait_stages > info64.wait_stages);
     }
 
@@ -201,5 +209,16 @@ mod tests {
         s.ops[0].label = MemLabel::Packet(Interval::TOP);
         let (_, info) = apply(vec![s], FramingOptions::default());
         assert_eq!(info.max_bypass, 1513 / 64);
+    }
+
+    #[test]
+    fn proven_packet_cap_narrows_unbounded_access() {
+        let mut s = pkt_load_stage(0, 0);
+        s.ops[0].label = MemLabel::Packet(Interval::TOP);
+        let (_, info) =
+            apply(vec![s], FramingOptions { packet_cap: Some(64), ..Default::default() });
+        // Bytes 0..64 end at frame 0 instead of frame 1513/64.
+        assert_eq!(info.max_bypass, 0);
+        assert_eq!(info.wait_stages, 0);
     }
 }

@@ -73,6 +73,7 @@ pub fn lower(
                 label: labeling.labels[idx],
                 map_use: labeling.map_uses[idx],
                 elided,
+                proof: None,
             });
         }
         terms.push(blk.term);
@@ -182,6 +183,7 @@ fn fuse_block(insns: &mut Vec<LabeledInsn>) {
                             label: MemLabel::None,
                             map_use: None,
                             elided: None,
+                            proof: None,
                         });
                         it.next();
                         continue;

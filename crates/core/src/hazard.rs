@@ -196,6 +196,7 @@ mod tests {
                 label: MemLabel::Map(mu.map(|m| m.map()).unwrap_or(0)),
                 map_use: mu,
                 elided: None,
+                proof: None,
             }],
             kind: StageKind::Normal,
         }

@@ -60,6 +60,14 @@ impl Interval {
     pub fn overlaps(self, other: Interval) -> bool {
         self.lo <= other.hi && other.lo <= self.hi
     }
+
+    /// Intersection, when non-empty. Intersecting two over-approximations
+    /// of the same quantity yields a (tighter) over-approximation.
+    pub fn intersect(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
 }
 
 impl fmt::Display for Interval {
@@ -263,6 +271,21 @@ pub struct BoundsCheck {
     pub checked_len: Interval,
 }
 
+/// A packet-bounds fact proven by the abstract interpreter
+/// (`ehdl_ebpf::absint`) for one memory access: the byte offset from
+/// `data` always falls in `[lo, hi]`, and every path to the access has
+/// established `data_end - data ≥ min_len ≥ hi + size`. Such an access
+/// compiles to an *unguarded* load/store primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketProof {
+    /// Proven lower bound of the access offset.
+    pub lo: i64,
+    /// Proven upper bound of the access offset (inclusive).
+    pub hi: i64,
+    /// Proven minimum packet length on every path to the access.
+    pub min_len: i64,
+}
+
 /// One labeled instruction of the program being compiled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LabeledInsn {
@@ -278,6 +301,9 @@ pub struct LabeledInsn {
     /// When set, this branch is a packet bounds check elided from the
     /// pipeline: the hardware enforces the bound at each access instead.
     pub elided: Option<BoundsCheck>,
+    /// Packet access proven in-bounds by abstract interpretation; the
+    /// primitive needs no dynamic guard.
+    pub proof: Option<PacketProof>,
 }
 
 #[cfg(test)]

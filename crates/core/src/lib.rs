@@ -48,6 +48,7 @@ pub mod framing;
 pub mod fusion;
 pub mod hazard;
 pub mod hazardopt;
+pub mod invcheck;
 pub mod ir;
 pub mod label;
 pub mod pipeline;

@@ -76,6 +76,12 @@ pub struct DesignStats {
     pub hw_insns: usize,
     /// ILP statistics from the scheduler.
     pub ilp: IlpStats,
+    /// Packet accesses the abstract interpreter saw in the source.
+    pub packet_accesses: usize,
+    /// Of those, how many it proved in-bounds (compiled unguarded).
+    pub proven_accesses: usize,
+    /// Conditional branches cut because their outcome is static.
+    pub decided_branches: usize,
 }
 
 /// Hardening level compiled into a design. Long-running FPGA NIC
@@ -146,6 +152,12 @@ pub struct PipelineDesign {
     pub guards: Vec<(usize, i64)>,
     /// Hardening level compiled into the design.
     pub protect: Protection,
+    /// Bits needed per 8-byte stack slot (`fp-512` first), proven by the
+    /// abstract interpreter; `0` marks a constant slot rematerializable
+    /// from a one-bit valid flag, `64` an unknown one. Empty when the
+    /// analysis is disabled. Resource accounting only — the simulator
+    /// carries full slots.
+    pub stack_narrow: Vec<u8>,
     /// Statistics.
     pub stats: DesignStats,
 }

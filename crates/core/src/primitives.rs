@@ -26,6 +26,11 @@ pub enum Primitive {
     Load,
     /// Store lane from a register into a state array.
     Store,
+    /// Load lane whose packet offset the abstract interpreter proved
+    /// in-bounds: no bounds comparator, no fault mux.
+    LoadUnguarded,
+    /// Store lane proven in-bounds, without the guard logic.
+    StoreUnguarded,
     /// Atomic read-modify-write port of an `eHDLmap` block (§4.1.2).
     AtomicPort,
     /// Branch comparison unit feeding the predication network (§3.5).
@@ -46,6 +51,16 @@ pub enum Primitive {
 }
 
 impl Primitive {
+    /// Which primitive implements a stage op, taking its packet-bounds
+    /// proof into account: proven accesses map to the unguarded lanes.
+    pub fn of_op(op: &crate::ir::LabeledInsn) -> Primitive {
+        match Primitive::of(&op.insn) {
+            Primitive::Load if op.proof.is_some() => Primitive::LoadUnguarded,
+            Primitive::Store if op.proof.is_some() => Primitive::StoreUnguarded,
+            p => p,
+        }
+    }
+
     /// Which primitive implements a hardware instruction.
     pub fn of(insn: &HwInsn) -> Primitive {
         match insn {
@@ -80,6 +95,7 @@ impl Primitive {
             Primitive::Bswap => cost::BSWAP_LUTS,
             Primitive::Const64 => 8,
             Primitive::Load | Primitive::Store => cost::LOADSTORE_LUTS,
+            Primitive::LoadUnguarded | Primitive::StoreUnguarded => cost::LOADSTORE_UNGUARDED_LUTS,
             Primitive::AtomicPort => cost::ATOMIC_LUTS,
             Primitive::Branch => cost::BRANCH_LUTS,
             Primitive::Helper => cost::HELPER_LUTS,
@@ -113,6 +129,8 @@ impl Primitive {
             Primitive::Const64 => "const64",
             Primitive::Load => "load",
             Primitive::Store => "store",
+            Primitive::LoadUnguarded => "load-unguarded",
+            Primitive::StoreUnguarded => "store-unguarded",
             Primitive::AtomicPort => "atomic",
             Primitive::Branch => "branch",
             Primitive::Helper => "helper",
@@ -154,7 +172,7 @@ pub fn inventory(design: &crate::PipelineDesign) -> Vec<(Primitive, usize)> {
         Default::default();
     for stage in &design.stages {
         for op in &stage.ops {
-            let p = Primitive::of(&op.insn);
+            let p = Primitive::of_op(op);
             counts.entry(p.name()).or_insert((p, 0)).1 += 1;
         }
     }

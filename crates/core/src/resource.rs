@@ -95,6 +95,9 @@ pub mod cost {
     pub const BRANCH_LUTS: u64 = 48;
     /// Load/store lane (mux into the state arrays).
     pub const LOADSTORE_LUTS: u64 = 40;
+    /// Load/store lane proven in-bounds by the abstract interpreter: the
+    /// bounds comparator, fault mux and drop plumbing fall away.
+    pub const LOADSTORE_UNGUARDED_LUTS: u64 = 24;
     /// Byte-swap unit.
     pub const BSWAP_LUTS: u64 = 24;
     /// Generic helper block.
@@ -174,7 +177,7 @@ pub fn estimate_pipeline(design: &PipelineDesign) -> ResourceEstimate {
         luts += STAGE_LUTS;
         ffs += STAGE_FFS;
         for op in &stage.ops {
-            let p = crate::primitives::Primitive::of(&op.insn);
+            let p = crate::primitives::Primitive::of_op(op);
             luts += p.luts();
             ffs += p.ffs();
         }
@@ -193,7 +196,26 @@ pub fn estimate_pipeline(design: &PipelineDesign) -> ResourceEstimate {
     let mut idle_stack_bytes_total = 0u64;
     for (i, _) in design.stages.iter().enumerate() {
         let regs = design.prune.live_regs.get(i).map_or(0, |m| m.count_ones() as u64);
-        let stack_bytes = design.prune.live_stack_bytes.get(i).copied().unwrap_or(0) as u64;
+        let mut stack_bytes = design.prune.live_stack_bytes.get(i).copied().unwrap_or(0) as u64;
+        // Narrow/constant stack slots proven by the abstract interpreter:
+        // a live byte above a slot's proven width is known a priori and
+        // need not be carried (constant slots rematerialize entirely).
+        // Realized by the same selective wiring as pruning, so the
+        // prune-off ablation carries the full slots.
+        if design.prune.enabled && !design.stack_narrow.is_empty() {
+            if let Some(map) = design.prune.live_stack.get(i) {
+                let mut saved = 0u64;
+                for byte in 0..512usize {
+                    if map[byte / 64] >> (byte % 64) & 1 == 1 {
+                        let width = design.stack_narrow.get(byte / 8).copied().unwrap_or(64);
+                        if (byte % 8) as u8 >= width.div_ceil(8) {
+                            saved += 1;
+                        }
+                    }
+                }
+                stack_bytes = stack_bytes.saturating_sub(saved);
+            }
+        }
         let carried_bits = frame_bits + (regs * 64 + stack_bytes * 8) as f64;
         let (live_bits, idle_reg_bits, idle_stack_bytes) = match &real_live {
             None => (carried_bits, 0.0, 0u64),
@@ -357,5 +379,42 @@ mod tests {
         let d = tiny_design();
         let w = host_power_watts(estimate_with_shell(&d).utilization(Target::ALVEO_U50));
         assert!((80.0..=85.0).contains(&w));
+    }
+
+    #[test]
+    fn proven_accesses_compile_cheaper() {
+        use ehdl_ebpf::opcode::{AluOp, JmpOp, MemSize};
+        // Classic XDP bounds check: the absint pass proves the header load
+        // in-bounds, so it compiles to the unguarded load lane.
+        let mut a = Asm::new();
+        let drop = a.new_label();
+        a.load(MemSize::W, 7, 1, 0);
+        a.load(MemSize::W, 8, 1, 4);
+        a.mov64_reg(2, 7);
+        a.alu64_imm(AluOp::Add, 2, 14);
+        a.jmp_reg(JmpOp::Jgt, 2, 8, drop);
+        a.load(MemSize::B, 0, 7, 12);
+        a.exit();
+        a.bind(drop);
+        a.mov64_imm(0, 1);
+        a.exit();
+        let prog = Program::from_insns(a.into_insns());
+        let mk = |absint: bool| {
+            let opts = crate::compile::CompilerOptions { absint, ..Default::default() };
+            Compiler::with_options(opts).compile(&prog).unwrap()
+        };
+        let on = mk(true);
+        let off = mk(false);
+        assert!(on.stats.proven_accesses > 0, "absint proves the header load");
+        assert_eq!(off.stats.proven_accesses, 0);
+        let inv = crate::primitives::inventory(&on);
+        assert!(
+            inv.iter().any(|(p, _)| p.name() == "load-unguarded"),
+            "inventory names the unguarded lane: {inv:?}"
+        );
+        assert!(
+            estimate_pipeline(&on).luts < estimate_pipeline(&off).luts,
+            "proof removes the bounds comparator"
+        );
     }
 }

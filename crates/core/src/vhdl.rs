@@ -338,9 +338,15 @@ fn sanitize(name: &str) -> String {
 }
 
 fn op_comment(op: &crate::pipeline::StageOp) -> String {
-    match op.insn {
+    let base = match op.insn {
         HwInsn::Alu3 { op: o, dst, a, b, .. } => format!("r{dst} = r{a} {} {b}", o.symbol()),
         HwInsn::Simple(i) => crate::disasm_one(&i).to_string(),
+    };
+    match op.proof {
+        Some(p) => {
+            format!("{base}  [unguarded: proven in [{}, {}], len >= {}]", p.lo, p.hi, p.min_len)
+        }
+        None => base,
     }
 }
 

@@ -1,0 +1,1291 @@
+//! Abstract-interpretation value analysis over decoded bytecode.
+//!
+//! The structural [`crate::verifier`] deliberately stops short of value
+//! tracking; this module closes that gap with a kernel-verifier-style
+//! abstract interpreter: per-register and per-stack-slot abstract values
+//! combining a signed interval, known bits (a *tnum*), and pointer
+//! provenance, iterated to a fixpoint on a worklist over the instruction
+//! graph.
+//!
+//! Its products are *facts* the compiler may rely on:
+//!
+//! * per-access packet-bounds facts — an access through a packet pointer
+//!   whose offset interval provably fits inside the path-proven minimum
+//!   packet length compiles to an **unguarded** load/store primitive;
+//! * statically-decided branch outcomes — dead branches are cut from the
+//!   CFG before predication;
+//! * the maximum proven packet offset — narrows per-stage frame slices;
+//! * constant / narrow stack slots — shrinks the carried-state estimate.
+//!
+//! Soundness contract: every fact is an over-approximation of what the
+//! reference [`crate::vm::Vm`] can do. The VM's assertion mode
+//! ([`crate::vm::Vm::check_facts`]) and the hardware simulator re-check
+//! every fact at runtime; the differential and fuzz campaigns gate on zero
+//! violations. The analysis never fails: on anything it cannot model it
+//! degrades to ⊤ (no facts), and a global work budget returns an empty
+//! [`Analysis`] rather than looping.
+
+use crate::insn::{Decoded, Instruction, Operand};
+use crate::opcode::{AluOp, AtomicOp, JmpOp, MemSize, Width};
+use crate::vm::{alu_eval, cond_eval, endian_eval};
+use std::collections::HashMap;
+
+/// Number of tracked 8-byte stack slots (512-byte frame).
+pub const STACK_SLOTS: usize = 64;
+
+/// Join count after which interval bounds are widened straight to ⊤ so
+/// the fixpoint terminates on (bounded or malformed) loops.
+const WIDEN_AFTER: u32 = 8;
+
+/// Hard ceiling on worklist pops; beyond it the analysis gives up and
+/// returns no facts (fuzzed inputs must never hang the compiler).
+const POP_BUDGET: usize = 200_000;
+
+/// Offsets beyond this magnitude are not used for packet-length
+/// refinement (keeps the address-comparison reasoning wrap-free).
+const SANE_OFFSET: i64 = 1 << 20;
+
+// ---------------------------------------------------------------------------
+// Tnum: known-bits tracking (value/mask pairs, as in the kernel verifier).
+// ---------------------------------------------------------------------------
+
+/// A tracked number: bit `i` is known to be `value>>i & 1` when `mask>>i &
+/// 1 == 0`, unknown otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tnum {
+    /// Known bit values (zero at unknown positions).
+    pub value: u64,
+    /// Unknown-bit mask.
+    pub mask: u64,
+}
+
+impl Tnum {
+    /// Every bit unknown.
+    pub const TOP: Tnum = Tnum { value: 0, mask: u64::MAX };
+
+    /// A fully known constant.
+    pub fn constant(v: u64) -> Tnum {
+        Tnum { value: v, mask: 0 }
+    }
+
+    /// The constant this tnum represents, if fully known.
+    pub fn as_const(self) -> Option<u64> {
+        (self.mask == 0).then_some(self.value)
+    }
+
+    /// Does the concrete value `v` belong to this tnum?
+    pub fn contains(self, v: u64) -> bool {
+        (v & !self.mask) == self.value
+    }
+
+    /// Lattice join (union of represented sets).
+    pub fn join(self, other: Tnum) -> Tnum {
+        let mu = self.mask | other.mask | (self.value ^ other.value);
+        Tnum { value: self.value & !mu, mask: mu }
+    }
+
+    /// Bitwise AND.
+    pub fn and(self, other: Tnum) -> Tnum {
+        let alpha = self.value | self.mask;
+        let beta = other.value | other.mask;
+        let v = self.value & other.value;
+        Tnum { value: v, mask: alpha & beta & !v }
+    }
+
+    /// Bitwise OR.
+    pub fn or(self, other: Tnum) -> Tnum {
+        let v = self.value | other.value;
+        let mu = self.mask | other.mask;
+        Tnum { value: v, mask: mu & !v }
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(self, other: Tnum) -> Tnum {
+        let v = self.value ^ other.value;
+        let mu = self.mask | other.mask;
+        Tnum { value: v & !mu, mask: mu }
+    }
+
+    /// Wrapping addition (kernel `tnum_add`).
+    // Domain transfer, not the std operator (abstract, not exact).
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Tnum) -> Tnum {
+        let sm = self.mask.wrapping_add(other.mask);
+        let sv = self.value.wrapping_add(other.value);
+        let sigma = sm.wrapping_add(sv);
+        let chi = sigma ^ sv;
+        let mu = chi | self.mask | other.mask;
+        Tnum { value: sv & !mu, mask: mu }
+    }
+
+    /// Wrapping subtraction (kernel `tnum_sub`).
+    // Domain transfer, not the std operator (abstract, not exact).
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, other: Tnum) -> Tnum {
+        let dv = self.value.wrapping_sub(other.value);
+        let alpha = dv.wrapping_add(self.mask);
+        let beta = dv.wrapping_sub(other.mask);
+        let chi = alpha ^ beta;
+        let mu = chi | self.mask | other.mask;
+        Tnum { value: dv & !mu, mask: mu }
+    }
+
+    /// Left shift by a known amount.
+    // Domain transfer, not the std operator (abstract, not exact).
+    #[allow(clippy::should_implement_trait)]
+    pub fn shl(self, sh: u32) -> Tnum {
+        Tnum { value: self.value.wrapping_shl(sh), mask: self.mask.wrapping_shl(sh) }
+    }
+
+    /// Logical right shift by a known amount.
+    // Domain transfer, not the std operator (abstract, not exact).
+    #[allow(clippy::should_implement_trait)]
+    pub fn shr(self, sh: u32) -> Tnum {
+        Tnum { value: self.value.wrapping_shr(sh), mask: self.mask.wrapping_shr(sh) }
+    }
+
+    /// Truncate to the low 32 bits (the high half becomes known-zero).
+    pub fn cast32(self) -> Tnum {
+        Tnum { value: self.value & 0xffff_ffff, mask: self.mask & 0xffff_ffff }
+    }
+
+    /// Smallest unsigned value in the set.
+    pub fn umin(self) -> u64 {
+        self.value
+    }
+
+    /// Largest unsigned value in the set.
+    pub fn umax(self) -> u64 {
+        self.value | self.mask
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Signed interval.
+// ---------------------------------------------------------------------------
+
+/// A closed signed interval. Like the compiler's offset interval, ⊤ is
+/// kept away from the `i64` extremes so saturating arithmetic stays exact
+/// for any value actually representable in a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Iv {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl Iv {
+    /// The full (unknown) range.
+    pub const TOP: Iv = Iv { lo: i64::MIN / 4, hi: i64::MAX / 4 };
+
+    /// A single point.
+    pub fn point(v: i64) -> Iv {
+        Iv { lo: v, hi: v }
+    }
+
+    /// Is this effectively unbounded?
+    pub fn is_top(self) -> bool {
+        self.lo <= Iv::TOP.lo || self.hi >= Iv::TOP.hi
+    }
+
+    /// The constant, if a single point.
+    pub fn as_const(self) -> Option<i64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Does the interval contain `v`?
+    pub fn contains(self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Smallest interval covering both.
+    pub fn join(self, other: Iv) -> Iv {
+        Iv { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Interval addition (saturating; ⊤ absorbs).
+    // Domain transfer, not the std operator (abstract, not exact).
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Iv) -> Iv {
+        if self.is_top() || other.is_top() {
+            return Iv::TOP;
+        }
+        Iv { lo: self.lo.saturating_add(other.lo), hi: self.hi.saturating_add(other.hi) }
+    }
+
+    /// Interval subtraction.
+    // Domain transfer, not the std operator (abstract, not exact).
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, other: Iv) -> Iv {
+        if self.is_top() || other.is_top() {
+            return Iv::TOP;
+        }
+        Iv { lo: self.lo.saturating_sub(other.hi), hi: self.hi.saturating_sub(other.lo) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Abstract values.
+// ---------------------------------------------------------------------------
+
+/// Pointer provenance of an abstract value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prov {
+    /// A plain number.
+    Scalar,
+    /// `data + offset`.
+    PacketPtr,
+    /// `data_end + offset`.
+    PacketEnd,
+    /// `r10 + offset` (offset ≤ 0 for valid accesses).
+    StackPtr,
+    /// Pointer into a value of map `id` (post null check).
+    MapValue(u32),
+    /// `bpf_map_lookup_elem` result before the null check.
+    NullOrMapValue(u32),
+    /// Opaque handle from `ld_map_fd`.
+    MapHandle(u32),
+    /// The `xdp_md` context pointer plus offset.
+    Ctx,
+    /// Conflicting or unmodeled — ⊤.
+    Unknown,
+}
+
+/// An abstract value: provenance × interval × known bits. For pointers the
+/// interval/tnum describe the *offset from the region base*; for scalars,
+/// the value itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbsVal {
+    /// What region (if any) the value points into.
+    pub prov: Prov,
+    /// Signed interval of the value/offset.
+    pub iv: Iv,
+    /// Known bits of the value/offset.
+    pub tn: Tnum,
+}
+
+impl AbsVal {
+    /// Completely unknown.
+    pub const TOP: AbsVal = AbsVal { prov: Prov::Unknown, iv: Iv::TOP, tn: Tnum::TOP };
+
+    /// A known scalar constant.
+    pub fn constant(v: i64) -> AbsVal {
+        AbsVal { prov: Prov::Scalar, iv: Iv::point(v), tn: Tnum::constant(v as u64) }
+    }
+
+    /// A pointer into `prov` at a known offset.
+    fn pointer(prov: Prov, off: i64) -> AbsVal {
+        AbsVal { prov, iv: Iv::point(off), tn: Tnum::constant(off as u64) }
+    }
+
+    /// An unknown scalar bounded by an access width (loads zero-extend).
+    fn sized(size: MemSize) -> AbsVal {
+        let mask = crate::vm::mask_for(size);
+        if mask == u64::MAX {
+            return AbsVal { prov: Prov::Scalar, iv: Iv::TOP, tn: Tnum::TOP };
+        }
+        AbsVal {
+            prov: Prov::Scalar,
+            iv: Iv { lo: 0, hi: mask as i64 },
+            tn: Tnum { value: 0, mask },
+        }
+    }
+
+    /// The 64-bit constant, when fully known (tnum and interval agree by
+    /// construction; the tnum is authoritative).
+    pub fn as_const(self) -> Option<u64> {
+        if self.prov != Prov::Scalar {
+            return None;
+        }
+        self.tn.as_const()
+    }
+
+    /// Lattice join.
+    pub fn join(self, other: AbsVal) -> AbsVal {
+        let prov = match (self.prov, other.prov) {
+            (a, b) if a == b => a,
+            _ => Prov::Unknown,
+        };
+        if prov == Prov::Unknown {
+            return AbsVal::TOP;
+        }
+        AbsVal { prov, iv: self.iv.join(other.iv), tn: self.tn.join(other.tn) }
+    }
+
+    /// Truncate to 32-bit semantics (zero-extended), scalar only.
+    fn cast32(self) -> AbsVal {
+        if self.prov != Prov::Scalar && self.prov != Prov::Unknown {
+            return scalar32_top();
+        }
+        let tn = self.tn.cast32();
+        let iv = if self.iv.lo >= 0 && self.iv.hi <= 0xffff_ffff && self.prov == Prov::Scalar {
+            self.iv
+        } else {
+            // Derive from the truncated tnum: always within [0, 2^32).
+            Iv { lo: tn.umin() as i64, hi: tn.umax() as i64 }
+        };
+        AbsVal { prov: Prov::Scalar, iv, tn }
+    }
+}
+
+/// ⊤ restricted to a zero-extended 32-bit result.
+fn scalar32_top() -> AbsVal {
+    AbsVal {
+        prov: Prov::Scalar,
+        iv: Iv { lo: 0, hi: 0xffff_ffff },
+        tn: Tnum { value: 0, mask: 0xffff_ffff },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Machine state.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+struct State {
+    regs: [AbsVal; 11],
+    stack: [AbsVal; STACK_SLOTS],
+    /// Proven minimum of `data_end - data` on every path reaching here.
+    pkt_len_min: i64,
+}
+
+impl State {
+    fn entry() -> State {
+        let mut regs = [AbsVal::TOP; 11];
+        regs[1] = AbsVal::pointer(Prov::Ctx, 0);
+        regs[10] = AbsVal::pointer(Prov::StackPtr, 0);
+        State {
+            regs,
+            // The VM zero-fills the stack, so unwritten slots read as 0.
+            stack: [AbsVal::constant(0); STACK_SLOTS],
+            pkt_len_min: 0,
+        }
+    }
+
+    /// Drop everything derived from packet geometry (`xdp_adjust_*`).
+    fn clobber_packet(&mut self) {
+        self.pkt_len_min = 0;
+        for v in self.regs.iter_mut().chain(self.stack.iter_mut()) {
+            if matches!(v.prov, Prov::PacketPtr | Prov::PacketEnd) {
+                *v = AbsVal::TOP;
+            }
+        }
+    }
+
+    fn clobber_stack(&mut self) {
+        self.stack = [AbsVal::TOP; STACK_SLOTS];
+    }
+
+    /// Model a store of `val` (or an unknown value) to stack bytes
+    /// `[addr, addr+len)` where `addr` is relative to `r10` (negative).
+    fn stack_store(&mut self, addr: i64, len: i64, val: Option<AbsVal>) {
+        let base = addr + 512;
+        if base < 0 || base + len > 512 {
+            return; // out of frame: the VM faults, nothing to track
+        }
+        let first = (base / 8) as usize;
+        let last = ((base + len - 1) / 8) as usize;
+        if len == 8 && base % 8 == 0 {
+            self.stack[first] = val.unwrap_or(AbsVal::TOP);
+            return;
+        }
+        for slot in self.stack.iter_mut().take(last + 1).skip(first) {
+            // Partial overwrite: the slot still holds *some* 64-bit value.
+            *slot = AbsVal { prov: Prov::Scalar, iv: Iv::TOP, tn: Tnum::TOP };
+        }
+    }
+
+    fn stack_load(&self, addr: i64, len: i64) -> Option<AbsVal> {
+        let base = addr + 512;
+        if len == 8 && (0..=504).contains(&base) && base % 8 == 0 {
+            return Some(self.stack[(base / 8) as usize]);
+        }
+        None
+    }
+}
+
+fn join_states(old: &mut State, new: &State, widen: bool) -> bool {
+    let mut changed = false;
+    let widen_iv = |prev: Iv, j: Iv| -> Iv {
+        Iv {
+            lo: if j.lo < prev.lo { Iv::TOP.lo } else { j.lo },
+            hi: if j.hi > prev.hi { Iv::TOP.hi } else { j.hi },
+        }
+    };
+    for (o, n) in
+        old.regs.iter_mut().zip(new.regs.iter()).chain(old.stack.iter_mut().zip(&new.stack))
+    {
+        let mut j = o.join(*n);
+        if widen && j != *o {
+            j.iv = widen_iv(o.iv, j.iv);
+        }
+        if j != *o {
+            *o = j;
+            changed = true;
+        }
+    }
+    let m = old.pkt_len_min.min(new.pkt_len_min);
+    if m < old.pkt_len_min {
+        old.pkt_len_min = if widen { 0 } else { m };
+        changed = true;
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------------
+// Analysis results.
+// ---------------------------------------------------------------------------
+
+/// A packet-memory access fact, keyed by bytecode slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessFact {
+    /// Slot index of the load/store/atomic.
+    pub pc: usize,
+    /// Proven interval of the byte offset from `data`.
+    pub lo: i64,
+    /// Upper bound of the offset interval (inclusive).
+    pub hi: i64,
+    /// Access width in bytes.
+    pub size: i64,
+    /// Proven minimum packet length (`data_end - data`) at this point.
+    pub min_len: i64,
+    /// True when `lo ≥ 0` and `hi + size ≤ min_len`: the access can never
+    /// leave the packet and needs no hardware guard.
+    pub proven: bool,
+}
+
+/// Per-stack-slot summary for the carried-state estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotInfo {
+    /// Bits needed to represent every value the slot ever holds.
+    pub width: u8,
+    /// The single known constant the slot ever holds besides its implicit
+    /// zero initialization (`Some(0)` when never written). Such a slot can
+    /// be rematerialized from a one-bit valid flag instead of carried.
+    pub constant: Option<u64>,
+}
+
+impl Default for SlotInfo {
+    fn default() -> SlotInfo {
+        SlotInfo { width: 64, constant: None }
+    }
+}
+
+/// The products of the abstract interpretation.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    facts: HashMap<usize, AccessFact>,
+    branches: HashMap<usize, bool>,
+    /// Total packet accesses seen (reachable loads/stores/atomics through
+    /// a packet pointer).
+    pub packet_accesses: usize,
+    /// How many of those are proven in-bounds.
+    pub proven_accesses: usize,
+    /// One past the highest proven-accessed packet byte, over proven
+    /// accesses only.
+    pub max_proven_end: Option<i64>,
+    /// True when every reachable packet access is proven.
+    pub all_packet_proven: bool,
+    /// Stack-slot width/constant summary (8-byte slots, `fp-512` first).
+    pub stack_slots: Vec<SlotInfo>,
+}
+
+impl Analysis {
+    /// The packet access fact at bytecode slot `pc`, if the access goes
+    /// through a packet pointer.
+    pub fn packet_fact(&self, pc: usize) -> Option<&AccessFact> {
+        self.facts.get(&pc)
+    }
+
+    /// Statically-decided outcome of the conditional branch at `pc`.
+    pub fn branch_outcome(&self, pc: usize) -> Option<bool> {
+        self.branches.get(&pc).copied()
+    }
+
+    /// All packet access facts (arbitrary order).
+    pub fn facts(&self) -> impl Iterator<Item = &AccessFact> {
+        self.facts.values()
+    }
+
+    /// Number of statically decided branches.
+    pub fn decided_branches(&self) -> usize {
+        self.branches.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transfer functions.
+// ---------------------------------------------------------------------------
+
+fn operand_val(st: &State, op: Operand) -> AbsVal {
+    match op {
+        Operand::Reg(r) => st.regs[r as usize],
+        Operand::Imm(i) => AbsVal::constant(i as i64),
+    }
+}
+
+/// Abstract ALU, mirroring [`alu_eval`] (constants fold through it so the
+/// two can never disagree).
+fn alu_abs(op: AluOp, width: Width, a: AbsVal, b: AbsVal) -> AbsVal {
+    use Prov::*;
+    // `neg` ignores its source operand entirely.
+    let b = if op == AluOp::Neg { AbsVal::constant(0) } else { b };
+    if op == AluOp::Mov {
+        return match width {
+            Width::W64 => b,
+            Width::W32 => b.cast32(),
+        };
+    }
+    // Full constant folding, for any op and width.
+    let a_const = if a.prov == Scalar { a.tn.as_const() } else { None };
+    let b_const = if b.prov == Scalar { b.tn.as_const() } else { None };
+    if op == AluOp::Neg {
+        if let Some(x) = a_const {
+            return AbsVal::constant(alu_eval(op, width, x, 0) as i64);
+        }
+    } else if let (Some(x), Some(y)) = (a_const, b_const) {
+        return AbsVal::constant(alu_eval(op, width, x, y) as i64);
+    }
+    // Pointer arithmetic (64-bit add/sub with a scalar offset keeps
+    // provenance; anything else loses it).
+    let ptr = |p: Prov| matches!(p, PacketPtr | PacketEnd | StackPtr | MapValue(_));
+    if ptr(a.prov) || ptr(b.prov) {
+        if width == Width::W64 {
+            match op {
+                AluOp::Add if ptr(a.prov) && b.prov == Scalar => {
+                    return AbsVal { prov: a.prov, iv: a.iv.add(b.iv), tn: a.tn.add(b.tn) };
+                }
+                AluOp::Add if a.prov == Scalar && ptr(b.prov) => {
+                    return AbsVal { prov: b.prov, iv: b.iv.add(a.iv), tn: b.tn.add(a.tn) };
+                }
+                AluOp::Sub if ptr(a.prov) && b.prov == Scalar => {
+                    return AbsVal { prov: a.prov, iv: a.iv.sub(b.iv), tn: a.tn.sub(b.tn) };
+                }
+                _ => {}
+            }
+        }
+        return AbsVal::TOP;
+    }
+    if a.prov != Scalar || b.prov != Scalar {
+        return AbsVal::TOP;
+    }
+    // Scalar × scalar. Evaluate in 64-bit then truncate for W32.
+    let (a, b) = match width {
+        Width::W64 => (a, b),
+        Width::W32 => (a.cast32(), b.cast32()),
+    };
+    let out = scalar_alu64(op, a, b);
+    match width {
+        Width::W64 => out,
+        Width::W32 => out.cast32(),
+    }
+}
+
+fn scalar_alu64(op: AluOp, a: AbsVal, b: AbsVal) -> AbsVal {
+    let from_tnum = |tn: Tnum| -> AbsVal {
+        let iv = if tn.umax() <= i64::MAX as u64 {
+            Iv { lo: tn.umin() as i64, hi: tn.umax() as i64 }
+        } else {
+            Iv::TOP
+        };
+        AbsVal { prov: Prov::Scalar, iv, tn }
+    };
+    match op {
+        AluOp::Add => AbsVal { prov: Prov::Scalar, iv: a.iv.add(b.iv), tn: a.tn.add(b.tn) },
+        AluOp::Sub => AbsVal { prov: Prov::Scalar, iv: a.iv.sub(b.iv), tn: a.tn.sub(b.tn) },
+        AluOp::And => {
+            let mut v = from_tnum(a.tn.and(b.tn));
+            // Masking with a non-negative constant bounds the result.
+            if let Some(k) = b.tn.as_const() {
+                if k <= i64::MAX as u64 {
+                    v.iv = Iv { lo: v.iv.lo.max(0), hi: v.iv.hi.min(k as i64) };
+                }
+            }
+            v
+        }
+        AluOp::Or => from_tnum(a.tn.or(b.tn)),
+        AluOp::Xor => from_tnum(a.tn.xor(b.tn)),
+        AluOp::Lsh => match b.tn.as_const() {
+            Some(sh) if sh < 64 => from_tnum(a.tn.shl(sh as u32)),
+            _ => AbsVal { prov: Prov::Scalar, iv: Iv::TOP, tn: Tnum::TOP },
+        },
+        AluOp::Rsh => match b.tn.as_const() {
+            Some(sh) if sh < 64 => from_tnum(a.tn.shr(sh as u32)),
+            _ => AbsVal { prov: Prov::Scalar, iv: Iv::TOP, tn: Tnum::TOP },
+        },
+        AluOp::Mod => match b.tn.as_const() {
+            // x % m (unsigned) is < m for m > 0.
+            Some(m) if m > 0 && m <= i64::MAX as u64 => {
+                AbsVal { prov: Prov::Scalar, iv: Iv { lo: 0, hi: m as i64 - 1 }, tn: Tnum::TOP }
+            }
+            _ => AbsVal { prov: Prov::Scalar, iv: Iv::TOP, tn: Tnum::TOP },
+        },
+        AluOp::Div => {
+            // Unsigned division can only shrink a non-negative dividend.
+            if a.iv.lo >= 0 && !a.iv.is_top() {
+                AbsVal { prov: Prov::Scalar, iv: Iv { lo: 0, hi: a.iv.hi }, tn: Tnum::TOP }
+            } else {
+                AbsVal { prov: Prov::Scalar, iv: Iv::TOP, tn: Tnum::TOP }
+            }
+        }
+        AluOp::Neg => {
+            if !a.iv.is_top() {
+                AbsVal {
+                    prov: Prov::Scalar,
+                    iv: Iv { lo: a.iv.hi.saturating_neg(), hi: a.iv.lo.saturating_neg() },
+                    tn: Tnum::TOP,
+                }
+            } else {
+                AbsVal { prov: Prov::Scalar, iv: Iv::TOP, tn: Tnum::TOP }
+            }
+        }
+        _ => AbsVal { prov: Prov::Scalar, iv: Iv::TOP, tn: Tnum::TOP },
+    }
+}
+
+/// Classify the memory region a `base + off` access targets, and produce
+/// the packet fact when it is a packet access.
+fn access_fact(st: &State, base: AbsVal, off: i16, size: MemSize, pc: usize) -> Option<AccessFact> {
+    if base.prov != Prov::PacketPtr {
+        return None;
+    }
+    let iv = base.iv.add(Iv::point(off as i64));
+    let size = size.bytes() as i64;
+    let proven = !iv.is_top() && iv.lo >= 0 && iv.hi.saturating_add(size) <= st.pkt_len_min;
+    Some(AccessFact { pc, lo: iv.lo, hi: iv.hi, size, min_len: st.pkt_len_min, proven })
+}
+
+/// Decide a comparison statically, if the abstract operands allow it.
+fn decide(op: JmpOp, width: Width, l: AbsVal, r: AbsVal) -> Option<bool> {
+    if l.prov != Prov::Scalar || r.prov != Prov::Scalar {
+        return None;
+    }
+    // Fully known on the compared width: evaluate exactly.
+    let known = |v: AbsVal| match width {
+        Width::W64 => v.tn.as_const(),
+        Width::W32 => v.tn.cast32().as_const(),
+    };
+    if let (Some(x), Some(y)) = (known(l), known(r)) {
+        return Some(cond_eval(op, width, x, y));
+    }
+    if width == Width::W32 {
+        return None;
+    }
+    let (a, b) = (l.iv, r.iv);
+    if a.is_top() || b.is_top() {
+        // A tnum contradiction can still settle (in)equality.
+        let disjoint = (l.tn.value ^ r.tn.value) & !l.tn.mask & !r.tn.mask != 0;
+        return match op {
+            JmpOp::Jeq if disjoint => Some(false),
+            JmpOp::Jne if disjoint => Some(true),
+            _ => None,
+        };
+    }
+    let nonneg = a.lo >= 0 && b.lo >= 0;
+    match op {
+        JmpOp::Jeq => (a.hi < b.lo || b.hi < a.lo).then_some(false),
+        JmpOp::Jne => (a.hi < b.lo || b.hi < a.lo).then_some(true),
+        JmpOp::Jsgt => decide_gt(a, b, false),
+        JmpOp::Jsge => decide_ge(a, b, false),
+        JmpOp::Jslt => decide_gt(b, a, false),
+        JmpOp::Jsle => decide_ge(b, a, false),
+        JmpOp::Jgt if nonneg => decide_gt(a, b, true),
+        JmpOp::Jge if nonneg => decide_ge(a, b, true),
+        JmpOp::Jlt if nonneg => decide_gt(b, a, true),
+        JmpOp::Jle if nonneg => decide_ge(b, a, true),
+        _ => None,
+    }
+}
+
+fn decide_gt(a: Iv, b: Iv, _unsigned_on_nonneg: bool) -> Option<bool> {
+    if a.lo > b.hi {
+        Some(true)
+    } else if a.hi <= b.lo {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn decide_ge(a: Iv, b: Iv, _unsigned_on_nonneg: bool) -> Option<bool> {
+    if a.lo >= b.hi {
+        Some(true)
+    } else if a.hi < b.lo {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn sane(iv: Iv) -> bool {
+    !iv.is_top() && iv.lo.abs() <= SANE_OFFSET && iv.hi.abs() <= SANE_OFFSET
+}
+
+/// Refine the taken/fall states of a conditional branch: packet-length
+/// bounds checks, null checks, and constant comparisons.
+fn refine_edges(c: crate::insn::JumpCond, st: &State, taken: &mut State, fall: &mut State) {
+    let l = st.regs[c.lhs as usize];
+    let r = operand_val(st, c.rhs);
+    let lr = c.lhs as usize;
+
+    if c.width == Width::W64 {
+        // §3.1 packet bounds-check shapes: data + a {cmp} data_end + b.
+        // The in-bounds edge proves data_end - data ≥ a - b, i.e. at least
+        // a.lo - b.hi (strict compares add one). Offsets must be small so
+        // the unsigned address comparison cannot wrap.
+        match (l.prov, r.prov) {
+            (Prov::PacketPtr, Prov::PacketEnd) if sane(l.iv) && sane(r.iv) => {
+                let ge = l.iv.lo - r.iv.hi;
+                match c.op {
+                    JmpOp::Jgt => fall.pkt_len_min = fall.pkt_len_min.max(ge),
+                    JmpOp::Jge => fall.pkt_len_min = fall.pkt_len_min.max(ge + 1),
+                    JmpOp::Jle => taken.pkt_len_min = taken.pkt_len_min.max(ge),
+                    JmpOp::Jlt => taken.pkt_len_min = taken.pkt_len_min.max(ge + 1),
+                    _ => {}
+                }
+            }
+            (Prov::PacketEnd, Prov::PacketPtr) if sane(l.iv) && sane(r.iv) => {
+                let ge = r.iv.lo - l.iv.hi;
+                match c.op {
+                    JmpOp::Jlt => fall.pkt_len_min = fall.pkt_len_min.max(ge),
+                    JmpOp::Jle => fall.pkt_len_min = fall.pkt_len_min.max(ge + 1),
+                    JmpOp::Jge => taken.pkt_len_min = taken.pkt_len_min.max(ge),
+                    JmpOp::Jgt => taken.pkt_len_min = taken.pkt_len_min.max(ge + 1),
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Null check on a lookup result.
+    if let Prov::NullOrMapValue(m) = l.prov {
+        if matches!(c.rhs, Operand::Imm(0)) {
+            let null = AbsVal::constant(0);
+            let value = AbsVal::pointer(Prov::MapValue(m), 0);
+            match c.op {
+                JmpOp::Jeq => {
+                    taken.regs[lr] = null;
+                    fall.regs[lr] = value;
+                }
+                JmpOp::Jne => {
+                    taken.regs[lr] = value;
+                    fall.regs[lr] = null;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Constant comparisons clamp the scalar interval on each edge.
+    if c.width == Width::W64 && l.prov == Prov::Scalar {
+        if let Some(k) = (r.prov == Prov::Scalar).then(|| r.tn.as_const()).flatten() {
+            let k = k as i64;
+            let clamp = |v: &mut AbsVal, lo: Option<i64>, hi: Option<i64>| {
+                let mut iv = v.iv;
+                if let Some(lo) = lo {
+                    iv.lo = iv.lo.max(lo);
+                }
+                if let Some(hi) = hi {
+                    iv.hi = iv.hi.min(hi);
+                }
+                if iv.lo <= iv.hi {
+                    v.iv = iv;
+                }
+            };
+            let nonneg = l.iv.lo >= 0 && k >= 0;
+            match c.op {
+                JmpOp::Jeq => taken.regs[lr] = AbsVal::constant(k),
+                JmpOp::Jne => fall.regs[lr] = AbsVal::constant(k),
+                JmpOp::Jsgt => {
+                    clamp(&mut taken.regs[lr], Some(k + 1), None);
+                    clamp(&mut fall.regs[lr], None, Some(k));
+                }
+                JmpOp::Jsge => {
+                    clamp(&mut taken.regs[lr], Some(k), None);
+                    clamp(&mut fall.regs[lr], None, Some(k - 1));
+                }
+                JmpOp::Jslt => {
+                    clamp(&mut taken.regs[lr], None, Some(k - 1));
+                    clamp(&mut fall.regs[lr], Some(k), None);
+                }
+                JmpOp::Jsle => {
+                    clamp(&mut taken.regs[lr], None, Some(k));
+                    clamp(&mut fall.regs[lr], Some(k + 1), None);
+                }
+                JmpOp::Jgt if nonneg => {
+                    clamp(&mut taken.regs[lr], Some(k + 1), None);
+                    clamp(&mut fall.regs[lr], Some(0), Some(k));
+                }
+                JmpOp::Jge if nonneg => {
+                    clamp(&mut taken.regs[lr], Some(k), None);
+                    clamp(&mut fall.regs[lr], Some(0), Some(k - 1));
+                }
+                JmpOp::Jlt if nonneg => {
+                    clamp(&mut taken.regs[lr], Some(0), Some(k - 1));
+                    clamp(&mut fall.regs[lr], Some(k), None);
+                }
+                JmpOp::Jle if nonneg => {
+                    clamp(&mut taken.regs[lr], Some(0), Some(k));
+                    clamp(&mut fall.regs[lr], Some(k + 1), None);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Apply one non-branch instruction to `st`. Returns `false` for `Exit`
+/// (no fall-through successor).
+fn step(st: &mut State, insn: &Instruction) -> bool {
+    use crate::helpers::*;
+    match *insn {
+        Instruction::Alu { op, width, dst, src } => {
+            let b = operand_val(st, src);
+            st.regs[dst as usize] = alu_abs(op, width, st.regs[dst as usize], b);
+        }
+        Instruction::Endian { dst, bits, to_be } => {
+            let v = st.regs[dst as usize];
+            st.regs[dst as usize] = match v.as_const() {
+                Some(x) => AbsVal::constant(endian_eval(x, bits, to_be) as i64),
+                None => match bits {
+                    16 => AbsVal::sized(MemSize::H),
+                    32 => AbsVal::sized(MemSize::W),
+                    _ => AbsVal { prov: Prov::Scalar, iv: Iv::TOP, tn: Tnum::TOP },
+                },
+            };
+        }
+        Instruction::LoadImm64 { dst, imm, map } => {
+            st.regs[dst as usize] = match map {
+                Some(id) => AbsVal::pointer(Prov::MapHandle(id), 0),
+                None => AbsVal::constant(imm as i64),
+            };
+        }
+        Instruction::Load { size, dst, src, off } => {
+            let base = st.regs[src as usize];
+            st.regs[dst as usize] = match base.prov {
+                Prov::Ctx => match base.iv.as_const().map(|c| c + off as i64) {
+                    Some(0) if size == MemSize::W => AbsVal::pointer(Prov::PacketPtr, 0),
+                    Some(4) if size == MemSize::W => AbsVal::pointer(Prov::PacketEnd, 0),
+                    _ => AbsVal::sized(size),
+                },
+                Prov::StackPtr => base
+                    .iv
+                    .as_const()
+                    .and_then(|c| st.stack_load(c + off as i64, size.bytes() as i64))
+                    .filter(|_| size == MemSize::Dw)
+                    .unwrap_or_else(|| AbsVal::sized(size)),
+                _ => AbsVal::sized(size),
+            };
+        }
+        Instruction::Store { size, dst, off, src } => {
+            let base = st.regs[dst as usize];
+            let val = operand_val(st, src);
+            store_effect(st, base, off, size, Some(val));
+        }
+        Instruction::Atomic { op, size, dst, off, src } => {
+            let base = st.regs[dst as usize];
+            store_effect(st, base, off, size, None);
+            match op {
+                AtomicOp::Cmpxchg => st.regs[0] = AbsVal::sized(size),
+                _ if op.fetches() => st.regs[src as usize] = AbsVal::sized(size),
+                _ => {}
+            }
+        }
+        Instruction::Call { helper } => {
+            let r0 = match helper {
+                BPF_MAP_LOOKUP_ELEM => match st.regs[1].prov {
+                    Prov::MapHandle(m) => {
+                        AbsVal { prov: Prov::NullOrMapValue(m), iv: Iv::TOP, tn: Tnum::TOP }
+                    }
+                    _ => AbsVal::TOP,
+                },
+                BPF_MAP_UPDATE_ELEM | BPF_MAP_DELETE_ELEM | BPF_CSUM_DIFF | BPF_REDIRECT
+                | BPF_KTIME_GET_NS => AbsVal::TOP,
+                BPF_GET_PRANDOM_U32 | BPF_GET_SMP_PROCESSOR_ID => AbsVal::sized(MemSize::W),
+                BPF_XDP_ADJUST_HEAD | BPF_XDP_ADJUST_TAIL => {
+                    st.clobber_packet();
+                    AbsVal::TOP
+                }
+                _ => {
+                    // Unknown helper: assume the worst on all tracked state.
+                    st.clobber_packet();
+                    st.clobber_stack();
+                    AbsVal::TOP
+                }
+            };
+            st.regs[0] = r0;
+            for r in 1..=5 {
+                st.regs[r] = AbsVal::TOP;
+            }
+        }
+        Instruction::Exit => return false,
+        Instruction::Jump { .. } => {}
+    }
+    true
+}
+
+/// Memory-write effect of a store/atomic on the tracked stack.
+fn store_effect(st: &mut State, base: AbsVal, off: i16, size: MemSize, val: Option<AbsVal>) {
+    let len = size.bytes() as i64;
+    match base.prov {
+        Prov::StackPtr => match base.iv.as_const() {
+            Some(c) => st.stack_store(c + off as i64, len, val),
+            // Dynamic stack offset: anything in the frame may change.
+            None => st.clobber_stack(),
+        },
+        Prov::PacketPtr
+        | Prov::PacketEnd
+        | Prov::MapValue(_)
+        | Prov::Ctx
+        | Prov::NullOrMapValue(_)
+        | Prov::MapHandle(_) => {}
+        // A scalar/unknown base can alias the stack (e.g. an address
+        // reconstructed from a spilled pointer): be conservative.
+        Prov::Scalar | Prov::Unknown => st.clobber_stack(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The fixpoint driver.
+// ---------------------------------------------------------------------------
+
+/// Run the abstract interpretation over a decoded instruction stream.
+///
+/// Total and panic-free for arbitrary (even unverifiable) input: paths the
+/// analysis cannot model degrade to ⊤, and a work budget bails out to an
+/// empty [`Analysis`].
+pub fn analyze(decoded: &[Decoded]) -> Analysis {
+    let n = decoded.len();
+    if n == 0 {
+        return Analysis::default();
+    }
+    // Slot pc → decoded index.
+    let max_slot = decoded.last().map(|d| d.pc + d.slots).unwrap_or(0);
+    let mut idx_of = vec![usize::MAX; max_slot + 1];
+    for (i, d) in decoded.iter().enumerate() {
+        idx_of[d.pc] = i;
+    }
+    let target_idx =
+        |slot: usize| -> Option<usize> { idx_of.get(slot).copied().filter(|&i| i != usize::MAX) };
+
+    let mut states: Vec<Option<State>> = vec![None; n];
+    let mut joins = vec![0u32; n];
+    states[0] = Some(State::entry());
+    let mut work = std::collections::VecDeque::with_capacity(n);
+    work.push_back(0usize);
+    let mut queued = vec![false; n];
+    queued[0] = true;
+
+    let mut pops = 0usize;
+    while let Some(i) = work.pop_front() {
+        queued[i] = false;
+        pops += 1;
+        if pops > POP_BUDGET {
+            return Analysis::default();
+        }
+        let Some(st) = states[i].clone() else { continue };
+        let propagate = |j: usize,
+                         out: State,
+                         states: &mut Vec<Option<State>>,
+                         work: &mut std::collections::VecDeque<usize>,
+                         queued: &mut Vec<bool>,
+                         joins: &mut Vec<u32>| {
+            if j >= n {
+                return;
+            }
+            let changed = match &mut states[j] {
+                slot @ None => {
+                    *slot = Some(out);
+                    true
+                }
+                Some(prev) => {
+                    joins[j] += 1;
+                    let widen = joins[j] >= WIDEN_AFTER;
+                    join_states(prev, &out, widen)
+                }
+            };
+            if changed && !queued[j] {
+                queued[j] = true;
+                work.push_back(j);
+            }
+        };
+        match decoded[i].insn {
+            Instruction::Jump { cond: None, target } => {
+                if let Some(j) = target_idx(target) {
+                    propagate(j, st, &mut states, &mut work, &mut queued, &mut joins);
+                }
+            }
+            Instruction::Jump { cond: Some(c), target } => {
+                let l = st.regs[c.lhs as usize];
+                let r = operand_val(&st, c.rhs);
+                let outcome = decide(c.op, c.width, l, r);
+                let mut taken_st = st.clone();
+                let mut fall_st = st.clone();
+                refine_edges(c, &st, &mut taken_st, &mut fall_st);
+                if outcome != Some(false) {
+                    if let Some(j) = target_idx(target) {
+                        propagate(j, taken_st, &mut states, &mut work, &mut queued, &mut joins);
+                    }
+                }
+                if outcome != Some(true) {
+                    propagate(i + 1, fall_st, &mut states, &mut work, &mut queued, &mut joins);
+                }
+            }
+            ref insn => {
+                let mut out = st;
+                if step(&mut out, insn) {
+                    propagate(i + 1, out, &mut states, &mut work, &mut queued, &mut joins);
+                }
+            }
+        }
+    }
+
+    // Final pass: read facts off the stable per-instruction states.
+    let mut analysis =
+        Analysis { stack_slots: vec![SlotInfo::default(); STACK_SLOTS], ..Analysis::default() };
+    let mut slot_acc: [Option<AbsVal>; STACK_SLOTS] = [None; STACK_SLOTS];
+    // Constant tracking ignores the implicit zero initialization:
+    // None = only zeros seen, Some(Some(k)) = zeros and the constant k,
+    // Some(None) = varying values.
+    let mut const_acc: [Option<Option<u64>>; STACK_SLOTS] = [None; STACK_SLOTS];
+    for (i, d) in decoded.iter().enumerate() {
+        let Some(st) = &states[i] else { continue };
+        for ((acc, cacc), v) in slot_acc.iter_mut().zip(const_acc.iter_mut()).zip(&st.stack) {
+            *acc = Some(acc.map_or(*v, |a| a.join(*v)));
+            let k = (v.prov == Prov::Scalar).then(|| v.tn.as_const()).flatten();
+            match (k, *cacc) {
+                (Some(0), _) => {}
+                (Some(k), None) => *cacc = Some(Some(k)),
+                (Some(k), Some(Some(prev))) if k == prev => {}
+                _ => *cacc = Some(None),
+            }
+        }
+        let fact = match d.insn {
+            Instruction::Load { size, src, off, .. } => {
+                access_fact(st, st.regs[src as usize], off, size, d.pc)
+            }
+            Instruction::Store { size, dst, off, .. }
+            | Instruction::Atomic { size, dst, off, .. } => {
+                access_fact(st, st.regs[dst as usize], off, size, d.pc)
+            }
+            Instruction::Jump { cond: Some(c), .. } => {
+                let l = st.regs[c.lhs as usize];
+                let r = operand_val(st, c.rhs);
+                if let Some(b) = decide(c.op, c.width, l, r) {
+                    analysis.branches.insert(d.pc, b);
+                }
+                None
+            }
+            _ => None,
+        };
+        if let Some(f) = fact {
+            analysis.packet_accesses += 1;
+            if f.proven {
+                analysis.proven_accesses += 1;
+                let end = f.hi + f.size;
+                analysis.max_proven_end =
+                    Some(analysis.max_proven_end.map_or(end, |m: i64| m.max(end)));
+            }
+            analysis.facts.insert(f.pc, f);
+        }
+    }
+    analysis.all_packet_proven = analysis.proven_accesses == analysis.packet_accesses;
+    for ((info, acc), cacc) in analysis.stack_slots.iter_mut().zip(slot_acc).zip(const_acc) {
+        if let Some(v) = acc {
+            if v.prov == Prov::Scalar {
+                info.constant = match cacc {
+                    None => Some(0),
+                    Some(k) => k,
+                };
+                let highest = 64 - (v.tn.value | v.tn.mask).leading_zeros();
+                let mut width = highest as u8;
+                if v.iv.lo >= 0 && !v.iv.is_top() {
+                    let iv_bits = (64 - (v.iv.hi as u64).leading_zeros()) as u8;
+                    width = width.min(iv_bits);
+                }
+                info.width = width;
+            }
+        }
+    }
+    analysis
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::insn::decode;
+    use crate::opcode::MemSize;
+
+    fn analyze_asm(a: Asm) -> Analysis {
+        analyze(&decode(&a.into_insns()).unwrap())
+    }
+
+    #[test]
+    fn tnum_algebra() {
+        let a = Tnum::constant(0xf0);
+        let b = Tnum::constant(0x0f);
+        assert_eq!(a.or(b).as_const(), Some(0xff));
+        assert_eq!(a.add(b).as_const(), Some(0xff));
+        assert_eq!(a.sub(b).as_const(), Some(0xe1));
+        let j = a.join(b);
+        assert!(j.contains(0xf0) && j.contains(0x0f));
+        assert_eq!(j.as_const(), None);
+        assert!(Tnum::TOP.contains(0xdead));
+        assert_eq!(Tnum::constant(6).shl(2).as_const(), Some(24));
+    }
+
+    #[test]
+    fn classic_bounds_check_proves_access() {
+        // r2 = data; r3 = data_end; r4 = r2 + 34;
+        // if r4 > r3 goto drop; r0 = *(u16*)(r2 + 12); exit
+        let mut a = Asm::new();
+        let drop = a.new_label();
+        a.load(MemSize::W, 2, 1, 0);
+        a.load(MemSize::W, 3, 1, 4);
+        a.mov64_reg(4, 2);
+        a.alu64_imm(AluOp::Add, 4, 34);
+        a.jmp_reg(JmpOp::Jgt, 4, 3, drop);
+        a.load(MemSize::H, 0, 2, 12);
+        a.exit();
+        a.bind(drop);
+        a.mov64_imm(0, 1);
+        a.exit();
+        let an = analyze_asm(a);
+        assert_eq!(an.packet_accesses, 1);
+        assert_eq!(an.proven_accesses, 1);
+        assert!(an.all_packet_proven);
+        let f = an.facts().next().unwrap();
+        assert_eq!((f.lo, f.hi, f.size), (12, 12, 2));
+        assert!(f.min_len >= 14);
+        assert_eq!(an.max_proven_end, Some(14));
+    }
+
+    #[test]
+    fn unchecked_access_stays_unproven() {
+        let mut a = Asm::new();
+        a.load(MemSize::W, 2, 1, 0);
+        a.load(MemSize::B, 0, 2, 5); // no bounds check anywhere
+        a.exit();
+        let an = analyze_asm(a);
+        assert_eq!(an.packet_accesses, 1);
+        assert_eq!(an.proven_accesses, 0);
+        assert!(!an.all_packet_proven);
+    }
+
+    #[test]
+    fn dead_branch_is_decided() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.mov64_imm(2, 7);
+        a.jmp_imm(JmpOp::Jgt, 2, 10, l); // 7 > 10 never taken
+        a.mov64_imm(0, 2);
+        a.exit();
+        a.bind(l);
+        a.mov64_imm(0, 1);
+        a.exit();
+        let an = analyze_asm(a);
+        assert_eq!(an.branch_outcome(1), Some(false));
+        assert_eq!(an.decided_branches(), 1);
+    }
+
+    #[test]
+    fn spill_fill_keeps_packet_provenance() {
+        let mut a = Asm::new();
+        let drop = a.new_label();
+        a.load(MemSize::W, 2, 1, 0);
+        a.load(MemSize::W, 3, 1, 4);
+        a.store_reg(MemSize::Dw, 10, -8, 2); // spill data ptr
+        a.mov64_reg(4, 2);
+        a.alu64_imm(AluOp::Add, 4, 20);
+        a.jmp_reg(JmpOp::Jgt, 4, 3, drop);
+        a.load(MemSize::Dw, 5, 10, -8); // fill
+        a.load(MemSize::W, 0, 5, 16);
+        a.exit();
+        a.bind(drop);
+        a.mov64_imm(0, 1);
+        a.exit();
+        let an = analyze_asm(a);
+        assert_eq!(an.packet_accesses, 1);
+        assert_eq!(an.proven_accesses, 1);
+    }
+
+    #[test]
+    fn adjust_head_invalidates_bounds() {
+        use crate::helpers::BPF_XDP_ADJUST_HEAD;
+        let mut a = Asm::new();
+        let drop = a.new_label();
+        a.mov64_reg(6, 1); // keep ctx across the call
+        a.load(MemSize::W, 2, 1, 0);
+        a.load(MemSize::W, 3, 1, 4);
+        a.mov64_reg(4, 2);
+        a.alu64_imm(AluOp::Add, 4, 14);
+        a.jmp_reg(JmpOp::Jgt, 4, 3, drop);
+        a.mov64_reg(1, 6);
+        a.mov64_imm(2, -14);
+        a.call(BPF_XDP_ADJUST_HEAD);
+        a.load(MemSize::W, 2, 6, 0); // re-derive data
+        a.load(MemSize::B, 0, 2, 4); // NOT provable: old check is stale
+        a.exit();
+        a.bind(drop);
+        a.mov64_imm(0, 1);
+        a.exit();
+        let an = analyze_asm(a);
+        assert_eq!(an.packet_accesses, 1);
+        assert_eq!(an.proven_accesses, 0);
+    }
+
+    #[test]
+    fn constant_stack_slot_summarized() {
+        let mut a = Asm::new();
+        a.store_imm(MemSize::Dw, 10, -8, 42);
+        a.load(MemSize::Dw, 0, 10, -8);
+        a.exit();
+        let an = analyze_asm(a);
+        let slot = an.stack_slots[STACK_SLOTS - 1]; // fp-8 is the last slot
+        assert_eq!(slot.constant, Some(42));
+        assert!(slot.width <= 6);
+    }
+
+    #[test]
+    fn widening_terminates_on_back_edges() {
+        // A backward jump guarded by a counter the analysis cannot fully
+        // resolve must still reach a fixpoint.
+        let mut a = Asm::new();
+        let top = a.new_label();
+        a.mov64_imm(2, 0);
+        a.bind(top);
+        a.alu64_imm(AluOp::Add, 2, 1);
+        a.jmp_imm(JmpOp::Jlt, 2, 1000, top);
+        a.mov64_imm(0, 2);
+        a.exit();
+        let an = analyze_asm(a);
+        assert_eq!(an.packet_accesses, 0);
+    }
+
+    #[test]
+    fn analysis_is_total_on_garbage() {
+        // Unverifiable stream: reads uninitialized regs, stores through
+        // scalars, jumps to the end slot. Must not panic.
+        let mut a = Asm::new();
+        let end = a.new_label();
+        a.store_reg(MemSize::W, 3, 0, 4);
+        a.alu64_reg(AluOp::Mul, 3, 3);
+        a.jmp_imm(JmpOp::Jeq, 3, 9, end);
+        a.load(MemSize::Dw, 4, 3, 0);
+        a.bind(end);
+        a.exit();
+        let an = analyze_asm(a);
+        assert_eq!(an.proven_accesses, 0);
+    }
+
+    #[test]
+    fn empty_program_yields_empty_analysis() {
+        let an = analyze(&[]);
+        assert_eq!(an.packet_accesses, 0);
+        assert!(an.stack_slots.is_empty());
+    }
+}

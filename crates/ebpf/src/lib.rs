@@ -32,9 +32,10 @@
 // Everything in this crate sits on the untrusted-input path (bytecode,
 // ELF objects, map keys from packets), so panicking extractors are
 // bugs, not conveniences. Deliberate invariant panics carry an
-// explicit `#[allow]` or a documented `# Panics` section.
-#![warn(clippy::unwrap_used)]
+// explicit `#[expect]` or a documented `# Panics` section.
+#![deny(clippy::unwrap_used)]
 
+pub mod absint;
 pub mod asm;
 pub mod disasm;
 pub mod elf;

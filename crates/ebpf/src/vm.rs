@@ -225,6 +225,13 @@ pub struct Vm {
     time_ns: u64,
     /// Value returned by the stubbed `bpf_get_smp_processor_id`.
     cpu_id: u32,
+    /// Proof-assertion mode: facts from [`crate::absint::analyze`] over this
+    /// same program, checked against every concrete execution.
+    check: Option<crate::absint::Analysis>,
+    /// Violated proofs recorded so far. Deliberately *not* errors: a wrong
+    /// proof must not change the packet verdict, or differential tests
+    /// would fold it into an ordinary drop and mask the soundness bug.
+    violations: Vec<String>,
 }
 
 struct Ctx<'p> {
@@ -272,7 +279,26 @@ impl Vm {
             prandom_state: 0x9e37_79b9_7f4a_7c15,
             time_ns: 0,
             cpu_id: 0,
+            check: None,
+            violations: Vec::new(),
         })
+    }
+
+    /// Enable proof-assertion mode: every packet-access fact and decided
+    /// branch in `analysis` (which must come from analyzing this same
+    /// program) is checked against concrete execution. Violations are
+    /// recorded — query them with [`Vm::proof_violations`] — rather than
+    /// turned into [`VmError`]s, so a wrong proof cannot silently change
+    /// the packet verdict that differential tests compare.
+    pub fn check_facts(&mut self, analysis: crate::absint::Analysis) {
+        self.check = Some(analysis);
+        self.violations.clear();
+    }
+
+    /// Proofs violated by any run so far (empty when sound or when
+    /// [`Vm::check_facts`] was never called).
+    pub fn proof_violations(&self) -> &[String] {
+        &self.violations
     }
 
     /// Access the live maps (the "host userspace" view).
@@ -362,16 +388,19 @@ impl Vm {
                 }
                 Instruction::Load { size, dst, src, off } => {
                     let addr = regs[src as usize].wrapping_add(off as i64 as u64);
+                    self.assert_fact(slot, addr, &ctx);
                     regs[dst as usize] = self.mem_read(&ctx, addr, size, slot)?;
                 }
                 Instruction::Store { size, dst, off, src } => {
                     let addr = regs[dst as usize].wrapping_add(off as i64 as u64);
+                    self.assert_fact(slot, addr, &ctx);
                     let v = self.operand(&regs, src);
                     self.mem_write(&mut ctx, addr, size, v, slot)?;
                 }
                 Instruction::Atomic { op, size, dst, off, src } => {
                     atomic_ops += 1;
                     let addr = regs[dst as usize].wrapping_add(off as i64 as u64);
+                    self.assert_fact(slot, addr, &ctx);
                     let operand = regs[src as usize];
                     let old = self.mem_read(&ctx, addr, size, slot)?;
                     let new = match op {
@@ -401,6 +430,16 @@ impl Vm {
                         None => true,
                         Some(c) => jump_eval(&regs, c, |o| self.operand(&regs, o)),
                     };
+                    if cond.is_some() {
+                        let decided = self.check.as_ref().and_then(|a| a.branch_outcome(slot));
+                        if let Some(expect) = decided {
+                            if expect != taken {
+                                self.violations.push(format!(
+                                    "pc {slot}: branch decided {expect} but ran {taken}"
+                                ));
+                            }
+                        }
+                    }
                     if taken {
                         pc = self.index_of_slot(target)?;
                         continue;
@@ -430,6 +469,32 @@ impl Vm {
                 }
             }
             pc += 1;
+        }
+    }
+
+    /// Check the abstract packet-access fact at `slot` against the concrete
+    /// address, recording any violated proof.
+    fn assert_fact(&mut self, slot: usize, addr: u64, ctx: &Ctx<'_>) {
+        let Some(f) = self.check.as_ref().and_then(|a| a.packet_fact(slot).copied()) else {
+            return;
+        };
+        if !(PACKET_BASE..STACK_BASE).contains(&addr) {
+            self.violations.push(format!(
+                "pc {slot}: analysis claims a packet pointer, runtime address {addr:#x} is not"
+            ));
+            return;
+        }
+        let off = (addr - PACKET_BASE) as i64 - ctx.data_off as i64;
+        if off < f.lo || off > f.hi {
+            self.violations
+                .push(format!("pc {slot}: offset {off} outside claimed [{}, {}]", f.lo, f.hi));
+        }
+        let len = (ctx.end_off - ctx.data_off) as i64;
+        if len < f.min_len {
+            self.violations.push(format!(
+                "pc {slot}: packet length {len} below claimed minimum {}",
+                f.min_len
+            ));
         }
     }
 
@@ -1140,5 +1205,54 @@ mod tests {
         assert!(cond_eval(JmpOp::Jgt, Width::W64, u64::MAX, 1));
         assert!(!cond_eval(JmpOp::Jsgt, Width::W64, u64::MAX, 1));
         assert!(cond_eval(JmpOp::Jslt, Width::W32, 0xffff_ffff, 1));
+    }
+
+    /// A bounds-checked program builder: guard `need` bytes, then load one
+    /// byte at `off`. The slot layout is identical for every `(need, off)`,
+    /// which the mismatched-analysis test below relies on.
+    fn guarded_load(need: i32, off: i16) -> Asm {
+        let mut a = Asm::new();
+        let drop = a.new_label();
+        a.load(MemSize::W, 7, 1, 0);
+        a.load(MemSize::W, 8, 1, 4);
+        a.mov64_reg(2, 7);
+        a.alu64_imm(AluOp::Add, 2, need);
+        a.jmp_reg(JmpOp::Jgt, 2, 8, drop);
+        a.load(MemSize::B, 0, 7, off);
+        a.exit();
+        a.bind(drop);
+        a.mov64_imm(0, 1);
+        a.exit();
+        a
+    }
+
+    #[test]
+    fn proof_assertions_hold_on_sound_analysis() {
+        let p = Program::from_insns(guarded_load(14, 12).into_insns());
+        let mut vm = Vm::new(&p);
+        let analysis = crate::absint::analyze(&p.decode().unwrap());
+        assert!(analysis.proven_accesses > 0, "the guarded load must be proven");
+        vm.check_facts(analysis);
+        for len in [64usize, 14, 4] {
+            vm.run(&mut vec![0u8; len], 0).unwrap();
+        }
+        assert!(vm.proof_violations().is_empty(), "{:?}", vm.proof_violations());
+    }
+
+    #[test]
+    fn proof_assertions_catch_a_wrong_fact() {
+        // Attach the analysis of a *different* program with the same slot
+        // layout: its fact claims the load reads offset 2, the executed
+        // program reads offset 50 — the assertion machinery must notice.
+        let executed = Program::from_insns(guarded_load(60, 50).into_insns());
+        let claimed = Program::from_insns(guarded_load(14, 2).into_insns());
+        let mut vm = Vm::new(&executed);
+        vm.check_facts(crate::absint::analyze(&claimed.decode().unwrap()));
+        vm.run(&mut vec![0u8; 64], 0).unwrap();
+        assert!(
+            vm.proof_violations().iter().any(|v| v.contains("outside claimed")),
+            "{:?}",
+            vm.proof_violations()
+        );
     }
 }

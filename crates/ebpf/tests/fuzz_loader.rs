@@ -7,6 +7,7 @@
 
 #![allow(clippy::unwrap_used)]
 
+use ehdl_ebpf::absint;
 use ehdl_ebpf::asm::Asm;
 use ehdl_ebpf::elf;
 use ehdl_ebpf::insn::{decode, Insn};
@@ -47,12 +48,23 @@ fn sample_object() -> Vec<u8> {
 }
 
 /// Whatever the loader accepts must survive the whole downstream
-/// pipeline: decode, verify, instantiate, execute.
+/// pipeline: decode, verify, abstract-interpret, instantiate, execute.
+/// When the stream decodes, the abstract interpretation must be total
+/// (never panic, never hang) and its proofs must hold on the concrete
+/// run — soundness is fuzzed, not assumed.
 fn exercise_loaded(program: &Program) {
-    let _ = program.decode();
+    let analysis = program.decode().map(|d| absint::analyze(&d));
     let _ = verify(program);
     if let Ok(mut vm) = Vm::try_new(program) {
+        if let Ok(a) = analysis {
+            vm.check_facts(a);
+        }
         let _ = vm.run(&mut vec![0u8; 64], 0);
+        assert!(
+            vm.proof_violations().is_empty(),
+            "absint proof violated on fuzz input: {:?}",
+            vm.proof_violations()
+        );
     }
 }
 
@@ -131,11 +143,19 @@ fn decoder_and_verifier_never_panic_on_random_bytecode() {
             }
             insns.push(Insn::from_bytes(raw));
         }
-        let _ = decode(&insns);
+        let analysis = decode(&insns).map(|d| absint::analyze(&d));
         let program = Program::from_insns(insns);
         let _ = verify(&program);
         if let Ok(mut vm) = Vm::try_new(&program) {
+            if let Ok(a) = analysis {
+                vm.check_facts(a);
+            }
             let _ = vm.run(&mut vec![0u8; 64], 0);
+            assert!(
+                vm.proof_violations().is_empty(),
+                "absint proof violated on random bytecode (case {case}): {:?}",
+                vm.proof_violations()
+            );
         }
     }
 }

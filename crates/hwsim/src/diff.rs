@@ -45,6 +45,13 @@ pub enum Divergence {
         /// Pipeline packet count.
         hw: usize,
     },
+    /// A compile-time proof (packet-bounds fact or statically-decided
+    /// branch from `ehdl_ebpf::absint`) contradicted by a concrete
+    /// execution in either engine — an analysis-soundness bug.
+    Proof {
+        /// Human-readable description of the violated proof.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for Divergence {
@@ -58,6 +65,7 @@ impl std::fmt::Display for Divergence {
             }
             Divergence::Map { map } => write!(f, "map {map}: final contents differ"),
             Divergence::Count { vm, hw } => write!(f, "packet counts differ: vm={vm} hw={hw}"),
+            Divergence::Proof { detail } => write!(f, "violated proof: {detail}"),
         }
     }
 }
@@ -103,7 +111,7 @@ pub fn compare_ignoring(
         packets,
         setup,
         ignore_maps,
-        SimOptions { freeze_time_ns: Some(1000), ..Default::default() },
+        SimOptions { freeze_time_ns: Some(1000), check_proofs: true, ..Default::default() },
     )
 }
 
@@ -119,6 +127,11 @@ pub fn compare_full(
 ) -> Vec<Divergence> {
     let mut vm = Vm::new(program);
     vm.set_time_ns(sim_options.freeze_time_ns.unwrap_or(1000));
+    // Soundness gate: every fact the abstract interpreter claims about the
+    // program is rechecked against the reference execution.
+    if let Ok(decoded) = program.decode() {
+        vm.check_facts(ehdl_ebpf::absint::analyze(&decoded));
+    }
     let mut sim = PipelineSim::with_options(design, sim_options);
     // Both map stores are configured before either engine runs, so the
     // two executions start from identical state.
@@ -192,6 +205,16 @@ pub fn compare_full(
         if ea != eb {
             divs.push(Divergence::Map { map: def.id });
         }
+    }
+
+    for v in vm.proof_violations() {
+        divs.push(Divergence::Proof { detail: format!("vm: {v}") });
+    }
+    let hw_violations = sim.counters().proof_violations;
+    if hw_violations > 0 {
+        divs.push(Divergence::Proof {
+            detail: format!("pipeline: {hw_violations} unguarded accesses left proven bounds"),
+        });
     }
     divs
 }

@@ -26,7 +26,7 @@
 //! hardware so the hardened designs' protection machinery (parity, SECDED
 //! ECC, watchdog recovery) can be measured rather than asserted.
 
-#![warn(clippy::unwrap_used)]
+#![deny(clippy::unwrap_used)]
 
 pub mod diff;
 pub mod fault;

@@ -80,6 +80,11 @@ pub struct SimOptions {
     /// `write_stage + reload` to `window + reload`. Off reproduces the
     /// full-pipeline flush of the baseline hardware.
     pub partial_flush: bool,
+    /// Soundness validation: recheck every compile-time packet-bounds
+    /// proof (`op.proof`) against the concrete address and packet length;
+    /// violations increment [`SimCounters::proof_violations`] without
+    /// changing the verdict (the unguarded hardware would simply read).
+    pub check_proofs: bool,
 }
 
 impl Default for SimOptions {
@@ -90,6 +95,7 @@ impl Default for SimOptions {
             shell_latency_ns: 620.0,
             poison_dead_state: false,
             partial_flush: true,
+            check_proofs: false,
         }
     }
 }
@@ -117,6 +123,9 @@ pub struct SimCounters {
     pub watchdog_resets: u64,
     /// Packets lost to injected faults (dropped by a watchdog reset).
     pub pkts_lost_to_faults: u64,
+    /// Compile-time packet-bounds proofs contradicted by a concrete
+    /// access (soundness validation; must stay 0).
+    pub proof_violations: u64,
 }
 
 /// A completed packet.
@@ -1089,16 +1098,19 @@ impl PipelineSim {
                 }
                 Instruction::Load { size, dst, src, off } => {
                     let addr = regs[src as usize].wrapping_add(off as i64 as u64);
+                    self.check_proof(op, addr, state);
                     let v = self.mem_read(state, seq, addr, size)?;
                     delta.set_reg(dst, v);
                 }
                 Instruction::Store { size, dst, off, src } => {
                     let addr = regs[dst as usize].wrapping_add(off as i64 as u64);
+                    self.check_proof(op, addr, state);
                     let v = operand(regs, src);
                     self.mem_write(stage_idx, state, seq, addr, size, v, delta)?;
                 }
                 Instruction::Atomic { op: aop, size, dst, off, src } => {
                     let addr = regs[dst as usize].wrapping_add(off as i64 as u64);
+                    self.check_proof(op, addr, state);
                     let operand_v = regs[src as usize];
                     let old =
                         self.atomic_rmw(state, seq, addr, size, aop, operand_v, regs[0], delta)?;
@@ -1332,6 +1344,24 @@ impl PipelineSim {
             .map(|p| &p.state)
             .chain(self.replay.iter().map(|p| &p.state))
             .any(|st| st.map_reads.iter().any(|&(m, _, ref k)| m == map && k == key))
+    }
+
+    /// Recheck a compile-time packet-bounds proof against the concrete
+    /// access (soundness validation, [`SimOptions::check_proofs`]).
+    fn check_proof(&mut self, op: &ehdl_core::StageOp, addr: u64, state: &PacketState) {
+        if !self.options.check_proofs {
+            return;
+        }
+        let Some(p) = op.proof else { return };
+        if !(PACKET_BASE..STACK_BASE).contains(&addr) {
+            self.counters.proof_violations += 1;
+            return;
+        }
+        let off = (addr - PACKET_BASE) as i64 - state.data_off as i64;
+        let len = (state.end_off - state.data_off) as i64;
+        if off < p.lo || off > p.hi || len < p.min_len {
+            self.counters.proof_violations += 1;
+        }
     }
 
     fn mem_read(

@@ -30,6 +30,9 @@ EHDL_CHECK_BENCH=1 cargo bench -p ehdl-bench --bench sim_speed
 echo "== flush-cost sweep (partial flushes vs baseline) =="
 cargo bench -p ehdl-bench --bench flush_opt
 
+echo "== value-analysis effectiveness (invcheck + proven-access floor) =="
+EHDL_CHECK_BENCH=1 cargo bench -p ehdl-bench --bench absint_stats
+
 echo "== loader/decoder/verifier fuzz (11k seeded cases) =="
 cargo test -p ehdl-ebpf --test fuzz_loader -q
 

@@ -64,7 +64,7 @@ pub mod vhdl;
 pub use compile::{Compiler, CompilerOptions, PassTimings};
 pub use error::CompileError;
 pub use pipeline::{PipelineDesign, Protection, Stage, StageOp};
-pub use plan::ExecPlan;
+pub use plan::{control_inventory, ControlInventory, CsrDef, ExecPlan, HostMapPort};
 pub use resource::{ResourceEstimate, Target};
 
 /// Render one instruction in kernel disassembly style (jump offsets are

@@ -9,7 +9,117 @@
 //! storage built once per design. Shared behind an `Arc`, it lets the
 //! executor borrow instead of clone.
 
+use crate::ir::MapUse;
 use crate::pipeline::{EdgeCond, PipelineDesign, Protection, StageOp};
+
+/// One host-facing map port in the control-interface inventory.
+///
+/// Every map is reachable from the host over the AXI-Lite-like control
+/// channel (§4.4 exposes maps "to the host for exactly this reason"); the
+/// port is arbitrated against the pipeline's own read/write ports, so the
+/// inventory records where in the pipeline the last access sits — a host
+/// operation serializes behind in-flight packets up to that stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostMapPort {
+    /// Map id.
+    pub map: u32,
+    /// Map name (names the port in the emitted VHDL).
+    pub name: String,
+    /// Key width of the port.
+    pub key_bits: u32,
+    /// Value width of the port.
+    pub value_bits: u32,
+    /// One past the last pipeline stage that touches the map (read, write
+    /// or atomic). A host op with packet barrier `B` applies once every
+    /// packet older than `B` has advanced to at least this stage: all of
+    /// its effects on (and observations of) the map have then retired.
+    pub fence_stage: usize,
+    /// Whether the pipeline writes the map: host writes must then win
+    /// arbitration against the pipeline's write/atomic port, not only the
+    /// read port.
+    pub pipeline_writes: bool,
+}
+
+/// One control/status register exposed over the control channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrDef {
+    /// Register name (names the CSR in the emitted VHDL).
+    pub name: String,
+    /// Register width in bits.
+    pub bits: u32,
+    /// Read-only status register (telemetry) vs writable control register.
+    pub read_only: bool,
+}
+
+/// The design's complete host-facing control interface: per-map host
+/// ports plus the CSR file (telemetry counters, per-stage occupancy, and
+/// the drain-and-swap reload handshake). `resource` charges its LUT/FF
+/// cost and `vhdl` names every port and register.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ControlInventory {
+    /// One host port per map.
+    pub map_ports: Vec<HostMapPort>,
+    /// The CSR file, in address order.
+    pub csrs: Vec<CsrDef>,
+}
+
+/// Build the control-interface inventory of `design`.
+pub fn control_inventory(design: &PipelineDesign) -> ControlInventory {
+    let nstages = design.stages.len();
+    let mut fence = vec![0usize; design.maps.len()];
+    let mut writes = vec![false; design.maps.len()];
+    for (s, stage) in design.stages.iter().enumerate() {
+        for op in &stage.ops {
+            let Some(mu) = op.map_use else { continue };
+            let m = mu.map() as usize;
+            if let Some(f) = fence.get_mut(m) {
+                *f = (*f).max(s + 1);
+            }
+            if let (Some(w), true) = (
+                writes.get_mut(m),
+                matches!(mu, MapUse::HelperWrite(_) | MapUse::StoreValue(_) | MapUse::Atomic(_)),
+            ) {
+                *w = true;
+            }
+        }
+    }
+    let map_ports = design
+        .maps
+        .iter()
+        .map(|m| HostMapPort {
+            map: m.id,
+            name: m.name.clone(),
+            key_bits: m.key_size * 8,
+            value_bits: m.value_size * 8,
+            fence_stage: fence.get(m.id as usize).copied().unwrap_or(0),
+            pipeline_writes: writes.get(m.id as usize).copied().unwrap_or(false),
+        })
+        .collect();
+    let ro = |name: &str| CsrDef { name: name.to_string(), bits: 32, read_only: true };
+    let mut csrs = vec![
+        ro("csr_cycles_lo"),
+        ro("csr_cycles_hi"),
+        ro("csr_pkts_injected"),
+        ro("csr_pkts_completed"),
+        ro("csr_rx_dropped"),
+        ro("csr_flushes"),
+        ro("csr_flush_replays"),
+        ro("csr_fault_replays"),
+        ro("csr_wd_resets"),
+        ro("csr_host_ops"),
+        ro("csr_host_op_flushes"),
+        CsrDef { name: "csr_reload_ctrl".to_string(), bits: 32, read_only: false },
+        ro("csr_reload_status"),
+    ];
+    for s in 0..nstages {
+        csrs.push(ro(&format!("csr_stage{s}_occupancy")));
+    }
+    for m in &design.maps {
+        csrs.push(ro(&format!("csr_map{}_lookups", m.id)));
+        csrs.push(ro(&format!("csr_map{}_hits", m.id)));
+    }
+    ControlInventory { map_ports, csrs }
+}
 
 /// Flattened, read-only view of a [`PipelineDesign`] for execution.
 #[derive(Debug, Clone)]
@@ -38,6 +148,17 @@ pub struct ExecPlan {
     checkpoint_stage: Vec<bool>,
     /// Hardening level the design was compiled with.
     protect: Protection,
+    /// Host-facing control interface (map ports + CSR file).
+    control: ControlInventory,
+    /// Per stage: bitmask of maps (by id, ids < 64) the stage writes or
+    /// atomically modifies. The simulator's host-port arbiter stalls a
+    /// stage about to effect a map a queued host op has reserved.
+    stage_effect_maps: Vec<u64>,
+    /// Per stage: bitmask of maps (by id, ids < 64) the stage looks up or
+    /// loads values from. The arbiter uses it to hold a packet's
+    /// retirement while a queued host write could still invalidate a read
+    /// performed at the final stage.
+    stage_read_maps: Vec<u64>,
 }
 
 impl ExecPlan {
@@ -80,6 +201,23 @@ impl ExecPlan {
                 }
             }
         }
+        let mut stage_effect_maps = vec![0u64; design.stages.len()];
+        let mut stage_read_maps = vec![0u64; design.stages.len()];
+        for (s, stage) in design.stages.iter().enumerate() {
+            for op in &stage.ops {
+                match op.map_use {
+                    Some(MapUse::HelperWrite(m) | MapUse::StoreValue(m) | MapUse::Atomic(m))
+                        if m < 64 =>
+                    {
+                        stage_effect_maps[s] |= 1 << m;
+                    }
+                    Some(MapUse::Lookup(m) | MapUse::LoadValue(m)) if m < 64 => {
+                        stage_read_maps[s] |= 1 << m;
+                    }
+                    _ => {}
+                }
+            }
+        }
         ExecPlan {
             nblocks,
             nmaps: design.maps.len(),
@@ -91,6 +229,9 @@ impl ExecPlan {
             guard_min_len,
             checkpoint_stage,
             protect: design.protect,
+            control: control_inventory(design),
+            stage_effect_maps,
+            stage_read_maps,
         }
     }
 
@@ -149,6 +290,31 @@ impl ExecPlan {
     #[inline]
     pub fn protect(&self) -> Protection {
         self.protect
+    }
+
+    /// The host-facing control interface (map ports + CSR file).
+    #[inline]
+    pub fn control(&self) -> &ControlInventory {
+        &self.control
+    }
+
+    /// One past the last pipeline stage touching map `m` (its host-port
+    /// fence), or 0 when the pipeline never touches it.
+    #[inline]
+    pub fn host_fence_stage(&self, m: usize) -> usize {
+        self.control.map_ports.get(m).map_or(0, |p| p.fence_stage)
+    }
+
+    /// Bitmask of maps stage `s` writes or atomically modifies.
+    #[inline]
+    pub fn stage_effect_maps(&self, s: usize) -> u64 {
+        self.stage_effect_maps[s]
+    }
+
+    /// Bitmask of maps stage `s` looks up or loads values from.
+    #[inline]
+    pub fn stage_read_maps(&self, s: usize) -> u64 {
+        self.stage_read_maps[s]
     }
 }
 
@@ -213,6 +379,52 @@ mod tests {
         assert!(!plan.checkpoint_at(0));
         assert!(plan.checkpoint_at(1));
         assert!(plan.checkpoint_at(2));
+    }
+
+    #[test]
+    fn control_inventory_names_map_ports_and_csrs() {
+        use ehdl_ebpf::maps::{MapDef, MapKind};
+        use ehdl_ebpf::opcode::{AluOp, JmpOp, MemSize};
+        let mut a = Asm::new();
+        let miss = a.new_label();
+        a.mov64_imm(2, 0);
+        a.store_reg(MemSize::W, 10, -4, 2);
+        a.ld_map_fd(1, 0);
+        a.mov64_reg(2, 10);
+        a.alu64_imm(AluOp::Add, 2, -4);
+        a.call(1);
+        a.jmp_imm(JmpOp::Jeq, 0, 0, miss);
+        a.mov64_imm(2, 1);
+        a.atomic_add64(0, 0, 2);
+        a.bind(miss);
+        a.mov64_imm(0, 2);
+        a.exit();
+        let prog =
+            Program::new("ctl", a.into_insns(), vec![MapDef::new(0, "m", MapKind::Array, 4, 8, 8)]);
+        let design = Compiler::new().compile(&prog).unwrap();
+        let plan = ExecPlan::new(&design);
+        let inv = plan.control();
+        assert_eq!(inv.map_ports.len(), 1);
+        let port = &inv.map_ports[0];
+        assert_eq!(port.name, "m");
+        assert_eq!(port.key_bits, 32);
+        assert_eq!(port.value_bits, 64);
+        assert!(port.pipeline_writes, "atomic add counts as a pipeline write");
+        assert!(port.fence_stage > 0, "map is accessed by the pipeline");
+        assert!(port.fence_stage <= design.stages.len());
+        assert_eq!(plan.host_fence_stage(0), port.fence_stage);
+        // Effect mask: exactly the stages carrying the atomic modify map 0.
+        let effect_stages: Vec<usize> =
+            (0..plan.stage_count()).filter(|&s| plan.stage_effect_maps(s) & 1 != 0).collect();
+        assert!(!effect_stages.is_empty());
+        assert!(effect_stages.iter().all(|&s| s < port.fence_stage));
+        // CSR file carries the fixed telemetry block plus per-stage and
+        // per-map registers.
+        assert!(inv.csrs.iter().any(|c| c.name == "csr_flushes" && c.read_only));
+        assert!(inv.csrs.iter().any(|c| c.name == "csr_reload_ctrl" && !c.read_only));
+        assert!(inv.csrs.iter().any(|c| c.name == "csr_stage0_occupancy"));
+        assert!(inv.csrs.iter().any(|c| c.name == "csr_map0_hits"));
+        assert_eq!(inv.csrs.len(), 13 + design.stages.len() + 2 * design.maps.len());
     }
 
     #[test]

@@ -160,6 +160,25 @@ pub mod cost {
 
     /// Pipeline watchdog (retire timer, drain sequencer, map-preserving
     /// reinit FSM).
+    /// AXI-Lite control-channel slave: address decode, response mux and
+    /// the host-op sequencer of the control interface (§4.4 host access).
+    pub const CTRL_SLAVE_LUTS: u64 = 620;
+    /// Control-channel request/response registers.
+    pub const CTRL_SLAVE_FFS: u64 = 540;
+    /// Per-map host port: key/value staging registers plus the arbiter
+    /// muxing the host onto the map block's read port.
+    pub const HOST_PORT_LUTS: u64 = 180;
+    /// Per-map host port staging flops (one key + one value register).
+    pub const HOST_PORT_FFS: u64 = 96;
+    /// Extra arbitration when the pipeline also writes the map: the host
+    /// write must win the write port and fence against in-flight effects.
+    pub const HOST_PORT_WRITE_ARB_LUTS: u64 = 110;
+    /// Per-CSR cost: a 32-bit counter/holding register plus its slice of
+    /// the read mux.
+    pub const CSR_LUTS: u64 = 14;
+    /// Per-CSR register bits.
+    pub const CSR_FFS: u64 = 32;
+
     pub const WATCHDOG_LUTS: u64 = 150;
     /// Watchdog flip-flops (timeout counter + saved availability state).
     pub const WATCHDOG_FFS: u64 = 120;
@@ -276,7 +295,29 @@ pub fn estimate_pipeline(design: &PipelineDesign) -> ResourceEstimate {
         luts += ATOMIC_LUTS;
     }
 
-    ResourceEstimate { luts, ffs, brams }
+    ResourceEstimate { luts, ffs, brams }.plus(estimate_control(design))
+}
+
+/// Estimate the host-facing control interface alone: the AXI-Lite slave,
+/// one arbitrated host port per map, and the CSR file from the
+/// [`crate::plan::control_inventory`]. Included in
+/// [`estimate_pipeline`]; exposed separately so the Figure-10 breakdown
+/// can itemize it.
+pub fn estimate_control(design: &PipelineDesign) -> ResourceEstimate {
+    use cost::*;
+    let inv = crate::plan::control_inventory(design);
+    let mut luts = CTRL_SLAVE_LUTS;
+    let mut ffs = CTRL_SLAVE_FFS;
+    for port in &inv.map_ports {
+        luts += HOST_PORT_LUTS;
+        ffs += HOST_PORT_FFS + u64::from(port.key_bits + port.value_bits);
+        if port.pipeline_writes {
+            luts += HOST_PORT_WRITE_ARB_LUTS;
+        }
+    }
+    luts += CSR_LUTS * inv.csrs.len() as u64;
+    ffs += CSR_FFS * inv.csrs.len() as u64;
+    ResourceEstimate { luts, ffs, brams: 0 }
 }
 
 /// Estimate the full design: pipeline + Corundum shell (Figure 10 mode).
@@ -316,6 +357,22 @@ mod tests {
         assert!(p.luts > 0 && p.ffs > 0);
         assert_eq!(s.luts, p.luts + cost::SHELL_LUTS);
         assert_eq!(s.brams, p.brams + cost::SHELL_BRAMS);
+    }
+
+    #[test]
+    fn control_interface_is_charged() {
+        let d = tiny_design();
+        let c = estimate_control(&d);
+        // Even a mapless design carries the control slave + CSR file.
+        assert!(c.luts >= cost::CTRL_SLAVE_LUTS);
+        assert!(c.ffs >= cost::CTRL_SLAVE_FFS);
+        assert_eq!(c.brams, 0);
+        // The pipeline estimate includes it.
+        let p = estimate_pipeline(&d);
+        assert!(p.luts >= c.luts);
+        // A design with a pipeline-written map pays the write arbiter.
+        let inv = crate::plan::control_inventory(&d);
+        assert!(inv.map_ports.is_empty());
     }
 
     #[test]

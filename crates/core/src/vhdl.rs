@@ -50,7 +50,13 @@ pub fn emit(design: &PipelineDesign) -> String {
         let _ = writeln!(o, "    atomic_op    : in  std_logic_vector(3 downto 0);");
         let _ = writeln!(o, "    atomic_delta : in  std_logic_vector(63 downto 0);");
         let _ = writeln!(o, "    host_rd_key  : in  std_logic_vector(KEY_BITS-1 downto 0);");
-        let _ = writeln!(o, "    host_rd_val  : out std_logic_vector(VALUE_BITS-1 downto 0)");
+        let _ = writeln!(o, "    host_rd_val  : out std_logic_vector(VALUE_BITS-1 downto 0);");
+        let _ = writeln!(o, "    host_wr_en   : in  std_logic;");
+        let _ = writeln!(o, "    host_wr_key  : in  std_logic_vector(KEY_BITS-1 downto 0);");
+        let _ = writeln!(o, "    host_wr_val  : in  std_logic_vector(VALUE_BITS-1 downto 0);");
+        let _ = writeln!(o, "    host_del_en  : in  std_logic;");
+        let _ = writeln!(o, "    host_ack     : out std_logic;");
+        let _ = writeln!(o, "    host_err     : out std_logic_vector(2 downto 0)");
         let _ = writeln!(o, "  );");
         let _ = writeln!(o, "end entity {name}_map{};", m.id);
         let _ = writeln!(o);
@@ -87,6 +93,60 @@ pub fn emit(design: &PipelineDesign) -> String {
             let _ = writeln!(o, "end entity {name}_map{}_secded;", m.id);
             let _ = writeln!(o);
         }
+    }
+
+    // Host control interface: the AXI-Lite-like slave exposing every map
+    // to the host plus the CSR file (telemetry counters, per-stage
+    // occupancy, drain-and-swap reload handshake). The inventory — one
+    // arbitrated host port per map, fence stage, write arbitration —
+    // comes from `plan::control_inventory` and is charged by
+    // `resource::estimate_control`.
+    {
+        let inv = crate::plan::control_inventory(design);
+        let _ = writeln!(
+            o,
+            "-- Host control interface: {} map port(s), {} CSR(s)",
+            inv.map_ports.len(),
+            inv.csrs.len()
+        );
+        for p in &inv.map_ports {
+            let _ = writeln!(
+                o,
+                "--   host port map{} `{}`: key {}b value {}b, fence stage {}{}",
+                p.map,
+                p.name,
+                p.key_bits,
+                p.value_bits,
+                p.fence_stage,
+                if p.pipeline_writes { ", write-arbitrated" } else { ", read-only pipeline" }
+            );
+        }
+        let _ = writeln!(o, "entity {name}_ctrl is");
+        let _ = writeln!(o, "  port (");
+        let _ = writeln!(o, "    clk, rst       : in  std_logic;");
+        let _ = writeln!(o, "    s_ctrl_awaddr  : in  std_logic_vector(31 downto 0);");
+        let _ = writeln!(o, "    s_ctrl_awvalid : in  std_logic;");
+        let _ = writeln!(o, "    s_ctrl_wdata   : in  std_logic_vector(31 downto 0);");
+        let _ = writeln!(o, "    s_ctrl_wvalid  : in  std_logic;");
+        let _ = writeln!(o, "    s_ctrl_araddr  : in  std_logic_vector(31 downto 0);");
+        let _ = writeln!(o, "    s_ctrl_arvalid : in  std_logic;");
+        let _ = writeln!(o, "    s_ctrl_rdata   : out std_logic_vector(31 downto 0);");
+        let _ = writeln!(o, "    s_ctrl_rvalid  : out std_logic");
+        let _ = writeln!(o, "  );");
+        let _ = writeln!(o, "end entity {name}_ctrl;");
+        let _ = writeln!(o);
+        let _ = writeln!(o, "-- CSR file of {name}_ctrl (address order):");
+        for (i, c) in inv.csrs.iter().enumerate() {
+            let _ = writeln!(
+                o,
+                "--   0x{:04x} {} ({} bits, {})",
+                i * 4,
+                c.name,
+                c.bits,
+                if c.read_only { "ro" } else { "rw" }
+            );
+        }
+        let _ = writeln!(o);
     }
 
     // Pipeline watchdog: detects a no-retire (hung) condition, drains the
@@ -498,6 +558,22 @@ mod tests {
         a.mov64_imm(0, 2);
         a.exit();
         Program::new("t", a.into_insns(), vec![MapDef::new(0, "m", MapKind::Array, 4, 8, 8)])
+    }
+
+    #[test]
+    fn control_interface_is_named() {
+        let d = Compiler::new().compile(&ehdl_test_program()).unwrap();
+        let v = emit(&d);
+        assert!(v.contains("entity t_ctrl is"));
+        assert!(v.contains("s_ctrl_awaddr"));
+        assert!(v.contains("host_wr_en"));
+        assert!(v.contains("host port map0 `m`"));
+        assert!(v.contains("csr_reload_ctrl"));
+        assert!(v.contains("csr_map0_hits"));
+        // Mapless designs still carry the ctrl entity and CSR file.
+        let tiny = emit_tiny();
+        assert!(tiny.contains("_ctrl is"));
+        assert!(tiny.contains("0 map port(s)"));
     }
 
     #[test]

@@ -330,7 +330,8 @@ fn u64le(b: &[u8], off: usize) -> Result<u64, ElfError> {
         .map(|s| u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
 }
 
-/// Load a BPF ELF object produced by [`write`] (or a compatible toolchain
+/// Load a BPF ELF object produced by [`write()`](fn@write) (or a compatible
+/// toolchain
 /// using legacy map definitions and a single program section).
 ///
 /// # Errors

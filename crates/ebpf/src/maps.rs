@@ -89,6 +89,36 @@ impl MapDef {
             _ => u64::from(self.max_entries) * u64::from(self.key_size),
         }
     }
+
+    /// The map's key/value shape, the unit of migration compatibility for
+    /// a drain-and-swap program reload.
+    pub fn keyspec(&self) -> KeySpec {
+        KeySpec { kind: self.kind, key_size: self.key_size, value_size: self.value_size }
+    }
+
+    /// Can live state migrate from `self` into a map declared as `other`
+    /// across a program reload? Requires the same name (the stable
+    /// identity across program versions) and the same [`KeySpec`];
+    /// capacities may differ — entries beyond the new capacity are
+    /// dropped (and counted) by the migrator.
+    pub fn compatible_with(&self, other: &MapDef) -> bool {
+        self.name == other.name && self.keyspec() == other.keyspec()
+    }
+}
+
+/// The shape of a map's keys and values: everything that must agree for
+/// entries serialized out of one map to be valid in another. Capacity is
+/// deliberately excluded — growing or shrinking a map across a reload is
+/// legal; a kind/width change is not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KeySpec {
+    /// Map flavour (hash entries cannot migrate into an LPM trie even at
+    /// equal widths: the key semantics differ).
+    pub kind: MapKind,
+    /// Key size in bytes.
+    pub key_size: u32,
+    /// Value size in bytes.
+    pub value_size: u32,
 }
 
 /// Update flags mirroring `BPF_ANY` / `BPF_NOEXIST` / `BPF_EXIST`.
@@ -669,5 +699,24 @@ mod tests {
         assert_eq!(UpdateFlags::from_raw(1), Some(UpdateFlags::NoExist));
         assert_eq!(UpdateFlags::from_raw(2), Some(UpdateFlags::Exist));
         assert_eq!(UpdateFlags::from_raw(7), None);
+    }
+
+    #[test]
+    fn keyspec_compatibility_gates_migration() {
+        let a = MapDef::new(0, "flows", MapKind::Hash, 8, 16, 1024);
+        // Same shape, bigger capacity, different id: compatible.
+        let grown = MapDef::new(3, "flows", MapKind::Hash, 8, 16, 4096);
+        assert!(a.compatible_with(&grown));
+        assert_eq!(a.keyspec(), grown.keyspec());
+        // Renamed: the stable identity is gone.
+        let renamed = MapDef::new(0, "conns", MapKind::Hash, 8, 16, 1024);
+        assert!(!a.compatible_with(&renamed));
+        // Width change: entries would not parse.
+        let widened = MapDef::new(0, "flows", MapKind::Hash, 8, 32, 1024);
+        assert!(!a.compatible_with(&widened));
+        // Kind change at equal widths: key semantics differ.
+        let lpm = MapDef::new(0, "flows", MapKind::LpmTrie, 8, 16, 1024);
+        assert!(!a.compatible_with(&lpm));
+        assert_ne!(a.keyspec(), lpm.keyspec());
     }
 }

@@ -1,0 +1,237 @@
+//! Host control channel: the PCIe/AXI-Lite path through which the host
+//! reaches the pipeline's maps while packets are in flight (§4.5).
+//!
+//! The channel models a memory-mapped slave with a configurable one-way
+//! latency and a bounded command queue. Ops are *barrier-ordered*: an op
+//! submitted when the next arrival sequence number is `B` behaves exactly
+//! as if it executed between packet `B-1` and packet `B` of a sequential
+//! reference run. The simulator enforces this with three mechanisms
+//! (implemented in [`crate::sim`]):
+//!
+//! 1. **Fence** — the op waits until every packet older than `B` has
+//!    drained past the last pipeline stage touching the target map (and
+//!    none of its WAR-delayed writes are still buffered).
+//! 2. **Reservation** — while the op is queued, younger packets stall at
+//!    any stage that would *irreversibly* write the target map (helper
+//!    writes, value stores, atomics), and at the retirement boundary if
+//!    they hold a read the op is about to invalidate.
+//! 3. **Flush** — a host update/delete that lands while younger packets
+//!    hold unconfirmed reads of the same key triggers the very same
+//!    flush/replay machinery a pipeline RAW hazard uses, rolling the
+//!    readers back past their stale read.
+
+use ehdl_ebpf::maps::{MapError, UpdateFlags};
+use std::collections::VecDeque;
+
+/// A host-side map operation submitted over the control channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostOp {
+    /// Read the value under `key` (None when absent).
+    Lookup {
+        /// Target map id.
+        map: u32,
+        /// Key bytes (must match the map's key size).
+        key: Vec<u8>,
+    },
+    /// Insert or replace the value under `key`.
+    Update {
+        /// Target map id.
+        map: u32,
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value bytes (must match the map's value size).
+        value: Vec<u8>,
+        /// BPF update flags (`Any` / `NoExist` / `Exist`).
+        flags: UpdateFlags,
+    },
+    /// Remove the entry under `key`.
+    Delete {
+        /// Target map id.
+        map: u32,
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// Batch-read every live entry (slot order).
+    Dump {
+        /// Target map id.
+        map: u32,
+    },
+}
+
+impl HostOp {
+    /// The map this op targets.
+    pub fn map(&self) -> u32 {
+        match self {
+            HostOp::Lookup { map, .. }
+            | HostOp::Update { map, .. }
+            | HostOp::Delete { map, .. }
+            | HostOp::Dump { map } => *map,
+        }
+    }
+
+    /// The key this op targets, when it has one.
+    pub fn key(&self) -> Option<&[u8]> {
+        match self {
+            HostOp::Lookup { key, .. }
+            | HostOp::Update { key, .. }
+            | HostOp::Delete { key, .. } => Some(key),
+            HostOp::Dump { .. } => None,
+        }
+    }
+
+    /// Does this op mutate the map (and thus arbitrate against the FEB
+    /// machinery)?
+    pub fn mutates(&self) -> bool {
+        matches!(self, HostOp::Update { .. } | HostOp::Delete { .. })
+    }
+}
+
+/// Successful result payload of a host op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostOpResult {
+    /// Lookup result: the value bytes, or `None` for a miss.
+    Value(Option<Vec<u8>>),
+    /// Update applied.
+    Updated,
+    /// Delete applied.
+    Deleted,
+    /// Dump result: `(key, value)` pairs in slot order.
+    Entries(Vec<(Vec<u8>, Vec<u8>)>),
+}
+
+/// A retired host op with its timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostCompletion {
+    /// Submission id (monotonic per channel).
+    pub id: u64,
+    /// Target map id.
+    pub map: u32,
+    /// Outcome: payload or the typed map error the hardware raised.
+    pub result: Result<HostOpResult, MapError>,
+    /// Cycle the op was submitted.
+    pub issued_cycle: u64,
+    /// Cycle the op actually touched the map (post-latency, post-fence).
+    pub applied_cycle: u64,
+    /// In-flight packets rolled back because they held a stale read of
+    /// the op's key (0 for reads and for writes landing outside any RAW
+    /// window).
+    pub flushed_readers: u64,
+}
+
+/// Control-channel configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CtrlOptions {
+    /// One-way host→NIC command latency in pipeline cycles (PCIe round
+    /// trips are hundreds of cycles at 250 MHz; the default models a
+    /// posted write through a shallow mailbox).
+    pub latency_cycles: u64,
+    /// Command queue depth; submissions beyond it are rejected.
+    pub queue_depth: usize,
+}
+
+impl Default for CtrlOptions {
+    fn default() -> CtrlOptions {
+        CtrlOptions { latency_cycles: 64, queue_depth: 64 }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlError {
+    /// No control channel attached to the simulator.
+    NotAttached,
+    /// The command queue is at capacity.
+    QueueFull {
+        /// Configured depth.
+        depth: usize,
+    },
+    /// The design has no map with this id.
+    NoSuchMap {
+        /// Offending id.
+        map: u32,
+    },
+}
+
+impl std::fmt::Display for CtrlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CtrlError::NotAttached => write!(f, "no control channel attached"),
+            CtrlError::QueueFull { depth } => {
+                write!(f, "control command queue full ({depth} ops)")
+            }
+            CtrlError::NoSuchMap { map } => write!(f, "no map with id {map}"),
+        }
+    }
+}
+
+impl std::error::Error for CtrlError {}
+
+/// Control-channel event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CtrlStats {
+    /// Ops accepted into the queue.
+    pub submitted: u64,
+    /// Ops applied with an `Ok` result.
+    pub completed: u64,
+    /// Ops applied with a `MapError` result.
+    pub failed: u64,
+    /// Submissions refused (queue full / unknown map).
+    pub rejected: u64,
+    /// Host writes that landed inside an open RAW window and triggered a
+    /// pipeline flush.
+    pub flushes: u64,
+    /// In-flight packets rolled back by those flushes.
+    pub flushed_readers: u64,
+    /// Sum of submit→apply latencies over all applied ops, in cycles.
+    pub latency_cycles_total: u64,
+    /// Worst-case submit→apply latency, in cycles.
+    pub latency_cycles_max: u64,
+}
+
+impl CtrlStats {
+    /// Mean submit→apply latency in cycles (0 with no applied ops).
+    pub fn mean_latency_cycles(&self) -> f64 {
+        let n = self.completed.saturating_add(self.failed);
+        if n == 0 {
+            0.0
+        } else {
+            self.latency_cycles_total as f64 / n as f64
+        }
+    }
+}
+
+/// A queued op with its ordering barrier.
+#[derive(Debug, Clone)]
+pub(crate) struct QueuedOp {
+    pub(crate) id: u64,
+    pub(crate) op: HostOp,
+    /// Packets with `seq < barrier_seq` logically precede this op;
+    /// packets with `seq >= barrier_seq` logically follow it.
+    pub(crate) barrier_seq: u64,
+    pub(crate) issued_cycle: u64,
+    /// Earliest cycle the command can reach the map block (arrival
+    /// latency); the fence may hold it longer.
+    pub(crate) ready_cycle: u64,
+}
+
+/// Per-simulator control-channel state (owned by [`crate::PipelineSim`]).
+#[derive(Debug, Clone)]
+pub(crate) struct CtrlState {
+    pub(crate) options: CtrlOptions,
+    pub(crate) queue: VecDeque<QueuedOp>,
+    pub(crate) completions: Vec<HostCompletion>,
+    pub(crate) next_id: u64,
+    pub(crate) stats: CtrlStats,
+}
+
+impl CtrlState {
+    pub(crate) fn new(options: CtrlOptions) -> CtrlState {
+        CtrlState {
+            options,
+            queue: VecDeque::new(),
+            completions: Vec::new(),
+            next_id: 0,
+            stats: CtrlStats::default(),
+        }
+    }
+}

@@ -8,9 +8,11 @@
 //! property of eHDL's consistency machinery (§4.1): hazards may cost
 //! cycles, never correctness.
 
+use crate::ctrl::{CtrlOptions, HostOp, HostOpResult};
 use crate::fault::{FaultConfig, FaultEvent, FaultStats};
 use crate::sim::{PipelineSim, SimCounters, SimOptions};
 use ehdl_core::{Compiler, CompilerOptions, PipelineDesign};
+use ehdl_ebpf::maps::{MapError, MapStore};
 use ehdl_ebpf::vm::{Vm, XdpAction};
 use ehdl_ebpf::Program;
 
@@ -52,6 +54,14 @@ pub enum Divergence {
         /// Human-readable description of the violated proof.
         detail: String,
     },
+    /// A host control-channel op returned a different result than the
+    /// same op applied at the same position of the sequential reference.
+    HostOp {
+        /// Submission id (op order in the event schedule).
+        id: u64,
+        /// Human-readable mismatch description.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for Divergence {
@@ -66,6 +76,48 @@ impl std::fmt::Display for Divergence {
             Divergence::Map { map } => write!(f, "map {map}: final contents differ"),
             Divergence::Count { vm, hw } => write!(f, "packet counts differ: vm={vm} hw={hw}"),
             Divergence::Proof { detail } => write!(f, "violated proof: {detail}"),
+            Divergence::HostOp { id, detail } => write!(f, "host op {id}: {detail}"),
+        }
+    }
+}
+
+/// One element of an interleaved packet / host-op schedule
+/// ([`compare_with_ops`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostEvent {
+    /// A packet arriving on the wire.
+    Packet(Vec<u8>),
+    /// A host op submitted at this position in the arrival order: it must
+    /// behave as if it executed after every preceding packet and before
+    /// every following one.
+    Op(HostOp),
+}
+
+/// Apply `op` directly to a map store, returning the result the hardware
+/// control channel is required to produce for the same op at the same
+/// position — the sequential-reference semantics of a host op.
+pub fn apply_host_op_to_store(maps: &mut MapStore, op: &HostOp) -> Result<HostOpResult, MapError> {
+    match op {
+        HostOp::Lookup { map, key } => {
+            let m = maps.get_mut(*map).expect("host op targets a known map");
+            match m.lookup(key)? {
+                Some(slot) => Ok(HostOpResult::Value(Some(m.value(slot).to_vec()))),
+                None => Ok(HostOpResult::Value(None)),
+            }
+        }
+        HostOp::Update { map, key, value, flags } => maps
+            .get_mut(*map)
+            .expect("host op targets a known map")
+            .update(key, value, *flags)
+            .map(|_| HostOpResult::Updated),
+        HostOp::Delete { map, key } => maps
+            .get_mut(*map)
+            .expect("host op targets a known map")
+            .delete(key)
+            .map(|()| HostOpResult::Deleted),
+        HostOp::Dump { map } => {
+            let m = maps.get(*map).expect("host op targets a known map");
+            Ok(HostOpResult::Entries(m.iter().map(|(_, k, v)| (k.to_vec(), v.to_vec())).collect()))
         }
     }
 }
@@ -217,6 +269,183 @@ pub fn compare_full(
         });
     }
     divs
+}
+
+/// Differential run with *live* host ops interleaved into the packet
+/// stream.
+///
+/// The pipeline side attaches a control channel and submits each op at its
+/// schedule position while packets are still in flight, so ops race the
+/// pipeline's hazard machinery for real — including writes landing inside
+/// open RAW windows. The reference side is strictly sequential: each op is
+/// applied to the VM's map store between the packets it is scheduled
+/// between. Divergences cover per-packet outcomes, per-op results, and
+/// final map contents.
+pub fn compare_with_ops(
+    program: &Program,
+    design: &PipelineDesign,
+    events: &[HostEvent],
+    setup: impl Fn(&mut MapStore),
+    ignore_maps: &[u32],
+    ctrl: CtrlOptions,
+) -> Vec<Divergence> {
+    let sim_options =
+        SimOptions { freeze_time_ns: Some(1000), check_proofs: true, ..Default::default() };
+    let mut vm = Vm::new(program);
+    vm.set_time_ns(1000);
+    if let Ok(decoded) = program.decode() {
+        vm.check_facts(ehdl_ebpf::absint::analyze(&decoded));
+    }
+    let mut sim = PipelineSim::with_options(design, sim_options);
+    setup(vm.maps_mut());
+    setup(sim.maps_mut());
+    let nops = events.iter().filter(|e| matches!(e, HostEvent::Op(_))).count();
+    // The whole schedule is submitted up front, so the queue must hold
+    // every op; arrival latency and fences still govern when each applies.
+    sim.attach_ctrl(CtrlOptions { queue_depth: ctrl.queue_depth.max(nops), ..ctrl });
+
+    let npackets = events.len() - nops;
+    let mut divs = Vec::new();
+
+    // Pipeline side: feed the schedule in order (packets enqueue, ops
+    // submit — each op's barrier is the sequence number of the next
+    // packet), then let everything drain together.
+    for ev in events {
+        match ev {
+            HostEvent::Packet(p) => {
+                let mut attempts = 0u32;
+                while !sim.enqueue(p.clone()) {
+                    sim.settle(1_000_000);
+                    attempts += 1;
+                    assert!(attempts < 64, "rx queue never drained");
+                }
+            }
+            HostEvent::Op(op) => {
+                if let Err(e) = sim.submit_host_op(op.clone()) {
+                    divs.push(Divergence::HostOp {
+                        id: u64::MAX,
+                        detail: format!("submission rejected: {e}"),
+                    });
+                }
+            }
+        }
+    }
+    sim.settle(50_000_000);
+    let outs = sim.drain();
+    let completions = sim.host_completions();
+
+    // Sequential reference: same schedule, ops applied in place.
+    let mut vm_actions = Vec::with_capacity(npackets);
+    let mut vm_packets = Vec::with_capacity(npackets);
+    let mut vm_ops = Vec::with_capacity(nops);
+    for ev in events {
+        match ev {
+            HostEvent::Packet(p) => {
+                let mut bytes = p.clone();
+                match vm.run(&mut bytes, 0) {
+                    Ok(out) => {
+                        vm_actions.push(out.action);
+                        vm_packets.push(bytes);
+                    }
+                    Err(_) => {
+                        vm_actions.push(XdpAction::Drop);
+                        vm_packets.push(p.clone());
+                    }
+                }
+            }
+            HostEvent::Op(op) => vm_ops.push(apply_host_op_to_store(vm.maps_mut(), op)),
+        }
+    }
+
+    if outs.len() != npackets {
+        divs.push(Divergence::Count { vm: npackets, hw: outs.len() });
+        return divs;
+    }
+    for (i, out) in outs.iter().enumerate() {
+        assert_eq!(out.seq as usize, i, "pipeline must preserve packet order");
+        if out.action != vm_actions[i] {
+            divs.push(Divergence::Action { seq: i, vm: vm_actions[i], hw: out.action });
+            continue;
+        }
+        if out.action.forwards() && out.packet != vm_packets[i] {
+            let at = out
+                .packet
+                .iter()
+                .zip(&vm_packets[i])
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| out.packet.len().min(vm_packets[i].len()));
+            divs.push(Divergence::Packet { seq: i, at });
+        }
+    }
+
+    // Host ops complete in submission order (the channel is a FIFO), so
+    // completion `i` pairs with the i-th op of the schedule.
+    if completions.len() != vm_ops.len() {
+        divs.push(Divergence::HostOp {
+            id: u64::MAX,
+            detail: format!("{} of {} ops completed", completions.len(), vm_ops.len()),
+        });
+    } else {
+        for (c, vr) in completions.iter().zip(&vm_ops) {
+            if &c.result != vr {
+                divs.push(Divergence::HostOp {
+                    id: c.id,
+                    detail: format!("hw={:?} vm={:?}", c.result, vr),
+                });
+            }
+        }
+    }
+
+    for def in &program.maps {
+        if ignore_maps.contains(&def.id) {
+            continue;
+        }
+        let a = vm.maps().get(def.id).expect("vm map");
+        let b = sim.maps().get(def.id).expect("sim map");
+        let mut ea: Vec<_> = a.iter().map(|(_, k, v)| (k.to_vec(), v.to_vec())).collect();
+        let mut eb: Vec<_> = b.iter().map(|(_, k, v)| (k.to_vec(), v.to_vec())).collect();
+        ea.sort();
+        eb.sort();
+        if ea != eb {
+            divs.push(Divergence::Map { map: def.id });
+        }
+    }
+
+    for v in vm.proof_violations() {
+        divs.push(Divergence::Proof { detail: format!("vm: {v}") });
+    }
+    let hw_violations = sim.counters().proof_violations;
+    if hw_violations > 0 {
+        divs.push(Divergence::Proof {
+            detail: format!("pipeline: {hw_violations} unguarded accesses left proven bounds"),
+        });
+    }
+    divs
+}
+
+/// Compile `program` and run [`compare_with_ops`], panicking with a
+/// readable report on divergence.
+pub fn assert_equivalent_ops(
+    program: &Program,
+    options: CompilerOptions,
+    events: &[HostEvent],
+    setup: impl Fn(&mut MapStore),
+    ignore_maps: &[u32],
+    ctrl: CtrlOptions,
+) {
+    let design = Compiler::with_options(options)
+        .compile(program)
+        .unwrap_or_else(|e| panic!("compile {}: {e}", program.name));
+    let divs = compare_with_ops(program, &design, events, setup, ignore_maps, ctrl);
+    if !divs.is_empty() {
+        let report: Vec<String> = divs.iter().take(8).map(|d| d.to_string()).collect();
+        panic!(
+            "pipeline diverges from VM for `{}` under live host ops ({} issues):\n  {}",
+            program.name,
+            divs.len(),
+            report.join("\n  ")
+        );
+    }
 }
 
 /// Result of a fault-injection differential run ([`compare_under_faults`]).
@@ -454,5 +683,126 @@ mod tests {
             })
             .collect();
         assert_equivalent(&p, CompilerOptions::default(), &packets);
+    }
+
+    mod live_ops {
+        use super::*;
+        use crate::sim::hazard_timing_tests::{pkt, rmw_program};
+        use ehdl_ebpf::maps::UpdateFlags;
+
+        fn key(flow: u8) -> Vec<u8> {
+            vec![flow, 0, 0, 0]
+        }
+
+        fn update(flow: u8, v: u64) -> HostEvent {
+            HostEvent::Op(HostOp::Update {
+                map: 0,
+                key: key(flow),
+                value: v.to_le_bytes().to_vec(),
+                flags: UpdateFlags::Any,
+            })
+        }
+
+        #[test]
+        fn interleaved_ops_match_sequential_reference() {
+            // Ops hammer the same hot key the packets are incrementing,
+            // at several barrier positions — including back-to-back with
+            // same-flow packets so writes land inside open RAW windows.
+            let program = rmw_program();
+            let mut events = Vec::new();
+            for round in 0..4u64 {
+                for _ in 0..3 {
+                    events.push(HostEvent::Packet(pkt(1)));
+                }
+                events.push(update(1, round * 1000));
+                events.push(HostEvent::Op(HostOp::Lookup { map: 0, key: key(1) }));
+                events.push(HostEvent::Packet(pkt(1)));
+                events.push(HostEvent::Op(HostOp::Delete { map: 0, key: key(2) }));
+                events.push(HostEvent::Packet(pkt(2)));
+                events.push(HostEvent::Op(HostOp::Dump { map: 0 }));
+            }
+            assert_equivalent_ops(
+                &program,
+                CompilerOptions::default(),
+                &events,
+                |_| {},
+                &[],
+                CtrlOptions { latency_cycles: 1, queue_depth: 64 },
+            );
+        }
+
+        #[test]
+        fn op_results_cover_errors_and_misses() {
+            let program = rmw_program();
+            let events = vec![
+                HostEvent::Op(HostOp::Lookup { map: 0, key: key(9) }), // miss
+                HostEvent::Op(HostOp::Delete { map: 0, key: key(9) }), // NoSuchKey
+                HostEvent::Packet(pkt(9)),
+                HostEvent::Op(HostOp::Update {
+                    map: 0,
+                    key: key(9),
+                    value: 7u64.to_le_bytes().to_vec(),
+                    flags: UpdateFlags::NoExist, // KeyExists
+                }),
+                HostEvent::Op(HostOp::Lookup { map: 0, key: key(9) }), // hit
+            ];
+            assert_equivalent_ops(
+                &program,
+                CompilerOptions::default(),
+                &events,
+                |_| {},
+                &[],
+                CtrlOptions::default(),
+            );
+        }
+
+        #[test]
+        fn high_latency_channel_still_barrier_ordered() {
+            let program = rmw_program();
+            let mut events = Vec::new();
+            for i in 0..12u8 {
+                events.push(HostEvent::Packet(pkt(i % 2)));
+                if i % 3 == 0 {
+                    events.push(update(i % 2, u64::from(i) * 11));
+                }
+            }
+            assert_equivalent_ops(
+                &program,
+                CompilerOptions::default(),
+                &events,
+                |_| {},
+                &[],
+                CtrlOptions { latency_cycles: 400, queue_depth: 8 },
+            );
+        }
+
+        #[test]
+        fn mismatched_op_result_is_reported() {
+            // Sanity-check the harness actually compares op results: an
+            // op on a key only the *setup* of one side has must diverge.
+            let program = rmw_program();
+            let design = Compiler::new().compile(&program).unwrap();
+            let events = [HostEvent::Op(HostOp::Lookup { map: 0, key: key(3) })];
+            // Divergence is manufactured by mutating the sim store only —
+            // run compare manually with asymmetric setup.
+            let mut vm = Vm::new(&program);
+            vm.set_time_ns(1000);
+            let mut sim = crate::sim::PipelineSim::with_options(
+                &design,
+                SimOptions { freeze_time_ns: Some(1000), ..Default::default() },
+            );
+            sim.maps_mut()
+                .get_mut(0)
+                .unwrap()
+                .update(&key(3), &5u64.to_le_bytes(), UpdateFlags::Any)
+                .unwrap();
+            sim.attach_ctrl(CtrlOptions::default());
+            let HostEvent::Op(op) = &events[0] else { unreachable!() };
+            sim.submit_host_op(op.clone()).unwrap();
+            sim.settle(10_000);
+            let hw = sim.host_completions()[0].result.clone();
+            let vmr = apply_host_op_to_store(vm.maps_mut(), op);
+            assert_ne!(hw, vmr, "asymmetric state must surface in op results");
+        }
     }
 }

@@ -9,16 +9,16 @@
 //! condition. Every injection is logged with its cycle, site, kind and
 //! (eventual) outcome, so a campaign is bit-reproducible from its seed.
 //!
-//! The *semantics* of a fault depend on the design's [`Protection`] level:
+//! The *semantics* of a fault depend on the design's [`Protection`](ehdl_core::Protection) level:
 //!
-//! * [`Protection::None`] — the flip lands: in-flight corruption silently
+//! * [`Protection::None`](ehdl_core::Protection::None) — the flip lands: in-flight corruption silently
 //!   alters that packet's verdict; map corruption silently alters global
 //!   state (and every later packet that reads it).
-//! * [`Protection::Parity`] — parity guards on stage boundaries detect
+//! * [`Protection::Parity`](ehdl_core::Protection::Parity) — parity guards on stage boundaries detect
 //!   in-flight corruption before it is consumed; the simulator recovers by
 //!   replay, reusing the partial-flush checkpoint schedule. Map BRAM is
 //!   still unprotected.
-//! * [`Protection::EccWatchdog`] — adds SECDED ECC on map ports
+//! * [`Protection::EccWatchdog`](ehdl_core::Protection::EccWatchdog) — adds SECDED ECC on map ports
 //!   (correct-on-read plus a background scrub; a second upset on the same
 //!   word before correction is detected-but-uncorrectable) and a pipeline
 //!   watchdog that notices a hung stage, drops the wedged packet, replays

@@ -25,15 +25,20 @@
 //! [`fault`] injects deterministic, seeded faults into the modeled
 //! hardware so the hardened designs' protection machinery (parity, SECDED
 //! ECC, watchdog recovery) can be measured rather than asserted.
+//! [`ctrl`] models the host control channel — live map access over a
+//! PCIe/AXI-Lite-like path, barrier-ordered against in-flight packets.
 
 #![deny(clippy::unwrap_used)]
 
+pub mod ctrl;
 pub mod diff;
 pub mod fault;
 pub mod multi;
 pub mod shell;
 pub mod sim;
 
+pub use ctrl::{CtrlError, CtrlOptions, CtrlStats, HostCompletion, HostOp, HostOpResult};
+pub use diff::{assert_equivalent_ops, compare_with_ops, Divergence, HostEvent};
 pub use fault::{
     FaultConfig, FaultEngine, FaultEvent, FaultKind, FaultOutcome, FaultSite, FaultStats,
 };

@@ -7,6 +7,7 @@
 //! one shell with a steering function choosing the pipeline per packet —
 //! and exposes the combined resource bill that pruning keeps affordable.
 
+use crate::ctrl::{CtrlError, CtrlOptions, HostCompletion, HostOp};
 use crate::sim::{PipelineSim, SimOptions, SimOutcome};
 use ehdl_core::{resource, PipelineDesign, ResourceEstimate};
 
@@ -174,6 +175,27 @@ impl MultiNic {
         &mut self.sims[i]
     }
 
+    /// Attach a host control channel to every pipeline. The host reaches
+    /// each program's maps independently — one PCIe function per loaded
+    /// program, as on a real multi-program NIC.
+    pub fn attach_ctrl(&mut self, options: CtrlOptions) {
+        for sim in &mut self.sims {
+            sim.attach_ctrl(options);
+        }
+    }
+
+    /// Submit a host op to pipeline `i`'s control channel. Ops submitted
+    /// before [`MultiNic::run`] are barrier-ordered against that run's
+    /// packets and retire during it.
+    pub fn submit_host_op(&mut self, i: usize, op: HostOp) -> Result<u64, CtrlError> {
+        self.sims[i].submit_host_op(op)
+    }
+
+    /// Drain pipeline `i`'s host-op completions.
+    pub fn host_completions(&mut self, i: usize) -> Vec<HostCompletion> {
+        self.sims[i].host_completions()
+    }
+
     /// Attach fault injection to every pipeline. Each pipeline's engine is
     /// seeded from `cfg.seed` and its index, so the pipelines see
     /// decorrelated (but still reproducible) fault streams — independent
@@ -338,6 +360,53 @@ mod tests {
         arp[13] = 0x06;
         let report = nic.run(vec![arp]);
         assert_eq!(report.steered, vec![0, 1]);
+    }
+
+    #[test]
+    fn per_pipeline_control_channels_are_independent() {
+        use crate::ctrl::{CtrlOptions, HostOp, HostOpResult};
+        let designs = designs();
+        let mut nic = MultiNic::new(
+            &designs,
+            Steering::ByIpProto { rules: vec![(IPPROTO_UDP, 0), (IPPROTO_TCP, 1)], default: 1 },
+            SimOptions { freeze_time_ns: Some(1000), ..Default::default() },
+        );
+        nic.attach_ctrl(CtrlOptions { latency_cycles: 1, queue_depth: 4 });
+        // Pre-run ops have barrier 0: they see each program's *initial*
+        // map state even though they retire while packets are in flight.
+        nic.submit_host_op(0, HostOp::Dump { map: 0 }).unwrap();
+        nic.submit_host_op(1, HostOp::Dump { map: 0 }).unwrap();
+        let udp = FiveTuple {
+            saddr: [10, 0, 0, 1],
+            daddr: [1; 4],
+            sport: 9,
+            dport: 53,
+            proto: IPPROTO_UDP,
+        };
+        let packets: Vec<_> =
+            (0..10).map(|_| build_flow_packet(&udp, [1; 6], [2; 6], 64)).collect();
+        let report = nic.run(packets);
+        assert_eq!(report.steered[0], 10);
+        for i in 0..2 {
+            let c = nic.host_completions(i);
+            assert_eq!(c.len(), 1, "pipeline {i}");
+            let Ok(HostOpResult::Entries(entries)) = &c[0].result else {
+                panic!("dump failed on pipeline {i}: {:?}", c[0].result);
+            };
+            // Barrier-0 snapshot: no packet effects visible.
+            for (_, v) in entries {
+                assert!(v.iter().all(|&b| b == 0), "pipeline {i} saw packet effects");
+            }
+        }
+        // Post-run ops see the final state.
+        nic.submit_host_op(0, HostOp::Dump { map: 0 }).unwrap();
+        nic.sim_mut(0).settle(10_000);
+        let c = nic.host_completions(0);
+        let Ok(HostOpResult::Entries(entries)) = &c[0].result else { panic!() };
+        assert!(
+            entries.iter().any(|(_, v)| v.iter().any(|&b| b != 0)),
+            "post-run dump must see the counted packets"
+        );
     }
 
     #[test]

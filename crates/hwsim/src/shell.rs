@@ -2,6 +2,7 @@
 //! schedule derived from a port speed, and reports the throughput/latency
 //! numbers the paper's testbed measures at the traffic generator.
 
+use crate::ctrl::{CtrlError, CtrlOptions, HostCompletion, HostOp};
 use crate::sim::{PipelineSim, SimOptions, SimOutcome, CLOCK_NS};
 use ehdl_core::PipelineDesign;
 use ehdl_ebpf::vm::XdpAction;
@@ -131,6 +132,11 @@ impl NicShell {
             offered += 1;
             self.sim.enqueue(pkt);
         }
+        self.finish(offered, t_ns)
+    }
+
+    /// Settle the pipeline and assemble the measurement report.
+    fn finish(&mut self, offered: u64, t_ns: f64) -> ShellReport {
         self.sim.settle(10_000_000);
 
         let mut outs = self.sim.drain();
@@ -163,6 +169,61 @@ impl NicShell {
             watchdog_resets: c.watchdog_resets,
             pkts_lost_to_faults: c.pkts_lost_to_faults,
         }
+    }
+
+    /// Attach a host control channel to the wrapped simulator so
+    /// [`NicShell::run_with_ops`] can submit live map ops.
+    pub fn attach_ctrl(&mut self, options: CtrlOptions) {
+        self.sim.attach_ctrl(options);
+    }
+
+    /// Like [`NicShell::run`], submitting each host op when the generator
+    /// reaches its scheduled arrival index.
+    ///
+    /// `ops` pairs an arrival index `i` with an op: the op is submitted
+    /// just before packet `i` is offered (so it is barrier-ordered after
+    /// packets `0..i`), while earlier packets are still streaming through
+    /// the pipeline. Ops with an index at or beyond the trace length are
+    /// submitted after the last packet. `ops` must be sorted by index.
+    /// Rejected submissions are returned with their scheduled index.
+    pub fn run_with_ops<I>(
+        &mut self,
+        packets: I,
+        ops: &[(u64, HostOp)],
+    ) -> (ShellReport, Vec<(u64, CtrlError)>)
+    where
+        I: IntoIterator<Item = Vec<u8>>,
+    {
+        let mut rejected = Vec::new();
+        let mut next_op = 0usize;
+        let mut offered = 0u64;
+        let mut t_ns = 0.0f64;
+        for pkt in packets {
+            while next_op < ops.len() && ops[next_op].0 <= offered {
+                if let Err(e) = self.sim.submit_host_op(ops[next_op].1.clone()) {
+                    rejected.push((ops[next_op].0, e));
+                }
+                next_op += 1;
+            }
+            let target_cycle = (t_ns / CLOCK_NS) as u64;
+            while self.sim.cycle() < target_cycle {
+                self.sim.step();
+            }
+            t_ns += self.wire_ns(pkt.len());
+            offered += 1;
+            self.sim.enqueue(pkt);
+        }
+        for (idx, op) in &ops[next_op..] {
+            if let Err(e) = self.sim.submit_host_op(op.clone()) {
+                rejected.push((*idx, e));
+            }
+        }
+        (self.finish(offered, t_ns), rejected)
+    }
+
+    /// Drain host-op completions from the wrapped simulator.
+    pub fn host_completions(&mut self) -> Vec<HostCompletion> {
+        self.sim.host_completions()
     }
 
     /// All completed outcomes from the last run that were not yet drained.
@@ -261,5 +322,122 @@ mod tests {
         let large = shell.run((0..2000).map(|_| vec![0u8; 1500]));
         assert!(large.throughput_pps < small.throughput_pps / 5.0);
         assert_eq!(large.lost, 0);
+    }
+
+    #[test]
+    fn run_with_ops_submits_at_arrival_positions() {
+        use crate::ctrl::{CtrlOptions, HostOp};
+        let design = tx_everything();
+        let mut shell = NicShell::new(&design, ShellOptions::default());
+        shell.attach_ctrl(CtrlOptions { latency_cycles: 1, queue_depth: 8 });
+        // tx_everything has no maps, so every op must be rejected with
+        // NoSuchMap — but scheduling itself must still work end to end.
+        let ops = vec![(0u64, HostOp::Dump { map: 0 }), (50, HostOp::Dump { map: 0 })];
+        let (report, rejected) = shell.run_with_ops((0..100).map(|_| vec![0u8; 64]), &ops);
+        assert_eq!(report.completed, 100);
+        assert_eq!(rejected.len(), 2);
+        assert_eq!(rejected[0].0, 0);
+        assert_eq!(rejected[1].0, 50);
+    }
+
+    // -- ingress async-FIFO edge cases --------------------------------
+
+    fn tiny_fifo(depth: usize) -> PipelineSim {
+        let design = tx_everything();
+        PipelineSim::with_options(
+            &design,
+            SimOptions { rx_queue_depth: depth, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn rx_fifo_full_boundary_drops_exactly_the_overflow() {
+        let mut sim = tiny_fifo(4);
+        // Fill to exactly the boundary: the depth-th write is accepted,
+        // the (depth+1)-th is the first loss.
+        for i in 0..4 {
+            assert!(sim.enqueue(vec![0u8; 64]), "write {i} within depth");
+        }
+        assert_eq!(sim.rx_queued(), 4);
+        assert!(!sim.enqueue(vec![0u8; 64]), "write at full must be refused");
+        assert_eq!(sim.counters().rx_dropped, 1);
+        sim.settle(10_000);
+        assert_eq!(sim.counters().completed, 4);
+        assert_eq!(sim.drain().len(), 4);
+    }
+
+    #[test]
+    fn rx_fifo_empty_boundary_is_idempotent() {
+        let mut sim = tiny_fifo(4);
+        assert_eq!(sim.rx_queued(), 0);
+        // Reading (settling/draining) an empty FIFO must do nothing.
+        sim.settle(1_000);
+        assert!(sim.drain().is_empty());
+        assert_eq!(sim.counters().completed, 0);
+        // One write flips it non-empty; consuming it flips it back.
+        assert!(sim.enqueue(vec![0u8; 64]));
+        assert_eq!(sim.rx_queued(), 1);
+        sim.settle(10_000);
+        assert_eq!(sim.rx_queued(), 0);
+        assert_eq!(sim.drain().len(), 1);
+        assert!(sim.drain().is_empty(), "second read of drained FIFO is empty");
+    }
+
+    #[test]
+    fn rx_fifo_backpressure_resolves_as_pipeline_drains() {
+        let mut sim = tiny_fifo(2);
+        while sim.enqueue(vec![0u8; 64]) {}
+        let dropped_at_full = sim.counters().rx_dropped;
+        assert_eq!(dropped_at_full, 1);
+        // Drain one pipeline step at a time: as soon as the FIFO read
+        // side consumes a packet, the write side must accept again.
+        let mut steps = 0;
+        while sim.rx_queued() == 2 {
+            sim.step();
+            steps += 1;
+            assert!(steps < 100, "FIFO never drained");
+        }
+        assert!(sim.enqueue(vec![0u8; 64]), "freed slot must accept a write");
+        sim.settle(10_000);
+        assert_eq!(sim.counters().completed, 3);
+        assert_eq!(sim.counters().rx_dropped, dropped_at_full, "paced writes lose nothing");
+    }
+
+    #[test]
+    fn rx_fifo_backpressure_while_host_ops_pending() {
+        use crate::ctrl::{CtrlOptions, HostOp};
+        use ehdl_core::Compiler;
+        use ehdl_ebpf::helpers::BPF_MAP_LOOKUP_ELEM;
+        use ehdl_ebpf::maps::{MapDef, MapKind};
+        use ehdl_ebpf::opcode::{AluOp, MemSize};
+
+        // A map-reading program so host ops have a real target.
+        let mut a = Asm::new();
+        a.load(MemSize::W, 7, 1, 0);
+        a.load(MemSize::B, 2, 7, 0);
+        a.store_reg(MemSize::W, 10, -8, 2);
+        a.ld_map_fd(1, 0);
+        a.mov64_reg(2, 10);
+        a.alu64_imm(AluOp::Add, 2, -8);
+        a.call(BPF_MAP_LOOKUP_ELEM);
+        a.mov64_imm(0, 2);
+        a.exit();
+        let program =
+            Program::new("lk", a.into_insns(), vec![MapDef::new(0, "t", MapKind::Hash, 4, 8, 16)]);
+        let design = Compiler::new().compile(&program).unwrap();
+        let mut sim = PipelineSim::with_options(
+            &design,
+            SimOptions { rx_queue_depth: 2, ..Default::default() },
+        );
+        sim.attach_ctrl(CtrlOptions { latency_cycles: 4, queue_depth: 4 });
+        while sim.enqueue(vec![0u8; 64]) {}
+        sim.submit_host_op(HostOp::Dump { map: 0 }).unwrap();
+        // The queued op must not wedge the FIFO drain: settle clears
+        // packets AND the op.
+        sim.settle(100_000);
+        assert_eq!(sim.rx_queued(), 0);
+        assert_eq!(sim.host_ops_pending(), 0);
+        assert_eq!(sim.host_completions().len(), 1);
+        assert_eq!(sim.counters().completed, 2);
     }
 }

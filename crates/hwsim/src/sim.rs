@@ -1,6 +1,6 @@
 //! The pipeline simulator.
 
-use ehdl_core::ir::HwInsn;
+use ehdl_core::ir::{HwInsn, MapUse};
 use ehdl_core::pipeline::{EdgeCond, PipelineDesign};
 use ehdl_core::ExecPlan;
 use ehdl_ebpf::helpers::*;
@@ -15,6 +15,9 @@ use ehdl_ebpf::vm::{
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use crate::ctrl::{
+    CtrlError, CtrlOptions, CtrlState, CtrlStats, HostCompletion, HostOp, HostOpResult, QueuedOp,
+};
 use crate::fault::{
     FaultConfig, FaultEngine, FaultEvent, FaultKind, FaultOutcome, FaultSite, Hang, MapUpset,
     StuckFault,
@@ -126,6 +129,11 @@ pub struct SimCounters {
     /// Compile-time packet-bounds proofs contradicted by a concrete
     /// access (soundness validation; must stay 0).
     pub proof_violations: u64,
+    /// Host control-channel ops applied to the live maps.
+    pub host_ops: u64,
+    /// Host writes that landed inside an open RAW window and triggered
+    /// the hazard flush machinery.
+    pub host_op_flushes: u64,
 }
 
 /// A completed packet.
@@ -377,6 +385,19 @@ pub struct PipelineSim {
     /// FEB. Fault recovery uses it to retire read records whose hazard
     /// window a replayed packet has already fully traversed.
     feb_write_max: Vec<Option<usize>>,
+    /// Attached host control channel (`None` keeps the hot loop free of
+    /// arbitration checks).
+    ctrl: Option<Box<CtrlState>>,
+    /// Extra forced-checkpoint stages while a control channel is
+    /// attached: every map-lookup stage, so a host-write flush can
+    /// re-enter the pipeline at any recorded read — not only at
+    /// FEB-protected ones.
+    ctrl_ckpt: Vec<bool>,
+    /// Per map: pipeline lookups issued / hits (telemetry CSRs).
+    map_lookups: Vec<u64>,
+    map_hits: Vec<u64>,
+    /// Per stage: cycles the slot held a packet (occupancy telemetry).
+    stage_occupied: Vec<u64>,
 }
 
 impl PipelineSim {
@@ -434,6 +455,11 @@ impl PipelineSim {
             },
             debug_trace: std::env::var_os("EHDL_SIM_DEBUG").is_some(),
             fault: None,
+            ctrl: None,
+            ctrl_ckpt: Vec::new(),
+            map_lookups: vec![0; design.maps.len()],
+            map_hits: vec![0; design.maps.len()],
+            stage_occupied: vec![0; nstages],
             feb_write_max: {
                 let mut v: Vec<Option<usize>> = vec![None; design.maps.len()];
                 for f in &design.hazards.febs {
@@ -464,6 +490,26 @@ impl PipelineSim {
             .collect()
     }
 
+    /// The compiled design this simulator executes.
+    pub fn design(&self) -> &PipelineDesign {
+        &self.design
+    }
+
+    /// Per-map pipeline lookup counts (telemetry CSRs).
+    pub fn map_lookups(&self) -> &[u64] {
+        &self.map_lookups
+    }
+
+    /// Per-map pipeline lookup hits (telemetry CSRs).
+    pub fn map_hits(&self) -> &[u64] {
+        &self.map_hits
+    }
+
+    /// Per-stage occupied-cycle counts (occupancy telemetry).
+    pub fn stage_occupancy(&self) -> &[u64] {
+        &self.stage_occupied
+    }
+
     /// The live maps (host view).
     pub fn maps(&self) -> &MapStore {
         &self.maps
@@ -489,6 +535,11 @@ impl PipelineSim {
         self.slots.iter().filter(|s| s.is_some()).count()
     }
 
+    /// Packets waiting in the RX queue (the ingress async FIFO).
+    pub fn rx_queued(&self) -> usize {
+        self.rx.len()
+    }
+
     /// Queue a packet for injection. Returns `false` (and counts a drop)
     /// if the RX queue is full or the frame exceeds the datapath's
     /// maximum packet length; see [`PipelineSim::try_enqueue`] for the
@@ -512,14 +563,14 @@ impl PipelineSim {
     /// [`SimError::QueueFull`] when the RX queue is at capacity.
     pub fn try_enqueue(&mut self, packet: Vec<u8>) -> Result<(), SimError> {
         if packet.len() > self.design.framing.max_packet_len {
-            self.counters.rx_dropped += 1;
+            self.counters.rx_dropped = self.counters.rx_dropped.saturating_add(1);
             return Err(SimError::FrameTooLarge {
                 len: packet.len(),
                 max: self.design.framing.max_packet_len,
             });
         }
         if self.rx.len() >= self.options.rx_queue_depth {
-            self.counters.rx_dropped += 1;
+            self.counters.rx_dropped = self.counters.rx_dropped.saturating_add(1);
             return Err(SimError::QueueFull { depth: self.options.rx_queue_depth });
         }
         let mut buf = vec![0u8; XDP_HEADROOM + packet.len()];
@@ -571,6 +622,12 @@ impl PipelineSim {
         // 1. Commit due buffered map writes (oldest first).
         self.commit_due_writes();
 
+        // 1b. Host control channel: apply the head-of-queue op once its
+        // arrival latency has elapsed and its ordering fence holds.
+        if self.ctrl.is_some() {
+            self.ctrl_cycle();
+        }
+
         // 2. Advance the pipeline from the back. One refcount bump per
         // cycle lets every stage borrow the plan while `self` stays
         // mutable.
@@ -578,18 +635,25 @@ impl PipelineSim {
         let nstages = self.design.stages.len();
         for s in (0..nstages).rev() {
             if let Some(mut pkt) = self.slots[s].take() {
+                self.stage_occupied[s] = self.stage_occupied[s].saturating_add(1);
                 // A packet may not advance into an occupied slot, nor past
                 // the re-entry stage of a pending partial-flush replay
                 // stream (the queued packets are older and go first). A
                 // blocked packet holds its slot and defers execution. A
                 // stage whose control logic a fault has hung blocks
-                // unconditionally until something clears the hang.
+                // unconditionally until something clears the hang. The
+                // host-port arbiter adds two holds while an op is queued:
+                // younger packets stall before irreversibly writing the
+                // op's map, and before retiring a read the op is about to
+                // invalidate.
                 let hung_here =
                     self.fault.as_ref().is_some_and(|f| f.hang.map(|h| h.stage) == Some(s));
                 let blocked = hung_here
                     || (s + 1 < nstages
                         && (self.slots[s + 1].is_some()
-                            || (s + 1 == self.replay_entry && !self.replay.is_empty())));
+                            || (s + 1 == self.replay_entry && !self.replay.is_empty())))
+                    || self.ctrl_effect_stall(s, pkt.seq)
+                    || (s + 1 == nstages && self.ctrl_retire_stall(s, &pkt));
                 if blocked {
                     self.slots[s] = Some(pkt);
                 } else {
@@ -649,7 +713,7 @@ impl PipelineSim {
             if let Some(mut pkt) = self.rx.pop_front() {
                 pkt.injected_cycle = self.cycle;
                 self.inject_busy = self.frames_of(pkt.orig.len()).saturating_sub(1);
-                self.counters.injected += 1;
+                self.counters.injected = self.counters.injected.saturating_add(1);
                 self.place_in_slot(0, pkt);
             }
         }
@@ -663,7 +727,8 @@ impl PipelineSim {
         while (self.in_flight() > 0
             || !self.rx.is_empty()
             || !self.replay.is_empty()
-            || !self.pending_writes.is_empty())
+            || !self.pending_writes.is_empty()
+            || self.host_ops_pending() > 0)
             && budget > 0
         {
             self.step();
@@ -691,10 +756,10 @@ impl PipelineSim {
             (false, None) => XdpAction::Aborted,
         };
         if state.faulted {
-            self.counters.bounds_faults += 1;
+            self.counters.bounds_faults = self.counters.bounds_faults.saturating_add(1);
         }
         let latency_cycles = self.cycle - injected_cycle;
-        self.counters.completed += 1;
+        self.counters.completed = self.counters.completed.saturating_add(1);
         // Hand the in-flight buffer itself to the outcome instead of
         // copying the payload out of it.
         let mut packet = std::mem::take(&mut state.buf);
@@ -722,7 +787,7 @@ impl PipelineSim {
     fn place_in_slot(&mut self, t: usize, mut pkt: Box<InFlight>) {
         if self.options.partial_flush
             && pkt.resume.is_none()
-            && self.plan.checkpoint_at(t)
+            && (self.plan.checkpoint_at(t) || self.ctrl_ckpt.get(t).copied().unwrap_or(false))
             && pkt.checkpoints.last().map(|(cs, _)| *cs) != Some(t)
         {
             let snap = self.pool.snapshot(&pkt.state);
@@ -763,8 +828,9 @@ impl PipelineSim {
             return;
         }
         replay.sort_by_key(|p| p.seq);
-        self.counters.flushes += 1;
-        self.counters.flush_replays += replay.len() as u64;
+        self.counters.flushes = self.counters.flushes.saturating_add(1);
+        self.counters.flush_replays =
+            self.counters.flush_replays.saturating_add(replay.len() as u64);
         if self.debug_trace {
             eprintln!(
                 "[sim {}] flush boundary={boundary} read_stage={read_stage} trigger={trigger:?}",
@@ -827,8 +893,9 @@ impl PipelineSim {
         if evicted.is_empty() && queue_rolled == 0 {
             return;
         }
-        self.counters.flushes += 1;
-        self.counters.flush_replays += evicted.len() as u64;
+        self.counters.flushes = self.counters.flushes.saturating_add(1);
+        self.counters.flush_replays =
+            self.counters.flush_replays.saturating_add(evicted.len() as u64);
         if self.debug_trace {
             eprintln!(
                 "[sim {}] partial flush window=[{entry},{boundary}) map={map} evicted={}",
@@ -1017,10 +1084,10 @@ impl PipelineSim {
             return StageResult::Ok;
         }
         if pkt.state.faulted || !self.block_enabled(&mut pkt.state, block) {
-            self.stage_disabled[s] += 1;
+            self.stage_disabled[s] = self.stage_disabled[s].saturating_add(1);
             return StageResult::Ok;
         }
-        self.stage_enabled[s] += 1;
+        self.stage_enabled[s] = self.stage_enabled[s].saturating_add(1);
         // Implicit length guards from elided bounds checks (§4.4): the
         // frame interface drops packets shorter than the guarded length.
         let pkt_len = (pkt.state.end_off - pkt.state.data_off) as i64;
@@ -1354,13 +1421,13 @@ impl PipelineSim {
         }
         let Some(p) = op.proof else { return };
         if !(PACKET_BASE..STACK_BASE).contains(&addr) {
-            self.counters.proof_violations += 1;
+            self.counters.proof_violations = self.counters.proof_violations.saturating_add(1);
             return;
         }
         let off = (addr - PACKET_BASE) as i64 - state.data_off as i64;
         let len = (state.end_off - state.data_off) as i64;
         if off < p.lo || off > p.hi || len < p.min_len {
-            self.counters.proof_violations += 1;
+            self.counters.proof_violations = self.counters.proof_violations.saturating_add(1);
         }
     }
 
@@ -1453,6 +1520,14 @@ impl PipelineSim {
         delta.record_read(map_id, stage_idx as u32, key.to_vec());
         let map = self.maps.get_mut(map_id).expect("map exists");
         let slot = map.lookup(key).ok().flatten();
+        if let Some(c) = self.map_lookups.get_mut(map_id as usize) {
+            *c = c.saturating_add(1);
+        }
+        if slot.is_some() {
+            if let Some(c) = self.map_hits.get_mut(map_id as usize) {
+                *c = c.saturating_add(1);
+            }
+        }
         Ok(match slot {
             Some(slot) => {
                 if self.fault.is_some() {
@@ -1654,6 +1729,311 @@ impl PipelineSim {
     }
 }
 
+/// Host control-channel integration (see [`crate::ctrl`] for the model
+/// and the ordering contract).
+///
+/// Like the fault engine, the channel's data lives in the private `CtrlState`; the
+/// code that arbitrates it against the pipeline lives here because the
+/// simulator owns the pipeline state.
+impl PipelineSim {
+    /// Attach a host control channel. Ops submitted via
+    /// [`PipelineSim::submit_host_op`] start flowing on the next step.
+    ///
+    /// Attaching also widens the forced-checkpoint schedule to every
+    /// map-lookup stage: a host write can invalidate *any* recorded read,
+    /// not only FEB-protected ones, and the flush controller re-enters
+    /// the pipeline at the stale read's stage.
+    pub fn attach_ctrl(&mut self, options: CtrlOptions) {
+        self.ctrl = Some(Box::new(CtrlState::new(options)));
+        let mut ckpt = vec![false; self.design.stages.len()];
+        for (s, stage) in self.design.stages.iter().enumerate() {
+            for op in &stage.ops {
+                if matches!(op.map_use, Some(MapUse::Lookup(_))) {
+                    ckpt[s] = true;
+                }
+            }
+        }
+        self.ctrl_ckpt = ckpt;
+    }
+
+    /// Is a control channel attached?
+    pub fn ctrl_attached(&self) -> bool {
+        self.ctrl.is_some()
+    }
+
+    /// Submit a host map op. It applies after the channel latency, once
+    /// its ordering fence holds; the result arrives via
+    /// [`PipelineSim::host_completions`].
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlError::NotAttached`] without a channel,
+    /// [`CtrlError::NoSuchMap`] for an unknown map id, and
+    /// [`CtrlError::QueueFull`] when the command queue is at capacity.
+    pub fn submit_host_op(&mut self, op: HostOp) -> Result<u64, CtrlError> {
+        let cycle = self.cycle;
+        let barrier = self.next_seq;
+        let nmaps = self.maps.len() as u32;
+        let Some(ctrl) = self.ctrl.as_deref_mut() else {
+            return Err(CtrlError::NotAttached);
+        };
+        if op.map() >= nmaps {
+            ctrl.stats.rejected = ctrl.stats.rejected.saturating_add(1);
+            return Err(CtrlError::NoSuchMap { map: op.map() });
+        }
+        if ctrl.queue.len() >= ctrl.options.queue_depth {
+            ctrl.stats.rejected = ctrl.stats.rejected.saturating_add(1);
+            return Err(CtrlError::QueueFull { depth: ctrl.options.queue_depth });
+        }
+        let id = ctrl.next_id;
+        ctrl.next_id += 1;
+        ctrl.stats.submitted = ctrl.stats.submitted.saturating_add(1);
+        ctrl.queue.push_back(QueuedOp {
+            id,
+            op,
+            barrier_seq: barrier,
+            issued_cycle: cycle,
+            ready_cycle: cycle + ctrl.options.latency_cycles,
+        });
+        Ok(id)
+    }
+
+    /// Take all retired host-op completions (in application order).
+    pub fn host_completions(&mut self) -> Vec<HostCompletion> {
+        self.ctrl.as_deref_mut().map_or_else(Vec::new, |c| std::mem::take(&mut c.completions))
+    }
+
+    /// Control-channel counters, when a channel is attached.
+    pub fn ctrl_stats(&self) -> Option<CtrlStats> {
+        self.ctrl.as_deref().map(|c| c.stats)
+    }
+
+    /// Host ops submitted but not yet applied.
+    pub fn host_ops_pending(&self) -> usize {
+        self.ctrl.as_deref().map_or(0, |c| c.queue.len())
+    }
+
+    /// Apply the head-of-queue op if its latency has elapsed and its
+    /// ordering fence holds (one op per cycle, like a single-issue
+    /// AXI-Lite slave).
+    fn ctrl_cycle(&mut self) {
+        let ready = {
+            let Some(ctrl) = self.ctrl.as_deref() else { return };
+            let Some(front) = ctrl.queue.front() else { return };
+            self.cycle >= front.ready_cycle && self.host_fence_ok(front)
+        };
+        if !ready {
+            return;
+        }
+        let q = self
+            .ctrl
+            .as_deref_mut()
+            .and_then(|c| c.queue.pop_front())
+            .expect("readiness checked above");
+        let latency = self.cycle.saturating_sub(q.issued_cycle);
+        let completion = self.apply_host_op(q);
+        let ctrl = self.ctrl.as_deref_mut().expect("channel attached: op was queued");
+        let s = &mut ctrl.stats;
+        if completion.result.is_ok() {
+            s.completed = s.completed.saturating_add(1);
+        } else {
+            s.failed = s.failed.saturating_add(1);
+        }
+        if completion.flushed_readers > 0 {
+            s.flushes = s.flushes.saturating_add(1);
+            s.flushed_readers = s.flushed_readers.saturating_add(completion.flushed_readers);
+        }
+        s.latency_cycles_total = s.latency_cycles_total.saturating_add(latency);
+        s.latency_cycles_max = s.latency_cycles_max.max(latency);
+        ctrl.completions.push(completion);
+    }
+
+    /// The barrier fence of a queued op: every packet logically preceding
+    /// it (`seq < barrier`) must be past the last stage touching its map,
+    /// have no write still sitting in a WAR delay buffer, and — for a
+    /// mutating op — hold no unconfirmed read of the op's key anywhere
+    /// (rolling such a reader back would replay a read that legitimately
+    /// preceded the op).
+    fn host_fence_ok(&self, q: &QueuedOp) -> bool {
+        let b = q.barrier_seq;
+        let m = q.op.map();
+        if self.pending_writes.iter().any(|w| w.map == m && w.seq < b) {
+            return false;
+        }
+        let fence = self.plan.host_fence_stage(m as usize).min(self.slots.len());
+        if self.slots[..fence].iter().flatten().any(|p| p.seq < b) {
+            return false;
+        }
+        // Both queues are seq-ordered, so the front carries the minimum.
+        if self.rx.front().is_some_and(|p| p.seq < b) {
+            return false;
+        }
+        if self.replay.front().is_some_and(|p| p.seq < b) {
+            return false;
+        }
+        if q.op.mutates() {
+            if let Some(key) = q.op.key() {
+                let stale_old = self
+                    .slots
+                    .iter()
+                    .flatten()
+                    .any(|p| p.seq < b && matching_read_limit(&p.state, m, key) != usize::MAX);
+                if stale_old {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Apply one fenced host op to the live maps, triggering the hazard
+    /// flush machinery when a write lands inside an open RAW window.
+    fn apply_host_op(&mut self, q: QueuedOp) -> HostCompletion {
+        self.counters.host_ops = self.counters.host_ops.saturating_add(1);
+        let map_id = q.op.map();
+        let (result, flushed_readers) = match &q.op {
+            HostOp::Lookup { map, key } => {
+                let m = self.maps.get_mut(*map).expect("map id validated at submit");
+                let r = match m.lookup(key) {
+                    Ok(Some(slot)) => Ok(HostOpResult::Value(Some(m.value(slot).to_vec()))),
+                    Ok(None) => Ok(HostOpResult::Value(None)),
+                    Err(e) => Err(e),
+                };
+                (r, 0)
+            }
+            HostOp::Update { map, key, value, flags } => {
+                let r = self
+                    .maps
+                    .get_mut(*map)
+                    .expect("map id validated at submit")
+                    .update(key, value, *flags)
+                    .map(|_| HostOpResult::Updated);
+                let f = if r.is_ok() { self.host_flush_readers(*map, key) } else { 0 };
+                (r, f)
+            }
+            HostOp::Delete { map, key } => {
+                let r = self
+                    .maps
+                    .get_mut(*map)
+                    .expect("map id validated at submit")
+                    .delete(key)
+                    .map(|()| HostOpResult::Deleted);
+                let f = if r.is_ok() { self.host_flush_readers(*map, key) } else { 0 };
+                (r, f)
+            }
+            HostOp::Dump { map } => {
+                let m = self.maps.get(*map).expect("map id validated at submit");
+                let entries = m.iter().map(|(_, k, v)| (k.to_vec(), v.to_vec())).collect();
+                (Ok(HostOpResult::Entries(entries)), 0)
+            }
+        };
+        if self.debug_trace {
+            eprintln!(
+                "[sim {}] host op id{} map{map_id} barrier={} flushed={flushed_readers}",
+                self.cycle, q.id, q.barrier_seq
+            );
+        }
+        HostCompletion {
+            id: q.id,
+            map: map_id,
+            result,
+            issued_cycle: q.issued_cycle,
+            applied_cycle: self.cycle,
+            flushed_readers,
+        }
+    }
+
+    /// Roll back every younger in-flight packet still holding an
+    /// unconfirmed read of (`map`, `key`) — the host write's RAW hazard,
+    /// resolved by the exact same flush/replay path a pipeline FEB uses.
+    /// Returns how many packets matched.
+    fn host_flush_readers(&mut self, map: u32, key: &[u8]) -> u64 {
+        let mut entry = usize::MAX;
+        let mut deepest = None;
+        let mut matched = 0u64;
+        for (s, slot) in self.slots.iter().enumerate() {
+            if let Some(p) = slot {
+                let lim = matching_read_limit(&p.state, map, key);
+                if lim != usize::MAX {
+                    entry = entry.min(lim);
+                    deepest = Some(s);
+                    matched += 1;
+                }
+            }
+        }
+        for p in &self.replay {
+            let lim = matching_read_limit(&p.state, map, key);
+            if lim != usize::MAX {
+                entry = entry.min(lim);
+                matched += 1;
+            }
+        }
+        if matched == 0 {
+            return 0;
+        }
+        // The window runs from the earliest stale read to just past the
+        // deepest stale reader (replay-queue-only matches roll back in
+        // place, so the window may be empty).
+        let boundary = deepest.map_or(entry, |d| d + 1).max(entry);
+        self.counters.host_op_flushes = self.counters.host_op_flushes.saturating_add(1);
+        if self.debug_trace {
+            eprintln!(
+                "[sim {}] host write hazard map{map} window=[{entry},{boundary}) n={matched}",
+                self.cycle
+            );
+        }
+        self.flush_below(boundary, entry, Some((map, key.to_vec())));
+        matched
+    }
+
+    /// Host-port write arbitration: a packet logically ordered after a
+    /// queued op (`seq >= barrier`) may not irreversibly write the op's
+    /// map before the op applies — the sequential reference would run the
+    /// op first.
+    #[inline]
+    fn ctrl_effect_stall(&self, s: usize, seq: u64) -> bool {
+        let Some(ctrl) = self.ctrl.as_deref() else { return false };
+        if ctrl.queue.is_empty() {
+            return false;
+        }
+        let mask = self.plan.stage_effect_maps(s);
+        if mask == 0 {
+            return false;
+        }
+        ctrl.queue.iter().any(|q| seq >= q.barrier_seq && mask_has(mask, q.op.map()))
+    }
+
+    /// Retirement hold: a packet ordered after a queued mutating op may
+    /// not complete while it holds (or its final stage could still
+    /// create) a read the op is about to invalidate — once retired it is
+    /// beyond the reach of the flush that would repair it.
+    fn ctrl_retire_stall(&self, s: usize, pkt: &InFlight) -> bool {
+        let Some(ctrl) = self.ctrl.as_deref() else { return false };
+        if ctrl.queue.is_empty() {
+            return false;
+        }
+        ctrl.queue.iter().any(|q| {
+            if pkt.seq < q.barrier_seq || !q.op.mutates() {
+                return false;
+            }
+            let m = q.op.map();
+            let stale =
+                q.op.key().is_some_and(|k| matching_read_limit(&pkt.state, m, k) != usize::MAX);
+            stale || mask_has(self.plan.stage_read_maps(s), m)
+        })
+    }
+}
+
+/// Does `mask` (a `<64`-map-id bitmask) cover `map`? Ids beyond the mask
+/// width fall back to `true` — a conservative stall, never a missed one.
+fn mask_has(mask: u64, map: u32) -> bool {
+    if map < 64 {
+        mask >> map & 1 == 1
+    } else {
+        mask != 0
+    }
+}
+
 /// Fault-injection integration (see [`crate::fault`] for the model).
 ///
 /// The engine's data lives in [`FaultEngine`]; the code that actually
@@ -1685,7 +2065,7 @@ impl PipelineSim {
         let Some(eng) = self.fault.as_mut() else { return };
         while !eng.upsets.is_empty() {
             let u = eng.upsets.remove(0);
-            eng.stats.corrected_scrub += 1;
+            eng.stats.corrected_scrub = eng.stats.corrected_scrub.saturating_add(1);
             eng.resolve(u.event, FaultOutcome::CorrectedByScrub);
         }
     }
@@ -1698,7 +2078,7 @@ impl PipelineSim {
         // persists: availability collapses until the run's cycle budget
         // expires — exactly the failure mode the primitive exists for.
         if let Some(h) = eng.hang {
-            eng.hung_cycles += 1;
+            eng.hung_cycles = eng.hung_cycles.saturating_add(1);
             if self.plan.protect().watchdog()
                 && self.cycle.saturating_sub(h.since) >= eng.cfg.watchdog_timeout
             {
@@ -1712,7 +2092,7 @@ impl PipelineSim {
             && !eng.upsets.is_empty()
         {
             let u = eng.upsets.remove(0);
-            eng.stats.corrected_scrub += 1;
+            eng.stats.corrected_scrub = eng.stats.corrected_scrub.saturating_add(1);
             eng.resolve(u.event, FaultOutcome::CorrectedByScrub);
         }
         // Re-force active stuck-at sites, dropping expired ones. The first
@@ -1738,7 +2118,7 @@ impl PipelineSim {
 
     /// Inject one fault: pick a kind, pick a site, apply it, log it.
     fn inject_fault(&mut self, eng: &mut FaultEngine) {
-        eng.stats.injected += 1;
+        eng.stats.injected = eng.stats.injected.saturating_add(1);
         let cfg = eng.cfg;
         let cycle = self.cycle;
         let r = eng.rng.gen_f64();
@@ -1747,7 +2127,7 @@ impl PipelineSim {
             // wedged control logic changes nothing).
             let site = FaultSite::Pipeline { stage: eng.rng.gen_index(self.slots.len().max(1)) };
             if eng.hang.is_some() {
-                eng.stats.masked += 1;
+                eng.stats.masked = eng.stats.masked.saturating_add(1);
                 eng.record(FaultEvent {
                     cycle,
                     site,
@@ -1764,7 +2144,7 @@ impl PipelineSim {
                 outcome: FaultOutcome::HungUnrecovered,
             });
             eng.hang = Some(Hang { stage, since: cycle, event });
-            eng.stats.hangs += 1;
+            eng.stats.hangs = eng.stats.hangs.saturating_add(1);
             return;
         }
         if r < cfg.hang_fraction + cfg.stuck_fraction {
@@ -2010,7 +2390,7 @@ impl PipelineSim {
         while i < eng.upsets.len() {
             if eng.upsets[i].map == map && eng.upsets[i].slot == slot {
                 let u = eng.upsets.swap_remove(i);
-                eng.stats.corrected_read += 1;
+                eng.stats.corrected_read = eng.stats.corrected_read.saturating_add(1);
                 eng.resolve(u.event, FaultOutcome::CorrectedOnRead);
             } else {
                 i += 1;
@@ -2036,7 +2416,8 @@ impl PipelineSim {
             return;
         }
         replay.sort_by_key(|p| p.seq);
-        self.counters.fault_replays += replay.len() as u64;
+        self.counters.fault_replays =
+            self.counters.fault_replays.saturating_add(replay.len() as u64);
         if self.debug_trace {
             eprintln!("[sim {}] fault replay boundary={boundary} n={}", self.cycle, replay.len());
         }
@@ -2079,14 +2460,14 @@ impl PipelineSim {
     fn watchdog_recover(&mut self, eng: &mut FaultEngine, h: Hang) {
         eng.hang = None;
         eng.resolve(h.event, FaultOutcome::HungRecovered);
-        eng.stats.watchdog_recoveries += 1;
-        self.counters.watchdog_resets += 1;
+        eng.stats.watchdog_recoveries = eng.stats.watchdog_recoveries.saturating_add(1);
+        self.counters.watchdog_resets = self.counters.watchdog_resets.saturating_add(1);
         if self.debug_trace {
             eprintln!("[sim {}] watchdog reset stage={}", self.cycle, h.stage);
         }
         if let Some(pkt) = self.slots.get_mut(h.stage).and_then(|s| s.take()) {
             eng.mark_affected(pkt.seq);
-            self.counters.pkts_lost_to_faults += 1;
+            self.counters.pkts_lost_to_faults = self.counters.pkts_lost_to_faults.saturating_add(1);
             self.complete_as_fault_drop(pkt);
         }
         self.fault_replay_below(self.slots.len());
@@ -2104,14 +2485,22 @@ impl PipelineSim {
 /// Tally one resolved fault event.
 fn bump_fault_stats(stats: &mut crate::fault::FaultStats, outcome: FaultOutcome) {
     match outcome {
-        FaultOutcome::Masked => stats.masked += 1,
-        FaultOutcome::SilentCorruption => stats.silent += 1,
-        FaultOutcome::DetectedReplay => stats.detected_replays += 1,
-        FaultOutcome::CorrectedOnRead => stats.corrected_read += 1,
-        FaultOutcome::CorrectedByScrub => stats.corrected_scrub += 1,
-        FaultOutcome::CorrectedEcc => stats.corrected_ecc += 1,
-        FaultOutcome::Uncorrectable => stats.uncorrectable += 1,
-        FaultOutcome::HungRecovered => stats.watchdog_recoveries += 1,
+        FaultOutcome::Masked => stats.masked = stats.masked.saturating_add(1),
+        FaultOutcome::SilentCorruption => stats.silent = stats.silent.saturating_add(1),
+        FaultOutcome::DetectedReplay => {
+            stats.detected_replays = stats.detected_replays.saturating_add(1)
+        }
+        FaultOutcome::CorrectedOnRead => {
+            stats.corrected_read = stats.corrected_read.saturating_add(1)
+        }
+        FaultOutcome::CorrectedByScrub => {
+            stats.corrected_scrub = stats.corrected_scrub.saturating_add(1)
+        }
+        FaultOutcome::CorrectedEcc => stats.corrected_ecc = stats.corrected_ecc.saturating_add(1),
+        FaultOutcome::Uncorrectable => stats.uncorrectable = stats.uncorrectable.saturating_add(1),
+        FaultOutcome::HungRecovered => {
+            stats.watchdog_recoveries = stats.watchdog_recoveries.saturating_add(1)
+        }
         FaultOutcome::HungUnrecovered | FaultOutcome::Outstanding => {}
     }
 }
@@ -2711,7 +3100,7 @@ mod fault_tests {
 
 #[cfg(test)]
 #[allow(clippy::unwrap_used)]
-mod hazard_timing_tests {
+pub(crate) mod hazard_timing_tests {
     use super::*;
     use ehdl_core::Compiler;
     use ehdl_ebpf::asm::Asm;
@@ -2721,7 +3110,7 @@ mod hazard_timing_tests {
     use ehdl_ebpf::Program;
 
     /// A lookup→update program: reads key K, then (always) updates K.
-    fn rmw_program() -> Program {
+    pub(crate) fn rmw_program() -> Program {
         let mut a = Asm::new();
         let skip = a.new_label();
         a.load(MemSize::W, 7, 1, 0);
@@ -2750,7 +3139,7 @@ mod hazard_timing_tests {
         Program::new("rmw", a.into_insns(), vec![MapDef::new(0, "cells", MapKind::Hash, 4, 8, 64)])
     }
 
-    fn pkt(flow: u8) -> Vec<u8> {
+    pub(crate) fn pkt(flow: u8) -> Vec<u8> {
         let mut p = vec![0u8; 64];
         p[0] = flow;
         p
@@ -2809,5 +3198,192 @@ mod hazard_timing_tests {
         sim.settle(1_000_000);
         assert_eq!(sim.counters().flushes, 0, "FEB matches keys, not the map");
         assert_eq!(sim.counters().completed, 32);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod ctrl_tests {
+    use super::hazard_timing_tests::{pkt, rmw_program};
+    use super::*;
+    use crate::ctrl::{CtrlError, CtrlOptions, HostOp, HostOpResult};
+    use ehdl_core::Compiler;
+    use ehdl_ebpf::maps::UpdateFlags;
+
+    fn key(flow: u8) -> Vec<u8> {
+        vec![flow, 0, 0, 0]
+    }
+
+    fn count_of(sim: &PipelineSim, flow: u8) -> u64 {
+        let m = sim.maps().get(0).unwrap();
+        let slot = m.clone().lookup(&key(flow)).unwrap().unwrap();
+        u64::from_le_bytes(m.value(slot).try_into().unwrap())
+    }
+
+    #[test]
+    fn submit_requires_attached_channel_and_known_map() {
+        let program = rmw_program();
+        let design = Compiler::new().compile(&program).unwrap();
+        let mut sim = PipelineSim::new(&design);
+        let op = HostOp::Lookup { map: 0, key: key(1) };
+        assert_eq!(sim.submit_host_op(op.clone()), Err(CtrlError::NotAttached));
+        sim.attach_ctrl(CtrlOptions::default());
+        assert_eq!(
+            sim.submit_host_op(HostOp::Dump { map: 9 }),
+            Err(CtrlError::NoSuchMap { map: 9 })
+        );
+        assert!(sim.submit_host_op(op).is_ok());
+        sim.settle(10_000);
+        let c = sim.host_completions();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].result, Ok(HostOpResult::Value(None)));
+    }
+
+    #[test]
+    fn queue_depth_bounds_outstanding_ops() {
+        let program = rmw_program();
+        let design = Compiler::new().compile(&program).unwrap();
+        let mut sim = PipelineSim::new(&design);
+        sim.attach_ctrl(CtrlOptions { latency_cycles: 1000, queue_depth: 2 });
+        assert!(sim.submit_host_op(HostOp::Dump { map: 0 }).is_ok());
+        assert!(sim.submit_host_op(HostOp::Dump { map: 0 }).is_ok());
+        assert_eq!(
+            sim.submit_host_op(HostOp::Dump { map: 0 }),
+            Err(CtrlError::QueueFull { depth: 2 })
+        );
+        let stats = sim.ctrl_stats().unwrap();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.rejected, 1);
+    }
+
+    #[test]
+    fn host_write_respects_barrier_order() {
+        // 5 increments of flow 1, then a host write setting it to 100,
+        // then 5 more increments. Sequentially: 5 → 100 → 105. The op is
+        // submitted while the first packets are still in flight; the
+        // fence + reservation machinery must serialize exactly at the
+        // barrier.
+        let program = rmw_program();
+        let design = Compiler::new().compile(&program).unwrap();
+        let mut sim = PipelineSim::new(&design);
+        sim.attach_ctrl(CtrlOptions { latency_cycles: 1, queue_depth: 4 });
+        for _ in 0..5 {
+            sim.enqueue(pkt(1));
+        }
+        let id = sim
+            .submit_host_op(HostOp::Update {
+                map: 0,
+                key: key(1),
+                value: 100u64.to_le_bytes().to_vec(),
+                flags: UpdateFlags::Any,
+            })
+            .unwrap();
+        for _ in 0..5 {
+            sim.enqueue(pkt(1));
+        }
+        sim.settle(1_000_000);
+        assert_eq!(count_of(&sim, 1), 105);
+        let c = sim.host_completions();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].id, id);
+        assert_eq!(c[0].result, Ok(HostOpResult::Updated));
+        assert_eq!(sim.counters().completed, 10);
+        assert_eq!(sim.counters().host_ops, 1);
+    }
+
+    #[test]
+    fn host_write_inside_raw_window_flushes_young_readers() {
+        // With a 1-cycle channel the update lands while younger same-key
+        // packets already hold unconfirmed reads of the old value: the
+        // write must trigger the FEB flush/replay path, and the replayed
+        // packets must observe the host's value.
+        let program = rmw_program();
+        let design = Compiler::new().compile(&program).unwrap();
+        let mut sim = PipelineSim::new(&design);
+        sim.attach_ctrl(CtrlOptions { latency_cycles: 1, queue_depth: 4 });
+        for _ in 0..3 {
+            sim.enqueue(pkt(1));
+        }
+        // Let the front packets reach deep stages before submitting.
+        for _ in 0..4 {
+            sim.step();
+        }
+        sim.submit_host_op(HostOp::Update {
+            map: 0,
+            key: key(1),
+            value: 1000u64.to_le_bytes().to_vec(),
+            flags: UpdateFlags::Any,
+        })
+        .unwrap();
+        for _ in 0..6 {
+            sim.enqueue(pkt(1));
+        }
+        sim.settle(1_000_000);
+        let barrier = 3; // three packets had arrived at submission
+        let expected = 1000 + (9 - barrier);
+        assert_eq!(count_of(&sim, 1), expected);
+        let stats = sim.ctrl_stats().unwrap();
+        assert!(
+            stats.flushes > 0 && stats.flushed_readers > 0,
+            "host write must repair in-flight readers: {stats:?}"
+        );
+        assert_eq!(sim.counters().host_op_flushes, stats.flushes);
+    }
+
+    #[test]
+    fn host_ops_while_idle_have_pure_latency() {
+        let program = rmw_program();
+        let design = Compiler::new().compile(&program).unwrap();
+        let mut sim = PipelineSim::new(&design);
+        sim.attach_ctrl(CtrlOptions { latency_cycles: 64, queue_depth: 4 });
+        sim.submit_host_op(HostOp::Lookup { map: 0, key: key(7) }).unwrap();
+        sim.settle(10_000);
+        let stats = sim.ctrl_stats().unwrap();
+        assert_eq!(stats.latency_cycles_max, 64);
+        assert_eq!(stats.mean_latency_cycles(), 64.0);
+        assert_eq!(stats.flushes, 0);
+    }
+
+    #[test]
+    fn dump_sees_barrier_consistent_snapshot() {
+        let program = rmw_program();
+        let design = Compiler::new().compile(&program).unwrap();
+        let mut sim = PipelineSim::new(&design);
+        sim.attach_ctrl(CtrlOptions { latency_cycles: 1, queue_depth: 4 });
+        for f in 0..4u8 {
+            sim.enqueue(pkt(f));
+        }
+        sim.submit_host_op(HostOp::Dump { map: 0 }).unwrap();
+        for f in 4..8u8 {
+            sim.enqueue(pkt(f));
+        }
+        sim.settle(1_000_000);
+        let c = sim.host_completions();
+        let Ok(HostOpResult::Entries(entries)) = &c[0].result else {
+            panic!("dump failed: {:?}", c[0].result);
+        };
+        // Exactly the four pre-barrier flows, each counted once.
+        let mut keys: Vec<u8> = entries.iter().map(|(k, _)| k[0]).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![0, 1, 2, 3]);
+        for (_, v) in entries {
+            assert_eq!(u64::from_le_bytes(v.as_slice().try_into().unwrap()), 1);
+        }
+    }
+
+    #[test]
+    fn per_map_telemetry_counts_lookups_and_hits() {
+        let program = rmw_program();
+        let design = Compiler::new().compile(&program).unwrap();
+        let mut sim = PipelineSim::new(&design);
+        for _ in 0..4 {
+            sim.enqueue(pkt(9));
+        }
+        sim.settle(1_000_000);
+        assert!(sim.map_lookups()[0] >= 4, "lookups {:?}", sim.map_lookups());
+        // First access misses, later ones hit (replays may add more).
+        assert!(sim.map_hits()[0] >= 3, "hits {:?}", sim.map_hits());
+        assert!(sim.map_hits()[0] < sim.map_lookups()[0]);
+        assert!(sim.stage_occupancy().iter().any(|&c| c > 0));
     }
 }

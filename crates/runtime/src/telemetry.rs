@@ -1,0 +1,308 @@
+//! Telemetry: structured snapshots of a running pipeline and a periodic
+//! JSON exporter (hand-written serialization — the tree carries no serde).
+
+use ehdl_hwsim::{CtrlStats, SimCounters};
+
+/// Per-stage occupancy telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTelemetry {
+    /// Stage index in flow order.
+    pub stage: usize,
+    /// Cycles the stage held a packet.
+    pub occupied_cycles: u64,
+    /// `occupied_cycles / total cycles` (0 when the clock has not run).
+    pub utilization: f64,
+}
+
+/// Per-map access telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapTelemetry {
+    /// Map id.
+    pub id: u32,
+    /// Map name.
+    pub name: String,
+    /// Datapath lookups issued.
+    pub lookups: u64,
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Live entries right now.
+    pub entries: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+}
+
+impl MapTelemetry {
+    /// Hit fraction (0 with no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// One full telemetry snapshot of a [`crate::Runtime`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeStats {
+    /// Name of the loaded program.
+    pub program: String,
+    /// Reload epoch (number of completed swaps).
+    pub epoch: u64,
+    /// Cycles on the current design's clock.
+    pub cycle: u64,
+    /// Cycles across all designs ever loaded.
+    pub total_cycles: u64,
+    /// Datapath event counters.
+    pub counters: SimCounters,
+    /// Control-channel counters.
+    pub ctrl: CtrlStats,
+    /// Per-stage occupancy.
+    pub stages: Vec<StageTelemetry>,
+    /// Per-map access statistics.
+    pub maps: Vec<MapTelemetry>,
+    /// Achieved throughput in packets per second of simulated time.
+    pub throughput_pps: f64,
+}
+
+impl RuntimeStats {
+    /// Serialize the snapshot as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"program\": \"{}\",\n", self.program));
+        s.push_str(&format!("  \"epoch\": {},\n", self.epoch));
+        s.push_str(&format!("  \"cycle\": {},\n", self.cycle));
+        s.push_str(&format!("  \"total_cycles\": {},\n", self.total_cycles));
+        s.push_str(&format!("  \"throughput_pps\": {:.1},\n", self.throughput_pps));
+        let c = &self.counters;
+        s.push_str(&format!(
+            "  \"counters\": {{\"injected\": {}, \"completed\": {}, \"rx_dropped\": {}, \
+             \"flushes\": {}, \"flush_replays\": {}, \"bounds_faults\": {}, \
+             \"fault_replays\": {}, \"watchdog_resets\": {}, \"host_ops\": {}, \
+             \"host_op_flushes\": {}}},\n",
+            c.injected,
+            c.completed,
+            c.rx_dropped,
+            c.flushes,
+            c.flush_replays,
+            c.bounds_faults,
+            c.fault_replays,
+            c.watchdog_resets,
+            c.host_ops,
+            c.host_op_flushes,
+        ));
+        let k = &self.ctrl;
+        s.push_str(&format!(
+            "  \"ctrl\": {{\"submitted\": {}, \"completed\": {}, \"failed\": {}, \
+             \"rejected\": {}, \"flushes\": {}, \"flushed_readers\": {}, \
+             \"mean_latency_cycles\": {:.2}, \"max_latency_cycles\": {}}},\n",
+            k.submitted,
+            k.completed,
+            k.failed,
+            k.rejected,
+            k.flushes,
+            k.flushed_readers,
+            k.mean_latency_cycles(),
+            k.latency_cycles_max,
+        ));
+        s.push_str("  \"stages\": [");
+        for (i, st) in self.stages.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"stage\": {}, \"occupied_cycles\": {}, \"utilization\": {:.4}}}",
+                st.stage, st.occupied_cycles, st.utilization
+            ));
+        }
+        s.push_str("],\n");
+        s.push_str("  \"maps\": [");
+        for (i, m) in self.maps.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"id\": {}, \"name\": \"{}\", \"lookups\": {}, \"hits\": {}, \
+                 \"hit_rate\": {:.4}, \"entries\": {}, \"capacity\": {}}}",
+                m.id,
+                m.name,
+                m.lookups,
+                m.hits,
+                m.hit_rate(),
+                m.entries,
+                m.capacity
+            ));
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// The 32-bit CSR file a host driver would actually read over AXI-Lite:
+/// hardware counter registers are 32 bits wide, so the snapshot
+/// *saturates* rather than wrapping — a long campaign must never make a
+/// counter appear to go backwards or restart from zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsrSnapshot {
+    /// Completed packets (saturating).
+    pub completed: u32,
+    /// RX drops (saturating).
+    pub rx_dropped: u32,
+    /// Hazard flushes (saturating).
+    pub flushes: u32,
+    /// Flush replays (saturating).
+    pub flush_replays: u32,
+    /// Host ops applied (saturating).
+    pub host_ops: u32,
+    /// Host-write RAW repairs (saturating).
+    pub host_op_flushes: u32,
+    /// Watchdog resets (saturating).
+    pub watchdog_resets: u32,
+}
+
+impl CsrSnapshot {
+    /// Project the 64-bit counters onto the 32-bit CSR registers.
+    pub fn of(c: &SimCounters) -> CsrSnapshot {
+        CsrSnapshot {
+            completed: sat32(c.completed),
+            rx_dropped: sat32(c.rx_dropped),
+            flushes: sat32(c.flushes),
+            flush_replays: sat32(c.flush_replays),
+            host_ops: sat32(c.host_ops),
+            host_op_flushes: sat32(c.host_op_flushes),
+            watchdog_resets: sat32(c.watchdog_resets),
+        }
+    }
+}
+
+/// Saturating 64→32-bit projection for CSR reads.
+fn sat32(v: u64) -> u32 {
+    u32::try_from(v).unwrap_or(u32::MAX)
+}
+
+/// Periodic telemetry export: emits a JSON snapshot every
+/// `interval_cycles` of runtime clock, mirroring a host daemon polling
+/// the NIC's CSRs on a timer.
+#[derive(Debug, Clone)]
+pub struct PeriodicExporter {
+    interval_cycles: u64,
+    next_cycle: u64,
+    exports: Vec<String>,
+}
+
+impl PeriodicExporter {
+    /// Export every `interval_cycles` (panics if zero).
+    pub fn new(interval_cycles: u64) -> PeriodicExporter {
+        assert!(interval_cycles > 0, "export interval must be positive");
+        PeriodicExporter { interval_cycles, next_cycle: interval_cycles, exports: Vec::new() }
+    }
+
+    /// Offer a snapshot; exports (and returns) its JSON if the interval
+    /// elapsed since the last export. Call as often as convenient — the
+    /// cadence is governed by `stats.total_cycles`, not by call count.
+    pub fn poll(&mut self, stats: &RuntimeStats) -> Option<&str> {
+        if stats.total_cycles < self.next_cycle {
+            return None;
+        }
+        // Catch up so a long gap yields one export, not a burst.
+        let intervals = (stats.total_cycles - self.next_cycle) / self.interval_cycles + 1;
+        self.next_cycle += intervals * self.interval_cycles;
+        self.exports.push(stats.to_json());
+        self.exports.last().map(String::as_str)
+    }
+
+    /// Every snapshot exported so far.
+    pub fn exports(&self) -> &[String] {
+        &self.exports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_snapshot_saturates_instead_of_wrapping() {
+        // A campaign long enough to exceed 2^32 completions must pin the
+        // 32-bit CSR at its maximum, not wrap to a small number.
+        let c = SimCounters {
+            completed: u64::from(u32::MAX) + 12_345,
+            flushes: u64::MAX,
+            host_ops: 7,
+            ..Default::default()
+        };
+        let csr = CsrSnapshot::of(&c);
+        assert_eq!(csr.completed, u32::MAX);
+        assert_eq!(csr.flushes, u32::MAX);
+        assert_eq!(csr.host_ops, 7);
+        // The wrapped interpretation would have been small — make the
+        // regression explicit.
+        assert_ne!(u64::from(csr.completed), (u64::from(u32::MAX) + 12_345) & 0xffff_ffff);
+    }
+
+    #[test]
+    fn exporter_cadence_follows_cycles() {
+        let mut stats = RuntimeStats {
+            program: "t".into(),
+            epoch: 0,
+            cycle: 0,
+            total_cycles: 0,
+            counters: SimCounters::default(),
+            ctrl: CtrlStats::default(),
+            stages: vec![],
+            maps: vec![],
+            throughput_pps: 0.0,
+        };
+        let mut exp = PeriodicExporter::new(1000);
+        assert!(exp.poll(&stats).is_none());
+        stats.total_cycles = 999;
+        assert!(exp.poll(&stats).is_none());
+        stats.total_cycles = 1000;
+        assert!(exp.poll(&stats).is_some());
+        assert!(exp.poll(&stats).is_none(), "same cycle exports once");
+        // A long gap emits one catch-up export, not a burst.
+        stats.total_cycles = 10_500;
+        assert!(exp.poll(&stats).is_some());
+        assert!(exp.poll(&stats).is_none());
+        stats.total_cycles = 11_000;
+        assert!(exp.poll(&stats).is_some());
+        assert_eq!(exp.exports().len(), 3);
+    }
+
+    #[test]
+    fn json_contains_every_section() {
+        let stats = RuntimeStats {
+            program: "fw".into(),
+            epoch: 2,
+            cycle: 10,
+            total_cycles: 30,
+            counters: SimCounters { completed: 5, ..Default::default() },
+            ctrl: CtrlStats { submitted: 3, completed: 3, ..Default::default() },
+            stages: vec![StageTelemetry { stage: 0, occupied_cycles: 7, utilization: 0.7 }],
+            maps: vec![MapTelemetry {
+                id: 0,
+                name: "sessions".into(),
+                lookups: 10,
+                hits: 4,
+                entries: 2,
+                capacity: 64,
+            }],
+            throughput_pps: 1.0e6,
+        };
+        let json = stats.to_json();
+        for key in [
+            "\"program\"",
+            "\"epoch\"",
+            "\"counters\"",
+            "\"ctrl\"",
+            "\"stages\"",
+            "\"maps\"",
+            "\"hit_rate\": 0.4000",
+            "\"utilization\": 0.7000",
+            "\"mean_latency_cycles\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Negative paths on the host control surface: every [`MapError`]
+//! variant the channel can raise comes back typed in the completion, and
+//! submission-time failures come back typed as [`CtrlError`].
+
+use ehdl_core::Compiler;
+use ehdl_ebpf::asm::Asm;
+use ehdl_ebpf::helpers::{BPF_MAP_LOOKUP_ELEM, BPF_MAP_UPDATE_ELEM};
+use ehdl_ebpf::maps::{MapDef, MapError, MapKind, UpdateFlags};
+use ehdl_ebpf::opcode::{AluOp, JmpOp, MemSize};
+use ehdl_ebpf::Program;
+use ehdl_hwsim::{CtrlError, CtrlOptions, HostOp, HostOpResult};
+use ehdl_runtime::{Runtime, RuntimeOptions};
+
+/// A minimal lookup→update program over a 4-entry hash map, so host ops
+/// can exhaust the map without streaming thousands of packets.
+fn tiny_map_program() -> Program {
+    let mut a = Asm::new();
+    let skip = a.new_label();
+    a.load(MemSize::W, 7, 1, 0);
+    a.load(MemSize::B, 2, 7, 0);
+    a.store_reg(MemSize::W, 10, -8, 2);
+    a.ld_map_fd(1, 0);
+    a.mov64_reg(2, 10);
+    a.alu64_imm(AluOp::Add, 2, -8);
+    a.call(BPF_MAP_LOOKUP_ELEM);
+    a.jmp_imm(JmpOp::Jeq, 0, 0, skip);
+    a.load(MemSize::Dw, 6, 0, 0);
+    a.bind(skip);
+    a.alu64_imm(AluOp::Add, 6, 1);
+    a.store_reg(MemSize::Dw, 10, -16, 6);
+    a.ld_map_fd(1, 0);
+    a.mov64_reg(2, 10);
+    a.alu64_imm(AluOp::Add, 2, -8);
+    a.mov64_reg(3, 10);
+    a.alu64_imm(AluOp::Add, 3, -16);
+    a.mov64_imm(4, 0);
+    a.call(BPF_MAP_UPDATE_ELEM);
+    a.mov64_imm(0, 3);
+    a.exit();
+    Program::new("tiny", a.into_insns(), vec![MapDef::new(0, "cells", MapKind::Hash, 4, 8, 4)])
+}
+
+fn runtime() -> Runtime {
+    let design = Compiler::new().compile(&tiny_map_program()).expect("tiny program compiles");
+    Runtime::new(
+        &design,
+        RuntimeOptions {
+            ctrl: CtrlOptions { latency_cycles: 2, queue_depth: 64 },
+            ..Default::default()
+        },
+    )
+}
+
+fn key(i: u8) -> Vec<u8> {
+    vec![i, 0, 0, 0]
+}
+
+fn val(i: u8) -> Vec<u8> {
+    vec![i, 0, 0, 0, 0, 0, 0, 0]
+}
+
+/// Submit one op, settle, and return its typed result.
+fn one_op(rt: &mut Runtime, op: HostOp) -> Result<HostOpResult, MapError> {
+    rt.submit(op).expect("channel accepts the op");
+    rt.settle();
+    let mut comps = rt.completions();
+    assert_eq!(comps.len(), 1, "exactly one completion");
+    comps.remove(0).result
+}
+
+#[test]
+fn bad_key_size_is_reported() {
+    let mut rt = runtime();
+    let r = one_op(&mut rt, HostOp::Lookup { map: 0, key: vec![1, 2] });
+    assert_eq!(r, Err(MapError::BadKeySize { expected: 4, got: 2 }));
+}
+
+#[test]
+fn bad_value_size_is_reported() {
+    let mut rt = runtime();
+    let r = one_op(
+        &mut rt,
+        HostOp::Update { map: 0, key: key(1), value: vec![9; 3], flags: UpdateFlags::Any },
+    );
+    assert_eq!(r, Err(MapError::BadValueSize { expected: 8, got: 3 }));
+}
+
+#[test]
+fn delete_of_missing_key_is_no_such_key() {
+    let mut rt = runtime();
+    let r = one_op(&mut rt, HostOp::Delete { map: 0, key: key(7) });
+    assert_eq!(r, Err(MapError::NoSuchKey));
+}
+
+#[test]
+fn exist_constrained_update_of_missing_key_is_no_such_key() {
+    let mut rt = runtime();
+    let r = one_op(
+        &mut rt,
+        HostOp::Update { map: 0, key: key(7), value: val(1), flags: UpdateFlags::Exist },
+    );
+    assert_eq!(r, Err(MapError::NoSuchKey));
+}
+
+#[test]
+fn noexist_update_of_present_key_is_key_exists() {
+    let mut rt = runtime();
+    let r = one_op(
+        &mut rt,
+        HostOp::Update { map: 0, key: key(1), value: val(1), flags: UpdateFlags::NoExist },
+    );
+    assert_eq!(r, Ok(HostOpResult::Updated));
+    let r = one_op(
+        &mut rt,
+        HostOp::Update { map: 0, key: key(1), value: val(2), flags: UpdateFlags::NoExist },
+    );
+    assert_eq!(r, Err(MapError::KeyExists));
+}
+
+#[test]
+fn overflowing_the_map_is_full() {
+    let mut rt = runtime();
+    for i in 0..4 {
+        let r = one_op(
+            &mut rt,
+            HostOp::Update { map: 0, key: key(i), value: val(i), flags: UpdateFlags::Any },
+        );
+        assert_eq!(r, Ok(HostOpResult::Updated), "entry {i} fits");
+    }
+    let r = one_op(
+        &mut rt,
+        HostOp::Update { map: 0, key: key(9), value: val(9), flags: UpdateFlags::Any },
+    );
+    assert_eq!(r, Err(MapError::Full));
+    // Overwriting a resident key still works at capacity.
+    let r = one_op(
+        &mut rt,
+        HostOp::Update { map: 0, key: key(0), value: val(99), flags: UpdateFlags::Any },
+    );
+    assert_eq!(r, Ok(HostOpResult::Updated));
+}
+
+#[test]
+fn unknown_map_is_rejected_at_submission() {
+    let mut rt = runtime();
+    let err = rt.submit(HostOp::Dump { map: 42 }).expect_err("no map 42");
+    assert_eq!(err, CtrlError::NoSuchMap { map: 42 });
+    // Rejected ops never produce completions.
+    rt.settle();
+    assert!(rt.completions().is_empty());
+}
+
+#[test]
+fn failed_ops_do_not_disturb_map_state() {
+    let mut rt = runtime();
+    assert_eq!(
+        one_op(
+            &mut rt,
+            HostOp::Update { map: 0, key: key(1), value: val(5), flags: UpdateFlags::Any }
+        ),
+        Ok(HostOpResult::Updated)
+    );
+    // A burst of failures of every flavor...
+    for op in [
+        HostOp::Lookup { map: 0, key: vec![1] },
+        HostOp::Update { map: 0, key: key(1), value: val(6), flags: UpdateFlags::NoExist },
+        HostOp::Delete { map: 0, key: key(3) },
+    ] {
+        assert!(one_op(&mut rt, op).is_err());
+    }
+    // ...leaves the original entry readable and unchanged.
+    let r = one_op(&mut rt, HostOp::Lookup { map: 0, key: key(1) });
+    assert_eq!(r, Ok(HostOpResult::Value(Some(val(5)))));
+    let stats = rt.stats();
+    assert_eq!(stats.ctrl.completed, 2, "only the Ok ops count as completed");
+    assert_eq!(stats.ctrl.failed, 3);
+    assert_eq!(stats.ctrl.submitted, 5);
+}

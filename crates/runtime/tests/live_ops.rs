@@ -1,0 +1,199 @@
+//! Acceptance differentials: the evaluation applications stay
+//! bit-equivalent to the sequential reference while the host mutates
+//! their maps mid-stream — including writes landing inside open RAW
+//! hazard windows (back-to-back same-flow packets with a 1-cycle
+//! control channel).
+
+use ehdl_core::CompilerOptions;
+use ehdl_hwsim::{CtrlOptions, HostEvent};
+use ehdl_net::FiveTuple;
+use ehdl_programs::{dnat, simple_firewall, suricata};
+use ehdl_runtime::Runtime;
+use ehdl_traffic::{
+    build_flow_packet, interleave_ops, ControlOpGen, FlowSet, OpMix, Popularity, ScheduleItem,
+};
+
+const SRC_MAC: [u8; 6] = [0x02, 0, 0, 0, 0, 0x01];
+const DST_MAC: [u8; 6] = [0x02, 0, 0, 0, 0, 0x02];
+
+fn packets_for(flows: &FlowSet, n: usize, pop: Popularity, seed: u64) -> Vec<Vec<u8>> {
+    let mut wl = ehdl_traffic::Workload::new(flows.clone(), pop, 64, seed);
+    wl.packets(n)
+}
+
+fn key_pool(flows: &FlowSet, take: usize) -> Vec<Vec<u8>> {
+    flows.flows().iter().take(take).map(|f| f.to_key().to_vec()).collect()
+}
+
+fn to_events(schedule: Vec<ScheduleItem>) -> Vec<HostEvent> {
+    schedule
+        .into_iter()
+        .map(|item| match item {
+            ScheduleItem::Packet(p) => HostEvent::Packet(p),
+            ScheduleItem::Op(op) => HostEvent::Op(ehdl_runtime::to_host_op(&op)),
+        })
+        .collect()
+}
+
+#[test]
+fn firewall_equivalent_under_live_ops() {
+    // Full op mix (installs, expiries, reads, dumps) on the session table
+    // the packets themselves are opening sessions in. Hot keys make host
+    // writes collide with in-flight same-key packets.
+    let flows = FlowSet::udp(64, 21);
+    let packets = packets_for(&flows, 400, Popularity::Hot { p_hot: 0.6 }, 22);
+    let mut gen = ControlOpGen::new(
+        simple_firewall::SESSIONS_MAP,
+        key_pool(&flows, 16),
+        8,
+        OpMix::default(),
+        Popularity::Hot { p_hot: 0.7 },
+        23,
+    );
+    let events = to_events(interleave_ops(packets, &mut gen, 0.2, 24));
+    ehdl_hwsim::assert_equivalent_ops(
+        &simple_firewall::program(),
+        CompilerOptions::default(),
+        &events,
+        |_| {},
+        &[],
+        CtrlOptions { latency_cycles: 1, queue_depth: 256 },
+    );
+}
+
+#[test]
+fn firewall_equivalent_with_slow_channel() {
+    // Realistic PCIe latency: ops arrive hundreds of cycles after
+    // submission but must still take effect exactly at their barrier.
+    let flows = FlowSet::udp(32, 31);
+    let packets = packets_for(&flows, 300, Popularity::Uniform, 32);
+    let mut gen = ControlOpGen::new(
+        simple_firewall::SESSIONS_MAP,
+        key_pool(&flows, 32),
+        8,
+        OpMix::default(),
+        Popularity::Uniform,
+        33,
+    );
+    let events = to_events(interleave_ops(packets, &mut gen, 0.1, 34));
+    ehdl_hwsim::assert_equivalent_ops(
+        &simple_firewall::program(),
+        CompilerOptions::default(),
+        &events,
+        |_| {},
+        &[],
+        CtrlOptions { latency_cycles: 300, queue_depth: 256 },
+    );
+}
+
+#[test]
+fn dnat_equivalent_under_live_ops() {
+    // Every flow gets a pre-installed binding so translation never
+    // consults the (legitimately divergent) port allocator; host ops
+    // then rewrite and read those live bindings mid-stream. No deletes:
+    // unbinding would re-enter the allocator path.
+    let flows = FlowSet::udp(48, 41);
+    let packets = packets_for(&flows, 400, Popularity::Hot { p_hot: 0.5 }, 42);
+    let mut gen = ControlOpGen::new(
+        dnat::CONN_MAP,
+        key_pool(&flows, 12),
+        8,
+        OpMix { lookup: 0.4, update: 0.5, delete: 0.0, dump: 0.1 },
+        Popularity::Hot { p_hot: 0.7 },
+        43,
+    );
+    let events = to_events(interleave_ops(packets, &mut gen, 0.2, 44));
+    let flows_for_setup = flows.clone();
+    ehdl_hwsim::assert_equivalent_ops(
+        &dnat::program(),
+        CompilerOptions::default(),
+        &events,
+        move |maps| {
+            let conn = maps.get_mut(dnat::CONN_MAP).expect("conn map");
+            for (i, f) in flows_for_setup.flows().iter().enumerate() {
+                let mut v = [0u8; 8];
+                v[..4].copy_from_slice(&dnat::NAT_ADDR);
+                v[4..6].copy_from_slice(&(dnat::PORT_BASE + i as u16).to_be_bytes());
+                conn.update(&f.to_key(), &v, Default::default()).expect("binding install");
+            }
+        },
+        &[dnat::PORT_ALLOC_MAP],
+        CtrlOptions { latency_cycles: 1, queue_depth: 256 },
+    );
+}
+
+#[test]
+fn suricata_equivalent_under_live_ops() {
+    // Rule installs and removals race the IDS's own per-rule hit
+    // counting (an in-pipeline read-modify-write on the same map).
+    let flows = FlowSet::tcp(64, 51);
+    let packets = packets_for(&flows, 400, Popularity::Hot { p_hot: 0.6 }, 52);
+    let mut gen = ControlOpGen::new(
+        suricata::ACL_MAP,
+        key_pool(&flows, 16),
+        8,
+        OpMix::default(),
+        Popularity::Hot { p_hot: 0.7 },
+        53,
+    );
+    let events = to_events(interleave_ops(packets, &mut gen, 0.2, 54));
+    let flows_for_setup = flows.clone();
+    ehdl_hwsim::assert_equivalent_ops(
+        &suricata::program(),
+        CompilerOptions::default(),
+        &events,
+        move |maps| {
+            for f in flows_for_setup.flows().iter().take(24) {
+                suricata::install_rule(maps, f);
+            }
+        },
+        &[],
+        CtrlOptions { latency_cycles: 1, queue_depth: 256 },
+    );
+}
+
+#[test]
+fn runtime_schedule_matches_direct_differential_state() {
+    // Drive the same schedule through the Runtime facade and check the
+    // per-map hit telemetry and completion accounting line up.
+    let flows = FlowSet::udp(16, 61);
+    let packets = packets_for(&flows, 200, Popularity::Uniform, 62);
+    let mut gen = ControlOpGen::new(
+        simple_firewall::SESSIONS_MAP,
+        key_pool(&flows, 16),
+        8,
+        OpMix::default(),
+        Popularity::Uniform,
+        63,
+    );
+    let schedule = interleave_ops(packets, &mut gen, 0.15, 64);
+    let nops = schedule.iter().filter(|i| matches!(i, ScheduleItem::Op(_))).count() as u64;
+
+    let design =
+        ehdl_core::Compiler::new().compile(&simple_firewall::program()).expect("firewall compiles");
+    let mut rt = Runtime::new(
+        &design,
+        ehdl_runtime::RuntimeOptions {
+            ctrl: CtrlOptions { latency_cycles: 8, queue_depth: 1024 },
+            ..Default::default()
+        },
+    );
+    let report = rt.run_schedule(&schedule);
+    assert_eq!(report.packets, 200);
+    assert_eq!(report.lost, 0);
+    assert_eq!(report.ops_submitted, nops);
+    assert!(report.ops_rejected.is_empty());
+    assert_eq!(report.outcomes.len(), 200);
+    assert_eq!(report.completions.len(), nops as usize);
+
+    let stats = rt.stats();
+    assert_eq!(stats.counters.completed, 200);
+    assert_eq!(stats.counters.host_ops, nops);
+    assert_eq!(stats.ctrl.submitted, nops);
+    assert!(stats.maps[0].lookups > 0, "sessions map saw traffic");
+    assert!(stats.stages.iter().any(|s| s.utilization > 0.0));
+    // The differential for this flow already ran above; here we only
+    // check the facade preserved basic conservation.
+    let tuple = FiveTuple::parse(&build_flow_packet(&flows.flows()[0], SRC_MAC, DST_MAC, 64));
+    assert!(tuple.is_some(), "generated packets stay parseable");
+}

@@ -1,0 +1,275 @@
+//! Control-plane workload generation: streams of host map operations to
+//! interleave with packet traffic.
+//!
+//! The runtime evaluation (§5) needs host ops arriving *while* packets
+//! stream through the pipeline — rule installs into a live firewall, flow
+//! table dumps under load, entry expiry. This module generates such op
+//! streams the same way [`crate::Workload`] generates packets: a seeded
+//! mix over op kinds, with keys drawn from a pool following a popularity
+//! law, interleaved into a packet trace as an event schedule.
+//!
+//! Ops are *abstract* here (kind + map + key bytes + value bytes) so the
+//! generator stays independent of the simulator: the runtime layer maps
+//! them onto its concrete host-op type.
+
+use crate::{FlowSampler, Popularity};
+use ehdl_rng::Rng;
+
+/// A host control operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlOpKind {
+    /// Read one key.
+    Lookup,
+    /// Insert or replace one entry.
+    Update,
+    /// Remove one entry.
+    Delete,
+    /// Read the whole table.
+    Dump,
+}
+
+/// One generated host operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlOp {
+    /// Operation kind.
+    pub kind: ControlOpKind,
+    /// Target map id.
+    pub map: u32,
+    /// Key bytes (empty for [`ControlOpKind::Dump`]).
+    pub key: Vec<u8>,
+    /// Value bytes (empty except for [`ControlOpKind::Update`]).
+    pub value: Vec<u8>,
+}
+
+/// Relative frequency of each op kind. Weights need not sum to 1; they
+/// are normalized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMix {
+    /// Lookup weight.
+    pub lookup: f64,
+    /// Update weight.
+    pub update: f64,
+    /// Delete weight.
+    pub delete: f64,
+    /// Dump weight.
+    pub dump: f64,
+}
+
+impl Default for OpMix {
+    /// A control plane that mostly reads, frequently installs, rarely
+    /// deletes, and occasionally snapshots the whole table.
+    fn default() -> OpMix {
+        OpMix { lookup: 0.50, update: 0.35, delete: 0.10, dump: 0.05 }
+    }
+}
+
+/// Seeded generator of [`ControlOp`]s over a fixed key pool.
+///
+/// Keys are sampled with a [`Popularity`] law, so a `Hot` distribution
+/// aims host writes at the same key the packet stream is hammering —
+/// the adversarial case where ops land inside open RAW windows.
+#[derive(Debug, Clone)]
+pub struct ControlOpGen {
+    map: u32,
+    keys: Vec<Vec<u8>>,
+    value_size: usize,
+    cdf: [f64; 4],
+    sampler: FlowSampler,
+    rng: Rng,
+}
+
+impl ControlOpGen {
+    /// Build a generator targeting `map`, drawing keys from `keys` with
+    /// popularity `pop`, emitting `value_size`-byte values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key pool is empty or every mix weight is zero.
+    pub fn new(
+        map: u32,
+        keys: Vec<Vec<u8>>,
+        value_size: usize,
+        mix: OpMix,
+        pop: Popularity,
+        seed: u64,
+    ) -> ControlOpGen {
+        assert!(!keys.is_empty(), "key pool must be non-empty");
+        let w = [mix.lookup, mix.update, mix.delete, mix.dump];
+        let total: f64 = w.iter().sum();
+        assert!(total > 0.0, "op mix must have positive total weight");
+        let mut cdf = [0.0; 4];
+        let mut acc = 0.0;
+        for (c, wi) in cdf.iter_mut().zip(w) {
+            acc += wi / total;
+            *c = acc;
+        }
+        cdf[3] = 1.0;
+        ControlOpGen {
+            map,
+            sampler: FlowSampler::new(keys.len(), pop, seed ^ 0xc0ff_ee00),
+            keys,
+            value_size,
+            cdf,
+            rng: Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generate the next op.
+    pub fn next_op(&mut self) -> ControlOp {
+        let u = self.rng.gen_f64();
+        let kind = if u < self.cdf[0] {
+            ControlOpKind::Lookup
+        } else if u < self.cdf[1] {
+            ControlOpKind::Update
+        } else if u < self.cdf[2] {
+            ControlOpKind::Delete
+        } else {
+            ControlOpKind::Dump
+        };
+        let key = match kind {
+            ControlOpKind::Dump => Vec::new(),
+            _ => self.keys[self.sampler.sample()].clone(),
+        };
+        let value = match kind {
+            ControlOpKind::Update => (0..self.value_size).map(|_| self.rng.gen_u8()).collect(),
+            _ => Vec::new(),
+        };
+        ControlOp { kind, map: self.map, key, value }
+    }
+}
+
+impl Iterator for ControlOpGen {
+    type Item = ControlOp;
+
+    fn next(&mut self) -> Option<ControlOp> {
+        Some(self.next_op())
+    }
+}
+
+/// One element of an interleaved packet/op schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleItem {
+    /// A packet arrival (wire bytes).
+    Packet(Vec<u8>),
+    /// A host op submitted at this position of the arrival order.
+    Op(ControlOp),
+}
+
+/// Interleave host ops into a packet trace: before each packet, an op is
+/// emitted with probability `op_rate` (ops per packet; values above 1
+/// emit several). Any fractional remainder is resolved by a seeded coin,
+/// so the schedule is deterministic in `seed`.
+pub fn interleave_ops(
+    packets: Vec<Vec<u8>>,
+    gen: &mut ControlOpGen,
+    op_rate: f64,
+    seed: u64,
+) -> Vec<ScheduleItem> {
+    assert!(op_rate >= 0.0, "op rate must be non-negative");
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5eed_1e55);
+    let mut schedule = Vec::with_capacity(packets.len());
+    for pkt in packets {
+        let mut budget = op_rate;
+        while budget >= 1.0 {
+            schedule.push(ScheduleItem::Op(gen.next_op()));
+            budget -= 1.0;
+        }
+        if budget > 0.0 && rng.gen_f64() < budget {
+            schedule.push(ScheduleItem::Op(gen.next_op()));
+        }
+        schedule.push(ScheduleItem::Packet(pkt));
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: u8) -> Vec<Vec<u8>> {
+        (0..n).map(|i| vec![i, 0, 0, 0]).collect()
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mk = || {
+            ControlOpGen::new(0, pool(16), 8, OpMix::default(), Popularity::Uniform, 7)
+                .take(200)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn mix_ratios_are_respected() {
+        let gen = ControlOpGen::new(0, pool(16), 8, OpMix::default(), Popularity::Uniform, 11);
+        let mut counts = [0usize; 4];
+        for op in gen.take(10_000) {
+            counts[match op.kind {
+                ControlOpKind::Lookup => 0,
+                ControlOpKind::Update => 1,
+                ControlOpKind::Delete => 2,
+                ControlOpKind::Dump => 3,
+            }] += 1;
+        }
+        assert!((4500..5500).contains(&counts[0]), "lookups {counts:?}");
+        assert!((3000..4000).contains(&counts[1]), "updates {counts:?}");
+        assert!((700..1300).contains(&counts[2]), "deletes {counts:?}");
+        assert!((300..700).contains(&counts[3]), "dumps {counts:?}");
+    }
+
+    #[test]
+    fn ops_are_well_formed() {
+        let gen = ControlOpGen::new(3, pool(4), 8, OpMix::default(), Popularity::Uniform, 5);
+        for op in gen.take(500) {
+            assert_eq!(op.map, 3);
+            match op.kind {
+                ControlOpKind::Dump => assert!(op.key.is_empty()),
+                _ => assert_eq!(op.key.len(), 4),
+            }
+            match op.kind {
+                ControlOpKind::Update => assert_eq!(op.value.len(), 8),
+                _ => assert!(op.value.is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn hot_popularity_targets_the_head_key() {
+        let gen = ControlOpGen::new(
+            0,
+            pool(64),
+            8,
+            OpMix { lookup: 1.0, update: 0.0, delete: 0.0, dump: 0.0 },
+            Popularity::Hot { p_hot: 0.9 },
+            9,
+        );
+        let hits = gen.take(2000).filter(|op| op.key == vec![0, 0, 0, 0]).count();
+        assert!((1700..2000).contains(&hits), "hot-key hits {hits}");
+    }
+
+    #[test]
+    fn interleave_rate_and_determinism() {
+        let packets: Vec<Vec<u8>> = (0..1000).map(|_| vec![0u8; 64]).collect();
+        let mk = |pkts: Vec<Vec<u8>>| {
+            let mut gen =
+                ControlOpGen::new(0, pool(8), 8, OpMix::default(), Popularity::Uniform, 3);
+            interleave_ops(pkts, &mut gen, 0.25, 17)
+        };
+        let a = mk(packets.clone());
+        let b = mk(packets.clone());
+        assert_eq!(a, b);
+        let nops = a.iter().filter(|i| matches!(i, ScheduleItem::Op(_))).count();
+        let npkts = a.iter().filter(|i| matches!(i, ScheduleItem::Packet(_))).count();
+        assert_eq!(npkts, 1000);
+        assert!((180..320).contains(&nops), "expected ~250 ops, got {nops}");
+        // Rates above one emit the integer part unconditionally.
+        let c = {
+            let mut gen =
+                ControlOpGen::new(0, pool(8), 8, OpMix::default(), Popularity::Uniform, 3);
+            interleave_ops(packets, &mut gen, 2.0, 17)
+        };
+        let nops = c.iter().filter(|i| matches!(i, ScheduleItem::Op(_))).count();
+        assert_eq!(nops, 2000);
+    }
+}

@@ -24,11 +24,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== fmt =="
 cargo fmt --all -- --check
 
+echo "== docs (rustdoc warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== sim speed smoke (40k packets) =="
 EHDL_CHECK_BENCH=1 cargo bench -p ehdl-bench --bench sim_speed
 
 echo "== flush-cost sweep (partial flushes vs baseline) =="
 cargo bench -p ehdl-bench --bench flush_opt
+
+echo "== control plane (op latency, swap downtime, telemetry <1%) =="
+EHDL_CHECK_BENCH=1 cargo bench -p ehdl-bench --bench runtime_ops
 
 echo "== value-analysis effectiveness (invcheck + proven-access floor) =="
 EHDL_CHECK_BENCH=1 cargo bench -p ehdl-bench --bench absint_stats

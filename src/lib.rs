@@ -10,7 +10,9 @@
 //! * [`core`] — the eHDL compiler itself (bytecode → hardware pipeline);
 //! * [`hwsim`] — cycle-level simulator for generated pipelines + NIC shell;
 //! * [`baselines`] — hXDP, BlueField-2 and SDNet comparison models;
-//! * [`programs`] — the real-world XDP applications from the evaluation.
+//! * [`programs`] — the real-world XDP applications from the evaluation;
+//! * [`runtime`] — host control plane: live map access over a modeled
+//!   PCIe channel, telemetry export, and drain-and-swap program reload.
 //!
 //! ```
 //! use ehdl::core::Compiler;
@@ -28,4 +30,5 @@ pub use ehdl_ebpf as ebpf;
 pub use ehdl_hwsim as hwsim;
 pub use ehdl_net as net;
 pub use ehdl_programs as programs;
+pub use ehdl_runtime as runtime;
 pub use ehdl_traffic as traffic;

@@ -1,79 +1,193 @@
 //! Simulator speed tracker: how many simulated pipeline cycles per second
-//! of wall clock the `ehdl-hwsim` hot loop sustains on a Figure-9a-style
-//! run (firewall app, 40k packets at 64 B line rate).
+//! of wall clock the `ehdl-hwsim` hot loop sustains on Figure-9a-style
+//! runs (all five evaluation apps, 40k packets at 64 B line rate), under
+//! both stage engines — the reference interpreter and the compiled
+//! backend.
 //!
 //! Writes `BENCH_sim_speed.json` at the workspace root so
-//! `scripts/check.sh` can fail on >2x regressions. Usage:
+//! `scripts/check.sh` can fail on regressions. Usage:
 //!
 //! ```sh
 //! cargo bench --bench sim_speed            # measure and print
 //! EHDL_WRITE_BENCH=1 cargo bench --bench sim_speed   # also record JSON
-//! EHDL_CHECK_BENCH=1 cargo bench --bench sim_speed   # fail on >2x regression
+//! EHDL_CHECK_BENCH=1 cargo bench --bench sim_speed   # enforce the gates
 //! ```
+//!
+//! Gates under `EHDL_CHECK_BENCH=1`:
+//!
+//! - per `(app, backend)`: >2x `cycles_per_sec` regression vs the recorded
+//!   baseline fails;
+//! - per app: flush/replay counts within bounds of the recorded baseline
+//!   (the workload is deterministic, so a jump means a hazard-handling
+//!   regression, not noise) and bit-equal across the two backends;
+//! - the compiled backend must beat the interpreter by
+//!   [`MIN_FIREWALL_SPEEDUP`] in `packets_per_sec` on the firewall (fig9a)
+//!   run, measured live as an interleaved min-of-3 so machine noise hits
+//!   both engines alike (see DESIGN.md "Compiled backend" for why the bar
+//!   sits where it does);
+//! - every compiled run forces `Backend::Compiled`, so an app whose plan
+//!   stops lowering aborts the bench instead of silently measuring the
+//!   interpreter.
 
-use ehdl_bench::sim_speed::{
-    measure, read_recorded, read_recorded_flushes, write_report, REPORT_PATH,
-};
+use ehdl_bench::sim_speed::{measure, measure_all, read_recorded, write_report, REPORT_PATH};
+use ehdl_core::Compiler;
+use ehdl_hwsim::Backend;
+use ehdl_programs::App;
+
+/// Minimum live compiled-over-interpreter speedup on the fig9a firewall
+/// run. Interleaved min-of-N measurement sustains 1.4-1.5x on this
+/// workload; the bar sits below that with margin for shared-core CI noise.
+/// The cost decomposition bounding the achievable ratio (most of a cycle
+/// is semantic work both engines must do: map-helper bodies, the slot
+/// walk, rollback snapshots) is documented in DESIGN.md "Compiled
+/// backend".
+const MIN_FIREWALL_SPEEDUP: f64 = 1.25;
 
 fn main() {
-    // One warm-up (page-in, map setup) then the measured run.
-    let _ = measure(8_000);
-    let report = measure(ehdl_bench::EVAL_PACKETS);
-    println!(
-        "sim_speed: {} packets, {} cycles in {:.3}s -> {:.2} Mcycles/s ({:.2} Mpps simulated), \
-         {} flushes / {} replays",
-        report.packets,
-        report.cycles,
-        report.wall_secs,
-        report.cycles_per_sec / 1e6,
-        report.packets_per_sec / 1e6,
-        report.flushes,
-        report.flush_replays,
-    );
+    // Fail fast and loudly if any app's plan stopped lowering: the
+    // compiled sweep below would panic anyway, but this names every
+    // offender instead of the first one.
+    let mut broken = Vec::new();
+    for app in App::ALL {
+        let design = Compiler::new().compile(&app.program()).expect("app compiles");
+        if let Err(e) = ehdl_core::LoweredPlan::try_lower(&design) {
+            broken.push(format!("{}: {e}", app.name()));
+        }
+    }
+    assert!(broken.is_empty(), "apps no longer lower to the compiled backend: {broken:?}");
+
+    // One warm-up (page-in, map setup) then the measured sweep.
+    let _ = measure(App::Firewall, Backend::Compiled, 8_000);
+    let reports = measure_all(ehdl_bench::EVAL_PACKETS);
+    for r in &reports {
+        println!(
+            "sim_speed[{}/{}]: {} packets, {} cycles in {:.3}s -> {:.2} Mcycles/s \
+             ({:.2} Mpps simulated), {} flushes / {} replays",
+            r.app,
+            r.backend,
+            r.packets,
+            r.cycles,
+            r.wall_secs,
+            r.cycles_per_sec / 1e6,
+            r.packets_per_sec / 1e6,
+            r.flushes,
+            r.flush_replays,
+        );
+    }
+
+    let entry = |app: &str, backend: &str| {
+        reports
+            .iter()
+            .find(|r| r.app == app && r.backend == backend)
+            .unwrap_or_else(|| panic!("sweep covers {app}/{backend}"))
+    };
+    for app in App::ALL {
+        let i = entry(app.name(), "interpreter");
+        let c = entry(app.name(), "compiled");
+        println!(
+            "sim_speed[{}]: compiled speedup {:.1}x ({:.2} -> {:.2} Mpps)",
+            app.name(),
+            c.packets_per_sec / i.packets_per_sec,
+            i.packets_per_sec / 1e6,
+            c.packets_per_sec / 1e6,
+        );
+    }
+
     if std::env::var_os("EHDL_WRITE_BENCH").is_some() {
-        write_report(&report).expect("write BENCH_sim_speed.json");
+        write_report(&reports).expect("write BENCH_sim_speed.json");
         println!("recorded {REPORT_PATH}");
     }
+
     if std::env::var_os("EHDL_CHECK_BENCH").is_some() {
-        match read_recorded() {
-            Some(recorded) if report.cycles_per_sec < recorded / 2.0 => {
-                eprintln!(
-                    "sim_speed REGRESSION: {:.0} cycles/s vs recorded {:.0} (>2x slower); \
-                     re-record with EHDL_WRITE_BENCH=1 if intentional",
-                    report.cycles_per_sec, recorded,
-                );
-                std::process::exit(1);
+        let mut failures = Vec::new();
+
+        // The two engines must agree bit-exactly on the deterministic
+        // workload: same cycle count, same flush/replay behaviour.
+        for app in App::ALL {
+            let i = entry(app.name(), "interpreter");
+            let c = entry(app.name(), "compiled");
+            if i.cycles != c.cycles || i.flushes != c.flushes || i.flush_replays != c.flush_replays
+            {
+                failures.push(format!(
+                    "{}: backends diverge (cycles {} vs {}, flushes {} vs {}, replays {} vs {})",
+                    app.name(),
+                    i.cycles,
+                    c.cycles,
+                    i.flushes,
+                    c.flushes,
+                    i.flush_replays,
+                    c.flush_replays,
+                ));
             }
-            Some(recorded) => {
-                println!(
-                    "sim_speed OK: {:.0} cycles/s vs recorded {:.0}",
-                    report.cycles_per_sec, recorded,
-                );
-            }
-            None => println!("no recorded {REPORT_PATH}; skipping regression gate"),
         }
-        // The workload is deterministic, so flush behaviour is too: a jump
-        // in flush or replay counts means a hazard-handling regression
-        // (e.g. partial flushes escalating to full ones), not noise. A
-        // small absolute allowance covers intentional schedule shifts.
-        match read_recorded_flushes() {
-            Some((flushes, replays)) => {
+
+        // Live speedup gate on the fig9a app. Interleaved min-of-3 so a
+        // load spike on a shared core penalizes both engines, not
+        // whichever one it happened to land on.
+        let mut best_i = f64::INFINITY;
+        let mut best_c = f64::INFINITY;
+        for _ in 0..3 {
+            best_i = best_i.min(
+                measure(App::Firewall, Backend::Interpreter, ehdl_bench::EVAL_PACKETS).wall_secs,
+            );
+            best_c = best_c
+                .min(measure(App::Firewall, Backend::Compiled, ehdl_bench::EVAL_PACKETS).wall_secs);
+        }
+        let speedup = best_i / best_c;
+        if speedup < MIN_FIREWALL_SPEEDUP {
+            failures.push(format!(
+                "firewall compiled speedup {speedup:.2}x below the {MIN_FIREWALL_SPEEDUP}x bar \
+                 (best wall {best_c:.3}s vs interpreter {best_i:.3}s)",
+            ));
+        } else {
+            println!(
+                "sim_speed OK: firewall compiled speedup {speedup:.2}x (bar {MIN_FIREWALL_SPEEDUP}x)"
+            );
+        }
+
+        for r in &reports {
+            // Wall-clock regression gate per (app, backend).
+            match read_recorded(&r.app, &r.backend, "cycles_per_sec") {
+                Some(recorded) if r.cycles_per_sec < recorded / 2.0 => {
+                    failures.push(format!(
+                        "{}/{}: {:.0} cycles/s vs recorded {:.0} (>2x slower); re-record with \
+                         EHDL_WRITE_BENCH=1 if intentional",
+                        r.app, r.backend, r.cycles_per_sec, recorded,
+                    ));
+                }
+                Some(recorded) => println!(
+                    "sim_speed OK: {}/{} {:.0} cycles/s vs recorded {:.0}",
+                    r.app, r.backend, r.cycles_per_sec, recorded,
+                ),
+                None => println!(
+                    "no recorded entry for {}/{}; skipping regression gate",
+                    r.app, r.backend
+                ),
+            }
+            // Deterministic flush/replay bounds per (app, backend). A small
+            // absolute allowance covers intentional schedule shifts.
+            let recorded_flushes = read_recorded(&r.app, &r.backend, "flushes");
+            let recorded_replays = read_recorded(&r.app, &r.backend, "flush_replays");
+            if let (Some(flushes), Some(replays)) = (recorded_flushes, recorded_replays) {
+                let (flushes, replays) = (flushes as u64, replays as u64);
                 let flush_bound = flushes + flushes / 2 + 8;
                 let replay_bound = replays + replays / 2 + 64;
-                if report.flushes > flush_bound || report.flush_replays > replay_bound {
-                    eprintln!(
-                        "sim_speed REGRESSION: {} flushes / {} replays vs recorded {} / {}; \
-                         re-record with EHDL_WRITE_BENCH=1 if intentional",
-                        report.flushes, report.flush_replays, flushes, replays,
-                    );
-                    std::process::exit(1);
+                if r.flushes > flush_bound || r.flush_replays > replay_bound {
+                    failures.push(format!(
+                        "{}/{}: {} flushes / {} replays vs recorded {} / {}; re-record with \
+                         EHDL_WRITE_BENCH=1 if intentional",
+                        r.app, r.backend, r.flushes, r.flush_replays, flushes, replays,
+                    ));
                 }
-                println!(
-                    "sim_speed OK: {} flushes / {} replays vs recorded {} / {}",
-                    report.flushes, report.flush_replays, flushes, replays,
-                );
             }
-            None => println!("no recorded flush counters; skipping flush gate"),
         }
+
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("sim_speed REGRESSION: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("sim_speed OK: all gates passed");
     }
 }

@@ -2,10 +2,16 @@
 //! cycle-level simulator itself, tracked as a first-class number so hot-loop
 //! regressions show up in CI (`scripts/check.sh`) instead of as mysteriously
 //! slow figure regeneration.
+//!
+//! Since the compiled backend landed, the sweep covers every evaluation app
+//! under both stage engines (interpreter and compiled), and the recorded
+//! baseline keeps one entry per `(app, backend)` pair. The compiled runs
+//! force [`Backend::Compiled`], so a plan that stops lowering fails the
+//! bench loudly instead of silently measuring the interpreter.
 
 use crate::{eval_packets, setup_app};
 use ehdl_core::Compiler;
-use ehdl_hwsim::{NicShell, ShellOptions};
+use ehdl_hwsim::{Backend, NicShell, ShellOptions};
 use ehdl_programs::App;
 use std::time::Instant;
 
@@ -17,6 +23,8 @@ pub const REPORT_PATH: &str = "BENCH_sim_speed.json";
 pub struct SimSpeedReport {
     /// Application under simulation.
     pub app: String,
+    /// Stage engine used (`"interpreter"` or `"compiled"`).
+    pub backend: String,
     /// Packets pushed through the shell.
     pub packets: usize,
     /// Pipeline cycles simulated.
@@ -33,13 +41,34 @@ pub struct SimSpeedReport {
     pub flush_replays: u64,
 }
 
-/// Run the Figure-9a-style firewall workload (`packets` packets, 64 B,
-/// 100 Gbps arrivals) and time the simulator.
-pub fn measure(packets: usize) -> SimSpeedReport {
-    let app = App::Firewall;
-    let design = Compiler::new().compile(&app.program()).expect("firewall compiles");
+/// The printable name of a benchmarked backend.
+pub fn backend_name(backend: Backend) -> &'static str {
+    match backend {
+        Backend::Interpreter => "interpreter",
+        Backend::Compiled => "compiled",
+        Backend::Auto => "auto",
+    }
+}
+
+/// Run the Figure-9a-style workload for `app` (`packets` packets, 64 B,
+/// 100 Gbps arrivals) on the requested stage engine and time the simulator.
+///
+/// # Panics
+///
+/// Panics if `backend` is [`Backend::Compiled`] and the app's plan does not
+/// lower — a compiled measurement must never silently fall back.
+pub fn measure(app: App, backend: Backend, packets: usize) -> SimSpeedReport {
+    let design = Compiler::new().compile(&app.program()).expect("app compiles");
     let stream = eval_packets(app, packets);
-    let mut shell = NicShell::new(&design, ShellOptions::default());
+    let mut options = ShellOptions::default();
+    options.sim.backend = backend;
+    let mut shell = NicShell::new(&design, options);
+    assert_eq!(
+        shell.sim_mut().active_backend(),
+        backend,
+        "{} must run on the requested backend",
+        app.name(),
+    );
     setup_app(app, shell.sim_mut().maps_mut());
     let start = Instant::now();
     let report = shell.run(stream);
@@ -49,6 +78,7 @@ pub fn measure(packets: usize) -> SimSpeedReport {
     let counters = shell.counters();
     SimSpeedReport {
         app: app.name().to_string(),
+        backend: backend_name(backend).to_string(),
         packets,
         cycles,
         wall_secs,
@@ -59,41 +89,58 @@ pub fn measure(packets: usize) -> SimSpeedReport {
     }
 }
 
+/// Sweep every evaluation app under both stage engines.
+pub fn measure_all(packets: usize) -> Vec<SimSpeedReport> {
+    let mut out = Vec::new();
+    for app in App::ALL {
+        for backend in [Backend::Interpreter, Backend::Compiled] {
+            out.push(measure(app, backend, packets));
+        }
+    }
+    out
+}
+
 /// The workspace-root path of the recorded baseline.
 pub fn report_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(REPORT_PATH)
 }
 
-/// Serialize a report to the tracked JSON file (no serde in the tree, so
-/// the format is written by hand and parsed with [`read_recorded`]).
-pub fn write_report(report: &SimSpeedReport) -> std::io::Result<()> {
-    let json = format!(
-        "{{\n  \"app\": \"{}\",\n  \"packets\": {},\n  \"cycles\": {},\n  \"wall_secs\": {:.6},\n  \"cycles_per_sec\": {:.1},\n  \"packets_per_sec\": {:.1},\n  \"flushes\": {},\n  \"flush_replays\": {}\n}}\n",
-        report.app,
-        report.packets,
-        report.cycles,
-        report.wall_secs,
-        report.cycles_per_sec,
-        report.packets_per_sec,
-        report.flushes,
-        report.flush_replays,
-    );
+/// Serialize the sweep to the tracked JSON file (no serde in the tree, so
+/// the format is written by hand — one entry object per line — and parsed
+/// with [`read_recorded`]).
+pub fn write_report(reports: &[SimSpeedReport]) -> std::io::Result<()> {
+    let mut json = String::from("{\n  \"entries\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let sep = if i + 1 == reports.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"app\": \"{}\", \"backend\": \"{}\", \"packets\": {}, \"cycles\": {}, \
+             \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.1}, \"packets_per_sec\": {:.1}, \
+             \"flushes\": {}, \"flush_replays\": {}}}{sep}\n",
+            r.app,
+            r.backend,
+            r.packets,
+            r.cycles,
+            r.wall_secs,
+            r.cycles_per_sec,
+            r.packets_per_sec,
+            r.flushes,
+            r.flush_replays,
+        ));
+    }
+    json.push_str("  ]\n}\n");
     std::fs::write(report_path(), json)
 }
 
-/// Read the recorded `cycles_per_sec` baseline, if one exists.
-pub fn read_recorded() -> Option<f64> {
+/// Read one recorded field for an `(app, backend)` entry, if present.
+/// Older single-run recordings have no per-backend entries and return
+/// `None`, which skips the corresponding gate.
+pub fn read_recorded(app: &str, backend: &str, field: &str) -> Option<f64> {
     let text = std::fs::read_to_string(report_path()).ok()?;
-    parse_field(&text, "cycles_per_sec")
-}
-
-/// Read the recorded flush counters, if present (older recordings lack
-/// them — the gate then skips the flush bound).
-pub fn read_recorded_flushes() -> Option<(u64, u64)> {
-    let text = std::fs::read_to_string(report_path()).ok()?;
-    let flushes = parse_field(&text, "flushes")? as u64;
-    let replays = parse_field(&text, "flush_replays")? as u64;
-    Some((flushes, replays))
+    let line = text.lines().find(|l| {
+        l.contains(&format!("\"app\": \"{app}\""))
+            && l.contains(&format!("\"backend\": \"{backend}\""))
+    })?;
+    parse_field(line, field)
 }
 
 fn parse_field(json: &str, field: &str) -> Option<f64> {
@@ -110,18 +157,61 @@ mod tests {
 
     #[test]
     fn parse_field_reads_numbers() {
-        let json = "{\n  \"cycles_per_sec\": 123456.7,\n  \"packets\": 40000\n}\n";
+        let json = "{\"cycles_per_sec\": 123456.7, \"packets\": 40000}";
         assert_eq!(parse_field(json, "cycles_per_sec"), Some(123456.7));
         assert_eq!(parse_field(json, "packets"), Some(40000.0));
         assert_eq!(parse_field(json, "missing"), None);
     }
 
     #[test]
+    fn report_round_trips_per_backend_entries() {
+        let r = |app: &str, backend: &str, pps: f64| SimSpeedReport {
+            app: app.to_string(),
+            backend: backend.to_string(),
+            packets: 64,
+            cycles: 100,
+            wall_secs: 0.5,
+            cycles_per_sec: 200.0,
+            packets_per_sec: pps,
+            flushes: 3,
+            flush_replays: 7,
+        };
+        let entries = [r("firewall", "interpreter", 128.0), r("firewall", "compiled", 1280.0)];
+        let mut json = String::from("{\n  \"entries\": [\n");
+        for (i, e) in entries.iter().enumerate() {
+            let sep = if i + 1 == entries.len() { "" } else { "," };
+            json.push_str(&format!(
+                "    {{\"app\": \"{}\", \"backend\": \"{}\", \"packets_per_sec\": {:.1}, \"flushes\": {}}}{sep}\n",
+                e.app, e.backend, e.packets_per_sec, e.flushes,
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        let line = json
+            .lines()
+            .find(|l| l.contains("\"backend\": \"compiled\""))
+            .expect("compiled entry present");
+        assert_eq!(parse_field(line, "packets_per_sec"), Some(1280.0));
+        assert_eq!(parse_field(line, "flushes"), Some(3.0));
+    }
+
+    #[test]
     fn measure_small_run_reports_consistent_rates() {
-        let r = measure(512);
-        assert_eq!(r.packets, 512);
-        assert!(r.cycles > 0);
-        assert!(r.cycles_per_sec > 0.0);
-        assert!((r.cycles as f64 / r.wall_secs - r.cycles_per_sec).abs() < 1.0);
+        for backend in [Backend::Interpreter, Backend::Compiled] {
+            let r = measure(App::Firewall, backend, 512);
+            assert_eq!(r.packets, 512);
+            assert_eq!(r.backend, backend_name(backend));
+            assert!(r.cycles > 0);
+            assert!(r.cycles_per_sec > 0.0);
+            assert!((r.cycles as f64 / r.wall_secs - r.cycles_per_sec).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_deterministic_workload_counters() {
+        let interp = measure(App::Firewall, Backend::Interpreter, 2_000);
+        let compiled = measure(App::Firewall, Backend::Compiled, 2_000);
+        assert_eq!(interp.cycles, compiled.cycles, "cycle-exact across backends");
+        assert_eq!(interp.flushes, compiled.flushes);
+        assert_eq!(interp.flush_replays, compiled.flush_replays);
     }
 }

@@ -64,7 +64,10 @@ pub mod vhdl;
 pub use compile::{Compiler, CompilerOptions, PassTimings};
 pub use error::CompileError;
 pub use pipeline::{PipelineDesign, Protection, Stage, StageOp};
-pub use plan::{control_inventory, ControlInventory, CsrDef, ExecPlan, HostMapPort};
+pub use plan::{
+    control_inventory, ControlInventory, CsrDef, ExecPlan, FusedOp, HostMapPort, LowerError,
+    LowerStats, LoweredPlan, LoweredStage, RegOrImm,
+};
 pub use resource::{ResourceEstimate, Target};
 
 /// Render one instruction in kernel disassembly style (jump offsets are

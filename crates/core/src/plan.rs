@@ -9,8 +9,16 @@
 //! storage built once per design. Shared behind an `Arc`, it lets the
 //! executor borrow instead of clone.
 
-use crate::ir::MapUse;
+use crate::ir::{HwInsn, Interval, MapUse, MemLabel};
 use crate::pipeline::{EdgeCond, PipelineDesign, Protection, StageOp};
+use ehdl_ebpf::helpers::{
+    BPF_CSUM_DIFF, BPF_GET_PRANDOM_U32, BPF_GET_SMP_PROCESSOR_ID, BPF_KTIME_GET_NS,
+    BPF_MAP_DELETE_ELEM, BPF_MAP_LOOKUP_ELEM, BPF_MAP_UPDATE_ELEM, BPF_REDIRECT,
+    BPF_XDP_ADJUST_HEAD, BPF_XDP_ADJUST_TAIL,
+};
+use ehdl_ebpf::insn::{Instruction, Operand};
+use ehdl_ebpf::opcode::{AluOp, AtomicOp, JmpOp, MemSize, Width};
+use ehdl_ebpf::vm::MAP_HANDLE_BASE;
 
 /// One host-facing map port in the control-interface inventory.
 ///
@@ -318,6 +326,809 @@ impl ExecPlan {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Lowered plan: the compiled simulator backend's specialized form.
+// ---------------------------------------------------------------------------
+
+/// Why a design could not be lowered for the compiled simulator backend.
+///
+/// A lowering failure is *not* a compile error: the simulator falls back
+/// to the interpreter, which executes every plan. The typed error exists
+/// so callers can tell a deliberate fallback from a silent one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// A stage calls a helper the executor has no semantics for; the
+    /// interpreter would fault the packet at runtime, so the lowerer
+    /// rejects the plan outright instead of baking a guaranteed fault.
+    UnsupportedHelper {
+        /// Pipeline stage of the offending call.
+        stage: usize,
+        /// Original bytecode slot of the call.
+        pc: usize,
+        /// The unknown helper id.
+        helper: u32,
+    },
+    /// A map-touching op references a map id absent from the design, so
+    /// no key/value geometry can be baked for it.
+    UnknownMap {
+        /// Pipeline stage of the offending op.
+        stage: usize,
+        /// Original bytecode slot of the op.
+        pc: usize,
+        /// The unresolvable map id.
+        map: u32,
+    },
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerError::UnsupportedHelper { stage, pc, helper } => {
+                write!(f, "stage {stage} pc {pc}: helper {helper} has no compiled specialization")
+            }
+            LowerError::UnknownMap { stage, pc, map } => {
+                write!(f, "stage {stage} pc {pc}: map {map} is not declared by the design")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// A pre-resolved register-or-immediate operand. Immediates are already
+/// sign-extended to 64 bits, so the executor never widens at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegOrImm {
+    /// Read register `r` at execution time.
+    Reg(u8),
+    /// Use this constant.
+    Imm(u64),
+}
+
+/// One specialized micro-op of a [`LoweredPlan`] stage.
+///
+/// Fused ops are in 1:1 correspondence with the stage's [`StageOp`]s (same
+/// order, same count): op `i` of a lowered stage specializes op `i` of the
+/// interpreter's stage. That invariant lets the executor fall back to the
+/// interpreter's generic op path *per op* when a runtime guard fails.
+///
+/// All plan-derived constants — immediates (pre-sign-extended), map handle
+/// values, key/value geometry, WAR delays and FEB read stages — are baked
+/// into the variant, so the hot path does no plan lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusedOp {
+    /// `dst = alu(op, dst, src)`.
+    AluRR {
+        /// ALU operation.
+        op: AluOp,
+        /// Operand width.
+        width: Width,
+        /// Destination (and first-operand) register.
+        dst: u8,
+        /// Source register.
+        src: u8,
+    },
+    /// `dst = alu(op, dst, imm)`.
+    AluRI {
+        /// ALU operation.
+        op: AluOp,
+        /// Operand width.
+        width: Width,
+        /// Destination (and first-operand) register.
+        dst: u8,
+        /// Pre-sign-extended immediate.
+        imm: u64,
+    },
+    /// Three-operand `dst = alu(op, a, b)` with a register `b`.
+    Alu3RR {
+        /// ALU operation.
+        op: AluOp,
+        /// Operand width.
+        width: Width,
+        /// Destination register.
+        dst: u8,
+        /// First source register.
+        a: u8,
+        /// Second source register.
+        b: u8,
+    },
+    /// Three-operand `dst = alu(op, a, imm)`.
+    Alu3RI {
+        /// ALU operation.
+        op: AluOp,
+        /// Operand width.
+        width: Width,
+        /// Destination register.
+        dst: u8,
+        /// First source register.
+        a: u8,
+        /// Pre-sign-extended immediate.
+        imm: u64,
+    },
+    /// `dst = imm` — covers `mov dst, imm` (result pre-computed for the
+    /// width) and `ld_imm64` (map handles already resolved to their
+    /// `MAP_HANDLE_BASE + id` address).
+    MovImm {
+        /// Destination register.
+        dst: u8,
+        /// Final 64-bit register value.
+        imm: u64,
+    },
+    /// Byte-swap `dst`.
+    Endian {
+        /// Destination register.
+        dst: u8,
+        /// Swap width in bits (16/32/64).
+        bits: i32,
+        /// True for `be`, false for `le` conversion.
+        to_be: bool,
+    },
+    /// Unconditional branch: record `taken = true` for the block.
+    JmpAlways,
+    /// Conditional branch on two registers.
+    JmpRR {
+        /// Comparison operator.
+        op: JmpOp,
+        /// Comparison width.
+        width: Width,
+        /// Left-hand register.
+        lhs: u8,
+        /// Right-hand register.
+        rhs: u8,
+    },
+    /// Conditional branch against an immediate.
+    JmpRI {
+        /// Comparison operator.
+        op: JmpOp,
+        /// Comparison width.
+        width: Width,
+        /// Left-hand register.
+        lhs: u8,
+        /// Pre-sign-extended immediate.
+        imm: u64,
+    },
+    /// Program exit; the XDP action is in `r0`.
+    Exit,
+    /// Context load (label `Ctx`): `xdp_md` field reads resolve to packet
+    /// geometry without touching memory.
+    LdCtx {
+        /// Access size.
+        size: MemSize,
+        /// Destination register.
+        dst: u8,
+        /// Base address register.
+        src: u8,
+        /// Signed displacement.
+        off: i16,
+    },
+    /// Stack load (label `Stack`).
+    LdStk {
+        /// Access size.
+        size: MemSize,
+        /// Destination register.
+        dst: u8,
+        /// Base address register.
+        src: u8,
+        /// Signed displacement.
+        off: i16,
+    },
+    /// Packet load (label `Packet`). `proven` skips the dynamic bounds
+    /// compare the abstract interpreter already discharged.
+    LdPkt {
+        /// Access size.
+        size: MemSize,
+        /// Destination register.
+        dst: u8,
+        /// Base address register.
+        src: u8,
+        /// Signed displacement.
+        off: i16,
+        /// Bounds proven at compile time.
+        proven: bool,
+    },
+    /// Map-value load (label `Map`), geometry baked.
+    LdMap {
+        /// Access size.
+        size: MemSize,
+        /// Destination register.
+        dst: u8,
+        /// Base address register.
+        src: u8,
+        /// Signed displacement.
+        off: i16,
+        /// Map id the label names.
+        map: u32,
+        /// Baked value stride of that map.
+        stride: u32,
+        /// Baked value size of that map.
+        value_size: u32,
+    },
+    /// Stack store (label `Stack`).
+    StStk {
+        /// Access size.
+        size: MemSize,
+        /// Base address register.
+        base: u8,
+        /// Signed displacement.
+        off: i16,
+        /// Stored value.
+        src: RegOrImm,
+    },
+    /// Packet store (label `Packet`).
+    StPkt {
+        /// Access size.
+        size: MemSize,
+        /// Base address register.
+        base: u8,
+        /// Signed displacement.
+        off: i16,
+        /// Stored value.
+        src: RegOrImm,
+        /// Bounds proven at compile time.
+        proven: bool,
+    },
+    /// Map-value store (label `Map`), geometry and hazard schedule baked.
+    StMap {
+        /// Access size.
+        size: MemSize,
+        /// Base address register.
+        base: u8,
+        /// Signed displacement.
+        off: i16,
+        /// Stored value.
+        src: RegOrImm,
+        /// Map id the label names.
+        map: u32,
+        /// Baked value stride of that map.
+        stride: u32,
+        /// Baked value size of that map.
+        value_size: u32,
+        /// Baked WAR delay for (map, stage).
+        delay: u32,
+        /// Baked FEB protected-read stage for (map, stage).
+        feb_read_stage: u32,
+    },
+    /// Atomic read-modify-write on a map value (label `Map`).
+    AtomicMap {
+        /// The atomic operation.
+        op: AtomicOp,
+        /// Access size.
+        size: MemSize,
+        /// Base address register.
+        dst: u8,
+        /// Operand register.
+        src: u8,
+        /// Signed displacement.
+        off: i16,
+        /// Map id the label names.
+        map: u32,
+        /// Baked value stride of that map.
+        stride: u32,
+        /// Baked value size of that map.
+        value_size: u32,
+    },
+    /// `bpf_map_lookup_elem` with baked geometry.
+    Lookup {
+        /// Map id from the hazard analysis.
+        map: u32,
+        /// Baked key size.
+        key_size: u32,
+        /// Baked value stride.
+        stride: u32,
+    },
+    /// `bpf_map_update_elem` with baked geometry and hazard schedule.
+    MapUpdate {
+        /// Map id from the hazard analysis.
+        map: u32,
+        /// Baked key size.
+        key_size: u32,
+        /// Baked value size.
+        value_size: u32,
+        /// Baked WAR delay for (map, stage).
+        delay: u32,
+        /// Baked FEB protected-read stage for (map, stage).
+        feb_read_stage: u32,
+    },
+    /// `bpf_map_delete_elem` with baked geometry and hazard schedule.
+    MapDelete {
+        /// Map id from the hazard analysis.
+        map: u32,
+        /// Baked key size.
+        key_size: u32,
+        /// Baked WAR delay for (map, stage).
+        delay: u32,
+        /// Baked FEB protected-read stage for (map, stage).
+        feb_read_stage: u32,
+    },
+    /// `bpf_ktime_get_ns`.
+    Ktime,
+    /// `bpf_get_prandom_u32`.
+    Prandom,
+    /// `bpf_get_smp_processor_id` (always 0 — one pipeline).
+    SmpId,
+    /// `bpf_redirect`.
+    Redirect,
+    /// No specialization: the executor runs the original [`StageOp`] at
+    /// the same index through the interpreter's per-op path. Any stage
+    /// containing one of these is forced to delta (two-phase) mode.
+    Interp,
+}
+
+/// One stage of a [`LoweredPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoweredStage {
+    /// Owning control block.
+    pub block: u32,
+    /// Baked strictest implicit length guard of the block (`i64::MIN`
+    /// when the block carries none).
+    pub guard_min_len: i64,
+    /// Index range into the plan's fused-op array.
+    ops: (u32, u32),
+    /// Execute in two-phase (delta) mode through the interpreter's op
+    /// loop: set when the stage has an intra-stage read-after-write, a
+    /// flush-capable op past index 0, or an op with no specialization.
+    /// Direct mode (the fast path) writes packet state in place.
+    pub delta: bool,
+}
+
+/// Lowering statistics, for reporting and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LowerStats {
+    /// Stages executing in direct (in-place) mode.
+    pub direct_stages: usize,
+    /// Stages demoted to two-phase delta mode.
+    pub delta_stages: usize,
+    /// Total fused ops (1:1 with the plan's stage ops).
+    pub fused_ops: usize,
+}
+
+/// The compiled simulator backend's specialized execution plan.
+///
+/// Produced once at attach time by [`LoweredPlan::try_lower`]: every
+/// [`StageOp`] is monomorphized into a [`FusedOp`] with its operands
+/// resolved and its plan constants (immediates, map geometry, WAR delays,
+/// FEB schedules, block guards) baked in, and every stage is classified
+/// as *direct* (ops write packet state in place — no per-stage write-set
+/// indirection) or *delta* (two-phase, bit-identical to the interpreter
+/// by construction because it *is* the interpreter's op loop).
+///
+/// Direct mode is sound only when no op observes an earlier op's write
+/// within the same stage — the interpreter's two-phase semantics make all
+/// reads see the stage-entry state. The lowerer proves that per stage
+/// from register read/write masks and the §3.1 memory labels, and demotes
+/// any stage it cannot prove.
+#[derive(Debug, Clone)]
+pub struct LoweredPlan {
+    stages: Vec<LoweredStage>,
+    ops: Vec<FusedOp>,
+    stats: LowerStats,
+}
+
+/// Per-op effect summary used by the direct-mode eligibility analysis.
+#[derive(Debug, Clone, Copy)]
+struct OpEffects {
+    /// Registers read (bit `r` set for `rR`).
+    reads: u16,
+    /// Registers written.
+    writes: u16,
+    /// Memory region read, if any.
+    mem_read: Option<MemAcc>,
+    /// Memory region written, if any.
+    mem_write: Option<MemAcc>,
+    /// The op's executor can return a RAW-interlock `FlushSelf`, which
+    /// discards the whole stage — representable in direct mode only when
+    /// no earlier op has already written state (i.e. at index 0).
+    flush_capable: bool,
+}
+
+/// A conservatively-labeled memory access for intra-stage dependence
+/// checking. Map memory is deliberately absent: map writes commit
+/// immediately in *both* execution modes (they are global side effects,
+/// not per-packet state), so intra-stage map RAW ordering is identical
+/// by construction.
+#[derive(Debug, Clone, Copy)]
+enum MemAcc {
+    Stack(Interval),
+    Packet(Interval),
+    /// Unknown or helper-internal (pointer-typed helper arguments).
+    Unknown,
+}
+
+fn acc_overlaps(a: MemAcc, b: MemAcc) -> bool {
+    match (a, b) {
+        (MemAcc::Unknown, _) | (_, MemAcc::Unknown) => true,
+        (MemAcc::Stack(x), MemAcc::Stack(y)) | (MemAcc::Packet(x), MemAcc::Packet(y)) => {
+            x.overlaps(y)
+        }
+        _ => false,
+    }
+}
+
+fn bit(r: u8) -> u16 {
+    1 << (r as usize).min(15)
+}
+
+fn operand_bit(op: Operand) -> u16 {
+    match op {
+        Operand::Reg(r) => bit(r),
+        Operand::Imm(_) => 0,
+    }
+}
+
+fn sext(i: i32) -> u64 {
+    i as i64 as u64
+}
+
+fn reg_or_imm(op: Operand) -> RegOrImm {
+    match op {
+        Operand::Reg(r) => RegOrImm::Reg(r),
+        Operand::Imm(i) => RegOrImm::Imm(sext(i)),
+    }
+}
+
+/// Registers r0–r5 (caller-saved): every helper clobbers all of them.
+const HELPER_WRITES: u16 = 0b11_1111;
+/// Registers r1–r5: the conservative helper argument read set.
+const HELPER_READS: u16 = 0b11_1110;
+
+impl LoweredPlan {
+    /// Lower `design` into a compiled-backend plan.
+    ///
+    /// # Errors
+    ///
+    /// [`LowerError::UnsupportedHelper`] for helper calls the executor
+    /// has no semantics for, [`LowerError::UnknownMap`] when a
+    /// map-touching op names a map the design does not declare. Callers
+    /// are expected to fall back to the interpreter on error.
+    pub fn try_lower(design: &PipelineDesign) -> Result<LoweredPlan, LowerError> {
+        let mut guard_min_len = vec![i64::MIN; design.blocks.len()];
+        for &(gb, min_len) in &design.guards {
+            guard_min_len[gb] = guard_min_len[gb].max(min_len);
+        }
+        let mut stages = Vec::with_capacity(design.stages.len());
+        let mut ops = Vec::new();
+        let mut stats = LowerStats::default();
+        for (s, stage) in design.stages.iter().enumerate() {
+            let a = ops.len() as u32;
+            let mut delta = false;
+            let mut written: u16 = 0;
+            let mut mem_writes: Vec<MemAcc> = Vec::new();
+            for (i, op) in stage.ops.iter().enumerate() {
+                let (fused, eff) = lower_op(design, s, op)?;
+                if matches!(fused, FusedOp::Interp)
+                    || (eff.flush_capable && i > 0)
+                    || (eff.reads & written) != 0
+                    || eff.mem_read.is_some_and(|r| mem_writes.iter().any(|&w| acc_overlaps(w, r)))
+                {
+                    delta = true;
+                }
+                written |= eff.writes;
+                if let Some(w) = eff.mem_write {
+                    mem_writes.push(w);
+                }
+                ops.push(fused);
+            }
+            if !stage.ops.is_empty() {
+                if delta {
+                    stats.delta_stages += 1;
+                } else {
+                    stats.direct_stages += 1;
+                }
+            }
+            stages.push(LoweredStage {
+                block: stage.block as u32,
+                guard_min_len: guard_min_len.get(stage.block).copied().unwrap_or(i64::MIN),
+                ops: (a, ops.len() as u32),
+                delta,
+            });
+        }
+        stats.fused_ops = ops.len();
+        Ok(LoweredPlan { stages, ops, stats })
+    }
+
+    /// Number of pipeline stages (equals the source plan's).
+    #[inline]
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Stage `s`'s lowered descriptor.
+    #[inline]
+    pub fn stage(&self, s: usize) -> &LoweredStage {
+        &self.stages[s]
+    }
+
+    /// The fused ops of stage `s` (1:1 with the plan's stage ops).
+    #[inline]
+    pub fn stage_fused(&self, s: usize) -> &[FusedOp] {
+        let (a, b) = self.stages[s].ops;
+        &self.ops[a as usize..b as usize]
+    }
+
+    /// Lowering statistics.
+    #[inline]
+    pub fn stats(&self) -> LowerStats {
+        self.stats
+    }
+}
+
+/// Baked geometry of one map.
+struct MapGeom {
+    key_size: u32,
+    value_size: u32,
+    stride: u32,
+}
+
+fn map_geom(design: &PipelineDesign, s: usize, pc: usize, map: u32) -> Result<MapGeom, LowerError> {
+    design
+        .maps
+        .iter()
+        .find(|d| d.id == map)
+        .map(|d| MapGeom {
+            key_size: d.key_size,
+            value_size: d.value_size,
+            stride: d.value_stride(),
+        })
+        .ok_or(LowerError::UnknownMap { stage: s, pc, map })
+}
+
+/// Baked WAR delay for a write to `map` at stage `s`.
+fn war_delay_of(design: &PipelineDesign, map: u32, s: usize) -> u32 {
+    design
+        .hazards
+        .war_buffers
+        .iter()
+        .find(|w| w.map == map && w.write_stage == s)
+        .map_or(0, |w| w.delay as u32)
+}
+
+/// Baked FEB protected-read stage for a write to `map` at stage `s`.
+fn feb_read_stage_of(design: &PipelineDesign, map: u32, s: usize) -> u32 {
+    design
+        .hazards
+        .febs
+        .iter()
+        .filter(|f| f.map == map && f.write_stage == s)
+        .map(|f| f.read_stage)
+        .min()
+        .unwrap_or(0) as u32
+}
+
+const NO_MEM: (Option<MemAcc>, Option<MemAcc>) = (None, None);
+
+#[allow(clippy::too_many_lines)]
+fn lower_op(
+    design: &PipelineDesign,
+    s: usize,
+    op: &StageOp,
+) -> Result<(FusedOp, OpEffects), LowerError> {
+    let eff = |reads: u16, writes: u16, mem: (Option<MemAcc>, Option<MemAcc>), fc: bool| {
+        OpEffects { reads, writes, mem_read: mem.0, mem_write: mem.1, flush_capable: fc }
+    };
+    Ok(match op.insn {
+        HwInsn::Alu3 { op: aop, width, dst, a, b } => {
+            let e = eff(bit(a) | operand_bit(b), bit(dst), NO_MEM, false);
+            match b {
+                Operand::Reg(r) => (FusedOp::Alu3RR { op: aop, width, dst, a, b: r }, e),
+                Operand::Imm(i) => (FusedOp::Alu3RI { op: aop, width, dst, a, imm: sext(i) }, e),
+            }
+        }
+        HwInsn::Simple(insn) => match insn {
+            Instruction::Alu { op: aop, width, dst, src } => match (aop, src) {
+                (AluOp::Mov, Operand::Imm(i)) => {
+                    // Pre-compute the width-adjusted result.
+                    let v = match width {
+                        Width::W64 => sext(i),
+                        Width::W32 => u64::from(i as u32),
+                    };
+                    (FusedOp::MovImm { dst, imm: v }, eff(0, bit(dst), NO_MEM, false))
+                }
+                (AluOp::Mov, Operand::Reg(r)) => (
+                    FusedOp::AluRR { op: aop, width, dst, src: r },
+                    // Mov ignores the old dst value.
+                    eff(bit(r), bit(dst), NO_MEM, false),
+                ),
+                (_, Operand::Reg(r)) => (
+                    FusedOp::AluRR { op: aop, width, dst, src: r },
+                    eff(bit(dst) | bit(r), bit(dst), NO_MEM, false),
+                ),
+                (_, Operand::Imm(i)) => (
+                    FusedOp::AluRI { op: aop, width, dst, imm: sext(i) },
+                    eff(bit(dst), bit(dst), NO_MEM, false),
+                ),
+            },
+            Instruction::Endian { dst, bits, to_be } => {
+                (FusedOp::Endian { dst, bits, to_be }, eff(bit(dst), bit(dst), NO_MEM, false))
+            }
+            Instruction::LoadImm64 { dst, imm, map } => {
+                let v = match map {
+                    Some(id) => MAP_HANDLE_BASE + u64::from(id),
+                    None => imm,
+                };
+                (FusedOp::MovImm { dst, imm: v }, eff(0, bit(dst), NO_MEM, false))
+            }
+            Instruction::Load { size, dst, src, off } => {
+                let e = |mem_read, fc| eff(bit(src), bit(dst), (mem_read, None), fc);
+                match op.label {
+                    MemLabel::Ctx(_) => (FusedOp::LdCtx { size, dst, src, off }, e(None, false)),
+                    MemLabel::Stack(iv) => {
+                        (FusedOp::LdStk { size, dst, src, off }, e(Some(MemAcc::Stack(iv)), false))
+                    }
+                    MemLabel::Packet(iv) => (
+                        FusedOp::LdPkt { size, dst, src, off, proven: op.proof.is_some() },
+                        e(Some(MemAcc::Packet(iv)), false),
+                    ),
+                    MemLabel::Map(m) => {
+                        let g = map_geom(design, s, op.pc, m)?;
+                        (
+                            FusedOp::LdMap {
+                                size,
+                                dst,
+                                src,
+                                off,
+                                map: m,
+                                stride: g.stride,
+                                value_size: g.value_size,
+                            },
+                            // Map reads hit the stale-risk interlock.
+                            e(None, true),
+                        )
+                    }
+                    MemLabel::None => (FusedOp::Interp, e(Some(MemAcc::Unknown), true)),
+                }
+            }
+            Instruction::Store { size, dst, off, src } => {
+                let reads = bit(dst) | operand_bit(src);
+                let e = |mem_write, fc| eff(reads, 0, (None, mem_write), fc);
+                let v = reg_or_imm(src);
+                match op.label {
+                    MemLabel::Stack(iv) => (
+                        FusedOp::StStk { size, base: dst, off, src: v },
+                        e(Some(MemAcc::Stack(iv)), false),
+                    ),
+                    MemLabel::Packet(iv) => (
+                        FusedOp::StPkt { size, base: dst, off, src: v, proven: op.proof.is_some() },
+                        e(Some(MemAcc::Packet(iv)), false),
+                    ),
+                    MemLabel::Map(m) => {
+                        let g = map_geom(design, s, op.pc, m)?;
+                        (
+                            FusedOp::StMap {
+                                size,
+                                base: dst,
+                                off,
+                                src: v,
+                                map: m,
+                                stride: g.stride,
+                                value_size: g.value_size,
+                                delay: war_delay_of(design, m, s),
+                                feb_read_stage: feb_read_stage_of(design, m, s),
+                            },
+                            e(None, false),
+                        )
+                    }
+                    MemLabel::Ctx(_) | MemLabel::None => {
+                        (FusedOp::Interp, e(Some(MemAcc::Unknown), true))
+                    }
+                }
+            }
+            Instruction::Atomic { op: aop, size, dst, off, src } => {
+                let mut reads = bit(dst) | bit(src);
+                if aop == AtomicOp::Cmpxchg {
+                    reads |= bit(0);
+                }
+                let writes = match aop {
+                    AtomicOp::Cmpxchg => bit(0),
+                    _ if aop.fetches() => bit(src),
+                    _ => 0,
+                };
+                match op.label {
+                    MemLabel::Map(m) => {
+                        let g = map_geom(design, s, op.pc, m)?;
+                        (
+                            FusedOp::AtomicMap {
+                                op: aop,
+                                size,
+                                dst,
+                                src,
+                                off,
+                                map: m,
+                                stride: g.stride,
+                                value_size: g.value_size,
+                            },
+                            eff(reads, writes, NO_MEM, true),
+                        )
+                    }
+                    _ => (
+                        FusedOp::Interp,
+                        eff(reads, writes, (Some(MemAcc::Unknown), Some(MemAcc::Unknown)), true),
+                    ),
+                }
+            }
+            Instruction::Jump { cond, .. } => match cond {
+                None => (FusedOp::JmpAlways, eff(0, 0, NO_MEM, false)),
+                Some(c) => {
+                    let e = eff(bit(c.lhs) | operand_bit(c.rhs), 0, NO_MEM, false);
+                    match c.rhs {
+                        Operand::Reg(r) => {
+                            (FusedOp::JmpRR { op: c.op, width: c.width, lhs: c.lhs, rhs: r }, e)
+                        }
+                        Operand::Imm(i) => (
+                            FusedOp::JmpRI { op: c.op, width: c.width, lhs: c.lhs, imm: sext(i) },
+                            e,
+                        ),
+                    }
+                }
+            },
+            Instruction::Call { helper } => {
+                let mem_in = Some(MemAcc::Unknown);
+                match helper {
+                    BPF_MAP_LOOKUP_ELEM => {
+                        let Some(MapUse::Lookup(m)) = op.map_use else {
+                            // No resolved map: run the interpreter's
+                            // handle-decoding path.
+                            return Ok((
+                                FusedOp::Interp,
+                                eff(HELPER_READS, HELPER_WRITES, (mem_in, None), true),
+                            ));
+                        };
+                        let g = map_geom(design, s, op.pc, m)?;
+                        (
+                            FusedOp::Lookup { map: m, key_size: g.key_size, stride: g.stride },
+                            eff(bit(1) | bit(2), HELPER_WRITES, (mem_in, None), true),
+                        )
+                    }
+                    BPF_MAP_UPDATE_ELEM | BPF_MAP_DELETE_ELEM => {
+                        let Some(MapUse::HelperWrite(m)) = op.map_use else {
+                            return Ok((
+                                FusedOp::Interp,
+                                eff(HELPER_READS, HELPER_WRITES, (mem_in, None), true),
+                            ));
+                        };
+                        let g = map_geom(design, s, op.pc, m)?;
+                        let delay = war_delay_of(design, m, s);
+                        let feb = feb_read_stage_of(design, m, s);
+                        let fused = if helper == BPF_MAP_UPDATE_ELEM {
+                            FusedOp::MapUpdate {
+                                map: m,
+                                key_size: g.key_size,
+                                value_size: g.value_size,
+                                delay,
+                                feb_read_stage: feb,
+                            }
+                        } else {
+                            FusedOp::MapDelete {
+                                map: m,
+                                key_size: g.key_size,
+                                delay,
+                                feb_read_stage: feb,
+                            }
+                        };
+                        (fused, eff(HELPER_READS, HELPER_WRITES, (mem_in, None), true))
+                    }
+                    BPF_KTIME_GET_NS => (FusedOp::Ktime, eff(0, HELPER_WRITES, NO_MEM, false)),
+                    BPF_GET_PRANDOM_U32 => (FusedOp::Prandom, eff(0, HELPER_WRITES, NO_MEM, false)),
+                    BPF_GET_SMP_PROCESSOR_ID => {
+                        (FusedOp::SmpId, eff(0, HELPER_WRITES, NO_MEM, false))
+                    }
+                    BPF_REDIRECT => (FusedOp::Redirect, eff(bit(1), HELPER_WRITES, NO_MEM, false)),
+                    BPF_XDP_ADJUST_HEAD | BPF_XDP_ADJUST_TAIL => (
+                        // Moves packet geometry, which every packet access
+                        // implicitly reads: model as an unknown write.
+                        FusedOp::Interp,
+                        eff(HELPER_READS, HELPER_WRITES, (None, Some(MemAcc::Unknown)), false),
+                    ),
+                    BPF_CSUM_DIFF => {
+                        (FusedOp::Interp, eff(HELPER_READS, HELPER_WRITES, (mem_in, None), true))
+                    }
+                    _ => return Err(LowerError::UnsupportedHelper { stage: s, pc: op.pc, helper }),
+                }
+            }
+            Instruction::Exit => (FusedOp::Exit, eff(bit(0), 0, NO_MEM, false)),
+        },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,5 +1246,121 @@ mod tests {
         assert_eq!(plan.guard_min_len(0), 34);
         assert_eq!(plan.guard_min_len(1), 20);
         assert_eq!(plan.guard_min_len(2), i64::MIN);
+    }
+
+    #[test]
+    fn lowering_is_one_to_one_with_stage_ops() {
+        let design = branchy_design();
+        let lowered = LoweredPlan::try_lower(&design).expect("branchy design lowers");
+        assert_eq!(lowered.stage_count(), design.stages.len());
+        let mut total = 0;
+        for (s, stage) in design.stages.iter().enumerate() {
+            assert_eq!(
+                lowered.stage_fused(s).len(),
+                stage.ops.len(),
+                "stage {s}: fused ops must be 1:1 with stage ops"
+            );
+            assert_eq!(lowered.stage(s).block as usize, stage.block);
+            total += stage.ops.len();
+        }
+        let stats = lowered.stats();
+        assert_eq!(stats.fused_ops, total);
+        assert!(stats.direct_stages > 0, "a pure ALU design has direct stages");
+    }
+
+    #[test]
+    fn lowering_bakes_strictest_guard_per_block() {
+        let mut design = branchy_design();
+        design.guards = vec![(0, 14), (0, 34)];
+        let lowered = LoweredPlan::try_lower(&design).unwrap();
+        let plan = ExecPlan::new(&design);
+        for s in 0..lowered.stage_count() {
+            assert_eq!(lowered.stage(s).guard_min_len, plan.guard_min_len(plan.stage_block(s)));
+        }
+    }
+
+    #[test]
+    fn mov32_imm_result_is_precomputed_zero_extended() {
+        // Splice the movs into a compiled design: the optimizer would
+        // otherwise constant-fold them away before lowering sees them.
+        let mut design = branchy_design();
+        design.stages[0].ops[0].insn = HwInsn::Simple(Instruction::Alu {
+            op: AluOp::Mov,
+            width: Width::W32,
+            dst: 2,
+            src: Operand::Imm(-1),
+        });
+        design.stages[1].ops[0].insn = HwInsn::Simple(Instruction::Alu {
+            op: AluOp::Mov,
+            width: Width::W64,
+            dst: 3,
+            src: Operand::Imm(-1),
+        });
+        let lowered = LoweredPlan::try_lower(&design).unwrap();
+        assert_eq!(
+            lowered.stage_fused(0)[0],
+            FusedOp::MovImm { dst: 2, imm: 0xffff_ffff },
+            "mov32 -1 must bake the zero-extended 32-bit result"
+        );
+        assert_eq!(
+            lowered.stage_fused(1)[0],
+            FusedOp::MovImm { dst: 3, imm: u64::MAX },
+            "mov64 -1 must bake the sign-extended result"
+        );
+    }
+
+    #[test]
+    fn unsupported_helper_is_a_typed_error() {
+        use ehdl_ebpf::helpers::BPF_FIB_LOOKUP;
+        // The verifier rejects unknown helpers at load time, so a plan
+        // carrying one can only come from a future compiler feature —
+        // model that by splicing the call into a compiled design.
+        let mut design = branchy_design();
+        let op = &mut design.stages[0].ops[0];
+        op.insn = HwInsn::Simple(Instruction::Call { helper: BPF_FIB_LOOKUP });
+        let err = LoweredPlan::try_lower(&design).expect_err("fib_lookup has no specialization");
+        match err {
+            LowerError::UnsupportedHelper { stage, helper, .. } => {
+                assert_eq!((stage, helper), (0, BPF_FIB_LOOKUP));
+            }
+            other => panic!("expected UnsupportedHelper, got {other:?}"),
+        }
+        // The error renders something a human can act on.
+        assert!(err.to_string().contains("helper"), "display: {err}");
+    }
+
+    #[test]
+    fn map_geometry_and_hazard_schedule_are_baked() {
+        use ehdl_ebpf::maps::{MapDef, MapKind};
+        use ehdl_ebpf::opcode::AluOp;
+        let mut a = Asm::new();
+        let miss = a.new_label();
+        a.mov64_imm(2, 0);
+        a.store_reg(MemSize::W, 10, -4, 2);
+        a.ld_map_fd(1, 0);
+        a.mov64_reg(2, 10);
+        a.alu64_imm(AluOp::Add, 2, -4);
+        a.call(1);
+        a.jmp_imm(JmpOp::Jeq, 0, 0, miss);
+        a.mov64_imm(2, 1);
+        a.atomic_add64(0, 0, 2);
+        a.bind(miss);
+        a.mov64_imm(0, 2);
+        a.exit();
+        let prog =
+            Program::new("g", a.into_insns(), vec![MapDef::new(0, "m", MapKind::Array, 4, 8, 8)]);
+        let design = Compiler::new().compile(&prog).unwrap();
+        let lowered = LoweredPlan::try_lower(&design).unwrap();
+        let all: Vec<FusedOp> =
+            (0..lowered.stage_count()).flat_map(|s| lowered.stage_fused(s).to_vec()).collect();
+        let lookup = all.iter().find(|f| matches!(f, FusedOp::Lookup { .. }));
+        assert!(lookup.is_some(), "lookup call must specialize");
+        if let Some(FusedOp::Lookup { map, key_size, stride }) = lookup {
+            assert_eq!((*map, *key_size, *stride), (0, 4, 8));
+        }
+        assert!(
+            all.iter().any(|f| matches!(f, FusedOp::AtomicMap { map: 0, value_size: 8, .. })),
+            "map-labeled atomic must specialize with baked geometry"
+        );
     }
 }

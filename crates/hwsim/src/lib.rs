@@ -44,4 +44,4 @@ pub use fault::{
 };
 pub use multi::{CompiledSteering, MultiNic, Steering};
 pub use shell::{NicShell, ShellOptions, ShellReport};
-pub use sim::{PipelineSim, SimCounters, SimError, SimOptions, SimOutcome};
+pub use sim::{Backend, PipelineSim, SimCounters, SimError, SimOptions, SimOutcome};

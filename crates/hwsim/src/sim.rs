@@ -2,7 +2,7 @@
 
 use ehdl_core::ir::{HwInsn, MapUse};
 use ehdl_core::pipeline::{EdgeCond, PipelineDesign};
-use ehdl_core::ExecPlan;
+use ehdl_core::{ExecPlan, LowerError, LoweredPlan};
 use ehdl_ebpf::helpers::*;
 use ehdl_ebpf::insn::{Instruction, Operand};
 use ehdl_ebpf::maps::{MapStore, UpdateFlags};
@@ -22,6 +22,8 @@ use crate::fault::{
     FaultConfig, FaultEngine, FaultEvent, FaultKind, FaultOutcome, FaultSite, Hang, MapUpset,
     StuckFault,
 };
+
+mod compiled;
 
 /// Pipeline clock period in nanoseconds (250 MHz).
 pub const CLOCK_NS: f64 = 4.0;
@@ -61,6 +63,29 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Which execution engine runs the pipeline stages.
+///
+/// Both engines are cycle-accurate and bit-identical on every observable
+/// (outcomes, counters, telemetry, map state); the compiled backend is
+/// simply specialized at attach time. See the "Compiled backend" section
+/// of DESIGN.md.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Lower the plan at attach time and use the compiled engine; fall
+    /// back to the interpreter (recording the typed [`LowerError`]) if
+    /// the plan has a feature the lowerer rejects, or when
+    /// [`SimOptions::check_proofs`] asks for per-access proof rechecks
+    /// (a validation mode the specialized ops deliberately elide).
+    #[default]
+    Auto,
+    /// Always interpret the [`ExecPlan`] op by op.
+    Interpreter,
+    /// Require the compiled engine; construction panics if the plan
+    /// cannot be lowered. For benches and tests that must not silently
+    /// measure the wrong engine.
+    Compiled,
+}
+
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct SimOptions {
@@ -88,6 +113,8 @@ pub struct SimOptions {
     /// violations increment [`SimCounters::proof_violations`] without
     /// changing the verdict (the unguarded hardware would simply read).
     pub check_proofs: bool,
+    /// Stage execution engine; see [`Backend`].
+    pub backend: Backend,
 }
 
 impl Default for SimOptions {
@@ -99,6 +126,7 @@ impl Default for SimOptions {
             poison_dead_state: false,
             partial_flush: true,
             check_proofs: false,
+            backend: Backend::Auto,
         }
     }
 }
@@ -221,6 +249,14 @@ struct PacketState {
     /// replay). The stage tag bounds how far a stale reader must roll
     /// back: to its own earliest matching read, not the FEB minimum.
     map_reads: Vec<(u32, u32, Vec<u8>)>,
+    /// Superset summary of `map_reads`: for every entry the
+    /// [`read_key_bit`] of its `(map, key)` is set. FEB write interlocks
+    /// test this one word before scanning the vector, so the per-write
+    /// sweep over all in-flight packets is a few cycles per slot unless a
+    /// packet might actually hold a matching read. Never pruned on
+    /// retirement (a stale bit only costs an exact scan), cleared with the
+    /// vector on reset.
+    read_filter: u64,
     /// Lowest `data_off` this packet ever had. Everything below it in
     /// `buf` is still the zeroed headroom, so snapshots copy only the
     /// tail from here on.
@@ -236,44 +272,67 @@ struct PacketState {
 struct StatePool {
     #[allow(clippy::vec_box)] // boxed so snapshot/restore moves a pointer
     free: Vec<Box<PacketState>>,
-    /// Retired checkpoint vectors, reused by newly injected packets.
-    ckpt_vecs: Vec<Vec<(usize, Box<PacketState>)>>,
+    /// Retired unconfirmed-read key buffers. The compiled backend records
+    /// reads with pooled keys (instead of the interpreter's fresh
+    /// `to_vec`), so its lookup path is allocation-free once warm.
+    keys: Vec<Vec<u8>>,
+    /// Retired whole in-flight frames: a completed packet's box (state
+    /// buffers, checkpoint vector, original-bytes buffer) is reused by the
+    /// next injection, so the enqueue path stops allocating once warm.
+    #[allow(clippy::vec_box)] // boxed so slot moves stay pointer-sized
+    flights: Vec<Box<InFlight>>,
+    /// Largest read-record set any snapshot has carried. Boxes are grown
+    /// to this high-water on *recycle* (retiring or flush cycles, where
+    /// allocation is fair game) so [`StatePool::snapshot`] itself never
+    /// grows a vector mid-step.
+    read_high: usize,
     /// `BlockBits` words actually used by this design.
     words: usize,
 }
 
 impl StatePool {
     const CAP: usize = 64;
+    /// Key buffers are tiny and churn fastest (one per in-flight lookup),
+    /// so they get a deeper pool than checkpoint boxes.
+    const KEY_CAP: usize = 256;
 
     /// Clone `src` into a pooled box (allocation-free when warm).
     fn snapshot(&mut self, src: &PacketState) -> Box<PacketState> {
+        self.read_high = self.read_high.max(src.map_reads.len());
         match self.free.pop() {
             Some(mut b) => {
-                b.assign_from(src, self.words);
+                b.assign_from(src, self.words, &mut self.keys);
                 b
             }
             None => Box::new(src.clone()),
         }
     }
 
-    fn recycle(&mut self, b: Box<PacketState>) {
+    fn recycle(&mut self, mut b: Box<PacketState>) {
         if self.free.len() < Self::CAP {
+            b.map_reads.reserve(self.read_high.saturating_sub(b.map_reads.len()));
             self.free.push(b);
         }
     }
 
-    /// A recycled (empty, warm-capacity) checkpoint vector for a new
-    /// packet, so its first checkpoint push doesn't allocate mid-step.
-    fn take_ckpt_vec(&mut self) -> Vec<(usize, Box<PacketState>)> {
-        self.ckpt_vecs.pop().unwrap_or_default()
+    /// A recycled key buffer (allocation-free when warm).
+    fn take_key(&mut self) -> Vec<u8> {
+        self.keys.pop().unwrap_or_default()
     }
 
-    /// Return a retiring packet's checkpoint vector (already drained of
-    /// its snapshots) to the pool.
-    fn recycle_ckpt_vec(&mut self, mut v: Vec<(usize, Box<PacketState>)>) {
-        v.clear();
-        if self.ckpt_vecs.len() < Self::CAP {
-            self.ckpt_vecs.push(v);
+    fn recycle_key(&mut self, mut k: Vec<u8>) {
+        if self.keys.len() < Self::KEY_CAP {
+            k.clear();
+            self.keys.push(k);
+        }
+    }
+
+    /// Pool a retired in-flight frame for reuse (checkpoints and resume
+    /// snapshot must already be recycled; the other buffers stay inside).
+    fn recycle_flight(&mut self, f: Box<InFlight>) {
+        debug_assert!(f.checkpoints.is_empty() && f.resume.is_none());
+        if self.flights.len() < Self::CAP {
+            self.flights.push(f);
         }
     }
 }
@@ -333,6 +392,11 @@ pub struct PipelineSim {
     /// predecessor table and guard index, shared so the hot loop can
     /// borrow design data while mutating the simulator.
     plan: Arc<ExecPlan>,
+    /// Attach-time specialized plan for the compiled backend; `None`
+    /// runs the interpreter (requested, proof-check mode, or fallback).
+    lowered: Option<Arc<LoweredPlan>>,
+    /// Why lowering failed, when [`Backend::Auto`] fell back.
+    lower_error: Option<LowerError>,
     options: SimOptions,
     maps: MapStore,
     slots: Vec<Option<Box<InFlight>>>,
@@ -407,12 +471,40 @@ impl PipelineSim {
     }
 
     /// Instantiate with explicit options.
+    ///
+    /// # Panics
+    ///
+    /// With [`Backend::Compiled`], panics if the plan cannot be lowered
+    /// or `check_proofs` is set (the compiled ops elide exactly the
+    /// rechecks that mode exists to perform) — a forced backend must
+    /// never silently measure the wrong engine. [`Backend::Auto`] falls
+    /// back to the interpreter in both cases instead.
     pub fn with_options(design: &PipelineDesign, options: SimOptions) -> PipelineSim {
         assert!(
             design.blocks.len() <= MAX_BLOCKS,
             "design has {} blocks; the simulator supports at most {MAX_BLOCKS}",
             design.blocks.len()
         );
+        let (lowered, lower_error) = match options.backend {
+            Backend::Interpreter => (None, None),
+            Backend::Auto if options.check_proofs => (None, None),
+            Backend::Auto => match LoweredPlan::try_lower(design) {
+                Ok(lp) => (Some(Arc::new(lp)), None),
+                Err(e) => (None, Some(e)),
+            },
+            Backend::Compiled => {
+                assert!(
+                    !options.check_proofs,
+                    "check_proofs requires the interpreter (proof rechecks are \
+                     exactly what the compiled ops elide); use Backend::Auto \
+                     or Backend::Interpreter"
+                );
+                match LoweredPlan::try_lower(design) {
+                    Ok(lp) => (Some(Arc::new(lp)), None),
+                    Err(e) => panic!("Backend::Compiled forced but the plan does not lower: {e}"),
+                }
+            }
+        };
         let maps = MapStore::new(&design.maps);
         let nstages = design.stages.len();
         let war_delay = design
@@ -425,6 +517,8 @@ impl PipelineSim {
         PipelineSim {
             design: Arc::new(design.clone()),
             plan,
+            lowered,
+            lower_error,
             options,
             maps,
             slots: vec![None; nstages],
@@ -450,7 +544,9 @@ impl PipelineSim {
             replay_hold: Vec::new(),
             pool: StatePool {
                 free: Vec::new(),
-                ckpt_vecs: Vec::new(),
+                keys: Vec::new(),
+                flights: Vec::new(),
+                read_high: 0,
                 words: design.blocks.len().div_ceil(64).max(1),
             },
             debug_trace: std::env::var_os("EHDL_SIM_DEBUG").is_some(),
@@ -493,6 +589,29 @@ impl PipelineSim {
     /// The compiled design this simulator executes.
     pub fn design(&self) -> &PipelineDesign {
         &self.design
+    }
+
+    /// The engine actually executing stages: [`Backend::Compiled`] when a
+    /// lowered plan is attached, [`Backend::Interpreter`] otherwise.
+    /// Never [`Backend::Auto`] — that is a request, not a resolution.
+    pub fn active_backend(&self) -> Backend {
+        if self.lowered.is_some() {
+            Backend::Compiled
+        } else {
+            Backend::Interpreter
+        }
+    }
+
+    /// Why [`Backend::Auto`] fell back to the interpreter, if it did
+    /// because the plan would not lower. `None` under a compiled engine,
+    /// a requested interpreter, or a `check_proofs` fallback.
+    pub fn lower_error(&self) -> Option<&LowerError> {
+        self.lower_error.as_ref()
+    }
+
+    /// Lowering statistics of the attached compiled plan, if any.
+    pub fn lower_stats(&self) -> Option<ehdl_core::LowerStats> {
+        self.lowered.as_ref().map(|lp| lp.stats())
     }
 
     /// Per-map pipeline lookup counts (telemetry CSRs).
@@ -573,34 +692,55 @@ impl PipelineSim {
             self.counters.rx_dropped = self.counters.rx_dropped.saturating_add(1);
             return Err(SimError::QueueFull { depth: self.options.rx_queue_depth });
         }
-        let mut buf = vec![0u8; XDP_HEADROOM + packet.len()];
-        buf[XDP_HEADROOM..].copy_from_slice(&packet);
-        let end_off = buf.len();
-        let mut regs = [0u64; 11];
-        regs[1] = CTX_BASE;
-        regs[10] = STACK_TOP;
-        self.rx.push_back(Box::new(InFlight {
-            seq: self.next_seq,
-            orig: packet,
-            injected_cycle: 0,
-            state: PacketState {
-                buf,
-                data_off: XDP_HEADROOM,
-                end_off,
-                regs,
-                stack: [0; STACK_SIZE as usize],
-                enabled: BlockBits::default(),
-                taken: BlockBits::default(),
-                action: None,
-                redirect: None,
-                faulted: false,
-                map_reads: Vec::new(),
-                buf_lo: XDP_HEADROOM,
-                stack_lo: STACK_SIZE as usize,
-            },
-            checkpoints: self.pool.take_ckpt_vec(),
-            resume: None,
-        }));
+        if let Some(mut b) = self.pool.flights.pop() {
+            // Reuse a retired in-flight frame wholesale, resetting the state
+            // in place (which re-zeros only the dirty regions and recycles
+            // leftover read keys). The datapath buffer was handed to the
+            // outcome, so `reset` allocates its replacement here — the one
+            // unavoidable per-packet allocation, paid at enqueue rather
+            // than inside the cycle loop. The displaced original-bytes
+            // buffer feeds the map-write buffer pool instead of the free
+            // list, so enqueue never starves the WAR delay path.
+            let old_orig = std::mem::replace(&mut b.orig, packet);
+            self.recycle_buf(old_orig);
+            let orig = std::mem::take(&mut b.orig);
+            b.state.reset(&orig, self.pool.words, &mut self.pool.keys);
+            b.orig = orig;
+            b.seq = self.next_seq;
+            b.injected_cycle = 0;
+            self.rx.push_back(b);
+        } else {
+            let mut buf = vec![0u8; XDP_HEADROOM + packet.len()];
+            buf[XDP_HEADROOM..].copy_from_slice(&packet);
+            let end_off = buf.len();
+            let mut regs = [0u64; 11];
+            regs[1] = CTX_BASE;
+            regs[10] = STACK_TOP;
+            let map_reads = Vec::new();
+            self.rx.push_back(Box::new(InFlight {
+                seq: self.next_seq,
+                orig: packet,
+                injected_cycle: 0,
+                state: PacketState {
+                    buf,
+                    data_off: XDP_HEADROOM,
+                    end_off,
+                    regs,
+                    stack: [0; STACK_SIZE as usize],
+                    enabled: BlockBits::default(),
+                    taken: BlockBits::default(),
+                    action: None,
+                    redirect: None,
+                    faulted: false,
+                    map_reads,
+                    read_filter: 0,
+                    buf_lo: XDP_HEADROOM,
+                    stack_lo: STACK_SIZE as usize,
+                },
+                checkpoints: Vec::new(),
+                resume: None,
+            }));
+        }
         self.next_seq += 1;
         Ok(())
     }
@@ -630,79 +770,170 @@ impl PipelineSim {
 
         // 2. Advance the pipeline from the back. One refcount bump per
         // cycle lets every stage borrow the plan while `self` stays
-        // mutable.
+        // mutable. The compiled backend runs a specialized walk whenever
+        // the cycle is provably regular; anything irregular (fault engine,
+        // host channel, pending replay stream, poison diagnostics) takes
+        // the reference walk with the same per-stage semantics.
         let plan = Arc::clone(&self.plan);
         let nstages = self.design.stages.len();
-        for s in (0..nstages).rev() {
-            if let Some(mut pkt) = self.slots[s].take() {
-                self.stage_occupied[s] = self.stage_occupied[s].saturating_add(1);
-                // A packet may not advance into an occupied slot, nor past
-                // the re-entry stage of a pending partial-flush replay
-                // stream (the queued packets are older and go first). A
-                // blocked packet holds its slot and defers execution. A
-                // stage whose control logic a fault has hung blocks
-                // unconditionally until something clears the hang. The
-                // host-port arbiter adds two holds while an op is queued:
-                // younger packets stall before irreversibly writing the
-                // op's map, and before retiring a read the op is about to
-                // invalidate.
-                let hung_here =
-                    self.fault.as_ref().is_some_and(|f| f.hang.map(|h| h.stage) == Some(s));
-                let blocked = hung_here
-                    || (s + 1 < nstages
-                        && (self.slots[s + 1].is_some()
-                            || (s + 1 == self.replay_entry && !self.replay.is_empty())))
-                    || self.ctrl_effect_stall(s, pkt.seq)
-                    || (s + 1 == nstages && self.ctrl_retire_stall(s, &pkt));
-                if blocked {
-                    self.slots[s] = Some(pkt);
-                } else {
-                    match self.exec_stage(s, &mut pkt, &plan) {
-                        StageResult::Ok => {
-                            if s + 1 == nstages {
-                                self.complete(pkt);
-                            } else {
-                                self.poison_dead(&mut pkt, s + 1);
-                                self.place_in_slot(s + 1, pkt);
-                            }
-                        }
-                        StageResult::FlushBelow { boundary, read_stage, map, key } => {
-                            // The writer (this packet) keeps going.
-                            if s + 1 == nstages {
-                                self.complete(pkt);
-                            } else {
-                                self.poison_dead(&mut pkt, s + 1);
-                                self.place_in_slot(s + 1, pkt);
-                            }
-                            self.flush_below(boundary, read_stage, Some((map, key)));
-                        }
-                        StageResult::FlushSelf => {
-                            // Reading packet saw a stale location: it and
-                            // everything younger re-executes (re-reading from
-                            // its latest checkpoint repairs the value).
-                            self.slots[s] = Some(pkt);
-                            self.flush_below(s + 1, s, None);
-                        }
-                    }
-                }
+        match self.lowered.clone() {
+            Some(lp)
+                if self.fault.is_none()
+                    && self.ctrl.is_none()
+                    && self.replay.is_empty()
+                    && !self.options.poison_dead_state =>
+            {
+                self.step_compiled_cycle(&lp, &plan, nstages);
             }
-            // Partial-flush replay stream: evictees re-enter at the
-            // window's read stage, one per cycle after the reload bubble,
-            // once the triggering write has retired from its delay buffer.
-            if s == self.replay_entry && !self.replay.is_empty() && self.slots[s].is_none() {
-                if self.replay_stall > 0 {
-                    self.replay_stall -= 1;
-                } else {
-                    self.retire_replay_holds();
-                    if self.replay_hold.is_empty() {
-                        let pkt = self.replay.pop_front().expect("replay checked non-empty");
-                        self.slots[s] = Some(pkt);
-                    }
+            lowered => {
+                for s in (0..nstages).rev() {
+                    self.step_stage(s, nstages, &plan, lowered.as_deref());
                 }
             }
         }
 
         // 3. Injection.
+        self.inject_cycle();
+        self.cycle += 1;
+    }
+
+    /// One stage of the reference pipeline walk: stall checks, execution,
+    /// advance/flush handling, and the partial-flush re-entry port.
+    fn step_stage(
+        &mut self,
+        s: usize,
+        nstages: usize,
+        plan: &ExecPlan,
+        lowered: Option<&LoweredPlan>,
+    ) {
+        if let Some(mut pkt) = self.slots[s].take() {
+            self.stage_occupied[s] = self.stage_occupied[s].saturating_add(1);
+            // A packet may not advance into an occupied slot, nor past
+            // the re-entry stage of a pending partial-flush replay
+            // stream (the queued packets are older and go first). A
+            // blocked packet holds its slot and defers execution. A
+            // stage whose control logic a fault has hung blocks
+            // unconditionally until something clears the hang. The
+            // host-port arbiter adds two holds while an op is queued:
+            // younger packets stall before irreversibly writing the
+            // op's map, and before retiring a read the op is about to
+            // invalidate.
+            let hung_here = self.fault.as_ref().is_some_and(|f| f.hang.map(|h| h.stage) == Some(s));
+            let blocked = hung_here
+                || (s + 1 < nstages
+                    && (self.slots[s + 1].is_some()
+                        || (s + 1 == self.replay_entry && !self.replay.is_empty())))
+                || self.ctrl_effect_stall(s, pkt.seq)
+                || (s + 1 == nstages && self.ctrl_retire_stall(s, &pkt));
+            if blocked {
+                self.slots[s] = Some(pkt);
+            } else {
+                let result = match lowered {
+                    Some(lp) => self.exec_stage_compiled(s, &mut pkt, lp, plan),
+                    None => self.exec_stage(s, &mut pkt, plan),
+                };
+                match result {
+                    StageResult::Ok => {
+                        if s + 1 == nstages {
+                            self.complete(pkt);
+                        } else {
+                            self.poison_dead(&mut pkt, s + 1);
+                            self.place_in_slot(s + 1, pkt);
+                        }
+                    }
+                    StageResult::FlushBelow { boundary, read_stage, map, key } => {
+                        // The writer (this packet) keeps going.
+                        if s + 1 == nstages {
+                            self.complete(pkt);
+                        } else {
+                            self.poison_dead(&mut pkt, s + 1);
+                            self.place_in_slot(s + 1, pkt);
+                        }
+                        self.flush_below(boundary, read_stage, Some((map, key)));
+                    }
+                    StageResult::FlushSelf => {
+                        // Reading packet saw a stale location: it and
+                        // everything younger re-executes (re-reading from
+                        // its latest checkpoint repairs the value).
+                        self.slots[s] = Some(pkt);
+                        self.flush_below(s + 1, s, None);
+                    }
+                }
+            }
+        }
+        // Partial-flush replay stream: evictees re-enter at the
+        // window's read stage, one per cycle after the reload bubble,
+        // once the triggering write has retired from its delay buffer.
+        if s == self.replay_entry && !self.replay.is_empty() && self.slots[s].is_none() {
+            if self.replay_stall > 0 {
+                self.replay_stall -= 1;
+            } else {
+                self.retire_replay_holds();
+                if self.replay_hold.is_empty() {
+                    let pkt = self.replay.pop_front().expect("replay checked non-empty");
+                    self.slots[s] = Some(pkt);
+                }
+            }
+        }
+    }
+
+    /// The compiled backend's specialized pipeline walk for a *regular*
+    /// cycle: no fault engine, no host channel, no queued replay stream,
+    /// no poison diagnostics. Under those preconditions no stall condition
+    /// can hold — the walk runs back-to-front, so the slot ahead of every
+    /// packet has already been vacated — and the per-stage stall checks,
+    /// hang probes and replay-port polls drop out of the hot loop
+    /// entirely. The instant a stage produces anything but
+    /// [`StageResult::Ok`] (a hazard flush), the rest of the cycle
+    /// degrades to [`PipelineSim::step_stage`], which handles the now
+    /// irregular pipeline exactly like the reference walk.
+    fn step_compiled_cycle(&mut self, lp: &LoweredPlan, plan: &ExecPlan, nstages: usize) {
+        for s in (0..nstages).rev() {
+            let Some(mut pkt) = self.slots[s].take() else { continue };
+            self.stage_occupied[s] = self.stage_occupied[s].saturating_add(1);
+            match self.exec_stage_compiled(s, &mut pkt, lp, plan) {
+                StageResult::Ok => {
+                    if s + 1 == nstages {
+                        self.complete(pkt);
+                    } else {
+                        self.place_in_slot(s + 1, pkt);
+                    }
+                }
+                StageResult::FlushBelow { boundary, read_stage, map, key } => {
+                    // The writer (this packet) keeps going.
+                    if s + 1 == nstages {
+                        self.complete(pkt);
+                    } else {
+                        self.place_in_slot(s + 1, pkt);
+                    }
+                    self.flush_below(boundary, read_stage, Some((map, key)));
+                    // The replay stream is now pending: finish the cycle on
+                    // the reference walk. Its re-entry stage is strictly
+                    // below `s` (a FEB read precedes its write), so the
+                    // skipped stage-`s` replay port could not have fired.
+                    for t in (0..s).rev() {
+                        self.step_stage(t, nstages, plan, Some(lp));
+                    }
+                    return;
+                }
+                StageResult::FlushSelf => {
+                    // Reading packet saw a stale location: it and
+                    // everything younger re-executes (re-reading from
+                    // its latest checkpoint repairs the value).
+                    self.slots[s] = Some(pkt);
+                    self.flush_below(s + 1, s, None);
+                    for t in (0..s).rev() {
+                        self.step_stage(t, nstages, plan, Some(lp));
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Stage-0 injection port: reload bubbles, multi-frame pacing, and the
+    /// replay-stream priority hold.
+    fn inject_cycle(&mut self) {
         if self.stall > 0 {
             self.stall -= 1;
         } else if self.inject_busy > 0 {
@@ -717,8 +948,6 @@ impl PipelineSim {
                 self.place_in_slot(0, pkt);
             }
         }
-
-        self.cycle += 1;
     }
 
     /// Run until the pipeline and queues are empty (or `max_cycles` pass).
@@ -741,38 +970,42 @@ impl PipelineSim {
         std::mem::take(&mut self.out)
     }
 
-    fn complete(&mut self, pkt: Box<InFlight>) {
-        let InFlight { seq, injected_cycle, mut state, mut checkpoints, resume, .. } = *pkt;
-        for (_, b) in checkpoints.drain(..) {
+    fn complete(&mut self, mut pkt: Box<InFlight>) {
+        for (_, b) in pkt.checkpoints.drain(..) {
             self.pool.recycle(b);
         }
-        self.pool.recycle_ckpt_vec(checkpoints);
-        if let Some((_, b)) = resume {
+        if let Some((_, b)) = pkt.resume.take() {
             self.pool.recycle(b);
         }
-        let action = match (state.faulted, state.action) {
+        for (_, _, k) in pkt.state.map_reads.drain(..) {
+            self.pool.recycle_key(k);
+        }
+        let action = match (pkt.state.faulted, pkt.state.action) {
             (true, _) => XdpAction::Drop,
             (false, Some(a)) => a,
             (false, None) => XdpAction::Aborted,
         };
-        if state.faulted {
+        if pkt.state.faulted {
             self.counters.bounds_faults = self.counters.bounds_faults.saturating_add(1);
         }
-        let latency_cycles = self.cycle - injected_cycle;
+        let latency_cycles = self.cycle - pkt.injected_cycle;
         self.counters.completed = self.counters.completed.saturating_add(1);
         // Hand the in-flight buffer itself to the outcome instead of
-        // copying the payload out of it.
-        let mut packet = std::mem::take(&mut state.buf);
-        packet.truncate(state.end_off);
-        packet.drain(..state.data_off);
+        // copying the payload out of it. The rest of the frame — the box,
+        // the drained checkpoint/read vectors, the original-bytes buffer —
+        // goes back to the pool whole for the next injection.
+        let mut packet = std::mem::take(&mut pkt.state.buf);
+        packet.truncate(pkt.state.end_off);
+        packet.drain(..pkt.state.data_off);
         self.out.push(SimOutcome {
-            seq,
+            seq: pkt.seq,
             action,
-            redirect_ifindex: if action == XdpAction::Redirect { state.redirect } else { None },
+            redirect_ifindex: if action == XdpAction::Redirect { pkt.state.redirect } else { None },
             packet,
             latency_cycles,
             latency_ns: latency_cycles as f64 * CLOCK_NS + self.options.shell_latency_ns,
         });
+        self.pool.recycle_flight(pkt);
     }
 
     /// Place `pkt` into slot `t`, taking a forced checkpoint first when
@@ -1096,9 +1329,23 @@ impl PipelineSim {
             return StageResult::Ok;
         }
 
-        // Two-phase execution: every op reads the incoming state; writes
-        // land in `delta` (the recycled scratch write set) and commit
-        // together at the stage boundary.
+        self.exec_stage_two_phase(s, block, pkt, plan)
+    }
+
+    /// The interpreter's two-phase stage body: every op reads the incoming
+    /// state; writes land in the recycled scratch write set and commit
+    /// together at the stage boundary. Also the execution engine for
+    /// compiled *delta* stages (stages whose ops the lowerer could not
+    /// prove order-independent), which makes those stages bit-identical to
+    /// the interpreter by construction.
+    fn exec_stage_two_phase(
+        &mut self,
+        s: usize,
+        block: usize,
+        pkt: &mut InFlight,
+        plan: &ExecPlan,
+    ) -> StageResult {
+        let ops = plan.stage_ops(s);
         let mut delta = self.scratch.take().expect("scratch delta available");
         let mut result = StageResult::Ok;
         for op in ops {
@@ -1405,12 +1652,16 @@ impl PipelineSim {
     /// FEB comparison: does a younger in-flight packet (or a queued replay)
     /// hold an unconfirmed read of `key`?
     fn younger_read_matches(&self, write_stage: usize, map: u32, key: &[u8]) -> bool {
+        let bit = read_key_bit(map, key);
         self.slots[..write_stage]
             .iter()
             .flatten()
             .map(|p| &p.state)
             .chain(self.replay.iter().map(|p| &p.state))
-            .any(|st| st.map_reads.iter().any(|&(m, _, ref k)| m == map && k == key))
+            .any(|st| {
+                st.read_filter & bit != 0
+                    && st.map_reads.iter().any(|&(m, _, ref k)| m == map && k == key)
+            })
     }
 
     /// Recheck a compile-time packet-bounds proof against the concrete
@@ -2556,10 +2807,21 @@ fn map_handle(v: u64) -> Option<u32> {
     (MAP_HANDLE_BASE..MAP_HANDLE_BASE + 0x1000).contains(&v).then(|| (v - MAP_HANDLE_BASE) as u32)
 }
 
+/// The [`PacketState::read_filter`] bit of one `(map, key)` pair: FNV-1a
+/// over the map id and key bytes, folded to a 64-way partition.
+#[inline]
+fn read_key_bit(map: u32, key: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ u64::from(map);
+    for &b in key {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    1u64 << (h & 63)
+}
+
 impl PacketState {
     /// Reinitialize in place to injection-fresh state for `orig`,
-    /// keeping every allocation.
-    fn reset(&mut self, orig: &[u8], words: usize) {
+    /// keeping every allocation (read keys go back to the pool).
+    fn reset(&mut self, orig: &[u8], words: usize, keys: &mut Vec<Vec<u8>>) {
         self.buf.clear();
         self.buf.resize(XDP_HEADROOM + orig.len(), 0);
         self.buf[XDP_HEADROOM..].copy_from_slice(orig);
@@ -2577,7 +2839,13 @@ impl PacketState {
         self.action = None;
         self.redirect = None;
         self.faulted = false;
-        self.map_reads.clear();
+        self.read_filter = 0;
+        for (_, _, mut k) in self.map_reads.drain(..) {
+            if keys.len() < StatePool::KEY_CAP {
+                k.clear();
+                keys.push(k);
+            }
+        }
     }
 
     /// Field-wise `clone_from` that reuses this state's buffers (the
@@ -2586,7 +2854,7 @@ impl PacketState {
     /// `buf_lo` / `stack_lo` are zero on both sides by invariant, so a
     /// snapshot copies the packet tail and the touched stack bytes, not
     /// the whole 512-byte frame and headroom.
-    fn assign_from(&mut self, src: &PacketState, words: usize) {
+    fn assign_from(&mut self, src: &PacketState, words: usize, keys: &mut Vec<Vec<u8>>) {
         let n = src.buf.len();
         if self.buf.len() != n {
             self.buf.clear();
@@ -2610,7 +2878,14 @@ impl PacketState {
         self.action = src.action;
         self.redirect = src.redirect;
         self.faulted = src.faulted;
-        self.map_reads.truncate(src.map_reads.len());
+        self.read_filter = src.read_filter;
+        while self.map_reads.len() > src.map_reads.len() {
+            let (_, _, mut k) = self.map_reads.pop().expect("len checked non-zero");
+            if keys.len() < StatePool::KEY_CAP {
+                k.clear();
+                keys.push(k);
+            }
+        }
         let have = self.map_reads.len();
         for (dst, s) in self.map_reads.iter_mut().zip(&src.map_reads) {
             dst.0 = s.0;
@@ -2618,7 +2893,10 @@ impl PacketState {
             dst.2.clone_from(&s.2);
         }
         for s in &src.map_reads[have..] {
-            self.map_reads.push((s.0, s.1, s.2.clone()));
+            let mut k = keys.pop().unwrap_or_default();
+            k.clear();
+            k.extend_from_slice(&s.2);
+            self.map_reads.push((s.0, s.1, k));
         }
     }
 }
@@ -2640,7 +2918,8 @@ impl InFlight {
             // State fields are don't-care until the resume point.
             return;
         }
-        self.state.reset(&self.orig, pool.words);
+        let words = pool.words;
+        self.state.reset(&self.orig, words, &mut pool.keys);
     }
 }
 
@@ -2716,6 +2995,7 @@ impl Delta {
             state.end_off = off;
         }
         for (m, stage, key) in self.map_read_records.drain(..) {
+            state.read_filter |= read_key_bit(m, &key);
             state.map_reads.push((m, stage, key));
         }
         if self.fault {

@@ -2,10 +2,20 @@
 # Repo gate: build, test, lint, and simulator-speed smoke.
 #
 # The speed smoke replays the Figure-9a firewall workload (40k packets at
-# 64 B line rate) and fails if the simulator sustains less than half the
-# cycles/sec recorded in BENCH_sim_speed.json — hot-loop regressions fail
-# CI instead of silently slowing every figure regeneration. Re-record an
-# intentional change with:
+# 64 B line rate) under both stage engines (reference interpreter and the
+# compiled backend) and fails if:
+#   - any (app, backend) pair sustains less than half the cycles/sec
+#     recorded in BENCH_sim_speed.json (hot-loop regression);
+#   - the compiled backend's live speedup over the interpreter on the
+#     firewall run drops below the bar in benches/sim_speed.rs
+#     (MIN_FIREWALL_SPEEDUP, interleaved min-of-3 measurement);
+#   - any of the five evaluation apps stops lowering to the compiled
+#     backend — forced Backend::Compiled aborts instead of silently
+#     measuring the interpreter, and a pre-flight try_lower pass names
+#     every offender;
+#   - the two backends diverge on cycles/flushes/replays (they must be
+#     bit-identical on the deterministic workload).
+# Re-record an intentional change with:
 #
 #   EHDL_WRITE_BENCH=1 cargo bench -p ehdl-bench --bench sim_speed
 

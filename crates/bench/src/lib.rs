@@ -9,6 +9,7 @@ pub mod absint;
 pub mod fault_campaign;
 pub mod flush_opt;
 pub mod runtime_ops;
+pub mod scale_out;
 pub mod sim_speed;
 
 use ehdl_baselines::{hxdp, sdnet, BluefieldModel, HxdpModel, SdnetCompiler};

@@ -10,9 +10,10 @@
 
 use crate::ctrl::{CtrlOptions, HostOp, HostOpResult};
 use crate::fault::{FaultConfig, FaultEvent, FaultStats};
+use crate::shared::{check_linearizable, ShardedNic, SharedMapOptions};
 use crate::sim::{PipelineSim, SimCounters, SimOptions};
 use ehdl_core::{Compiler, CompilerOptions, PipelineDesign};
-use ehdl_ebpf::maps::{MapError, MapStore};
+use ehdl_ebpf::maps::{MapError, MapKind, MapStore};
 use ehdl_ebpf::vm::{Vm, XdpAction};
 use ehdl_ebpf::Program;
 
@@ -62,6 +63,13 @@ pub enum Divergence {
         /// Human-readable mismatch description.
         detail: String,
     },
+    /// The shared-map access history of a sharded run is not per-key
+    /// linearizable — a replica observed a value canonical storage never
+    /// held at that point (fabric or swap-discipline bug).
+    Coherence {
+        /// Human-readable violation description.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for Divergence {
@@ -77,6 +85,7 @@ impl std::fmt::Display for Divergence {
             Divergence::Count { vm, hw } => write!(f, "packet counts differ: vm={vm} hw={hw}"),
             Divergence::Proof { detail } => write!(f, "violated proof: {detail}"),
             Divergence::HostOp { id, detail } => write!(f, "host op {id}: {detail}"),
+            Divergence::Coherence { detail } => write!(f, "coherence: {detail}"),
         }
     }
 }
@@ -268,6 +277,281 @@ pub fn compare_full(
             detail: format!("pipeline: {hw_violations} unguarded accesses left proven bounds"),
         });
     }
+    divs
+}
+
+/// How a map's final contents are reconstructed from N replicas for
+/// comparison against the sequential reference ([`compare_sharded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeStrategy {
+    /// Union of all replicas' entries, with exact duplicates collapsed.
+    /// Correct for flow-partitioned hash-like maps: RSS guarantees each
+    /// key is only ever *written* by one replica, so two replicas holding
+    /// the same key with different values is itself a divergence.
+    Union,
+    /// Per-key, per-64-bit-word delta sum: `initial + Σ (replica −
+    /// initial)`. Correct for private counter arrays updated with
+    /// commutative atomic adds.
+    SumDelta,
+    /// Compare the canonical shared copy directly (maps listed in
+    /// [`SharedMapOptions::shared_maps`] have exactly one storage copy).
+    Direct,
+    /// Skip the map (e.g. a per-replica allocator whose assignments are
+    /// order-dependent by design).
+    Ignore,
+}
+
+/// Little-endian u64 word `w` of a value, zero-padded at the tail.
+fn value_word(v: &[u8], w: usize) -> u64 {
+    let mut b = [0u8; 8];
+    let at = w * 8;
+    if at < v.len() {
+        let n = (v.len() - at).min(8);
+        b[..n].copy_from_slice(&v[at..at + n]);
+    }
+    u64::from_le_bytes(b)
+}
+
+/// Differential check of a [`ShardedNic`] run against the sequential
+/// reference: the same trace run packet-by-packet on the VM, with host
+/// ops applied at their schedule positions.
+///
+/// Per packet, the owning replica must produce the VM's action and
+/// output bytes (RSS steering never changes verdicts — only which
+/// replica renders them). Final map state is reconstructed per
+/// [`MergeStrategy`] — callers override per map via `merge`; unlisted
+/// maps default to [`MergeStrategy::Direct`] for shared maps,
+/// [`MergeStrategy::SumDelta`] for arrays, and [`MergeStrategy::Union`]
+/// otherwise. The shared-map access history is additionally checked for
+/// per-key linearizability ([`check_linearizable`]), and host-op results
+/// must match the reference. The run must also be lossless: any RX-queue
+/// drop panics, since a silently shorter trace would vacuously pass.
+///
+/// # Panics
+///
+/// Panics if the sharded run drops a packet or the simulator thread
+/// panics.
+#[allow(clippy::too_many_arguments)]
+pub fn compare_sharded(
+    program: &Program,
+    design: &PipelineDesign,
+    replicas: usize,
+    seed: u64,
+    packets: &[Vec<u8>],
+    ops: &[(usize, HostOp)],
+    setup: impl Fn(&mut MapStore),
+    merge: &[(u32, MergeStrategy)],
+    fabric: SharedMapOptions,
+    sim_options: SimOptions,
+) -> Vec<Divergence> {
+    use std::collections::btree_map::Entry;
+    use std::collections::BTreeMap;
+
+    let mut vm = Vm::new(program);
+    vm.set_time_ns(sim_options.freeze_time_ns.unwrap_or(1000));
+    if let Ok(decoded) = program.decode() {
+        vm.check_facts(ehdl_ebpf::absint::analyze(&decoded));
+    }
+    let mut fabric = fabric;
+    fabric.log_events = true;
+    let shared_ids = fabric.shared_maps.clone();
+    let mut nic = ShardedNic::new(design, replicas, seed, sim_options, fabric);
+    setup(vm.maps_mut());
+    nic.setup_maps(&setup);
+    // Baseline for delta merging and the linearizability replay.
+    let mut initial = MapStore::new(&design.maps);
+    setup(&mut initial);
+
+    // Sequential reference: packets in arrival order, each op applied
+    // once the packets before its position have been processed.
+    let mut sorted_ops: Vec<(usize, HostOp)> = ops.to_vec();
+    sorted_ops.sort_by_key(|&(at, _)| at);
+    let mut next_op = 0usize;
+    let mut vm_actions = Vec::with_capacity(packets.len());
+    let mut vm_packets = Vec::with_capacity(packets.len());
+    let mut vm_op_results = Vec::with_capacity(sorted_ops.len());
+    for (i, p) in packets.iter().enumerate() {
+        while next_op < sorted_ops.len() && sorted_ops[next_op].0 <= i {
+            vm_op_results.push(apply_host_op_to_store(vm.maps_mut(), &sorted_ops[next_op].1));
+            next_op += 1;
+        }
+        let mut bytes = p.clone();
+        match vm.run(&mut bytes, 0) {
+            Ok(out) => {
+                vm_actions.push(out.action);
+                vm_packets.push(bytes);
+            }
+            Err(_) => {
+                vm_actions.push(XdpAction::Drop);
+                vm_packets.push(p.clone());
+            }
+        }
+    }
+    while next_op < sorted_ops.len() {
+        vm_op_results.push(apply_host_op_to_store(vm.maps_mut(), &sorted_ops[next_op].1));
+        next_op += 1;
+    }
+
+    let report = nic.run_with_ops(packets.iter().cloned(), &sorted_ops);
+    assert_eq!(
+        report.dropped,
+        vec![0; replicas],
+        "sharded differential runs must be lossless (RX overflow would shorten the trace)"
+    );
+
+    let mut divs = Vec::new();
+    let total: usize = report.outcomes.len();
+    if total != packets.len() {
+        divs.push(Divergence::Count { vm: packets.len(), hw: total });
+        return divs;
+    }
+    // Re-sequence per-replica completions into global arrival order.
+    let mut hw = vec![None; packets.len()];
+    for (_, g, out) in &report.outcomes {
+        hw[*g as usize] = Some(out);
+    }
+    for (i, out) in hw.iter().enumerate() {
+        let out = out.as_ref().expect("every arrival completes exactly once");
+        if out.action != vm_actions[i] {
+            divs.push(Divergence::Action { seq: i, vm: vm_actions[i], hw: out.action });
+            continue;
+        }
+        if out.action.forwards() && out.packet != vm_packets[i] {
+            let at = out
+                .packet
+                .iter()
+                .zip(&vm_packets[i])
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| out.packet.len().min(vm_packets[i].len()));
+            divs.push(Divergence::Packet { seq: i, at });
+        }
+    }
+
+    for (i, (res, vm_res)) in report.host_completions.iter().zip(&vm_op_results).enumerate() {
+        if &res.result != vm_res {
+            divs.push(Divergence::HostOp {
+                id: i as u64,
+                detail: format!("shared store returned {:?}, reference {:?}", res.result, vm_res),
+            });
+        }
+    }
+
+    for def in &design.maps {
+        let strategy = merge.iter().find(|(m, _)| *m == def.id).map(|&(_, s)| s).unwrap_or(
+            if shared_ids.contains(&def.id) {
+                MergeStrategy::Direct
+            } else {
+                match def.kind {
+                    MapKind::Array | MapKind::PerCpuArray => MergeStrategy::SumDelta,
+                    _ => MergeStrategy::Union,
+                }
+            },
+        );
+        let vm_map = vm.maps().get(def.id).expect("vm map");
+        let vm_entries = || -> BTreeMap<Vec<u8>, Vec<u8>> {
+            vm_map.iter().map(|(_, k, v)| (k.to_vec(), v.to_vec())).collect()
+        };
+        let matches = match strategy {
+            MergeStrategy::Ignore => true,
+            MergeStrategy::Direct => {
+                let m = nic.shared_store().get(def.id).expect("shared map");
+                let merged: BTreeMap<Vec<u8>, Vec<u8>> =
+                    m.iter().map(|(_, k, v)| (k.to_vec(), v.to_vec())).collect();
+                merged == vm_entries()
+            }
+            MergeStrategy::Union => {
+                let mut merged: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+                let mut conflict = false;
+                for r in 0..replicas {
+                    let m = nic.sim(r).maps().get(def.id).expect("replica map");
+                    for (_, k, v) in m.iter() {
+                        match merged.entry(k.to_vec()) {
+                            Entry::Occupied(e) => conflict |= e.get() != v,
+                            Entry::Vacant(e) => {
+                                e.insert(v.to_vec());
+                            }
+                        }
+                    }
+                }
+                !conflict && merged == vm_entries()
+            }
+            MergeStrategy::SumDelta => {
+                let init = initial.get(def.id).expect("initial map");
+                let words = def.value_size.div_ceil(8) as usize;
+                init.iter().all(|(slot, key, iv)| {
+                    let vm_v = vm_map.iter().find(|(_, k, _)| *k == key).map(|(_, _, v)| v);
+                    let Some(vm_v) = vm_v else { return false };
+                    (0..words).all(|w| {
+                        let mut acc = value_word(iv, w);
+                        for r in 0..replicas {
+                            let rv =
+                                nic.sim(r).maps().get(def.id).expect("replica map").value(slot);
+                            acc =
+                                acc.wrapping_add(value_word(rv, w).wrapping_sub(value_word(iv, w)));
+                        }
+                        acc == value_word(vm_v, w)
+                    })
+                })
+            }
+        };
+        if !matches {
+            divs.push(Divergence::Map { map: def.id });
+        }
+    }
+
+    if let Err(v) = check_linearizable(&initial, &shared_ids, &report.events) {
+        divs.push(Divergence::Coherence { detail: v.to_string() });
+    }
+
+    for v in vm.proof_violations() {
+        divs.push(Divergence::Proof { detail: format!("vm: {v}") });
+    }
+    for r in 0..replicas {
+        let hw_violations = nic.sim(r).counters().proof_violations;
+        if hw_violations > 0 {
+            divs.push(Divergence::Proof {
+                detail: format!(
+                    "replica {r}: {hw_violations} unguarded accesses left proven bounds"
+                ),
+            });
+        }
+    }
+    divs
+}
+
+/// Assert that a sharded run is equivalent to the sequential reference
+/// ([`compare_sharded`] with an empty divergence list), panicking with
+/// every divergence otherwise.
+#[allow(clippy::too_many_arguments)]
+pub fn assert_equivalent_sharded(
+    program: &Program,
+    design: &PipelineDesign,
+    replicas: usize,
+    seed: u64,
+    packets: &[Vec<u8>],
+    ops: &[(usize, HostOp)],
+    setup: impl Fn(&mut MapStore),
+    merge: &[(u32, MergeStrategy)],
+    fabric: SharedMapOptions,
+) -> Vec<Divergence> {
+    let sim_options = SimOptions { freeze_time_ns: Some(1000), ..Default::default() };
+    let divs = compare_sharded(
+        program,
+        design,
+        replicas,
+        seed,
+        packets,
+        ops,
+        setup,
+        merge,
+        fabric,
+        sim_options,
+    );
+    assert!(
+        divs.is_empty(),
+        "sharded run diverged from the sequential reference:\n{}",
+        divs.iter().map(|d| format!("  {d}")).collect::<Vec<_>>().join("\n")
+    );
     divs
 }
 
@@ -803,6 +1087,174 @@ mod tests {
             let hw = sim.host_completions()[0].result.clone();
             let vmr = apply_host_op_to_store(vm.maps_mut(), op);
             assert_ne!(hw, vmr, "asymmetric state must surface in op results");
+        }
+    }
+
+    mod sharded {
+        use super::*;
+        use crate::shared::Arbitration;
+        use ehdl_ebpf::maps::UpdateFlags;
+        use ehdl_net::{FiveTuple, IPPROTO_UDP};
+        use ehdl_programs::{dnat, simple_firewall};
+        use ehdl_traffic::build_flow_packet;
+
+        fn flow(i: usize) -> FiveTuple {
+            FiveTuple {
+                saddr: [10, 1, (i >> 8) as u8, i as u8],
+                daddr: [203, 0, 113, 9],
+                sport: 40000 + i as u16,
+                dport: 53,
+                proto: IPPROTO_UDP,
+            }
+        }
+
+        /// Bidirectional trace: each flow opens from inside, then the
+        /// peer answers, then both directions keep talking — the
+        /// symmetric RSS hash must keep every packet of a flow on one
+        /// replica or the session state tears apart.
+        fn bidirectional_trace(flows: usize, rounds: usize) -> Vec<Vec<u8>> {
+            let mut out = Vec::new();
+            for i in 0..flows {
+                out.push(build_flow_packet(&flow(i), [1; 6], [2; 6], 64));
+            }
+            for _ in 0..rounds {
+                for i in 0..flows {
+                    out.push(build_flow_packet(&flow(i).reversed(), [2; 6], [1; 6], 64));
+                    out.push(build_flow_packet(&flow(i), [1; 6], [2; 6], 64));
+                }
+            }
+            out
+        }
+
+        #[test]
+        fn firewall_bit_equivalent_across_replicas_and_seeds() {
+            let program = simple_firewall::program();
+            let design = Compiler::new().compile(&program).unwrap();
+            let packets = bidirectional_trace(48, 2);
+            for replicas in [1, 2, 4] {
+                for seed in [1, 7] {
+                    assert_equivalent_sharded(
+                        &program,
+                        &design,
+                        replicas,
+                        seed,
+                        &packets,
+                        &[],
+                        |_| {},
+                        &[],
+                        SharedMapOptions::default(),
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn firewall_shared_stats_with_host_ops() {
+            let program = simple_firewall::program();
+            let design = Compiler::new().compile(&program).unwrap();
+            let packets = bidirectional_trace(32, 2);
+            // Host traffic against the *shared* stats array mid-trace:
+            // a fenced read must observe the exact sequential-reference
+            // count, and a fenced write must serialize into the shared
+            // history ahead of all later packets.
+            let ops = vec![
+                (
+                    30usize,
+                    HostOp::Lookup {
+                        map: simple_firewall::STATS_MAP,
+                        key: 0u32.to_le_bytes().to_vec(),
+                    },
+                ),
+                (
+                    60usize,
+                    HostOp::Update {
+                        map: simple_firewall::STATS_MAP,
+                        key: 3u32.to_le_bytes().to_vec(),
+                        value: 7u64.to_le_bytes().to_vec(),
+                        flags: UpdateFlags::Any,
+                    },
+                ),
+            ];
+            assert_equivalent_sharded(
+                &program,
+                &design,
+                4,
+                9,
+                &packets,
+                &ops,
+                |_| {},
+                &[],
+                SharedMapOptions {
+                    shared_maps: vec![simple_firewall::STATS_MAP],
+                    ..Default::default()
+                },
+            );
+        }
+
+        #[test]
+        fn contended_fabric_and_caches_never_change_results() {
+            let program = simple_firewall::program();
+            let design = Compiler::new().compile(&program).unwrap();
+            let packets = bidirectional_trace(24, 3);
+            // Worst-case timing pressure: one bank, multi-cycle latency,
+            // fixed priority (replica 3 starves), read caches on. Timing
+            // may crawl; results may not move.
+            assert_equivalent_sharded(
+                &program,
+                &design,
+                4,
+                5,
+                &packets,
+                &[],
+                |_| {},
+                &[],
+                SharedMapOptions {
+                    banks: 1,
+                    latency: 4,
+                    arbitration: Arbitration::FixedPriority,
+                    read_cache: true,
+                    cache_lines: 64,
+                    shared_maps: vec![simple_firewall::STATS_MAP],
+                    ..Default::default()
+                },
+            );
+        }
+
+        #[test]
+        fn dnat_prebound_bit_equivalent() {
+            let program = dnat::program();
+            let design = Compiler::new().compile(&program).unwrap();
+            let flows = 40;
+            let mut packets = Vec::new();
+            for r in 0..3 {
+                for i in 0..flows {
+                    packets.push(build_flow_packet(&flow(i), [1; 6], [2; 6], 64 + r * 16));
+                }
+            }
+            // Pre-bind every flow so the order-dependent port allocator
+            // never runs: with static bindings the conn table is pure
+            // flow-partitioned state and must merge bit-exactly.
+            let setup = move |maps: &mut MapStore| {
+                let conn = maps.get_mut(dnat::CONN_MAP).expect("conn map");
+                for i in 0..flows {
+                    let port = dnat::PORT_BASE + i as u16;
+                    let mut val = [0u8; 8];
+                    val[..4].copy_from_slice(&dnat::NAT_ADDR);
+                    val[4..6].copy_from_slice(&port.to_be_bytes());
+                    conn.update(&flow(i).to_key(), &val, UpdateFlags::Any).expect("bind");
+                }
+            };
+            assert_equivalent_sharded(
+                &program,
+                &design,
+                4,
+                11,
+                &packets,
+                &[],
+                setup,
+                &[],
+                SharedMapOptions::default(),
+            );
         }
     }
 }

@@ -27,6 +27,8 @@
 //! ECC, watchdog recovery) can be measured rather than asserted.
 //! [`ctrl`] models the host control channel — live map access over a
 //! PCIe/AXI-Lite-like path, barrier-ordered against in-flight packets.
+//! [`shared`] scales one design out to N replicas behind RSS flow
+//! steering, with shared maps served by a banked memory interconnect.
 
 #![deny(clippy::unwrap_used)]
 
@@ -34,6 +36,7 @@ pub mod ctrl;
 pub mod diff;
 pub mod fault;
 pub mod multi;
+pub mod shared;
 pub mod shell;
 pub mod sim;
 
@@ -42,6 +45,13 @@ pub use diff::{assert_equivalent_ops, compare_with_ops, Divergence, HostEvent};
 pub use fault::{
     FaultConfig, FaultEngine, FaultEvent, FaultKind, FaultOutcome, FaultSite, FaultStats,
 };
-pub use multi::{CompiledSteering, MultiNic, Steering};
+pub use multi::{
+    rss_flow_hash, CompiledSteering, MultiNic, MultiReport, Steering, SteeringError, SteeringStats,
+};
+pub use shared::{
+    check_linearizable, map_key_hash, Arbitration, LinearizabilityViolation, MapAccess, MapEvent,
+    MapEventKind, ShardReport, ShardedNic, SharedEvent, SharedMapOptions, SharedMapStats,
+    SharedOpCompletion, HOST_REPLICA,
+};
 pub use shell::{NicShell, ShellOptions, ShellReport};
 pub use sim::{Backend, PipelineSim, SimCounters, SimError, SimOptions, SimOutcome};

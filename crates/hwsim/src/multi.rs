@@ -10,6 +10,7 @@
 use crate::ctrl::{CtrlError, CtrlOptions, HostCompletion, HostOp};
 use crate::sim::{PipelineSim, SimOptions, SimOutcome};
 use ehdl_core::{resource, PipelineDesign, ResourceEstimate};
+use ehdl_net::FiveTuple;
 
 /// How arriving packets are steered to a pipeline.
 #[derive(Debug, Clone)]
@@ -28,9 +29,130 @@ pub enum Steering {
         /// Pipeline for unmatched packets.
         default: usize,
     },
+    /// RSS flow sharding: a symmetric 5-tuple hash picks one of
+    /// `replicas` — pipeline replicas running the *same* program — so
+    /// both directions of a flow land on the same replica and a flow
+    /// never migrates. Non-IP traffic hashes over the Ethernet header.
+    RssFlowHash {
+        /// Replica pipeline indices (typically `0..n`).
+        replicas: Vec<usize>,
+        /// Hash seed (Toeplitz-key analogue); same seed + same trace
+        /// gives the identical shard assignment on every run.
+        seed: u64,
+    },
+}
+
+/// Why a [`Steering`] policy was rejected at construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SteeringError {
+    /// The NIC has no pipelines at all.
+    NoPipelines,
+    /// A rule, default, or replica names a pipeline that does not exist.
+    TargetOutOfRange {
+        /// The offending pipeline index.
+        target: usize,
+        /// Number of instantiated pipelines.
+        pipelines: usize,
+    },
+    /// An RSS policy with an empty replica list steers nowhere.
+    NoReplicas,
+}
+
+impl std::fmt::Display for SteeringError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SteeringError::NoPipelines => write!(f, "at least one pipeline required"),
+            SteeringError::TargetOutOfRange { target, pipelines } => {
+                write!(f, "steering target {target} out of range (have {pipelines} pipelines)")
+            }
+            SteeringError::NoReplicas => write!(f, "RSS steering needs at least one replica"),
+        }
+    }
+}
+
+impl std::error::Error for SteeringError {}
+
+/// Symmetric RSS hash over the parsed 5-tuple, with an Ethernet-header
+/// fallback for non-IPv4 traffic.
+///
+/// Endpoints are canonically ordered before mixing, so a flow and its
+/// reverse direction produce the same hash — required by stateful
+/// programs (the firewall looks sessions up by the *reverse* tuple on
+/// return traffic; both directions must shard to the same replica).
+/// Mixing is `ehdl-rng`-style (splitmix64 finalizer), fully determined
+/// by `(packet bytes, seed)`.
+pub fn rss_flow_hash(packet: &[u8], seed: u64) -> u64 {
+    match FiveTuple::parse(packet) {
+        Some(t) => {
+            let a = (u64::from(u32::from_be_bytes(t.saddr)) << 16) | u64::from(t.sport);
+            let b = (u64::from(u32::from_be_bytes(t.daddr)) << 16) | u64::from(t.dport);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            mix64(seed ^ lo ^ hi.rotate_left(23) ^ (u64::from(t.proto) << 56))
+        }
+        None => {
+            // FNV-1a over the Ethernet header (or whatever bytes exist).
+            let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+            for &b in packet.iter().take(14) {
+                h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+            mix64(h)
+        }
+    }
+}
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mix.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
 }
 
 impl Steering {
+    /// Check every rule target, default, and replica against the number
+    /// of instantiated pipelines.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SteeringError`] found, if any.
+    pub fn validate(&self, pipelines: usize) -> Result<(), SteeringError> {
+        if pipelines == 0 {
+            return Err(SteeringError::NoPipelines);
+        }
+        let check = |p: usize| {
+            if p < pipelines {
+                Ok(())
+            } else {
+                Err(SteeringError::TargetOutOfRange { target: p, pipelines })
+            }
+        };
+        match self {
+            Steering::ByEtherType { rules, default } => {
+                for &(_, p) in rules {
+                    check(p)?;
+                }
+                check(*default)
+            }
+            Steering::ByIpProto { rules, default } => {
+                for &(_, p) in rules {
+                    check(p)?;
+                }
+                check(*default)
+            }
+            Steering::RssFlowHash { replicas, .. } => {
+                if replicas.is_empty() {
+                    return Err(SteeringError::NoReplicas);
+                }
+                for &p in replicas {
+                    check(p)?;
+                }
+                Ok(())
+            }
+        }
+    }
     /// Choose a pipeline index for a packet.
     ///
     /// One-shot convenience; batch paths should [`Steering::compile`]
@@ -63,6 +185,10 @@ impl Steering {
                 }
                 CompiledSteering::ByIpProto { table: Box::new(table) }
             }
+            Steering::RssFlowHash { replicas, seed } => CompiledSteering::RssFlowHash {
+                replicas: replicas.clone().into_boxed_slice(),
+                seed: *seed,
+            },
         }
     }
 }
@@ -82,6 +208,13 @@ pub enum CompiledSteering {
         /// `table[proto]` is the target pipeline.
         table: Box<[usize; 256]>,
     },
+    /// RSS: symmetric flow hash modulo the replica list.
+    RssFlowHash {
+        /// Replica pipeline indices.
+        replicas: Box<[usize]>,
+        /// Hash seed.
+        seed: u64,
+    },
 }
 
 impl CompiledSteering {
@@ -97,6 +230,9 @@ impl CompiledSteering {
             }
             CompiledSteering::ByIpProto { table } => {
                 table[packet.get(23).copied().unwrap_or(0) as usize]
+            }
+            CompiledSteering::RssFlowHash { replicas, seed } => {
+                replicas[(rss_flow_hash(packet, *seed) % replicas.len() as u64) as usize]
             }
         }
     }
@@ -137,6 +273,10 @@ pub struct MultiReport {
     pub steered: Vec<u64>,
     /// Packets completed by each pipeline.
     pub completed: Vec<u64>,
+    /// Arrivals each pipeline lost to RX-queue overflow during the run.
+    pub dropped: Vec<u64>,
+    /// Cycles each pipeline ran (injection through settle).
+    pub cycles: Vec<u64>,
     /// All outcomes tagged with their pipeline index, in completion order
     /// per pipeline.
     pub outcomes: Vec<(usize, SimOutcome)>,
@@ -144,30 +284,89 @@ pub struct MultiReport {
     pub availability: Vec<f64>,
 }
 
+/// Steering/throughput summary of a [`MultiReport`], exported through
+/// `RuntimeStats::to_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteeringStats {
+    /// Packets steered to each pipeline.
+    pub steered: Vec<u64>,
+    /// Arrivals each pipeline lost to RX-queue overflow.
+    pub dropped: Vec<u64>,
+    /// Per-pipeline throughput (completed packets per cycle).
+    pub pkts_per_cycle: Vec<f64>,
+    /// Steering imbalance: max per-pipeline load over mean load
+    /// (1.0 = perfectly balanced; 1.0 by convention for an empty run).
+    pub imbalance: f64,
+}
+
+impl MultiReport {
+    /// Per-pipeline throughput in completed packets per cycle.
+    pub fn pkts_per_cycle(&self) -> Vec<f64> {
+        self.completed
+            .iter()
+            .zip(&self.cycles)
+            .map(|(&c, &cy)| if cy == 0 { 0.0 } else { c as f64 / cy as f64 })
+            .collect()
+    }
+
+    /// Steering imbalance: the hottest pipeline's share of arrivals over
+    /// the mean share. 1.0 means perfectly balanced; `n` means one
+    /// pipeline took everything. 1.0 by convention when nothing arrived.
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.steered.iter().sum();
+        if total == 0 || self.steered.is_empty() {
+            return 1.0;
+        }
+        let mean = total as f64 / self.steered.len() as f64;
+        let max = self.steered.iter().copied().max().unwrap_or(0) as f64;
+        max / mean
+    }
+
+    /// Bundle the steering/throughput summary for telemetry export.
+    pub fn steering_stats(&self) -> SteeringStats {
+        SteeringStats {
+            steered: self.steered.clone(),
+            dropped: self.dropped.clone(),
+            pkts_per_cycle: self.pkts_per_cycle(),
+            imbalance: self.imbalance(),
+        }
+    }
+}
+
 impl MultiNic {
     /// Instantiate pipelines for `designs` with a steering policy.
     ///
     /// # Panics
     ///
-    /// Panics if `designs` is empty or a steering target is out of range.
+    /// Panics if `designs` is empty or a steering target is out of range;
+    /// [`MultiNic::try_new`] reports both as typed errors instead.
     pub fn new(designs: &[PipelineDesign], steering: Steering, options: SimOptions) -> MultiNic {
-        assert!(!designs.is_empty(), "at least one pipeline");
-        let check = |p: usize| assert!(p < designs.len(), "steering target {p} out of range");
-        match &steering {
-            Steering::ByEtherType { rules, default } => {
-                rules.iter().for_each(|(_, p)| check(*p));
-                check(*default);
+        match MultiNic::try_new(designs, steering, options) {
+            Ok(nic) => nic,
+            Err(SteeringError::TargetOutOfRange { target, .. }) => {
+                panic!("steering target {target} out of range")
             }
-            Steering::ByIpProto { rules, default } => {
-                rules.iter().for_each(|(_, p)| check(*p));
-                check(*default);
-            }
+            Err(e) => panic!("{e}"),
         }
-        MultiNic {
+    }
+
+    /// Instantiate pipelines for `designs`, rejecting a bad steering
+    /// policy up front instead of panicking deep inside a run.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SteeringError`] from [`Steering::validate`].
+    pub fn try_new(
+        designs: &[PipelineDesign],
+        steering: Steering,
+        options: SimOptions,
+    ) -> Result<MultiNic, SteeringError> {
+        steering.validate(designs.len())?;
+        Ok(MultiNic {
             sims: designs.iter().map(|d| PipelineSim::with_options(d, options)).collect(),
             designs: designs.to_vec(),
             steering: steering.compile(),
-        }
+        })
     }
 
     /// Mutable access to pipeline `i`'s simulator (host map setup).
@@ -225,6 +424,8 @@ impl MultiNic {
         }
         let packets = &packets;
         let targets = &targets;
+        let before: Vec<(u64, u64)> =
+            self.sims.iter().map(|s| (s.cycle(), s.counters().rx_dropped)).collect();
         let outs: Vec<Vec<SimOutcome>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .sims
@@ -234,7 +435,10 @@ impl MultiNic {
                     scope.spawn(move || {
                         for (pkt, &t) in packets.iter().zip(targets) {
                             if t == i {
-                                sim.enqueue(pkt.clone());
+                                // A full RX queue counts in `rx_dropped`;
+                                // the report surfaces the per-pipeline
+                                // delta so bursts never vanish silently.
+                                let _ = sim.enqueue(pkt.clone());
                             }
                             sim.step();
                         }
@@ -252,7 +456,14 @@ impl MultiNic {
             outcomes.extend(outs_i.into_iter().map(|o| (i, o)));
         }
         let availability = self.sims.iter().map(|s| s.availability()).collect();
-        MultiReport { steered, completed, outcomes, availability }
+        let cycles = self.sims.iter().zip(&before).map(|(s, &(c0, _))| s.cycle() - c0).collect();
+        let dropped = self
+            .sims
+            .iter()
+            .zip(&before)
+            .map(|(s, &(_, d0))| s.counters().rx_dropped - d0)
+            .collect();
+        MultiReport { steered, completed, dropped, cycles, outcomes, availability }
     }
 
     /// Combined FPGA bill: every pipeline plus one shared shell.
@@ -418,5 +629,88 @@ mod tests {
             Steering::ByIpProto { rules: vec![(6, 3)], default: 0 },
             SimOptions::default(),
         );
+    }
+
+    #[test]
+    fn validate_reports_typed_errors() {
+        let s = Steering::ByIpProto { rules: vec![(6, 3)], default: 0 };
+        assert_eq!(s.validate(2), Err(SteeringError::TargetOutOfRange { target: 3, pipelines: 2 }));
+        assert_eq!(s.validate(0), Err(SteeringError::NoPipelines));
+        assert_eq!(s.validate(4), Ok(()));
+        let rss = Steering::RssFlowHash { replicas: vec![], seed: 1 };
+        assert_eq!(rss.validate(2), Err(SteeringError::NoReplicas));
+        let rss = Steering::RssFlowHash { replicas: vec![0, 2], seed: 1 };
+        assert_eq!(
+            rss.validate(2),
+            Err(SteeringError::TargetOutOfRange { target: 2, pipelines: 2 })
+        );
+        let designs = vec![Compiler::new().compile(&router::program()).unwrap()];
+        let err = MultiNic::try_new(
+            &designs,
+            Steering::RssFlowHash { replicas: vec![1], seed: 0 },
+            SimOptions::default(),
+        )
+        .err();
+        assert_eq!(err, Some(SteeringError::TargetOutOfRange { target: 1, pipelines: 1 }));
+    }
+
+    #[test]
+    fn rss_hash_is_symmetric_and_spreads() {
+        let seed = 0xfeed_beef;
+        let mut per_replica = [0u32; 4];
+        for i in 0..256u32 {
+            let t = FiveTuple {
+                saddr: [10, 0, (i >> 8) as u8, i as u8],
+                daddr: [192, 168, 1, 1],
+                sport: 1000 + i as u16,
+                dport: 53,
+                proto: IPPROTO_UDP,
+            };
+            let fwd = build_flow_packet(&t, [1; 6], [2; 6], 64);
+            let rev = build_flow_packet(&t.reversed(), [2; 6], [1; 6], 64);
+            assert_eq!(
+                rss_flow_hash(&fwd, seed),
+                rss_flow_hash(&rev, seed),
+                "flow {i}: both directions must shard identically"
+            );
+            per_replica[(rss_flow_hash(&fwd, seed) % 4) as usize] += 1;
+        }
+        // A decent mix: no replica starves or hogs (256 flows over 4).
+        for (r, &n) in per_replica.iter().enumerate() {
+            assert!((24..=104).contains(&n), "replica {r} got {n}/256 flows");
+        }
+        // Non-IP frames hash too (Ethernet fallback), deterministically.
+        let arp = vec![0x08u8; 60];
+        assert_eq!(rss_flow_hash(&arp, seed), rss_flow_hash(&arp, seed));
+        assert_ne!(rss_flow_hash(&arp, seed), rss_flow_hash(&arp, seed ^ 1));
+    }
+
+    #[test]
+    fn report_exposes_throughput_and_imbalance() {
+        let designs = designs();
+        let mut nic = MultiNic::new(
+            &designs,
+            Steering::ByIpProto { rules: vec![(IPPROTO_UDP, 0), (IPPROTO_TCP, 1)], default: 1 },
+            SimOptions { freeze_time_ns: Some(1000), ..Default::default() },
+        );
+        let udp = FiveTuple {
+            saddr: [10, 0, 0, 1],
+            daddr: [1; 4],
+            sport: 9,
+            dport: 53,
+            proto: IPPROTO_UDP,
+        };
+        let packets: Vec<_> =
+            (0..30).map(|_| build_flow_packet(&udp, [1; 6], [2; 6], 64)).collect();
+        let report = nic.run(packets);
+        assert_eq!(report.dropped, vec![0, 0]);
+        let tp = report.pkts_per_cycle();
+        assert!(tp[0] > 0.0, "loaded pipeline has throughput");
+        assert_eq!(tp[1], 0.0, "idle pipeline has none");
+        // All 30 packets hit pipeline 0 of 2: imbalance is exactly 2.
+        assert_eq!(report.imbalance(), 2.0);
+        let stats = report.steering_stats();
+        assert_eq!(stats.steered, vec![30, 0]);
+        assert_eq!(stats.imbalance, 2.0);
     }
 }

@@ -1,0 +1,1022 @@
+//! Many-pipeline scale-out: N replicas of one generated pipeline behind
+//! an RSS flow-steering front end, sharing map state through a banked
+//! memory interconnect (ROADMAP item 2; VeBPF's many-core architecture).
+//!
+//! The model has three layers:
+//!
+//! * **Steering** — [`crate::multi::rss_flow_hash`] shards flows across
+//!   replicas; both directions of a flow land on the same replica, so
+//!   flow-local map state (firewall sessions, NAT bindings) never
+//!   migrates and stays *partitioned* by construction.
+//! * **Storage** — one canonical copy of every map. Replicas run in
+//!   single-threaded lockstep; each replica's cycle executes against the
+//!   canonical store (shared maps are swapped in for exactly that
+//!   replica's cycle), so cross-replica reads and writes interleave in a
+//!   fixed global order: replica 0's cycle, replica 1's, … — the
+//!   sequential consistency a real arbiter serializing one winner per
+//!   bank port would give, which makes every run deterministic and the
+//!   access history per-key linearizable by construction. The attached
+//!   memory-port tap ([`crate::sim::PipelineSim::attach_shared_port`])
+//!   records the history so [`check_linearizable`] can *verify* that
+//!   instead of assuming it.
+//! * **Timing** — every *shared-map* access is routed to a bank
+//!   (`hash(map, key) % banks`, one access per bank per cycle); private
+//!   maps are replica-local BRAM and never touch the interconnect. When
+//!   several replicas hit one bank in the same cycle, the arbiter picks
+//!   winners ([`Arbitration`]) and each loser's pipeline is frozen for
+//!   its queue position; access latency beyond 1 cycle stalls the
+//!   requester too. The stall back-pressures the whole replica exactly
+//!   like the FEB reload bubble: its clock is gated, packets sit in
+//!   their stages, and the RX queue absorbs arrivals. Optional
+//!   per-replica read caches (direct-mapped, write-invalidate) remove
+//!   read traffic from the fabric without touching storage — they are a
+//!   timing model only, so they can never change results, only stalls.
+//!
+//! Host ops against shared maps reuse the barrier-fence discipline of
+//! the `ehdl-runtime` control plane (PR 5): an op submitted at global
+//! arrival position `B` waits until every replica has retired all its
+//! pre-`B` arrivals, then executes against canonical storage between two
+//! global cycles — exactly the sequential-reference position.
+
+use crate::ctrl::{HostOp, HostOpResult};
+use crate::diff::apply_host_op_to_store;
+use crate::multi::{CompiledSteering, Steering};
+use crate::sim::{PipelineSim, SimOptions, SimOutcome};
+use ehdl_core::PipelineDesign;
+use ehdl_ebpf::maps::{MapError, MapStore};
+use std::collections::VecDeque;
+
+/// One traced shared-map access, as seen by the banked fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapAccess {
+    /// Target map id.
+    pub map: u32,
+    /// Mixed hash of `(map, key)`; bank index and cache tag derive from it.
+    pub key_hash: u64,
+    /// Write (update/delete/atomic/committed store) vs read (lookup).
+    pub write: bool,
+}
+
+/// What a shared-map event did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapEventKind {
+    /// A lookup; `hit` records whether the key was present.
+    Read {
+        /// Key was present.
+        hit: bool,
+    },
+    /// An insert/replace (or an atomic, logged with its post-update
+    /// value) — `value` holds the bytes now in storage.
+    Write,
+    /// A delete.
+    Delete,
+}
+
+/// One fully-described access to a *shared* map, for the
+/// linearizability checker. Recorded at the moment storage actually
+/// changed (or was read), so log order equals storage order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapEvent {
+    /// Target map id.
+    pub map: u32,
+    /// Key bytes.
+    pub key: Vec<u8>,
+    /// Read: the value observed (empty on miss). Write: the value now
+    /// stored (for atomics, the full post-update value). Delete: empty.
+    pub value: Vec<u8>,
+    /// Access kind.
+    pub kind: MapEventKind,
+}
+
+/// A [`MapEvent`] in the global (cross-replica) history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedEvent {
+    /// Global cycle at which the access happened.
+    pub cycle: u64,
+    /// Issuing replica, or [`HOST_REPLICA`] for a host control op.
+    pub replica: usize,
+    /// The access itself.
+    pub event: MapEvent,
+}
+
+/// `replica` tag for host-issued events in the shared history.
+pub const HOST_REPLICA: usize = usize::MAX;
+
+/// Mixed hash of `(map, key)` used for banking and cache tags: FNV-1a
+/// over the key bytes folded with the map id, splitmix-finalized so the
+/// low bits (bank index) avalanche.
+pub fn map_key_hash(map: u32, key: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ u64::from(map).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &b in key {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Per-bank arbitration policy when several replicas hit one bank in the
+/// same cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Arbitration {
+    /// The grant pointer rotates every cycle, so no replica starves.
+    #[default]
+    RoundRobin,
+    /// Lowest replica index always wins (replica 0 is never stalled by a
+    /// conflict; the highest index bears the brunt).
+    FixedPriority,
+}
+
+/// Banked shared-map fabric configuration.
+#[derive(Debug, Clone)]
+pub struct SharedMapOptions {
+    /// Number of memory banks (1 access per bank per cycle).
+    pub banks: usize,
+    /// Access latency in cycles; every fabric access stalls its
+    /// requester `latency - 1` cycles on top of conflict serialization.
+    pub latency: u64,
+    /// Per-bank arbitration policy.
+    pub arbitration: Arbitration,
+    /// Per-replica read caches (direct-mapped, write-invalidate):
+    /// a hit costs no fabric access. Timing-only — data always comes
+    /// from canonical storage. Off by default.
+    pub read_cache: bool,
+    /// Cache lines per replica when `read_cache` is set.
+    pub cache_lines: usize,
+    /// Map ids with one storage copy shared by *all* replicas (e.g. a
+    /// global stats array). Unlisted maps are per-replica private —
+    /// correct for flow-local state under RSS sharding.
+    pub shared_maps: Vec<u32>,
+    /// Log full [`SharedEvent`]s on shared maps (linearizability
+    /// checking; costs allocations, so off for pure benches).
+    pub log_events: bool,
+}
+
+impl Default for SharedMapOptions {
+    fn default() -> SharedMapOptions {
+        SharedMapOptions {
+            banks: 8,
+            latency: 1,
+            arbitration: Arbitration::RoundRobin,
+            read_cache: false,
+            cache_lines: 1024,
+            shared_maps: Vec::new(),
+            log_events: false,
+        }
+    }
+}
+
+/// Fabric telemetry for one sharded run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SharedMapStats {
+    /// Shared-map accesses offered to the fabric (all replicas; private
+    /// maps are replica-local BRAM and never reach the interconnect).
+    pub accesses: u64,
+    /// Accesses that went to a bank (read-cache hits are filtered out).
+    pub fabric_accesses: u64,
+    /// Fabric accesses that lost arbitration for at least one cycle.
+    pub conflicts: u64,
+    /// Read accesses served by a per-replica cache.
+    pub cache_hits: u64,
+    /// Cache lines invalidated by remote writes.
+    pub invalidations: u64,
+    /// Stall cycles levied on each replica (conflicts + latency).
+    pub stall_cycles: Vec<u64>,
+    /// Host ops applied to shared storage.
+    pub host_ops: u64,
+}
+
+impl SharedMapStats {
+    /// Fraction of fabric accesses that lost arbitration at least once.
+    pub fn conflict_rate(&self) -> f64 {
+        if self.fabric_accesses == 0 {
+            0.0
+        } else {
+            self.conflicts as f64 / self.fabric_accesses as f64
+        }
+    }
+}
+
+/// A completed host op against shared storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedOpCompletion {
+    /// Submission id (order of [`ShardedNic::run_with_ops`] schedule).
+    pub id: u64,
+    /// What the op returned.
+    pub result: Result<HostOpResult, MapError>,
+}
+
+/// Result of one sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Packets steered to each replica (accepted into its RX queue).
+    pub steered: Vec<u64>,
+    /// Packets completed by each replica.
+    pub completed: Vec<u64>,
+    /// Frames the replica's ingress MAC rejected (oversized). RX-queue
+    /// overflow cannot drop here: the steering front end applies
+    /// head-of-line backpressure instead.
+    pub dropped: Vec<u64>,
+    /// Global cycles the run took (feed through drain).
+    pub cycles: u64,
+    /// `(replica, global packet index, outcome)` in per-replica
+    /// completion order.
+    pub outcomes: Vec<(usize, u64, SimOutcome)>,
+    /// Fabric telemetry.
+    pub fabric: SharedMapStats,
+    /// Global shared-map access history (empty unless
+    /// [`SharedMapOptions::log_events`]).
+    pub events: Vec<SharedEvent>,
+    /// Host-op completions, in application order.
+    pub host_completions: Vec<SharedOpCompletion>,
+}
+
+impl ShardReport {
+    /// Aggregate throughput: completed packets per global cycle.
+    pub fn aggregate_pkts_per_cycle(&self) -> f64 {
+        let done: u64 = self.completed.iter().sum();
+        if self.cycles == 0 {
+            0.0
+        } else {
+            done as f64 / self.cycles as f64
+        }
+    }
+
+    /// p99 packet latency in cycles (0 for an empty run).
+    pub fn p99_latency_cycles(&self) -> u64 {
+        let mut lat: Vec<u64> = self.outcomes.iter().map(|(_, _, o)| o.latency_cycles).collect();
+        if lat.is_empty() {
+            return 0;
+        }
+        lat.sort_unstable();
+        lat[(lat.len() - 1).min(lat.len() * 99 / 100)]
+    }
+
+    /// Steering imbalance: hottest replica's arrivals over the mean
+    /// (1.0 = perfectly balanced; 1.0 by convention for an empty run).
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.steered.iter().sum();
+        if total == 0 || self.steered.is_empty() {
+            return 1.0;
+        }
+        let mean = total as f64 / self.steered.len() as f64;
+        self.steered.iter().copied().max().unwrap_or(0) as f64 / mean
+    }
+}
+
+/// A host op waiting for its cross-replica fence.
+#[derive(Debug)]
+struct PendingSharedOp {
+    id: u64,
+    op: HostOp,
+    /// Per replica: arrivals accepted before submission. The op applies
+    /// once every replica has *completed* at least this many packets —
+    /// the sequential-reference position of the PR 5 barrier, extended
+    /// across replicas.
+    barrier: Vec<u64>,
+}
+
+/// Direct-mapped, write-invalidate read cache (timing model only).
+#[derive(Debug, Clone)]
+struct ReadCache {
+    tags: Vec<u64>,
+}
+
+impl ReadCache {
+    fn new(lines: usize) -> ReadCache {
+        ReadCache { tags: vec![0; lines.max(1)] }
+    }
+
+    #[inline]
+    fn slot(&self, hash: u64) -> (usize, u64) {
+        ((hash as usize) % self.tags.len(), hash | 1)
+    }
+
+    fn hit(&self, hash: u64) -> bool {
+        let (line, tag) = self.slot(hash);
+        self.tags[line] == tag
+    }
+
+    fn fill(&mut self, hash: u64) {
+        let (line, tag) = self.slot(hash);
+        self.tags[line] = tag;
+    }
+
+    /// Returns true if a matching line was present (and is now gone).
+    fn invalidate(&mut self, hash: u64) -> bool {
+        let (line, tag) = self.slot(hash);
+        if self.tags[line] == tag {
+            self.tags[line] = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// N replicas of one pipeline behind RSS steering and the banked
+/// shared-map fabric.
+#[derive(Debug)]
+pub struct ShardedNic {
+    sims: Vec<PipelineSim>,
+    steering: CompiledSteering,
+    fabric: SharedMapOptions,
+    /// Canonical storage for shared maps; private maps live in each
+    /// replica's own store.
+    shared_store: MapStore,
+    shared_ids: Vec<u32>,
+    caches: Vec<ReadCache>,
+    stats: SharedMapStats,
+    events: Vec<SharedEvent>,
+    /// Per replica: local arrival seq → global packet index.
+    seq_map: Vec<Vec<u64>>,
+    cycle: u64,
+    next_op_id: u64,
+    pending_ops: VecDeque<PendingSharedOp>,
+    completions: Vec<SharedOpCompletion>,
+    /// Per-replica per-cycle access scratch (recycled).
+    acc_scratch: Vec<Vec<MapAccess>>,
+    ev_scratch: Vec<MapEvent>,
+    /// Flattened per-cycle arbitration worklist (recycled).
+    bank_order: Vec<(usize, usize)>,
+}
+
+impl ShardedNic {
+    /// Instantiate `replicas` copies of `design` sharing maps per
+    /// `fabric`, with RSS steering seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is 0, `fabric.banks` is 0, `fabric.latency`
+    /// is 0, or a shared map id does not exist in the design.
+    pub fn new(
+        design: &PipelineDesign,
+        replicas: usize,
+        seed: u64,
+        sim_options: SimOptions,
+        fabric: SharedMapOptions,
+    ) -> ShardedNic {
+        assert!(replicas > 0, "at least one replica");
+        assert!(fabric.banks > 0, "at least one memory bank");
+        assert!(fabric.latency > 0, "access latency is at least one cycle");
+        for &m in &fabric.shared_maps {
+            assert!(
+                design.maps.iter().any(|d| d.id == m),
+                "shared map {m} does not exist in the design"
+            );
+        }
+        let mut shared_ids = fabric.shared_maps.clone();
+        shared_ids.sort_unstable();
+        shared_ids.dedup();
+        let steering = Steering::RssFlowHash { replicas: (0..replicas).collect(), seed };
+        let mut sims: Vec<PipelineSim> =
+            (0..replicas).map(|_| PipelineSim::with_options(design, sim_options)).collect();
+        for sim in &mut sims {
+            sim.attach_shared_port(&shared_ids, fabric.log_events);
+        }
+        let caches = if fabric.read_cache {
+            (0..replicas).map(|_| ReadCache::new(fabric.cache_lines)).collect()
+        } else {
+            Vec::new()
+        };
+        ShardedNic {
+            sims,
+            steering: steering.compile(),
+            shared_store: MapStore::new(&design.maps),
+            shared_ids,
+            caches,
+            stats: SharedMapStats { stall_cycles: vec![0; replicas], ..Default::default() },
+            events: Vec::new(),
+            seq_map: vec![Vec::new(); replicas],
+            cycle: 0,
+            next_op_id: 0,
+            pending_ops: VecDeque::new(),
+            completions: Vec::new(),
+            acc_scratch: vec![Vec::new(); replicas],
+            ev_scratch: Vec::new(),
+            bank_order: Vec::new(),
+            fabric,
+        }
+    }
+
+    /// Number of replicas.
+    pub fn replicas(&self) -> usize {
+        self.sims.len()
+    }
+
+    /// Apply `setup` to every replica's private store *and* canonical
+    /// shared storage, so all copies start identical (the private copy
+    /// of a shared map is masked during execution, but keeping it
+    /// consistent costs nothing and avoids surprises in post-run dumps).
+    pub fn setup_maps(&mut self, setup: impl Fn(&mut MapStore)) {
+        for sim in &mut self.sims {
+            setup(sim.maps_mut());
+        }
+        setup(&mut self.shared_store);
+    }
+
+    /// Replica `r`'s simulator (post-run counters, private maps).
+    pub fn sim(&self, r: usize) -> &PipelineSim {
+        &self.sims[r]
+    }
+
+    /// Mutable access to replica `r`'s simulator.
+    pub fn sim_mut(&mut self, r: usize) -> &mut PipelineSim {
+        &mut self.sims[r]
+    }
+
+    /// Canonical storage of the shared maps (host view).
+    pub fn shared_store(&self) -> &MapStore {
+        &self.shared_store
+    }
+
+    /// Run a packet burst to completion. Up to `replicas` packets enter
+    /// the steering front end per global cycle — the scaled line rate a
+    /// wider ingress provides — and the run drains fully before
+    /// returning.
+    pub fn run(&mut self, packets: impl IntoIterator<Item = Vec<u8>>) -> ShardReport {
+        self.run_with_ops(packets, &[])
+    }
+
+    /// Like [`ShardedNic::run`], with host ops against shared maps
+    /// interleaved into the arrival stream: `(at, op)` submits `op` when
+    /// `at` packets have entered the NIC. The op fences behind every
+    /// replica's pre-`at` arrivals (the PR 5 barrier, cross-replica) and
+    /// applies to canonical storage between two global cycles.
+    pub fn run_with_ops(
+        &mut self,
+        packets: impl IntoIterator<Item = Vec<u8>>,
+        ops: &[(usize, HostOp)],
+    ) -> ShardReport {
+        let packets: Vec<Vec<u8>> = packets.into_iter().collect();
+        let n = self.sims.len();
+        let targets: Vec<usize> = packets.iter().map(|p| self.steering.steer(p)).collect();
+        let mut ops: VecDeque<(usize, HostOp)> = {
+            let mut v = ops.to_vec();
+            v.sort_by_key(|&(at, _)| at);
+            v.into()
+        };
+        let mut steered = vec![0u64; n];
+        let mut dropped = vec![0u64; n];
+        let start_cycle = self.cycle;
+        let before_completed: Vec<u64> = self.sims.iter().map(|s| s.counters().completed).collect();
+        let mut fed = 0usize;
+        // Generous budget: a hung run is a bug, not a workload property.
+        let mut budget: u64 = 100_000_000;
+        loop {
+            // Host ops whose submission point has been reached enter the
+            // fence queue with the current per-replica arrival snapshot.
+            while ops.front().is_some_and(|&(at, _)| at <= fed) {
+                let (_, op) = ops.pop_front().expect("front checked");
+                self.submit_shared_op(op);
+            }
+            self.apply_fenced_ops();
+
+            // Feed: up to `n` arrivals per global cycle. Feeding holds
+            // while an op is fenced: the op must land after every
+            // pre-submission arrival and before every later one (the
+            // drain-and-apply discipline of the PR 5 control plane), so
+            // later packets stay on the wire until the fence clears.
+            for _ in 0..n {
+                if fed >= packets.len() || !self.pending_ops.is_empty() {
+                    break;
+                }
+                if ops.front().is_some_and(|&(at, _)| at <= fed) {
+                    break; // Submit the op before feeding past its slot.
+                }
+                let t = targets[fed];
+                if !self.sims[t].rx_has_space() {
+                    // Head-of-line backpressure: the ingress holds the
+                    // frame (and everything behind it) until the hot
+                    // replica's queue drains — RSS imbalance costs
+                    // aggregate throughput rather than silently losing
+                    // packets.
+                    break;
+                }
+                if self.sims[t].try_enqueue(packets[fed].clone()).is_ok() {
+                    steered[t] += 1;
+                    self.seq_map[t].push(fed as u64);
+                } else {
+                    // Only oversized frames reach here; the MAC drops
+                    // them at ingress and the loss is surfaced, never
+                    // silent.
+                    dropped[t] += 1;
+                }
+                fed += 1;
+            }
+
+            self.step_all();
+
+            if fed >= packets.len()
+                && ops.is_empty()
+                && self.pending_ops.is_empty()
+                && self.sims.iter().all(|s| s.is_idle())
+            {
+                break;
+            }
+            budget -= 1;
+            assert!(budget > 0, "sharded run did not settle");
+        }
+        let completed: Vec<u64> = self
+            .sims
+            .iter()
+            .zip(&before_completed)
+            .map(|(s, &c0)| s.counters().completed - c0)
+            .collect();
+        let mut outcomes = Vec::new();
+        for r in 0..n {
+            for o in self.sims[r].drain() {
+                let g = self.seq_map[r].get(o.seq as usize).copied().unwrap_or(u64::MAX);
+                outcomes.push((r, g, o));
+            }
+        }
+        ShardReport {
+            steered,
+            completed,
+            dropped,
+            cycles: self.cycle - start_cycle,
+            outcomes,
+            fabric: self.stats.clone(),
+            events: std::mem::take(&mut self.events),
+            host_completions: std::mem::take(&mut self.completions),
+        }
+    }
+
+    /// Queue a host op against shared storage, fenced behind every
+    /// replica's arrivals so far. Returns the submission id.
+    fn submit_shared_op(&mut self, op: HostOp) -> u64 {
+        let id = self.next_op_id;
+        self.next_op_id += 1;
+        let barrier = self.seq_map.iter().map(|s| s.len() as u64).collect();
+        self.pending_ops.push_back(PendingSharedOp { id, op, barrier });
+        id
+    }
+
+    /// Apply every head-of-queue op whose fence holds (all replicas have
+    /// retired their pre-submission arrivals). Ops stay ordered among
+    /// themselves.
+    fn apply_fenced_ops(&mut self) {
+        while let Some(p) = self.pending_ops.front() {
+            let fenced =
+                p.barrier.iter().zip(&self.sims).all(|(&b, s)| s.counters().completed >= b);
+            if !fenced {
+                return;
+            }
+            let p = self.pending_ops.pop_front().expect("front checked");
+            let result = apply_host_op_to_store(&mut self.shared_store, &p.op);
+            self.stats.host_ops += 1;
+            if self.fabric.log_events {
+                self.log_host_event(&p.op, &result);
+            }
+            // A host write lands in canonical storage directly; the
+            // per-replica read caches must not keep serving the old line.
+            if let HostOp::Update { map, key, .. } | HostOp::Delete { map, key } = &p.op {
+                let h = map_key_hash(*map, key);
+                for c in &mut self.caches {
+                    if c.invalidate(h) {
+                        self.stats.invalidations += 1;
+                    }
+                }
+            }
+            self.completions.push(SharedOpCompletion { id: p.id, result });
+        }
+    }
+
+    /// Mirror a host op into the shared event history.
+    fn log_host_event(&mut self, op: &HostOp, result: &Result<HostOpResult, MapError>) {
+        let shared = |m: &u32| self.shared_ids.binary_search(m).is_ok();
+        let event = match (op, result) {
+            (HostOp::Update { map, key, value, .. }, Ok(HostOpResult::Updated)) if shared(map) => {
+                MapEvent {
+                    map: *map,
+                    key: key.clone(),
+                    value: value.clone(),
+                    kind: MapEventKind::Write,
+                }
+            }
+            (HostOp::Delete { map, key }, Ok(HostOpResult::Deleted)) if shared(map) => MapEvent {
+                map: *map,
+                key: key.clone(),
+                value: Vec::new(),
+                kind: MapEventKind::Delete,
+            },
+            (HostOp::Lookup { map, key }, Ok(HostOpResult::Value(v))) if shared(map) => MapEvent {
+                map: *map,
+                key: key.clone(),
+                value: v.clone().unwrap_or_default(),
+                kind: MapEventKind::Read { hit: v.is_some() },
+            },
+            _ => return,
+        };
+        self.events.push(SharedEvent { cycle: self.cycle, replica: HOST_REPLICA, event });
+    }
+
+    /// One global cycle: step every replica against canonical storage,
+    /// then arbitrate the cycle's accesses and levy stalls.
+    fn step_all(&mut self) {
+        let n = self.sims.len();
+        for r in 0..n {
+            // A frozen replica touches nothing — skip the swaps.
+            if self.sims[r].mem_stall_pending() > 0 {
+                self.sims[r].step();
+                continue;
+            }
+            self.swap_shared(r);
+            self.sims[r].step();
+            self.swap_shared(r);
+            let mut acc = std::mem::take(&mut self.acc_scratch[r]);
+            self.sims[r].drain_map_accesses(&mut acc);
+            self.acc_scratch[r] = acc;
+            if self.fabric.log_events {
+                let mut evs = std::mem::take(&mut self.ev_scratch);
+                self.sims[r].drain_map_events(&mut evs);
+                for event in evs.drain(..) {
+                    self.events.push(SharedEvent { cycle: self.cycle, replica: r, event });
+                }
+                self.ev_scratch = evs;
+            }
+        }
+        self.arbitrate();
+        self.cycle += 1;
+    }
+
+    /// Exchange the shared maps between replica `r`'s store and the
+    /// canonical store. Called before and after the replica's cycle, so
+    /// the replica always executes against the single canonical copy.
+    fn swap_shared(&mut self, r: usize) {
+        let sim_store = self.sims[r].maps_mut();
+        for &m in &self.shared_ids {
+            if let (Some(a), Some(b)) = (sim_store.get_mut(m), self.shared_store.get_mut(m)) {
+                std::mem::swap(a, b);
+            }
+        }
+    }
+
+    /// Bank arbitration for the cycle's traced accesses: cache filtering,
+    /// per-bank winner selection, and stall assignment.
+    fn arbitrate(&mut self) {
+        let n = self.sims.len();
+        let nb = self.fabric.banks as u64;
+        let lat_extra = self.fabric.latency - 1;
+        // Priority permutation for this cycle.
+        let rr = if self.fabric.arbitration == Arbitration::RoundRobin {
+            (self.cycle as usize) % n
+        } else {
+            0
+        };
+        self.bank_order.clear();
+        let mut stalls = vec![0u64; n];
+        let mut any = false;
+        for r in 0..n {
+            if !self.acc_scratch[r].is_empty() {
+                any = true;
+            }
+        }
+        if !any {
+            return;
+        }
+        // Serve replicas in priority order; within a replica, program
+        // order. `bank_order` collects (bank, priority-rank) pairs so a
+        // later access's queue position is the number of earlier grants
+        // on its bank this cycle.
+        for rank in 0..n {
+            let r = (rr + rank) % n;
+            let accs = std::mem::take(&mut self.acc_scratch[r]);
+            for a in &accs {
+                self.stats.accesses += 1;
+                let bank = (a.key_hash % nb) as usize;
+                if !a.write && !self.caches.is_empty() && self.caches[r].hit(a.key_hash) {
+                    self.stats.cache_hits += 1;
+                    continue;
+                }
+                self.stats.fabric_accesses += 1;
+                let pos = self.bank_order.iter().filter(|&&(b, _)| b == bank).count() as u64;
+                self.bank_order.push((bank, rank));
+                if pos > 0 {
+                    self.stats.conflicts += 1;
+                }
+                stalls[r] += pos + lat_extra;
+                if !self.caches.is_empty() {
+                    if a.write {
+                        // Write-invalidate: every other replica's copy of
+                        // the line dies; the writer re-fills its own.
+                        for (cr, c) in self.caches.iter_mut().enumerate() {
+                            if cr != r && c.invalidate(a.key_hash) {
+                                self.stats.invalidations += 1;
+                            }
+                        }
+                        self.caches[r].fill(a.key_hash);
+                    } else {
+                        self.caches[r].fill(a.key_hash);
+                    }
+                }
+            }
+            let mut accs = accs;
+            accs.clear();
+            self.acc_scratch[r] = accs;
+        }
+        for (r, &s) in stalls.iter().enumerate() {
+            if s > 0 {
+                self.sims[r].add_mem_stall(s);
+                self.stats.stall_cycles[r] += s;
+            }
+        }
+    }
+}
+
+/// Why the shared-map history is not per-key linearizable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearizabilityViolation {
+    /// Index of the offending event in the history.
+    pub index: usize,
+    /// Map id.
+    pub map: u32,
+    /// Key bytes.
+    pub key: Vec<u8>,
+    /// Human-readable mismatch description.
+    pub detail: String,
+}
+
+impl std::fmt::Display for LinearizabilityViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "event {}: map {} key {:02x?}: {}", self.index, self.map, self.key, self.detail)
+    }
+}
+
+/// Check the shared-map history for per-key linearizability at
+/// read/write granularity: replaying writes and deletes in log order
+/// from `initial`, every read must observe exactly the current value
+/// (and misses must be genuine absences). A violation means a replica
+/// saw a value canonical storage never held at that point — a coherence
+/// bug in the fabric or swap discipline.
+///
+/// # Errors
+///
+/// The first violation found, if any.
+pub fn check_linearizable(
+    initial: &MapStore,
+    shared: &[u32],
+    events: &[SharedEvent],
+) -> Result<(), LinearizabilityViolation> {
+    use std::collections::HashMap;
+    let mut state: HashMap<(u32, Vec<u8>), Vec<u8>> = HashMap::new();
+    for &m in shared {
+        if let Some(map) = initial.get(m) {
+            for (_, k, v) in map.iter() {
+                state.insert((m, k.to_vec()), v.to_vec());
+            }
+        }
+    }
+    for (i, e) in events.iter().enumerate() {
+        let ev = &e.event;
+        let slot = (ev.map, ev.key.clone());
+        match &ev.kind {
+            MapEventKind::Write => {
+                state.insert(slot, ev.value.clone());
+            }
+            MapEventKind::Delete => {
+                state.remove(&slot);
+            }
+            MapEventKind::Read { hit } => match (state.get(&slot), hit) {
+                (Some(cur), true) => {
+                    if cur != &ev.value {
+                        return Err(LinearizabilityViolation {
+                            index: i,
+                            map: ev.map,
+                            key: ev.key.clone(),
+                            detail: format!(
+                                "read observed {:02x?}, storage holds {:02x?}",
+                                ev.value, cur
+                            ),
+                        });
+                    }
+                }
+                (None, true) => {
+                    return Err(LinearizabilityViolation {
+                        index: i,
+                        map: ev.map,
+                        key: ev.key.clone(),
+                        detail: "read hit a key that is absent in storage".into(),
+                    });
+                }
+                (Some(_), false) => {
+                    return Err(LinearizabilityViolation {
+                        index: i,
+                        map: ev.map,
+                        key: ev.key.clone(),
+                        detail: "read missed a key that is present in storage".into(),
+                    });
+                }
+                (None, false) => {}
+            },
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use ehdl_core::Compiler;
+    use ehdl_net::{FiveTuple, IPPROTO_UDP};
+    use ehdl_programs::simple_firewall;
+    use ehdl_traffic::build_flow_packet;
+
+    fn firewall_design() -> PipelineDesign {
+        Compiler::new().compile(&simple_firewall::program()).unwrap()
+    }
+
+    fn opts() -> SimOptions {
+        SimOptions { freeze_time_ns: Some(1000), ..Default::default() }
+    }
+
+    fn flow_packets(flows: usize, per_flow: usize) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        for i in 0..flows {
+            let t = FiveTuple {
+                saddr: [10, 0, (i >> 8) as u8, i as u8],
+                daddr: [192, 168, 1, 1],
+                sport: 1000 + i as u16,
+                dport: 53,
+                proto: IPPROTO_UDP,
+            };
+            for _ in 0..per_flow {
+                out.push(build_flow_packet(&t, [1; 6], [2; 6], 64));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sharded_firewall_completes_and_shares_stats() {
+        let d = firewall_design();
+        let mut nic = ShardedNic::new(
+            &d,
+            4,
+            7,
+            opts(),
+            SharedMapOptions {
+                shared_maps: vec![simple_firewall::STATS_MAP],
+                log_events: true,
+                ..Default::default()
+            },
+        );
+        let packets = flow_packets(64, 4);
+        let report = nic.run(packets.clone());
+        assert_eq!(report.dropped, vec![0; 4], "no silent drops");
+        assert_eq!(report.completed.iter().sum::<u64>(), packets.len() as u64);
+        // The shared stats array counted every packet exactly once,
+        // across all four replicas writing through the fabric.
+        let stats = simple_firewall::read_stats(nic.shared_store());
+        assert_eq!(stats[0], packets.len() as u64);
+        // And the access history is per-key linearizable.
+        let initial = MapStore::new(&d.maps);
+        check_linearizable(&initial, &[simple_firewall::STATS_MAP], &report.events)
+            .expect("shared history must be linearizable");
+        assert!(!report.events.is_empty(), "event log recorded shared accesses");
+    }
+
+    #[test]
+    fn single_bank_serializes_and_stalls() {
+        let d = firewall_design();
+        let run = |banks: usize, latency: u64| {
+            let mut nic = ShardedNic::new(
+                &d,
+                4,
+                7,
+                opts(),
+                SharedMapOptions {
+                    banks,
+                    latency,
+                    shared_maps: vec![simple_firewall::SESSIONS_MAP, simple_firewall::STATS_MAP],
+                    ..Default::default()
+                },
+            );
+            nic.run(flow_packets(64, 4))
+        };
+        let wide = run(64, 1);
+        let narrow = run(1, 1);
+        assert!(narrow.fabric.conflicts > wide.fabric.conflicts);
+        assert!(narrow.fabric.conflict_rate() > 0.2, "one bank must thrash");
+        assert!(narrow.cycles > wide.cycles, "conflicts cost cycles");
+        let slow = run(64, 4);
+        assert!(slow.cycles > wide.cycles, "latency costs cycles");
+        // Timing never changes results: same per-packet completion count.
+        assert_eq!(narrow.completed.iter().sum::<u64>(), wide.completed.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn read_cache_cuts_fabric_traffic_without_changing_results() {
+        let d = firewall_design();
+        let run = |cache: bool| {
+            let mut nic = ShardedNic::new(
+                &d,
+                2,
+                3,
+                opts(),
+                SharedMapOptions {
+                    banks: 2,
+                    read_cache: cache,
+                    cache_lines: 4096,
+                    shared_maps: vec![simple_firewall::STATS_MAP],
+                    ..Default::default()
+                },
+            );
+            let report = nic.run(flow_packets(32, 8));
+            let stats = simple_firewall::read_stats(nic.shared_store()).to_vec();
+            (report, stats)
+        };
+        let (off, stats_off) = run(false);
+        let (on, stats_on) = run(true);
+        assert!(on.fabric.cache_hits > 0, "repeated flows must hit the cache");
+        assert!(on.fabric.fabric_accesses < off.fabric.fabric_accesses);
+        assert_eq!(stats_on, stats_off, "caches are timing-only");
+        let mut a: Vec<_> = off.outcomes.iter().map(|(_, g, o)| (*g, o.action)).collect();
+        let mut b: Vec<_> = on.outcomes.iter().map(|(_, g, o)| (*g, o.action)).collect();
+        a.sort_by_key(|&(g, _)| g);
+        b.sort_by_key(|&(g, _)| g);
+        assert_eq!(a, b, "verdicts identical with and without caches");
+    }
+
+    #[test]
+    fn host_ops_fence_behind_arrivals() {
+        let d = firewall_design();
+        let mut nic = ShardedNic::new(
+            &d,
+            2,
+            9,
+            opts(),
+            SharedMapOptions {
+                shared_maps: vec![simple_firewall::STATS_MAP],
+                log_events: true,
+                ..Default::default()
+            },
+        );
+        let packets = flow_packets(16, 4);
+        let key = 3u32.to_le_bytes().to_vec();
+        let report = nic.run_with_ops(
+            packets,
+            &[(
+                32,
+                HostOp::Update {
+                    map: simple_firewall::STATS_MAP,
+                    key: key.clone(),
+                    value: 42u64.to_le_bytes().to_vec(),
+                    flags: ehdl_ebpf::maps::UpdateFlags::Any,
+                },
+            )],
+        );
+        assert_eq!(report.host_completions.len(), 1);
+        assert_eq!(report.host_completions[0].result, Ok(HostOpResult::Updated));
+        let stats = nic.shared_store().get(simple_firewall::STATS_MAP).expect("stats map");
+        assert_eq!(stats.value(3), 42u64.to_le_bytes());
+        // The host write is part of the linearizable history.
+        let initial = MapStore::new(&d.maps);
+        check_linearizable(&initial, &[simple_firewall::STATS_MAP], &report.events)
+            .expect("host ops must serialize into the shared history");
+        assert!(report.events.iter().any(|e| e.replica == HOST_REPLICA));
+    }
+
+    #[test]
+    fn checker_rejects_a_corrupted_history() {
+        let d = firewall_design();
+        let initial = MapStore::new(&d.maps);
+        let key = vec![0, 0, 0, 0];
+        let mk = |kind: MapEventKind, value: Vec<u8>| SharedEvent {
+            cycle: 0,
+            replica: 0,
+            event: MapEvent { map: 1, key: key.clone(), value, kind },
+        };
+        let good = vec![
+            mk(MapEventKind::Write, vec![1; 8]),
+            mk(MapEventKind::Read { hit: true }, vec![1; 8]),
+        ];
+        check_linearizable(&initial, &[99], &good).unwrap();
+        let stale = vec![
+            mk(MapEventKind::Write, vec![1; 8]),
+            mk(MapEventKind::Read { hit: true }, vec![2; 8]),
+        ];
+        let err = check_linearizable(&initial, &[99], &stale).unwrap_err();
+        assert!(err.detail.contains("read observed"));
+        let ghost = vec![mk(MapEventKind::Read { hit: true }, vec![2; 8])];
+        assert!(check_linearizable(&initial, &[99], &ghost).is_err());
+    }
+
+    #[test]
+    fn four_replicas_scale_aggregate_throughput() {
+        let d = firewall_design();
+        let run = |replicas: usize| {
+            let mut nic = ShardedNic::new(&d, replicas, 7, opts(), SharedMapOptions::default());
+            nic.run(flow_packets(256, 2)).aggregate_pkts_per_cycle()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(
+            four >= 2.5 * one,
+            "4 replicas must scale ≥2.5x on a uniform workload: 1→{one:.4}, 4→{four:.4}"
+        );
+    }
+}

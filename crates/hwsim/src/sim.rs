@@ -22,6 +22,7 @@ use crate::fault::{
     FaultConfig, FaultEngine, FaultEvent, FaultKind, FaultOutcome, FaultSite, Hang, MapUpset,
     StuckFault,
 };
+use crate::shared::{map_key_hash, MapAccess, MapEvent, MapEventKind};
 
 mod compiled;
 
@@ -162,6 +163,10 @@ pub struct SimCounters {
     /// Host writes that landed inside an open RAW window and triggered
     /// the hazard flush machinery.
     pub host_op_flushes: u64,
+    /// Cycles the whole pipeline spent frozen waiting on the external
+    /// shared-map fabric (bank conflicts and access latency levied by
+    /// [`crate::shared::ShardedNic`]); 0 for a standalone pipeline.
+    pub mem_stall_cycles: u64,
 }
 
 /// A completed packet.
@@ -462,6 +467,31 @@ pub struct PipelineSim {
     map_hits: Vec<u64>,
     /// Per stage: cycles the slot held a packet (occupancy telemetry).
     stage_occupied: Vec<u64>,
+    /// Externally levied whole-pipeline freeze cycles (shared-map fabric
+    /// back-pressure). While non-zero, [`PipelineSim::step`] burns the
+    /// cycle without moving anything — the clock-gated stall a real
+    /// memory interconnect applies to a blocked requester.
+    ext_stall: u64,
+    /// Memory-port tap for the banked shared-map fabric (`None` keeps
+    /// the hot loop free of recording).
+    shared: Option<Box<SharedPort>>,
+}
+
+/// Recording state behind [`PipelineSim::attach_shared_port`]: accesses
+/// to *shared* maps are traced for fabric timing and (optionally) logged
+/// as full read/write events for the linearizability checker. Private
+/// maps are replica-local BRAM — they never touch the interconnect and
+/// are not recorded.
+#[derive(Debug, Clone)]
+struct SharedPort {
+    /// Per map id: log full events for this map.
+    shared_maps: Vec<bool>,
+    /// Master switch for event logging (off = timing trace only).
+    log_events: bool,
+    /// Map accesses since the last drain (fabric timing trace).
+    accesses: Vec<MapAccess>,
+    /// Full events on shared maps since the last drain.
+    events: Vec<MapEvent>,
 }
 
 impl PipelineSim {
@@ -556,6 +586,8 @@ impl PipelineSim {
             map_lookups: vec![0; design.maps.len()],
             map_hits: vec![0; design.maps.len()],
             stage_occupied: vec![0; nstages],
+            ext_stall: 0,
+            shared: None,
             feb_write_max: {
                 let mut v: Vec<Option<usize>> = vec![None; design.maps.len()];
                 for f in &design.hazards.febs {
@@ -667,6 +699,13 @@ impl PipelineSim {
         self.try_enqueue(packet).is_ok()
     }
 
+    /// Whether the RX queue can accept another arrival right now. Lets a
+    /// steering front end apply backpressure (hold the frame at ingress)
+    /// instead of offering a frame that would be dropped and counted.
+    pub fn rx_has_space(&self) -> bool {
+        self.rx.len() < self.options.rx_queue_depth
+    }
+
     /// Queue a packet for injection, reporting *why* a frame is refused.
     ///
     /// Runts (even empty frames) and truncated headers are accepted —
@@ -752,6 +791,16 @@ impl PipelineSim {
 
     /// Advance one clock cycle.
     pub fn step(&mut self) {
+        // External memory-fabric back-pressure: a pending stall freezes
+        // the whole pipeline for the cycle (clock gating), exactly like a
+        // blocked requester port. Nothing moves — not even injection.
+        if self.ext_stall > 0 {
+            self.ext_stall -= 1;
+            self.cycle += 1;
+            self.counters.mem_stall_cycles = self.counters.mem_stall_cycles.saturating_add(1);
+            return;
+        }
+
         // 0. Fault engine tick (scrub, watchdog, stuck-at sites, new
         // injections) — before anything moves this cycle, like the
         // asynchronous upset it models.
@@ -968,6 +1017,158 @@ impl PipelineSim {
     /// Take all completed packets (in completion order = arrival order).
     pub fn drain(&mut self) -> Vec<SimOutcome> {
         std::mem::take(&mut self.out)
+    }
+
+    /// Attach the shared-map memory-port tap ([`crate::shared::ShardedNic`]).
+    ///
+    /// Accesses to the maps listed in `shared_maps` are traced as
+    /// [`MapAccess`]es for fabric timing and, when `log_events` is set,
+    /// additionally logged as full [`MapEvent`]s feeding the per-key
+    /// linearizability checker. Accesses to other maps hit replica-local
+    /// BRAM and are not recorded — only shared traffic pays the
+    /// interconnect toll.
+    pub fn attach_shared_port(&mut self, shared_maps: &[u32], log_events: bool) {
+        let mut flags = vec![false; self.design.maps.len()];
+        for &m in shared_maps {
+            if let Some(f) = flags.get_mut(m as usize) {
+                *f = true;
+            }
+        }
+        self.shared = Some(Box::new(SharedPort {
+            shared_maps: flags,
+            log_events,
+            accesses: Vec::new(),
+            events: Vec::new(),
+        }));
+    }
+
+    /// Move the map accesses recorded since the last drain into `into`
+    /// (appending; `into` is not cleared). No-op without an attached port.
+    pub fn drain_map_accesses(&mut self, into: &mut Vec<MapAccess>) {
+        if let Some(p) = self.shared.as_deref_mut() {
+            into.append(&mut p.accesses);
+        }
+    }
+
+    /// Move the shared-map events recorded since the last drain into
+    /// `into` (appending). No-op without an attached port.
+    pub fn drain_map_events(&mut self, into: &mut Vec<MapEvent>) {
+        if let Some(p) = self.shared.as_deref_mut() {
+            into.append(&mut p.events);
+        }
+    }
+
+    /// Freeze the pipeline for `cycles` additional cycles (shared-map
+    /// fabric back-pressure: bank-conflict serialization and access
+    /// latency). Stalls accumulate.
+    pub fn add_mem_stall(&mut self, cycles: u64) {
+        self.ext_stall = self.ext_stall.saturating_add(cycles);
+    }
+
+    /// Externally levied stall cycles not yet burned.
+    pub fn mem_stall_pending(&self) -> u64 {
+        self.ext_stall
+    }
+
+    /// Is the pipeline completely idle (nothing in flight, queued,
+    /// replaying, buffered, or pending on the host channel)?
+    pub fn is_idle(&self) -> bool {
+        self.in_flight() == 0
+            && self.rx.is_empty()
+            && self.replay.is_empty()
+            && self.pending_writes.is_empty()
+            && self.host_ops_pending() == 0
+    }
+
+    /// Record a map read on the shared port (call only when attached).
+    #[inline(never)]
+    fn note_map_read(&mut self, map: u32, key: &[u8], slot: Option<usize>) {
+        let Some(p) = self.shared.as_deref_mut() else { return };
+        if !p.shared_maps.get(map as usize).copied().unwrap_or(false) {
+            return;
+        }
+        p.accesses.push(MapAccess { map, key_hash: map_key_hash(map, key), write: false });
+        if p.log_events {
+            let value = match slot {
+                Some(s) => self.maps.get(map).map(|m| m.value(s).to_vec()).unwrap_or_default(),
+                None => Vec::new(),
+            };
+            p.events.push(MapEvent {
+                map,
+                key: key.to_vec(),
+                value,
+                kind: MapEventKind::Read { hit: slot.is_some() },
+            });
+        }
+    }
+
+    /// Record an immediate map update on the shared port.
+    #[inline(never)]
+    fn note_map_update(&mut self, map: u32, key: &[u8], value: &[u8]) {
+        let Some(p) = self.shared.as_deref_mut() else { return };
+        if !p.shared_maps.get(map as usize).copied().unwrap_or(false) {
+            return;
+        }
+        p.accesses.push(MapAccess { map, key_hash: map_key_hash(map, key), write: true });
+        if p.log_events {
+            p.events.push(MapEvent {
+                map,
+                key: key.to_vec(),
+                value: value.to_vec(),
+                kind: MapEventKind::Write,
+            });
+        }
+    }
+
+    /// Record an immediate map delete on the shared port.
+    #[inline(never)]
+    fn note_map_delete(&mut self, map: u32, key: &[u8]) {
+        let Some(p) = self.shared.as_deref_mut() else { return };
+        if !p.shared_maps.get(map as usize).copied().unwrap_or(false) {
+            return;
+        }
+        p.accesses.push(MapAccess { map, key_hash: map_key_hash(map, key), write: true });
+        if p.log_events {
+            p.events.push(MapEvent {
+                map,
+                key: key.to_vec(),
+                value: Vec::new(),
+                kind: MapEventKind::Delete,
+            });
+        }
+    }
+
+    /// Record an in-place atomic (read-modify-write) on the shared port:
+    /// one fabric access, logged as a write of the post-update value.
+    #[inline(never)]
+    fn note_map_atomic(&mut self, map: u32, slot: usize) {
+        let Some(p) = self.shared.as_deref_mut() else { return };
+        if !p.shared_maps.get(map as usize).copied().unwrap_or(false) {
+            return;
+        }
+        let Some(m) = self.maps.get(map) else { return };
+        let key = m.key_of(slot);
+        p.accesses.push(MapAccess { map, key_hash: map_key_hash(map, key), write: true });
+        if p.log_events {
+            p.events.push(MapEvent {
+                map,
+                key: key.to_vec(),
+                value: m.value(slot).to_vec(),
+                kind: MapEventKind::Write,
+            });
+        }
+    }
+
+    /// Record a committed [`PendingWrite`] (WAR-delayed commits, own-write
+    /// forwarding, and immediate value stores all land here) on the
+    /// shared port, at the moment it actually mutates storage.
+    #[inline(never)]
+    fn note_applied_write(&mut self, w: &PendingWrite) {
+        match &w.kind {
+            WriteKind::Update { key, value, .. } => self.note_map_update(w.map, key, value),
+            WriteKind::Delete { key } => self.note_map_delete(w.map, key),
+            WriteKind::StoreValue { slot, .. } => self.note_map_atomic(w.map, *slot),
+        }
     }
 
     fn complete(&mut self, mut pkt: Box<InFlight>) {
@@ -1230,6 +1431,9 @@ impl PipelineSim {
                 }
             }
         }
+        if self.shared.is_some() {
+            self.note_applied_write(w);
+        }
     }
 
     /// Commit any buffered writes of `seq` on `map` (store-to-load
@@ -1491,6 +1695,9 @@ impl PipelineSim {
             let new = atomic_new_value(aop, old, operand_v, r0 & mask_for(size));
             let bytes = new.to_le_bytes();
             map.value_mut(slot)[off..off + n].copy_from_slice(&bytes[..n]);
+            if self.shared.is_some() {
+                self.note_map_atomic(map_id, slot);
+            }
             delta.side_effect = true;
             if self.debug_trace {
                 eprintln!("[sim {}] atomic map{map_id} slot{slot} seq{seq} old={old}", self.cycle);
@@ -1779,6 +1986,9 @@ impl PipelineSim {
                 *c = c.saturating_add(1);
             }
         }
+        if self.shared.is_some() {
+            self.note_map_read(map_id, key, slot);
+        }
         Ok(match slot {
             Some(slot) => {
                 if self.fault.is_some() {
@@ -1823,6 +2033,9 @@ impl PipelineSim {
                     if let Some(map) = self.maps.get_mut(map_id) {
                         let _ = map.update(key, &value, flags);
                     }
+                    if self.shared.is_some() {
+                        self.note_map_update(map_id, key, &value);
+                    }
                 } else {
                     let k = self.pooled_copy(key);
                     let v = self.pooled_copy(&value);
@@ -1840,6 +2053,9 @@ impl PipelineSim {
         } else if delay == 0 {
             if let Some(map) = self.maps.get_mut(map_id) {
                 let _ = map.delete(key);
+            }
+            if self.shared.is_some() {
+                self.note_map_delete(map_id, key);
             }
         } else {
             let k = self.pooled_copy(key);

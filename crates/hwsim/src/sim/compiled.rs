@@ -421,6 +421,9 @@ impl PipelineSim {
                 );
                 let bytes = new.to_le_bytes();
                 m.value_mut(slot)[o..o + n].copy_from_slice(&bytes[..n]);
+                if self.shared.is_some() {
+                    self.note_map_atomic(map, slot);
+                }
                 ctl.side_effect = true;
                 if self.debug_trace {
                     eprintln!("[sim {}] atomic map{map} slot{slot} seq{seq} old={old}", self.cycle);
@@ -565,6 +568,9 @@ impl PipelineSim {
                 *c = c.saturating_add(1);
             }
         }
+        if self.shared.is_some() {
+            self.note_map_read(map_id, key, slot);
+        }
         Ok(match slot {
             Some(slot) => {
                 if self.fault.is_some() {
@@ -605,6 +611,9 @@ impl PipelineSim {
                 if let Some(map) = self.maps.get_mut(map_id) {
                     let _ = map.update(key, &value, flags);
                 }
+                if self.shared.is_some() {
+                    self.note_map_update(map_id, key, &value);
+                }
             } else {
                 let k = self.pooled_copy(key);
                 let v = self.pooled_copy(&value);
@@ -644,6 +653,9 @@ impl PipelineSim {
         if delay == 0 {
             if let Some(map) = self.maps.get_mut(map_id) {
                 let _ = map.delete(key);
+            }
+            if self.shared.is_some() {
+                self.note_map_delete(map_id, key);
             }
         } else {
             let k = self.pooled_copy(key);

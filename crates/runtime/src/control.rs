@@ -276,6 +276,7 @@ impl Runtime {
             stages,
             maps,
             throughput_pps: counters.completed as f64 / seconds,
+            steering: None,
         }
     }
 

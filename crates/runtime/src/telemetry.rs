@@ -1,7 +1,7 @@
 //! Telemetry: structured snapshots of a running pipeline and a periodic
 //! JSON exporter (hand-written serialization — the tree carries no serde).
 
-use ehdl_hwsim::{CtrlStats, SimCounters};
+use ehdl_hwsim::{CtrlStats, SimCounters, SteeringStats};
 
 /// Per-stage occupancy telemetry.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +63,9 @@ pub struct RuntimeStats {
     pub maps: Vec<MapTelemetry>,
     /// Achieved throughput in packets per second of simulated time.
     pub throughput_pps: f64,
+    /// Multi-pipeline steering statistics (`None` when the runtime
+    /// drives a single pipeline).
+    pub steering: Option<SteeringStats>,
 }
 
 impl RuntimeStats {
@@ -80,7 +83,7 @@ impl RuntimeStats {
             "  \"counters\": {{\"injected\": {}, \"completed\": {}, \"rx_dropped\": {}, \
              \"flushes\": {}, \"flush_replays\": {}, \"bounds_faults\": {}, \
              \"fault_replays\": {}, \"watchdog_resets\": {}, \"host_ops\": {}, \
-             \"host_op_flushes\": {}}},\n",
+             \"host_op_flushes\": {}, \"mem_stall_cycles\": {}}},\n",
             c.injected,
             c.completed,
             c.rx_dropped,
@@ -91,6 +94,7 @@ impl RuntimeStats {
             c.watchdog_resets,
             c.host_ops,
             c.host_op_flushes,
+            c.mem_stall_cycles,
         ));
         let k = &self.ctrl;
         s.push_str(&format!(
@@ -106,6 +110,24 @@ impl RuntimeStats {
             k.mean_latency_cycles(),
             k.latency_cycles_max,
         ));
+        if let Some(st) = &self.steering {
+            s.push_str(&format!(
+                "  \"steering\": {{\"imbalance\": {:.4}, \"pipelines\": [",
+                st.imbalance
+            ));
+            for i in 0..st.steered.len() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!(
+                    "{{\"steered\": {}, \"dropped\": {}, \"pkts_per_cycle\": {:.4}}}",
+                    st.steered[i],
+                    st.dropped.get(i).copied().unwrap_or(0),
+                    st.pkts_per_cycle.get(i).copied().unwrap_or(0.0),
+                ));
+            }
+            s.push_str("]},\n");
+        }
         s.push_str("  \"stages\": [");
         for (i, st) in self.stages.iter().enumerate() {
             if i > 0 {
@@ -253,6 +275,7 @@ mod tests {
             stages: vec![],
             maps: vec![],
             throughput_pps: 0.0,
+            steering: None,
         };
         let mut exp = PeriodicExporter::new(1000);
         assert!(exp.poll(&stats).is_none());
@@ -289,6 +312,7 @@ mod tests {
                 capacity: 64,
             }],
             throughput_pps: 1.0e6,
+            steering: None,
         };
         let json = stats.to_json();
         for key in [
@@ -301,6 +325,40 @@ mod tests {
             "\"hit_rate\": 0.4000",
             "\"utilization\": 0.7000",
             "\"mean_latency_cycles\"",
+            "\"mem_stall_cycles\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(!json.contains("\"steering\""), "single-pipeline snapshots omit steering");
+    }
+
+    #[test]
+    fn json_exports_steering_section() {
+        let mut stats = RuntimeStats {
+            program: "fw".into(),
+            epoch: 0,
+            cycle: 0,
+            total_cycles: 0,
+            counters: SimCounters::default(),
+            ctrl: CtrlStats::default(),
+            stages: vec![],
+            maps: vec![],
+            throughput_pps: 0.0,
+            steering: None,
+        };
+        stats.steering = Some(SteeringStats {
+            steered: vec![30, 10],
+            dropped: vec![0, 2],
+            pkts_per_cycle: vec![0.25, 0.125],
+            imbalance: 1.5,
+        });
+        let json = stats.to_json();
+        for key in [
+            "\"steering\"",
+            "\"imbalance\": 1.5000",
+            "\"steered\": 30",
+            "\"dropped\": 2",
+            "\"pkts_per_cycle\": 0.2500",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Repo gate: build, test, lint, and simulator-speed smoke.
+# Repo gate: build, test, lint, simulator-speed smoke, and scale-out gate.
 #
 # The speed smoke replays the Figure-9a firewall workload (40k packets at
 # 64 B line rate) under both stage engines (reference interpreter and the
@@ -15,9 +15,18 @@
 #     every offender;
 #   - the two backends diverge on cycles/flushes/replays (they must be
 #     bit-identical on the deterministic workload).
+# The scale-out gate sweeps RSS-sharded pipeline replicas {1,2,4,8} over
+# uniform and Zipf workloads (Firewall, DNAT) through the banked
+# shared-map fabric and fails if:
+#   - 4 uniform-workload firewall replicas deliver less than 2.5x the
+#     aggregate pkts/cycle of a single replica;
+#   - any uniform run drops packets (balanced load must be lossless);
+#   - any sweep point drifts more than 25% from BENCH_scale_out.json.
+#
 # Re-record an intentional change with:
 #
 #   EHDL_WRITE_BENCH=1 cargo bench -p ehdl-bench --bench sim_speed
+#   EHDL_WRITE_BENCH=1 cargo bench -p ehdl-bench --bench scale_out
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,6 +39,9 @@ cargo test --workspace -q
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
+# The simulator crate also carries #![deny(clippy::unwrap_used)]; lint it
+# standalone so a workspace-level cap change can't mask it.
+cargo clippy -p ehdl-hwsim -- -D warnings
 
 echo "== fmt =="
 cargo fmt --all -- --check
@@ -39,6 +51,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "== sim speed smoke (40k packets) =="
 EHDL_CHECK_BENCH=1 cargo bench -p ehdl-bench --bench sim_speed
+
+echo "== scale-out gate (RSS sharding x banked shared maps) =="
+EHDL_CHECK_BENCH=1 cargo bench -p ehdl-bench --bench scale_out
 
 echo "== flush-cost sweep (partial flushes vs baseline) =="
 cargo bench -p ehdl-bench --bench flush_opt

@@ -10,7 +10,10 @@
 use ehdl::core::Compiler;
 use ehdl::ebpf::vm::XdpAction;
 use ehdl::hwsim::diff::compare_with;
-use ehdl::hwsim::{Backend, MultiNic, PipelineSim, SimCounters, SimOptions, Steering};
+use ehdl::hwsim::{
+    rss_flow_hash, Backend, MultiNic, PipelineSim, ShardedNic, SharedMapOptions, SimCounters,
+    SimOptions, Steering,
+};
 use ehdl::net::{IPPROTO_TCP, IPPROTO_UDP};
 use ehdl::programs::App;
 use ehdl_bench::{eval_packets, setup_app};
@@ -188,6 +191,119 @@ fn compiled_steering_matches_rule_scan() {
     }
     // Short packets steer to the default-equivalent entry (type 0).
     assert_eq!(compiled.steer(&[0u8; 4]), 5);
+}
+
+/// Swap an IPv4 packet's direction in place: source/destination address
+/// and L4 ports exchange, everything else stays (Ether + option-less
+/// IPv4 + UDP/TCP layout, as the evaluation traces use).
+fn reverse_direction(pkt: &[u8]) -> Vec<u8> {
+    let mut rev = pkt.to_vec();
+    for i in 0..4 {
+        rev.swap(26 + i, 30 + i);
+    }
+    for i in 0..2 {
+        rev.swap(34 + i, 36 + i);
+    }
+    rev
+}
+
+/// RSS flow steering is a pure function of `(packet, seed)`: the same
+/// seed and trace give the identical shard assignment on every compile
+/// and every run, the symmetric hash maps both directions of a flow to
+/// the same replica, and the seed actually matters.
+#[test]
+fn rss_assignment_is_seeded_symmetric_and_replayable() {
+    let packets = eval_packets(App::Firewall, TRACE_PACKETS);
+    let steering = Steering::RssFlowHash { replicas: (0..4).collect(), seed: 99 };
+    let a = steering.compile();
+    let b = steering.compile();
+    let mut reseeded_differs = false;
+    let reseeded = Steering::RssFlowHash { replicas: (0..4).collect(), seed: 100 }.compile();
+    for pkt in &packets {
+        let shard = a.steer(pkt);
+        assert_eq!(shard, b.steer(pkt), "assignment must survive recompilation");
+        assert_eq!(
+            shard,
+            (rss_flow_hash(pkt, 99) % 4) as usize,
+            "compiled steering must equal the raw hash"
+        );
+        assert_eq!(
+            shard,
+            a.steer(&reverse_direction(pkt)),
+            "both directions of a flow must land on the same replica"
+        );
+        reseeded_differs |= reseeded.steer(pkt) != shard;
+    }
+    assert!(reseeded_differs, "a different seed must move at least one flow");
+}
+
+/// A full sharded run — RSS steering, four replicas, the banked fabric
+/// with a shared map and event logging — replays bit-identically: same
+/// per-replica steering, same outcome bytes in the same global order,
+/// same cycle count, fabric telemetry, event history and canonical
+/// shared-map state. The realized per-packet assignment also matches the
+/// raw hash prediction.
+#[test]
+fn sharded_runs_replay_bit_identically() {
+    use ehdl::programs::simple_firewall;
+
+    let design = Compiler::new().compile(&App::Firewall.program()).expect("compiles");
+    let packets = eval_packets(App::Firewall, TRACE_PACKETS);
+    let seed = 7;
+    let run = || {
+        let mut nic = ShardedNic::new(
+            &design,
+            4,
+            seed,
+            opts(),
+            SharedMapOptions {
+                shared_maps: vec![simple_firewall::STATS_MAP],
+                log_events: true,
+                ..Default::default()
+            },
+        );
+        nic.setup_maps(|m| setup_app(App::Firewall, m));
+        let report = nic.run(packets.clone());
+        let outcomes: Vec<(usize, u64, OutcomeRow)> = report
+            .outcomes
+            .iter()
+            .map(|(r, g, o)| {
+                (*r, *g, (o.seq, o.action, o.redirect_ifindex, o.packet.clone(), o.latency_cycles))
+            })
+            .collect();
+        let mut stats: MapEntries = nic
+            .shared_store()
+            .get(simple_firewall::STATS_MAP)
+            .expect("stats map")
+            .iter()
+            .map(|(_, k, v)| (k.to_vec(), v.to_vec()))
+            .collect();
+        stats.sort();
+        (
+            report.steered.clone(),
+            report.completed.clone(),
+            report.dropped.clone(),
+            report.cycles,
+            outcomes,
+            report.fabric.clone(),
+            report.events.clone(),
+            stats,
+        )
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "sharded runs must be bit-identical");
+
+    // The realized assignment is exactly the hash prediction.
+    let compiled = Steering::RssFlowHash { replicas: (0..4).collect(), seed }.compile();
+    assert_eq!(first.4.len(), packets.len(), "every packet completes");
+    for (replica, global, _) in &first.4 {
+        assert_eq!(
+            *replica,
+            compiled.steer(&packets[*global as usize]),
+            "packet {global} must run on its RSS-assigned replica"
+        );
+    }
 }
 
 /// One seeded host-op/packet interleaving through the runtime, on the

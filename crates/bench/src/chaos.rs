@@ -1,0 +1,452 @@
+//! Chaos campaign: replica kill/hang/brown-out storms through the
+//! sharded fail-over machinery ([`ehdl_hwsim::ShardedNic`]) crossed with
+//! control-channel loss through the reliable host protocol
+//! ([`ehdl_runtime::ReliableCtrl`]).
+//!
+//! The fault side sweeps {Firewall, DNAT} × {single kill, single hang,
+//! brown-out storm} on 4 replicas and records availability, detection
+//! latency, and the full loss accounting (drained vs discarded vs
+//! silently lost — the last must be zero by construction). The control
+//! side replays an identical op schedule over a lossless and a 10%-lossy
+//! channel and records retry counts, duplicate suppression, p99 op
+//! latency, and whether the retried sequence stayed reference-identical.
+//!
+//! Everything is simulated-deterministic, so the recorded
+//! `BENCH_chaos.json` gates exactly, not statistically.
+
+use crate::design_of;
+use ehdl_core::Compiler;
+use ehdl_ebpf::asm::Asm;
+use ehdl_ebpf::maps::{MapDef, MapError, MapKind, UpdateFlags};
+use ehdl_ebpf::opcode::MemSize;
+use ehdl_ebpf::Program;
+use ehdl_hwsim::{
+    CtrlLossConfig, CtrlOptions, HostOp, HostOpResult, MergeStrategy, ReplicaFault,
+    ReplicaFaultConfig, ReplicaFaultKind, ShardedNic, SharedMapOptions, SimOptions,
+};
+use ehdl_programs::{dnat, simple_firewall, App};
+use ehdl_runtime::{RetryPolicy, Runtime, RuntimeOptions};
+use ehdl_traffic::{FlowSet, Popularity, Workload};
+
+/// Where the recorded baseline lives, relative to the workspace root.
+pub const REPORT_PATH: &str = "BENCH_chaos.json";
+
+/// Replicas in every fault scenario.
+pub const CHAOS_REPLICAS: usize = 4;
+
+/// Flows in the chaos workloads.
+pub const CHAOS_FLOWS: usize = 1024;
+
+/// Packets per measured fault run.
+pub const CHAOS_PACKETS: usize = 6_000;
+
+/// Watchdog detection budget used throughout (cycles).
+pub const WATCHDOG_BUDGET: u64 = 256;
+
+/// Control-channel loss rates swept (drop = dup = corrupt = delay).
+pub const LOSS_RATES: [f64; 2] = [0.0, 0.10];
+
+/// The swept failure scenarios.
+pub const SCENARIOS: [&str; 3] = ["kill1", "hang1", "brownout_storm"];
+
+/// One measured fault-campaign run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosRow {
+    /// Application (`firewall` or `dnat`).
+    pub app: String,
+    /// Scenario label (see [`SCENARIOS`]).
+    pub scenario: String,
+    /// Pipeline replicas.
+    pub replicas: usize,
+    /// Packets offered.
+    pub packets: usize,
+    /// Failures injected / detected by the watchdog / masked brown-outs.
+    pub injected: u64,
+    /// Watchdog detections.
+    pub detected: u64,
+    /// Brown-outs absorbed below the detection budget.
+    pub masked: u64,
+    /// Worst detection latency in cycles.
+    pub detection_latency_max: u64,
+    /// Mean detection latency in cycles.
+    pub mean_detection_latency: f64,
+    /// Packets completed by surviving replicas.
+    pub completed: u64,
+    /// Packets drained (punted to the host) from dead ingress FIFOs.
+    pub drained: u64,
+    /// Packets discarded mid-pipeline with a dead clock domain.
+    pub discarded: u64,
+    /// Frames rejected at ingress (oversized only; none expected here).
+    pub dropped: u64,
+    /// drained + discarded: every lost packet is accounted, never silent.
+    pub lost: u64,
+    /// Serving fraction of replica-cycles over the run.
+    pub availability: f64,
+    /// Aggregate throughput under failure, packets per global cycle.
+    pub pkts_per_cycle: f64,
+}
+
+/// One measured control-loss run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtrlChaosRow {
+    /// Per-direction drop/dup/corrupt/delay probability.
+    pub loss_rate: f64,
+    /// Host ops submitted.
+    pub ops: u64,
+    /// Ops that resolved with a completion.
+    pub completed_ops: u64,
+    /// Frame retransmissions.
+    pub retries: u64,
+    /// Duplicate completions suppressed.
+    pub dup_suppressed: u64,
+    /// Ops abandoned after exhausting attempts (must stay 0).
+    pub gave_up: u64,
+    /// p99 submit-to-resolve latency in cycles.
+    pub p99_op_latency_cycles: u64,
+    /// The completion sequence matched the lossless reference bit-exactly.
+    pub reference_identical: bool,
+}
+
+/// The failure schedule of one scenario, against [`CHAOS_REPLICAS`]
+/// replicas. Cycles are global `ShardedNic` cycles; the ~6k-packet runs
+/// span well past every event.
+fn schedule(scenario: &str) -> Vec<ReplicaFault> {
+    match scenario {
+        "kill1" => vec![ReplicaFault { at: 300, replica: 1, kind: ReplicaFaultKind::Kill }],
+        "hang1" => vec![ReplicaFault { at: 300, replica: 2, kind: ReplicaFaultKind::Hang }],
+        "brownout_storm" => vec![
+            // Short brown-outs (below the watchdog budget) are masked;
+            // the long one fails over and later returns to service.
+            ReplicaFault {
+                at: 200,
+                replica: 1,
+                kind: ReplicaFaultKind::BrownOut { duration: 100 },
+            },
+            ReplicaFault {
+                at: 600,
+                replica: 2,
+                kind: ReplicaFaultKind::BrownOut { duration: 1200 },
+            },
+            ReplicaFault {
+                at: 1000,
+                replica: 3,
+                kind: ReplicaFaultKind::BrownOut { duration: 60 },
+            },
+        ],
+        other => panic!("unknown chaos scenario {other}"),
+    }
+}
+
+/// Shared maps and reconcile strategies per app: globally-unique state
+/// (DNAT's port allocator) lives in the shared fabric; flow tables
+/// reconcile by union (idempotent across repeated failures); per-replica
+/// stats counters delta-merge.
+fn fabric_plan(app: App) -> (Vec<u32>, Vec<(u32, MergeStrategy)>) {
+    match app {
+        App::Dnat => (
+            vec![dnat::PORT_ALLOC_MAP],
+            vec![
+                (dnat::CONN_MAP, MergeStrategy::Union),
+                (dnat::STATS_MAP, MergeStrategy::SumDelta),
+            ],
+        ),
+        _ => (
+            Vec::new(),
+            vec![
+                (simple_firewall::SESSIONS_MAP, MergeStrategy::Union),
+                (simple_firewall::STATS_MAP, MergeStrategy::SumDelta),
+            ],
+        ),
+    }
+}
+
+/// Run one `(app, scenario)` point of the fault campaign.
+pub fn measure_faults(app: App, scenario: &str) -> ChaosRow {
+    let design = design_of(app);
+    let (shared_maps, merge) = fabric_plan(app);
+    let mut nic = ShardedNic::new(
+        &design,
+        CHAOS_REPLICAS,
+        7,
+        SimOptions::default(),
+        SharedMapOptions { shared_maps, ..Default::default() },
+    );
+    nic.attach_replica_faults(
+        ReplicaFaultConfig {
+            schedule: schedule(scenario),
+            watchdog_budget: WATCHDOG_BUDGET,
+            ..Default::default()
+        },
+        merge,
+    );
+    let flows = FlowSet::udp(CHAOS_FLOWS, 42);
+    let mut wl = Workload::new(flows, Popularity::Uniform, 64, 43);
+    let report = nic.run(wl.packets(CHAOS_PACKETS));
+    let f = report.failover;
+    let completed: u64 = report.completed.iter().sum();
+    let dropped: u64 = report.dropped.iter().sum();
+    let drained = report.drained.len() as u64;
+    let discarded = report.discarded.len() as u64;
+    ChaosRow {
+        app: app.name().to_string(),
+        scenario: scenario.to_string(),
+        replicas: CHAOS_REPLICAS,
+        packets: CHAOS_PACKETS,
+        injected: f.injected,
+        detected: f.detected,
+        masked: f.masked_brownouts,
+        detection_latency_max: f.detection_latency_max,
+        mean_detection_latency: f.mean_detection_latency(),
+        completed,
+        drained,
+        discarded,
+        dropped,
+        lost: drained + discarded,
+        availability: f.availability(CHAOS_REPLICAS, report.cycles),
+        pkts_per_cycle: report.aggregate_pkts_per_cycle(),
+    }
+}
+
+/// Pass-through program with one host-facing hash map — the op-schedule
+/// target for the control-loss campaign.
+fn host_map_program() -> Program {
+    let mut a = Asm::new();
+    a.load(MemSize::W, 7, 1, 0);
+    a.mov64_imm(0, 3);
+    a.exit();
+    Program::new(
+        "chaosctrl",
+        a.into_insns(),
+        vec![MapDef::new(0, "cells", MapKind::Hash, 8, 8, 64)],
+    )
+}
+
+/// A deterministic mixed op schedule (updates, lookups, deletes) over a
+/// 16-key working set.
+fn op_schedule() -> Vec<HostOp> {
+    let mut ops = Vec::new();
+    for i in 0u64..100 {
+        let k = (i % 16).to_le_bytes().to_vec();
+        ops.push(HostOp::Update {
+            map: 0,
+            key: k.clone(),
+            value: (i * 7).to_le_bytes().to_vec(),
+            flags: UpdateFlags::Any,
+        });
+        if i % 3 == 0 {
+            ops.push(HostOp::Lookup { map: 0, key: k });
+        }
+        if i % 5 == 4 {
+            ops.push(HostOp::Delete { map: 0, key: ((i + 1) % 16).to_le_bytes().to_vec() });
+        }
+    }
+    ops
+}
+
+/// Replay the op schedule at `loss_rate`, returning the completion
+/// sequence and the finished runtime.
+fn replay(loss_rate: f64) -> (Vec<Result<HostOpResult, MapError>>, Runtime) {
+    let design = Compiler::new().compile(&host_map_program()).expect("program compiles");
+    let mut rt = Runtime::new(
+        &design,
+        RuntimeOptions {
+            sim: SimOptions { freeze_time_ns: Some(1000), ..Default::default() },
+            ctrl: CtrlOptions { latency_cycles: 4, queue_depth: 8 },
+            loss: CtrlLossConfig::uniform(0xC4A0, loss_rate),
+            retry: RetryPolicy { timeout_cycles: 64, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    for op in op_schedule() {
+        rt.submit(op).expect("well-formed op");
+        for _ in 0..8 {
+            rt.step();
+        }
+    }
+    rt.settle();
+    let results = rt.completions().into_iter().map(|c| c.result).collect();
+    (results, rt)
+}
+
+/// Run the control-loss campaign: every rate in [`LOSS_RATES`] against
+/// the rate-0 reference.
+pub fn measure_ctrl() -> Vec<CtrlChaosRow> {
+    let (reference, _) = replay(0.0);
+    LOSS_RATES
+        .iter()
+        .map(|&rate| {
+            let (results, rt) = replay(rate);
+            match rt.reliable_stats() {
+                Some(s) => {
+                    let snap = s.snapshot();
+                    CtrlChaosRow {
+                        loss_rate: rate,
+                        ops: snap.ops,
+                        completed_ops: snap.completed,
+                        retries: snap.retries,
+                        dup_suppressed: snap.dup_completions_suppressed,
+                        gave_up: snap.gave_up,
+                        p99_op_latency_cycles: snap.p99_latency_cycles,
+                        reference_identical: results == reference,
+                    }
+                }
+                // Lossless channel: no reliable layer; latency comes from
+                // the raw completion stream.
+                None => CtrlChaosRow {
+                    loss_rate: rate,
+                    ops: results.len() as u64,
+                    completed_ops: results.len() as u64,
+                    retries: 0,
+                    dup_suppressed: 0,
+                    gave_up: 0,
+                    p99_op_latency_cycles: 0,
+                    reference_identical: results == reference,
+                },
+            }
+        })
+        .collect()
+}
+
+/// The full fault campaign: {Firewall, DNAT} × scenarios.
+pub fn measure_all_faults() -> Vec<ChaosRow> {
+    let mut out = Vec::new();
+    for app in [App::Firewall, App::Dnat] {
+        for scenario in SCENARIOS {
+            out.push(measure_faults(app, scenario));
+        }
+    }
+    out
+}
+
+/// The workspace-root path of the recorded baseline.
+pub fn report_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(REPORT_PATH)
+}
+
+/// Serialize the campaign to the tracked JSON file (hand-written — no
+/// serde in the tree; one entry object per line, parsed by
+/// [`read_recorded`] / [`read_ctrl_recorded`]).
+pub fn write_report(rows: &[ChaosRow], ctrl: &[CtrlChaosRow]) -> std::io::Result<()> {
+    let mut json = String::from("{\n  \"entries\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"app\": \"{}\", \"scenario\": \"{}\", \"replicas\": {}, \"packets\": {}, \
+             \"injected\": {}, \"detected\": {}, \"masked\": {}, \
+             \"detection_latency_max\": {}, \"mean_detection_latency\": {:.2}, \
+             \"completed\": {}, \"drained\": {}, \"discarded\": {}, \"dropped\": {}, \
+             \"lost\": {}, \"availability\": {:.6}, \"pkts_per_cycle\": {:.6}}}{sep}\n",
+            r.app,
+            r.scenario,
+            r.replicas,
+            r.packets,
+            r.injected,
+            r.detected,
+            r.masked,
+            r.detection_latency_max,
+            r.mean_detection_latency,
+            r.completed,
+            r.drained,
+            r.discarded,
+            r.dropped,
+            r.lost,
+            r.availability,
+            r.pkts_per_cycle,
+        ));
+    }
+    json.push_str("  ],\n  \"ctrl\": [\n");
+    for (i, r) in ctrl.iter().enumerate() {
+        let sep = if i + 1 == ctrl.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"loss_rate\": {:.2}, \"ops\": {}, \"completed_ops\": {}, \"retries\": {}, \
+             \"dup_suppressed\": {}, \"gave_up\": {}, \"p99_op_latency_cycles\": {}, \
+             \"reference_identical\": {}}}{sep}\n",
+            r.loss_rate,
+            r.ops,
+            r.completed_ops,
+            r.retries,
+            r.dup_suppressed,
+            r.gave_up,
+            r.p99_op_latency_cycles,
+            r.reference_identical,
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(report_path(), json)
+}
+
+/// Read one recorded field for an `(app, scenario)` fault entry.
+/// `None` (no recording yet) skips the corresponding gate.
+pub fn read_recorded(app: &str, scenario: &str, field: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(report_path()).ok()?;
+    let line = text.lines().find(|l| {
+        l.contains(&format!("\"app\": \"{app}\""))
+            && l.contains(&format!("\"scenario\": \"{scenario}\""))
+    })?;
+    parse_field(line, field)
+}
+
+/// Read one recorded field for a control-loss entry by rate.
+pub fn read_ctrl_recorded(loss_rate: f64, field: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(report_path()).ok()?;
+    let line = text.lines().find(|l| l.contains(&format!("\"loss_rate\": {loss_rate:.2},")))?;
+    parse_field(line, field)
+}
+
+fn parse_field(json: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\"");
+    let rest = &json[json.find(&key)? + key.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest.find([',', '\n', '}'])?;
+    let raw = rest[..end].trim();
+    match raw {
+        "true" => Some(1.0),
+        "false" => Some(0.0),
+        _ => raw.parse().ok(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_field_reads_numbers_and_bools() {
+        let json = "{\"availability\": 0.931201, \"reference_identical\": true}";
+        assert_eq!(parse_field(json, "availability"), Some(0.931201));
+        assert_eq!(parse_field(json, "reference_identical"), Some(1.0));
+        assert_eq!(parse_field(json, "missing"), None);
+    }
+
+    #[test]
+    fn single_kill_meets_the_availability_and_accounting_gates() {
+        let r = measure_faults(App::Firewall, "kill1");
+        assert_eq!(r.injected, 1);
+        assert_eq!(r.detected, 1, "the kill must be detected");
+        assert!(
+            r.detection_latency_max <= WATCHDOG_BUDGET,
+            "detection within the watchdog budget ({} > {WATCHDOG_BUDGET})",
+            r.detection_latency_max
+        );
+        assert_eq!(
+            r.packets as u64,
+            r.completed + r.lost + r.dropped,
+            "zero silent loss: every packet completed, drained, discarded, or rejected"
+        );
+        let floor = (CHAOS_REPLICAS as f64 - 1.0) / CHAOS_REPLICAS as f64 - 0.05;
+        assert!(
+            r.availability >= floor,
+            "availability {:.4} under a single kill fell below the {floor:.4} floor",
+            r.availability
+        );
+    }
+
+    #[test]
+    fn lossy_ctrl_stays_reference_identical() {
+        let rows = measure_ctrl();
+        let lossy = rows.iter().find(|r| r.loss_rate > 0.0).expect("lossy row");
+        assert_eq!(lossy.gave_up, 0);
+        assert!(lossy.retries > 0, "10% loss must force retransmissions");
+        assert!(lossy.reference_identical, "retried ops must match the lossless reference");
+    }
+}

@@ -6,6 +6,7 @@
 //! (who wins, by roughly what factor).
 
 pub mod absint;
+pub mod chaos;
 pub mod fault_campaign;
 pub mod flush_opt;
 pub mod runtime_ops;

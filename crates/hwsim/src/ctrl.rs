@@ -21,7 +21,8 @@
 //!    readers back past their stale read.
 
 use ehdl_ebpf::maps::{MapError, UpdateFlags};
-use std::collections::VecDeque;
+use ehdl_rng::Rng;
+use std::collections::{BTreeMap, VecDeque};
 
 /// A host-side map operation submitted over the control channel.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -150,6 +151,9 @@ pub enum CtrlError {
         /// Offending id.
         map: u32,
     },
+    /// The submitted wire frame does not decode (driver-side validation;
+    /// a frame this mangled never reaches the DMA engine).
+    BadFrame(FrameError),
 }
 
 impl std::fmt::Display for CtrlError {
@@ -160,6 +164,7 @@ impl std::fmt::Display for CtrlError {
                 write!(f, "control command queue full ({depth} ops)")
             }
             CtrlError::NoSuchMap { map } => write!(f, "no map with id {map}"),
+            CtrlError::BadFrame(e) => write!(f, "malformed control frame: {e}"),
         }
     }
 }
@@ -186,6 +191,26 @@ pub struct CtrlStats {
     pub latency_cycles_total: u64,
     /// Worst-case submit→apply latency, in cycles.
     pub latency_cycles_max: u64,
+    /// Request frames lost in transit (accepted, never delivered).
+    pub req_dropped: u64,
+    /// Request frames delivered twice by the link.
+    pub req_duplicated: u64,
+    /// Request frames mangled in transit past the CRC (delivered as
+    /// garbage, discarded at the NIC — indistinguishable from a drop to
+    /// the host, which recovers by retry).
+    pub req_corrupted: u64,
+    /// Request frames held extra cycles by the link.
+    pub req_delayed: u64,
+    /// Completions lost on the return path.
+    pub comp_dropped: u64,
+    /// Completions delivered twice by the link.
+    pub comp_duplicated: u64,
+    /// Completions held extra cycles by the link.
+    pub comp_delayed: u64,
+    /// Retransmitted frames answered from the applied-op cache instead of
+    /// re-executing (exactly-once application under at-least-once
+    /// delivery).
+    pub dedupe_hits: u64,
 }
 
 impl CtrlStats {
@@ -200,6 +225,319 @@ impl CtrlStats {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Lossy-link model
+// ---------------------------------------------------------------------------
+
+/// Seeded loss model for the control link. Each rate is an independent
+/// per-message probability; `lossless()` (the default) disables the model
+/// entirely. Attach with [`crate::PipelineSim::attach_ctrl_loss`] — only
+/// wire-frame submissions ([`crate::PipelineSim::submit_host_frame`]) and
+/// their completions traverse the lossy link; the legacy
+/// `submit_host_op` path models a debug backdoor and stays reliable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CtrlLossConfig {
+    /// RNG seed; identical seeds reproduce the fault pattern bit-exactly.
+    pub seed: u64,
+    /// Probability a message vanishes in transit.
+    pub drop_rate: f64,
+    /// Probability a message is delivered twice.
+    pub dup_rate: f64,
+    /// Probability a message is bit-flipped in transit (caught by the
+    /// frame CRC and discarded — effectively a detected drop).
+    pub corrupt_rate: f64,
+    /// Probability a message is held extra cycles.
+    pub delay_rate: f64,
+    /// Upper bound on the extra delay, in cycles.
+    pub max_extra_delay: u64,
+}
+
+impl CtrlLossConfig {
+    /// A perfectly reliable link.
+    pub fn lossless() -> CtrlLossConfig {
+        CtrlLossConfig {
+            seed: 0,
+            drop_rate: 0.0,
+            dup_rate: 0.0,
+            corrupt_rate: 0.0,
+            delay_rate: 0.0,
+            max_extra_delay: 0,
+        }
+    }
+
+    /// Every failure mode at the same `rate` (delay up to 256 cycles).
+    pub fn uniform(seed: u64, rate: f64) -> CtrlLossConfig {
+        CtrlLossConfig {
+            seed,
+            drop_rate: rate,
+            dup_rate: rate,
+            corrupt_rate: rate,
+            delay_rate: rate,
+            max_extra_delay: 256,
+        }
+    }
+
+    /// Does any failure mode have a non-zero rate?
+    pub fn is_lossy(&self) -> bool {
+        self.drop_rate > 0.0
+            || self.dup_rate > 0.0
+            || self.corrupt_rate > 0.0
+            || self.delay_rate > 0.0
+    }
+}
+
+impl Default for CtrlLossConfig {
+    fn default() -> CtrlLossConfig {
+        CtrlLossConfig::lossless()
+    }
+}
+
+/// Live loss-model state: the config plus its private RNG stream.
+#[derive(Debug, Clone)]
+pub(crate) struct LossState {
+    pub(crate) cfg: CtrlLossConfig,
+    pub(crate) rng: Rng,
+}
+
+impl LossState {
+    pub(crate) fn new(cfg: CtrlLossConfig) -> LossState {
+        LossState { rng: Rng::seed_from_u64(cfg.seed), cfg }
+    }
+
+    /// One Bernoulli trial. Always advances the RNG so the fault pattern
+    /// for later messages does not depend on which rates are zero.
+    pub(crate) fn roll(&mut self, rate: f64) -> bool {
+        self.rng.gen_f64() < rate
+    }
+
+    /// Extra in-transit delay for a delayed message (≥ 1 cycle).
+    pub(crate) fn extra_delay(&mut self) -> u64 {
+        self.rng.gen_range_u64(1, self.cfg.max_extra_delay.max(1) + 1)
+    }
+
+    /// Flip 1–4 bits somewhere in `frame`.
+    pub(crate) fn mangle(&mut self, frame: &mut [u8]) {
+        if frame.is_empty() {
+            return;
+        }
+        let flips = 1 + self.rng.gen_index(4);
+        for _ in 0..flips {
+            let byte = self.rng.gen_index(frame.len());
+            frame[byte] ^= 1 << self.rng.gen_index(8);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire-frame codec
+// ---------------------------------------------------------------------------
+
+/// Frame magic: "EHC1" (eHDL control, version 1).
+pub const FRAME_MAGIC: u32 = 0x4548_4331;
+/// Fixed header bytes before the variable payload.
+pub const FRAME_HEADER_LEN: usize = 22;
+/// Largest accepted frame (header + payload + CRC).
+pub const MAX_FRAME_LEN: usize = 4096;
+
+const KIND_LOOKUP: u8 = 0;
+const KIND_UPDATE: u8 = 1;
+const KIND_DELETE: u8 = 2;
+const KIND_DUMP: u8 = 3;
+
+/// Why a wire frame failed to decode. All variants are typed and `Copy`;
+/// a malformed frame must never panic the decoder (fuzzed in
+/// `tests/fuzz_ctrl.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Shorter than the fixed header + CRC.
+    Truncated {
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// Longer than [`MAX_FRAME_LEN`].
+    Oversized {
+        /// Bytes actually present.
+        len: usize,
+    },
+    /// First word is not [`FRAME_MAGIC`].
+    BadMagic {
+        /// Word actually found.
+        magic: u32,
+    },
+    /// Unknown op kind byte.
+    BadKind {
+        /// Byte actually found.
+        kind: u8,
+    },
+    /// Flags byte invalid for the op kind (non-update ops must carry 0).
+    BadFlags {
+        /// Byte actually found.
+        flags: u8,
+    },
+    /// Declared key/value lengths disagree with the frame length.
+    LengthMismatch {
+        /// Header + declared payload + CRC.
+        declared: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// Keyed op with a zero-length key, or a dump with a payload.
+    BadShape {
+        /// Op kind byte.
+        kind: u8,
+    },
+    /// CRC-32 over header+payload does not match the trailer.
+    BadChecksum {
+        /// CRC computed over the received bytes.
+        want: u32,
+        /// CRC carried in the trailer.
+        got: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { got } => write!(f, "truncated frame ({got} bytes)"),
+            FrameError::Oversized { len } => {
+                write!(f, "oversized frame ({len} > {MAX_FRAME_LEN} bytes)")
+            }
+            FrameError::BadMagic { magic } => write!(f, "bad magic {magic:#010x}"),
+            FrameError::BadKind { kind } => write!(f, "unknown op kind {kind}"),
+            FrameError::BadFlags { flags } => write!(f, "invalid flags byte {flags}"),
+            FrameError::LengthMismatch { declared, got } => {
+                write!(f, "length mismatch (declared {declared}, got {got})")
+            }
+            FrameError::BadShape { kind } => write!(f, "invalid payload shape for kind {kind}"),
+            FrameError::BadChecksum { want, got } => {
+                write!(f, "bad checksum (computed {want:#010x}, trailer {got:#010x})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Encode `(seq, op)` as a wire frame:
+///
+/// ```text
+/// magic:u32  kind:u8  flags:u8  map:u32  seq:u64  key_len:u16  val_len:u16
+/// key[key_len]  value[val_len]  crc32:u32          (all little-endian)
+/// ```
+///
+/// `seq` is the host's retransmission sequence number: frames carrying the
+/// same `seq` are the same logical op, and the channel applies it at most
+/// once no matter how many copies arrive.
+pub fn encode_frame(seq: u64, op: &HostOp) -> Vec<u8> {
+    let (kind, flags, key, value): (u8, u8, &[u8], &[u8]) = match op {
+        HostOp::Lookup { key, .. } => (KIND_LOOKUP, 0, key, &[]),
+        HostOp::Update { key, value, flags, .. } => (KIND_UPDATE, *flags as u8, key, value),
+        HostOp::Delete { key, .. } => (KIND_DELETE, 0, key, &[]),
+        HostOp::Dump { .. } => (KIND_DUMP, 0, &[], &[]),
+    };
+    let mut f = Vec::with_capacity(FRAME_HEADER_LEN + key.len() + value.len() + 4);
+    f.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    f.push(kind);
+    f.push(flags);
+    f.extend_from_slice(&op.map().to_le_bytes());
+    f.extend_from_slice(&seq.to_le_bytes());
+    f.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    f.extend_from_slice(&(value.len() as u16).to_le_bytes());
+    f.extend_from_slice(key);
+    f.extend_from_slice(value);
+    let crc = crc32(&f);
+    f.extend_from_slice(&crc.to_le_bytes());
+    f
+}
+
+/// Decode a wire frame back into `(seq, op)`. Total function over
+/// arbitrary bytes: every malformed input maps to a typed [`FrameError`].
+pub fn decode_frame(frame: &[u8]) -> Result<(u64, HostOp), FrameError> {
+    if frame.len() > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized { len: frame.len() });
+    }
+    if frame.len() < FRAME_HEADER_LEN + 4 {
+        return Err(FrameError::Truncated { got: frame.len() });
+    }
+    let word = |at: usize| -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&frame[at..at + 4]);
+        u32::from_le_bytes(b)
+    };
+    let magic = word(0);
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic { magic });
+    }
+    let kind = frame[4];
+    let flags = frame[5];
+    let map = word(6);
+    let mut seq_b = [0u8; 8];
+    seq_b.copy_from_slice(&frame[10..18]);
+    let seq = u64::from_le_bytes(seq_b);
+    let key_len = usize::from(u16::from_le_bytes([frame[18], frame[19]]));
+    let val_len = usize::from(u16::from_le_bytes([frame[20], frame[21]]));
+    let declared = FRAME_HEADER_LEN + key_len + val_len + 4;
+    if declared != frame.len() {
+        return Err(FrameError::LengthMismatch { declared, got: frame.len() });
+    }
+    let body_end = FRAME_HEADER_LEN + key_len + val_len;
+    let want = crc32(&frame[..body_end]);
+    let got = word(body_end);
+    if want != got {
+        return Err(FrameError::BadChecksum { want, got });
+    }
+    let key = frame[FRAME_HEADER_LEN..FRAME_HEADER_LEN + key_len].to_vec();
+    let value = frame[FRAME_HEADER_LEN + key_len..body_end].to_vec();
+    let op = match kind {
+        KIND_LOOKUP | KIND_DELETE => {
+            if flags != 0 {
+                return Err(FrameError::BadFlags { flags });
+            }
+            if key_len == 0 || val_len != 0 {
+                return Err(FrameError::BadShape { kind });
+            }
+            if kind == KIND_LOOKUP {
+                HostOp::Lookup { map, key }
+            } else {
+                HostOp::Delete { map, key }
+            }
+        }
+        KIND_UPDATE => {
+            let Some(flags) = UpdateFlags::from_raw(u64::from(flags)) else {
+                return Err(FrameError::BadFlags { flags });
+            };
+            if key_len == 0 {
+                return Err(FrameError::BadShape { kind });
+            }
+            HostOp::Update { map, key, value, flags }
+        }
+        KIND_DUMP => {
+            if flags != 0 {
+                return Err(FrameError::BadFlags { flags });
+            }
+            if key_len != 0 || val_len != 0 {
+                return Err(FrameError::BadShape { kind });
+            }
+            HostOp::Dump { map }
+        }
+        kind => return Err(FrameError::BadKind { kind }),
+    };
+    Ok((seq, op))
+}
+
 /// A queued op with its ordering barrier.
 #[derive(Debug, Clone)]
 pub(crate) struct QueuedOp {
@@ -212,7 +550,16 @@ pub(crate) struct QueuedOp {
     /// Earliest cycle the command can reach the map block (arrival
     /// latency); the fence may hold it longer.
     pub(crate) ready_cycle: u64,
+    /// Host retransmission seq for frame-submitted ops (`None` for the
+    /// reliable backdoor path). Keys the exactly-once dedupe cache.
+    pub(crate) frame_seq: Option<u64>,
 }
+
+/// Retransmission seqs remembered for duplicate suppression. Old entries
+/// are evicted lowest-seq-first once the window fills; a host that
+/// retransmits an op more than ~a window of newer ops later would re-apply
+/// it, so the runtime's retry horizon must stay inside this.
+pub(crate) const DEDUPE_WINDOW: usize = 1024;
 
 /// Per-simulator control-channel state (owned by [`crate::PipelineSim`]).
 #[derive(Debug, Clone)]
@@ -222,6 +569,14 @@ pub(crate) struct CtrlState {
     pub(crate) completions: Vec<HostCompletion>,
     pub(crate) next_id: u64,
     pub(crate) stats: CtrlStats,
+    /// Lossy-link model (`None` = reliable link, zero overhead).
+    pub(crate) loss: Option<Box<LossState>>,
+    /// frame_seq → completion already produced for that seq (exactly-once
+    /// application: retransmissions are answered from this cache).
+    pub(crate) applied: BTreeMap<u64, HostCompletion>,
+    /// Completions held in transit by the delay model:
+    /// `(deliver_cycle, completion)`.
+    pub(crate) delayed: Vec<(u64, HostCompletion)>,
 }
 
 impl CtrlState {
@@ -232,6 +587,84 @@ impl CtrlState {
             completions: Vec::new(),
             next_id: 0,
             stats: CtrlStats::default(),
+            loss: None,
+            applied: BTreeMap::new(),
+            delayed: Vec::new(),
+        }
+    }
+
+    /// Remember `seq`'s completion for duplicate suppression, evicting the
+    /// oldest entry once the window fills.
+    pub(crate) fn remember_applied(&mut self, seq: u64, completion: HostCompletion) {
+        self.applied.insert(seq, completion);
+        while self.applied.len() > DEDUPE_WINDOW {
+            self.applied.pop_first();
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrips_every_op_kind() {
+        let ops = [
+            HostOp::Lookup { map: 3, key: vec![1, 2, 3, 4] },
+            HostOp::Update {
+                map: 0,
+                key: vec![9; 13],
+                value: vec![7; 8],
+                flags: UpdateFlags::NoExist,
+            },
+            HostOp::Update { map: 2, key: vec![1], value: vec![], flags: UpdateFlags::Exist },
+            HostOp::Delete { map: 1, key: vec![0xff; 2] },
+            HostOp::Dump { map: 42 },
+        ];
+        for (i, op) in ops.iter().enumerate() {
+            let seq = 1000 + i as u64;
+            let frame = encode_frame(seq, op);
+            let (got_seq, got_op) = decode_frame(&frame).unwrap();
+            assert_eq!(got_seq, seq);
+            assert_eq!(&got_op, op);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_structural_damage_with_typed_errors() {
+        let frame = encode_frame(7, &HostOp::Lookup { map: 0, key: vec![1, 2, 3, 4] });
+        assert!(matches!(decode_frame(&frame[..10]), Err(FrameError::Truncated { .. })));
+        assert!(matches!(
+            decode_frame(&vec![0u8; MAX_FRAME_LEN + 1]),
+            Err(FrameError::Oversized { .. })
+        ));
+        let mut bad = frame.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(decode_frame(&bad), Err(FrameError::BadMagic { .. })));
+        let mut bad = frame.clone();
+        *bad.last_mut().unwrap() ^= 1;
+        assert!(matches!(decode_frame(&bad), Err(FrameError::BadChecksum { .. })));
+        let mut longer = frame.clone();
+        longer.push(0);
+        assert!(matches!(decode_frame(&longer), Err(FrameError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn crc_catches_single_bit_flips_anywhere() {
+        let frame = encode_frame(
+            9,
+            &HostOp::Update { map: 1, key: vec![5; 4], value: vec![6; 8], flags: UpdateFlags::Any },
+        );
+        for byte in 0..frame.len() - 4 {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    decode_frame(&bad).is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
         }
     }
 }

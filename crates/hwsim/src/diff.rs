@@ -9,7 +9,7 @@
 //! cycles, never correctness.
 
 use crate::ctrl::{CtrlOptions, HostOp, HostOpResult};
-use crate::fault::{FaultConfig, FaultEvent, FaultStats};
+use crate::fault::{FaultConfig, FaultEvent, FaultStats, ReplicaFaultConfig};
 use crate::shared::{check_linearizable, ShardedNic, SharedMapOptions};
 use crate::sim::{PipelineSim, SimCounters, SimOptions};
 use ehdl_core::{Compiler, CompilerOptions, PipelineDesign};
@@ -70,6 +70,14 @@ pub enum Divergence {
         /// Human-readable violation description.
         detail: String,
     },
+    /// A replica-failure invariant broke: a packet was lost without
+    /// being accounted, a failure went undetected or blew its detection
+    /// budget, or a loss hit a flow that never belonged to a failed
+    /// replica.
+    Loss {
+        /// Human-readable violation description.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for Divergence {
@@ -86,6 +94,7 @@ impl std::fmt::Display for Divergence {
             Divergence::Proof { detail } => write!(f, "violated proof: {detail}"),
             Divergence::HostOp { id, detail } => write!(f, "host op {id}: {detail}"),
             Divergence::Coherence { detail } => write!(f, "coherence: {detail}"),
+            Divergence::Loss { detail } => write!(f, "loss: {detail}"),
         }
     }
 }
@@ -553,6 +562,160 @@ pub fn assert_equivalent_sharded(
         divs.iter().map(|d| format!("  {d}")).collect::<Vec<_>>().join("\n")
     );
     divs
+}
+
+/// Result of a fail-over differential run ([`compare_sharded_failover`]).
+#[derive(Debug)]
+pub struct FailoverDiff {
+    /// Divergences found (empty means the run passed every check).
+    pub divergences: Vec<Divergence>,
+    /// The sharded run's full report, including [`ShardReport::failover`](crate::shared::ShardReport::failover)
+    /// stats, for callers that gate on availability or detection latency.
+    pub report: crate::shared::ShardReport,
+}
+
+/// Differential check of a [`ShardedNic`] run *under replica failures*
+/// against the fault-free sequential reference.
+///
+/// The reference VM processes every packet; the sharded run takes the
+/// same trace with `schedule`'s replica faults injected. Correctness
+/// under failure means:
+///
+/// * **Zero silent loss** — every offered packet is completed, drained,
+///   discarded, or an accounted ingress drop; the sums must close.
+/// * **Blast-radius containment** — every lost packet belongs to a flow
+///   homed on a replica that failed ([`ShardReport::affected`](crate::shared::ShardReport::affected)); a loss
+///   outside the affected set means the fail-over leaked into healthy
+///   traffic.
+/// * **Survivor equivalence** — every completed packet *outside* the
+///   affected set must be bit-equivalent (action and output bytes) to
+///   the sequential reference. Affected flows are exempt: losing part of
+///   a session legitimately changes stateful verdicts downstream.
+/// * **Bounded detection** — every injected (non-masked) failure is
+///   detected, and never later than the watchdog budget.
+/// * **Coherence** — the surviving shared-map history stays per-key
+///   linearizable ([`check_linearizable`]).
+///
+/// Final map state is *not* compared: a failure legitimately loses
+/// private state the [`MergeStrategy`] cannot reconstruct. Callers who
+/// need map equivalence should use [`compare_sharded`] on a fault-free
+/// run.
+#[allow(clippy::too_many_arguments)]
+pub fn compare_sharded_failover(
+    program: &Program,
+    design: &PipelineDesign,
+    replicas: usize,
+    seed: u64,
+    packets: &[Vec<u8>],
+    rfault: ReplicaFaultConfig,
+    setup: impl Fn(&mut MapStore),
+    merge: &[(u32, MergeStrategy)],
+    fabric: SharedMapOptions,
+) -> FailoverDiff {
+    let sim_options = SimOptions { freeze_time_ns: Some(1000), ..Default::default() };
+    let mut vm = Vm::new(program);
+    vm.set_time_ns(1000);
+    let mut fabric = fabric;
+    fabric.log_events = true;
+    let shared_ids = fabric.shared_maps.clone();
+    let mut nic = ShardedNic::new(design, replicas, seed, sim_options, fabric);
+    nic.attach_replica_faults(rfault.clone(), merge.to_vec());
+    setup(vm.maps_mut());
+    nic.setup_maps(&setup);
+    let mut initial = MapStore::new(&design.maps);
+    setup(&mut initial);
+
+    // Fault-free sequential reference over the whole trace.
+    let mut vm_actions = Vec::with_capacity(packets.len());
+    let mut vm_packets = Vec::with_capacity(packets.len());
+    for p in packets {
+        let mut bytes = p.clone();
+        match vm.run(&mut bytes, 0) {
+            Ok(out) => {
+                vm_actions.push(out.action);
+                vm_packets.push(bytes);
+            }
+            Err(_) => {
+                vm_actions.push(XdpAction::Drop);
+                vm_packets.push(p.clone());
+            }
+        }
+    }
+
+    let report = nic.run(packets.iter().cloned());
+    let mut divs = Vec::new();
+
+    // Zero silent loss: the accounting must close exactly.
+    let offered = packets.len() as u64;
+    let completed: u64 = report.completed.iter().sum();
+    let drained = report.drained.len() as u64;
+    let discarded = report.discarded.len() as u64;
+    let dropped: u64 = report.dropped.iter().sum();
+    if offered != completed + drained + discarded + dropped {
+        divs.push(Divergence::Loss {
+            detail: format!(
+                "accounting leak: offered {offered} != completed {completed} + drained {drained} \
+                 + discarded {discarded} + dropped {dropped}"
+            ),
+        });
+    }
+
+    // Blast-radius containment: losses only inside the affected set.
+    let affected: std::collections::BTreeSet<u64> = report.affected.iter().copied().collect();
+    for g in report.drained.iter().chain(&report.discarded) {
+        if !affected.contains(g) {
+            divs.push(Divergence::Loss {
+                detail: format!("packet {g} lost outside the affected flow set"),
+            });
+        }
+    }
+
+    // Bounded detection: every non-masked injection is caught in budget.
+    let f = report.failover;
+    if f.detected + f.masked_brownouts < f.injected {
+        divs.push(Divergence::Loss {
+            detail: format!(
+                "undetected failures: injected {}, detected {}, masked {}",
+                f.injected, f.detected, f.masked_brownouts
+            ),
+        });
+    }
+    if f.detection_latency_max > rfault.watchdog_budget {
+        divs.push(Divergence::Loss {
+            detail: format!(
+                "detection latency {} blew the watchdog budget {}",
+                f.detection_latency_max, rfault.watchdog_budget
+            ),
+        });
+    }
+
+    // Survivor equivalence: completed non-affected packets must be
+    // bit-equivalent to the fault-free reference.
+    for (_, g, out) in &report.outcomes {
+        let i = *g as usize;
+        if i >= packets.len() || affected.contains(g) {
+            continue;
+        }
+        if out.action != vm_actions[i] {
+            divs.push(Divergence::Action { seq: i, vm: vm_actions[i], hw: out.action });
+            continue;
+        }
+        if out.action.forwards() && out.packet != vm_packets[i] {
+            let at = out
+                .packet
+                .iter()
+                .zip(&vm_packets[i])
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| out.packet.len().min(vm_packets[i].len()));
+            divs.push(Divergence::Packet { seq: i, at });
+        }
+    }
+
+    if let Err(v) = check_linearizable(&initial, &shared_ids, &report.events) {
+        divs.push(Divergence::Coherence { detail: v.to_string() });
+    }
+
+    FailoverDiff { divergences: divs, report }
 }
 
 /// Differential run with *live* host ops interleaved into the packet
@@ -1255,6 +1418,86 @@ mod tests {
                 &[],
                 SharedMapOptions::default(),
             );
+        }
+
+        #[test]
+        fn firewall_survivors_bit_equivalent_under_replica_kill() {
+            use crate::fault::{ReplicaFault, ReplicaFaultConfig, ReplicaFaultKind};
+            let program = simple_firewall::program();
+            let design = Compiler::new().compile(&program).unwrap();
+            let packets = bidirectional_trace(48, 3);
+            let diff = compare_sharded_failover(
+                &program,
+                &design,
+                4,
+                7,
+                &packets,
+                ReplicaFaultConfig {
+                    schedule: vec![ReplicaFault {
+                        at: 80,
+                        replica: 2,
+                        kind: ReplicaFaultKind::Kill,
+                    }],
+                    watchdog_budget: 64,
+                    reset_cycles: 0,
+                },
+                |_| {},
+                &[(simple_firewall::SESSIONS_MAP, MergeStrategy::Union)],
+                SharedMapOptions {
+                    shared_maps: vec![simple_firewall::STATS_MAP],
+                    ..Default::default()
+                },
+            );
+            assert!(
+                diff.divergences.is_empty(),
+                "fail-over run violated an invariant:\n{}",
+                diff.divergences.iter().map(|d| format!("  {d}")).collect::<Vec<_>>().join("\n")
+            );
+            let f = diff.report.failover;
+            assert_eq!(f.detected, 1, "the kill must be caught");
+            assert!(
+                !diff.report.affected.is_empty(),
+                "a mid-trace kill on a uniform workload must affect some flows"
+            );
+            assert!(
+                f.availability(4, diff.report.cycles) >= 0.75 - 0.05,
+                "availability below the (N-1)/N - 5% floor"
+            );
+        }
+
+        #[test]
+        fn failover_harness_flags_fabricated_silent_loss() {
+            use crate::fault::{ReplicaFault, ReplicaFaultConfig, ReplicaFaultKind};
+            // Negative control: a hang that never fires keeps all
+            // replicas healthy, so the harness must find zero losses and
+            // zero detections — then a fabricated undetected injection
+            // must be representable as a Loss divergence.
+            let program = simple_firewall::program();
+            let design = Compiler::new().compile(&program).unwrap();
+            let packets = bidirectional_trace(16, 1);
+            let diff = compare_sharded_failover(
+                &program,
+                &design,
+                2,
+                3,
+                &packets,
+                ReplicaFaultConfig {
+                    schedule: vec![ReplicaFault {
+                        at: 10_000_000, // far past the trace
+                        replica: 0,
+                        kind: ReplicaFaultKind::Hang,
+                    }],
+                    watchdog_budget: 32,
+                    reset_cycles: 64,
+                },
+                |_| {},
+                &[],
+                SharedMapOptions::default(),
+            );
+            assert!(diff.divergences.is_empty());
+            assert_eq!(diff.report.failover.injected, 0, "the fault never fired");
+            let loss = Divergence::Loss { detail: "packet 3 lost outside the affected set".into() };
+            assert!(loss.to_string().contains("loss:"), "Loss divergences render distinctly");
         }
     }
 }

@@ -420,6 +420,118 @@ impl FaultEngine {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Replica-scoped failures (whole-pipeline loss inside a `ShardedNic`)
+// ---------------------------------------------------------------------------
+
+/// How a replica fails. Unlike the bit-level faults above, these take out a
+/// whole pipeline replica at once — the clock domain dies, not a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaFaultKind {
+    /// Permanent death: the replica never returns. Its flows are re-steered
+    /// to survivors for the rest of the run.
+    Kill,
+    /// Wedged pipeline: stops retiring but the part still answers the
+    /// watchdog's reset strobe. After detection and a fail-stop drain the
+    /// replica re-initializes and is re-admitted `reset_cycles` later.
+    Hang,
+    /// Transient brown-out: the clock returns on its own after `duration`
+    /// cycles. Shorter than the watchdog budget it is absorbed invisibly
+    /// (in-flight packets resume); longer, it is handled like a hang.
+    BrownOut {
+        /// Cycles until the replica's clock returns.
+        duration: u64,
+    },
+}
+
+/// One scheduled replica failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaFault {
+    /// Global `ShardedNic` cycle at which the replica goes dark.
+    pub at: u64,
+    /// Which replica.
+    pub replica: usize,
+    /// Failure mode.
+    pub kind: ReplicaFaultKind,
+}
+
+/// Replica-failure schedule plus the recovery parameters of the sharded
+/// layer's watchdog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaFaultConfig {
+    /// Failures to inject, in any order (sorted internally by cycle).
+    pub schedule: Vec<ReplicaFault>,
+    /// Heartbeat budget: a dark replica is detected exactly this many
+    /// cycles after its last heartbeat, bounding detection latency.
+    pub watchdog_budget: u64,
+    /// Re-initialization time for a hung replica after its fail-stop
+    /// (reset strobe, BRAM re-arm, steering re-admission).
+    pub reset_cycles: u64,
+}
+
+impl Default for ReplicaFaultConfig {
+    fn default() -> Self {
+        ReplicaFaultConfig { schedule: Vec::new(), watchdog_budget: 256, reset_cycles: 2048 }
+    }
+}
+
+/// Outcome counters for a replica-failure campaign. Every packet a failure
+/// touches is accounted for: `drained` frames were still in the dead
+/// replica's ingress FIFO and are punted back to the host, `discarded`
+/// packets were mid-pipeline when the clock died and are unrecoverable.
+/// Nothing is ever silently lost — the sharded layer asserts
+/// `offered == completed + drained + discarded`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaFaultStats {
+    /// Replica failures injected.
+    pub injected: u64,
+    /// Failures detected by the watchdog (masked brown-outs excluded).
+    pub detected: u64,
+    /// Brown-outs shorter than the watchdog budget, absorbed with no
+    /// fail-over (their in-flight packets simply resumed).
+    pub masked_brownouts: u64,
+    /// Sum of detection latencies in cycles (dark → detected).
+    pub detection_latency_total: u64,
+    /// Worst-case detection latency in cycles.
+    pub detection_latency_max: u64,
+    /// Ingress-FIFO frames punted back to the host at fail-stop.
+    pub drained: u64,
+    /// Mid-pipeline packets lost with the clock domain.
+    pub discarded: u64,
+    /// RSS indirection-table slots rewritten across all re-steers.
+    pub resteered_slots: u64,
+    /// Replicas re-admitted to service (hang resets + returned brown-outs).
+    pub readmissions: u64,
+    /// Private-map entries reconciled into the canonical store.
+    pub reconciled_entries: u64,
+    /// Global cycles with at least one replica out of service.
+    pub degraded_cycles: u64,
+    /// Per-replica out-of-service cycles summed over all replicas.
+    pub replica_down_cycles: u64,
+}
+
+impl ReplicaFaultStats {
+    /// Mean detection latency in cycles (0 with no detections).
+    pub fn mean_detection_latency(&self) -> f64 {
+        if self.detected == 0 {
+            0.0
+        } else {
+            self.detection_latency_total as f64 / self.detected as f64
+        }
+    }
+
+    /// Serving capacity over the run: the fraction of replica-cycles that
+    /// were in service. A single permanent kill on an `n`-replica NIC
+    /// converges to `(n-1)/n` from above.
+    pub fn availability(&self, replicas: usize, total_cycles: u64) -> f64 {
+        let denom = replicas as u64 * total_cycles;
+        if denom == 0 {
+            return 1.0;
+        }
+        1.0 - (self.replica_down_cycles.min(denom) as f64 / denom as f64)
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used)]
 mod tests {

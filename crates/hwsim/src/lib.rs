@@ -40,13 +40,21 @@ pub mod shared;
 pub mod shell;
 pub mod sim;
 
-pub use ctrl::{CtrlError, CtrlOptions, CtrlStats, HostCompletion, HostOp, HostOpResult};
-pub use diff::{assert_equivalent_ops, compare_with_ops, Divergence, HostEvent};
+pub use ctrl::{
+    crc32, decode_frame, encode_frame, CtrlError, CtrlLossConfig, CtrlOptions, CtrlStats,
+    FrameError, HostCompletion, HostOp, HostOpResult, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_LEN,
+};
+pub use diff::{
+    assert_equivalent_ops, compare_sharded_failover, compare_with_ops, Divergence, FailoverDiff,
+    HostEvent, MergeStrategy,
+};
 pub use fault::{
     FaultConfig, FaultEngine, FaultEvent, FaultKind, FaultOutcome, FaultSite, FaultStats,
+    ReplicaFault, ReplicaFaultConfig, ReplicaFaultKind, ReplicaFaultStats,
 };
 pub use multi::{
-    rss_flow_hash, CompiledSteering, MultiNic, MultiReport, Steering, SteeringError, SteeringStats,
+    resteer_rss_table, rss_flow_hash, CompiledSteering, MultiNic, MultiReport, Steering,
+    SteeringError, SteeringStats,
 };
 pub use shared::{
     check_linearizable, map_key_hash, Arbitration, LinearizabilityViolation, MapAccess, MapEvent,

@@ -238,6 +238,42 @@ impl CompiledSteering {
     }
 }
 
+/// Rewrite an RSS indirection table in place after a replica-set change.
+///
+/// `table[slot]` is the pipeline currently serving hash bucket `slot`, and
+/// `home[slot]` its original owner. Slots whose current owner stopped
+/// serving are redistributed round-robin across the serving set; slots
+/// whose *home* returned to service get their home back. The table length
+/// — and therefore the hash modulus — never changes, so flows hashed to
+/// healthy replicas never migrate during a fail-over: exactly how a real
+/// NIC reprograms its RSS indirection table.
+///
+/// Returns the number of slots rewritten; the table is left untouched
+/// (and 0 returned) when no replica serves.
+pub fn resteer_rss_table(table: &mut [usize], home: &[usize], serving: &[bool]) -> usize {
+    let heirs: Vec<usize> = (0..serving.len()).filter(|&r| serving[r]).collect();
+    if heirs.is_empty() {
+        return 0;
+    }
+    let mut next = 0usize;
+    let mut rewritten = 0usize;
+    for (slot, cur) in table.iter_mut().enumerate() {
+        let h = home.get(slot).copied().unwrap_or(*cur);
+        let want = if serving.get(h).copied().unwrap_or(false) {
+            h
+        } else {
+            let heir = heirs[next % heirs.len()];
+            next += 1;
+            heir
+        };
+        if *cur != want {
+            *cur = want;
+            rewritten += 1;
+        }
+    }
+    rewritten
+}
+
 /// Several eHDL pipelines sharing one NIC shell.
 ///
 /// ```

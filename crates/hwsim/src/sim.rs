@@ -16,7 +16,8 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::ctrl::{
-    CtrlError, CtrlOptions, CtrlState, CtrlStats, HostCompletion, HostOp, HostOpResult, QueuedOp,
+    decode_frame, CtrlError, CtrlLossConfig, CtrlOptions, CtrlState, CtrlStats, HostCompletion,
+    HostOp, HostOpResult, LossState, QueuedOp,
 };
 use crate::fault::{
     FaultConfig, FaultEngine, FaultEvent, FaultKind, FaultOutcome, FaultSite, Hang, MapUpset,
@@ -167,6 +168,13 @@ pub struct SimCounters {
     /// shared-map fabric (bank conflicts and access latency levied by
     /// [`crate::shared::ShardedNic`]); 0 for a standalone pipeline.
     pub mem_stall_cycles: u64,
+    /// Ingress-FIFO frames punted back to the host by a fail-stop
+    /// teardown ([`PipelineSim::fail_stop`]) — recoverable, never
+    /// silently lost.
+    pub failstop_drained: u64,
+    /// Mid-pipeline packets lost with the clock domain at a fail-stop
+    /// teardown — unrecoverable, but counted.
+    pub failstop_discarded: u64,
 }
 
 /// A completed packet.
@@ -1078,6 +1086,74 @@ impl PipelineSim {
             && self.replay.is_empty()
             && self.pending_writes.is_empty()
             && self.host_ops_pending() == 0
+    }
+
+    /// Fail-stop teardown: the pipeline's clock domain is gone (replica
+    /// death in a [`crate::shared::ShardedNic`]). Returns
+    /// `(drained, discarded)` sequence numbers, both sorted:
+    ///
+    /// - **drained** — frames still waiting in the ingress FIFO. They
+    ///   never entered the pipeline and are punted back to the host,
+    ///   recoverable by re-transmission or software fallback.
+    /// - **discarded** — packets mid-pipeline or queued for replay when
+    ///   the clock died. Their partial state is unrecoverable; they are
+    ///   counted, never silently lost.
+    ///
+    /// Buffered map writes whose owner already retired are force-committed
+    /// (the owner's completion is architecturally visible, so losing the
+    /// write would corrupt storage); writes belonging to discarded packets
+    /// die with them. Already-retired outcomes stay in the output buffer.
+    /// Afterwards the simulator [`PipelineSim::is_idle`]s with maps
+    /// intact, ready for a cold restart on re-admission.
+    pub fn fail_stop(&mut self) -> (Vec<u64>, Vec<u64>) {
+        let mut discarded = Vec::new();
+        let mut doomed: Vec<Box<InFlight>> = Vec::new();
+        for slot in self.slots.iter_mut() {
+            if let Some(pkt) = slot.take() {
+                doomed.push(pkt);
+            }
+        }
+        doomed.extend(self.replay.drain(..));
+        for pkt in &doomed {
+            discarded.push(pkt.seq);
+        }
+        let mut drained = Vec::new();
+        let mut rx_frames: Vec<Box<InFlight>> = self.rx.drain(..).collect();
+        for pkt in &rx_frames {
+            drained.push(pkt.seq);
+        }
+        // Commit buffered writes of retired packets; drop the rest.
+        let pending = std::mem::take(&mut self.pending_writes);
+        for w in &pending {
+            if !discarded.contains(&w.seq) && !drained.contains(&w.seq) {
+                self.apply_write(w);
+            }
+        }
+        for mut pkt in doomed.drain(..).chain(rx_frames.drain(..)) {
+            for (_, b) in pkt.checkpoints.drain(..) {
+                self.pool.recycle(b);
+            }
+            if let Some((_, b)) = pkt.resume.take() {
+                self.pool.recycle(b);
+            }
+            for (_, _, k) in pkt.state.map_reads.drain(..) {
+                self.pool.recycle_key(k);
+            }
+            self.pool.recycle_flight(pkt);
+        }
+        self.replay_hold.clear();
+        self.replay_entry = 0;
+        self.replay_stall = 0;
+        self.stall = 0;
+        self.inject_busy = 0;
+        self.ext_stall = 0;
+        drained.sort_unstable();
+        discarded.sort_unstable();
+        self.counters.failstop_drained =
+            self.counters.failstop_drained.saturating_add(drained.len() as u64);
+        self.counters.failstop_discarded =
+            self.counters.failstop_discarded.saturating_add(discarded.len() as u64);
+        (drained, discarded)
     }
 
     /// Record a map read on the shared port (call only when attached).
@@ -2261,8 +2337,123 @@ impl PipelineSim {
             barrier_seq: barrier,
             issued_cycle: cycle,
             ready_cycle: cycle + ctrl.options.latency_cycles,
+            frame_seq: None,
         });
         Ok(id)
+    }
+
+    /// Attach the seeded loss model to the control link. Only wire-frame
+    /// submissions ([`PipelineSim::submit_host_frame`]) and their
+    /// completions traverse the lossy link; [`PipelineSim::submit_host_op`]
+    /// models a reliable debug backdoor and is unaffected.
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlError::NotAttached`] without a channel.
+    pub fn attach_ctrl_loss(&mut self, cfg: CtrlLossConfig) -> Result<(), CtrlError> {
+        let Some(ctrl) = self.ctrl.as_deref_mut() else {
+            return Err(CtrlError::NotAttached);
+        };
+        ctrl.loss = if cfg.is_lossy() { Some(Box::new(LossState::new(cfg))) } else { None };
+        Ok(())
+    }
+
+    /// Submit a host op as a wire frame ([`crate::ctrl::encode_frame`])
+    /// over the (possibly lossy) control link. Returns the frame's
+    /// retransmission seq on acceptance; completions carry that seq as
+    /// their `id`.
+    ///
+    /// Acceptance is a *posted write*: the mailbox slot was taken, but the
+    /// frame may still be dropped, duplicated, delayed, or mangled in
+    /// transit. A frame whose seq was already applied is answered from the
+    /// channel's dedupe cache without re-executing, so retransmitting
+    /// until a completion arrives yields exactly-once application.
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlError::NotAttached`] without a channel,
+    /// [`CtrlError::BadFrame`] when the frame does not decode at the
+    /// driver (before transit), [`CtrlError::NoSuchMap`] for an unknown
+    /// map id, and [`CtrlError::QueueFull`] when the command queue is at
+    /// capacity — all typed, synchronous rejections; nothing is dropped
+    /// silently on the host side.
+    pub fn submit_host_frame(&mut self, frame: &[u8]) -> Result<u64, CtrlError> {
+        let cycle = self.cycle;
+        let barrier = self.next_seq;
+        let nmaps = self.maps.len() as u32;
+        let Some(ctrl) = self.ctrl.as_deref_mut() else {
+            return Err(CtrlError::NotAttached);
+        };
+        // Driver-side validation: a frame the host itself mangled never
+        // reaches the DMA engine.
+        let (seq, op) = match decode_frame(frame) {
+            Ok(v) => v,
+            Err(e) => {
+                ctrl.stats.rejected = ctrl.stats.rejected.saturating_add(1);
+                return Err(CtrlError::BadFrame(e));
+            }
+        };
+        if op.map() >= nmaps {
+            ctrl.stats.rejected = ctrl.stats.rejected.saturating_add(1);
+            return Err(CtrlError::NoSuchMap { map: op.map() });
+        }
+        if ctrl.queue.len() >= ctrl.options.queue_depth {
+            ctrl.stats.rejected = ctrl.stats.rejected.saturating_add(1);
+            return Err(CtrlError::QueueFull { depth: ctrl.options.queue_depth });
+        }
+        // In-transit fate. Every roll always advances the RNG stream so
+        // the pattern for later frames is independent of earlier outcomes.
+        let mut copies = 1usize;
+        let mut extra_delay = 0u64;
+        if let Some(loss) = ctrl.loss.as_deref_mut() {
+            let dropped = loss.roll(loss.cfg.drop_rate);
+            let duplicated = loss.roll(loss.cfg.dup_rate);
+            let corrupted = loss.roll(loss.cfg.corrupt_rate);
+            let delayed = loss.roll(loss.cfg.delay_rate);
+            if dropped {
+                ctrl.stats.req_dropped = ctrl.stats.req_dropped.saturating_add(1);
+                return Ok(seq);
+            }
+            if corrupted {
+                let mut mangled = frame.to_vec();
+                loss.mangle(&mut mangled);
+                if decode_frame(&mangled).is_err() {
+                    // The NIC received garbage; the CRC catches it and the
+                    // frame is discarded — a detected drop.
+                    ctrl.stats.req_corrupted = ctrl.stats.req_corrupted.saturating_add(1);
+                    return Ok(seq);
+                }
+                // A flip pattern the CRC missed would arrive as a clean
+                // frame; astronomically unlikely, treated as undamaged.
+            }
+            if duplicated {
+                copies = 2;
+                ctrl.stats.req_duplicated = ctrl.stats.req_duplicated.saturating_add(1);
+            }
+            if delayed {
+                extra_delay = loss.extra_delay();
+                ctrl.stats.req_delayed = ctrl.stats.req_delayed.saturating_add(1);
+            }
+        }
+        for copy in 0..copies {
+            // A duplicate arriving at a full mailbox is swallowed by the
+            // hardware; the first copy already carries the op.
+            if copy > 0 && ctrl.queue.len() >= ctrl.options.queue_depth {
+                break;
+            }
+            let id = ctrl.next_id;
+            ctrl.next_id += 1;
+            ctrl.stats.submitted = ctrl.stats.submitted.saturating_add(1);
+            ctrl.queue.push_back(QueuedOp {
+                id,
+                op: op.clone(),
+                barrier_seq: barrier,
+                issued_cycle: cycle,
+                ready_cycle: cycle + ctrl.options.latency_cycles + extra_delay,
+                frame_seq: Some(seq),
+            });
+        }
+        Ok(seq)
     }
 
     /// Take all retired host-op completions (in application order).
@@ -2275,15 +2466,32 @@ impl PipelineSim {
         self.ctrl.as_deref().map(|c| c.stats)
     }
 
-    /// Host ops submitted but not yet applied.
+    /// Host ops submitted but not yet applied, plus completions still in
+    /// transit on a delayed return path (the channel is not quiet until
+    /// both are empty).
     pub fn host_ops_pending(&self) -> usize {
-        self.ctrl.as_deref().map_or(0, |c| c.queue.len())
+        self.ctrl.as_deref().map_or(0, |c| c.queue.len() + c.delayed.len())
     }
 
     /// Apply the head-of-queue op if its latency has elapsed and its
     /// ordering fence holds (one op per cycle, like a single-issue
     /// AXI-Lite slave).
     fn ctrl_cycle(&mut self) {
+        // Deliver completions whose in-transit delay elapsed.
+        if let Some(ctrl) = self.ctrl.as_deref_mut() {
+            if !ctrl.delayed.is_empty() {
+                let cycle = self.cycle;
+                let mut i = 0;
+                while i < ctrl.delayed.len() {
+                    if ctrl.delayed[i].0 <= cycle {
+                        let (_, c) = ctrl.delayed.swap_remove(i);
+                        ctrl.completions.push(c);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
         let ready = {
             let Some(ctrl) = self.ctrl.as_deref() else { return };
             let Some(front) = ctrl.queue.front() else { return };
@@ -2297,7 +2505,20 @@ impl PipelineSim {
             .as_deref_mut()
             .and_then(|c| c.queue.pop_front())
             .expect("readiness checked above");
+        // Exactly-once application: a retransmitted frame whose seq was
+        // already applied is answered from the dedupe cache.
+        if let Some(seq) = q.frame_seq {
+            let cached = self.ctrl.as_deref().and_then(|c| c.applied.get(&seq)).cloned();
+            if let Some(mut completion) = cached {
+                completion.issued_cycle = q.issued_cycle;
+                let ctrl = self.ctrl.as_deref_mut().expect("channel attached: op was queued");
+                ctrl.stats.dedupe_hits = ctrl.stats.dedupe_hits.saturating_add(1);
+                Self::deliver_completion(ctrl, self.cycle, completion);
+                return;
+            }
+        }
         let latency = self.cycle.saturating_sub(q.issued_cycle);
+        let frame_seq = q.frame_seq;
         let completion = self.apply_host_op(q);
         let ctrl = self.ctrl.as_deref_mut().expect("channel attached: op was queued");
         let s = &mut ctrl.stats;
@@ -2312,7 +2533,53 @@ impl PipelineSim {
         }
         s.latency_cycles_total = s.latency_cycles_total.saturating_add(latency);
         s.latency_cycles_max = s.latency_cycles_max.max(latency);
-        ctrl.completions.push(completion);
+        let completion = if let Some(seq) = frame_seq {
+            // Frame completions carry the host's retransmission seq so the
+            // host can match them against outstanding ops.
+            let mut c = completion;
+            c.id = seq;
+            ctrl.remember_applied(seq, c.clone());
+            c
+        } else {
+            completion
+        };
+        if frame_seq.is_some() {
+            Self::deliver_completion(ctrl, self.cycle, completion);
+        } else {
+            // The reliable backdoor path bypasses the lossy return link.
+            ctrl.completions.push(completion);
+        }
+    }
+
+    /// Send a completion back over the (possibly lossy) return link:
+    /// it may be dropped (the dedupe cache still remembers the applied
+    /// op, so a retransmission recovers it), duplicated, or delayed. A
+    /// corrupted completion fails its CRC at the host and counts as a
+    /// detected drop.
+    fn deliver_completion(ctrl: &mut CtrlState, cycle: u64, completion: HostCompletion) {
+        let Some(loss) = ctrl.loss.as_deref_mut() else {
+            ctrl.completions.push(completion);
+            return;
+        };
+        let dropped = loss.roll(loss.cfg.drop_rate);
+        let duplicated = loss.roll(loss.cfg.dup_rate);
+        let corrupted = loss.roll(loss.cfg.corrupt_rate);
+        let delayed = loss.roll(loss.cfg.delay_rate);
+        if dropped || corrupted {
+            ctrl.stats.comp_dropped = ctrl.stats.comp_dropped.saturating_add(1);
+            return;
+        }
+        if duplicated {
+            ctrl.stats.comp_duplicated = ctrl.stats.comp_duplicated.saturating_add(1);
+            ctrl.completions.push(completion.clone());
+        }
+        if delayed {
+            let extra = loss.extra_delay();
+            ctrl.stats.comp_delayed = ctrl.stats.comp_delayed.saturating_add(1);
+            ctrl.delayed.push((cycle + extra, completion));
+        } else {
+            ctrl.completions.push(completion);
+        }
     }
 
     /// The barrier fence of a queued op: every packet logically preceding

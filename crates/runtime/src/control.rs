@@ -1,12 +1,14 @@
 //! The [`Runtime`]: one loaded pipeline plus its host control channel,
 //! and the drain-and-swap reload path.
 
+use crate::retry::{ReliableCtrl, RetryPolicy};
 use crate::telemetry::{MapTelemetry, RuntimeStats, StageTelemetry};
 use ehdl_core::PipelineDesign;
 use ehdl_ebpf::maps::{MapStore, UpdateFlags};
 use ehdl_hwsim::sim::CLOCK_NS;
 use ehdl_hwsim::{
-    CtrlError, CtrlOptions, HostCompletion, HostOp, PipelineSim, SimOptions, SimOutcome,
+    CtrlError, CtrlLossConfig, CtrlOptions, HostCompletion, HostOp, PipelineSim, SimOptions,
+    SimOutcome,
 };
 use ehdl_traffic::{ControlOp, ControlOpKind, ScheduleItem};
 
@@ -24,6 +26,12 @@ pub struct RuntimeOptions {
     pub sim: SimOptions,
     /// Control-channel options (latency, queue depth).
     pub ctrl: CtrlOptions,
+    /// Seeded loss model for the control channel. When lossy, the
+    /// runtime routes submissions through the reliable (sequence-
+    /// numbered, retried, deduplicated) frame protocol automatically.
+    pub loss: CtrlLossConfig,
+    /// Timeout/backoff parameters for reliable submission.
+    pub retry: RetryPolicy,
     /// Fixed reconfiguration cost charged by [`Runtime::reload`].
     pub reconfig_base_cycles: u64,
     /// Per-stage reconfiguration cost charged by [`Runtime::reload`].
@@ -35,6 +43,8 @@ impl Default for RuntimeOptions {
         RuntimeOptions {
             sim: SimOptions::default(),
             ctrl: CtrlOptions::default(),
+            loss: CtrlLossConfig::lossless(),
+            retry: RetryPolicy::default(),
             reconfig_base_cycles: RECONFIG_BASE_CYCLES,
             reconfig_cycles_per_stage: RECONFIG_CYCLES_PER_STAGE,
         }
@@ -94,6 +104,8 @@ pub struct Runtime {
     sim: PipelineSim,
     design: PipelineDesign,
     options: RuntimeOptions,
+    /// Reliable frame-protocol layer, present when the channel is lossy.
+    reliable: Option<ReliableCtrl>,
     /// Cycles burned by previous designs (before each swap).
     retired_cycles: u64,
     /// Work retired before a swap but not yet drained by the caller.
@@ -107,10 +119,13 @@ impl Runtime {
     pub fn new(design: &PipelineDesign, options: RuntimeOptions) -> Runtime {
         let mut sim = PipelineSim::with_options(design, options.sim);
         sim.attach_ctrl(options.ctrl);
+        let _ = sim.attach_ctrl_loss(options.loss);
+        let reliable = options.loss.is_lossy().then(|| ReliableCtrl::new(options.retry));
         Runtime {
             sim,
             design: design.clone(),
             options,
+            reliable,
             retired_cycles: 0,
             carried_outcomes: Vec::new(),
             carried_completions: Vec::new(),
@@ -144,9 +159,21 @@ impl Runtime {
         self.sim.enqueue(packet)
     }
 
-    /// Submit a host op over the control channel.
+    /// Submit a host op over the control channel. On a lossy channel
+    /// the op takes the reliable frame protocol (sequence-numbered,
+    /// retried on timeout, deduplicated by the device); on a lossless
+    /// one it takes the direct mailbox path.
     pub fn submit(&mut self, op: HostOp) -> Result<u64, CtrlError> {
-        self.sim.submit_host_op(op)
+        match &mut self.reliable {
+            Some(r) => r.submit(&mut self.sim, &op),
+            None => self.sim.submit_host_op(op),
+        }
+    }
+
+    /// Counters of the reliable submission layer (`None` on a lossless
+    /// channel, which bypasses it).
+    pub fn reliable_stats(&self) -> Option<&crate::retry::ReliableStats> {
+        self.reliable.as_ref().map(ReliableCtrl::stats)
     }
 
     /// Submit a generated [`ControlOp`] (from
@@ -155,14 +182,24 @@ impl Runtime {
         self.submit(to_host_op(op))
     }
 
-    /// Advance one pipeline clock cycle.
+    /// Advance one pipeline clock cycle (and pump the reliable layer's
+    /// timeout/retry machinery when the channel is lossy).
     pub fn step(&mut self) {
         self.sim.step();
+        if let Some(r) = &mut self.reliable {
+            r.pump(&mut self.sim);
+        }
     }
 
-    /// Run until the pipeline and control channel are empty.
+    /// Run until the pipeline and control channel are empty and every
+    /// reliable op has resolved (or been abandoned).
     pub fn settle(&mut self) {
-        self.sim.settle(50_000_000);
+        match &mut self.reliable {
+            Some(r) => {
+                r.drive(&mut self.sim, 50_000_000);
+            }
+            None => self.sim.settle(50_000_000),
+        }
     }
 
     /// Drain completed packet outcomes (including any retired just
@@ -174,9 +211,18 @@ impl Runtime {
     }
 
     /// Drain retired host ops (including any retired just before a swap).
+    /// On a lossy channel, resolved reliable completions come back in
+    /// sequence order with duplicates already suppressed.
     pub fn completions(&mut self) -> Vec<HostCompletion> {
         let mut comps = std::mem::take(&mut self.carried_completions);
-        comps.extend(self.sim.host_completions());
+        match &mut self.reliable {
+            Some(r) => {
+                r.pump(&mut self.sim);
+                comps.extend(r.take_passthrough());
+                comps.extend(r.take_resolved().into_iter().map(|(_, c)| c));
+            }
+            None => comps.extend(self.sim.host_completions()),
+        }
         comps
     }
 
@@ -277,31 +323,83 @@ impl Runtime {
             maps,
             throughput_pps: counters.completed as f64 / seconds,
             steering: None,
+            reliability: self.reliable.as_ref().map(|r| r.stats().snapshot()),
+        }
+    }
+
+    /// Whether the pipeline, control channel, and reliable layer are all
+    /// quiet — the reload handshake's precondition.
+    fn quiesced(&self) -> bool {
+        self.sim.is_idle() && self.reliable.as_ref().is_none_or(|r| r.outstanding() == 0)
+    }
+
+    /// Drain-and-swap reload with an unbounded drain; see
+    /// [`Runtime::try_reload`] for the bounded, roll-back-capable form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline cannot quiesce within 50M cycles — a
+    /// wedged-hardware bug, not a workload property.
+    pub fn reload(&mut self, new_design: &PipelineDesign) -> SwapReport {
+        match self.try_reload(new_design, 50_000_000) {
+            Ok(report) => report,
+            Err(e) => panic!("reload drain did not quiesce: {e}"),
         }
     }
 
     /// Drain-and-swap reload: quiesce ingress (the caller stops offering
-    /// packets), drain every in-flight packet, buffered write and queued
-    /// host op, migrate all keyspec-compatible map state into
-    /// `new_design`, and switch over. Returns the measured downtime.
+    /// packets), drain every in-flight packet, buffered write, queued
+    /// host op and outstanding reliable op — bounded by
+    /// `drain_budget_cycles` — then migrate all keyspec-compatible map
+    /// state into `new_design` and switch over. Returns the measured
+    /// downtime.
     ///
     /// Any packet outcomes or host completions still undrained carry over
     /// to the new epoch's [`Runtime::drain`] / [`Runtime::completions`]
     /// unchanged — a swap never loses retired work.
-    pub fn reload(&mut self, new_design: &PipelineDesign) -> SwapReport {
+    ///
+    /// # Errors
+    ///
+    /// [`SwapError::DrainTimeout`] when the handshake does not quiesce
+    /// within the budget. The reload **rolls back cleanly**: the abort
+    /// happens before any state is migrated or the design switched, so
+    /// the old pipeline keeps serving with all in-flight work intact,
+    /// and the attempt is not recorded in [`Runtime::swap_history`].
+    pub fn try_reload(
+        &mut self,
+        new_design: &PipelineDesign,
+        drain_budget_cycles: u64,
+    ) -> Result<SwapReport, SwapError> {
         let quiesce_cycle = self.sim.cycle();
         // Drain: no new arrivals; everything in flight retires.
-        self.sim.settle(50_000_000);
+        let mut waited = 0u64;
+        while !self.quiesced() {
+            if waited >= drain_budget_cycles {
+                let c = self.sim.counters();
+                return Err(SwapError::DrainTimeout {
+                    waited_cycles: waited,
+                    in_flight: c.injected.saturating_sub(c.completed),
+                    host_ops_pending: self.sim.host_ops_pending()
+                        + self.reliable.as_ref().map_or(0, ReliableCtrl::outstanding),
+                });
+            }
+            self.step();
+            waited += 1;
+        }
         let drain_cycles = self.sim.cycle() - quiesce_cycle;
         self.carried_outcomes.extend(self.sim.drain());
-        self.carried_completions.extend(self.sim.host_completions());
+        let comps = self.completions();
+        self.carried_completions.extend(comps);
 
         let mut new_sim = PipelineSim::with_options(new_design, self.options.sim);
         new_sim.attach_ctrl(self.options.ctrl);
+        let _ = new_sim.attach_ctrl_loss(self.options.loss);
 
         // Migrate by keyspec: a map survives the swap when the new design
         // declares one with the same name and shape (capacity may change;
-        // overflow entries are dropped and counted).
+        // overflow entries are dropped and counted). A map the stores
+        // cannot produce (a design/store mismatch) is dropped and
+        // counted, never panicked over.
         let mut migrated_maps = Vec::new();
         let mut dropped_maps = Vec::new();
         let mut migrated_entries = 0u64;
@@ -311,10 +409,16 @@ impl Runtime {
                 dropped_maps.push(old_def.id);
                 continue;
             };
-            let old_map = self.sim.maps().get(old_def.id).expect("old design map");
+            let Some(old_map) = self.sim.maps().get(old_def.id) else {
+                dropped_maps.push(old_def.id);
+                continue;
+            };
             let entries: Vec<(Vec<u8>, Vec<u8>)> =
                 old_map.iter().map(|(_, k, v)| (k.to_vec(), v.to_vec())).collect();
-            let new_map = new_sim.maps_mut().get_mut(new_def.id).expect("new design map");
+            let Some(new_map) = new_sim.maps_mut().get_mut(new_def.id) else {
+                dropped_maps.push(old_def.id);
+                continue;
+            };
             for (k, v) in entries {
                 match new_map.update(&k, &v, UpdateFlags::Any) {
                     Ok(_) => migrated_entries += 1,
@@ -350,9 +454,38 @@ impl Runtime {
             dropped_entries,
         };
         self.swaps.push(report.clone());
-        report
+        Ok(report)
     }
 }
+
+/// Why a reload attempt was aborted (the old design keeps serving).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapError {
+    /// The drain handshake did not quiesce within its cycle budget.
+    DrainTimeout {
+        /// Cycles spent waiting before giving up.
+        waited_cycles: u64,
+        /// Packets injected but not yet retired at abort time.
+        in_flight: u64,
+        /// Host ops still queued, delayed, or awaiting reliable
+        /// resolution at abort time.
+        host_ops_pending: usize,
+    },
+}
+
+impl std::fmt::Display for SwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwapError::DrainTimeout { waited_cycles, in_flight, host_ops_pending } => write!(
+                f,
+                "drain timed out after {waited_cycles} cycles \
+                 ({in_flight} packets in flight, {host_ops_pending} host ops pending)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
 
 /// Lower a generated [`ControlOp`] to the simulator's host-op type.
 pub fn to_host_op(op: &ControlOp) -> HostOp {

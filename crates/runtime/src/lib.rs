@@ -26,10 +26,12 @@
 #![deny(clippy::unwrap_used)]
 
 mod control;
+mod retry;
 mod telemetry;
 
 pub use control::{
-    to_host_op, Runtime, RuntimeOptions, ScheduleReport, SwapReport, RECONFIG_BASE_CYCLES,
-    RECONFIG_CYCLES_PER_STAGE,
+    to_host_op, Runtime, RuntimeOptions, ScheduleReport, SwapError, SwapReport,
+    RECONFIG_BASE_CYCLES, RECONFIG_CYCLES_PER_STAGE,
 };
+pub use retry::{ReliableCtrl, ReliableSnapshot, ReliableStats, RetryPolicy, RELIABLE_SEQ_BASE};
 pub use telemetry::{CsrSnapshot, MapTelemetry, PeriodicExporter, RuntimeStats, StageTelemetry};

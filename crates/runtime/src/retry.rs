@@ -1,0 +1,298 @@
+//! Reliable host-op submission over a lossy control channel.
+//!
+//! The hardware mailbox is a posted-write path: a frame accepted at the
+//! PCIe doorbell may still be dropped, duplicated, corrupted, or delayed
+//! before the device applies it — and the completion ride back is just
+//! as unreliable ([`ehdl_hwsim::CtrlLossConfig`]). This module is the
+//! driver-side recovery protocol that turns that channel into
+//! exactly-once semantics:
+//!
+//! * every op is wrapped in a sequence-numbered frame
+//!   ([`ehdl_hwsim::encode_frame`]); the device deduplicates on the
+//!   sequence number and answers retransmissions from its applied-op
+//!   cache, so a resubmitted op is *idempotent*;
+//! * each outstanding op carries a per-attempt deadline; a missed
+//!   deadline resubmits the identical frame with bounded exponential
+//!   backoff;
+//! * duplicate completions (the device answered both the original and a
+//!   retransmission) are suppressed by sequence number — the first
+//!   resolution wins and later copies are counted, not delivered;
+//! * ops are applied *in submission order*: the channel can delay or
+//!   reorder frames, so the layer keeps at most one frame on the wire
+//!   and parks later ops in a FIFO until the head resolves. A retried
+//!   `Delete` can therefore never leapfrog the `Update` submitted after
+//!   it — retried op sequences are reference-identical to a lossless
+//!   channel.
+
+use ehdl_hwsim::{encode_frame, CtrlError, HostCompletion, HostOp, PipelineSim};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Sequence numbers for reliable frames start far above the backdoor
+/// op-id range, so the two completion streams can never collide.
+pub const RELIABLE_SEQ_BASE: u64 = 1 << 32;
+
+/// Timeout and backoff parameters for reliable submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Cycles to wait for a completion before the first retransmission.
+    pub timeout_cycles: u64,
+    /// Backoff multiplier applied to the deadline after each attempt.
+    pub backoff_factor: u64,
+    /// Ceiling on the per-attempt deadline, in cycles.
+    pub max_backoff_cycles: u64,
+    /// Attempts (including the first) before the op is abandoned.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            timeout_cycles: 512,
+            backoff_factor: 2,
+            max_backoff_cycles: 8192,
+            max_attempts: 16,
+        }
+    }
+}
+
+/// Counters for the reliable layer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReliableStats {
+    /// Ops handed to the layer.
+    pub ops: u64,
+    /// Ops that resolved with a completion.
+    pub completed: u64,
+    /// Frame retransmissions after a missed deadline.
+    pub retries: u64,
+    /// Retransmissions the mailbox refused (queue full); the op stays
+    /// outstanding and backs off.
+    pub resubmit_rejected: u64,
+    /// Completions discarded because their op had already resolved.
+    pub dup_completions_suppressed: u64,
+    /// Ops abandoned after `max_attempts`.
+    pub gave_up: u64,
+    /// Submit-to-resolve latency of each completed op, in cycles.
+    latencies: Vec<u64>,
+}
+
+impl ReliableStats {
+    /// p99 of submit-to-resolve latency (0 with no completions).
+    pub fn p99_latency_cycles(&self) -> u64 {
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let idx = (sorted.len() * 99).div_ceil(100).saturating_sub(1);
+        sorted[idx.min(sorted.len() - 1)]
+    }
+
+    /// Fixed-size projection for telemetry snapshots.
+    pub fn snapshot(&self) -> ReliableSnapshot {
+        ReliableSnapshot {
+            ops: self.ops,
+            completed: self.completed,
+            retries: self.retries,
+            dup_completions_suppressed: self.dup_completions_suppressed,
+            gave_up: self.gave_up,
+            p99_latency_cycles: self.p99_latency_cycles(),
+        }
+    }
+}
+
+/// Copyable summary of [`ReliableStats`] for [`crate::RuntimeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliableSnapshot {
+    /// Ops handed to the layer.
+    pub ops: u64,
+    /// Ops that resolved with a completion.
+    pub completed: u64,
+    /// Frame retransmissions.
+    pub retries: u64,
+    /// Duplicate completions suppressed.
+    pub dup_completions_suppressed: u64,
+    /// Ops abandoned after exhausting attempts.
+    pub gave_up: u64,
+    /// p99 submit-to-resolve latency in cycles.
+    pub p99_latency_cycles: u64,
+}
+
+/// One op awaiting its completion.
+#[derive(Debug)]
+struct Outstanding {
+    seq: u64,
+    frame: Vec<u8>,
+    first_submit: u64,
+    attempts: u32,
+    backoff: u64,
+    deadline: u64,
+}
+
+/// Driver-side exactly-once submission state machine.
+#[derive(Debug)]
+pub struct ReliableCtrl {
+    policy: RetryPolicy,
+    next_seq: u64,
+    /// The op currently on the wire (at most one, for in-order apply).
+    outstanding: Option<Outstanding>,
+    /// Ops waiting behind the head of line, in submission order.
+    pending: VecDeque<Outstanding>,
+    resolved: BTreeMap<u64, HostCompletion>,
+    passthrough: Vec<HostCompletion>,
+    stats: ReliableStats,
+}
+
+impl ReliableCtrl {
+    /// A fresh state machine under `policy`.
+    pub fn new(policy: RetryPolicy) -> ReliableCtrl {
+        ReliableCtrl {
+            policy,
+            next_seq: RELIABLE_SEQ_BASE,
+            outstanding: None,
+            pending: VecDeque::new(),
+            resolved: BTreeMap::new(),
+            passthrough: Vec::new(),
+            stats: ReliableStats::default(),
+        }
+    }
+
+    /// Submit `op` reliably, returning its sequence number. A full
+    /// mailbox is not an error here — the op stays outstanding and
+    /// [`ReliableCtrl::pump`] retries it; nor is a busy head-of-line op
+    /// — the op queues behind it. Only structural failures (no channel,
+    /// unknown map, bad frame) surface immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlError::NotAttached`], [`CtrlError::NoSuchMap`], or
+    /// [`CtrlError::BadFrame`] from driver-side validation.
+    pub fn submit(&mut self, sim: &mut PipelineSim, op: &HostOp) -> Result<u64, CtrlError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let frame = encode_frame(seq, op);
+        let cycle = sim.cycle();
+        self.stats.ops += 1;
+        let mut o = Outstanding {
+            seq,
+            frame,
+            first_submit: cycle,
+            attempts: 0,
+            backoff: self.policy.timeout_cycles,
+            deadline: cycle,
+        };
+        if self.outstanding.is_none() {
+            self.transmit(sim, &mut o)?;
+            self.outstanding = Some(o);
+        } else {
+            self.pending.push_back(o);
+        }
+        Ok(seq)
+    }
+
+    /// Put `o`'s frame on the wire: on acceptance arm the timeout, on a
+    /// full mailbox leave the deadline at `now` so the next pump retries.
+    fn transmit(&mut self, sim: &mut PipelineSim, o: &mut Outstanding) -> Result<(), CtrlError> {
+        let cycle = sim.cycle();
+        o.attempts += 1;
+        match sim.submit_host_frame(&o.frame) {
+            Ok(_) => {
+                if o.attempts > 1 {
+                    self.stats.retries += 1;
+                }
+                o.deadline = cycle + o.backoff;
+                Ok(())
+            }
+            Err(CtrlError::QueueFull { .. }) => {
+                if o.attempts > 1 {
+                    self.stats.resubmit_rejected += 1;
+                }
+                o.deadline = cycle;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Collect completions, retransmit the head-of-line op if it missed
+    /// its deadline, and promote the next queued op once the head
+    /// resolves. Call once per simulation step (or per batch of steps)
+    /// while ops are outstanding.
+    pub fn pump(&mut self, sim: &mut PipelineSim) {
+        let cycle = sim.cycle();
+        for c in sim.host_completions() {
+            if let Some(o) = self.outstanding.take_if(|o| o.seq == c.id) {
+                self.stats.completed += 1;
+                self.stats.latencies.push(cycle.saturating_sub(o.first_submit));
+                self.resolved.insert(o.seq, c);
+            } else if self.resolved.contains_key(&c.id) {
+                self.stats.dup_completions_suppressed += 1;
+            } else {
+                // Not ours (a backdoor op's completion) — hand it back.
+                self.passthrough.push(c);
+            }
+        }
+        // Retransmit a head-of-line op past its deadline (with backoff),
+        // or abandon it after max_attempts.
+        if let Some(mut o) = self.outstanding.take() {
+            if cycle < o.deadline {
+                self.outstanding = Some(o);
+            } else if o.attempts >= self.policy.max_attempts {
+                self.stats.gave_up += 1;
+            } else {
+                o.backoff = (o.backoff.saturating_mul(self.policy.backoff_factor))
+                    .min(self.policy.max_backoff_cycles)
+                    .max(1);
+                if self.transmit(sim, &mut o).is_ok() {
+                    self.outstanding = Some(o);
+                } else {
+                    self.stats.gave_up += 1;
+                }
+            }
+        }
+        // Promote the next queued op once the wire is free.
+        while self.outstanding.is_none() {
+            let Some(mut o) = self.pending.pop_front() else { break };
+            if self.transmit(sim, &mut o).is_ok() {
+                self.outstanding = Some(o);
+            } else {
+                self.stats.gave_up += 1;
+            }
+        }
+    }
+
+    /// Step the simulator until every outstanding op resolves (or is
+    /// abandoned) and the pipeline is idle, bounded by `budget` cycles.
+    /// Returns whether everything settled.
+    pub fn drive(&mut self, sim: &mut PipelineSim, budget: u64) -> bool {
+        for _ in 0..budget {
+            self.pump(sim);
+            if self.outstanding() == 0 && sim.is_idle() {
+                return true;
+            }
+            sim.step();
+        }
+        self.pump(sim);
+        self.outstanding() == 0 && sim.is_idle()
+    }
+
+    /// Ops still awaiting completion (on the wire or queued behind it).
+    pub fn outstanding(&self) -> usize {
+        usize::from(self.outstanding.is_some()) + self.pending.len()
+    }
+
+    /// Take every resolved completion, ordered by sequence number.
+    pub fn take_resolved(&mut self) -> Vec<(u64, HostCompletion)> {
+        std::mem::take(&mut self.resolved).into_iter().collect()
+    }
+
+    /// Take completions that did not belong to this layer (backdoor
+    /// submissions sharing the channel).
+    pub fn take_passthrough(&mut self) -> Vec<HostCompletion> {
+        std::mem::take(&mut self.passthrough)
+    }
+
+    /// The layer's counters.
+    pub fn stats(&self) -> &ReliableStats {
+        &self.stats
+    }
+}

@@ -1,6 +1,7 @@
 //! Telemetry: structured snapshots of a running pipeline and a periodic
 //! JSON exporter (hand-written serialization — the tree carries no serde).
 
+use crate::retry::ReliableSnapshot;
 use ehdl_hwsim::{CtrlStats, SimCounters, SteeringStats};
 
 /// Per-stage occupancy telemetry.
@@ -66,6 +67,9 @@ pub struct RuntimeStats {
     /// Multi-pipeline steering statistics (`None` when the runtime
     /// drives a single pipeline).
     pub steering: Option<SteeringStats>,
+    /// Reliable-submission statistics (`None` on a lossless channel,
+    /// which bypasses the retry layer).
+    pub reliability: Option<ReliableSnapshot>,
 }
 
 impl RuntimeStats {
@@ -110,6 +114,19 @@ impl RuntimeStats {
             k.mean_latency_cycles(),
             k.latency_cycles_max,
         ));
+        if let Some(r) = &self.reliability {
+            s.push_str(&format!(
+                "  \"reliability\": {{\"ops\": {}, \"completed\": {}, \"retries\": {}, \
+                 \"dup_completions_suppressed\": {}, \"gave_up\": {}, \
+                 \"p99_latency_cycles\": {}}},\n",
+                r.ops,
+                r.completed,
+                r.retries,
+                r.dup_completions_suppressed,
+                r.gave_up,
+                r.p99_latency_cycles,
+            ));
+        }
         if let Some(st) = &self.steering {
             s.push_str(&format!(
                 "  \"steering\": {{\"imbalance\": {:.4}, \"pipelines\": [",
@@ -276,6 +293,7 @@ mod tests {
             maps: vec![],
             throughput_pps: 0.0,
             steering: None,
+            reliability: None,
         };
         let mut exp = PeriodicExporter::new(1000);
         assert!(exp.poll(&stats).is_none());
@@ -313,6 +331,7 @@ mod tests {
             }],
             throughput_pps: 1.0e6,
             steering: None,
+            reliability: None,
         };
         let json = stats.to_json();
         for key in [
@@ -345,6 +364,7 @@ mod tests {
             maps: vec![],
             throughput_pps: 0.0,
             steering: None,
+            reliability: None,
         };
         stats.steering = Some(SteeringStats {
             steered: vec![30, 10],

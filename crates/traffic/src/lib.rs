@@ -11,6 +11,8 @@
 //! assert_eq!(pkt.bytes.len(), 64);
 //! ```
 
+#![deny(clippy::unwrap_used)]
+
 pub mod ctrlgen;
 pub mod trace;
 

@@ -281,6 +281,7 @@ impl Trace {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod serde_tests {
     use super::*;
 

@@ -23,10 +23,22 @@
 #   - any uniform run drops packets (balanced load must be lossless);
 #   - any sweep point drifts more than 25% from BENCH_scale_out.json.
 #
+# The chaos gate (replica kill/hang/brown-out storms × control-channel
+# loss) replays BENCH_chaos.json's campaign and fails if:
+#   - any injected replica failure goes undetected and unmasked, or is
+#     detected past the watchdog budget;
+#   - any packet is lost silently (offered must equal completed +
+#     drained + discarded + rejected in every scenario);
+#   - availability under a single kill falls below (N-1)/N - 5%;
+#   - any host op at 10% channel loss fails to complete exactly once,
+#     or the retried sequence diverges from the lossless reference;
+#   - availability drifts more than 5 points from the recording.
+#
 # Re-record an intentional change with:
 #
 #   EHDL_WRITE_BENCH=1 cargo bench -p ehdl-bench --bench sim_speed
 #   EHDL_WRITE_BENCH=1 cargo bench -p ehdl-bench --bench scale_out
+#   EHDL_WRITE_BENCH=1 cargo bench -p ehdl-bench --bench chaos
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -69,5 +81,11 @@ cargo test -p ehdl-ebpf --test fuzz_loader -q
 
 echo "== fault campaign (protection coverage + watchdog availability) =="
 cargo bench -p ehdl-bench --bench fault_campaign
+
+echo "== control-channel fuzz (codec + mailbox overflow, seeded) =="
+cargo test -p ehdl-hwsim --test fuzz_ctrl -q
+
+echo "== chaos gate (replica fail-over x lossy control channel) =="
+EHDL_CHECK_BENCH=1 cargo bench -p ehdl-bench --bench chaos
 
 echo "check.sh: all gates passed"

@@ -141,7 +141,7 @@ fn schedule(scenario: &str) -> Vec<ReplicaFault> {
 /// (DNAT's port allocator) lives in the shared fabric; flow tables
 /// reconcile by union (idempotent across repeated failures); per-replica
 /// stats counters delta-merge.
-fn fabric_plan(app: App) -> (Vec<u32>, Vec<(u32, MergeStrategy)>) {
+pub(crate) fn fabric_plan(app: App) -> (Vec<u32>, Vec<(u32, MergeStrategy)>) {
     match app {
         App::Dnat => (
             vec![dnat::PORT_ALLOC_MAP],

@@ -11,6 +11,7 @@ pub mod fault_campaign;
 pub mod flush_opt;
 pub mod runtime_ops;
 pub mod scale_out;
+pub mod shardcheck;
 pub mod sim_speed;
 
 use ehdl_baselines::{hxdp, sdnet, BluefieldModel, HxdpModel, SdnetCompiler};

@@ -71,7 +71,7 @@ pub struct ScaleOutRow {
 /// measured cost is in `crates/hwsim/src/shared.rs` tests and the DNAT
 /// rows here). DNAT's port allocator *must* be shared: allocations have
 /// to be globally unique, so its atomic fetch-add pays the fabric toll.
-fn shared_maps(app: App) -> Vec<u32> {
+pub(crate) fn shared_maps(app: App) -> Vec<u32> {
     match app {
         App::Dnat => vec![dnat::PORT_ALLOC_MAP],
         _ => Vec::new(),

@@ -113,6 +113,7 @@ pub fn model_design(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

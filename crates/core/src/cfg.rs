@@ -252,6 +252,7 @@ fn intersect(mut a: usize, mut b: usize, idom: &[usize], rpo_pos: &[usize]) -> u
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ehdl_ebpf::asm::Asm;

@@ -240,6 +240,9 @@ impl Compiler {
             .as_ref()
             .map(|an| (an.packet_accesses, an.proven_accesses, an.decided_branches()))
             .unwrap_or_default();
+        // 10. Sharding soundness: classify every map's scale-out behavior
+        // from the analysis facts (key provenance, write commutativity).
+        let shard = crate::shardcheck::analyze(&program.maps, analysis.as_ref());
         let design = PipelineDesign {
             name: program.name.clone(),
             stages,
@@ -251,6 +254,7 @@ impl Compiler {
             guards: assembled.guards,
             protect: o.protect,
             stack_narrow,
+            shard,
             stats: DesignStats {
                 source_insns,
                 hw_insns: assembled.hw_insns,
@@ -314,6 +318,7 @@ fn apply_analysis(lowered: &mut fusion::LoweredProgram, an: &absint::Analysis) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ehdl_ebpf::asm::Asm;

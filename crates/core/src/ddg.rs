@@ -220,6 +220,7 @@ fn depends(a: &Effects, b: &Effects) -> Option<DepKind> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::cfg::Cfg;

@@ -118,6 +118,7 @@ fn stage_max_frame(stage: &Stage, opts: FramingOptions) -> Option<usize> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::ir::{Interval, LabeledInsn, MemLabel};

@@ -334,6 +334,7 @@ pub fn helper_reads(helper: u32) -> u16 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::label::label;

@@ -167,6 +167,7 @@ pub fn analyze(stages: &[Stage]) -> HazardPlan {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::ir::{HwInsn, LabeledInsn, MemLabel};

@@ -205,6 +205,7 @@ fn predicted_loss(schedules: &[BlockSchedule], n_flows: usize) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::cfg::Cfg;

@@ -307,6 +307,7 @@ pub struct LabeledInsn {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

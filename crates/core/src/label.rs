@@ -396,6 +396,7 @@ fn classify(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ehdl_ebpf::asm::Asm;

@@ -39,6 +39,8 @@
 //! # Ok::<(), ehdl_core::CompileError>(())
 //! ```
 
+#![deny(clippy::unwrap_used)]
+
 pub mod analytical;
 pub mod cfg;
 pub mod compile;
@@ -58,6 +60,7 @@ pub mod primitives;
 pub mod prune;
 pub mod resource;
 pub mod schedule;
+pub mod shardcheck;
 pub mod unroll;
 pub mod vhdl;
 
@@ -69,6 +72,7 @@ pub use plan::{
     LowerStats, LoweredPlan, LoweredStage, RegOrImm,
 };
 pub use resource::{ResourceEstimate, Target};
+pub use shardcheck::{MapClass, MapPlan, MergePolicy, Placement, ShardError, ShardPlan};
 
 /// Render one instruction in kernel disassembly style (jump offsets are
 /// shown relative to slot 0; intended for comments and summaries).

@@ -158,6 +158,10 @@ pub struct PipelineDesign {
     /// analysis is disabled. Resource accounting only — the simulator
     /// carries full slots.
     pub stack_narrow: Vec<u8>,
+    /// Verified sharding plan: per-map placement/merge verdicts proven by
+    /// [`shardcheck`](crate::shardcheck). Unanalyzed when the value
+    /// analysis is disabled.
+    pub shard: crate::shardcheck::ShardPlan,
     /// Statistics.
     pub stats: DesignStats,
 }
@@ -366,6 +370,7 @@ pub fn assemble(p: &LoweredProgram, schedules: &[BlockSchedule]) -> Assembled {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::cfg::Cfg;
@@ -526,6 +531,7 @@ impl PipelineDesign {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod dot_tests {
     use crate::Compiler;
     use ehdl_ebpf::asm::Asm;

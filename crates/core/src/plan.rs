@@ -1130,6 +1130,7 @@ fn lower_op(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::Compiler;

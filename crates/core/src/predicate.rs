@@ -127,6 +127,7 @@ pub fn block_predicates(blocks: &[BlockInfo]) -> Vec<PredExpr> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::Compiler;

@@ -194,6 +194,7 @@ pub fn lane_target(label: MemLabel) -> &'static str {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::Compiler;

@@ -206,6 +206,7 @@ pub fn max_live_stack(info: &PruneInfo) -> usize {
 pub type StackInterval = Interval;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::cfg::Cfg;

@@ -336,6 +336,7 @@ pub fn host_power_watts(u: Utilization) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::Compiler;

@@ -90,6 +90,7 @@ pub fn ilp_stats(schedules: &[BlockSchedule]) -> IlpStats {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::cfg::Cfg;

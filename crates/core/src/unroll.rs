@@ -306,6 +306,7 @@ fn writes_reg(insn: &Instruction, reg: u8) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ehdl_ebpf::asm::Asm;

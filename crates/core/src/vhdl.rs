@@ -506,6 +506,7 @@ fn op_vhdl(stage: usize, block: usize, op: &crate::pipeline::StageOp) -> Vec<Str
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::Compiler;
@@ -694,6 +695,7 @@ pub fn emit_testbench(design: &PipelineDesign, n_packets: usize) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod testbench_tests {
     use crate::Compiler;
     use ehdl_ebpf::asm::Asm;

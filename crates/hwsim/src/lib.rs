@@ -45,8 +45,8 @@ pub use ctrl::{
     FrameError, HostCompletion, HostOp, HostOpResult, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_LEN,
 };
 pub use diff::{
-    assert_equivalent_ops, compare_sharded_failover, compare_with_ops, Divergence, FailoverDiff,
-    HostEvent, MergeStrategy,
+    assert_equivalent_ops, compare_sharded, compare_sharded_failover, compare_with_ops, Divergence,
+    FailoverDiff, HostEvent, MergeStrategy,
 };
 pub use fault::{
     FaultConfig, FaultEngine, FaultEvent, FaultKind, FaultOutcome, FaultSite, FaultStats,
@@ -57,9 +57,9 @@ pub use multi::{
     SteeringError, SteeringStats,
 };
 pub use shared::{
-    check_linearizable, map_key_hash, Arbitration, LinearizabilityViolation, MapAccess, MapEvent,
-    MapEventKind, ShardReport, ShardedNic, SharedEvent, SharedMapOptions, SharedMapStats,
-    SharedOpCompletion, HOST_REPLICA,
+    check_linearizable, fabric_from_plan, map_key_hash, merges_from_plan, Arbitration,
+    LinearizabilityViolation, MapAccess, MapEvent, MapEventKind, ShardReport, ShardedNic,
+    SharedEvent, SharedMapOptions, SharedMapStats, SharedOpCompletion, HOST_REPLICA,
 };
 pub use shell::{NicShell, ShellOptions, ShellReport};
 pub use sim::{Backend, PipelineSim, SimCounters, SimError, SimOptions, SimOutcome};

@@ -56,6 +56,10 @@ pub enum SteeringError {
     },
     /// An RSS policy with an empty replica list steers nowhere.
     NoReplicas,
+    /// An RSS policy across several replicas with an all-zero hash key:
+    /// the Toeplitz-key analogue of a zero seed weakens the hash enough
+    /// that crafted (or merely unlucky) traffic piles onto one replica.
+    DegenerateSeed,
 }
 
 impl std::fmt::Display for SteeringError {
@@ -66,6 +70,9 @@ impl std::fmt::Display for SteeringError {
                 write!(f, "steering target {target} out of range (have {pipelines} pipelines)")
             }
             SteeringError::NoReplicas => write!(f, "RSS steering needs at least one replica"),
+            SteeringError::DegenerateSeed => {
+                write!(f, "RSS steering across replicas rejects the all-zero hash seed")
+            }
         }
     }
 }
@@ -142,9 +149,12 @@ impl Steering {
                 }
                 check(*default)
             }
-            Steering::RssFlowHash { replicas, .. } => {
+            Steering::RssFlowHash { replicas, seed } => {
                 if replicas.is_empty() {
                     return Err(SteeringError::NoReplicas);
+                }
+                if *seed == 0 && replicas.len() > 1 {
+                    return Err(SteeringError::DegenerateSeed);
                 }
                 for &p in replicas {
                     check(p)?;
@@ -680,6 +690,12 @@ mod tests {
             rss.validate(2),
             Err(SteeringError::TargetOutOfRange { target: 2, pipelines: 2 })
         );
+        // A degenerate all-zero hash key is rejected across replicas but
+        // tolerated when one replica makes steering constant anyway.
+        let rss = Steering::RssFlowHash { replicas: vec![0, 1], seed: 0 };
+        assert_eq!(rss.validate(2), Err(SteeringError::DegenerateSeed));
+        let rss = Steering::RssFlowHash { replicas: vec![0], seed: 0 };
+        assert_eq!(rss.validate(1), Ok(()));
         let designs = vec![Compiler::new().compile(&router::program()).unwrap()];
         let err = MultiNic::try_new(
             &designs,

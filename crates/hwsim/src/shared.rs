@@ -416,7 +416,67 @@ pub struct ShardedNic {
     discarded_glob: Vec<u64>,
 }
 
+/// Derive the shared-map fabric configuration a design's verified
+/// [`ShardPlan`](ehdl_core::shardcheck::ShardPlan) prescribes: maps the
+/// pass proved genuinely cross-replica go behind the fabric, with the
+/// statically pre-assigned bank count (constant-keyed shared state gets a
+/// single bank — more cannot spread one hot key).
+pub fn fabric_from_plan(plan: &ehdl_core::shardcheck::ShardPlan) -> SharedMapOptions {
+    SharedMapOptions {
+        shared_maps: plan.shared_map_ids(),
+        banks: plan.fabric_banks() as usize,
+        ..SharedMapOptions::default()
+    }
+}
+
+/// Derive the per-map merge strategies a design's verified
+/// [`ShardPlan`](ehdl_core::shardcheck::ShardPlan) proved sound, in the
+/// `(map, strategy)` form `diff::compare_sharded` consumes.
+pub fn merges_from_plan(
+    plan: &ehdl_core::shardcheck::ShardPlan,
+) -> Vec<(u32, crate::diff::MergeStrategy)> {
+    use crate::diff::MergeStrategy;
+    use ehdl_core::shardcheck::MergePolicy;
+    plan.merge_policies()
+        .into_iter()
+        .map(|(id, p)| {
+            let s = match p {
+                MergePolicy::Union => MergeStrategy::Union,
+                MergePolicy::SumDelta => MergeStrategy::SumDelta,
+                MergePolicy::Direct => MergeStrategy::Direct,
+                MergePolicy::Ignore => MergeStrategy::Ignore,
+            };
+            (id, s)
+        })
+        .collect()
+}
+
 impl ShardedNic {
+    /// Instantiate a sharded NIC from the design's own verified
+    /// [`ShardPlan`](ehdl_core::shardcheck::ShardPlan): shared-map set,
+    /// bank count and merge semantics all come from the static analysis
+    /// instead of a hand-written [`SharedMapOptions`].
+    ///
+    /// # Errors
+    ///
+    /// The plan's [`ShardError`](ehdl_core::shardcheck::ShardError)s when
+    /// the design cannot be proven sound at `replicas` — an unfenced
+    /// cross-replica read-modify-write, or a design compiled without the
+    /// value analysis.
+    ///
+    /// # Panics
+    ///
+    /// As [`ShardedNic::new`].
+    pub fn from_shard_plan(
+        design: &PipelineDesign,
+        replicas: usize,
+        seed: u64,
+        sim_options: SimOptions,
+    ) -> Result<ShardedNic, Vec<ehdl_core::shardcheck::ShardError>> {
+        design.shard.require_sound(replicas)?;
+        Ok(ShardedNic::new(design, replicas, seed, sim_options, fabric_from_plan(&design.shard)))
+    }
+
     /// Instantiate `replicas` copies of `design` sharing maps per
     /// `fabric`, with RSS steering seeded by `seed`.
     ///

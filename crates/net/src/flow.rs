@@ -1,6 +1,6 @@
 //! Flow identities: the 5-tuple that keys stateful network functions.
 
-use crate::{offsets, ETH_HLEN, ETH_P_IP, IPPROTO_TCP, IPPROTO_UDP};
+use crate::{offsets, ETH_P_IP, IPPROTO_TCP, IPPROTO_UDP};
 use std::fmt;
 
 /// An IPv4 5-tuple `(saddr, daddr, sport, dport, proto)`.
@@ -43,12 +43,21 @@ impl FiveTuple {
     }
 
     /// Extract from an Eth/IPv4/{UDP,TCP} packet, if it is one.
+    ///
+    /// The precondition set — length ≥ 38, EtherType 0x0800, L4 proto in
+    /// {TCP, UDP} — is deliberately exactly the set of facts XDP programs
+    /// guard before touching 5-tuple fields at the fixed [`offsets`].
+    /// RSS steering hashes whatever passes this parser, so any byte the
+    /// parser *doesn't* inspect (version/IHL nibble, header options) must
+    /// not change whether a packet is tuple-steered: a program reading
+    /// ports at offset 34 and the steering hash reading the same bytes
+    /// stay consistent even on packets that are not well-formed IPv4.
     pub fn parse(pkt: &[u8]) -> Option<FiveTuple> {
         if pkt.len() < offsets::L4_DPORT + 2 {
             return None;
         }
         let ethertype = u16::from_be_bytes([pkt[offsets::ETH_PROTO], pkt[offsets::ETH_PROTO + 1]]);
-        if ethertype != ETH_P_IP || pkt[ETH_HLEN] >> 4 != 4 {
+        if ethertype != ETH_P_IP {
             return None;
         }
         let proto = pkt[offsets::IP_PROTO];

@@ -112,6 +112,7 @@ pub mod action {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ehdl_ebpf::maps::{MapDef, MapKind};

@@ -16,6 +16,8 @@
 //! compiler consumes, host-side map setup helpers, and behavioural tests
 //! against the reference VM.
 
+#![deny(clippy::unwrap_used)]
+
 pub mod common;
 pub mod dnat;
 pub mod leaky_bucket;

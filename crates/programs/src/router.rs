@@ -166,6 +166,7 @@ pub fn read_stats(maps: &MapStore) -> [u64; 3] {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ehdl_ebpf::vm::{Vm, XdpAction};

@@ -102,6 +102,7 @@ pub fn read_counters(maps: &ehdl_ebpf::maps::MapStore) -> [u64; 4] {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ehdl_ebpf::vm::{Vm, XdpAction};

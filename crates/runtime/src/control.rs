@@ -3,6 +3,7 @@
 
 use crate::retry::{ReliableCtrl, RetryPolicy};
 use crate::telemetry::{MapTelemetry, RuntimeStats, StageTelemetry};
+use ehdl_core::shardcheck::ShardError;
 use ehdl_core::PipelineDesign;
 use ehdl_ebpf::maps::{MapStore, UpdateFlags};
 use ehdl_hwsim::sim::CLOCK_NS;
@@ -36,6 +37,12 @@ pub struct RuntimeOptions {
     pub reconfig_base_cycles: u64,
     /// Per-stage reconfiguration cost charged by [`Runtime::reload`].
     pub reconfig_cycles_per_stage: u64,
+    /// Deployment scale reloads are validated against: when above 1, a
+    /// new design whose [`ShardPlan`](ehdl_core::ShardPlan) is unsound
+    /// at this replica count — or that moves a surviving map across the
+    /// private/shared placement boundary, which no live migration can
+    /// express — is rejected before the drain handshake starts.
+    pub replicas: usize,
 }
 
 impl Default for RuntimeOptions {
@@ -47,6 +54,7 @@ impl Default for RuntimeOptions {
             retry: RetryPolicy::default(),
             reconfig_base_cycles: RECONFIG_BASE_CYCLES,
             reconfig_cycles_per_stage: RECONFIG_CYCLES_PER_STAGE,
+            replicas: 1,
         }
     }
 }
@@ -370,6 +378,35 @@ impl Runtime {
         new_design: &PipelineDesign,
         drain_budget_cycles: u64,
     ) -> Result<SwapReport, SwapError> {
+        // Sharding guard, before any state is touched: at scale, the
+        // fleet runs every replica from the same image, so a design that
+        // cannot shard soundly (or whose surviving maps change placement
+        // under live traffic) must never start the drain.
+        if self.options.replicas > 1 {
+            if let Err(errs) = new_design.shard.require_sound(self.options.replicas) {
+                return Err(SwapError::ShardUnsound {
+                    replicas: self.options.replicas,
+                    errors: errs.len(),
+                    first: errs[0],
+                });
+            }
+            if self.design.shard.analyzed {
+                for old_def in &self.design.maps {
+                    let Some(new_def) = new_design.maps.iter().find(|n| old_def.compatible_with(n))
+                    else {
+                        continue;
+                    };
+                    let (Some(old_plan), Some(new_plan)) =
+                        (self.design.shard.map(old_def.id), new_design.shard.map(new_def.id))
+                    else {
+                        continue;
+                    };
+                    if old_plan.placement != new_plan.placement {
+                        return Err(SwapError::ShardPlacementChanged { map: new_def.id });
+                    }
+                }
+            }
+        }
         let quiesce_cycle = self.sim.cycle();
         // Drain: no new arrivals; everything in flight retires.
         let mut waited = 0u64;
@@ -471,6 +508,22 @@ pub enum SwapError {
         /// resolution at abort time.
         host_ops_pending: usize,
     },
+    /// The new design's shard plan is unsound at the runtime's
+    /// deployment scale ([`RuntimeOptions::replicas`]).
+    ShardUnsound {
+        /// Replica count the reload was validated against.
+        replicas: usize,
+        /// Total violations the static pass reported.
+        errors: usize,
+        /// The first violation, with its map and instruction anchors.
+        first: ShardError,
+    },
+    /// A map surviving the swap would cross the private/shared placement
+    /// boundary, which a live fleet cannot migrate consistently.
+    ShardPlacementChanged {
+        /// Offending map id in the new design.
+        map: u32,
+    },
 }
 
 impl std::fmt::Display for SwapError {
@@ -481,6 +534,14 @@ impl std::fmt::Display for SwapError {
                 "drain timed out after {waited_cycles} cycles \
                  ({in_flight} packets in flight, {host_ops_pending} host ops pending)"
             ),
+            SwapError::ShardUnsound { replicas, errors, first } => write!(
+                f,
+                "new design is unsound at {replicas} replicas \
+                 ({errors} violation(s); first: {first})"
+            ),
+            SwapError::ShardPlacementChanged { map } => {
+                write!(f, "map {map} changes private/shared placement across the reload")
+            }
         }
     }
 }

@@ -34,11 +34,23 @@
 #     or the retried sequence diverges from the lossless reference;
 #   - availability drifts more than 5 points from the recording.
 #
+# The sharding-soundness gate (static shardcheck verdicts vs the dynamic
+# differential checker) replays BENCH_shardcheck.json's campaign and
+# fails if:
+#   - any evaluation-app map stops auto-classifying (an OpaqueRmw
+#     demotion would force hand-written sharding configs back in);
+#   - any statically-proven verdict (vm_exact, placement, serialization)
+#     is contradicted by the sharded differential run at 2 or 4 replicas;
+#   - fewer than all four ShardError diagnostics fire on the deliberately
+#     unsound configs;
+#   - classification precision drops below the recording.
+#
 # Re-record an intentional change with:
 #
 #   EHDL_WRITE_BENCH=1 cargo bench -p ehdl-bench --bench sim_speed
 #   EHDL_WRITE_BENCH=1 cargo bench -p ehdl-bench --bench scale_out
 #   EHDL_WRITE_BENCH=1 cargo bench -p ehdl-bench --bench chaos
+#   EHDL_WRITE_BENCH=1 cargo bench -p ehdl-bench --bench shardcheck
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -51,9 +63,13 @@ cargo test --workspace -q
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
-# The simulator crate also carries #![deny(clippy::unwrap_used)]; lint it
-# standalone so a workspace-level cap change can't mask it.
+# The simulator, compiler, runtime and app crates carry
+# #![deny(clippy::unwrap_used)]; lint them standalone so a
+# workspace-level cap change can't mask it.
 cargo clippy -p ehdl-hwsim -- -D warnings
+cargo clippy -p ehdl-core --all-targets -- -D warnings
+cargo clippy -p ehdl-runtime --all-targets -- -D warnings
+cargo clippy -p ehdl-programs --all-targets -- -D warnings
 
 echo "== fmt =="
 cargo fmt --all -- --check
@@ -87,5 +103,9 @@ cargo test -p ehdl-hwsim --test fuzz_ctrl -q
 
 echo "== chaos gate (replica fail-over x lossy control channel) =="
 EHDL_CHECK_BENCH=1 cargo bench -p ehdl-bench --bench chaos
+
+echo "== sharding soundness (static shardcheck vs dynamic checkers) =="
+cargo test -p ehdl-hwsim --test shardplan -q
+EHDL_CHECK_BENCH=1 cargo bench -p ehdl-bench --bench shardcheck
 
 echo "check.sh: all gates passed"

@@ -10,9 +10,11 @@
 //!
 //! 1. **Key provenance** — a map whose every data-plane key is provably
 //!    built from the RSS-symmetric 5-tuple bytes (under the steering
-//!    parser's guards) partitions cleanly per replica: RSS already routes
-//!    every packet that can touch a given key to one replica, so a
-//!    private copy is exact ([`MapClass::FlowKeyed`]).
+//!    parser's guards, with the L4 proto pinned by a key byte or a
+//!    single-value guard — the hash mixes the proto byte too) partitions
+//!    cleanly per replica: RSS already routes every packet that can touch
+//!    a given key to one replica, so a private copy is exact
+//!    ([`MapClass::FlowKeyed`]).
 //! 2. **Commutativity** — writes that are blind constant atomic adds form
 //!    a per-replica delta sum ([`MapClass::SumDelta`]); maps touched only
 //!    through single atomic operations serialize soundly in the shared
@@ -51,6 +53,9 @@ use std::fmt;
 const TUPLE_LO: u16 = 26;
 /// One past the last hashed tuple byte (end of the L4 destination port).
 const TUPLE_HI: u16 = 38;
+/// The IPv4 protocol byte — also mixed into the RSS hash, but sitting
+/// outside the contiguous address/port range.
+const IP_PROTO: u16 = 23;
 
 /// The symmetric-RSS byte involution: source↔destination address bytes
 /// and source↔destination port bytes swap; everything else is fixed.
@@ -257,9 +262,14 @@ fn pure_per_packet(b: ByteSrc) -> bool {
     matches!(b, ByteSrc::Zero | ByteSrc::Const | ByteSrc::Pkt(_))
 }
 
-/// Per-site flow-key verdict: `Ok(signature)` with the key's byte sources
-/// when the site can partition, `Err(())` otherwise.
-fn flow_key_signature(fact: &MapKeyFact, key_size: usize) -> Result<Vec<ByteSrc>, ()> {
+/// Per-site flow-key verdict: `Ok((signature, guard_proto))` with the
+/// key's byte sources when the site can partition, `Err(())` otherwise.
+/// `guard_proto` is `Some(v)` when the proto is pinned only by the path
+/// guard (not by a key byte), `None` when a `Pkt(23)` key byte pins it.
+fn flow_key_signature(
+    fact: &MapKeyFact,
+    key_size: usize,
+) -> Result<(Vec<ByteSrc>, Option<u8>), ()> {
     // The steering parser's preconditions must hold on every path to the
     // access, or a packet it refuses to hash could still form this key.
     if !fact.tuple_guarded || fact.min_len < i64::from(TUPLE_HI) {
@@ -271,6 +281,7 @@ fn flow_key_signature(fact: &MapKeyFact, key_size: usize) -> Result<Vec<ByteSrc>
     }
     let key = &key[..key_size];
     let mut covered = [false; (TUPLE_HI - TUPLE_LO) as usize];
+    let mut proto_in_key = false;
     for b in key {
         match *b {
             ByteSrc::Zero | ByteSrc::Const => {}
@@ -278,17 +289,24 @@ fn flow_key_signature(fact: &MapKeyFact, key_size: usize) -> Result<Vec<ByteSrc>
                 if (TUPLE_LO..TUPLE_HI).contains(&o) {
                     covered[(o - TUPLE_LO) as usize] = true;
                 }
+                if o == IP_PROTO {
+                    proto_in_key = true;
+                }
             }
             ByteSrc::MapVal | ByteSrc::Other => return Err(()),
         }
     }
     // Equal keys must imply equal RSS hashes, so the key has to pin the
     // whole hashed tuple.
-    if covered.iter().all(|&c| c) {
-        Ok(key.to_vec())
-    } else {
-        Err(())
+    if !covered.iter().all(|&c| c) {
+        return Err(());
     }
+    // The hash mixes the proto byte too: under the two-value TCP/UDP
+    // guard, a TCP and a UDP flow with identical addresses and ports
+    // form the same key yet steer to different replicas. The proto must
+    // be pinned — by a key byte, or by a single-value path guard.
+    let guard_proto = if proto_in_key { None } else { Some(fact.proto.ok_or(())?) };
+    Ok((key.to_vec(), guard_proto))
 }
 
 /// Can keys from sites `a` and `b` ever collide across replicas? Sound
@@ -429,16 +447,24 @@ fn classify(def: &MapDef, an: &Analysis, windows: &[(usize, usize)]) -> MapPlan 
     let mut signatures = Vec::with_capacity(key_facts.len());
     for f in &key_facts {
         match flow_key_signature(f, key_size) {
-            Ok(sig) => signatures.push((f.pc, sig)),
+            Ok((sig, guard_proto)) => signatures.push((f.pc, sig, guard_proto)),
             Err(()) => {
                 non_flow_pc.get_or_insert(f.pc);
             }
         }
     }
     if non_flow_pc.is_none() {
-        'pairs: for (i, (_, a)) in signatures.iter().enumerate() {
-            for (pc, b) in &signatures[i + 1..] {
-                if !sites_compatible(a, b) {
+        'pairs: for (i, (_, a, pa)) in signatures.iter().enumerate() {
+            for (pc, b, pb) in &signatures[i + 1..] {
+                // Guard-pinned protos must agree across sites (key-pinned
+                // sites carry the proto in the signature itself, which
+                // `sites_compatible` already forces to match).
+                let protos_agree = match (pa, pb) {
+                    (None, None) => true,
+                    (Some(x), Some(y)) => x == y,
+                    _ => false,
+                };
+                if !protos_agree || !sites_compatible(a, b) {
                     non_flow_pc = Some(*pc);
                     break 'pairs;
                 }
@@ -599,8 +625,11 @@ impl ShardPlan {
     /// every map left private with a `Union` merge must be flow-keyed,
     /// every `SumDelta` merge needs commutative writes, and written maps
     /// that are neither must be serialized behind the fabric (listed in
-    /// `shared`) — otherwise the config is rejected with the offending
-    /// instruction.
+    /// `shared`) *and* touched only through single atomic operations —
+    /// the fabric linearizes individual accesses, not lookup→store
+    /// sequences, so an unfenced RMW races in any placement (exactly as
+    /// [`ShardPlan::require_sound`] rules). Otherwise the config is
+    /// rejected with the offending instruction.
     ///
     /// # Errors
     ///
@@ -617,23 +646,33 @@ impl ShardPlan {
         if !self.analyzed {
             return Err(vec![ShardError::Unanalyzed]);
         }
+        let race = |m: &MapPlan| ShardError::CrossReplicaRace {
+            map: m.map,
+            read_pc: m.first_read_pc.or(m.first_write_pc).unwrap_or(0),
+            write_pc: m.first_write_pc.unwrap_or(0),
+        };
         let mut errs = Vec::new();
         for m in &self.maps {
-            let is_shared = shared.contains(&m.map);
-            let chosen = merge.iter().find(|(id, _)| *id == m.map).map(|&(_, p)| p).unwrap_or(
-                if is_shared {
-                    MergePolicy::Direct
-                } else {
-                    match m.merge {
-                        // An explicit default a caller would pick.
-                        MergePolicy::Ignore => MergePolicy::Union,
-                        p => p,
-                    }
-                },
-            );
-            if is_shared || m.writes == 0 {
+            if m.writes == 0 {
                 continue;
             }
+            if shared.contains(&m.map) {
+                // The fabric serializes single accesses, not read→write
+                // sequences: an unfenced RMW races even when shared, so
+                // listing it in `shared` must not approve what
+                // `require_sound` rejects.
+                if m.class == MapClass::OpaqueRmw {
+                    errs.push(race(m));
+                }
+                continue;
+            }
+            let chosen = merge.iter().find(|(id, _)| *id == m.map).map(|&(_, p)| p).unwrap_or(
+                match m.merge {
+                    // An explicit default a caller would pick.
+                    MergePolicy::Ignore => MergePolicy::Union,
+                    p => p,
+                },
+            );
             match chosen {
                 MergePolicy::Union => {
                     if m.class != MapClass::FlowKeyed {
@@ -653,11 +692,7 @@ impl ShardPlan {
                     // is only sound when nothing is at stake — an
                     // unfenced RMW left private is still a race.
                     if m.class == MapClass::OpaqueRmw {
-                        errs.push(ShardError::CrossReplicaRace {
-                            map: m.map,
-                            read_pc: m.first_read_pc.or(m.first_write_pc).unwrap_or(0),
-                            write_pc: m.first_write_pc.unwrap_or(0),
-                        });
+                        errs.push(race(m));
                     }
                 }
             }
@@ -866,6 +901,75 @@ mod tests {
         assert!(plan.validate_config(1, &[], &[(0, MergePolicy::Union)]).is_ok());
     }
 
+    /// A key covering the addresses and ports but not the proto byte is
+    /// only flow-partitionable when the path guard pins a single L4
+    /// protocol: the RSS hash mixes the proto byte, so under the
+    /// two-value TCP/UDP guard a TCP and a UDP flow with identical
+    /// addresses and ports form the same key yet steer to different
+    /// replicas.
+    #[test]
+    fn protoless_key_needs_single_proto_guard() {
+        let build = |two_proto_guard: bool| {
+            let mut a = Asm::new();
+            let out = a.new_label();
+            a.load(MemSize::W, 7, 1, 0);
+            a.load(MemSize::W, 8, 1, 4);
+            a.mov64_reg(1, 7);
+            a.alu64_imm(AluOp::Add, 1, 42);
+            a.jmp_reg(JmpOp::Jgt, 1, 8, out);
+            a.load(MemSize::B, 2, 7, 12);
+            a.load(MemSize::B, 1, 7, 13);
+            a.alu64_imm(AluOp::Lsh, 2, 8);
+            a.alu64_reg(AluOp::Or, 2, 1);
+            a.jmp_imm(JmpOp::Jne, 2, 0x0800, out);
+            a.load(MemSize::B, 2, 7, 23);
+            if two_proto_guard {
+                let l4 = a.new_label();
+                a.jmp_imm(JmpOp::Jeq, 2, 6, l4);
+                a.jmp_imm(JmpOp::Jne, 2, 17, out);
+                a.bind(l4);
+            } else {
+                a.jmp_imm(JmpOp::Jne, 2, 17, out);
+            }
+            // 12-byte key: addresses + ports only, no proto byte.
+            a.load(MemSize::W, 1, 7, 26);
+            a.store_reg(MemSize::W, 10, -16, 1);
+            a.load(MemSize::W, 1, 7, 30);
+            a.store_reg(MemSize::W, 10, -12, 1);
+            a.load(MemSize::W, 1, 7, 34);
+            a.store_reg(MemSize::W, 10, -8, 1);
+            a.mov64_imm(1, 1);
+            a.store_reg(MemSize::Dw, 10, -48, 1);
+            a.ld_map_fd(1, 0);
+            a.mov64_reg(2, 10);
+            a.alu64_imm(AluOp::Add, 2, -16);
+            a.mov64_reg(3, 10);
+            a.alu64_imm(AluOp::Add, 3, -48);
+            a.mov64_imm(4, 0);
+            a.call(BPF_MAP_UPDATE_ELEM);
+            finish(&mut a, out);
+            Program::new("t", a.into_insns(), vec![MapDef::new(0, "m", MapKind::Hash, 12, 8, 1024)])
+        };
+
+        // Single-proto guard: the guard pins the proto byte the key
+        // omits, so the key still partitions.
+        let plan = plan_of(&build(false));
+        assert_eq!(plan.map(0).unwrap().class, MapClass::FlowKeyed);
+        assert!(plan.require_sound(4).is_ok());
+
+        // proto ∈ {TCP, UDP}: the same key can be formed on two replicas,
+        // and the whole-value update leaves no other sound class.
+        let p = build(true);
+        let update_pc = call_pcs(&p, BPF_MAP_UPDATE_ELEM)[0];
+        let plan = plan_of(&p);
+        let m = plan.map(0).unwrap();
+        assert_eq!(m.class, MapClass::OpaqueRmw);
+        assert_eq!(m.non_flow_pc, Some(update_pc));
+        assert!(plan.require_sound(4).is_err());
+        let errs = plan.validate_config(4, &[], &[(0, MergePolicy::Union)]).unwrap_err();
+        assert_eq!(errs, vec![ShardError::NonSymmetricKey { map: 0, pc: update_pc }]);
+    }
+
     #[test]
     fn non_commutative_write_rejected_under_sum_delta() {
         // A whole-value helper update does not commute as a delta.
@@ -937,8 +1041,11 @@ mod tests {
         // Leaving the map private + Ignore does not silence the race.
         let errs = plan.validate_config(2, &[], &[(0, MergePolicy::Ignore)]).unwrap_err();
         assert!(matches!(errs[0], ShardError::CrossReplicaRace { map: 0, .. }));
-        // Serializing it behind the fabric does.
-        assert!(plan.validate_config(2, &[0], &[]).is_ok());
+        // Neither does serializing it behind the fabric: the fabric
+        // linearizes single accesses, not the lookup→store sequence, so
+        // the hand config is rejected exactly like `require_sound` does.
+        let errs = plan.validate_config(2, &[0], &[]).unwrap_err();
+        assert!(matches!(errs[0], ShardError::CrossReplicaRace { map: 0, .. }));
     }
 
     #[test]

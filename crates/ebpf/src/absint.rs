@@ -704,6 +704,10 @@ pub struct MapKeyFact {
     /// True when every path to this call proved EtherType == IPv4 and L4
     /// proto ∈ {TCP, UDP} — the steering parser's byte preconditions.
     pub tuple_guarded: bool,
+    /// The single L4 protocol value proven on every path to this call,
+    /// when the proto guard is that precise; `None` when paths join TCP
+    /// and UDP (or the byte is unconstrained).
+    pub proto: Option<u8>,
     /// Proven minimum packet length on every path to this call.
     pub min_len: i64,
 }
@@ -1512,6 +1516,10 @@ pub fn analyze(decoded: &[Decoded]) -> Analysis {
                             .then(|| ptr_bytes(3))
                             .flatten(),
                         tuple_guarded: st.tuple_guarded(),
+                        proto: match st.pkt_guard[2] {
+                            Guard::One(v) => Some(v),
+                            _ => None,
+                        },
                         min_len: st.pkt_len_min,
                     });
                 }

@@ -80,16 +80,18 @@ impl std::fmt::Display for SteeringError {
 impl std::error::Error for SteeringError {}
 
 /// Symmetric RSS hash over the parsed 5-tuple, with an Ethernet-header
-/// fallback for non-IPv4 traffic.
+/// fallback for non-tuple-steered traffic.
 ///
 /// Endpoints are canonically ordered before mixing, so a flow and its
 /// reverse direction produce the same hash — required by stateful
 /// programs (the firewall looks sessions up by the *reverse* tuple on
 /// return traffic; both directions must shard to the same replica).
 /// Mixing is `ehdl-rng`-style (splitmix64 finalizer), fully determined
-/// by `(packet bytes, seed)`.
+/// by `(packet bytes, seed)`. Uses [`FiveTuple::parse_for_steering`]:
+/// the hash must key off exactly the bytes XDP programs guard, even on
+/// packets that are not well-formed IPv4.
 pub fn rss_flow_hash(packet: &[u8], seed: u64) -> u64 {
-    match FiveTuple::parse(packet) {
+    match FiveTuple::parse_for_steering(packet) {
         Some(t) => {
             let a = (u64::from(u32::from_be_bytes(t.saddr)) << 16) | u64::from(t.sport);
             let b = (u64::from(u32::from_be_bytes(t.daddr)) << 16) | u64::from(t.dport);

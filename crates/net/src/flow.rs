@@ -1,6 +1,6 @@
 //! Flow identities: the 5-tuple that keys stateful network functions.
 
-use crate::{offsets, ETH_P_IP, IPPROTO_TCP, IPPROTO_UDP};
+use crate::{offsets, ETH_HLEN, ETH_P_IP, IPPROTO_TCP, IPPROTO_UDP};
 use std::fmt;
 
 /// An IPv4 5-tuple `(saddr, daddr, sport, dport, proto)`.
@@ -42,7 +42,22 @@ impl FiveTuple {
         k
     }
 
-    /// Extract from an Eth/IPv4/{UDP,TCP} packet, if it is one.
+    /// Extract from a well-formed Eth/IPv4/{UDP,TCP} packet, if it is
+    /// one: EtherType 0x0800, IP version nibble 4, L4 proto TCP or UDP,
+    /// and enough bytes for the port fields. This is the strict parser
+    /// for utility consumers (traffic generation, benches, tests) that
+    /// want malformed packets refused. RSS steering deliberately uses
+    /// the laxer [`FiveTuple::parse_for_steering`] instead.
+    pub fn parse(pkt: &[u8]) -> Option<FiveTuple> {
+        if pkt.len() >= offsets::L4_DPORT + 2 && pkt[ETH_HLEN] >> 4 == 4 {
+            FiveTuple::parse_for_steering(pkt)
+        } else {
+            None
+        }
+    }
+
+    /// Extract the tuple the RSS steering hash consumes, if the packet
+    /// is tuple-steered at all.
     ///
     /// The precondition set — length ≥ 38, EtherType 0x0800, L4 proto in
     /// {TCP, UDP} — is deliberately exactly the set of facts XDP programs
@@ -52,7 +67,9 @@ impl FiveTuple {
     /// not change whether a packet is tuple-steered: a program reading
     /// ports at offset 34 and the steering hash reading the same bytes
     /// stay consistent even on packets that are not well-formed IPv4.
-    pub fn parse(pkt: &[u8]) -> Option<FiveTuple> {
+    /// Consumers that want strict IPv4 validation use
+    /// [`FiveTuple::parse`].
+    pub fn parse_for_steering(pkt: &[u8]) -> Option<FiveTuple> {
         if pkt.len() < offsets::L4_DPORT + 2 {
             return None;
         }
@@ -133,6 +150,20 @@ mod tests {
         assert_eq!(&k[..4], &[1, 2, 3, 4]);
         assert_eq!(&k[8..10], &[0x12, 0x34]);
         assert_eq!(k[12], 17);
+    }
+
+    #[test]
+    fn bad_version_nibble_strict_vs_steering() {
+        let mut p = PacketBuilder::new()
+            .eth([1; 6], [2; 6])
+            .ipv4([10, 0, 0, 1], [10, 0, 0, 2], IPPROTO_UDP)
+            .udp(4000, 53)
+            .build();
+        p[crate::ETH_HLEN] = 0x55; // version nibble 5: not IPv4
+        assert_eq!(FiveTuple::parse(&p), None, "strict parser refuses malformed IPv4");
+        let ft = FiveTuple::parse_for_steering(&p).expect("steering hashes the guarded bytes");
+        assert_eq!(ft.saddr, [10, 0, 0, 1]);
+        assert_eq!(ft.dport, 53);
     }
 
     #[test]

@@ -5,13 +5,27 @@ use crate::retry::{ReliableCtrl, RetryPolicy};
 use crate::telemetry::{MapTelemetry, RuntimeStats, StageTelemetry};
 use ehdl_core::shardcheck::ShardError;
 use ehdl_core::PipelineDesign;
-use ehdl_ebpf::maps::{MapStore, UpdateFlags};
+use ehdl_ebpf::maps::{MapDef, MapStore, UpdateFlags};
 use ehdl_hwsim::sim::CLOCK_NS;
 use ehdl_hwsim::{
     CtrlError, CtrlLossConfig, CtrlOptions, HostCompletion, HostOp, PipelineSim, SimOptions,
     SimOutcome,
 };
 use ehdl_traffic::{ControlOp, ControlOpKind, ScheduleItem};
+
+/// The new-design map that receives `old`'s state across a swap: the
+/// keyspec-compatible (same name + shape) map, preferring an id match
+/// when several qualify so two same-shaped maps cannot cross-bind. Both
+/// the placement guard and the state-migration loop pair maps through
+/// this one function, so what the guard checks is exactly what migrates.
+fn migration_target<'a>(old: &MapDef, new_maps: &'a [MapDef]) -> Option<&'a MapDef> {
+    let mut compat = new_maps.iter().filter(|n| old.compatible_with(n));
+    let first = compat.next()?;
+    if first.id == old.id {
+        return Some(first);
+    }
+    Some(compat.find(|n| n.id == old.id).unwrap_or(first))
+}
 
 /// Fixed partial-reconfiguration overhead modeled for a program swap, in
 /// pipeline cycles (bitstream load setup, clock-domain handshakes).
@@ -392,8 +406,7 @@ impl Runtime {
             }
             if self.design.shard.analyzed {
                 for old_def in &self.design.maps {
-                    let Some(new_def) = new_design.maps.iter().find(|n| old_def.compatible_with(n))
-                    else {
+                    let Some(new_def) = migration_target(old_def, &new_design.maps) else {
                         continue;
                     };
                     let (Some(old_plan), Some(new_plan)) =
@@ -442,7 +455,7 @@ impl Runtime {
         let mut migrated_entries = 0u64;
         let mut dropped_entries = 0u64;
         for old_def in &self.design.maps {
-            let Some(new_def) = new_design.maps.iter().find(|n| old_def.compatible_with(n)) else {
+            let Some(new_def) = migration_target(old_def, &new_design.maps) else {
                 dropped_maps.push(old_def.id);
                 continue;
             };

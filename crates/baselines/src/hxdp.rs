@@ -110,6 +110,7 @@ pub fn optimized_instruction_count(program: &Program) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ehdl_ebpf::asm::Asm;

@@ -13,6 +13,8 @@
 //! reports; they exist to reproduce the comparative shape of Figures 9–10
 //! (who wins, by roughly what factor), not absolute silicon behaviour.
 
+#![deny(clippy::unwrap_used)]
+
 pub mod bluefield;
 pub mod hxdp;
 pub mod sdnet;

@@ -203,6 +203,7 @@ pub fn spec_for(app: ehdl_programs::App) -> P4Spec {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -393,7 +393,7 @@ pub fn read_ctrl_recorded(loss_rate: f64, field: &str) -> Option<f64> {
     parse_field(line, field)
 }
 
-fn parse_field(json: &str, field: &str) -> Option<f64> {
+pub(crate) fn parse_field(json: &str, field: &str) -> Option<f64> {
     let key = format!("\"{field}\"");
     let rest = &json[json.find(&key)? + key.len()..];
     let rest = rest.trim_start().strip_prefix(':')?.trim_start();

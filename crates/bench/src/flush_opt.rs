@@ -292,6 +292,7 @@ pub fn write_report(rows: &[FlushOptRow]) -> std::io::Result<()> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

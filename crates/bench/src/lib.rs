@@ -5,6 +5,8 @@
 //! the paper's layout, and integration tests assert the qualitative shape
 //! (who wins, by roughly what factor).
 
+#![deny(clippy::unwrap_used)]
+
 pub mod absint;
 pub mod chaos;
 pub mod fault_campaign;
@@ -13,6 +15,7 @@ pub mod runtime_ops;
 pub mod scale_out;
 pub mod shardcheck;
 pub mod sim_speed;
+pub mod slo;
 
 use ehdl_baselines::{hxdp, sdnet, BluefieldModel, HxdpModel, SdnetCompiler};
 use ehdl_core::{analytical, resource, Compiler, CompilerOptions, PipelineDesign, Target};

@@ -8,6 +8,7 @@
 //! property of eHDL's consistency machinery (§4.1): hazards may cost
 //! cycles, never correctness.
 
+use crate::batch::{coalesce_ops, expand_results, CoalescedOp, MapShape};
 use crate::ctrl::{CtrlOptions, HostOp, HostOpResult};
 use crate::fault::{FaultConfig, FaultEvent, FaultStats, ReplicaFaultConfig};
 use crate::shared::{check_linearizable, ShardedNic, SharedMapOptions};
@@ -736,6 +737,121 @@ pub fn compare_with_ops(
     ignore_maps: &[u32],
     ctrl: CtrlOptions,
 ) -> Vec<Divergence> {
+    compare_ops_core(program, design, events, events, &|r| r, &setup, ignore_maps, ctrl)
+}
+
+/// Like [`compare_with_ops`], but the pipeline executes the *coalesced*
+/// rewrite of the schedule ([`crate::batch::coalesce_ops`] applied per op
+/// train) while the sequential VM reference still executes the original
+/// ops one by one. Carrier completions are expanded back to per-original
+/// results via the recorded answer mapping, so a pass proves the serving
+/// layer's batching is bit-equivalent to sequential submission — same
+/// per-packet outcomes, same per-op results, same final maps.
+pub fn compare_with_ops_coalesced(
+    program: &Program,
+    design: &PipelineDesign,
+    events: &[HostEvent],
+    setup: impl Fn(&mut MapStore),
+    ignore_maps: &[u32],
+    ctrl: CtrlOptions,
+) -> Vec<Divergence> {
+    let shapes: std::collections::BTreeMap<u32, MapShape> = program
+        .maps
+        .iter()
+        .map(|d| {
+            (d.id, MapShape { key_size: d.key_size as usize, value_size: d.value_size as usize })
+        })
+        .collect();
+    let shape = |id: u32| shapes.get(&id).copied();
+
+    // Rewrite each op train; carriers keep the train's barrier position.
+    // `carriers` lines up with hw submission order (the ctrl channel is a
+    // FIFO), `bases` records each train's offset into the original op
+    // numbering so per-train answer indices can be scattered globally.
+    let mut hw_events: Vec<HostEvent> = Vec::with_capacity(events.len());
+    let mut carriers: Vec<CoalescedOp> = Vec::new();
+    let mut carrier_train: Vec<usize> = Vec::new(); // carrier -> train id
+    let mut bases: Vec<usize> = Vec::new(); // train id -> original-op base
+    let mut train: Vec<HostOp> = Vec::new();
+    let mut nops_original = 0usize;
+    let mut flush = |train: &mut Vec<HostOp>, hw_events: &mut Vec<HostEvent>, base: usize| {
+        if train.is_empty() {
+            return;
+        }
+        let (coalesced, _) = coalesce_ops(train, shape);
+        let tid = bases.len();
+        bases.push(base);
+        for c in coalesced {
+            hw_events.push(HostEvent::Op(c.op.clone()));
+            carriers.push(c);
+            carrier_train.push(tid);
+        }
+        train.clear();
+    };
+    for ev in events {
+        match ev {
+            HostEvent::Packet(p) => {
+                let base = nops_original - train.len();
+                flush(&mut train, &mut hw_events, base);
+                hw_events.push(HostEvent::Packet(p.clone()));
+            }
+            HostEvent::Op(op) => {
+                train.push(op.clone());
+                nops_original += 1;
+            }
+        }
+    }
+    let base = nops_original - train.len();
+    flush(&mut train, &mut hw_events, base);
+
+    // Expand carrier completions (in FIFO submission order) back to
+    // original per-op results.
+    let expand = move |results: Vec<Result<HostOpResult, MapError>>| {
+        if results.len() != carriers.len() {
+            // Signalled as a count divergence by the core; return the raw
+            // results so the caller still reports the mismatch.
+            return results;
+        }
+        let mut out: Vec<Option<Result<HostOpResult, MapError>>> = vec![None; nops_original];
+        let mut i = 0usize;
+        while i < carriers.len() {
+            let tid = carrier_train[i];
+            let mut j = i;
+            while j < carriers.len() && carrier_train[j] == tid {
+                j += 1;
+            }
+            let expanded = expand_results(&carriers[i..j], &results[i..j]);
+            for (k, r) in expanded.into_iter().enumerate() {
+                out[bases[tid] + k] = Some(r);
+            }
+            i = j;
+        }
+        out.into_iter()
+            .map(|r| r.expect("every original op is answered by exactly one carrier"))
+            .collect()
+    };
+
+    compare_ops_core(program, design, &hw_events, events, &expand, &setup, ignore_maps, ctrl)
+}
+
+/// Per-op results as the host sees them, in submit order.
+type OpResults = Vec<Result<HostOpResult, MapError>>;
+
+/// Shared engine of [`compare_with_ops`] / [`compare_with_ops_coalesced`]:
+/// feed `hw_events` to the pipeline, run `ref_events` sequentially on the
+/// VM, map the pipeline's op completions through `expand` (identity for
+/// the uncoalesced harness), and diff outcomes, op results and final maps.
+#[allow(clippy::too_many_arguments)]
+fn compare_ops_core(
+    program: &Program,
+    design: &PipelineDesign,
+    hw_events: &[HostEvent],
+    ref_events: &[HostEvent],
+    expand: &dyn Fn(OpResults) -> OpResults,
+    setup: &dyn Fn(&mut MapStore),
+    ignore_maps: &[u32],
+    ctrl: CtrlOptions,
+) -> Vec<Divergence> {
     let sim_options =
         SimOptions { freeze_time_ns: Some(1000), check_proofs: true, ..Default::default() };
     let mut vm = Vm::new(program);
@@ -746,18 +862,18 @@ pub fn compare_with_ops(
     let mut sim = PipelineSim::with_options(design, sim_options);
     setup(vm.maps_mut());
     setup(sim.maps_mut());
-    let nops = events.iter().filter(|e| matches!(e, HostEvent::Op(_))).count();
+    let nops = hw_events.iter().filter(|e| matches!(e, HostEvent::Op(_))).count();
     // The whole schedule is submitted up front, so the queue must hold
     // every op; arrival latency and fences still govern when each applies.
     sim.attach_ctrl(CtrlOptions { queue_depth: ctrl.queue_depth.max(nops), ..ctrl });
 
-    let npackets = events.len() - nops;
+    let npackets = hw_events.len() - nops;
     let mut divs = Vec::new();
 
     // Pipeline side: feed the schedule in order (packets enqueue, ops
     // submit — each op's barrier is the sequence number of the next
     // packet), then let everything drain together.
-    for ev in events {
+    for ev in hw_events {
         match ev {
             HostEvent::Packet(p) => {
                 let mut attempts = 0u32;
@@ -781,11 +897,11 @@ pub fn compare_with_ops(
     let outs = sim.drain();
     let completions = sim.host_completions();
 
-    // Sequential reference: same schedule, ops applied in place.
+    // Sequential reference: the *original* schedule, ops applied in place.
     let mut vm_actions = Vec::with_capacity(npackets);
     let mut vm_packets = Vec::with_capacity(npackets);
     let mut vm_ops = Vec::with_capacity(nops);
-    for ev in events {
+    for ev in ref_events {
         match ev {
             HostEvent::Packet(p) => {
                 let mut bytes = p.clone();
@@ -826,19 +942,29 @@ pub fn compare_with_ops(
     }
 
     // Host ops complete in submission order (the channel is a FIFO), so
-    // completion `i` pairs with the i-th op of the schedule.
-    if completions.len() != vm_ops.len() {
+    // completion `i` pairs with the i-th submitted op; `expand` maps the
+    // submitted (possibly coalesced) results back onto the reference
+    // schedule's op numbering.
+    if completions.len() != nops {
         divs.push(Divergence::HostOp {
             id: u64::MAX,
-            detail: format!("{} of {} ops completed", completions.len(), vm_ops.len()),
+            detail: format!("{} of {nops} submitted ops completed", completions.len()),
         });
     } else {
-        for (c, vr) in completions.iter().zip(&vm_ops) {
-            if &c.result != vr {
-                divs.push(Divergence::HostOp {
-                    id: c.id,
-                    detail: format!("hw={:?} vm={:?}", c.result, vr),
-                });
+        let hw_ops = expand(completions.into_iter().map(|c| c.result).collect());
+        if hw_ops.len() != vm_ops.len() {
+            divs.push(Divergence::HostOp {
+                id: u64::MAX,
+                detail: format!("{} expanded results for {} ops", hw_ops.len(), vm_ops.len()),
+            });
+        } else {
+            for (i, (hr, vr)) in hw_ops.iter().zip(&vm_ops).enumerate() {
+                if hr != vr {
+                    divs.push(Divergence::HostOp {
+                        id: i as u64,
+                        detail: format!("hw={hr:?} vm={vr:?}"),
+                    });
+                }
             }
         }
     }
@@ -888,6 +1014,31 @@ pub fn assert_equivalent_ops(
         let report: Vec<String> = divs.iter().take(8).map(|d| d.to_string()).collect();
         panic!(
             "pipeline diverges from VM for `{}` under live host ops ({} issues):\n  {}",
+            program.name,
+            divs.len(),
+            report.join("\n  ")
+        );
+    }
+}
+
+/// Compile `program` and run [`compare_with_ops_coalesced`], panicking
+/// with a readable report on divergence.
+pub fn assert_equivalent_ops_coalesced(
+    program: &Program,
+    options: CompilerOptions,
+    events: &[HostEvent],
+    setup: impl Fn(&mut MapStore),
+    ignore_maps: &[u32],
+    ctrl: CtrlOptions,
+) {
+    let design = Compiler::with_options(options)
+        .compile(program)
+        .unwrap_or_else(|e| panic!("compile {}: {e}", program.name));
+    let divs = compare_with_ops_coalesced(program, &design, events, setup, ignore_maps, ctrl);
+    if !divs.is_empty() {
+        let report: Vec<String> = divs.iter().take(8).map(|d| d.to_string()).collect();
+        panic!(
+            "coalesced schedule diverges from the sequential oracle for `{}` ({} issues):\n  {}",
             program.name,
             divs.len(),
             report.join("\n  ")

@@ -1,0 +1,274 @@
+//! Fixed log2-bucket latency histogram shared by packet and host-op
+//! latency accounting.
+//!
+//! The serving layer tracks latencies continuously over campaigns that run
+//! for millions of cycles; keeping every sample (as the shell and retry
+//! stats used to) grows memory without bound and makes every percentile
+//! query an O(n log n) sort. This histogram is the HdrHistogram idea with
+//! the knobs fixed: each power-of-two octave is split into
+//! [`SUB_BUCKETS`] linear sub-buckets, so any recorded value lands in a
+//! bucket whose width is at most 1/8 of its magnitude. Percentile queries
+//! return the bucket's *upper* edge — an SLO-conservative bound that is
+//! never below the exact order statistic and at most 12.5% above it
+//! (exact for values below 16).
+//!
+//! Recording is O(1), memory is a fixed 4 KiB regardless of sample count,
+//! and two histograms [`Log2Histogram::merge`] in O(buckets) — which is
+//! what lets per-phase campaign histograms roll up into one SLO summary.
+
+/// Linear sub-buckets per power-of-two octave (fixed at 8 = 3 bits of
+/// mantissa, giving a worst-case 12.5% bucket width).
+pub const SUB_BUCKETS: usize = 8;
+
+/// Values below this resolve exactly (one bucket per value).
+const EXACT_LIMIT: u64 = 16;
+
+/// Octaves above the exact range: exponents 4..=63.
+const OCTAVES: usize = 60;
+
+/// Total bucket count: 16 exact + 60 octaves x 8 sub-buckets.
+pub const NUM_BUCKETS: usize = EXACT_LIMIT as usize + OCTAVES * SUB_BUCKETS;
+
+/// Fixed-size log2-bucket histogram over `u64` samples.
+///
+/// ```
+/// use ehdl_hwsim::hist::Log2Histogram;
+///
+/// let mut h = Log2Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let p99 = h.percentile(0.99);
+/// assert!((990..=1023).contains(&p99)); // within one bucket of exact 990
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Log2Histogram {
+        Log2Histogram::new()
+    }
+}
+
+/// Bucket index of `v`.
+fn bucket_of(v: u64) -> usize {
+    if v < EXACT_LIMIT {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros() as usize; // >= 4
+        let sub = ((v >> (exp - 3)) & 0x7) as usize;
+        EXACT_LIMIT as usize + (exp - 4) * SUB_BUCKETS + sub
+    }
+}
+
+/// Largest value that maps into bucket `idx` (the reported percentile
+/// representative).
+fn upper_of(idx: usize) -> u64 {
+    if idx < EXACT_LIMIT as usize {
+        idx as u64
+    } else {
+        let exp = 4 + (idx - EXACT_LIMIT as usize) / SUB_BUCKETS;
+        let sub = ((idx - EXACT_LIMIT as usize) % SUB_BUCKETS) as u128;
+        let hi = ((9 + sub) << (exp - 3)) - 1;
+        u64::try_from(hi).unwrap_or(u64::MAX)
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram (4 KiB of zeroed buckets).
+    pub fn new() -> Log2Histogram {
+        Log2Histogram { counts: vec![0; NUM_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` identical samples.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_of(v)] += n;
+        self.count += n;
+        self.sum += v as u128 * n as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of the recorded samples (the sum is kept exactly; only
+    /// percentiles are bucketed). 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound on the `q`-quantile (`q` in `[0, 1]`), never below the
+    /// exact order statistic and at most 12.5% above it; 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return upper_of(idx).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Fold `other` into `self` (bucket-wise sum).
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use ehdl_rng::Rng;
+
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        sorted[idx]
+    }
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        // Every bucket's upper edge maps back to that bucket, and the
+        // next value starts the next bucket.
+        for idx in 0..NUM_BUCKETS {
+            let hi = upper_of(idx);
+            assert_eq!(bucket_of(hi), idx, "upper edge of bucket {idx}");
+            if hi < u64::MAX {
+                assert_eq!(bucket_of(hi + 1), idx + 1, "bucket {idx} boundary");
+            }
+        }
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Log2Histogram::new();
+        for v in 0..EXACT_LIMIT {
+            h.record(v);
+        }
+        for v in 0..EXACT_LIMIT {
+            let q = (v + 1) as f64 / EXACT_LIMIT as f64;
+            assert_eq!(h.percentile(q), v);
+        }
+    }
+
+    #[test]
+    fn percentiles_match_the_sorted_reference_within_one_bucket() {
+        // The satellite's equivalence bar: hist percentile is an upper
+        // bound on the sorted-reference order statistic, within 12.5%.
+        let mut rng = Rng::seed_from_u64(0x5105);
+        for trial in 0..8 {
+            let n = 100 + trial * 997;
+            let mut h = Log2Histogram::new();
+            let mut samples: Vec<u64> = (0..n)
+                .map(|_| match rng.gen_index(3) {
+                    0 => rng.gen_range_u64(0, 100),
+                    1 => rng.gen_range_u64(100, 10_000),
+                    _ => rng.gen_range_u64(10_000, 5_000_000),
+                })
+                .collect();
+            for &s in &samples {
+                h.record(s);
+            }
+            samples.sort_unstable();
+            for q in [0.5, 0.9, 0.99, 0.999] {
+                let exact = exact_quantile(&samples, q);
+                let approx = h.percentile(q);
+                assert!(approx >= exact, "q={q}: {approx} < exact {exact}");
+                assert!(
+                    approx as f64 <= exact as f64 * 1.125 + 1.0,
+                    "q={q}: {approx} above 12.5% of exact {exact}"
+                );
+            }
+            assert_eq!(h.count(), n as u64);
+            assert_eq!(h.max(), *samples.last().unwrap());
+            assert_eq!(h.min(), samples[0]);
+            let exact_mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+            assert!((h.mean() - exact_mean).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut rng = Rng::seed_from_u64(7);
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        let mut whole = Log2Histogram::new();
+        for i in 0..5_000u64 {
+            let v = rng.gen_range_u64(0, 1 << 40);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Log2Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

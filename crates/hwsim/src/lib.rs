@@ -32,26 +32,31 @@
 
 #![deny(clippy::unwrap_used)]
 
+pub mod batch;
 pub mod ctrl;
 pub mod diff;
 pub mod fault;
+pub mod hist;
 pub mod multi;
 pub mod shared;
 pub mod shell;
 pub mod sim;
 
+pub use batch::{coalesce_ops, expand_results, CoalesceStats, CoalescedOp, MapShape, OpAnswer};
 pub use ctrl::{
     crc32, decode_frame, encode_frame, CtrlError, CtrlLossConfig, CtrlOptions, CtrlStats,
     FrameError, HostCompletion, HostOp, HostOpResult, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_LEN,
 };
 pub use diff::{
-    assert_equivalent_ops, compare_sharded, compare_sharded_failover, compare_with_ops, Divergence,
+    assert_equivalent_ops, assert_equivalent_ops_coalesced, compare_sharded,
+    compare_sharded_failover, compare_with_ops, compare_with_ops_coalesced, Divergence,
     FailoverDiff, HostEvent, MergeStrategy,
 };
 pub use fault::{
     FaultConfig, FaultEngine, FaultEvent, FaultKind, FaultOutcome, FaultSite, FaultStats,
     ReplicaFault, ReplicaFaultConfig, ReplicaFaultKind, ReplicaFaultStats,
 };
+pub use hist::Log2Histogram;
 pub use multi::{
     resteer_rss_table, rss_flow_hash, CompiledSteering, MultiNic, MultiReport, Steering,
     SteeringError, SteeringStats,

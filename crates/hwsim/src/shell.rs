@@ -3,6 +3,7 @@
 //! numbers the paper's testbed measures at the traffic generator.
 
 use crate::ctrl::{CtrlError, CtrlOptions, HostCompletion, HostOp};
+use crate::hist::Log2Histogram;
 use crate::sim::{PipelineSim, SimOptions, SimOutcome, CLOCK_NS};
 use ehdl_core::PipelineDesign;
 use ehdl_ebpf::vm::XdpAction;
@@ -141,8 +142,16 @@ impl NicShell {
 
         let mut outs = self.sim.drain();
         let c = *self.sim.counters();
-        let mut latencies: Vec<f64> = outs.iter().map(|o| o.latency_ns).collect();
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        // O(n) percentile accounting: one histogram pass instead of the
+        // full sort this used to do. The mean stays exact (running sum);
+        // p99 is the histogram's bucket upper edge, within 12.5% of the
+        // sorted reference (see `shell_p99_matches_sorted_reference`).
+        let mut hist = Log2Histogram::new();
+        let mut latency_sum_ns = 0.0f64;
+        for o in &outs {
+            hist.record(o.latency_ns.max(0.0).round() as u64);
+            latency_sum_ns += o.latency_ns;
+        }
         let seconds = (self.sim.cycle() as f64 * CLOCK_NS / 1e9).max(1e-12);
         let forwarded = outs.iter().filter(|o| o.action.forwards()).count() as u64;
         self.completed.append(&mut outs);
@@ -152,15 +161,12 @@ impl NicShell {
             forwarded,
             lost: c.rx_dropped,
             throughput_pps: c.completed as f64 / (t_ns / 1e9).max(1e-12),
-            avg_latency_ns: if latencies.is_empty() {
+            avg_latency_ns: if hist.is_empty() {
                 0.0
             } else {
-                latencies.iter().sum::<f64>() / latencies.len() as f64
+                latency_sum_ns / hist.count() as f64
             },
-            p99_latency_ns: latencies
-                .get((latencies.len().saturating_sub(1)) * 99 / 100)
-                .copied()
-                .unwrap_or(0.0),
+            p99_latency_ns: hist.percentile(0.99) as f64,
             flushes: c.flushes,
             flushes_per_sec: c.flushes as f64 / seconds,
             seconds,
@@ -298,6 +304,33 @@ mod tests {
         let mut shell = NicShell::new(&design, ShellOptions::default());
         let report = shell.run((0..1000).map(|_| vec![0u8; 64]));
         assert!((600.0..1500.0).contains(&report.avg_latency_ns), "{}", report.avg_latency_ns);
+    }
+
+    #[test]
+    fn shell_p99_matches_sorted_reference() {
+        // Satellite gate for the histogram swap: the O(n) log2-bucket p99
+        // must stay an upper bound on the old sorted-reference computation,
+        // within one bucket (12.5%). Mixed frame sizes spread the latency
+        // distribution across several octaves.
+        let design = tx_everything();
+        let mut shell = NicShell::new(&design, ShellOptions::default());
+        let sizes = [64usize, 128, 256, 512, 1024, 1500];
+        let report = shell.run((0..3000).map(|i| vec![0u8; sizes[i % sizes.len()]]));
+        let outs = shell.drain();
+        let mut sorted: Vec<f64> = outs.iter().map(|o| o.latency_ns).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((0.99 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        assert!(
+            report.p99_latency_ns >= exact - 1.0,
+            "histogram p99 {} below sorted reference {exact}",
+            report.p99_latency_ns
+        );
+        assert!(
+            report.p99_latency_ns <= exact * 1.125 + 1.0,
+            "histogram p99 {} more than 12.5% above sorted reference {exact}",
+            report.p99_latency_ns
+        );
     }
 
     #[test]

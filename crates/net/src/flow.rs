@@ -112,6 +112,7 @@ impl fmt::Display for FiveTuple {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::PacketBuilder;

@@ -18,6 +18,8 @@
 //! assert_eq!(pkt.len(), 64);
 //! ```
 
+#![deny(clippy::unwrap_used)]
+
 pub mod checksum;
 pub mod flow;
 pub mod headers;

@@ -15,6 +15,8 @@
 //! assert_eq!(a.next_u64(), b.next_u64());
 //! ```
 
+#![deny(clippy::unwrap_used)]
+
 /// Seedable xoshiro256** generator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rng {

@@ -302,6 +302,21 @@ impl Runtime {
         &self.swaps
     }
 
+    /// Host ops in flight right now: queued or in transit on the ctrl
+    /// channel, plus (on a lossy channel) reliable ops still awaiting
+    /// resolution. The serving reactor's admission control keeps this
+    /// below [`Runtime::ctrl_queue_depth`] instead of discovering
+    /// `QueueFull` the hard way.
+    pub fn ops_in_flight(&self) -> usize {
+        self.sim.host_ops_pending() + self.reliable.as_ref().map_or(0, ReliableCtrl::outstanding)
+    }
+
+    /// Configured ctrl mailbox depth (the hard ceiling behind
+    /// [`Runtime::ops_in_flight`]-based admission).
+    pub fn ctrl_queue_depth(&self) -> usize {
+        self.options.ctrl.queue_depth
+    }
+
     /// Snapshot the runtime's telemetry.
     pub fn stats(&self) -> RuntimeStats {
         let cycle = self.sim.cycle();
@@ -346,6 +361,7 @@ impl Runtime {
             throughput_pps: counters.completed as f64 / seconds,
             steering: None,
             reliability: self.reliable.as_ref().map(|r| r.stats().snapshot()),
+            slo: None,
         }
     }
 

@@ -34,4 +34,7 @@ pub use control::{
     RECONFIG_BASE_CYCLES, RECONFIG_CYCLES_PER_STAGE,
 };
 pub use retry::{ReliableCtrl, ReliableSnapshot, ReliableStats, RetryPolicy, RELIABLE_SEQ_BASE};
-pub use telemetry::{CsrSnapshot, MapTelemetry, PeriodicExporter, RuntimeStats, StageTelemetry};
+pub use telemetry::{
+    json_escape, validate_json, CsrSnapshot, MapTelemetry, PeriodicExporter, RuntimeStats,
+    SloSnapshot, StageTelemetry,
+};

@@ -24,7 +24,7 @@
 //!   it — retried op sequences are reference-identical to a lossless
 //!   channel.
 
-use ehdl_hwsim::{encode_frame, CtrlError, HostCompletion, HostOp, PipelineSim};
+use ehdl_hwsim::{encode_frame, CtrlError, HostCompletion, HostOp, Log2Histogram, PipelineSim};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Sequence numbers for reliable frames start far above the backdoor
@@ -71,20 +71,23 @@ pub struct ReliableStats {
     pub dup_completions_suppressed: u64,
     /// Ops abandoned after `max_attempts`.
     pub gave_up: u64,
-    /// Submit-to-resolve latency of each completed op, in cycles.
-    latencies: Vec<u64>,
+    /// Submit-to-resolve latency distribution, in cycles. A fixed-size
+    /// log2-bucket histogram: long-haul serving campaigns complete
+    /// millions of ops, so the per-sample `Vec` this used to be grew
+    /// without bound and re-sorted on every telemetry snapshot.
+    latencies: Log2Histogram,
 }
 
 impl ReliableStats {
-    /// p99 of submit-to-resolve latency (0 with no completions).
+    /// p99 of submit-to-resolve latency (0 with no completions; bucket
+    /// upper edge, within 12.5% of the exact order statistic).
     pub fn p99_latency_cycles(&self) -> u64 {
-        if self.latencies.is_empty() {
-            return 0;
-        }
-        let mut sorted = self.latencies.clone();
-        sorted.sort_unstable();
-        let idx = (sorted.len() * 99).div_ceil(100).saturating_sub(1);
-        sorted[idx.min(sorted.len() - 1)]
+        self.latencies.percentile(0.99)
+    }
+
+    /// The full submit-to-resolve latency histogram.
+    pub fn latency_histogram(&self) -> &Log2Histogram {
+        &self.latencies
     }
 
     /// Fixed-size projection for telemetry snapshots.
@@ -222,7 +225,7 @@ impl ReliableCtrl {
         for c in sim.host_completions() {
             if let Some(o) = self.outstanding.take_if(|o| o.seq == c.id) {
                 self.stats.completed += 1;
-                self.stats.latencies.push(cycle.saturating_sub(o.first_submit));
+                self.stats.latencies.record(cycle.saturating_sub(o.first_submit));
                 self.resolved.insert(o.seq, c);
             } else if self.resolved.contains_key(&c.id) {
                 self.stats.dup_completions_suppressed += 1;

@@ -70,6 +70,67 @@ pub struct RuntimeStats {
     /// Reliable-submission statistics (`None` on a lossless channel,
     /// which bypasses the retry layer).
     pub reliability: Option<ReliableSnapshot>,
+    /// Serving-level SLO accounting (`None` outside a serving reactor).
+    pub slo: Option<SloSnapshot>,
+}
+
+/// Serving-level SLO figures, filled in by `ehdl-serve`'s reactor: the
+/// request-grained view (how many packets/ops were served, how fast, and
+/// what fraction of the error budget the failures burned) that rides
+/// along with the device-grained counters above.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSnapshot {
+    /// Requests offered (packets + accepted ops).
+    pub offered: u64,
+    /// Requests served successfully.
+    pub served: u64,
+    /// Requests that failed (lost packets, errored/abandoned ops).
+    pub failed: u64,
+    /// Ops refused at admission (`ServeError::Overloaded`); backpressure,
+    /// not failure — counted separately from the SLI.
+    pub shed: u64,
+    /// `served / offered` (1.0 with nothing offered).
+    pub availability: f64,
+    /// Cycles the datapath was unavailable (reload swaps, watchdog
+    /// recovery windows).
+    pub downtime_cycles: u64,
+    /// Fraction of the error budget consumed (1.0 = budget exhausted;
+    /// may exceed 1.0).
+    pub error_budget_consumed: f64,
+    /// Observed failure rate over the *unavailability* budget: 1.0 means
+    /// failures arrive exactly at the sustainable rate.
+    pub burn_rate: f64,
+    /// p50 packet latency in cycles.
+    pub pkt_p50_cycles: u64,
+    /// p99 packet latency in cycles.
+    pub pkt_p99_cycles: u64,
+    /// p999 packet latency in cycles.
+    pub pkt_p999_cycles: u64,
+    /// p50 op latency (client submit to ack) in cycles.
+    pub op_p50_cycles: u64,
+    /// p99 op latency in cycles.
+    pub op_p99_cycles: u64,
+    /// p999 op latency in cycles.
+    pub op_p999_cycles: u64,
+}
+
+/// Escape `s` for embedding in a JSON string literal (quotes, backslashes
+/// and control characters — program and map names come from ELF section
+/// strings, which the exporter must not trust to be JSON-clean).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl RuntimeStats {
@@ -77,7 +138,7 @@ impl RuntimeStats {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024);
         s.push_str("{\n");
-        s.push_str(&format!("  \"program\": \"{}\",\n", self.program));
+        s.push_str(&format!("  \"program\": \"{}\",\n", json_escape(&self.program)));
         s.push_str(&format!("  \"epoch\": {},\n", self.epoch));
         s.push_str(&format!("  \"cycle\": {},\n", self.cycle));
         s.push_str(&format!("  \"total_cycles\": {},\n", self.total_cycles));
@@ -127,6 +188,29 @@ impl RuntimeStats {
                 r.p99_latency_cycles,
             ));
         }
+        if let Some(o) = &self.slo {
+            s.push_str(&format!(
+                "  \"slo\": {{\"offered\": {}, \"served\": {}, \"failed\": {}, \
+                 \"shed\": {}, \"availability\": {:.6}, \"downtime_cycles\": {}, \
+                 \"error_budget_consumed\": {:.4}, \"burn_rate\": {:.4}, \
+                 \"pkt_latency_cycles\": {{\"p50\": {}, \"p99\": {}, \"p999\": {}}}, \
+                 \"op_latency_cycles\": {{\"p50\": {}, \"p99\": {}, \"p999\": {}}}}},\n",
+                o.offered,
+                o.served,
+                o.failed,
+                o.shed,
+                o.availability,
+                o.downtime_cycles,
+                o.error_budget_consumed,
+                o.burn_rate,
+                o.pkt_p50_cycles,
+                o.pkt_p99_cycles,
+                o.pkt_p999_cycles,
+                o.op_p50_cycles,
+                o.op_p99_cycles,
+                o.op_p999_cycles,
+            ));
+        }
         if let Some(st) = &self.steering {
             s.push_str(&format!(
                 "  \"steering\": {{\"imbalance\": {:.4}, \"pipelines\": [",
@@ -165,7 +249,7 @@ impl RuntimeStats {
                 "{{\"id\": {}, \"name\": \"{}\", \"lookups\": {}, \"hits\": {}, \
                  \"hit_rate\": {:.4}, \"entries\": {}, \"capacity\": {}}}",
                 m.id,
-                m.name,
+                json_escape(&m.name),
                 m.lookups,
                 m.hits,
                 m.hit_rate(),
@@ -257,6 +341,174 @@ impl PeriodicExporter {
     }
 }
 
+/// Minimal JSON validity checker for the hand-rolled exporters: parses
+/// one complete JSON value (RFC 8259 grammar, no semantic interpretation)
+/// and rejects trailing garbage. The telemetry and bench writers build
+/// JSON with `format!`, so this is the test oracle that catches a stray
+/// quote, comma or unescaped name before a downstream consumer does.
+///
+/// # Errors
+///
+/// A human-readable description with the byte offset of the first
+/// violation.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let b = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, "true"),
+        Some(b'f') => parse_lit(b, pos, "false"),
+        Some(b'n') => parse_lit(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {}", *c as char, *pos)),
+        None => Err(format!("unexpected end of input at {pos}", pos = *pos)),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {}", *pos));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '"'
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => match b.get(*pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                Some(b'u') => {
+                    let hex = b
+                        .get(*pos + 2..*pos + 6)
+                        .ok_or_else(|| format!("truncated \\u escape at byte {}", *pos))?;
+                    if !hex.iter().all(u8::is_ascii_hexdigit) {
+                        return Err(format!("bad \\u escape at byte {}", *pos));
+                    }
+                    *pos += 6;
+                }
+                _ => return Err(format!("bad escape at byte {}", *pos)),
+            },
+            0x00..=0x1f => {
+                return Err(format!("unescaped control character at byte {}", *pos));
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b.get(*pos..*pos + lit.len()) == Some(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| -> bool {
+        let s = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    if !digits(b, pos) {
+        return Err(format!("expected digits at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return Err(format!("expected fraction digits at byte {}", *pos));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return Err(format!("expected exponent digits at byte {}", *pos));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +546,7 @@ mod tests {
             throughput_pps: 0.0,
             steering: None,
             reliability: None,
+            slo: None,
         };
         let mut exp = PeriodicExporter::new(1000);
         assert!(exp.poll(&stats).is_none());
@@ -332,6 +585,7 @@ mod tests {
             throughput_pps: 1.0e6,
             steering: None,
             reliability: None,
+            slo: None,
         };
         let json = stats.to_json();
         for key in [
@@ -351,6 +605,124 @@ mod tests {
         assert!(!json.contains("\"steering\""), "single-pipeline snapshots omit steering");
     }
 
+    fn full_stats() -> RuntimeStats {
+        // Every optional section populated: steering, reliability, slo.
+        RuntimeStats {
+            program: "fw".into(),
+            epoch: 2,
+            cycle: 10,
+            total_cycles: 30,
+            counters: SimCounters { completed: 5, ..Default::default() },
+            ctrl: CtrlStats { submitted: 3, completed: 3, ..Default::default() },
+            stages: vec![StageTelemetry { stage: 0, occupied_cycles: 7, utilization: 0.7 }],
+            maps: vec![MapTelemetry {
+                id: 0,
+                name: "sessions".into(),
+                lookups: 10,
+                hits: 4,
+                entries: 2,
+                capacity: 64,
+            }],
+            throughput_pps: 1.0e6,
+            steering: Some(SteeringStats {
+                steered: vec![30, 10],
+                dropped: vec![0, 2],
+                pkts_per_cycle: vec![0.25, 0.125],
+                imbalance: 1.5,
+            }),
+            reliability: Some(ReliableSnapshot {
+                ops: 9,
+                completed: 9,
+                retries: 2,
+                dup_completions_suppressed: 1,
+                gave_up: 0,
+                p99_latency_cycles: 640,
+            }),
+            slo: Some(SloSnapshot {
+                offered: 1000,
+                served: 995,
+                failed: 5,
+                shed: 3,
+                availability: 0.995,
+                downtime_cycles: 4096,
+                error_budget_consumed: 0.5,
+                burn_rate: 1.25,
+                pkt_p50_cycles: 40,
+                pkt_p99_cycles: 90,
+                pkt_p999_cycles: 130,
+                op_p50_cycles: 70,
+                op_p99_cycles: 700,
+                op_p999_cycles: 1400,
+            }),
+        }
+    }
+
+    #[test]
+    fn every_snapshot_shape_serializes_to_valid_json() {
+        // The satellite's coverage bar: the minimal parser accepts every
+        // exported shape — bare, partially-populated, and fully populated
+        // (incl. the SLO section) — and the exporter stream too.
+        let mut stats = full_stats();
+        validate_json(&stats.to_json()).expect("full shape");
+        stats.slo = None;
+        validate_json(&stats.to_json()).expect("no slo");
+        stats.reliability = None;
+        validate_json(&stats.to_json()).expect("no reliability");
+        stats.steering = None;
+        validate_json(&stats.to_json()).expect("bare shape");
+        stats.stages.clear();
+        stats.maps.clear();
+        validate_json(&stats.to_json()).expect("empty arrays");
+
+        let mut exp = PeriodicExporter::new(10);
+        stats.total_cycles = 30;
+        assert!(exp.poll(&stats).is_some());
+        for json in exp.exports() {
+            validate_json(json).expect("exporter output");
+        }
+    }
+
+    #[test]
+    fn hostile_names_are_escaped() {
+        // Program and map names come from ELF strings; quotes and
+        // backslashes in them used to produce syntactically broken JSON.
+        let mut stats = full_stats();
+        stats.program = "fw\"1.0\"\\prod\n".into();
+        stats.maps[0].name = "tab\tle\u{1}".into();
+        let json = stats.to_json();
+        validate_json(&json).unwrap_or_else(|e| panic!("hostile names break JSON: {e}\n{json}"));
+        assert!(json.contains("fw\\\"1.0\\\"\\\\prod\\n"));
+        assert!(json.contains("tab\\tle\\u0001"));
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects_correctly() {
+        for good in [
+            "{}",
+            "[]",
+            "  {\"a\": [1, -2.5, 1e9, true, false, null], \"b\": {\"c\": \"d\\\"e\\u00ff\"}} ",
+            "3.25",
+            "\"\"",
+        ] {
+            validate_json(good).unwrap_or_else(|e| panic!("{good}: {e}"));
+        }
+        for bad in [
+            "",
+            "{",
+            "{\"a\": }",
+            "{\"a\": 1,}",
+            "{'a': 1}",
+            "{\"a\": \"unterminated}",
+            "{\"a\": \"bad\\x\"}",
+            "{\"a\": 01e}",
+            "[1, 2",
+            "{} trailing",
+            "{\"a\": \"raw\ncontrol\"}",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted invalid JSON: {bad:?}");
+        }
+    }
+
     #[test]
     fn json_exports_steering_section() {
         let mut stats = RuntimeStats {
@@ -365,6 +737,7 @@ mod tests {
             throughput_pps: 0.0,
             steering: None,
             reliability: None,
+            slo: None,
         };
         stats.steering = Some(SteeringStats {
             steered: vec![30, 10],

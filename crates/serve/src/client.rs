@@ -1,0 +1,129 @@
+//! Client/session model for the serving reactor.
+//!
+//! Each control-plane client owns a bounded op queue inside the reactor.
+//! Submission is *admission-controlled*: a client that outruns its queue
+//! (or the reactor as a whole) gets a typed [`ServeError::Overloaded`]
+//! back instead of silently growing an unbounded backlog — the serving
+//! layer's backpressure is explicit, countable, and distinguishable from
+//! failure in the SLO accounting.
+
+use std::collections::VecDeque;
+
+use ehdl_ebpf::maps::MapError;
+use ehdl_hwsim::{HostOp, HostOpResult};
+
+/// Opaque handle for one connected control-plane client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClientId(pub(crate) u32);
+
+impl ClientId {
+    /// The client's dense index (connection order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ClientId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "client{}", self.0)
+    }
+}
+
+/// Receipt for one admitted op: the reactor will eventually emit exactly
+/// one [`Ack`] carrying the same `(client, seq)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ticket {
+    /// Submitting client.
+    pub client: ClientId,
+    /// Per-client submission sequence number (0-based, dense).
+    pub seq: u64,
+}
+
+/// One completed client op, with the result the hardware returned and
+/// the client-observed latency (admission to ack, in pipeline cycles).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ack {
+    /// Owning client.
+    pub client: ClientId,
+    /// The [`Ticket::seq`] this ack answers.
+    pub seq: u64,
+    /// Payload or the typed map error the hardware raised. A map error
+    /// (e.g. [`MapError::NoSuchKey`]) is a *served* answer, not a
+    /// serving failure.
+    pub result: Result<HostOpResult, MapError>,
+    /// Cycles from admission to ack.
+    pub latency_cycles: u64,
+}
+
+/// Admission-control limits for the reactor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Ops one client may have queued (admitted, not yet submitted to
+    /// the device) at once.
+    pub max_queued_per_client: usize,
+    /// Ops queued across all clients; the reactor-wide ceiling.
+    pub max_queued_total: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig { max_queued_per_client: 64, max_queued_total: 4096 }
+    }
+}
+
+/// Why the serving layer refused an op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The client's own queue (or the reactor-wide ceiling) is full:
+    /// back off and resubmit after draining acks.
+    Overloaded {
+        /// Refused client.
+        client: ClientId,
+        /// Ops currently queued against the breached limit.
+        queued: usize,
+        /// The breached limit.
+        limit: usize,
+    },
+    /// The handle does not name a connected client.
+    UnknownClient {
+        /// Offending handle.
+        client: ClientId,
+    },
+    /// The op targets a map id the loaded design does not declare;
+    /// rejected at admission so device-level submission can never fail.
+    UnknownMap {
+        /// Offending map id.
+        map: u32,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { client, queued, limit } => {
+                write!(f, "{client} overloaded: {queued} ops queued of {limit} allowed")
+            }
+            ServeError::UnknownClient { client } => write!(f, "{client} is not connected"),
+            ServeError::UnknownMap { map } => {
+                write!(f, "no map with id {map} in the loaded design")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Reactor-internal per-client state.
+#[derive(Debug, Default)]
+pub(crate) struct ClientState {
+    /// Admitted ops waiting for a device submission slot.
+    pub queue: VecDeque<(u64, HostOp)>,
+    /// Next submission sequence number.
+    pub next_seq: u64,
+    /// Ops admitted over the connection's lifetime.
+    pub admitted: u64,
+    /// Ops acked.
+    pub acked: u64,
+    /// Ops refused at admission.
+    pub shed: u64,
+}

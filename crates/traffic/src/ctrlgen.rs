@@ -63,6 +63,54 @@ impl Default for OpMix {
     }
 }
 
+impl OpMix {
+    /// Check the mix is usable: every weight finite and non-negative,
+    /// and at least one strictly positive (an all-zero mix would
+    /// silently degenerate into an all-dump schedule).
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlGenError::InvalidOpMix`] describing the offending weights.
+    pub fn validate(&self) -> Result<(), CtrlGenError> {
+        let w = [self.lookup, self.update, self.delete, self.dump];
+        if w.iter().any(|x| !x.is_finite() || *x < 0.0) || w.iter().sum::<f64>() <= 0.0 {
+            return Err(CtrlGenError::InvalidOpMix { mix: *self });
+        }
+        Ok(())
+    }
+}
+
+/// Construction errors of the control-plane generators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtrlGenError {
+    /// The key pool is empty — no keyed op can be generated.
+    EmptyKeyPool,
+    /// The op mix has no positive weight (or a negative/non-finite one).
+    InvalidOpMix {
+        /// The rejected mix.
+        mix: OpMix,
+    },
+    /// A client workload needs at least one client.
+    NoClients,
+}
+
+impl std::fmt::Display for CtrlGenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CtrlGenError::EmptyKeyPool => write!(f, "key pool must be non-empty"),
+            CtrlGenError::InvalidOpMix { mix } => write!(
+                f,
+                "op mix must have finite non-negative weights with a positive total, got \
+                 lookup={} update={} delete={} dump={}",
+                mix.lookup, mix.update, mix.delete, mix.dump
+            ),
+            CtrlGenError::NoClients => write!(f, "client workload needs at least one client"),
+        }
+    }
+}
+
+impl std::error::Error for CtrlGenError {}
+
 /// Seeded generator of [`ControlOp`]s over a fixed key pool.
 ///
 /// Keys are sampled with a [`Popularity`] law, so a `Hot` distribution
@@ -84,7 +132,9 @@ impl ControlOpGen {
     ///
     /// # Panics
     ///
-    /// Panics if the key pool is empty or every mix weight is zero.
+    /// Panics if the key pool is empty or the mix fails
+    /// [`OpMix::validate`]; [`ControlOpGen::try_new`] is the non-panicking
+    /// form.
     pub fn new(
         map: u32,
         keys: Vec<Vec<u8>>,
@@ -93,10 +143,31 @@ impl ControlOpGen {
         pop: Popularity,
         seed: u64,
     ) -> ControlOpGen {
-        assert!(!keys.is_empty(), "key pool must be non-empty");
+        match ControlOpGen::try_new(map, keys, value_size, mix, pop, seed) {
+            Ok(gen) => gen,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`ControlOpGen::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlGenError::EmptyKeyPool`] or [`CtrlGenError::InvalidOpMix`].
+    pub fn try_new(
+        map: u32,
+        keys: Vec<Vec<u8>>,
+        value_size: usize,
+        mix: OpMix,
+        pop: Popularity,
+        seed: u64,
+    ) -> Result<ControlOpGen, CtrlGenError> {
+        if keys.is_empty() {
+            return Err(CtrlGenError::EmptyKeyPool);
+        }
+        mix.validate()?;
         let w = [mix.lookup, mix.update, mix.delete, mix.dump];
         let total: f64 = w.iter().sum();
-        assert!(total > 0.0, "op mix must have positive total weight");
         let mut cdf = [0.0; 4];
         let mut acc = 0.0;
         for (c, wi) in cdf.iter_mut().zip(w) {
@@ -104,14 +175,14 @@ impl ControlOpGen {
             *c = acc;
         }
         cdf[3] = 1.0;
-        ControlOpGen {
+        Ok(ControlOpGen {
             map,
             sampler: FlowSampler::new(keys.len(), pop, seed ^ 0xc0ff_ee00),
             keys,
             value_size,
             cdf,
             rng: Rng::seed_from_u64(seed),
-        }
+        })
     }
 
     /// Generate the next op.
@@ -182,6 +253,67 @@ pub fn interleave_ops(
     schedule
 }
 
+/// Op streams for a whole population of control clients, as the serving
+/// reactor sees them: each client is an independent seeded
+/// [`ControlOpGen`], and *which* client issues the next op follows its
+/// own [`Popularity`] law — a `Zipf` activity skew models the realistic
+/// shape where a few orchestrators dominate the control plane while
+/// thousands of tenants trickle.
+#[derive(Debug, Clone)]
+pub struct ClientWorkload {
+    activity: FlowSampler,
+    gens: Vec<ControlOpGen>,
+}
+
+impl ClientWorkload {
+    /// Build `clients` independent op generators over a shared key pool.
+    ///
+    /// Every client draws from the same `keys` with the same `mix` and
+    /// `key_pop` law but its own seed, so streams are deterministic,
+    /// distinct per client, and reproducible as a population.
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlGenError::NoClients`], [`CtrlGenError::EmptyKeyPool`], or
+    /// [`CtrlGenError::InvalidOpMix`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_new(
+        clients: usize,
+        map: u32,
+        keys: Vec<Vec<u8>>,
+        value_size: usize,
+        mix: OpMix,
+        key_pop: Popularity,
+        client_activity: Popularity,
+        seed: u64,
+    ) -> Result<ClientWorkload, CtrlGenError> {
+        if clients == 0 {
+            return Err(CtrlGenError::NoClients);
+        }
+        let gens = (0..clients)
+            .map(|i| {
+                let client_seed = seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                ControlOpGen::try_new(map, keys.clone(), value_size, mix, key_pop, client_seed)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ClientWorkload {
+            activity: FlowSampler::new(clients, client_activity, seed ^ 0xac71_317e),
+            gens,
+        })
+    }
+
+    /// Number of clients in the population.
+    pub fn clients(&self) -> usize {
+        self.gens.len()
+    }
+
+    /// Sample the next issuing client and its op.
+    pub fn next_op(&mut self) -> (u32, ControlOp) {
+        let client = self.activity.sample();
+        (client as u32, self.gens[client].next_op())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +378,80 @@ mod tests {
         );
         let hits = gen.take(2000).filter(|op| op.key == vec![0, 0, 0, 0]).count();
         assert!((1700..2000).contains(&hits), "hot-key hits {hits}");
+    }
+
+    #[test]
+    fn degenerate_mixes_are_rejected_with_typed_errors() {
+        // The all-zero mix used to build a CDF of NaNs and silently emit
+        // an all-dump schedule; now it is a typed construction error.
+        let zero = OpMix { lookup: 0.0, update: 0.0, delete: 0.0, dump: 0.0 };
+        assert_eq!(zero.validate(), Err(CtrlGenError::InvalidOpMix { mix: zero }));
+        let err = ControlOpGen::try_new(0, pool(4), 8, zero, Popularity::Uniform, 1)
+            .expect_err("all-zero mix must be rejected");
+        assert!(matches!(err, CtrlGenError::InvalidOpMix { .. }));
+        assert!(err.to_string().contains("positive total"));
+
+        let negative = OpMix { lookup: 0.5, update: -0.1, ..zero };
+        assert!(negative.validate().is_err(), "negative weights are invalid");
+        let nan = OpMix { lookup: f64::NAN, ..OpMix::default() };
+        assert!(nan.validate().is_err(), "non-finite weights are invalid");
+        assert!(OpMix::default().validate().is_ok());
+
+        assert_eq!(
+            ControlOpGen::try_new(0, vec![], 8, OpMix::default(), Popularity::Uniform, 1)
+                .expect_err("empty pool"),
+            CtrlGenError::EmptyKeyPool
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total")]
+    fn new_still_panics_on_zero_mix() {
+        let zero = OpMix { lookup: 0.0, update: 0.0, delete: 0.0, dump: 0.0 };
+        let _ = ControlOpGen::new(0, pool(4), 8, zero, Popularity::Uniform, 1);
+    }
+
+    #[test]
+    fn client_workload_is_deterministic_and_skewed() {
+        let mk = || {
+            let mut w = ClientWorkload::try_new(
+                100,
+                0,
+                pool(16),
+                8,
+                OpMix::default(),
+                Popularity::Uniform,
+                Popularity::Zipf { alpha: 1.2 },
+                77,
+            )
+            .expect("valid workload");
+            (0..2000).map(|_| w.next_op()).collect::<Vec<_>>()
+        };
+        let a = mk();
+        assert_eq!(a, mk(), "population stream is reproducible");
+        // Zipf activity: the head client dominates, but the tail exists.
+        let head = a.iter().filter(|(c, _)| *c == 0).count();
+        let distinct: std::collections::BTreeSet<u32> = a.iter().map(|(c, _)| *c).collect();
+        assert!(head > 100, "head client issues a disproportionate share: {head}");
+        assert!(distinct.len() > 30, "tail clients still get a turn: {}", distinct.len());
+        // Two clients' streams differ (independent per-client seeds).
+        let c0: Vec<_> = a.iter().filter(|(c, _)| *c == 0).map(|(_, op)| op).take(5).collect();
+        let c1: Vec<_> = a.iter().filter(|(c, _)| *c == 1).map(|(_, op)| op).take(5).collect();
+        assert_ne!(c0, c1);
+        assert_eq!(
+            ClientWorkload::try_new(
+                0,
+                0,
+                pool(4),
+                8,
+                OpMix::default(),
+                Popularity::Uniform,
+                Popularity::Uniform,
+                1
+            )
+            .expect_err("zero clients"),
+            CtrlGenError::NoClients
+        );
     }
 
     #[test]

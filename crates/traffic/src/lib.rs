@@ -19,7 +19,10 @@ pub mod trace;
 use ehdl_net::{FiveTuple, PacketBuilder, IPPROTO_TCP, IPPROTO_UDP};
 use ehdl_rng::Rng;
 
-pub use ctrlgen::{interleave_ops, ControlOp, ControlOpGen, ControlOpKind, OpMix, ScheduleItem};
+pub use ctrlgen::{
+    interleave_ops, ClientWorkload, ControlOp, ControlOpGen, ControlOpKind, CtrlGenError, OpMix,
+    ScheduleItem,
+};
 pub use trace::{caida_like, mawi_like, Trace, TraceStats};
 
 /// A population of distinct flows.

@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Repo gate: build, test, lint, simulator-speed smoke, and scale-out gate.
 #
+# Usage:
+#   scripts/check.sh           # the full gate (benches included)
+#   scripts/check.sh --quick   # build + tests + lints only (edit loop)
+#
 # The speed smoke replays the Figure-9a firewall workload (40k packets at
 # 64 B line rate) under both stage engines (reference interpreter and the
 # compiled backend) and fails if:
@@ -34,6 +38,19 @@
 #     or the retried sequence diverges from the lossless reference;
 #   - availability drifts more than 5 points from the recording.
 #
+# The SLO gate (long-haul serving campaign: multi-client reactor over
+# churn, hot-key storms, SYN floods, live reloads, a kill storm, and a
+# 10%-lossy control channel) replays BENCH_slo.json's campaign and
+# fails if:
+#   - whole-run availability across the lossless serving phases drops
+#     below the 99.9% target, or drifts from the recording;
+#   - p999 admission-to-ack op latency exceeds the recorded bound;
+#   - the op coalescer stops shrinking the device schedule;
+#   - the kill storm goes undetected, any punted frame survives the
+#     host retry pass unserved, or request-level availability under the
+#     kill falls below 99%;
+#   - any admitted op at 10% channel loss is abandoned or never acked.
+#
 # The sharding-soundness gate (static shardcheck verdicts vs the dynamic
 # differential checker) replays BENCH_shardcheck.json's campaign and
 # fails if:
@@ -51,9 +68,15 @@
 #   EHDL_WRITE_BENCH=1 cargo bench -p ehdl-bench --bench scale_out
 #   EHDL_WRITE_BENCH=1 cargo bench -p ehdl-bench --bench chaos
 #   EHDL_WRITE_BENCH=1 cargo bench -p ehdl-bench --bench shardcheck
+#   EHDL_WRITE_BENCH=1 cargo bench -p ehdl-bench --bench slo
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+quick=0
+if [[ "${1:-}" == "--quick" ]]; then
+  quick=1
+fi
 
 echo "== build (release) =="
 cargo build --release --workspace
@@ -63,19 +86,28 @@ cargo test --workspace -q
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
-# The simulator, compiler, runtime and app crates carry
-# #![deny(clippy::unwrap_used)]; lint them standalone so a
-# workspace-level cap change can't mask it.
+# Every library crate carries #![deny(clippy::unwrap_used)]; lint them
+# standalone so a workspace-level cap change can't mask it.
 cargo clippy -p ehdl-hwsim -- -D warnings
 cargo clippy -p ehdl-core --all-targets -- -D warnings
 cargo clippy -p ehdl-runtime --all-targets -- -D warnings
 cargo clippy -p ehdl-programs --all-targets -- -D warnings
+cargo clippy -p ehdl-net --all-targets -- -D warnings
+cargo clippy -p ehdl-baselines --all-targets -- -D warnings
+cargo clippy -p ehdl-rng --all-targets -- -D warnings
+cargo clippy -p ehdl-bench --all-targets -- -D warnings
+cargo clippy -p ehdl-serve --all-targets -- -D warnings
 
 echo "== fmt =="
 cargo fmt --all -- --check
 
 echo "== docs (rustdoc warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+if [[ "$quick" == "1" ]]; then
+  echo "check.sh --quick: build, tests and lints passed (bench gates skipped)"
+  exit 0
+fi
 
 echo "== sim speed smoke (40k packets) =="
 EHDL_CHECK_BENCH=1 cargo bench -p ehdl-bench --bench sim_speed
@@ -107,5 +139,8 @@ EHDL_CHECK_BENCH=1 cargo bench -p ehdl-bench --bench chaos
 echo "== sharding soundness (static shardcheck vs dynamic checkers) =="
 cargo test -p ehdl-hwsim --test shardplan -q
 EHDL_CHECK_BENCH=1 cargo bench -p ehdl-bench --bench shardcheck
+
+echo "== SLO gate (long-haul serving campaign x kill storm x lossy ctrl) =="
+EHDL_CHECK_BENCH=1 cargo bench -p ehdl-bench --bench slo
 
 echo "check.sh: all gates passed"

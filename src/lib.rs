@@ -12,7 +12,10 @@
 //! * [`baselines`] — hXDP, BlueField-2 and SDNet comparison models;
 //! * [`programs`] — the real-world XDP applications from the evaluation;
 //! * [`runtime`] — host control plane: live map access over a modeled
-//!   PCIe channel, telemetry export, and drain-and-swap program reload.
+//!   PCIe channel, telemetry export, and drain-and-swap program reload;
+//! * [`serve`] — multi-client serving reactor: fair batching and op
+//!   coalescing over the control channel, continuous SLO tracking, and
+//!   the long-haul campaign driver.
 //!
 //! ```
 //! use ehdl::core::Compiler;
@@ -31,4 +34,5 @@ pub use ehdl_hwsim as hwsim;
 pub use ehdl_net as net;
 pub use ehdl_programs as programs;
 pub use ehdl_runtime as runtime;
+pub use ehdl_serve as serve;
 pub use ehdl_traffic as traffic;
